@@ -1,0 +1,42 @@
+"""Shared reporting helper for the benchmark harness.
+
+Each benchmark regenerates one of the paper's figures (or a Section 2 /
+Section 5 claim) as a small table. Tables are printed and also written
+to ``benchmarks/results/<experiment>.txt`` so the regenerated artifacts
+survive the pytest run regardless of output capturing.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, Sequence
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def format_table(title: str, headers: Sequence[str],
+                 rows: Iterable[Sequence[object]]) -> str:
+    """Render an aligned plain-text table."""
+    materialized = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [title, "=" * len(title)]
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in materialized:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def report(experiment: str, title: str, headers: Sequence[str],
+           rows: Iterable[Sequence[object]]) -> str:
+    """Print a table and persist it under benchmarks/results/."""
+    text = format_table(title, headers, rows)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{experiment}.txt")
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(text + "\n")
+    print(f"\n{text}\n[written to {path}]")
+    return text

@@ -1,0 +1,160 @@
+"""Ablations for the design choices DESIGN.md calls out.
+
+1. **Interval-coalesced lifespans vs per-point sets** — the kernel's
+   reason for existing: set operations on coalesced interval lists are
+   O(#intervals), not O(#chronons).
+2. **Interval-tree access path vs full scan** — the storage engine's
+   stabbing index against decoding every record.
+3. **Segment-coalesced temporal functions vs per-point functions** —
+   what coalescing buys during restriction-heavy operators.
+"""
+
+import random
+
+import pytest
+
+from benchmarks._report import report
+from repro.core.lifespan import Lifespan
+from repro.core.tfunc import TemporalFunction
+from repro.storage import StoredRelation
+from repro.workloads import PersonnelConfig, generate_personnel
+
+
+# ---------------------------------------------------------------------------
+# Ablation 1: interval lifespans vs raw point sets.
+# ---------------------------------------------------------------------------
+
+
+def _dense_pair(span: int):
+    a = Lifespan.interval(0, span)
+    b = Lifespan.interval(span // 2, span + span // 2)
+    return a, b
+
+
+@pytest.mark.parametrize("span", [1_000, 100_000])
+def test_bench_lifespan_intersection_intervals(benchmark, span):
+    a, b = _dense_pair(span)
+    benchmark(lambda: a & b)
+
+
+@pytest.mark.parametrize("span", [1_000, 100_000])
+def test_bench_lifespan_intersection_point_sets(benchmark, span):
+    a, b = _dense_pair(span)
+    sa, sb = set(a), set(b)
+    benchmark(lambda: sa & sb)
+
+
+def test_interval_ablation_report(benchmark):
+    """Interval ops are O(#intervals): constant while the span grows."""
+    import time
+
+    def measure():
+        rows = []
+        for span in (1_000, 10_000, 100_000):
+            a, b = _dense_pair(span)
+            t0 = time.perf_counter()
+            for _ in range(100):
+                _ = a & b
+            interval_t = (time.perf_counter() - t0) / 100
+            sa, sb = set(a), set(b)
+            t0 = time.perf_counter()
+            for _ in range(3):
+                _ = sa & sb
+            set_t = (time.perf_counter() - t0) / 3
+            rows.append((span, f"{interval_t * 1e6:.2f}", f"{set_t * 1e6:.2f}",
+                         f"{set_t / interval_t:.0f}x"))
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    report(
+        "ABL_interval_vs_points",
+        "Ablation: lifespan intersection — coalesced intervals vs point sets (µs)",
+        ["span (chronons)", "intervals", "point sets", "speedup"],
+        rows,
+    )
+    # The interval implementation must not degrade with span.
+    assert float(rows[-1][1]) < float(rows[-1][2])
+
+
+# ---------------------------------------------------------------------------
+# Ablation 2: interval-tree stab vs full scan.
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def big_store():
+    emp = generate_personnel(PersonnelConfig(n_employees=300, seed=91))
+    stored = StoredRelation(emp.scheme)
+    stored.load(emp)
+    stored.rebuild_indexes()
+    return stored, emp
+
+
+def test_bench_alive_at_via_index(benchmark, big_store):
+    stored, _ = big_store
+    benchmark(stored.alive_at, 60)
+
+
+def test_bench_alive_at_via_scan(benchmark, big_store):
+    stored, _ = big_store
+
+    def scan():
+        return [t for t in stored.scan() if 60 in t.lifespan]
+
+    via_scan = benchmark(scan)
+    assert {t.key_value() for t in via_scan} == \
+        {t.key_value() for t in stored.alive_at(60)}
+
+
+# ---------------------------------------------------------------------------
+# Ablation 3: coalesced segments vs per-point temporal functions.
+# ---------------------------------------------------------------------------
+
+
+def _salary_functions(horizon: int = 2_000):
+    rng = random.Random(17)
+    changes = {0: 10_000}
+    for t in range(1, horizon, 200):
+        changes[t] = 10_000 + rng.randrange(0, 5_000)
+    coalesced = TemporalFunction.step(changes, end=horizon - 1)
+    per_point = TemporalFunction.from_points(
+        {t: coalesced(t) for t in range(horizon)}
+    )
+    return coalesced, per_point
+
+
+def test_bench_restrict_coalesced(benchmark):
+    coalesced, _ = _salary_functions()
+    window = Lifespan.interval(500, 1_500)
+    benchmark(coalesced.restrict, window)
+
+
+def test_bench_restrict_per_point_equivalent(benchmark):
+    """from_points coalesces equal adjacent values automatically, so we
+    simulate a naive per-point store with alternating distinct values."""
+    horizon = 2_000
+    naive = TemporalFunction.from_points({t: t for t in range(horizon)})
+    window = Lifespan.interval(500, 1_500)
+    benchmark(naive.restrict, window)
+
+
+def test_segment_ablation_report(benchmark):
+    coalesced, per_point = _salary_functions()
+
+    def stats():
+        return [
+            ("coalesced step function", coalesced.n_changes(), len(coalesced)),
+            ("same values stored per point*", per_point.n_changes(), len(per_point)),
+        ]
+
+    rows = benchmark(stats)
+    report(
+        "ABL_segments",
+        "Ablation: segment coalescing (*equal adjacent values re-coalesce on load)",
+        ["storage", "segments", "chronons"],
+        rows,
+    )
+    # Coalescing is idempotent: loading per-point data with equal runs
+    # converges back to the compact form.
+    assert rows[0][1] == rows[1][1]
+    assert per_point == coalesced

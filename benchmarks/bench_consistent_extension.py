@@ -1,0 +1,91 @@
+"""S5-CONS — the consistent-extension reduction, measured.
+
+Lifts classical relations to ``T = {now}``, runs each historical
+operator and its classical counterpart, asserts identical answers, and
+times the overhead the historical machinery adds on degenerate
+(single-chronon) data.
+"""
+
+import random
+
+import pytest
+
+from benchmarks._report import report
+from repro.algebra import AttrOp, natural_join, project, select_when
+from repro.classical import classical_algebra as ca
+from repro.classical.relation import Relation
+from repro.classical.snapshot import NOW, collapse, lift
+
+
+def classical_relation(n: int, seed: int = 71) -> Relation:
+    rng = random.Random(seed)
+    return Relation.from_dicts(["K", "V", "W"], [
+        {"K": f"k{i}", "V": rng.randrange(0, 50), "W": rng.randrange(0, 5)}
+        for i in range(n)
+    ])
+
+
+def test_consistent_extension_report(benchmark):
+    r = classical_relation(60)
+    lifted = lift(r, ["K"])
+    mgrs = Relation.from_dicts(["W", "TAG"], [{"W": i, "TAG": f"t{i}"} for i in range(5)])
+    lifted_mgrs = lift(mgrs, ["TAG"], name="MGRS")
+
+    def compare_all():
+        results = []
+        hist = collapse(select_when(lifted, AttrOp("V", ">=", 25)), NOW)
+        classical = ca.select_theta(r, "V", ">=", 25)
+        results.append(("SELECT (σ V>=25)", len(classical), len(hist),
+                        hist == classical))
+        hist = collapse(project(lifted, ["K", "W"]), NOW)
+        classical = ca.project(r, ["K", "W"])
+        results.append(("PROJECT (π K,W)", len(classical), len(hist),
+                        hist == classical))
+        hist = collapse(natural_join(lifted, lifted_mgrs), NOW)
+        classical = ca.natural_join(r, mgrs)
+        results.append(("NATURAL-JOIN", len(classical), len(hist),
+                        hist == classical))
+        return results
+
+    rows = benchmark(compare_all)
+    report(
+        "S5_consistent_extension",
+        "Section 5: historical operators at T={now} vs classical algebra (60 rows)",
+        ["operator", "classical rows", "historical rows", "identical?"],
+        rows,
+    )
+    assert all(identical for _, _, _, identical in rows)
+
+
+@pytest.mark.parametrize("n", [50, 200])
+class TestReductionOverhead:
+    """How much does the historical machinery cost on {now} data?"""
+
+    def test_bench_classical_select(self, benchmark, n):
+        r = classical_relation(n)
+        benchmark(ca.select_theta, r, "V", ">=", 25)
+
+    def test_bench_historical_select_at_now(self, benchmark, n):
+        lifted = lift(classical_relation(n), ["K"])
+        benchmark(select_when, lifted, AttrOp("V", ">=", 25))
+
+    def test_bench_classical_join(self, benchmark, n):
+        r = classical_relation(n)
+        mgrs = Relation.from_dicts(["W", "TAG"],
+                                   [{"W": i, "TAG": f"t{i}"} for i in range(5)])
+        benchmark(ca.natural_join, r, mgrs)
+
+    def test_bench_historical_join_at_now(self, benchmark, n):
+        lifted = lift(classical_relation(n), ["K"])
+        mgrs = Relation.from_dicts(["W", "TAG"],
+                                   [{"W": i, "TAG": f"t{i}"} for i in range(5)])
+        lifted_mgrs = lift(mgrs, ["TAG"], name="MGRS")
+        benchmark(natural_join, lifted, lifted_mgrs)
+
+    def test_bench_lift(self, benchmark, n):
+        r = classical_relation(n)
+        benchmark(lift, r, ["K"])
+
+    def test_bench_collapse(self, benchmark, n):
+        lifted = lift(classical_relation(n), ["K"])
+        benchmark(collapse, lifted, NOW)

@@ -1,0 +1,76 @@
+"""F6 — Figure 6: the DAILY-TRADING-VOLUME schema-evolution scenario.
+
+Drives the exact lifecycle of the paper's example through the database
+layer — record volume over [t1, t2), drop it, re-add it at t3 — and
+reports the attribute lifespan plus the history retained at each stage.
+Benchmarks measure the cost of evolving a populated relation.
+"""
+
+import pytest
+
+from benchmarks._report import report
+from repro.core import domains
+from repro.core.lifespan import Lifespan
+from repro.core.time_domain import TimeDomain
+from repro.database import HistoricalDatabase, evolve
+from repro.workloads import StockConfig, generate_stocks
+
+
+def build_db(n_stocks: int) -> HistoricalDatabase:
+    cfg = StockConfig(n_stocks=n_stocks, seed=11)
+    stocks = generate_stocks(cfg)
+    db = HistoricalDatabase("market", TimeDomain(0, cfg.horizon))
+    db.create_relation(stocks.scheme, stocks.tuples)
+    return db
+
+
+def test_figure6_report(benchmark):
+    """Regenerate Figure 6: the attribute's lifespan at each stage."""
+    t2, t3, horizon = 100, 180, 250
+
+    def lifecycle():
+        db = build_db(6)
+        stages = [("initial (recorded since t1)", db.scheme("STOCK").als("VOLUME"))]
+        evolve(db, "STOCK", drop_at={"VOLUME": t2})
+        stages.append((f"dropped at t2={t2} (too expensive)",
+                       db.scheme("STOCK").als("VOLUME")))
+        evolve(db, "STOCK", readd={"VOLUME": (t3, horizon)})
+        stages.append((f"re-added at t3={t3} (cheap source found)",
+                       db.scheme("STOCK").als("VOLUME")))
+        sample = db["STOCK"].tuples[0]
+        return stages, sample
+
+    stages, sample = benchmark(lifecycle)
+    report(
+        "F6_schema_evolution",
+        "Figure 6: lifespan of attribute DAILY-TRADING-VOLUME",
+        ["stage", "ALS(VOLUME)"],
+        [(name, ls) for name, ls in stages],
+    )
+    final = stages[-1][1]
+    # The final lifespan is [t1, t2) ∪ [t3, NOW] with a gap between.
+    assert final.n_intervals == 2
+    assert 50 in final and 150 not in final and 200 in final
+    # History recorded before the drop is still queryable.
+    pre_drop = sample.value("VOLUME").domain & Lifespan.interval(0, 99)
+    assert not pre_drop.is_empty
+
+
+@pytest.mark.parametrize("n_stocks", [5, 20])
+def test_bench_drop_readd_cycle(benchmark, n_stocks):
+    def cycle():
+        db = build_db(n_stocks)
+        evolve(db, "STOCK", drop_at={"VOLUME": 100})
+        evolve(db, "STOCK", readd={"VOLUME": (180, 250)})
+        return db
+
+    benchmark(cycle)
+
+
+def test_bench_add_attribute_to_populated_relation(benchmark):
+    def add():
+        db = build_db(10)
+        evolve(db, "STOCK", add={"DIVIDEND": (domains.td(domains.NUMBER), 0, 250)})
+        return db
+
+    benchmark(add)

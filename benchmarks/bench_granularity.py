@@ -1,0 +1,114 @@
+"""F1–F5 + S2-COST — lifespan granularity: overhead vs fidelity.
+
+Section 2's qualitative claims as measured curves. For each attachment
+level (Figures 2–5 plus the value level) we report, on a fully
+heterogeneous synthetic instance:
+
+* the number of lifespans the design maintains (the paper: database /
+  relation cost ∝ |schema|, tuple cost ∝ |instance|);
+* the spurious chronons the design asserts (fidelity);
+
+and we verify the claimed asymptotics by sweeping the instance size.
+"""
+
+import random
+
+import pytest
+
+from benchmarks._report import report
+from repro.core.lifespan import Lifespan
+from repro.database.granularity import (
+    DatabaseShape,
+    GranularityLevel,
+    ValueCell,
+    lifespan_overhead,
+    representation_error,
+    tradeoff_row,
+)
+
+
+def synth_cells(shape: DatabaseShape, seed: int = 41) -> list[ValueCell]:
+    """A heterogeneous instance: every cell gets its own lifespan."""
+    rng = random.Random(seed)
+    cells = []
+    for rel in range(shape.n_relations):
+        for tup in range(shape.n_tuples):
+            birth = rng.randrange(0, 50)
+            death = birth + rng.randrange(5, 40)
+            for attr in range(shape.n_attributes):
+                lo = birth + rng.randrange(0, 5)
+                hi = max(lo, death - rng.randrange(0, 5))
+                cells.append(ValueCell(rel, tup, attr, Lifespan.interval(lo, hi)))
+    return cells
+
+
+def test_granularity_tradeoff_report(benchmark):
+    """Regenerate the Figures 2–5 tradeoff as one table."""
+    shape = DatabaseShape(n_relations=3, n_tuples=60, n_attributes=4)
+    cells = synth_cells(shape)
+
+    def full_tradeoff():
+        return [tradeoff_row(cells, shape, level) for level in GranularityLevel]
+
+    rows = benchmark(full_tradeoff)
+    report(
+        "F1-F5_granularity",
+        "Figures 2-5: lifespan granularity tradeoff "
+        f"({shape.n_relations} relations x {shape.n_tuples} tuples x "
+        f"{shape.n_attributes} attributes)",
+        ["level", "lifespans maintained", "spurious chronons", "exact?"],
+        [(r["level"], r["lifespans"], r["spurious_chronons"], r["exact"])
+         for r in rows],
+    )
+    by_level = {r["level"]: r for r in rows}
+    # Who wins on fidelity: finer is monotonically more exact.
+    assert (by_level["value"]["spurious_chronons"]
+            <= by_level["attribute"]["spurious_chronons"]
+            <= by_level["tuple"]["spurious_chronons"]
+            <= by_level["relation"]["spurious_chronons"]
+            <= by_level["database"]["spurious_chronons"])
+    # Who wins on overhead: coarser is monotonically cheaper.
+    assert (by_level["database"]["lifespans"]
+            <= by_level["relation"]["lifespans"]
+            <= by_level["tuple"]["lifespans"]
+            <= by_level["attribute"]["lifespans"]
+            <= by_level["value"]["lifespans"])
+
+
+def test_s2_cost_scaling_report(benchmark):
+    """S2-COST: schema-proportional vs instance-proportional overhead."""
+    sweep = [50, 100, 200, 400]
+    rows = []
+
+    def compute():
+        out = []
+        for n_tuples in sweep:
+            shape = DatabaseShape(n_relations=3, n_tuples=n_tuples, n_attributes=4)
+            out.append((
+                n_tuples,
+                lifespan_overhead(shape, GranularityLevel.RELATION),
+                lifespan_overhead(shape, GranularityLevel.TUPLE),
+                lifespan_overhead(shape, GranularityLevel.ATTRIBUTE),
+                lifespan_overhead(shape, GranularityLevel.VALUE),
+            ))
+        return out
+
+    rows = benchmark(compute)
+    report(
+        "S2_cost_scaling",
+        "Section 2: lifespan overhead while scaling the instance (3 relations, 4 attrs)",
+        ["#tuples/rel", "relation-level", "tuple-level", "attribute-level (HRDM)",
+         "value-level"],
+        rows,
+    )
+    # Relation-level overhead is flat; tuple/value-level grows linearly.
+    assert rows[0][1] == rows[-1][1]
+    assert rows[-1][2] == rows[0][2] * (sweep[-1] // sweep[0])
+    assert rows[-1][4] == rows[0][4] * (sweep[-1] // sweep[0])
+
+
+@pytest.mark.parametrize("level", list(GranularityLevel))
+def test_bench_representation_error(benchmark, level):
+    shape = DatabaseShape(n_relations=2, n_tuples=40, n_attributes=3)
+    cells = synth_cells(shape)
+    benchmark(representation_error, cells, level)

@@ -1,0 +1,94 @@
+"""F9 — Figure 9: representation / model / physical levels.
+
+Round-trips attribute values through the three-level stack:
+
+* model-level functions reduce to compact representations
+  (``<lifespan, value>`` pairs for constants, coalesced segments,
+  sparse samples + interpolation);
+* representations encode to bytes and land in slotted heap pages;
+* reads reconstruct the identical model-level functions.
+
+The report compares representation sizes; benchmarks time each level.
+"""
+
+import pytest
+
+from benchmarks._report import report
+from repro.core.interpolation import StepInterpolation
+from repro.core.lifespan import Lifespan
+from repro.core.tfunc import TemporalFunction
+from repro.storage import StoredRelation, best_representation
+from repro.storage.representation import SampledRep, SegmentRep
+from repro.workloads import PersonnelConfig, generate_personnel
+
+
+def test_figure9_representation_report(benchmark):
+    """Compare representation costs for the three value shapes."""
+    constant = TemporalFunction.constant("Codd", Lifespan.interval(0, 9999))
+    step = TemporalFunction.step({i * 100: i for i in range(10)}, end=999)
+    dense_points = {t: float(t % 17) for t in range(0, 1000, 10)}
+    sparse = SampledRep.from_points({0: 0.0, 500: 5.0, 999: 9.0},
+                                    StepInterpolation())
+
+    def costs():
+        return [
+            ("constant (10k chronons)", type(best_representation(constant)).__name__,
+             best_representation(constant).cost(), len(constant)),
+            ("step, 10 changes (1k chronons)", type(best_representation(step)).__name__,
+             best_representation(step).cost(), len(step)),
+            ("dense samples (100 points)",
+             "SegmentRep", SegmentRep(TemporalFunction.from_points(dense_points)).cost(),
+             len(dense_points)),
+            ("sparse + step interpolation (3 samples)", "SampledRep", sparse.cost(),
+             len(sparse.to_model(Lifespan.interval(0, 999)))),
+        ]
+
+    rows = benchmark(costs)
+    report(
+        "F9_levels",
+        "Figure 9: representation-level cost (stored atoms) vs model-level size (chronons)",
+        ["value shape", "representation", "stored atoms", "model chronons"],
+        rows,
+    )
+    # The <lifespan, value> pair is O(1) regardless of duration.
+    assert rows[0][2] == 3 and rows[0][3] == 10_000
+    # Interpolation reconstructs a total function from 3 samples.
+    assert rows[3][2] < 15 and rows[3][3] == 1000
+
+
+def test_interpolation_roundtrip(benchmark):
+    """Sparse representation -> total model function (the map ``I``)."""
+    sparse = SampledRep.from_points(
+        {0: 1.0, 50: 2.0, 100: 3.0, 200: 4.0}, StepInterpolation()
+    )
+    target = Lifespan.interval(0, 500)
+
+    total = benchmark(sparse.to_model, target)
+    assert total.domain == target
+    assert total(75) == 2.0 and total(400) == 4.0
+
+
+@pytest.mark.parametrize("n", [20, 60])
+def test_bench_physical_write(benchmark, n):
+    emp = generate_personnel(PersonnelConfig(n_employees=n, seed=43))
+
+    def write():
+        stored = StoredRelation(emp.scheme)
+        stored.load(emp)
+        return stored.to_bytes()
+
+    raw = benchmark(write)
+    assert len(raw) > 0
+
+
+@pytest.mark.parametrize("n", [20, 60])
+def test_bench_physical_read(benchmark, n):
+    emp = generate_personnel(PersonnelConfig(n_employees=n, seed=43))
+    stored = StoredRelation(emp.scheme)
+    stored.load(emp)
+    raw = stored.to_bytes()
+
+    def read():
+        return StoredRelation.from_bytes(raw, emp.scheme).to_relation()
+
+    assert benchmark(read) == emp

@@ -1,0 +1,172 @@
+"""OPS — the full operator suite over the personnel workload.
+
+Scaling of every Section 4 operator with relation size and lifespan
+density: set ops, object-based ops, both SELECT flavors, static and
+dynamic TIME-SLICE, WHEN, and all four joins.
+"""
+
+import pytest
+
+from repro.algebra import (
+    AttrOp,
+    FORALL,
+    cartesian_product,
+    difference_merge,
+    dynamic_timeslice,
+    equijoin,
+    intersection_merge,
+    natural_join,
+    project,
+    select_if,
+    select_when,
+    theta_join,
+    time_join,
+    timeslice,
+    union,
+    union_merge,
+    when,
+)
+from repro.core import domains
+from repro.core.lifespan import Lifespan
+from repro.core.relation import HistoricalRelation
+from repro.core.scheme import RelationScheme
+from repro.core.tfunc import TemporalFunction
+from repro.workloads import PersonnelConfig, generate_personnel
+
+SIZES = [25, 100]
+
+
+@pytest.fixture(scope="module", params=SIZES)
+def emp(request):
+    return generate_personnel(PersonnelConfig(n_employees=request.param, seed=51))
+
+
+@pytest.fixture(scope="module")
+def managers():
+    from repro.workloads import DEPARTMENTS as _DEPTS
+
+    scheme = RelationScheme(
+        "MGR",
+        {"MGR": domains.cd(domains.STRING),
+         "MDEPT": domains.td(domains.enumerated("dept", _DEPTS))},
+        key=["MGR"],
+    )
+    ls = Lifespan.interval(0, 120)
+    rows = []
+    from repro.workloads import DEPARTMENTS
+
+    for i, dept in enumerate(DEPARTMENTS):
+        rows.append((ls, {"MGR": f"mgr{i}", "MDEPT": dept}))
+    return HistoricalRelation.from_rows(scheme, rows)
+
+
+@pytest.fixture(scope="module")
+def reviews():
+    """A small TT-attributed relation for dynamic slicing / time-join."""
+    scheme = RelationScheme(
+        "REVIEWS", {"RID": domains.cd(domains.STRING), "AT": domains.tt()},
+        key=["RID"],
+    )
+    rows = []
+    for i in range(8):
+        ls = Lifespan.interval(0, 120)
+        rows.append((ls, {"RID": f"r{i}",
+                          "AT": TemporalFunction.step({0: 15 * i + 5}, end=120)}))
+    return HistoricalRelation.from_rows(scheme, rows)
+
+
+class TestSelects:
+    def test_bench_select_if_exists(self, benchmark, emp):
+        benchmark(select_if, emp, AttrOp("SALARY", ">=", 60_000))
+
+    def test_bench_select_if_forall(self, benchmark, emp):
+        benchmark(select_if, emp, AttrOp("SALARY", ">=", 30_000), FORALL)
+
+    def test_bench_select_when(self, benchmark, emp):
+        benchmark(select_when, emp, AttrOp("DEPT", "=", "Toys"))
+
+    def test_bench_select_when_bounded(self, benchmark, emp):
+        benchmark(select_when, emp, AttrOp("SALARY", ">=", 50_000),
+                  Lifespan.interval(30, 90))
+
+
+class TestUnaryOps:
+    def test_bench_project(self, benchmark, emp):
+        benchmark(project, emp, ["NAME", "SALARY"])
+
+    def test_bench_timeslice(self, benchmark, emp):
+        benchmark(timeslice, emp, Lifespan.interval(30, 90))
+
+    def test_bench_when(self, benchmark, emp):
+        benchmark(when, emp)
+
+    def test_bench_dynamic_timeslice(self, benchmark, reviews):
+        benchmark(dynamic_timeslice, reviews, "AT")
+
+
+class TestSetOps:
+    def test_bench_union(self, benchmark, emp):
+        first = timeslice(emp, Lifespan.interval(0, 59))
+        second = timeslice(emp, Lifespan.interval(60, 120))
+        benchmark(union, first, second)
+
+    def test_bench_union_merge(self, benchmark, emp):
+        first = timeslice(emp, Lifespan.interval(0, 59))
+        second = timeslice(emp, Lifespan.interval(60, 120))
+        benchmark(union_merge, first, second)
+
+    def test_bench_intersection_merge(self, benchmark, emp):
+        a = timeslice(emp, Lifespan.interval(0, 90))
+        b = timeslice(emp, Lifespan.interval(30, 120))
+        benchmark(intersection_merge, a, b)
+
+    def test_bench_difference_merge(self, benchmark, emp):
+        b = timeslice(emp, Lifespan.interval(30, 120))
+        benchmark(difference_merge, emp, b)
+
+
+class TestJoins:
+    def test_bench_natural_join(self, benchmark, emp, managers):
+        renamed = HistoricalRelation(
+            managers.scheme.rename({"MDEPT": "DEPT"}),
+            [t.rename({"MDEPT": "DEPT"}) for t in managers],
+        )
+        benchmark(natural_join, emp, renamed)
+
+    def test_bench_equijoin(self, benchmark, emp, managers):
+        benchmark(equijoin, emp, managers, "DEPT", "MDEPT")
+
+    def test_bench_theta_join(self, benchmark, emp, managers):
+        benchmark(theta_join, emp, managers, "DEPT", "!=", "MDEPT")
+
+    def test_bench_time_join(self, benchmark, reviews, emp):
+        benchmark(time_join, reviews, emp, "AT")
+
+    def test_bench_cartesian_product_small(self, benchmark, managers, reviews):
+        benchmark(cartesian_product, managers, reviews)
+
+
+class TestAggregates:
+    """Temporal aggregation (segment-wise) over the personnel workload."""
+
+    def test_bench_count_alive(self, benchmark, emp):
+        from repro.algebra.aggregate import count_alive
+
+        fn = benchmark(count_alive, emp)
+        assert fn
+
+    def test_bench_max_salary(self, benchmark, emp):
+        from repro.algebra.aggregate import max_over
+
+        benchmark(max_over, emp, "SALARY")
+
+    def test_bench_group_headcount(self, benchmark, emp):
+        from repro.algebra.aggregate import group_aggregate
+
+        groups = benchmark(group_aggregate, emp, "DEPT", "SALARY", len)
+        assert groups
+
+    def test_bench_rename(self, benchmark, emp):
+        from repro.algebra.rename import rename
+
+        benchmark(rename, emp, {"NAME": "WHO", "DEPT": "WHERE"})

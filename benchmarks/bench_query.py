@@ -1,0 +1,50 @@
+"""HRQL pipeline costs: lex, parse, compile, optimise, evaluate.
+
+Not a paper figure — an engineering bench for the query-language
+substrate, separating front-end cost (string → algebra tree) from
+evaluation cost, and measuring what the optimiser saves end to end.
+"""
+
+import pytest
+
+from repro.query import compile_query, parse, run, tokenize
+from repro.workloads import PersonnelConfig, generate_personnel
+
+QUERY = ("PROJECT NAME, SALARY FROM (TIMESLICE "
+         "(SELECT WHEN SALARY >= 50000 IN EMP) TO [20, 90])")
+
+WHEN_QUERY = "WHEN (SELECT WHEN DEPT = 'Toys' AND SALARY >= 40000 IN EMP)"
+
+
+@pytest.fixture(scope="module")
+def env():
+    return {"EMP": generate_personnel(PersonnelConfig(n_employees=120, seed=101))}
+
+
+class TestFrontend:
+    def test_bench_tokenize(self, benchmark):
+        tokens = benchmark(tokenize, QUERY)
+        assert tokens[-1].value is None  # EOF
+
+    def test_bench_parse(self, benchmark):
+        benchmark(parse, QUERY)
+
+    def test_bench_compile(self, benchmark):
+        ast = parse(QUERY)
+        benchmark(compile_query, ast)
+
+
+class TestEndToEnd:
+    def test_bench_run_plain(self, benchmark, env):
+        result = benchmark(run, QUERY, env)
+        assert result.scheme.attributes == ("NAME", "SALARY")
+
+    def test_bench_run_optimized(self, benchmark, env):
+        result = benchmark(run, QUERY, env, True)
+        assert result == run(QUERY, env)
+
+    def test_bench_when_query(self, benchmark, env):
+        lifespan = benchmark(run, WHEN_QUERY, env)
+        from repro.core.lifespan import Lifespan
+
+        assert isinstance(lifespan, Lifespan)

@@ -1,0 +1,90 @@
+"""F10 — Figure 10: one unary operator per dimension.
+
+SELECT reduces along values, PROJECT along attributes, TIME-SLICE along
+time. The report shows each operator shrinking exactly its own
+dimension of a cube-shaped relation; the benchmarks scale each operator
+along *its* dimension independently.
+"""
+
+import pytest
+
+from benchmarks._report import report
+from repro.algebra.predicates import AttrOp
+from repro.algebra.project import project
+from repro.algebra.select import select_if
+from repro.algebra.timeslice import timeslice
+from repro.core import domains
+from repro.core.lifespan import Lifespan
+from repro.core.relation import HistoricalRelation
+from repro.core.scheme import RelationScheme
+from repro.core.tfunc import TemporalFunction
+
+
+def cube(n_tuples: int, n_attributes: int, horizon: int) -> HistoricalRelation:
+    """A dense |tuples| x |attributes| x |time| cube."""
+    attrs = {"K": domains.cd(domains.STRING)}
+    attrs.update({f"A{i}": domains.td(domains.INTEGER) for i in range(n_attributes)})
+    scheme = RelationScheme("CUBE", attrs, key=["K"])
+    ls = Lifespan.interval(0, horizon - 1)
+    rows = []
+    for k in range(n_tuples):
+        values = {"K": f"k{k:04d}"}
+        for i in range(n_attributes):
+            values[f"A{i}"] = TemporalFunction.step(
+                {0: k, horizon // 2: k + i}, end=horizon - 1
+            )
+        rows.append((ls, values))
+    return HistoricalRelation.from_rows(scheme, rows)
+
+
+def _dims(r: HistoricalRelation) -> tuple[int, int, int]:
+    return (len(r), len(r.scheme.attributes), len(r.lifespan()))
+
+
+def test_figure10_report(benchmark):
+    """Each operator reduces exactly one dimension of the cube."""
+    r = cube(n_tuples=24, n_attributes=6, horizon=100)
+
+    def reduce_all():
+        selected = select_if(r, AttrOp("A0", "<", 12))         # value dim
+        projected = project(r, ["K", "A0", "A1"])               # attribute dim
+        sliced = timeslice(r, Lifespan.interval(0, 49))         # time dim
+        return selected, projected, sliced
+
+    selected, projected, sliced = benchmark(reduce_all)
+    rows = [
+        ("original cube", *_dims(r)),
+        ("SELECT-IF (A0 < 12)", *_dims(selected)),
+        ("PROJECT (K, A0, A1)", *_dims(projected)),
+        ("TIME-SLICE [0, 49]", *_dims(sliced)),
+    ]
+    report(
+        "F10_three_dimensions",
+        "Figure 10: the three dimensions and their unary operators",
+        ["operation", "#tuples", "#attributes", "#chronons"],
+        rows,
+    )
+    # SELECT reduces only the tuple count.
+    assert _dims(selected) == (12, 7, 100)
+    # PROJECT reduces only the attribute count.
+    assert _dims(projected) == (24, 3, 100)
+    # TIME-SLICE reduces only the temporal extent.
+    assert _dims(sliced) == (24, 7, 50)
+
+
+@pytest.mark.parametrize("n_tuples", [50, 200])
+def test_bench_select_scales_with_tuples(benchmark, n_tuples):
+    r = cube(n_tuples, 4, 50)
+    benchmark(select_if, r, AttrOp("A0", "<", n_tuples // 2))
+
+
+@pytest.mark.parametrize("n_attributes", [4, 16])
+def test_bench_project_scales_with_attributes(benchmark, n_attributes):
+    r = cube(50, n_attributes, 50)
+    benchmark(project, r, ["K", "A0"])
+
+
+@pytest.mark.parametrize("horizon", [100, 400])
+def test_bench_timeslice_scales_with_time(benchmark, horizon):
+    r = cube(50, 4, horizon)
+    benchmark(timeslice, r, Lifespan.interval(0, horizon // 2))

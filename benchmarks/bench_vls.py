@@ -1,0 +1,114 @@
+"""F7–F8 — tuple × attribute lifespan interaction (``vls = X ∩ Y``).
+
+Figure 7's matrix: the value of attribute ``An`` for ``tuple_m`` is
+defined exactly on the intersection of the tuple lifespan ``Y`` and
+attribute lifespan ``X``. The report rebuilds the Figure 8 scenario
+(heterogeneous tuples under per-attribute lifespans) and verifies the
+definedness law cell by cell; benchmarks measure vls computation and
+enforcement cost.
+"""
+
+import pytest
+
+from benchmarks._report import report
+from repro.core import domains
+from repro.core.lifespan import Lifespan
+from repro.core.relation import HistoricalRelation
+from repro.core.scheme import RelationScheme
+from repro.core.tfunc import TemporalFunction
+from repro.core.tuples import HistoricalTuple
+from repro.workloads import StockConfig, generate_stocks
+
+
+def figure8_relation():
+    """Tuples heterogeneous in time, attributes with their own lifespans."""
+    scheme = RelationScheme(
+        "R",
+        {"K": domains.cd(domains.STRING),
+         "A1": domains.td(domains.INTEGER),
+         "A2": domains.td(domains.INTEGER),
+         "A3": domains.td(domains.INTEGER)},
+        key=["K"],
+        lifespans={
+            "K": Lifespan.interval(0, 100),
+            "A1": Lifespan.interval(0, 100),
+            "A2": Lifespan.interval(20, 80),
+            "A3": Lifespan((0, 30), (60, 100)),
+        },
+    )
+    rows = []
+    for key, spans in [("t", [(0, 50)]), ("t2", [(10, 90)]), ("t3", [(0, 25), (70, 100)])]:
+        ls = Lifespan(*spans)
+        values = {"K": key}
+        for attr in ("A1", "A2", "A3"):
+            window = ls & scheme.als(attr)
+            if window:
+                values[attr] = TemporalFunction.constant(1, window)
+        rows.append((ls, values))
+    return HistoricalRelation.from_rows(scheme, rows)
+
+
+def test_figure7_vls_report(benchmark):
+    """Regenerate the Figure 7/8 matrix: vls per (tuple, attribute)."""
+    r = figure8_relation()
+
+    def all_vls():
+        return [
+            (t.key_value()[0], attr, t.lifespan, t.scheme.als(attr), t.vls(attr))
+            for t in r for attr in ("A1", "A2", "A3")
+        ]
+
+    rows = benchmark(all_vls)
+    report(
+        "F7-F8_vls",
+        "Figures 7-8: vls(t, A) = tuple lifespan ∩ attribute lifespan",
+        ["tuple", "attr", "tuple lifespan (Y)", "ALS (X)", "vls = X ∩ Y"],
+        rows,
+    )
+    for _, attr, tuple_ls, als, vls in rows:
+        assert vls == (tuple_ls & als)
+    # And definedness follows vls exactly:
+    for t in r:
+        for attr in ("A1", "A2", "A3"):
+            assert t.value(attr).domain == t.vls(attr)
+
+
+def test_vls_enforcement_rejects_violations(benchmark):
+    """Values outside X ∩ Y cannot even be constructed."""
+    r = figure8_relation()
+    scheme = r.scheme
+
+    def attempt():
+        from repro.core.errors import TupleError
+
+        rejected = 0
+        # value outside the tuple lifespan
+        try:
+            HistoricalTuple.build(scheme, Lifespan.interval(0, 10),
+                                  {"K": "x", "A1": TemporalFunction([((5, 20), 1)])})
+        except TupleError:
+            rejected += 1
+        # value outside the attribute lifespan (A2 starts at 20)
+        try:
+            HistoricalTuple.build(scheme, Lifespan.interval(0, 50),
+                                  {"K": "y", "A2": TemporalFunction([((5, 30), 1)])})
+        except TupleError:
+            rejected += 1
+        return rejected
+
+    assert benchmark(attempt) == 2
+
+
+@pytest.mark.parametrize("n_stocks", [10, 40])
+def test_bench_vls_over_workload(benchmark, n_stocks):
+    """vls computation cost over the stock workload (real ALS gaps)."""
+    stocks = generate_stocks(StockConfig(n_stocks=n_stocks, seed=11))
+
+    def compute():
+        total = 0
+        for t in stocks:
+            for attr in t.scheme.attributes:
+                total += len(t.vls(attr))
+        return total
+
+    assert benchmark(compute) > 0

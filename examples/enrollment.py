@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Enrollment: relationships over time and referential integrity.
+
+Section 1: historical databases must model *relationships* (not just
+individuals) over time, allow re-incarnated relationships, and "enforce
+referential integrity constraints with respect to the temporal
+dimension. For example, a student can only take a course at time t if
+both the student and the course exist in the database at time t."
+
+Run:  python examples/enrollment.py
+"""
+
+from repro.core import HRDMError, Lifespan, TimeDomain
+from repro.database import HistoricalDatabase, TemporalForeignKey
+from repro.algebra import AttrOp, natural_join, project, select_when, when
+from repro.workloads import EnrollmentConfig, generate_enrollment_db
+
+
+def main() -> None:
+    students, courses, enrollments = generate_enrollment_db(
+        EnrollmentConfig(n_students=25, n_courses=8, n_enrollments=50, seed=23)
+    )
+    db = HistoricalDatabase("school", TimeDomain(0, 48, granularity="month"))
+    db.create_relation(students.scheme, students.tuples)
+    db.create_relation(courses.scheme, courses.tuples)
+    db.create_relation(enrollments.scheme, enrollments.tuples)
+
+    print(f"{len(students)} students, {len(courses)} courses, "
+          f"{len(enrollments)} enrollments")
+
+    # -- temporal referential integrity -------------------------------------
+    print("\n== register temporal foreign keys ==")
+    db.add_constraint(TemporalForeignKey("ENROLLMENT", ["SID"], "STUDENT"))
+    db.add_constraint(TemporalForeignKey("ENROLLMENT", ["CID"], "COURSE"))
+    print("   all existing enrollments verify: every (student, course) pair")
+    print("   exists at every chronon of the enrollment's lifespan")
+
+    print("\n== an enrollment outside the student's lifespan is rejected ==")
+    a_student = students.tuples[0]
+    a_course = courses.tuples[0]
+    sid = a_student.key_value()[0]
+    cid = a_course.key_value()[0]
+    outside = a_student.lifespan.complement() & a_course.lifespan
+    try:
+        db.insert("ENROLLMENT", outside.first_n(3),
+                  {"SID": sid, "CID": cid, "GRADE": "A"})
+    except HRDMError as exc:
+        print(f"   rejected: {type(exc).__name__}: {exc}")
+
+    # -- dropped out and came back: re-incarnated relationships ------------------
+    interrupted = [t for t in students if t.lifespan.n_intervals > 1]
+    print(f"\n{len(interrupted)} students dropped out and re-enrolled; e.g.:")
+    for t in interrupted[:3]:
+        print(f"   {t.key_value()[0]}: {t.lifespan}")
+
+    # -- temporal joins over the relationship ------------------------------------
+    print("\n== natural join: enrollments with student majors, over time ==")
+    enriched = natural_join(db["ENROLLMENT"], db["STUDENT"])
+    sample = enriched.tuples[:3]
+    for t in sample:
+        print(f"   {t.key_value()}: {t.lifespan}")
+
+    print("\n== when was anyone earning an 'A' in any course? ==")
+    a_times = when(select_when(db["ENROLLMENT"], AttrOp("GRADE", "=", "A")))
+    print(f"   {a_times}")
+
+    print("\n== which (student, course) pairs overlap course c00? ==")
+    joined = natural_join(
+        project(db["ENROLLMENT"], ["SID", "CID"]),
+        project(db["COURSE"], ["CID", "TITLE"]),
+    )
+    c00 = [t for t in joined if t.key_value()[1] == "c00"]
+    print(f"   {len(c00)} enrollments join course c00 over their common lifespans")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,131 @@
+#!/usr/bin/env python
+"""Quickstart: the HRDM model and algebra in five minutes.
+
+Builds the paper's running example — an employee relation whose
+attribute values are *functions of time* and whose tuples carry
+*lifespans* — then walks through every operator family of Section 4.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import HistoricalRelation, Lifespan, RelationScheme, TemporalFunction, domains
+from repro.algebra import (
+    AttrOp,
+    FORALL,
+    dynamic_timeslice,
+    natural_join,
+    project,
+    select_if,
+    select_when,
+    time_join,
+    timeslice,
+    union_merge,
+    when,
+)
+
+
+def build_emp() -> HistoricalRelation:
+    """EMP(NAME*, SALARY, DEPT) over months 0..11.
+
+    John works all year with a raise in June; Mary is hired in March,
+    leaves in July, and is re-hired in October ("reincarnation").
+    """
+    scheme = RelationScheme(
+        "EMP",
+        {
+            "NAME": domains.cd(domains.STRING),
+            "SALARY": domains.td(domains.INTEGER),
+            "DEPT": domains.td(domains.STRING),
+        },
+        key=["NAME"],
+    )
+    john_ls = Lifespan.interval(0, 11)
+    mary_ls = Lifespan((2, 6), (9, 11))
+    return HistoricalRelation.from_rows(scheme, [
+        (john_ls, {
+            "NAME": "John",
+            "SALARY": TemporalFunction.step({0: 25_000, 5: 30_000}, end=11),
+            "DEPT": TemporalFunction.step({0: "Toys", 8: "Shoes"}, end=11),
+        }),
+        (mary_ls, {
+            "NAME": "Mary",
+            "SALARY": TemporalFunction([((2, 6), 40_000), ((9, 11), 45_000)]),
+            "DEPT": TemporalFunction([((2, 6), "Books"), ((9, 11), "Toys")]),
+        }),
+    ])
+
+
+def main() -> None:
+    emp = build_emp()
+    print("== the relation ==")
+    for t in emp:
+        print(f"  {t.key_value()[0]:>5}: lifespan {t.lifespan}")
+        for attr in ("SALARY", "DEPT"):
+            print(f"         {attr}: {t.value(attr)}")
+
+    print("\n== SELECT-IF: who *ever* earned at least 30K? (∃) ==")
+    rich = select_if(emp, AttrOp("SALARY", ">=", 30_000))
+    print("  ", [t.key_value()[0] for t in rich])
+
+    print("== SELECT-IF: who *always* earned at least 30K? (∀) ==")
+    always_rich = select_if(emp, AttrOp("SALARY", ">=", 30_000), quantifier=FORALL)
+    print("  ", [t.key_value()[0] for t in always_rich])
+
+    print("\n== SELECT-WHEN: restrict John to the times he earned 30K ==")
+    when_30k = select_when(emp, AttrOp("SALARY", "=", 30_000))
+    for t in when_30k:
+        print(f"   {t.key_value()[0]}: {t.lifespan}")
+
+    print("\n== WHEN: at what times did anyone work in Toys? ==")
+    print("  ", when(select_when(emp, AttrOp("DEPT", "=", "Toys"))))
+
+    print("\n== TIME-SLICE: the database restricted to Q2 (months 3-5) ==")
+    q2 = timeslice(emp, Lifespan.interval(3, 5))
+    for t in q2:
+        print(f"   {t.key_value()[0]}: {t.lifespan}")
+
+    print("\n== PROJECT: drop the salary column ==")
+    print("  ", project(emp, ["NAME", "DEPT"]).scheme.attributes)
+
+    print("\n== object-based UNION (Figure 11): merging two halves of the year ==")
+    first_half = timeslice(emp, Lifespan.interval(0, 5))
+    second_half = timeslice(emp, Lifespan.interval(6, 11))
+    merged = union_merge(first_half, second_half)
+    for t in merged:
+        print(f"   {t.key_value()[0]}: {t.lifespan}")
+
+    print("\n== NATURAL-JOIN: departments with their managers over time ==")
+    dept_scheme = RelationScheme(
+        "DEPTS",
+        {"MGR": domains.cd(domains.STRING), "DEPT": domains.td(domains.STRING)},
+        key=["MGR"],
+    )
+    depts = HistoricalRelation.from_rows(dept_scheme, [
+        (Lifespan.interval(0, 11), {"MGR": "Ann", "DEPT": "Toys"}),
+        (Lifespan.interval(0, 11), {"MGR": "Bob", "DEPT": "Books"}),
+    ])
+    joined = natural_join(emp, depts)
+    for t in joined:
+        name, mgr = t.key_value()
+        print(f"   {name} managed by {mgr} during {t.lifespan}")
+
+    print("\n== dynamic TIME-SLICE / TIME-JOIN through a TT attribute ==")
+    review_scheme = RelationScheme(
+        "REVIEWS",
+        {"WHO": domains.cd(domains.STRING), "REVIEWED_AT": domains.tt()},
+        key=["WHO"],
+    )
+    reviews = HistoricalRelation.from_rows(review_scheme, [
+        # Each month maps to the time of the review that covers it.
+        (Lifespan.interval(0, 11),
+         {"WHO": "John", "REVIEWED_AT": TemporalFunction.step({0: 5, 6: 11}, end=11)}),
+    ])
+    sliced = dynamic_timeslice(reviews, "REVIEWED_AT")
+    print("   τ_@REVIEWED_AT(reviews):", [t.lifespan for t in sliced])
+    tj = time_join(reviews, emp, "REVIEWED_AT")
+    for t in tj:
+        print(f"   time-join: {t.key_value()} over {t.lifespan}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""repro — a reproduction of the Historical Relational Data Model (HRDM).
+
+Implements Clifford & Croker, "The Historical Relational Data Model
+(HRDM) and Algebra Based on Lifespans" (ICDE 1987): lifespans, temporal
+functions, historical relations, the full historical algebra, a
+database layer with evolving schemas and temporal integrity
+constraints, a storage substrate mirroring the paper's three-level
+architecture, a classical / tuple-timestamping baseline, and a small
+query language (HRQL).
+
+Quickstart
+----------
+>>> from repro import (Lifespan, RelationScheme, HistoricalRelation,
+...                    TemporalFunction, domains, algebra)
+>>> emp = RelationScheme(
+...     "EMP",
+...     {"NAME": domains.cd(domains.STRING),
+...      "SALARY": domains.td(domains.INTEGER)},
+...     key=["NAME"])
+>>> r = HistoricalRelation.from_rows(emp, [
+...     (Lifespan.interval(0, 9),
+...      {"NAME": "John",
+...       "SALARY": TemporalFunction.step({0: 25_000, 5: 30_000}, end=9)}),
+... ])
+>>> algebra.when(algebra.select_when(r, algebra.AttrOp("SALARY", "=", 30_000)))
+Lifespan([5, 9])
+"""
+
+from repro import algebra
+from repro.core import (
+    ALWAYS,
+    EMPTY_LIFESPAN,
+    Attribute,
+    HistoricalDomain,
+    HistoricalRelation,
+    HistoricalTuple,
+    HRDMError,
+    Lifespan,
+    RelationScheme,
+    TemporalFunction,
+    TimeDomain,
+    domains,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALWAYS",
+    "Attribute",
+    "EMPTY_LIFESPAN",
+    "HRDMError",
+    "HistoricalDomain",
+    "HistoricalRelation",
+    "HistoricalTuple",
+    "Lifespan",
+    "RelationScheme",
+    "TemporalFunction",
+    "TimeDomain",
+    "__version__",
+    "algebra",
+    "domains",
+]

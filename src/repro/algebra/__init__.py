@@ -1,0 +1,116 @@
+"""The historical relational algebra of HRDM (Section 4).
+
+One function per paper operator, a composable predicate language, and
+an expression tree with a rewrite engine exploiting the algebraic laws
+sketched in Section 5.
+"""
+
+from repro.algebra.join import (
+    equijoin,
+    join_scheme,
+    natural_join,
+    theta_join,
+    theta_join_union,
+    time_join,
+)
+from repro.algebra.merge import (
+    are_mergable,
+    check_merge_compatible,
+    difference_merge,
+    find_match,
+    intersection_merge,
+    is_matched,
+    merge_tuples,
+    union_merge,
+)
+from repro.algebra.predicates import (
+    ALWAYS_TRUE,
+    And,
+    AttrOp,
+    AttrRef,
+    Custom,
+    Not,
+    Or,
+    Predicate,
+    TruePredicate,
+    referenced_attributes,
+)
+from repro.algebra.aggregate import (
+    aggregate,
+    aggregate_when,
+    avg_over,
+    count_alive,
+    count_over,
+    group_aggregate,
+    max_over,
+    min_over,
+    sum_over,
+)
+from repro.algebra.project import project
+from repro.algebra.rename import rename
+from repro.algebra.select import EXISTS, FORALL, Quantifier, select_if, select_when
+from repro.algebra.setops import (
+    cartesian_product,
+    check_union_compatible,
+    concatenate,
+    difference,
+    intersection,
+    product_scheme,
+    union,
+)
+from repro.algebra.timeslice import dynamic_timeslice, timeslice, timeslice_at
+from repro.algebra.when import when
+
+__all__ = [
+    "ALWAYS_TRUE",
+    "And",
+    "AttrOp",
+    "AttrRef",
+    "Custom",
+    "EXISTS",
+    "FORALL",
+    "Not",
+    "Or",
+    "Predicate",
+    "Quantifier",
+    "TruePredicate",
+    "aggregate",
+    "aggregate_when",
+    "are_mergable",
+    "avg_over",
+    "count_alive",
+    "count_over",
+    "group_aggregate",
+    "max_over",
+    "min_over",
+    "rename",
+    "sum_over",
+    "cartesian_product",
+    "check_merge_compatible",
+    "check_union_compatible",
+    "concatenate",
+    "difference",
+    "difference_merge",
+    "dynamic_timeslice",
+    "equijoin",
+    "find_match",
+    "intersection",
+    "intersection_merge",
+    "is_matched",
+    "join_scheme",
+    "merge_tuples",
+    "natural_join",
+    "product_scheme",
+    "project",
+    "referenced_attributes",
+    "select_if",
+    "select_when",
+    "theta_join",
+    "theta_join_union",
+    "time_join",
+    "timeslice",
+    "timeslice_at",
+    "union",
+    "union_merge",
+    "when",
+]

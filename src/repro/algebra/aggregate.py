@@ -1,0 +1,187 @@
+"""Temporal aggregation — relation-to-function summaries.
+
+The paper's algebra maps relations to relations (and WHEN to
+lifespans). Follow-on temporal languages (TQuel, TSQL2 — both in this
+paper's lineage) add *temporal aggregates*: at every chronon, summarise
+the tuples alive there. In HRDM terms an aggregate is a map from a
+historical relation to a **temporal function**::
+
+    COUNT(r)       : T -> ℕ        how many objects exist at each time
+    SUM(r, A)      : T -> number   total of A over the objects alive
+    MIN/MAX/AVG(r, A)              likewise
+
+Evaluation is segment-wise, not chronon-wise: the answer can only
+change at a *boundary* — the start or end of some tuple's value
+segment or lifespan interval — so we decompose time into elementary
+intervals between consecutive boundaries, compute one aggregate value
+per elementary interval, and let :class:`TemporalFunction` coalesce
+equal neighbours. Cost is O(boundaries × tuples), independent of the
+chronon span.
+
+Aggregates are defined over the chronons where at least one
+contributing value exists; elsewhere the result function is undefined
+(no rows → no fact, the model's usual reading).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator, Optional, Sequence
+
+from repro.core.attribute import AttributeLike, attr_name
+from repro.core.errors import AlgebraError
+from repro.core.lifespan import Lifespan
+from repro.core.relation import HistoricalRelation
+from repro.core.tfunc import TemporalFunction
+
+
+def _boundaries_for_lifespans(relation: HistoricalRelation) -> list[int]:
+    cuts: set[int] = set()
+    for t in relation:
+        for lo, hi in t.lifespan.intervals:
+            cuts.add(lo)
+            cuts.add(hi + 1)
+    return sorted(cuts)
+
+
+def _boundaries_for_attribute(relation: HistoricalRelation,
+                              attribute: str) -> list[int]:
+    cuts: set[int] = set()
+    for t in relation:
+        for (lo, hi), _ in t.value(attribute).items():
+            cuts.add(lo)
+            cuts.add(hi + 1)
+    return sorted(cuts)
+
+
+def _elementary_intervals(cuts: Sequence[int]) -> Iterator[tuple[int, int]]:
+    for i in range(len(cuts) - 1):
+        yield cuts[i], cuts[i + 1] - 1
+
+
+def count_alive(relation: HistoricalRelation) -> TemporalFunction:
+    """``COUNT(r)`` — how many objects exist at each chronon.
+
+    >>> count_alive(emp)          # doctest: +SKIP
+    TemporalFunction([0, 4]→2, [5, 9]→3, ...)
+    """
+    cuts = _boundaries_for_lifespans(relation)
+    segments = []
+    for lo, hi in _elementary_intervals(cuts):
+        n = sum(1 for t in relation if lo in t.lifespan)
+        if n > 0:
+            segments.append(((lo, hi), n))
+    return TemporalFunction(segments)
+
+
+def aggregate(
+    relation: HistoricalRelation,
+    attribute: AttributeLike,
+    fn: Callable[[list[Any]], Any],
+    label: Optional[str] = None,
+) -> TemporalFunction:
+    """Apply *fn* to the bag of *attribute* values alive at each chronon.
+
+    *fn* receives a non-empty list of values; chronons where no tuple
+    carries a value are outside the result's domain.
+
+    >>> aggregate(emp, "SALARY", max)     # doctest: +SKIP
+    """
+    name = attr_name(attribute)
+    relation.scheme.check_attributes([name])
+    cuts = _boundaries_for_attribute(relation, name)
+    segments = []
+    for lo, hi in _elementary_intervals(cuts):
+        values = [
+            v for t in relation
+            if (v := t.value(name).get(lo, _MISSING)) is not _MISSING
+        ]
+        if values:
+            segments.append(((lo, hi), fn(values)))
+    del label
+    return TemporalFunction(segments)
+
+
+def sum_over(relation: HistoricalRelation,
+             attribute: AttributeLike) -> TemporalFunction:
+    """``SUM(r, A)`` at each chronon."""
+    return aggregate(relation, attribute, sum)
+
+
+def min_over(relation: HistoricalRelation,
+             attribute: AttributeLike) -> TemporalFunction:
+    """``MIN(r, A)`` at each chronon."""
+    return aggregate(relation, attribute, min)
+
+
+def max_over(relation: HistoricalRelation,
+             attribute: AttributeLike) -> TemporalFunction:
+    """``MAX(r, A)`` at each chronon."""
+    return aggregate(relation, attribute, max)
+
+
+def avg_over(relation: HistoricalRelation,
+             attribute: AttributeLike) -> TemporalFunction:
+    """``AVG(r, A)`` at each chronon (float result)."""
+    return aggregate(relation, attribute, lambda vs: sum(vs) / len(vs))
+
+
+def count_over(relation: HistoricalRelation,
+               attribute: AttributeLike) -> TemporalFunction:
+    """``COUNT(r, A)`` — tuples with a defined A at each chronon."""
+    return aggregate(relation, attribute, len)
+
+
+def group_aggregate(
+    relation: HistoricalRelation,
+    group_by: AttributeLike,
+    attribute: AttributeLike,
+    fn: Callable[[list[Any]], Any],
+) -> dict[Any, TemporalFunction]:
+    """Aggregate *attribute* per distinct value of *group_by*, over time.
+
+    The grouping attribute's value is read at each chronon, so objects
+    migrate between groups as the grouping value changes (e.g. salary
+    totals per department while employees transfer).
+
+    Returns a mapping ``group value -> temporal function``.
+    """
+    g = attr_name(group_by)
+    a = attr_name(attribute)
+    relation.scheme.check_attributes([g, a])
+    cuts = sorted(
+        set(_boundaries_for_attribute(relation, g))
+        | set(_boundaries_for_attribute(relation, a))
+    )
+    per_group: dict[Any, list] = {}
+    for lo, hi in _elementary_intervals(cuts):
+        buckets: dict[Any, list] = {}
+        for t in relation:
+            group = t.value(g).get(lo, _MISSING)
+            value = t.value(a).get(lo, _MISSING)
+            if group is _MISSING or value is _MISSING:
+                continue
+            buckets.setdefault(group, []).append(value)
+        for group, values in buckets.items():
+            per_group.setdefault(group, []).append(((lo, hi), fn(values)))
+    return {group: TemporalFunction(segments)
+            for group, segments in per_group.items()}
+
+
+def aggregate_when(fn_result: TemporalFunction, predicate: Callable[[Any], bool]) -> Lifespan:
+    """The chronons at which an aggregate satisfies *predicate*.
+
+    Composes with WHEN-style reasoning: e.g. "when did headcount exceed
+    50?" is ``aggregate_when(count_alive(r), lambda n: n > 50)``.
+    """
+    satisfied = [
+        interval for interval, value in fn_result.items() if predicate(value)
+    ]
+    return Lifespan(*satisfied)
+
+
+_MISSING = object()
+
+
+def _check_nonempty_callable(fn) -> None:  # pragma: no cover - defensive
+    if not callable(fn):
+        raise AlgebraError("aggregate function must be callable")

@@ -1,0 +1,379 @@
+"""An expression tree over the historical algebra.
+
+The operator functions in this package evaluate eagerly. For query
+optimisation — and to state the algebraic laws of Section 5 as testable
+program transformations — we also provide a small expression language:
+each node is an immutable description of one algebra operator, and
+:func:`evaluate` interprets a tree against an environment of named
+relations.
+
+Section 5 sketches the laws the rewriter exploits: "the commutativity
+of select, the distribution of select over the binary set-theoretic
+operators, and the commutativity of the natural join ... the
+distribution of TIMESLICE over the binary set-theoretic operators,
+commutativity of TIMESLICE with both flavors of SELECT".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Union
+
+from repro.algebra import join as join_ops
+from repro.algebra import merge as merge_ops
+from repro.algebra import select as select_ops
+from repro.algebra import setops
+from repro.algebra.timeslice import dynamic_timeslice as dynamic_timeslice_op
+from repro.algebra.timeslice import timeslice as timeslice_op
+from repro.algebra.predicates import Predicate
+from repro.algebra.project import project as project_op
+from repro.algebra.rename import rename as rename_op
+from repro.core.errors import AlgebraError
+from repro.core.lifespan import Lifespan
+from repro.core.relation import HistoricalRelation
+
+
+class Expr:
+    """Base class of algebra expression nodes (immutable)."""
+
+    def evaluate(self, env: Mapping[str, HistoricalRelation]) -> HistoricalRelation:
+        """Interpret this expression against named base relations."""
+        raise NotImplementedError
+
+    def children(self) -> tuple["Expr", ...]:
+        """The sub-expressions, for generic tree traversal."""
+        return ()
+
+    # -- fluent construction helpers -------------------------------------
+
+    def select_if(self, predicate: Predicate,
+                  quantifier=select_ops.EXISTS,
+                  lifespan: Optional[Lifespan] = None) -> "SelectIf":
+        return SelectIf(self, predicate, quantifier, lifespan)
+
+    def select_when(self, predicate: Predicate,
+                    lifespan: Optional[Lifespan] = None) -> "SelectWhen":
+        return SelectWhen(self, predicate, lifespan)
+
+    def project(self, attributes: tuple[str, ...]) -> "Project":
+        return Project(self, tuple(attributes))
+
+    def timeslice(self, lifespan: Lifespan) -> "TimeSlice":
+        return TimeSlice(self, lifespan)
+
+    def dynamic_timeslice(self, attribute: str) -> "DynamicTimeSlice":
+        return DynamicTimeSlice(self, attribute)
+
+    def union(self, other: "Expr") -> "Union_":
+        return Union_(self, other)
+
+    def intersect(self, other: "Expr") -> "Intersection":
+        return Intersection(self, other)
+
+    def minus(self, other: "Expr") -> "Difference":
+        return Difference(self, other)
+
+    def natural_join(self, other: "Expr") -> "NaturalJoin":
+        return NaturalJoin(self, other)
+
+
+@dataclass(frozen=True)
+class Rel(Expr):
+    """A named base relation, resolved from the environment."""
+
+    name: str
+
+    def evaluate(self, env):
+        try:
+            return env[self.name]
+        except KeyError:
+            raise AlgebraError(f"no relation named {self.name!r} in environment") from None
+
+    def __repr__(self) -> str:
+        return f"Rel({self.name!r})"
+
+
+@dataclass(frozen=True)
+class Literal(Expr):
+    """An inline relation value (useful in tests and rewrites)."""
+
+    relation: HistoricalRelation
+
+    def evaluate(self, env):
+        return self.relation
+
+    def __repr__(self) -> str:
+        return f"Literal({self.relation!r})"
+
+
+@dataclass(frozen=True)
+class SelectIf(Expr):
+    """``σ-IF(pred, Q, L)(child)``."""
+
+    child: Expr
+    predicate: Predicate
+    quantifier: select_ops.Quantifier = select_ops.EXISTS
+    lifespan: Optional[Lifespan] = None
+
+    def evaluate(self, env):
+        return select_ops.select_if(
+            self.child.evaluate(env), self.predicate, self.quantifier, self.lifespan
+        )
+
+    def children(self):
+        return (self.child,)
+
+    def __repr__(self) -> str:
+        return f"SelectIf({self.child!r}, {self.predicate!r}, {self.quantifier.value})"
+
+
+@dataclass(frozen=True)
+class SelectWhen(Expr):
+    """``σ-WHEN(pred, L)(child)``."""
+
+    child: Expr
+    predicate: Predicate
+    lifespan: Optional[Lifespan] = None
+
+    def evaluate(self, env):
+        return select_ops.select_when(self.child.evaluate(env), self.predicate, self.lifespan)
+
+    def children(self):
+        return (self.child,)
+
+    def __repr__(self) -> str:
+        return f"SelectWhen({self.child!r}, {self.predicate!r})"
+
+
+@dataclass(frozen=True)
+class Project(Expr):
+    """``π_X(child)``."""
+
+    child: Expr
+    attributes: tuple[str, ...]
+
+    def evaluate(self, env):
+        return project_op(self.child.evaluate(env), self.attributes)
+
+    def children(self):
+        return (self.child,)
+
+    def __repr__(self) -> str:
+        return f"Project({self.child!r}, {list(self.attributes)})"
+
+
+@dataclass(frozen=True)
+class Rename(Expr):
+    """``ρ_{old→new}(child)``."""
+
+    child: Expr
+    mapping: tuple[tuple[str, str], ...]
+
+    def evaluate(self, env):
+        return rename_op(self.child.evaluate(env), dict(self.mapping))
+
+    def children(self):
+        return (self.child,)
+
+    def __repr__(self) -> str:
+        pairs = ", ".join(f"{a}→{b}" for a, b in self.mapping)
+        return f"Rename({self.child!r}, {pairs})"
+
+
+@dataclass(frozen=True)
+class TimeSlice(Expr):
+    """Static ``τ_L(child)``."""
+
+    child: Expr
+    lifespan: Lifespan
+
+    def evaluate(self, env):
+        return timeslice_op(self.child.evaluate(env), self.lifespan)
+
+    def children(self):
+        return (self.child,)
+
+    def __repr__(self) -> str:
+        return f"TimeSlice({self.child!r}, {self.lifespan!r})"
+
+
+@dataclass(frozen=True)
+class DynamicTimeSlice(Expr):
+    """Dynamic ``τ_@A(child)``."""
+
+    child: Expr
+    attribute: str
+
+    def evaluate(self, env):
+        return dynamic_timeslice_op(self.child.evaluate(env), self.attribute)
+
+    def children(self):
+        return (self.child,)
+
+
+@dataclass(frozen=True)
+class Union_(Expr):
+    """Standard ``left ∪ right``."""
+
+    left: Expr
+    right: Expr
+
+    def evaluate(self, env):
+        return setops.union(self.left.evaluate(env), self.right.evaluate(env))
+
+    def children(self):
+        return (self.left, self.right)
+
+
+@dataclass(frozen=True)
+class Intersection(Expr):
+    """Standard ``left ∩ right``."""
+
+    left: Expr
+    right: Expr
+
+    def evaluate(self, env):
+        return setops.intersection(self.left.evaluate(env), self.right.evaluate(env))
+
+    def children(self):
+        return (self.left, self.right)
+
+
+@dataclass(frozen=True)
+class Difference(Expr):
+    """Standard ``left − right``."""
+
+    left: Expr
+    right: Expr
+
+    def evaluate(self, env):
+        return setops.difference(self.left.evaluate(env), self.right.evaluate(env))
+
+    def children(self):
+        return (self.left, self.right)
+
+
+@dataclass(frozen=True)
+class UnionMerge(Expr):
+    """Object-based ``left ∪ₒ right``."""
+
+    left: Expr
+    right: Expr
+
+    def evaluate(self, env):
+        return merge_ops.union_merge(self.left.evaluate(env), self.right.evaluate(env))
+
+    def children(self):
+        return (self.left, self.right)
+
+
+@dataclass(frozen=True)
+class IntersectionMerge(Expr):
+    """Object-based ``left ∩ₒ right``."""
+
+    left: Expr
+    right: Expr
+
+    def evaluate(self, env):
+        return merge_ops.intersection_merge(self.left.evaluate(env), self.right.evaluate(env))
+
+    def children(self):
+        return (self.left, self.right)
+
+
+@dataclass(frozen=True)
+class DifferenceMerge(Expr):
+    """Object-based ``left −ₒ right``."""
+
+    left: Expr
+    right: Expr
+
+    def evaluate(self, env):
+        return merge_ops.difference_merge(self.left.evaluate(env), self.right.evaluate(env))
+
+    def children(self):
+        return (self.left, self.right)
+
+
+@dataclass(frozen=True)
+class Product(Expr):
+    """Cartesian product ``left × right``."""
+
+    left: Expr
+    right: Expr
+
+    def evaluate(self, env):
+        return setops.cartesian_product(self.left.evaluate(env), self.right.evaluate(env))
+
+    def children(self):
+        return (self.left, self.right)
+
+
+@dataclass(frozen=True)
+class ThetaJoin(Expr):
+    """``left ⋈[A θ B] right``."""
+
+    left: Expr
+    right: Expr
+    left_attr: str
+    theta: str
+    right_attr: str
+
+    def evaluate(self, env):
+        return join_ops.theta_join(
+            self.left.evaluate(env), self.right.evaluate(env),
+            self.left_attr, self.theta, self.right_attr,
+        )
+
+    def children(self):
+        return (self.left, self.right)
+
+
+@dataclass(frozen=True)
+class NaturalJoin(Expr):
+    """``left NATURAL-JOIN right``."""
+
+    left: Expr
+    right: Expr
+
+    def evaluate(self, env):
+        return join_ops.natural_join(self.left.evaluate(env), self.right.evaluate(env))
+
+    def children(self):
+        return (self.left, self.right)
+
+
+@dataclass(frozen=True)
+class TimeJoin(Expr):
+    """``left [@A] right``."""
+
+    left: Expr
+    right: Expr
+    attribute: str
+
+    def evaluate(self, env):
+        return join_ops.time_join(
+            self.left.evaluate(env), self.right.evaluate(env), self.attribute
+        )
+
+    def children(self):
+        return (self.left, self.right)
+
+
+#: Expression evaluation entry point.
+def evaluate(expr: Expr, env: Mapping[str, HistoricalRelation]) -> HistoricalRelation:
+    """Evaluate *expr* against the environment of base relations."""
+    return expr.evaluate(env)
+
+
+def size(expr: Expr) -> int:
+    """Number of nodes in the expression tree."""
+    return 1 + sum(size(c) for c in expr.children())
+
+
+def depth(expr: Expr) -> int:
+    """Height of the expression tree."""
+    kids = expr.children()
+    if not kids:
+        return 1
+    return 1 + max(depth(c) for c in kids)

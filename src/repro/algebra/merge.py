@@ -1,0 +1,171 @@
+"""Object-based set operations: merge, ``∪ₒ``, ``∩ₒ``, ``−ₒ`` (Section 4.1).
+
+Figure 11 of the paper shows that the plain union of two historical
+relations can return *two* tuples for one object. The cure is a family
+of object-based operators built on *mergable tuples*:
+
+Two schemes are **merge-compatible** iff they are union-compatible and
+share the same key. Two tuples are **mergable** iff their schemes are
+merge-compatible, they carry the same key value (condition 2), and they
+"do not contradict one another at any point in time" (condition 3 —
+equal values on the lifespan overlap).
+
+The merge ``t1 + t2`` unions both the lifespans and the value
+functions. A tuple ``t`` is **matched** in a set ``S`` if some tuple of
+``S`` is mergable with it. Then:
+
+* ``r1 ∪ₒ r2`` — unmatched tuples pass through; matched pairs merge;
+* ``r1 ∩ₒ r2`` — mergable pairs restricted to their lifespan overlap;
+* ``r1 −ₒ r2`` — unmatched tuples pass through; matched tuples keep
+  only the lifespan ``t1.l − t2.l``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.errors import MergeCompatibilityError
+from repro.core.lifespan import Lifespan
+from repro.core.relation import HistoricalRelation
+from repro.core.scheme import RelationScheme
+from repro.core.tuples import HistoricalTuple
+
+
+def check_merge_compatible(r1: HistoricalRelation, r2: HistoricalRelation) -> None:
+    """Raise unless the operands are merge-compatible (same A, K, DOM)."""
+    if not r1.scheme.is_merge_compatible(r2.scheme):
+        raise MergeCompatibilityError(
+            f"relations on {r1.scheme.name!r} and {r2.scheme.name!r} are not "
+            "merge-compatible (attributes, domains, or keys differ)"
+        )
+
+
+def are_mergable(t1: HistoricalTuple, t2: HistoricalTuple) -> bool:
+    """The paper's three-condition *mergable* test.
+
+    1. merge-compatible schemes;
+    2. the same key value;
+    3. equal values at every chronon both tuples cover.
+    """
+    if not t1.scheme.is_merge_compatible(t2.scheme):
+        return False
+    if t1.key_value() != t2.key_value():
+        return False
+    overlap = t1.lifespan & t2.lifespan
+    if overlap.is_empty:
+        return True
+    return all(
+        t1.value(a).restrict(overlap & t1.scheme.als(a) & t2.scheme.als(a))
+        == t2.value(a).restrict(overlap & t1.scheme.als(a) & t2.scheme.als(a))
+        for a in t1.scheme.attributes
+    )
+
+
+def merge_tuples(t1: HistoricalTuple, t2: HistoricalTuple,
+                 scheme: Optional[RelationScheme] = None) -> HistoricalTuple:
+    """``t1 + t2`` — lifespan union and attribute-wise function union.
+
+    Raises
+    ------
+    MergeCompatibilityError
+        If the tuples are not mergable.
+    """
+    if not are_mergable(t1, t2):
+        raise MergeCompatibilityError("tuples are not mergable")
+    target = scheme or t1.scheme
+    lifespan = t1.lifespan | t2.lifespan
+    values = {
+        a: t1.value(a).merge(t2.value(a)).restrict(lifespan & target.als(a))
+        for a in t1.scheme.attributes
+    }
+    return HistoricalTuple(target, lifespan, values)
+
+
+def is_matched(t: HistoricalTuple, relation: HistoricalRelation) -> bool:
+    """True if some tuple of *relation* is mergable with *t*."""
+    return find_match(t, relation) is not None
+
+
+def find_match(t: HistoricalTuple,
+               relation: HistoricalRelation) -> Optional[HistoricalTuple]:
+    """The tuple of *relation* mergable with *t*, if any.
+
+    Uses the key index: only same-key tuples can merge.
+    """
+    for candidate in relation.tuples_with_key(*t.key_value()):
+        if are_mergable(t, candidate):
+            return candidate
+    return None
+
+
+def union_merge(r1: HistoricalRelation, r2: HistoricalRelation) -> HistoricalRelation:
+    """``r1 ∪ₒ r2`` — the object-based union (Figure 11's ``r1 + r2``).
+
+    Unmatched tuples of either side pass through unchanged; matched
+    pairs are merged into a single tuple per object.
+    """
+    check_merge_compatible(r1, r2)
+    scheme = r1.scheme.with_lifespans(
+        r1.scheme.merge_lifespans(r2.scheme, Lifespan.union),
+        name=f"{r1.scheme.name}_umerge",
+    )
+    out: list[HistoricalTuple] = []
+    merged_from_r2: set[HistoricalTuple] = set()
+    for t1 in r1:
+        t2 = find_match(t1, r2)
+        if t2 is None:
+            out.append(t1.with_scheme(scheme))
+        else:
+            out.append(merge_tuples(t1, t2, scheme))
+            merged_from_r2.add(t2)
+    for t2 in r2:
+        if t2 not in merged_from_r2 and not is_matched(t2, r1):
+            out.append(t2.with_scheme(scheme))
+    return HistoricalRelation(scheme, out, enforce_key=False)
+
+
+def intersection_merge(r1: HistoricalRelation,
+                       r2: HistoricalRelation) -> HistoricalRelation:
+    """``r1 ∩ₒ r2`` — mergable pairs restricted to the lifespan overlap.
+
+    Pairs whose lifespans do not overlap contribute nothing (the empty
+    lifespan cannot form a tuple).
+    """
+    check_merge_compatible(r1, r2)
+    scheme = r1.scheme.with_lifespans(
+        r1.scheme.merge_lifespans(r2.scheme, Lifespan.intersection),
+        name=f"{r1.scheme.name}_imerge",
+    )
+    out: list[HistoricalTuple] = []
+    for t1 in r1:
+        t2 = find_match(t1, r2)
+        if t2 is None:
+            continue
+        overlap = t1.lifespan & t2.lifespan
+        restricted = t1.restrict(overlap, scheme)
+        if restricted is not None:
+            out.append(restricted)
+    return HistoricalRelation(scheme, out, enforce_key=False)
+
+
+def difference_merge(r1: HistoricalRelation,
+                     r2: HistoricalRelation) -> HistoricalRelation:
+    """``r1 −ₒ r2`` — per-object lifespan subtraction.
+
+    Unmatched tuples of ``r1`` pass through; a matched tuple keeps only
+    ``t1.l − t2.l`` (vanishing entirely when that is empty).
+    """
+    check_merge_compatible(r1, r2)
+    out: list[HistoricalTuple] = []
+    for t1 in r1:
+        t2 = find_match(t1, r2)
+        if t2 is None:
+            out.append(t1)
+            continue
+        remaining = t1.lifespan - t2.lifespan
+        if remaining.is_empty:
+            continue
+        restricted = t1.restrict(remaining)
+        if restricted is not None:
+            out.append(restricted)
+    return HistoricalRelation(r1.scheme, out, enforce_key=False)

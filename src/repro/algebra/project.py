@@ -1,0 +1,39 @@
+"""PROJECT — reduction along the attribute dimension (Section 4.2).
+
+"The project operator π when applied to a relation r removes from r
+all but a specified set of attributes ... It does not change the values
+of any of the remaining attributes, or the combinations of attribute
+values in the tuples of the resulting relation."
+
+Historical projection keeps tuple lifespans intact. Unlike classical
+projection, dropping attributes can make two tuples *value*-equal while
+they remain distinct objects; the result therefore preserves one tuple
+per input tuple unless they are exactly equal (relations are sets).
+When the projection keeps the key, the result stays well keyed; when
+it drops (part of) the key, the retained attributes become the new key
+and duplicate-key results are permitted, mirroring the classical
+duplicate-elimination question in the temporal setting.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.attribute import AttributeLike
+from repro.core.relation import HistoricalRelation
+
+
+def project(relation: HistoricalRelation,
+            attributes: Iterable[AttributeLike]) -> HistoricalRelation:
+    """``π_X(r)`` — the projection of *relation* onto *attributes*.
+
+    >>> salaries = project(emp, ["NAME", "SALARY"])   # doctest: +SKIP
+    """
+    names = relation.scheme.check_attributes(attributes)
+    scheme = relation.scheme.project(names)
+    keeps_key = set(relation.scheme.key).issubset(names)
+    return relation.map_tuples(
+        lambda t: t.project(names, scheme),
+        scheme=scheme,
+        enforce_key=relation.enforce_key and keeps_key,
+    )

@@ -1,0 +1,28 @@
+"""RENAME — the attribute-renaming operator ``ρ``.
+
+Classical relational algebra needs ``ρ`` for self-joins and for
+aligning attribute names before union-compatible operations; the
+historical algebra inherits the need unchanged (our joins require
+disjoint attribute names). Renaming touches only the scheme — values,
+lifespans, and keys are untouched.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from repro.core.relation import HistoricalRelation
+
+
+def rename(relation: HistoricalRelation, mapping: Mapping[str, str],
+           name: Optional[str] = None) -> HistoricalRelation:
+    """``ρ_{old→new}(r)`` — rename attributes throughout a relation.
+
+    >>> managers = rename(emp, {"NAME": "MGR"})        # doctest: +SKIP
+    """
+    scheme = relation.scheme.rename(mapping, name=name)
+    return HistoricalRelation(
+        scheme,
+        (t.rename(dict(mapping), scheme) for t in relation),
+        enforce_key=relation.enforce_key,
+    )

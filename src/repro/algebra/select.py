@@ -1,0 +1,116 @@
+"""SELECT-IF and SELECT-WHEN (Section 4.3).
+
+Because tuples have lifespans, selection comes in two flavors:
+
+* **SELECT-IF** ``σ-IF(A θ a, Q, L)(r)`` — *whole-object* selection.
+  A tuple is kept (with its lifespan unchanged) iff the criterion
+  holds, quantified by ``Q ∈ {∃, ∀}`` over ``L ∩ t.l``. This is the
+  flavor closest to the classical select: "a complete object either is
+  or is not selected".
+
+* **SELECT-WHEN** — a *hybrid* reduction in both the value and the
+  temporal dimensions: a selected tuple's new lifespan is "exactly
+  those points in time WHEN the criterion is met", and its values are
+  restricted to those points. The paper's example:
+  ``σ-WHEN(NAME=John ∧ SAL=30K)(emp)`` yields John's tuple with
+  lifespan = the times John earned 30K.
+
+Quantifier subtlety, handled as in the paper's definition: with
+``Q = ∀`` the criterion must hold at *every* chronon of ``L ∩ t.l``;
+if that set is empty, the universal quantification is vacuously true —
+we follow the convention that a tuple with no relevant chronons is
+*not* selected (``∀`` over the empty set selects nothing meaningful),
+controlled by ``vacuous``.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Optional
+
+from repro.core.errors import AlgebraError
+from repro.core.lifespan import ALWAYS, Lifespan
+from repro.core.relation import HistoricalRelation
+from repro.algebra.predicates import Predicate
+
+
+class Quantifier(Enum):
+    """The bounded quantifiers of SELECT-IF: ``∃`` and ``∀``."""
+
+    EXISTS = "exists"
+    FORALL = "forall"
+
+
+EXISTS = Quantifier.EXISTS
+FORALL = Quantifier.FORALL
+
+
+def select_if(
+    relation: HistoricalRelation,
+    predicate: Predicate,
+    quantifier: Quantifier = EXISTS,
+    lifespan: Optional[Lifespan] = None,
+    vacuous: bool = False,
+) -> HistoricalRelation:
+    """``σ-IF(θ, Q, L)(r)`` — whole-tuple selection.
+
+    Parameters
+    ----------
+    relation:
+        The operand.
+    predicate:
+        The selection criterion ``A θ a`` (or any composite).
+    quantifier:
+        ``EXISTS`` (default) or ``FORALL`` over ``L ∩ t.l``.
+    lifespan:
+        The bounding lifespan ``L``; defaults to ``T`` (all times), in
+        which case ``s ∈ L ∩ t.l`` is just ``s ∈ t.l``.
+    vacuous:
+        Whether ``FORALL`` over an *empty* ``L ∩ t.l`` selects the
+        tuple (vacuous truth). Defaults to False: an object with no
+        relevant chronons is not selected.
+
+    Returns
+    -------
+    HistoricalRelation
+        The selected tuples, lifespans unchanged.
+    """
+    bound = ALWAYS if lifespan is None else lifespan
+
+    def keep(t) -> bool:
+        window = bound & t.lifespan
+        if window.is_empty:
+            return vacuous if quantifier is FORALL else False
+        satisfied = predicate.satisfying_lifespan(t, window)
+        if quantifier is EXISTS:
+            return not satisfied.is_empty
+        if quantifier is FORALL:
+            return satisfied == window
+        raise AlgebraError(f"unknown quantifier {quantifier!r}")
+
+    return relation.filter(keep)
+
+
+def select_when(
+    relation: HistoricalRelation,
+    predicate: Predicate,
+    lifespan: Optional[Lifespan] = None,
+) -> HistoricalRelation:
+    """``σ-WHEN(θ)(r)`` — restrict each tuple to when the criterion holds.
+
+    Each selected tuple ``t`` becomes ``t' = t|_{W}`` where ``W`` is the
+    set of chronons of ``(L ∩ t.l)`` at which the predicate is met;
+    tuples with empty ``W`` drop out entirely.
+    """
+    bound = ALWAYS if lifespan is None else lifespan
+
+    def shrink(t):
+        window = bound & t.lifespan
+        if window.is_empty:
+            return None
+        satisfied = predicate.satisfying_lifespan(t, window)
+        if satisfied.is_empty:
+            return None
+        return t.restrict(satisfied)
+
+    return relation.map_tuples(shrink)

@@ -1,0 +1,147 @@
+"""Standard set-theoretic operations (Section 4.1).
+
+"Historical relations, like regular relations, are sets of tuples;
+therefore the standard set-theoretic operations of union,
+intersection, set difference, and Cartesian product can be defined
+over them."
+
+Two relations are *union-compatible* when they have the same attributes
+with the same domains (``A1 = A2`` and ``DOM1 = DOM2``). The result
+schemes carry combined attribute lifespans:
+
+* ``r1 ∪ r2`` on ``<A1, K1, ALS1 ∪ ALS2, DOM1>``
+* ``r1 ∩ r2`` on ``<A1, K1, ALS1 ∩ ALS2, DOM1>``
+* ``r1 − r2`` on ``R1``
+
+The paper immediately notes that these "produce counter-intuitive
+results for historical relations" (Figure 11): a plain union may hold
+*two* tuples for the same object. Results are therefore returned with
+``enforce_key=False``; the object-based operators in
+:mod:`repro.algebra.merge` restore per-object semantics.
+
+The Cartesian product (attributes disjoint) gives each result tuple the
+*union* of the operand lifespans, so attributes can be undefined at
+some chronons of the result lifespan — the model's stand-in for the
+null values the paper discusses in Section 5.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import AlgebraError, UnionCompatibilityError
+from repro.core.lifespan import Lifespan
+from repro.core.relation import HistoricalRelation
+from repro.core.scheme import RelationScheme
+from repro.core.tfunc import TemporalFunction
+from repro.core.tuples import HistoricalTuple
+
+
+def check_union_compatible(r1: HistoricalRelation, r2: HistoricalRelation) -> None:
+    """Raise unless the operands are union-compatible (same A, same DOM)."""
+    if not r1.scheme.is_union_compatible(r2.scheme):
+        raise UnionCompatibilityError(
+            f"relations on {r1.scheme.name!r} and {r2.scheme.name!r} are not "
+            "union-compatible (attributes or domains differ)"
+        )
+
+
+def _combined_scheme(r1: HistoricalRelation, r2: HistoricalRelation,
+                     combine, suffix: str) -> RelationScheme:
+    """The result scheme with attribute lifespans combined by *combine*."""
+    merged = r1.scheme.merge_lifespans(r2.scheme, combine)
+    return r1.scheme.with_lifespans(merged, name=f"{r1.scheme.name}_{suffix}")
+
+
+def union(r1: HistoricalRelation, r2: HistoricalRelation) -> HistoricalRelation:
+    """``r1 ∪ r2`` — tuples of either operand, on ``ALS1 ∪ ALS2``.
+
+    The result may contain two tuples for one object (Figure 11's
+    counter-intuitive outcome); use
+    :func:`repro.algebra.merge.union_merge` for object-based union.
+    """
+    check_union_compatible(r1, r2)
+    scheme = _combined_scheme(r1, r2, Lifespan.union, "union")
+    rehomed = [t.with_scheme(scheme) for t in r1] + [t.with_scheme(scheme) for t in r2]
+    return HistoricalRelation(scheme, rehomed, enforce_key=False)
+
+
+def intersection(r1: HistoricalRelation, r2: HistoricalRelation) -> HistoricalRelation:
+    """``r1 ∩ r2`` — tuples present in both operands, on ``ALS1 ∩ ALS2``.
+
+    Tuple membership is exact equality of ``<v, l>`` pairs; tuples
+    whose values stray outside the narrowed attribute lifespans cannot
+    appear in the result (their values would violate the result
+    scheme), matching the paper's scheme choice.
+    """
+    check_union_compatible(r1, r2)
+    scheme = _combined_scheme(r1, r2, Lifespan.intersection, "isect")
+    in_both = set(r2.tuples)
+    out = []
+    for t in r1:
+        if t in in_both:
+            out.append(t.with_scheme(scheme))
+    return HistoricalRelation(scheme, out, enforce_key=False)
+
+
+def difference(r1: HistoricalRelation, r2: HistoricalRelation) -> HistoricalRelation:
+    """``r1 − r2`` — tuples of r1 not in r2, on the scheme of r1."""
+    check_union_compatible(r1, r2)
+    in_r2 = set(r2.tuples)
+    return HistoricalRelation(
+        r1.scheme, (t for t in r1 if t not in in_r2), enforce_key=False
+    )
+
+
+def cartesian_product(r1: HistoricalRelation, r2: HistoricalRelation,
+                      name: str | None = None) -> HistoricalRelation:
+    """``r1 × r2`` for disjoint attribute sets.
+
+    Per Section 5, "resulting tuples are defined over the union of the
+    lifespans of the participating tuples, and thus potentially contain
+    null values" — here represented as attribute values undefined at
+    chronons contributed only by the other operand.
+    """
+    s1, s2 = r1.scheme, r2.scheme
+    shared = set(s1.attributes) & set(s2.attributes)
+    if shared:
+        raise AlgebraError(
+            f"Cartesian product needs disjoint attributes; shared: {sorted(shared)}"
+        )
+    scheme = product_scheme(s1, s2, name)
+    out = []
+    for t1 in r1:
+        for t2 in r2:
+            out.append(concatenate(t1, t2, scheme))
+    return HistoricalRelation(scheme, out, enforce_key=False)
+
+
+def product_scheme(s1: RelationScheme, s2: RelationScheme,
+                   name: str | None = None) -> RelationScheme:
+    """The scheme ``<A1 ∪ A2, K1 ∪ K2, ALS1 ∪ ALS2, DOM1 ∪ DOM2>``."""
+    doms = {**s1.domains(), **s2.domains()}
+    lifespans = {**s1.attribute_lifespans(), **s2.attribute_lifespans()}
+    key = tuple(s1.key) + tuple(k for k in s2.key if k not in s1.key)
+    scheme_ls = Lifespan.union_all(lifespans.values())
+    for k in key:
+        lifespans[k] = scheme_ls
+    return RelationScheme(name or f"{s1.name}_x_{s2.name}", doms, key, lifespans)
+
+
+def concatenate(t1: HistoricalTuple, t2: HistoricalTuple,
+                scheme: RelationScheme) -> HistoricalTuple:
+    """Concatenate two tuples onto the product scheme.
+
+    The result lifespan is ``t1.l ∪ t2.l``; each value function keeps
+    its original domain, so it is simply undefined ("null") at chronons
+    contributed only by the other tuple.
+    """
+    lifespan = t1.lifespan | t2.lifespan
+    values = {a: t1.value(a) for a in t1.scheme.attributes}
+    values.update({a: t2.value(a) for a in t2.scheme.attributes})
+    # Key attributes must remain constant over the (possibly larger)
+    # result lifespan: extend each constant key function to cover it.
+    for k in scheme.key:
+        fn = values[k]
+        if fn.is_constant() and fn:
+            vls = lifespan & scheme.als(k)
+            values[k] = TemporalFunction.constant(fn.constant_value(), vls)
+    return HistoricalTuple(scheme, lifespan, values)

@@ -1,0 +1,65 @@
+"""TIME-SLICE — reduction along the temporal dimension (Section 4.4).
+
+The third unary operator, matching the third dimension of Figure 10:
+SELECT reduces along values, PROJECT along attributes, TIME-SLICE along
+time. Two application modes:
+
+* **static** ``τ_L(r)`` — the target lifespan ``L`` is a parameter:
+  every tuple is restricted to ``L ∩ t.l`` (dropping out when empty);
+
+* **dynamic** ``τ_@A(r)`` — for a *time-valued* attribute ``A``
+  (``DOM(A) ⊆ TT``): each tuple is restricted to the *image* of its own
+  ``t(A)``, so the selected window varies per tuple. "The result ...
+  is not defined over a fixed, pre-specified lifespan."
+"""
+
+from __future__ import annotations
+
+from repro.core.attribute import AttributeLike, attr_name
+from repro.core.errors import NotTimeValuedError
+from repro.core.lifespan import Lifespan
+from repro.core.relation import HistoricalRelation
+
+
+def timeslice(relation: HistoricalRelation, lifespan: Lifespan) -> HistoricalRelation:
+    """Static TIME-SLICE ``τ_L(r)``.
+
+    Each result tuple is ``t' = t|_{L ∩ t.l}``; tuples whose lifespan
+    misses ``L`` entirely are dropped.
+
+    >>> nineties = timeslice(emp, Lifespan.interval(1990, 1999))  # doctest: +SKIP
+    """
+    return relation.map_tuples(lambda t: t.restrict(lifespan))
+
+
+def timeslice_at(relation: HistoricalRelation, time: int) -> HistoricalRelation:
+    """Static TIME-SLICE at a single chronon: ``τ_{[t, t]}(r)``."""
+    return timeslice(relation, Lifespan.point(time))
+
+
+def dynamic_timeslice(relation: HistoricalRelation,
+                      attribute: AttributeLike) -> HistoricalRelation:
+    """Dynamic TIME-SLICE ``τ_@A(r)`` through time-valued attribute *A*.
+
+    For each tuple ``t``, the restriction window is the image of
+    ``t(A)`` — the set of times that ``t(A)`` maps to.
+
+    Raises
+    ------
+    NotTimeValuedError
+        If ``DOM(A)`` is not ``TT`` (time-valued).
+    """
+    name = attr_name(attribute)
+    dom = relation.scheme.dom(name)
+    if not dom.time_valued:
+        raise NotTimeValuedError(
+            f"dynamic TIME-SLICE needs a TT attribute; {name!r} has domain {dom.name}"
+        )
+
+    def shrink(t):
+        window = t.value(name).image_lifespan()
+        if window.is_empty:
+            return None
+        return t.restrict(window)
+
+    return relation.map_tuples(shrink)

@@ -1,0 +1,26 @@
+"""WHEN — the relation-to-lifespan operator ``Ω`` (Section 4.5).
+
+HRDM's algebra is multi-sorted: its universes are historical relations
+*and* lifespans. All other operators map relations to relations; WHEN
+"extracts purely temporal information"::
+
+    Ω(r) = LS(r)
+
+Used with SELECT it answers *when* a condition held, and because its
+result is a lifespan it can feed operators that take a lifespan
+parameter (static TIME-SLICE, the ``L`` bound of SELECT-IF) — the
+composition pattern the paper points out.
+
+>>> when(select_when(emp, AttrOp("SALARY", ">", 30_000)))   # doctest: +SKIP
+Lifespan(...)   # the times anyone earned over 30K
+"""
+
+from __future__ import annotations
+
+from repro.core.lifespan import Lifespan
+from repro.core.relation import HistoricalRelation
+
+
+def when(relation: HistoricalRelation) -> Lifespan:
+    """``Ω(r) = LS(r)`` — the set of times over which *r* is defined."""
+    return relation.lifespan()

@@ -1,0 +1,38 @@
+"""Classical baselines: snapshot relational model and tuple timestamping.
+
+Everything HRDM is compared against, built from scratch: the
+traditional relational model and algebra (for the Section 5
+consistent-extension claim) and the tuple-timestamped ``EXISTS?``-cube
+baseline the introduction argues against.
+"""
+
+from repro.classical import algebra as classical_algebra
+from repro.classical.relation import Relation, Row
+from repro.classical.snapshot import (
+    NOW,
+    collapse,
+    collapse_partial,
+    lift,
+    lifted_scheme,
+)
+from repro.classical.tuple_timestamp import (
+    TimestampedRelation,
+    Version,
+    from_historical,
+    to_historical,
+)
+
+__all__ = [
+    "NOW",
+    "Relation",
+    "Row",
+    "TimestampedRelation",
+    "Version",
+    "classical_algebra",
+    "collapse",
+    "collapse_partial",
+    "from_historical",
+    "lift",
+    "lifted_scheme",
+    "to_historical",
+]

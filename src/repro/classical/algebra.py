@@ -1,0 +1,126 @@
+"""Classical relational algebra over :class:`~repro.classical.relation.Relation`.
+
+The operators HRDM must collapse to under ``T = {now}`` (Section 5):
+select, project, union, intersection, difference, Cartesian product,
+θ-join, equijoin, and natural join — standard set-of-tuples semantics,
+implemented from scratch (no external dependency).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Optional
+
+from repro.algebra.predicates import THETA_OPS
+from repro.classical.relation import Relation, Row
+from repro.core.errors import AlgebraError, UnionCompatibilityError
+
+
+def select(relation: Relation, predicate: Callable[[Row], bool]) -> Relation:
+    """``σ_p(r)`` — rows satisfying *predicate*."""
+    return relation.filter(predicate)
+
+
+def select_theta(relation: Relation, attribute: str, theta: str, value: Any) -> Relation:
+    """``σ_{A θ a}(r)`` — the paper-style atomic selection."""
+    if theta not in THETA_OPS:
+        raise AlgebraError(f"unknown θ operator {theta!r}")
+    op = THETA_OPS[theta]
+
+    def pred(row: Row) -> bool:
+        try:
+            return bool(op(row[attribute], value))
+        except (KeyError, TypeError):
+            return False
+
+    return relation.filter(pred)
+
+
+def project(relation: Relation, attributes: Iterable[str]) -> Relation:
+    """``π_X(r)`` — with classical duplicate elimination."""
+    attrs = tuple(attributes)
+    unknown = set(attrs) - set(relation.attributes)
+    if unknown:
+        raise AlgebraError(f"unknown attribute(s) {sorted(unknown)}")
+    return Relation(attrs, (row.project(attrs) for row in relation))
+
+
+def _check_union_compatible(r1: Relation, r2: Relation) -> None:
+    if set(r1.attributes) != set(r2.attributes):
+        raise UnionCompatibilityError(
+            f"classical relations over {r1.attributes} and {r2.attributes} "
+            "are not union-compatible"
+        )
+
+
+def union(r1: Relation, r2: Relation) -> Relation:
+    """``r1 ∪ r2``."""
+    _check_union_compatible(r1, r2)
+    return Relation(r1.attributes, set(r1.rows) | set(r2.rows))
+
+
+def intersection(r1: Relation, r2: Relation) -> Relation:
+    """``r1 ∩ r2``."""
+    _check_union_compatible(r1, r2)
+    return Relation(r1.attributes, set(r1.rows) & set(r2.rows))
+
+
+def difference(r1: Relation, r2: Relation) -> Relation:
+    """``r1 − r2``."""
+    _check_union_compatible(r1, r2)
+    return Relation(r1.attributes, set(r1.rows) - set(r2.rows))
+
+
+def cartesian_product(r1: Relation, r2: Relation) -> Relation:
+    """``r1 × r2`` for disjoint attribute sets."""
+    shared = set(r1.attributes) & set(r2.attributes)
+    if shared:
+        raise AlgebraError(f"product needs disjoint attributes; shared {sorted(shared)}")
+    attrs = r1.attributes + r2.attributes
+    return Relation(
+        attrs, (row1.merge(row2) for row1 in r1 for row2 in r2)
+    )
+
+
+def theta_join(r1: Relation, r2: Relation, left: str, theta: str,
+               right: str) -> Relation:
+    """``r1 ⋈[A θ B] r2``."""
+    if theta not in THETA_OPS:
+        raise AlgebraError(f"unknown θ operator {theta!r}")
+    op = THETA_OPS[theta]
+    shared = set(r1.attributes) & set(r2.attributes)
+    if shared:
+        raise AlgebraError(f"θ-join needs disjoint attributes; shared {sorted(shared)}")
+    attrs = r1.attributes + r2.attributes
+    out = []
+    for row1 in r1:
+        for row2 in r2:
+            try:
+                ok = bool(op(row1[left], row2[right]))
+            except (KeyError, TypeError):
+                ok = False
+            if ok:
+                out.append(row1.merge(row2))
+    return Relation(attrs, out)
+
+
+def equijoin(r1: Relation, r2: Relation, left: str, right: str) -> Relation:
+    """``r1 [A = B] r2``."""
+    return theta_join(r1, r2, left, "=", right)
+
+
+def natural_join(r1: Relation, r2: Relation) -> Relation:
+    """``r1 ⋈ r2`` over the shared attributes."""
+    shared = tuple(a for a in r1.attributes if a in set(r2.attributes))
+    attrs = r1.attributes + tuple(a for a in r2.attributes if a not in set(shared))
+    out = []
+    for row1 in r1:
+        for row2 in r2:
+            if all(row1[x] == row2[x] for x in shared):
+                out.append(row1.merge(row2))
+    return Relation(attrs, out)
+
+
+def rename(relation: Relation, mapping: dict[str, str]) -> Relation:
+    """``ρ`` — attribute renaming."""
+    attrs = tuple(mapping.get(a, a) for a in relation.attributes)
+    return Relation(attrs, (row.rename(mapping) for row in relation))

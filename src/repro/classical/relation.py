@@ -1,0 +1,157 @@
+"""A from-scratch classical (snapshot) relational model.
+
+The paper claims HRDM is a *consistent extension* of the traditional
+relational model (Section 5): every historical construct collapses to
+its classical counterpart when ``T = {now}``. To make that claim
+checkable we need the classical model itself — this module provides
+immutable :class:`Row` and :class:`Relation` types with the usual
+set-of-tuples semantics, used both by the consistent-extension tests
+and as the substrate of the tuple-timestamping baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator, Mapping, Optional
+
+from repro.core.errors import AlgebraError, RelationError
+
+
+class Row:
+    """An immutable classical tuple: a frozen attribute → value mapping."""
+
+    __slots__ = ("_items", "_hash")
+
+    def __init__(self, values: Mapping[str, Any]):
+        self._items = tuple(sorted(values.items()))
+        self._hash: int | None = None
+
+    @classmethod
+    def of(cls, **values: Any) -> "Row":
+        """Keyword-style constructor: ``Row.of(NAME="Tom", SALARY=20)``."""
+        return cls(values)
+
+    def __getitem__(self, attribute: str) -> Any:
+        for a, v in self._items:
+            if a == attribute:
+                return v
+        raise KeyError(attribute)
+
+    def get(self, attribute: str, default: Any = None) -> Any:
+        for a, v in self._items:
+            if a == attribute:
+                return v
+        return default
+
+    def __contains__(self, attribute: object) -> bool:
+        return any(a == attribute for a, _ in self._items)
+
+    def attributes(self) -> tuple[str, ...]:
+        return tuple(a for a, _ in self._items)
+
+    def items(self) -> tuple[tuple[str, Any], ...]:
+        return self._items
+
+    def as_dict(self) -> dict[str, Any]:
+        return dict(self._items)
+
+    def project(self, attributes: Iterable[str]) -> "Row":
+        wanted = set(attributes)
+        missing = wanted - {a for a, _ in self._items}
+        if missing:
+            raise AlgebraError(f"row lacks attribute(s) {sorted(missing)}")
+        return Row({a: v for a, v in self._items if a in wanted})
+
+    def merge(self, other: "Row") -> "Row":
+        """Concatenate two rows; shared attributes must agree."""
+        mine = self.as_dict()
+        for a, v in other.items():
+            if a in mine and mine[a] != v:
+                raise AlgebraError(f"rows disagree on shared attribute {a!r}")
+            mine[a] = v
+        return Row(mine)
+
+    def rename(self, mapping: Mapping[str, str]) -> "Row":
+        return Row({mapping.get(a, a): v for a, v in self._items})
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Row):
+            return NotImplemented
+        return self._items == other._items
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash(self._items)
+        return self._hash
+
+    def __repr__(self) -> str:
+        body = ", ".join(f"{a}={v!r}" for a, v in self._items)
+        return f"Row({body})"
+
+
+class Relation:
+    """An immutable classical relation: a set of rows over fixed attributes."""
+
+    __slots__ = ("attributes", "_rows", "_hash")
+
+    def __init__(self, attributes: Iterable[str], rows: Iterable[Row] = ()):
+        attrs = tuple(attributes)
+        if len(set(attrs)) != len(attrs):
+            raise RelationError(f"duplicate attributes: {attrs}")
+        if not attrs:
+            raise RelationError("classical relation needs at least one attribute")
+        row_set = set()
+        for row in rows:
+            if set(row.attributes()) != set(attrs):
+                raise RelationError(
+                    f"row attributes {row.attributes()} do not match relation "
+                    f"attributes {attrs}"
+                )
+            row_set.add(row)
+        self.attributes = attrs
+        self._rows = frozenset(row_set)
+        self._hash: int | None = None
+
+    @classmethod
+    def from_dicts(cls, attributes: Iterable[str],
+                   dicts: Iterable[Mapping[str, Any]]) -> "Relation":
+        attrs = tuple(attributes)
+        return cls(attrs, (Row(d) for d in dicts))
+
+    @property
+    def rows(self) -> frozenset:
+        return self._rows
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self._rows)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __bool__(self) -> bool:
+        return bool(self._rows)
+
+    def __contains__(self, row: object) -> bool:
+        return row in self._rows
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Relation):
+            return NotImplemented
+        return set(self.attributes) == set(other.attributes) and self._rows == other._rows
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash((frozenset(self.attributes), self._rows))
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"Relation({list(self.attributes)}, {len(self)} rows)"
+
+    def filter(self, predicate: Callable[[Row], bool]) -> "Relation":
+        return Relation(self.attributes, (r for r in self._rows if predicate(r)))
+
+    def map_rows(self, fn: Callable[[Row], Optional[Row]],
+                 attributes: Optional[Iterable[str]] = None) -> "Relation":
+        attrs = tuple(attributes) if attributes is not None else self.attributes
+        return Relation(
+            attrs, (out for r in self._rows if (out := fn(r)) is not None)
+        )

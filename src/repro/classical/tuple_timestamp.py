@@ -1,0 +1,204 @@
+"""The tuple-timestamping baseline — the approach HRDM argues against.
+
+Section 1 of the paper: "Early work on historical databases ...
+proposed the incorporation of a time-stamp and a Boolean-valued
+EXISTS? attribute to each tuple ... The database was seen as a
+three-dimensional cube, wherein at any time t a tuple with
+EXISTS? = True was considered to be meaningful, otherwise it was to be
+ignored." Subsequent tuple-based efforts (Ben-Zvi 1982, Snodgrass's
+TQuel, Lum 1984, Ariav 1984) kept the temporal dimension at the tuple
+level.
+
+This module implements that representational alternative from the
+introduction's description so the benchmarks can compare it with
+HRDM's attribute-level functions:
+
+* a :class:`TimestampedRelation` stores *versions*: one classical row
+  per ``(key, [from, to])`` period during which **all** attribute
+  values were simultaneously constant;
+* any change to any attribute closes the current version and opens a
+  new one, so the version count grows with the total number of value
+  changes — the redundancy HRDM avoids;
+* :func:`from_historical` / :func:`to_historical` convert losslessly
+  between the two models (for step-shaped histories), which the tests
+  exploit to verify query equivalence before benchmarking the cost
+  difference.
+
+The EXISTS?-cube reading is available via :meth:`exists_at`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, Optional
+
+from repro.core.errors import RelationError
+from repro.core.lifespan import Lifespan
+from repro.core.relation import HistoricalRelation
+from repro.core.scheme import RelationScheme
+from repro.core.tfunc import TemporalFunction
+from repro.core.tuples import HistoricalTuple
+
+
+class Version:
+    """One timestamped row: constant attribute values over ``[start, end]``."""
+
+    __slots__ = ("start", "end", "values")
+
+    def __init__(self, start: int, end: int, values: dict[str, Any]):
+        if start > end:
+            raise RelationError(f"version start {start} exceeds end {end}")
+        self.start = start
+        self.end = end
+        self.values = dict(values)
+
+    def covers(self, time: int) -> bool:
+        return self.start <= time <= self.end
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Version):
+            return NotImplemented
+        return (self.start, self.end, self.values) == (other.start, other.end, other.values)
+
+    def __repr__(self) -> str:
+        return f"Version([{self.start}, {self.end}], {self.values})"
+
+
+class TimestampedRelation:
+    """A tuple-timestamped temporal relation (the baseline model)."""
+
+    def __init__(self, name: str, attributes: Iterable[str], key: Iterable[str]):
+        self.name = name
+        self.attributes = tuple(attributes)
+        self.key = tuple(key)
+        unknown = set(self.key) - set(self.attributes)
+        if unknown:
+            raise RelationError(f"key attribute(s) {sorted(unknown)} not in relation")
+        self._versions: list[Version] = []
+
+    # -- population --------------------------------------------------------
+
+    def add_version(self, start: int, end: int, values: dict[str, Any]) -> Version:
+        """Append one timestamped row (no overlap check across keys)."""
+        missing = set(self.attributes) - set(values)
+        extra = set(values) - set(self.attributes)
+        if extra:
+            raise RelationError(f"unknown attribute(s) {sorted(extra)}")
+        version = Version(start, end, {a: values.get(a) for a in self.attributes})
+        del missing  # absent attributes are stored as None (the model's null)
+        self._versions.append(version)
+        return version
+
+    @property
+    def versions(self) -> tuple[Version, ...]:
+        return tuple(self._versions)
+
+    def __len__(self) -> int:
+        """The stored row count — the baseline's size metric."""
+        return len(self._versions)
+
+    def __iter__(self) -> Iterator[Version]:
+        return iter(self._versions)
+
+    def key_of(self, version: Version) -> tuple:
+        return tuple(version.values[k] for k in self.key)
+
+    # -- the EXISTS? cube reading -------------------------------------------
+
+    def exists_at(self, key: tuple, time: int) -> bool:
+        """EXISTS? = True iff some version of *key* covers *time*."""
+        return any(
+            v.covers(time) and self.key_of(v) == key for v in self._versions
+        )
+
+    # -- queries (what the benchmarks compare) ---------------------------------
+
+    def snapshot(self, time: int) -> list[dict[str, Any]]:
+        """All rows meaningful at *time* — one scan over every version."""
+        return [dict(v.values) for v in self._versions if v.covers(time)]
+
+    def history_of(self, key: tuple) -> list[Version]:
+        """Every version of one object, in time order — a full scan."""
+        mine = [v for v in self._versions if self.key_of(v) == key]
+        return sorted(mine, key=lambda v: v.start)
+
+    def value_history(self, key: tuple, attribute: str) -> list[tuple[int, int, Any]]:
+        """The (start, end, value) history of one attribute of one object.
+
+        Note the baseline cannot do better than returning one entry per
+        *version*, even when the requested attribute did not change
+        across versions — the redundancy the attribute-level model
+        avoids.
+        """
+        return [(v.start, v.end, v.values.get(attribute)) for v in self.history_of(key)]
+
+    def lifespan_of(self, key: tuple) -> Lifespan:
+        """The chronons at which the object exists (version coverage)."""
+        return Lifespan(*((v.start, v.end) for v in self.history_of(key)))
+
+    def select_when_value(self, attribute: str, value: Any) -> list[Version]:
+        """Versions where ``attribute = value`` (baseline SELECT-WHEN)."""
+        return [v for v in self._versions if v.values.get(attribute) == value]
+
+
+def from_historical(relation: HistoricalRelation,
+                    name: Optional[str] = None) -> TimestampedRelation:
+    """Convert an HRDM relation into the tuple-timestamped baseline.
+
+    Every maximal period during which *all* of a tuple's attribute
+    values are simultaneously constant becomes one version. Attributes
+    undefined during a period are stored as None (the baseline needs a
+    null; HRDM simply has no value — Section 5's null discussion).
+    """
+    scheme = relation.scheme
+    out = TimestampedRelation(
+        name or scheme.name, scheme.attributes, scheme.key
+    )
+    for t in relation:
+        for start, end in _change_periods(t):
+            values = {a: t.value(a).get(start) for a in scheme.attributes}
+            out.add_version(start, end, values)
+    return out
+
+
+def _change_periods(t: HistoricalTuple) -> Iterator[tuple[int, int]]:
+    """Maximal intervals of t.l where every attribute is constant."""
+    boundaries: set[int] = set()
+    for lo, hi in t.lifespan.intervals:
+        boundaries.add(lo)
+        boundaries.add(hi + 1)
+    for a in t.scheme.attributes:
+        for (lo, hi), _ in t.value(a).items():
+            boundaries.add(lo)
+            boundaries.add(hi + 1)
+    cuts = sorted(boundaries)
+    for i in range(len(cuts) - 1):
+        lo, hi = cuts[i], cuts[i + 1] - 1
+        if lo in t.lifespan:
+            yield (lo, hi)
+
+
+def to_historical(ts: TimestampedRelation, scheme: RelationScheme) -> HistoricalRelation:
+    """Convert a tuple-timestamped relation back into HRDM form.
+
+    Versions of one key are stitched into a single historical tuple:
+    the lifespan is the union of version periods, each attribute a
+    step function over them. None values become gaps in the function.
+    """
+    by_key: dict[tuple, list[Version]] = {}
+    for v in ts:
+        by_key.setdefault(ts.key_of(v), []).append(v)
+    tuples = []
+    for versions in by_key.values():
+        versions.sort(key=lambda v: v.start)
+        lifespan = Lifespan(*((v.start, v.end) for v in versions))
+        values: dict[str, TemporalFunction] = {}
+        for a in scheme.attributes:
+            segments = [
+                ((v.start, v.end), v.values.get(a))
+                for v in versions
+                if v.values.get(a) is not None
+            ]
+            fn = TemporalFunction(segments)
+            values[a] = fn.restrict(lifespan & scheme.als(a))
+        tuples.append(HistoricalTuple(scheme, lifespan, values))
+    return HistoricalRelation(scheme, tuples)

@@ -1,0 +1,108 @@
+"""Core structures of the Historical Relational Data Model.
+
+This package implements Section 3 of Clifford & Croker (1987): the time
+domain ``T``, lifespans, historical domains (``TD``, ``TT``, ``CD``),
+temporal functions, relation schemes ``<A, K, ALS, DOM>``, historical
+tuples ``<v, l>``, and historical relations — plus the interpolation
+bridge between the representation and model levels (Figure 9).
+"""
+
+from repro.core import domains
+from repro.core.attribute import Attribute, attr_name, attr_names
+from repro.core.domains import (
+    ANY,
+    BOOLEAN,
+    INTEGER,
+    NUMBER,
+    STRING,
+    TIME,
+    HistoricalDomain,
+    ValueDomain,
+    cd,
+    cd_time,
+    enumerated,
+    td,
+    tt,
+)
+from repro.core.errors import (
+    AlgebraError,
+    DomainError,
+    HRDMError,
+    IntegrityError,
+    KeyConstraintError,
+    LifespanError,
+    MergeCompatibilityError,
+    NotTimeValuedError,
+    RelationError,
+    SchemeError,
+    TemporalFunctionError,
+    TimeDomainError,
+    TupleError,
+    UndefinedAtTimeError,
+    UnionCompatibilityError,
+)
+from repro.core.interpolation import (
+    DiscreteInterpolation,
+    Interpolation,
+    LinearInterpolation,
+    NearestInterpolation,
+    StepInterpolation,
+)
+from repro.core.lifespan import ALWAYS, EMPTY_LIFESPAN, Lifespan
+from repro.core.relation import HistoricalRelation
+from repro.core.scheme import RelationScheme
+from repro.core.tfunc import TemporalFunction
+from repro.core.time_domain import BEGINNING, FOREVER, T_MAX, T_MIN, TimeDomain
+from repro.core.tuples import HistoricalTuple
+
+__all__ = [
+    "ALWAYS",
+    "ANY",
+    "Attribute",
+    "BEGINNING",
+    "BOOLEAN",
+    "EMPTY_LIFESPAN",
+    "FOREVER",
+    "AlgebraError",
+    "DiscreteInterpolation",
+    "DomainError",
+    "HRDMError",
+    "HistoricalDomain",
+    "HistoricalRelation",
+    "HistoricalTuple",
+    "INTEGER",
+    "IntegrityError",
+    "Interpolation",
+    "KeyConstraintError",
+    "Lifespan",
+    "LifespanError",
+    "LinearInterpolation",
+    "MergeCompatibilityError",
+    "NUMBER",
+    "NearestInterpolation",
+    "NotTimeValuedError",
+    "RelationError",
+    "RelationScheme",
+    "STRING",
+    "SchemeError",
+    "StepInterpolation",
+    "T_MAX",
+    "T_MIN",
+    "TIME",
+    "TemporalFunction",
+    "TemporalFunctionError",
+    "TimeDomain",
+    "TimeDomainError",
+    "TupleError",
+    "UndefinedAtTimeError",
+    "UnionCompatibilityError",
+    "ValueDomain",
+    "attr_name",
+    "attr_names",
+    "cd",
+    "cd_time",
+    "domains",
+    "enumerated",
+    "td",
+    "tt",
+]

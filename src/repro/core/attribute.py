@@ -1,0 +1,63 @@
+"""Attributes — members of the universal set ``U``.
+
+Section 3: "Let U = {A1, A2, ..., An} be a (universal) set of
+attributes. All attributes in the historical relational data model are
+defined over sets of partial temporal functions."
+
+An :class:`Attribute` is a lightweight named handle. Its historical
+domain and lifespan live in the :class:`~repro.core.scheme.RelationScheme`
+(the paper's ``DOM`` and ``ALS`` are per-scheme functions, so the same
+attribute name may carry different domains/lifespans in different
+schemes). Attributes compare by name, so plain strings interoperate
+everywhere via :func:`attr_name`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Union
+
+from repro.core.errors import SchemeError
+
+
+class Attribute:
+    """A named attribute — a member of the universal set ``U``."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        if not name or not isinstance(name, str):
+            raise SchemeError(f"attribute name must be a non-empty string, got {name!r}")
+        self.name = name
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Attribute):
+            return self.name == other.name
+        if isinstance(other, str):
+            return self.name == other
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self.name)
+
+    def __repr__(self) -> str:
+        return f"Attribute({self.name!r})"
+
+    def __str__(self) -> str:
+        return self.name
+
+
+AttributeLike = Union[Attribute, str]
+
+
+def attr_name(attribute: AttributeLike) -> str:
+    """Normalise an attribute-or-string into its name."""
+    if isinstance(attribute, Attribute):
+        return attribute.name
+    if isinstance(attribute, str) and attribute:
+        return attribute
+    raise SchemeError(f"not an attribute: {attribute!r}")
+
+
+def attr_names(attributes: Iterable[AttributeLike]) -> tuple[str, ...]:
+    """Normalise an iterable of attributes into a tuple of names."""
+    return tuple(attr_name(a) for a in attributes)

@@ -1,0 +1,188 @@
+"""Value domains and historical domains.
+
+Section 3 of the paper:
+
+* ``D = {D1, ..., Dn}`` — *value domains*, sets of atomic values;
+* ``TD_i = {f | f : T -> D_i}`` — partial functions from times into a
+  value domain (ordinary historical attributes);
+* ``TT = {g | g : T -> T}`` — partial functions from times into times
+  (time-valued attributes, used by dynamic TIME-SLICE and TIME-JOIN);
+* ``HD = TD ∪ {TT}`` — the historical domains over which attributes are
+  declared;
+* ``CD`` — the restriction of each historical domain to constant-valued
+  functions. Key attributes must draw from ``CD``.
+
+A :class:`ValueDomain` describes the *underlying* value set (the
+paper's ``VD(A)``): a predicate for membership plus a name, with
+concrete subclasses for the common atomic types. A
+:class:`HistoricalDomain` pairs a value domain with the
+constant-valued flag and the ``TT`` marker, and is what
+``DOM`` in a relation scheme maps attributes to.
+"""
+
+from __future__ import annotations
+
+import numbers
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Optional
+
+from repro.core.errors import DomainError
+from repro.core.time_domain import is_chronon
+
+
+class ValueDomain:
+    """A named set of atomic (non-decomposable) values — the paper's ``D_i``.
+
+    Membership is decided by *predicate*. Value domains compare by name
+    and predicate identity is not required: two domains with the same
+    name are interchangeable, which is what the algebra's
+    union-compatibility check needs.
+    """
+
+    __slots__ = ("name", "_predicate")
+
+    def __init__(self, name: str, predicate: Callable[[Any], bool]):
+        if not name:
+            raise DomainError("value domain needs a non-empty name")
+        self.name = name
+        self._predicate = predicate
+
+    def __contains__(self, value: Any) -> bool:
+        try:
+            return bool(self._predicate(value))
+        except Exception:
+            return False
+
+    def check(self, value: Any, context: str = "value") -> Any:
+        """Validate *value* as a member of this domain and return it."""
+        if value not in self:
+            raise DomainError(f"{context} {value!r} is not in domain {self.name}")
+        return value
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ValueDomain):
+            return NotImplemented
+        return self.name == other.name
+
+    def __hash__(self) -> int:
+        return hash(("ValueDomain", self.name))
+
+    def __repr__(self) -> str:
+        return f"ValueDomain({self.name!r})"
+
+
+def _is_string(v: Any) -> bool:
+    return isinstance(v, str)
+
+
+def _is_integer(v: Any) -> bool:
+    return isinstance(v, int) and not isinstance(v, bool)
+
+
+def _is_number(v: Any) -> bool:
+    return isinstance(v, numbers.Real) and not isinstance(v, bool)
+
+
+def _is_boolean(v: Any) -> bool:
+    return isinstance(v, bool)
+
+
+def _is_anything(v: Any) -> bool:
+    return True
+
+
+#: Ready-made atomic value domains covering the usual cases.
+STRING = ValueDomain("string", _is_string)
+INTEGER = ValueDomain("integer", _is_integer)
+NUMBER = ValueDomain("number", _is_number)
+BOOLEAN = ValueDomain("boolean", _is_boolean)
+ANY = ValueDomain("any", _is_anything)
+
+#: The time domain itself viewed as a value domain — the range of ``TT``.
+TIME = ValueDomain("time", is_chronon)
+
+
+def enumerated(name: str, values: Iterable[Any]) -> ValueDomain:
+    """A finite value domain containing exactly *values*.
+
+    >>> dept = enumerated("dept", ["Toys", "Shoes", "Books"])
+    >>> "Toys" in dept
+    True
+    """
+    frozen = frozenset(values)
+    return ValueDomain(name, lambda v: v in frozen)
+
+
+@dataclass(frozen=True)
+class HistoricalDomain:
+    """A member of ``HD`` — what ``DOM`` assigns to an attribute.
+
+    Parameters
+    ----------
+    value_domain:
+        The underlying value set ``VD(A)`` that the temporal functions
+        map into.
+    constant:
+        If True, only constant-valued functions are admitted — this is
+        the paper's ``CD`` restriction required of key attributes.
+    time_valued:
+        If True this is the ``TT`` domain: functions from ``T`` into
+        ``T``. ``value_domain`` is then forced to :data:`TIME`.
+    """
+
+    value_domain: ValueDomain
+    constant: bool = False
+    time_valued: bool = False
+
+    def __post_init__(self) -> None:
+        if self.time_valued and self.value_domain != TIME:
+            raise DomainError("a TT (time-valued) domain must map into TIME")
+
+    @property
+    def name(self) -> str:
+        prefix = "CD" if self.constant else ("TT" if self.time_valued else "TD")
+        return f"{prefix}[{self.value_domain.name}]"
+
+    def check_value(self, value: Any, context: str = "value") -> Any:
+        """Validate a single range value against ``VD(A)``."""
+        return self.value_domain.check(value, context)
+
+    def as_constant(self) -> "HistoricalDomain":
+        """This domain restricted to constant-valued functions (``CD``)."""
+        return HistoricalDomain(self.value_domain, constant=True, time_valued=self.time_valued)
+
+    def __repr__(self) -> str:
+        return f"HistoricalDomain({self.name})"
+
+
+def td(value_domain: ValueDomain) -> HistoricalDomain:
+    """The historical domain ``TD_i`` of partial functions ``T -> D_i``."""
+    return HistoricalDomain(value_domain)
+
+
+def tt() -> HistoricalDomain:
+    """The historical domain ``TT`` of partial functions ``T -> T``."""
+    return HistoricalDomain(TIME, time_valued=True)
+
+
+def cd(value_domain: ValueDomain) -> HistoricalDomain:
+    """The constant-valued restriction ``CD`` over *value_domain*.
+
+    Key attributes must be declared over a ``cd(...)`` domain
+    (Section 3, restriction (a) on ``DOM``).
+    """
+    return HistoricalDomain(value_domain, constant=True)
+
+
+def cd_time() -> HistoricalDomain:
+    """Constant-valued time domain (a fixed chronon per tuple)."""
+    return HistoricalDomain(TIME, constant=True, time_valued=True)
+
+
+def resolve(domain: Optional[HistoricalDomain | ValueDomain]) -> HistoricalDomain:
+    """Coerce a bare :class:`ValueDomain` into a ``TD`` historical domain."""
+    if isinstance(domain, HistoricalDomain):
+        return domain
+    if isinstance(domain, ValueDomain):
+        return td(domain)
+    raise DomainError(f"cannot resolve {domain!r} into a historical domain")

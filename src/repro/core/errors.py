@@ -1,0 +1,136 @@
+"""Exception hierarchy for the HRDM reproduction.
+
+Every error raised by the library derives from :class:`HRDMError`, so
+client code can catch a single base class. Subclasses mirror the layers
+of the system: structural errors (schemes, tuples, relations), algebra
+errors (incompatible operands), storage errors, and query-language
+errors.
+"""
+
+from __future__ import annotations
+
+
+class HRDMError(Exception):
+    """Base class for every error raised by the ``repro`` library."""
+
+
+class TimeDomainError(HRDMError):
+    """An operation referenced a time outside the model's time domain."""
+
+
+class LifespanError(HRDMError):
+    """A lifespan was constructed or combined illegally."""
+
+
+class DomainError(HRDMError):
+    """A value was not a member of its declared value domain."""
+
+
+class TemporalFunctionError(HRDMError):
+    """A temporal function was constructed or applied illegally."""
+
+
+class UndefinedAtTimeError(TemporalFunctionError, KeyError):
+    """A temporal function was applied at a time outside its domain.
+
+    The paper (Section 3): "the value of t(A)(s) is undefined for any s
+    not in this time period. In this context undefined means that the
+    attribute is not relevant at such times, and thus does not exist."
+    """
+
+    def __init__(self, time: int, context: str = "temporal function"):
+        self.time = time
+        self.context = context
+        super().__init__(f"{context} is undefined at time {time}")
+
+    def __str__(self) -> str:  # KeyError quotes its arg; we want a message
+        return f"{self.context} is undefined at time {self.time}"
+
+
+class SchemeError(HRDMError):
+    """A relation scheme violated one of the Section 3 restrictions."""
+
+
+class KeyConstraintError(SchemeError):
+    """Key attributes must be constant-valued, or key uniqueness failed."""
+
+
+class TupleError(HRDMError):
+    """A tuple violated its scheme (wrong attributes, domain, lifespan)."""
+
+
+class RelationError(HRDMError):
+    """A relation invariant (e.g. key uniqueness over time) failed."""
+
+
+class AlgebraError(HRDMError):
+    """An algebra operator was applied to incompatible operands."""
+
+
+class UnionCompatibilityError(AlgebraError):
+    """Operands of a set-theoretic operator were not union-compatible."""
+
+
+class MergeCompatibilityError(AlgebraError):
+    """Operands of an object-based set operator were not merge-compatible."""
+
+
+class NotTimeValuedError(AlgebraError):
+    """Dynamic TIME-SLICE / TIME-JOIN needs a TT (time-valued) attribute."""
+
+
+class IntegrityError(HRDMError):
+    """A database-level integrity constraint was violated."""
+
+
+class ReferentialIntegrityError(IntegrityError):
+    """A temporal foreign-key reference pointed outside the target lifespan."""
+
+
+class DependencyError(IntegrityError):
+    """A (temporal) functional dependency was violated."""
+
+
+class EvolutionError(HRDMError):
+    """An illegal schema-evolution operation was requested."""
+
+
+class StorageError(HRDMError):
+    """The physical level failed to encode, decode, or locate data."""
+
+
+class CodecError(StorageError):
+    """A value could not be serialised or deserialised."""
+
+
+class PageError(StorageError):
+    """A heap-file page overflowed or was addressed out of range."""
+
+
+class QueryError(HRDMError):
+    """Base class for query-language errors."""
+
+
+class LexError(QueryError):
+    """The lexer met an unexpected character."""
+
+    def __init__(self, message: str, position: int, line: int, column: int):
+        self.position = position
+        self.line = line
+        self.column = column
+        super().__init__(f"{message} at line {line}, column {column}")
+
+
+class ParseError(QueryError):
+    """The parser met an unexpected token."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        self.line = line
+        self.column = column
+        if line:
+            message = f"{message} at line {line}, column {column}"
+        super().__init__(message)
+
+
+class CompileError(QueryError):
+    """The compiler could not map the AST onto the algebra."""

@@ -1,0 +1,263 @@
+"""Interpolation functions — the representation → model bridge.
+
+Figure 9 of the paper splits HRDM into three levels: at the *model*
+level every attribute value is a *total* function from
+``vls(t, A, R)`` into a value domain, while at the *representation*
+level "these functions may be represented more succinctly using
+intervals and allowing for value interpolation". The mapping between
+them is an interpolation function::
+
+    I : (partial function on S' ⊆ S)  ->  (total function on S)
+
+This module provides the standard interpolators:
+
+* :class:`DiscreteInterpolation` — the identity: only explicitly stored
+  chronons carry values (no filling);
+* :class:`StepInterpolation` — each stored value persists until the
+  next stored change (the usual reading of business history);
+* :class:`LinearInterpolation` — numeric values are linearly
+  interpolated between stored samples (sensor-style series);
+* :class:`NearestInterpolation` — each chronon takes the value of the
+  nearest stored sample.
+
+Every interpolator maps a sparsely-represented
+:class:`~repro.core.tfunc.TemporalFunction` (defined on ``S' ⊆ S``)
+into a total function on a target lifespan ``S``.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.errors import TemporalFunctionError
+from repro.core.lifespan import Lifespan
+from repro.core.tfunc import TemporalFunction
+
+
+class Interpolation:
+    """Base class: a strategy for totalising a partial temporal function."""
+
+    #: Short machine name used by the storage codec.
+    name: str = "abstract"
+
+    def totalize(self, sparse: TemporalFunction, target: Lifespan) -> TemporalFunction:
+        """Extend *sparse* to a total function on *target*.
+
+        The sparse function's domain must be a subset of *target*;
+        concrete strategies decide what the missing chronons get.
+        """
+        if not sparse.domain.issubset(target):
+            raise TemporalFunctionError(
+                "sparse representation extends outside the target lifespan"
+            )
+        if sparse.domain == target:
+            return sparse
+        return self._fill(sparse, target)
+
+    def _fill(self, sparse: TemporalFunction, target: Lifespan) -> TemporalFunction:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+    def __eq__(self, other: object) -> bool:
+        return type(self) is type(other)
+
+    def __hash__(self) -> int:
+        return hash(type(self).__name__)
+
+
+class DiscreteInterpolation(Interpolation):
+    """No interpolation: the value exists only where explicitly stored.
+
+    ``totalize`` therefore *fails* if the sparse domain does not already
+    cover the target — discrete attributes cannot be totalised, which
+    mirrors attributes (e.g. "transaction amount") where interpolation
+    would fabricate facts.
+    """
+
+    name = "discrete"
+
+    def _fill(self, sparse: TemporalFunction, target: Lifespan) -> TemporalFunction:
+        missing = target - sparse.domain
+        raise TemporalFunctionError(
+            f"discrete attribute has no value at {len(missing)} chronon(s) "
+            "of its lifespan and cannot be interpolated"
+        )
+
+
+class StepInterpolation(Interpolation):
+    """Stepwise-constant filling: a value persists until the next change.
+
+    Chronons of *target* before the first stored sample take the first
+    sample's value (backward extension), so the result is total.
+
+    >>> sparse = TemporalFunction.from_points({0: "a", 5: "b"})
+    >>> total = StepInterpolation().totalize(sparse, Lifespan.interval(0, 9))
+    >>> total(3), total(7)
+    ('a', 'b')
+    """
+
+    name = "step"
+
+    def _fill(self, sparse: TemporalFunction, target: Lifespan) -> TemporalFunction:
+        if not sparse:
+            raise TemporalFunctionError("cannot step-interpolate an empty representation")
+        segments = []
+        anchors = list(sparse.segments)
+        first_value = anchors[0][1]
+        for t_lo, t_hi in target.intervals:
+            cursor = t_lo
+            while cursor <= t_hi:
+                value = _step_value_at(anchors, cursor, first_value)
+                stop = _step_run_end(anchors, cursor, t_hi)
+                segments.append(((cursor, stop), value))
+                cursor = stop + 1
+        return TemporalFunction(segments)
+
+
+def _step_value_at(anchors, t: int, first_value: Any) -> Any:
+    """The last stored value at or before chronon *t* (or the first)."""
+    value = first_value
+    for (lo, hi), seg_value in anchors:
+        if lo > t:
+            break
+        value = seg_value
+        if lo <= t <= hi:
+            return seg_value
+    return value
+
+
+def _step_run_end(anchors, t: int, limit: int) -> int:
+    """Last chronon <= limit before the step value could change."""
+    for (lo, hi), _ in anchors:
+        if lo > t:
+            return min(lo - 1, limit)
+        if lo <= t <= hi:
+            return min(hi, limit)
+    return limit
+
+
+class LinearInterpolation(Interpolation):
+    """Linear filling between numeric samples; constant extrapolation.
+
+    Between two stored samples the value varies linearly (rounded to
+    float); before the first / after the last sample the boundary value
+    is held. Range values must be numeric.
+
+    >>> sparse = TemporalFunction.from_points({0: 0.0, 10: 100.0})
+    >>> total = LinearInterpolation().totalize(sparse, Lifespan.interval(0, 10))
+    >>> total(5)
+    50.0
+    """
+
+    name = "linear"
+
+    def _fill(self, sparse: TemporalFunction, target: Lifespan) -> TemporalFunction:
+        samples = sorted(sparse.point_items())
+        if not samples:
+            raise TemporalFunctionError("cannot linearly interpolate an empty representation")
+        for _, value in samples:
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise TemporalFunctionError(
+                    f"linear interpolation needs numeric values, got {value!r}"
+                )
+        segments = []
+        for t in target:
+            segments.append(((t, t), _linear_value_at(samples, t)))
+        return TemporalFunction(segments)
+
+
+def _linear_value_at(samples, t: int) -> float:
+    """Linearly interpolated value at chronon *t*."""
+    if t <= samples[0][0]:
+        return float(samples[0][1])
+    if t >= samples[-1][0]:
+        return float(samples[-1][1])
+    for idx in range(1, len(samples)):
+        t1, v1 = samples[idx]
+        if t1 >= t:
+            t0, v0 = samples[idx - 1]
+            if t1 == t0:
+                return float(v1)
+            frac = (t - t0) / (t1 - t0)
+            return float(v0) + frac * (float(v1) - float(v0))
+    return float(samples[-1][1])  # pragma: no cover - unreachable
+
+
+class NearestInterpolation(Interpolation):
+    """Each chronon takes the value of the nearest stored sample.
+
+    Ties (equidistant samples) resolve to the *earlier* sample, keeping
+    the strategy deterministic.
+    """
+
+    name = "nearest"
+
+    def _fill(self, sparse: TemporalFunction, target: Lifespan) -> TemporalFunction:
+        samples = sorted(sparse.point_items())
+        if not samples:
+            raise TemporalFunctionError("cannot nearest-interpolate an empty representation")
+        times = [t for t, _ in samples]
+        segments = []
+        for t in target:
+            segments.append(((t, t), _nearest_value(samples, times, t)))
+        return TemporalFunction(segments)
+
+
+def _nearest_value(samples, times, t: int) -> Any:
+    """Value of the sample nearest to *t* (ties to the earlier one)."""
+    import bisect
+
+    idx = bisect.bisect_left(times, t)
+    if idx == 0:
+        return samples[0][1]
+    if idx == len(times):
+        return samples[-1][1]
+    before_t, before_v = samples[idx - 1]
+    after_t, after_v = samples[idx]
+    if t - before_t <= after_t - t:
+        return before_v
+    return after_v
+
+
+#: Registry used by the storage codec to round-trip strategy names.
+INTERPOLATIONS = {
+    cls.name: cls
+    for cls in (DiscreteInterpolation, StepInterpolation, LinearInterpolation,
+                NearestInterpolation)
+}
+
+
+def by_name(name: str) -> Interpolation:
+    """Instantiate an interpolation strategy from its machine name."""
+    try:
+        return INTERPOLATIONS[name]()
+    except KeyError:
+        raise TemporalFunctionError(f"unknown interpolation strategy {name!r}") from None
+
+
+def totalize_tuple(t, strategies: dict[str, Interpolation]):
+    """Lift a representation-level tuple to the model level.
+
+    For each attribute in *strategies*, the (possibly sparse) stored
+    function is totalised over its full ``vls(t, A)`` using that
+    attribute's interpolation — the per-attribute map ``I`` of
+    Figure 9. Attributes not listed are left as stored. Returns a new
+    :class:`~repro.core.tuples.HistoricalTuple`.
+    """
+    from repro.core.tuples import HistoricalTuple
+
+    values = {}
+    for a in t.scheme.attributes:
+        fn = t.value(a)
+        strategy = strategies.get(a)
+        if strategy is not None and fn:
+            fn = strategy.totalize(fn, t.vls(a))
+        values[a] = fn
+    return HistoricalTuple(t.scheme, t.lifespan, values)
+
+
+def totalize_relation(relation, strategies: dict[str, Interpolation]):
+    """Apply :func:`totalize_tuple` to every tuple of a relation."""
+    return relation.map_tuples(lambda t: totalize_tuple(t, strategies))

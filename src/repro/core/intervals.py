@@ -1,0 +1,220 @@
+"""Low-level kernel for sorted, disjoint, closed integer intervals.
+
+:class:`~repro.core.lifespan.Lifespan` stores a set of chronons as a
+normalised tuple of closed intervals ``((lo, hi), ...)`` with
+``lo <= hi``, sorted ascending, pairwise disjoint, and *coalesced*
+(adjacent intervals ``[a, b], [b+1, c]`` are merged). This module holds
+the pure functions that create and combine such normalised interval
+lists. All functions here take and return plain tuples so they are easy
+to test exhaustively and property-test against a reference
+implementation built on Python sets.
+
+The paper treats points vs intervals as "simply a matter of
+convenience" for ``T`` isomorphic to the naturals; the interval form
+gives O(n + m) set operations and compact storage for the contiguous
+lifespans that dominate real histories.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence, Tuple
+
+from repro.core.errors import LifespanError
+from repro.core.time_domain import T_MAX, T_MIN, check_chronon
+
+Interval = Tuple[int, int]
+Intervals = Tuple[Interval, ...]
+
+EMPTY: Intervals = ()
+
+
+def validate_interval(lo: int, hi: int) -> Interval:
+    """Validate a single closed interval ``[lo, hi]`` and return it."""
+    check_chronon(lo, "interval start")
+    check_chronon(hi, "interval end")
+    if lo > hi:
+        raise LifespanError(f"interval start {lo} exceeds end {hi}")
+    return (lo, hi)
+
+
+def normalize(raw: Iterable[Sequence[int]]) -> Intervals:
+    """Normalise arbitrary closed intervals into canonical form.
+
+    Sorts, validates, merges overlapping and *adjacent* intervals
+    (``[1, 3]`` and ``[4, 6]`` become ``[1, 6]`` — over integers they
+    cover contiguous chronons).
+
+    >>> normalize([(4, 6), (1, 3), (10, 12)])
+    ((1, 6), (10, 12))
+    """
+    pairs = sorted(validate_interval(lo, hi) for lo, hi in raw)
+    if not pairs:
+        return EMPTY
+    merged: list[Interval] = [pairs[0]]
+    for lo, hi in pairs[1:]:
+        last_lo, last_hi = merged[-1]
+        if lo <= last_hi + 1:  # overlap or adjacency
+            if hi > last_hi:
+                merged[-1] = (last_lo, hi)
+        else:
+            merged.append((lo, hi))
+    return tuple(merged)
+
+
+def from_points(points: Iterable[int]) -> Intervals:
+    """Build canonical intervals from an iterable of chronons.
+
+    >>> from_points([5, 1, 2, 3, 9])
+    ((1, 3), (5, 5), (9, 9))
+    """
+    ordered = sorted({check_chronon(p) for p in points})
+    if not ordered:
+        return EMPTY
+    out: list[Interval] = []
+    run_lo = run_hi = ordered[0]
+    for p in ordered[1:]:
+        if p == run_hi + 1:
+            run_hi = p
+        else:
+            out.append((run_lo, run_hi))
+            run_lo = run_hi = p
+    out.append((run_lo, run_hi))
+    return tuple(out)
+
+
+def iter_points(intervals: Intervals) -> Iterator[int]:
+    """Iterate every chronon covered by *intervals*, ascending."""
+    for lo, hi in intervals:
+        yield from range(lo, hi + 1)
+
+
+def cardinality(intervals: Intervals) -> int:
+    """Number of chronons covered (in O(#intervals))."""
+    return sum(hi - lo + 1 for lo, hi in intervals)
+
+
+def contains_point(intervals: Intervals, t: int) -> bool:
+    """Binary-search membership test for chronon *t*."""
+    lo_idx, hi_idx = 0, len(intervals)
+    while lo_idx < hi_idx:
+        mid = (lo_idx + hi_idx) // 2
+        lo, hi = intervals[mid]
+        if t < lo:
+            hi_idx = mid
+        elif t > hi:
+            lo_idx = mid + 1
+        else:
+            return True
+    return False
+
+
+def union(a: Intervals, b: Intervals) -> Intervals:
+    """Union of two canonical interval lists in O(n + m)."""
+    if not a:
+        return b
+    if not b:
+        return a
+    # Merge the two sorted lists, then coalesce in one pass.
+    merged = sorted(a + b)
+    out: list[Interval] = [merged[0]]
+    for lo, hi in merged[1:]:
+        last_lo, last_hi = out[-1]
+        if lo <= last_hi + 1:
+            if hi > last_hi:
+                out[-1] = (last_lo, hi)
+        else:
+            out.append((lo, hi))
+    return tuple(out)
+
+
+def intersection(a: Intervals, b: Intervals) -> Intervals:
+    """Intersection of two canonical interval lists in O(n + m)."""
+    out: list[Interval] = []
+    i = j = 0
+    while i < len(a) and j < len(b):
+        a_lo, a_hi = a[i]
+        b_lo, b_hi = b[j]
+        lo, hi = max(a_lo, b_lo), min(a_hi, b_hi)
+        if lo <= hi:
+            out.append((lo, hi))
+        if a_hi < b_hi:
+            i += 1
+        else:
+            j += 1
+    return tuple(out)
+
+
+def difference(a: Intervals, b: Intervals) -> Intervals:
+    """Set difference ``a - b`` of two canonical interval lists."""
+    out: list[Interval] = []
+    j = 0
+    for a_lo, a_hi in a:
+        cursor = a_lo
+        while j < len(b) and b[j][1] < cursor:
+            j += 1
+        k = j
+        while k < len(b) and b[k][0] <= a_hi:
+            b_lo, b_hi = b[k]
+            if b_lo > cursor:
+                out.append((cursor, b_lo - 1))
+            cursor = max(cursor, b_hi + 1)
+            if cursor > a_hi:
+                break
+            k += 1
+        if cursor <= a_hi:
+            out.append((cursor, a_hi))
+    return tuple(out)
+
+
+def symmetric_difference(a: Intervals, b: Intervals) -> Intervals:
+    """Symmetric difference ``(a - b) ∪ (b - a)``."""
+    return union(difference(a, b), difference(b, a))
+
+
+def complement(a: Intervals, universe: Interval = (T_MIN, T_MAX)) -> Intervals:
+    """Complement of *a* relative to a closed *universe* interval."""
+    u = validate_interval(*universe)
+    return difference((u,), a)
+
+
+def is_subset(a: Intervals, b: Intervals) -> bool:
+    """True if every chronon of *a* is covered by *b* (O(n + m))."""
+    j = 0
+    for a_lo, a_hi in a:
+        while j < len(b) and b[j][1] < a_lo:
+            j += 1
+        if j >= len(b) or b[j][0] > a_lo or b[j][1] < a_hi:
+            return False
+    return True
+
+
+def overlaps(a: Intervals, b: Intervals) -> bool:
+    """True if *a* and *b* share at least one chronon (O(n + m))."""
+    i = j = 0
+    while i < len(a) and j < len(b):
+        a_lo, a_hi = a[i]
+        b_lo, b_hi = b[j]
+        if max(a_lo, b_lo) <= min(a_hi, b_hi):
+            return True
+        if a_hi < b_hi:
+            i += 1
+        else:
+            j += 1
+    return False
+
+
+def clamp(intervals: Intervals, lo: int, hi: int) -> Intervals:
+    """Restrict *intervals* to the window ``[lo, hi]``."""
+    return intersection(intervals, (validate_interval(lo, hi),))
+
+
+def span(intervals: Intervals) -> Interval | None:
+    """The convex hull ``[min, max]`` of *intervals*, or None if empty."""
+    if not intervals:
+        return None
+    return (intervals[0][0], intervals[-1][1])
+
+
+def shift(intervals: Intervals, delta: int) -> Intervals:
+    """Translate every interval by *delta* chronons."""
+    return tuple(validate_interval(lo + delta, hi + delta) for lo, hi in intervals)

@@ -1,0 +1,302 @@
+"""Relation schemes — the 4-tuple ``R = <A, K, ALS, DOM>``.
+
+Section 3 of the paper defines a relation scheme as:
+
+1. ``A ⊆ U`` — the set of attributes of ``R``;
+2. ``K ⊆ A`` — the key attributes;
+3. ``ALS : A -> 2^T`` — a lifespan for each attribute (this is what
+   makes *schemas* time-varying, Figure 6);
+4. ``DOM : A -> HD`` — a historical domain per attribute, restricted so
+   that (a) key attributes are constant-valued (``CD``) and (b) every
+   stored function's domain sits inside ``ALS(A, R)``.
+
+:class:`RelationScheme` enforces (a) eagerly at construction and
+provides the machinery for (b) (checked when tuples are built). The
+scheme's own lifespan is the union of its attribute lifespans, and the
+paper's constraint that key-attribute lifespans equal the whole
+scheme's lifespan is enforced here.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping, Optional
+
+from repro.core.attribute import AttributeLike, attr_name, attr_names
+from repro.core.domains import HistoricalDomain, ValueDomain, resolve
+from repro.core.errors import KeyConstraintError, SchemeError
+from repro.core.lifespan import ALWAYS, Lifespan
+
+
+class RelationScheme:
+    """An immutable relation scheme ``<A, K, ALS, DOM>``.
+
+    Parameters
+    ----------
+    name:
+        A human-readable name for the scheme (used by the catalog and
+        in error messages).
+    attributes:
+        Mapping from attribute name to its historical domain (bare
+        :class:`~repro.core.domains.ValueDomain` values are promoted to
+        ``TD`` domains). Order is preserved and meaningful for display.
+    key:
+        The key attributes ``K ⊆ A``. Their domains are forced to the
+        constant-valued restriction ``CD``.
+    lifespans:
+        Optional ``ALS`` mapping; attributes not listed default to the
+        whole time universe. Key attributes must span the scheme
+        lifespan (the paper's key-lifespan constraint), so they default
+        to the union of the non-key lifespans when omitted.
+
+    Examples
+    --------
+    >>> from repro.core import domains
+    >>> emp = RelationScheme(
+    ...     "EMP",
+    ...     {"NAME": domains.cd(domains.STRING),
+    ...      "SALARY": domains.td(domains.INTEGER),
+    ...      "DEPT": domains.td(domains.STRING)},
+    ...     key=["NAME"],
+    ... )
+    >>> emp.key
+    ('NAME',)
+    """
+
+    __slots__ = ("name", "_attributes", "_key", "_lifespans", "_hash")
+
+    def __init__(
+        self,
+        name: str,
+        attributes: Mapping[str, HistoricalDomain | ValueDomain],
+        key: Iterable[AttributeLike],
+        lifespans: Optional[Mapping[str, Lifespan]] = None,
+        constant_keys: bool = True,
+    ):
+        if not name:
+            raise SchemeError("relation scheme needs a non-empty name")
+        if not attributes:
+            raise SchemeError(f"scheme {name!r} needs at least one attribute")
+        self.name = name
+
+        doms: dict[str, HistoricalDomain] = {}
+        for raw_attr, raw_dom in attributes.items():
+            doms[attr_name(raw_attr)] = resolve(raw_dom)
+
+        key_tuple = attr_names(key)
+        if not key_tuple:
+            raise KeyConstraintError(f"scheme {name!r} needs a non-empty key")
+        seen: set[str] = set()
+        for k in key_tuple:
+            if k not in doms:
+                raise KeyConstraintError(f"key attribute {k!r} is not in scheme {name!r}")
+            if k in seen:
+                raise KeyConstraintError(f"duplicate key attribute {k!r} in scheme {name!r}")
+            seen.add(k)
+        # Restriction (a): key attributes draw from CD (constant-valued).
+        # A projection that drops the original key re-keys on all retained
+        # attributes; those form a *weak* identity and stay non-constant
+        # (constant_keys=False) — objecthood was lost with the key.
+        if constant_keys:
+            for k in key_tuple:
+                doms[k] = doms[k].as_constant()
+
+        raw_ls = dict(lifespans or {})
+        als: dict[str, Lifespan] = {}
+        for a in doms:
+            ls = raw_ls.pop(a, None)
+            if ls is None:
+                als[a] = ALWAYS
+            elif isinstance(ls, Lifespan):
+                als[a] = ls
+            else:
+                raise SchemeError(f"lifespan of attribute {a!r} must be a Lifespan")
+        if raw_ls:
+            unknown = ", ".join(sorted(raw_ls))
+            raise SchemeError(f"lifespans given for unknown attribute(s): {unknown}")
+
+        # The scheme lifespan is the union of all attribute lifespans;
+        # the paper requires key lifespans to equal it.
+        scheme_ls = Lifespan.union_all(als.values())
+        for k in key_tuple:
+            if als[k] != scheme_ls:
+                raise KeyConstraintError(
+                    f"key attribute {k!r} lifespan must equal the scheme lifespan "
+                    f"(the union of all attribute lifespans)"
+                )
+
+        self._attributes = doms
+        self._key = key_tuple
+        self._lifespans = als
+        self._hash: int | None = None
+
+    # -- accessors ---------------------------------------------------------
+
+    @property
+    def attributes(self) -> tuple[str, ...]:
+        """The attribute names ``A``, in declaration order."""
+        return tuple(self._attributes)
+
+    @property
+    def key(self) -> tuple[str, ...]:
+        """The key attribute names ``K``."""
+        return self._key
+
+    @property
+    def nonkey_attributes(self) -> tuple[str, ...]:
+        """The non-key attribute names, in declaration order."""
+        key = set(self._key)
+        return tuple(a for a in self._attributes if a not in key)
+
+    def dom(self, attribute: AttributeLike) -> HistoricalDomain:
+        """The paper's ``DOM(A)`` — the attribute's historical domain."""
+        a = attr_name(attribute)
+        try:
+            return self._attributes[a]
+        except KeyError:
+            raise SchemeError(f"no attribute {a!r} in scheme {self.name!r}") from None
+
+    def als(self, attribute: AttributeLike) -> Lifespan:
+        """The paper's ``ALS(A, R)`` — the attribute's lifespan."""
+        a = attr_name(attribute)
+        try:
+            return self._lifespans[a]
+        except KeyError:
+            raise SchemeError(f"no attribute {a!r} in scheme {self.name!r}") from None
+
+    def lifespan(self) -> Lifespan:
+        """The scheme's lifespan: the union of all attribute lifespans."""
+        return Lifespan.union_all(self._lifespans.values())
+
+    def domains(self) -> dict[str, HistoricalDomain]:
+        """A copy of the full ``DOM`` mapping."""
+        return dict(self._attributes)
+
+    def attribute_lifespans(self) -> dict[str, Lifespan]:
+        """A copy of the full ``ALS`` mapping."""
+        return dict(self._lifespans)
+
+    def __contains__(self, attribute: object) -> bool:
+        try:
+            return attr_name(attribute) in self._attributes  # type: ignore[arg-type]
+        except SchemeError:
+            return False
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._attributes)
+
+    def __len__(self) -> int:
+        return len(self._attributes)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RelationScheme):
+            return NotImplemented
+        return (
+            self._attributes == other._attributes
+            and self._key == other._key
+            and self._lifespans == other._lifespans
+        )
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash(
+                (tuple(self._attributes.items()), self._key,
+                 tuple(sorted(self._lifespans.items())))
+            )
+        return self._hash
+
+    def __repr__(self) -> str:
+        attrs = ", ".join(
+            f"{a}{'*' if a in self._key else ''}: {dom.name}"
+            for a, dom in self._attributes.items()
+        )
+        return f"RelationScheme({self.name!r}, {attrs})"
+
+    # -- compatibility predicates (Section 4.1) ------------------------------
+
+    def is_union_compatible(self, other: "RelationScheme") -> bool:
+        """Union compatibility: same attributes with the same domains.
+
+        The paper: "A1 = A2 and DOM1 = DOM2".
+        """
+        return self._attributes == other._attributes
+
+    def is_merge_compatible(self, other: "RelationScheme") -> bool:
+        """Merge compatibility: union compatible *and* the same key.
+
+        "Merge-compatibility is therefore stricter than
+        union-compatibility, by requiring the same key."
+        """
+        return self.is_union_compatible(other) and set(self._key) == set(other._key)
+
+    def check_attributes(self, attributes: Iterable[AttributeLike]) -> tuple[str, ...]:
+        """Validate that every name is in the scheme; return the names."""
+        names = attr_names(attributes)
+        for a in names:
+            if a not in self._attributes:
+                raise SchemeError(f"no attribute {a!r} in scheme {self.name!r}")
+        return names
+
+    # -- derived schemes -----------------------------------------------------
+
+    def project(self, attributes: Iterable[AttributeLike],
+                name: Optional[str] = None) -> "RelationScheme":
+        """The scheme restricted to *attributes* (for PROJECT).
+
+        Projection may drop key attributes; the projected scheme then
+        keys on *all* retained attributes, mirroring the classical
+        convention. Key-lifespan equality is re-established by widening
+        the retained keys to the new scheme lifespan.
+        """
+        names = self.check_attributes(attributes)
+        if not names:
+            raise SchemeError("cannot project onto an empty attribute set")
+        keeps_key = set(self._key).issubset(names)
+        new_key = tuple(k for k in self._key if k in names) if keeps_key else names
+        doms = {a: self._attributes[a] for a in names}
+        ls = {a: self._lifespans[a] for a in names}
+        new_scheme_ls = Lifespan.union_all(ls.values())
+        for k in new_key:
+            ls[k] = new_scheme_ls
+        return RelationScheme(name or f"{self.name}_proj", doms, new_key, ls,
+                              constant_keys=keeps_key)
+
+    def with_lifespans(self, lifespans: Mapping[str, Lifespan],
+                       name: Optional[str] = None) -> "RelationScheme":
+        """A copy of this scheme with some attribute lifespans replaced."""
+        ls = self.attribute_lifespans()
+        for a, new_ls in lifespans.items():
+            if a not in ls:
+                raise SchemeError(f"no attribute {a!r} in scheme {self.name!r}")
+            ls[a] = new_ls
+        scheme_ls = Lifespan.union_all(ls.values())
+        for k in self._key:
+            ls[k] = scheme_ls
+        return RelationScheme(name or self.name, self._attributes, self._key, ls)
+
+    def rename(self, mapping: Mapping[str, str],
+               name: Optional[str] = None) -> "RelationScheme":
+        """A copy with attributes renamed per *mapping* (for joins).
+
+        >>> s2 = emp.rename({"NAME": "MGR"})   # doctest: +SKIP
+        """
+        for old in mapping:
+            if old not in self._attributes:
+                raise SchemeError(f"no attribute {old!r} in scheme {self.name!r}")
+        new_names = [mapping.get(a, a) for a in self._attributes]
+        if len(set(new_names)) != len(new_names):
+            raise SchemeError(f"renaming produces duplicate attributes: {new_names}")
+        doms = {mapping.get(a, a): d for a, d in self._attributes.items()}
+        ls = {mapping.get(a, a): l for a, l in self._lifespans.items()}
+        key = tuple(mapping.get(k, k) for k in self._key)
+        return RelationScheme(name or self.name, doms, key, ls)
+
+    def merge_lifespans(self, other: "RelationScheme", combine) -> dict[str, Lifespan]:
+        """Combine ``ALS`` maps attribute-wise with *combine* (∪ or ∩).
+
+        Used by the set-theoretic operators, whose result schemes carry
+        ``ALS1 ∪ ALS2`` (union) or ``ALS1 ∩ ALS2`` (intersection).
+        """
+        return {
+            a: combine(self._lifespans[a], other._lifespans[a])
+            for a in self._attributes
+        }

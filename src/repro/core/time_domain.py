@@ -1,0 +1,170 @@
+"""The time domain ``T`` of HRDM.
+
+The paper (Section 3) defines ``T = {..., t0, t1, ...}`` as an at most
+countably infinite set of times under a linear order, and tells the
+reader to assume ``T`` is isomorphic to the natural numbers, so that
+"the issue of whether to represent time as intervals or as points is
+simply a matter of convenience".
+
+We therefore model time points as Python ``int`` chronons. This module
+provides:
+
+* :data:`T_MIN` / :data:`T_MAX` — the bounds of the representable
+  universe (a finite window onto the countable domain, wide enough for
+  any realistic history);
+* :class:`TimeDomain` — an explicit, bounded, named time domain carrying
+  a granularity label and a movable ``now``, used by databases to give
+  chronons a real-world reading (Figure 6's ``NOW`` marker);
+* helpers for validating and comparing chronons.
+
+Keeping chronons as plain integers (rather than wrapping them in a
+class) keeps the algebra fast and the library pythonic; ``TimeDomain``
+is the place where meaning (calendar mapping, ``now``) attaches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.core.errors import TimeDomainError
+
+#: Inclusive bounds of the representable time universe. These exist so
+#: that the complement of a lifespan is itself a (finite) lifespan; the
+#: window is wide enough that no realistic history touches the edges.
+T_MIN: int = -(2**40)
+T_MAX: int = 2**40
+
+#: A conventional "beginning of time" used by open-ended histories.
+BEGINNING: int = T_MIN
+
+#: A conventional "end of time" (the model's ``forever``).
+FOREVER: int = T_MAX
+
+
+def is_chronon(value: object) -> bool:
+    """Return True if *value* is a valid time point of the universe."""
+    return isinstance(value, int) and not isinstance(value, bool) and T_MIN <= value <= T_MAX
+
+
+def check_chronon(value: object, context: str = "time point") -> int:
+    """Validate *value* as a chronon and return it.
+
+    Raises
+    ------
+    TimeDomainError
+        If *value* is not an ``int`` within ``[T_MIN, T_MAX]``.
+    """
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise TimeDomainError(f"{context} must be an int chronon, got {value!r}")
+    if not T_MIN <= value <= T_MAX:
+        raise TimeDomainError(
+            f"{context} {value} outside the representable universe [{T_MIN}, {T_MAX}]"
+        )
+    return value
+
+
+@dataclass
+class TimeDomain:
+    """A bounded, named window onto the countable time domain ``T``.
+
+    Parameters
+    ----------
+    start, end:
+        Inclusive chronon bounds of the domain.
+    granularity:
+        A label describing what one chronon means ("day", "month",
+        "tick", ...). Purely documentary; the model is granularity
+        agnostic.
+    now:
+        The current time, as in Figure 6's ``NOW`` marker. Movable via
+        :meth:`advance` / :meth:`set_now`; always kept inside the
+        domain.
+
+    Examples
+    --------
+    >>> td = TimeDomain(0, 120, granularity="month", now=60)
+    >>> td.contains(59)
+    True
+    >>> td.advance(2)
+    62
+    """
+
+    start: int
+    end: int
+    granularity: str = "chronon"
+    now: int = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        check_chronon(self.start, "TimeDomain.start")
+        check_chronon(self.end, "TimeDomain.end")
+        if self.start > self.end:
+            raise TimeDomainError(
+                f"TimeDomain start {self.start} must not exceed end {self.end}"
+            )
+        if self.now is None:
+            self.now = self.end
+        check_chronon(self.now, "TimeDomain.now")
+        if not self.contains(self.now):
+            raise TimeDomainError(
+                f"now={self.now} lies outside the domain [{self.start}, {self.end}]"
+            )
+
+    def __len__(self) -> int:
+        return self.end - self.start + 1
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(range(self.start, self.end + 1))
+
+    def __contains__(self, t: object) -> bool:
+        return is_chronon(t) and self.contains(t)  # type: ignore[arg-type]
+
+    def contains(self, t: int) -> bool:
+        """Return True if chronon *t* lies inside this domain."""
+        return self.start <= t <= self.end
+
+    def check(self, t: int, context: str = "time point") -> int:
+        """Validate that *t* is a chronon inside this domain."""
+        check_chronon(t, context)
+        if not self.contains(t):
+            raise TimeDomainError(
+                f"{context} {t} outside the time domain [{self.start}, {self.end}]"
+            )
+        return t
+
+    def set_now(self, t: int) -> int:
+        """Move ``now`` to chronon *t* (must lie inside the domain)."""
+        self.check(t, "now")
+        self.now = t
+        return self.now
+
+    def advance(self, steps: int = 1) -> int:
+        """Advance ``now`` by *steps* chronons and return the new now."""
+        return self.set_now(self.now + steps)
+
+    def clamp(self, t: int) -> int:
+        """Clamp an arbitrary chronon into the domain bounds."""
+        check_chronon(t, "time point")
+        return min(max(t, self.start), self.end)
+
+    def range(self, start: int | None = None, end: int | None = None) -> range:
+        """An inclusive ``range`` over ``[start, end]`` within the domain."""
+        lo = self.start if start is None else self.check(start, "range start")
+        hi = self.end if end is None else self.check(end, "range end")
+        return range(lo, hi + 1)
+
+
+def earliest(times: Iterable[int]) -> int:
+    """Return the earliest chronon of a non-empty iterable of times."""
+    try:
+        return min(times)
+    except ValueError:
+        raise TimeDomainError("earliest() of an empty collection of times") from None
+
+
+def latest(times: Iterable[int]) -> int:
+    """Return the latest chronon of a non-empty iterable of times."""
+    try:
+        return max(times)
+    except ValueError:
+        raise TimeDomainError("latest() of an empty collection of times") from None

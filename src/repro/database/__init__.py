@@ -1,0 +1,85 @@
+"""Database layer: catalog, updates, schema evolution, and integrity.
+
+Builds the paper's instance hierarchy (Figure 1) on top of the core
+structures: a named catalog of historical relations with
+lifespan-phrased updates (birth / death / reincarnation), schema
+evolution via attribute lifespans (Figure 6), temporal integrity
+constraints (referential integrity, temporal FDs, dynamic constraints),
+and the Section 2 granularity-tradeoff model.
+"""
+
+from repro.database.database import HistoricalDatabase
+from repro.database.dependencies import (
+    FD,
+    bcnf_violations,
+    candidate_keys,
+    closure,
+    equivalent,
+    implies,
+    is_bcnf,
+    is_superkey,
+    minimal_cover,
+    satisfies,
+)
+from repro.database.evolution import (
+    add_attribute,
+    attribute_history,
+    drop_attribute,
+    evolve,
+    readd_attribute,
+    remove_attribute,
+)
+from repro.database.granularity import (
+    DatabaseShape,
+    GranularityLevel,
+    ValueCell,
+    coarsen,
+    lifespan_overhead,
+    representable,
+    representation_error,
+    tradeoff_row,
+)
+from repro.database.integrity import (
+    ChangeBounded,
+    Constraint,
+    LifespanWithin,
+    NonDecreasing,
+    NonIncreasing,
+    TemporalFD,
+    TemporalForeignKey,
+)
+
+__all__ = [
+    "ChangeBounded",
+    "FD",
+    "bcnf_violations",
+    "candidate_keys",
+    "closure",
+    "equivalent",
+    "implies",
+    "is_bcnf",
+    "is_superkey",
+    "minimal_cover",
+    "satisfies",
+    "Constraint",
+    "DatabaseShape",
+    "GranularityLevel",
+    "HistoricalDatabase",
+    "LifespanWithin",
+    "NonDecreasing",
+    "NonIncreasing",
+    "TemporalFD",
+    "TemporalForeignKey",
+    "ValueCell",
+    "add_attribute",
+    "attribute_history",
+    "coarsen",
+    "drop_attribute",
+    "evolve",
+    "lifespan_overhead",
+    "readd_attribute",
+    "remove_attribute",
+    "representable",
+    "representation_error",
+    "tradeoff_row",
+]

@@ -1,0 +1,268 @@
+"""The historical database — a named collection of historical relations.
+
+Figure 1 of the paper shows the instance hierarchy: a database is a set
+of relations, each a set of tuples. :class:`HistoricalDatabase` is the
+mutable top-level object tying together:
+
+* a :class:`~repro.core.time_domain.TimeDomain` giving chronons meaning
+  and carrying the movable ``now``;
+* a catalog of named relations (schemes + instances);
+* update operations phrased in lifespan terms — :meth:`insert` (birth),
+  :meth:`terminate` (death), :meth:`reincarnate` (rebirth of the same
+  key, Section 1's hire / fire / re-hire cycle);
+* schema evolution via attribute lifespans
+  (:mod:`repro.database.evolution`);
+* registered integrity constraints, checked on every mutation
+  (:mod:`repro.database.integrity`).
+
+Relations are stored immutably; every mutation installs a new relation
+value, so readers holding a reference are never surprised.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Iterator, Mapping, Optional
+
+from repro.core.errors import EvolutionError, IntegrityError, RelationError
+from repro.core.lifespan import Lifespan
+from repro.core.relation import HistoricalRelation
+from repro.core.scheme import RelationScheme
+from repro.core.tfunc import TemporalFunction
+from repro.core.time_domain import T_MAX, T_MIN, TimeDomain
+from repro.core.tuples import HistoricalTuple
+
+
+class HistoricalDatabase:
+    """A mutable catalog of historical relations sharing one time domain."""
+
+    def __init__(self, name: str, time_domain: Optional[TimeDomain] = None):
+        if not name:
+            raise RelationError("database needs a non-empty name")
+        self.name = name
+        self.time_domain = time_domain or TimeDomain(T_MIN, T_MAX)
+        self._relations: Dict[str, HistoricalRelation] = {}
+        self._constraints: list = []
+
+    # -- catalog -----------------------------------------------------------
+
+    def create_relation(self, scheme: RelationScheme,
+                        tuples: Iterable[HistoricalTuple] = ()) -> HistoricalRelation:
+        """Create (and return) an empty or pre-populated relation."""
+        if scheme.name in self._relations:
+            raise RelationError(f"relation {scheme.name!r} already exists")
+        relation = HistoricalRelation(scheme, tuples)
+        self._relations[scheme.name] = relation
+        self._check_constraints()
+        return relation
+
+    def drop_relation(self, name: str) -> None:
+        """Remove a relation from the catalog."""
+        if name not in self._relations:
+            raise RelationError(f"no relation named {name!r}")
+        del self._relations[name]
+
+    def relation(self, name: str) -> HistoricalRelation:
+        """The current value of the named relation."""
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise RelationError(f"no relation named {name!r}") from None
+
+    def __getitem__(self, name: str) -> HistoricalRelation:
+        return self.relation(name)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._relations
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._relations)
+
+    def __len__(self) -> int:
+        return len(self._relations)
+
+    def relations(self) -> dict[str, HistoricalRelation]:
+        """A snapshot copy of the whole catalog."""
+        return dict(self._relations)
+
+    def scheme(self, name: str) -> RelationScheme:
+        """The scheme of the named relation."""
+        return self.relation(name).scheme
+
+    def replace(self, name: str, relation: HistoricalRelation) -> None:
+        """Install a new relation value under an existing name.
+
+        The algebra returns fresh relations; ``replace`` is how a
+        computed result becomes the new stored state. Constraints are
+        re-checked.
+        """
+        if name not in self._relations:
+            raise RelationError(f"no relation named {name!r}")
+        self._relations[name] = relation
+        self._check_constraints()
+
+    # -- lifespan-phrased updates -----------------------------------------------
+
+    def insert(self, name: str, lifespan: Lifespan,
+               values: Mapping[str, Any]) -> HistoricalTuple:
+        """Insert a new object (tuple) — its database *birth*.
+
+        ``values`` follows :meth:`HistoricalTuple.build` conventions
+        (scalars become constant functions over the value lifespan).
+        """
+        relation = self.relation(name)
+        t = HistoricalTuple.build(relation.scheme, lifespan, values)
+        key = t.key_value()
+        if relation.get(*key) is not None:
+            raise RelationError(
+                f"key {key!r} already exists in {name!r}; use reincarnate() or update()"
+            )
+        self._install(name, relation.with_tuple(t))
+        return t
+
+    def terminate(self, name: str, key: tuple, at: int) -> HistoricalTuple:
+        """End an object's current incarnation — its *death* at chronon *at*.
+
+        The tuple's lifespan (and all values) are truncated to times
+        strictly before *at*.
+        """
+        relation = self.relation(name)
+        t = self._existing(relation, key)
+        remaining = t.lifespan & Lifespan.until(at - 1)
+        if remaining.is_empty:
+            raise RelationError(
+                f"terminating at {at} would erase the whole history of {key!r}; "
+                "drop the tuple explicitly instead"
+            )
+        truncated = t.restrict(remaining)
+        assert truncated is not None
+        self._install(name, relation.with_tuple(truncated))
+        return truncated
+
+    def reincarnate(self, name: str, key: tuple, lifespan: Lifespan,
+                    values: Mapping[str, Any]) -> HistoricalTuple:
+        """Re-open an object's history — Section 1's *reincarnation*.
+
+        The new *lifespan* must be disjoint from the existing one; the
+        new values extend the object's temporal functions.
+        """
+        relation = self.relation(name)
+        t = self._existing(relation, key)
+        if not t.lifespan.isdisjoint(lifespan):
+            raise RelationError(
+                f"reincarnation lifespan overlaps the existing lifespan of {key!r}"
+            )
+        addition = HistoricalTuple.build(relation.scheme, lifespan, values)
+        if addition.key_value() != t.key_value():
+            raise RelationError("reincarnation must preserve the key value")
+        merged_ls = t.lifespan | lifespan
+        merged_values = {
+            a: t.value(a).merge(addition.value(a))
+            for a in relation.scheme.attributes
+        }
+        merged = HistoricalTuple(relation.scheme, merged_ls, merged_values)
+        self._install(name, relation.with_tuple(merged))
+        return merged
+
+    def update(self, name: str, key: tuple, at: int,
+               changes: Mapping[str, Any]) -> HistoricalTuple:
+        """Record new attribute values from chronon *at* onwards.
+
+        For each attribute in *changes*, the stored function keeps its
+        history before *at* and takes the new constant value on the
+        remainder of the tuple's (and attribute's) lifespan.
+        """
+        relation = self.relation(name)
+        t = self._existing(relation, key)
+        values = {a: t.value(a) for a in relation.scheme.attributes}
+        future = Lifespan.since(at)
+        for attr, new_value in changes.items():
+            vls = t.vls(attr)
+            window = vls & future
+            if window.is_empty:
+                raise RelationError(
+                    f"attribute {attr!r} of {key!r} has no lifespan at or after {at}"
+                )
+            kept = values[attr].restrict(t.lifespan - future)
+            values[attr] = kept.merge(TemporalFunction.constant(new_value, window))
+        updated = HistoricalTuple(relation.scheme, t.lifespan, values)
+        self._install(name, relation.with_tuple(updated))
+        return updated
+
+    def _existing(self, relation: HistoricalRelation, key: tuple) -> HistoricalTuple:
+        t = relation.get(*key)
+        if t is None:
+            raise RelationError(f"no tuple with key {key!r} in {relation.scheme.name!r}")
+        return t
+
+    def _install(self, name: str, relation: HistoricalRelation) -> None:
+        previous = self._relations[name]
+        self._relations[name] = relation
+        try:
+            self._check_constraints()
+        except IntegrityError:
+            self._relations[name] = previous
+            raise
+
+    # -- schema evolution (delegates) ---------------------------------------------
+
+    def evolve_scheme(self, name: str, new_scheme: RelationScheme) -> None:
+        """Install an evolved scheme, re-homing every tuple.
+
+        Values outside the new attribute lifespans are clipped; this is
+        the low-level hook used by :mod:`repro.database.evolution`.
+        """
+        relation = self.relation(name)
+        rehomed = []
+        for t in relation:
+            values = {}
+            for a in new_scheme.attributes:
+                if a in t.scheme:
+                    values[a] = t.value(a).restrict(t.lifespan & new_scheme.als(a))
+                else:
+                    values[a] = TemporalFunction.empty()
+            rehomed.append(HistoricalTuple(new_scheme, t.lifespan, values))
+        if new_scheme.name != name:
+            raise EvolutionError(
+                f"evolved scheme must keep the relation name {name!r}, "
+                f"got {new_scheme.name!r}"
+            )
+        self._relations[name] = HistoricalRelation(new_scheme, rehomed)
+        self._check_constraints()
+
+    # -- constraints ------------------------------------------------------------------
+
+    def add_constraint(self, constraint) -> None:
+        """Register a constraint (see :mod:`repro.database.integrity`).
+
+        The constraint is checked immediately and then after every
+        mutation.
+        """
+        self._constraints.append(constraint)
+        try:
+            self._check_constraints()
+        except IntegrityError:
+            self._constraints.pop()
+            raise
+
+    def constraints(self) -> tuple:
+        """The registered constraints."""
+        return tuple(self._constraints)
+
+    def _check_constraints(self) -> None:
+        for constraint in self._constraints:
+            constraint.check(self)
+
+    # -- convenience -------------------------------------------------------------------
+
+    @property
+    def now(self) -> int:
+        """The database's current time."""
+        return self.time_domain.now
+
+    def snapshot(self, time: Optional[int] = None) -> dict[str, list[dict]]:
+        """The classical view of the whole database at one chronon."""
+        at = self.now if time is None else time
+        return {name: rel.snapshot(at) for name, rel in self._relations.items()}
+
+    def __repr__(self) -> str:
+        return f"HistoricalDatabase({self.name!r}, {len(self)} relations)"

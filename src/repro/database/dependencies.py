@@ -1,0 +1,257 @@
+"""Temporal functional-dependency theory — the Section 5 extension.
+
+The paper closes by noting that "the temporal dimension of historical
+relations can be used to extend the traditional notion of functional
+dependency" and that dependency theory "can be expected to have a
+significant impact on design methodologies for historical databases",
+leaving the development to future work. This module supplies that
+development in the classical style:
+
+* :class:`FD` — a dependency ``X -> Y`` with a temporal *scope*
+  (``pointwise``: holds at each chronon; ``global``: agreement on X at
+  any times forces identical Y histories — the paper's "intensional"
+  reading);
+* :func:`closure` — attribute-set closure ``X⁺`` under a set of FDs
+  (Armstrong's axioms apply unchanged per scope, since each scope's
+  satisfaction relation is closed under reflexivity, augmentation, and
+  transitivity);
+* :func:`implies` / :func:`equivalent` — membership and cover tests;
+* :func:`candidate_keys` — the minimal keys an FD set induces over a
+  scheme's attributes;
+* :func:`is_bcnf` / :func:`bcnf_violations` — Boyce-Codd normal-form
+  checking *per scope*, the paper's "design methodologies" hook;
+* :func:`minimal_cover` — a canonical cover (right-reduced,
+  left-reduced, no redundant FDs);
+* :func:`satisfies` — check an actual historical relation against an
+  FD in either scope (bridging theory and instance).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import FrozenSet, Iterable, Sequence
+
+from repro.core.attribute import attr_names
+from repro.core.errors import DependencyError
+from repro.core.relation import HistoricalRelation
+
+Attrs = FrozenSet[str]
+
+
+def _as_names(attributes: Iterable[str] | str) -> tuple[str, ...]:
+    """Normalise a bare string into a one-attribute list, then to names."""
+    if isinstance(attributes, str):
+        attributes = [attributes]
+    return attr_names(attributes)
+
+
+@dataclass(frozen=True)
+class FD:
+    """A (temporal) functional dependency ``lhs -> rhs``.
+
+    ``scope`` is ``"pointwise"`` (the classical FD read at every single
+    chronon) or ``"global"`` (the intensional reading across time).
+    Scope does not affect the *inference* rules — both satisfaction
+    relations obey Armstrong's axioms — but mixed-scope FD sets must
+    not be combined in one closure: pointwise facts do not imply global
+    ones.
+    """
+
+    lhs: Attrs
+    rhs: Attrs
+    scope: str = "pointwise"
+
+    def __post_init__(self) -> None:
+        if self.scope not in ("pointwise", "global"):
+            raise DependencyError(f"unknown FD scope {self.scope!r}")
+        if not self.lhs or not self.rhs:
+            raise DependencyError("FD sides must be non-empty")
+
+    @classmethod
+    def of(cls, lhs: Iterable[str] | str, rhs: Iterable[str] | str,
+           scope: str = "pointwise") -> "FD":
+        return cls(frozenset(_as_names(lhs)), frozenset(_as_names(rhs)), scope)
+
+    def is_trivial(self) -> bool:
+        """Trivial iff ``rhs ⊆ lhs`` (reflexivity)."""
+        return self.rhs.issubset(self.lhs)
+
+    def __repr__(self) -> str:
+        lhs = ",".join(sorted(self.lhs))
+        rhs = ",".join(sorted(self.rhs))
+        marker = "" if self.scope == "pointwise" else " [global]"
+        return f"FD({lhs} -> {rhs}{marker})"
+
+
+def _check_uniform_scope(fds: Sequence[FD]) -> str:
+    scopes = {fd.scope for fd in fds}
+    if len(scopes) > 1:
+        raise DependencyError(
+            "cannot mix pointwise and global FDs in one inference; "
+            "split the set by scope"
+        )
+    return scopes.pop() if scopes else "pointwise"
+
+
+def closure(attributes: Iterable[str], fds: Sequence[FD]) -> Attrs:
+    """The attribute closure ``X⁺`` under *fds* (uniform scope).
+
+    >>> fds = [FD.of("A", "B"), FD.of("B", "C")]
+    >>> sorted(closure(["A"], fds))
+    ['A', 'B', 'C']
+    """
+    _check_uniform_scope(fds)
+    result = set(_as_names(attributes))
+    changed = True
+    while changed:
+        changed = False
+        for fd in fds:
+            if fd.lhs.issubset(result) and not fd.rhs.issubset(result):
+                result |= fd.rhs
+                changed = True
+    return frozenset(result)
+
+
+def implies(fds: Sequence[FD], candidate: FD) -> bool:
+    """True if *fds* logically implies *candidate* (same scope)."""
+    scope = _check_uniform_scope(list(fds) + [candidate])
+    del scope
+    return candidate.rhs.issubset(closure(candidate.lhs, list(fds)))
+
+
+def equivalent(fds1: Sequence[FD], fds2: Sequence[FD]) -> bool:
+    """True if the two FD sets are covers of each other."""
+    return all(implies(fds2, fd) for fd in fds1) and all(
+        implies(fds1, fd) for fd in fds2
+    )
+
+
+def candidate_keys(attributes: Iterable[str], fds: Sequence[FD]) -> list[Attrs]:
+    """All minimal keys of the attribute set under *fds*.
+
+    Exponential in |attributes| (as the problem is); intended for the
+    schema sizes of design work, not for machine-generated schemes.
+    """
+    attrs = frozenset(_as_names(attributes))
+    keys: list[Attrs] = []
+    for size in range(1, len(attrs) + 1):
+        for subset in combinations(sorted(attrs), size):
+            candidate = frozenset(subset)
+            if any(key.issubset(candidate) for key in keys):
+                continue
+            if closure(candidate, fds) == attrs:
+                keys.append(candidate)
+    return keys
+
+
+def is_superkey(attributes: Iterable[str], all_attributes: Iterable[str],
+                fds: Sequence[FD]) -> bool:
+    """True if *attributes* functionally determines everything."""
+    return closure(attributes, fds) == frozenset(_as_names(all_attributes))
+
+
+def bcnf_violations(attributes: Iterable[str], fds: Sequence[FD]) -> list[FD]:
+    """The non-trivial FDs whose lhs is not a superkey (BCNF offenders)."""
+    attrs = list(_as_names(attributes))
+    return [
+        fd for fd in fds
+        if not fd.is_trivial() and not is_superkey(fd.lhs, attrs, list(fds))
+    ]
+
+
+def is_bcnf(attributes: Iterable[str], fds: Sequence[FD]) -> bool:
+    """True if the scheme is in Boyce-Codd normal form under *fds*."""
+    return not bcnf_violations(attributes, fds)
+
+
+def minimal_cover(fds: Sequence[FD]) -> list[FD]:
+    """A canonical cover: singleton rhs, reduced lhs, no redundant FDs."""
+    scope = _check_uniform_scope(fds)
+    # 1. Right-reduce: split every rhs into singletons.
+    split: list[FD] = []
+    for fd in fds:
+        for attr in fd.rhs:
+            split.append(FD(fd.lhs, frozenset([attr]), scope))
+    # 2. Left-reduce each FD.
+    reduced: list[FD] = []
+    for fd in split:
+        lhs = set(fd.lhs)
+        for attr in sorted(fd.lhs):
+            if len(lhs) > 1:
+                trimmed = frozenset(lhs - {attr})
+                if fd.rhs.issubset(closure(trimmed, split)):
+                    lhs.discard(attr)
+        reduced.append(FD(frozenset(lhs), fd.rhs, scope))
+    # 3. Drop redundant FDs.
+    result = list(dict.fromkeys(reduced))  # dedupe, keep order
+    changed = True
+    while changed:
+        changed = False
+        for fd in list(result):
+            rest = [other for other in result if other != fd]
+            if rest and implies(rest, fd):
+                result.remove(fd)
+                changed = True
+                break
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Instance-level satisfaction (bridging the theory to live relations).
+# ---------------------------------------------------------------------------
+
+_MISSING = object()
+
+
+def satisfies(relation: HistoricalRelation, fd: FD) -> bool:
+    """Check a historical relation against one FD in its scope."""
+    tuples = list(relation)
+    for i, t1 in enumerate(tuples):
+        for t2 in tuples[i:]:
+            if fd.scope == "pointwise":
+                if not _pointwise_ok(t1, t2, fd):
+                    return False
+            else:
+                if not _global_ok(t1, t2, fd):
+                    return False
+    return True
+
+
+def _pointwise_ok(t1, t2, fd: FD) -> bool:
+    if t1 is t2:
+        return True
+    for s in t1.lifespan & t2.lifespan:
+        lhs1 = [t1.value(a).get(s, _MISSING) for a in sorted(fd.lhs)]
+        lhs2 = [t2.value(a).get(s, _MISSING) for a in sorted(fd.lhs)]
+        if _MISSING in lhs1 or _MISSING in lhs2 or lhs1 != lhs2:
+            continue
+        for a in fd.rhs:
+            v1 = t1.value(a).get(s, _MISSING)
+            v2 = t2.value(a).get(s, _MISSING)
+            if v1 is not _MISSING and v2 is not _MISSING and v1 != v2:
+                return False
+    return True
+
+
+def _global_ok(t1, t2, fd: FD) -> bool:
+    if t1 is t2:
+        return True
+    lhs_sorted = sorted(fd.lhs)
+    values1 = set()
+    for s in t1.lifespan:
+        key = tuple(t1.value(a).get(s, _MISSING) for a in lhs_sorted)
+        if _MISSING not in key:
+            values1.add(key)
+    agree = any(
+        tuple(t2.value(a).get(s, _MISSING) for a in lhs_sorted) in values1
+        for s in t2.lifespan
+    )
+    if not agree:
+        return True
+    for a in fd.rhs:
+        f1, f2 = t1.value(a), t2.value(a)
+        overlap = f1.domain & f2.domain
+        if overlap and f1.restrict(overlap) != f2.restrict(overlap):
+            return False
+    return True

@@ -1,0 +1,171 @@
+"""Schema evolution through attribute lifespans (Section 2, Figure 6).
+
+The paper's motivating example: a stock-market database records a
+Daily-Trading-Volume attribute over ``[t1, t2]``, drops it ("it became
+too expensive to collect"), then re-adds it from ``t3`` through the
+present — the attribute's lifespan is the *union* of the periods the
+schema carried it. "Assigning a lifespan to each attribute in a
+relation scheme allows the user to explicitly indicate the period of
+time over which this attribute is defined in that relation, thereby
+allowing for the possibility of evolving schemes."
+
+The operations here are *lifespan edits* on a relation's scheme:
+
+* :func:`add_attribute` — a brand-new attribute, alive from a chronon;
+* :func:`drop_attribute` — ends the attribute's lifespan at a chronon
+  (history *before* the drop is retained — nothing is deleted);
+* :func:`readd_attribute` — re-opens a previously dropped attribute,
+  growing its lifespan by a new interval (Figure 6's second period);
+* :func:`remove_attribute` — physically removes the attribute and its
+  entire history (the destructive variant, for completeness).
+
+All return the evolved scheme; :meth:`HistoricalDatabase.evolve_scheme`
+installs it and re-homes the stored tuples, clipping values to the new
+attribute lifespans.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.attribute import AttributeLike, attr_name
+from repro.core.domains import HistoricalDomain, ValueDomain, resolve
+from repro.core.errors import EvolutionError
+from repro.core.lifespan import Lifespan
+from repro.core.scheme import RelationScheme
+from repro.core.time_domain import T_MAX
+from repro.database.database import HistoricalDatabase
+
+
+def add_attribute(
+    scheme: RelationScheme,
+    attribute: AttributeLike,
+    domain: HistoricalDomain | ValueDomain,
+    since: int,
+    until: int = T_MAX,
+) -> RelationScheme:
+    """A scheme extended with a new attribute alive on ``[since, until]``.
+
+    >>> evolved = add_attribute(stock, "VOLUME", domains.td(domains.INTEGER),
+    ...                         since=t1)                    # doctest: +SKIP
+    """
+    name = attr_name(attribute)
+    if name in scheme:
+        raise EvolutionError(
+            f"attribute {name!r} already exists in scheme {scheme.name!r}; "
+            "use readd_attribute() to re-open it"
+        )
+    doms = scheme.domains()
+    doms[name] = resolve(domain)
+    lifespans = scheme.attribute_lifespans()
+    lifespans[name] = Lifespan.interval(since, until)
+    scheme_ls = Lifespan.union_all(lifespans.values())
+    for k in scheme.key:
+        lifespans[k] = scheme_ls
+    return RelationScheme(scheme.name, doms, scheme.key, lifespans)
+
+
+def drop_attribute(
+    scheme: RelationScheme,
+    attribute: AttributeLike,
+    at: int,
+) -> RelationScheme:
+    """End an attribute's lifespan at chronon *at* (exclusive).
+
+    The attribute remains in the scheme with its historical lifespan
+    truncated to times strictly before *at*: queries about the past
+    still see it, new times carry no value — exactly the Figure 6 drop
+    at ``t2``.
+    """
+    name = attr_name(attribute)
+    if name in scheme.key:
+        raise EvolutionError(f"cannot drop key attribute {name!r}")
+    current = scheme.als(name)
+    truncated = current & Lifespan.until(at - 1)
+    if truncated == current:
+        raise EvolutionError(
+            f"attribute {name!r} has no lifespan at or after {at}; nothing to drop"
+        )
+    return scheme.with_lifespans({name: truncated})
+
+
+def readd_attribute(
+    scheme: RelationScheme,
+    attribute: AttributeLike,
+    since: int,
+    until: int = T_MAX,
+) -> RelationScheme:
+    """Re-open a dropped attribute from *since* — Figure 6's ``t3``.
+
+    The attribute's lifespan becomes the union of its old lifespan and
+    ``[since, until]``; its domain is unchanged.
+    """
+    name = attr_name(attribute)
+    if name not in scheme:
+        raise EvolutionError(
+            f"attribute {name!r} was never in scheme {scheme.name!r}; "
+            "use add_attribute()"
+        )
+    addition = Lifespan.interval(since, until)
+    current = scheme.als(name)
+    if not current.isdisjoint(addition):
+        raise EvolutionError(
+            f"re-added lifespan overlaps the existing lifespan of {name!r}"
+        )
+    return scheme.with_lifespans({name: current | addition})
+
+
+def remove_attribute(scheme: RelationScheme,
+                     attribute: AttributeLike) -> RelationScheme:
+    """Physically remove an attribute and all its history (destructive)."""
+    name = attr_name(attribute)
+    if name in scheme.key:
+        raise EvolutionError(f"cannot remove key attribute {name!r}")
+    remaining = [a for a in scheme.attributes if a != name]
+    if not remaining:
+        raise EvolutionError("cannot remove the last attribute of a scheme")
+    return scheme.project(remaining, name=scheme.name)
+
+
+def attribute_history(scheme: RelationScheme,
+                      attribute: AttributeLike) -> Lifespan:
+    """The periods during which the schema carried *attribute* (``ALS``)."""
+    return scheme.als(attribute)
+
+
+def evolve(
+    db: HistoricalDatabase,
+    relation_name: str,
+    *,
+    add: Optional[dict] = None,
+    drop_at: Optional[dict] = None,
+    readd: Optional[dict] = None,
+) -> RelationScheme:
+    """Apply a batch of evolution steps to a stored relation.
+
+    Parameters
+    ----------
+    add:
+        ``{attr: (domain, since)}`` or ``{attr: (domain, since, until)}``.
+    drop_at:
+        ``{attr: at}`` — truncate the attribute lifespan before ``at``.
+    readd:
+        ``{attr: since}`` or ``{attr: (since, until)}``.
+
+    Returns the evolved scheme after installing it in *db*.
+    """
+    scheme = db.scheme(relation_name)
+    for attr, spec in (add or {}).items():
+        domain, since, *rest = spec
+        until = rest[0] if rest else T_MAX
+        scheme = add_attribute(scheme, attr, domain, since, until)
+    for attr, at in (drop_at or {}).items():
+        scheme = drop_attribute(scheme, attr, at)
+    for attr, spec in (readd or {}).items():
+        if isinstance(spec, tuple):
+            since, until = spec
+        else:
+            since, until = spec, T_MAX
+        scheme = readd_attribute(scheme, attr, since, until)
+    db.evolve_scheme(relation_name, scheme)
+    return scheme

@@ -1,0 +1,276 @@
+"""Temporal integrity constraints (Sections 1 and 5).
+
+Three families the paper calls for:
+
+* **Temporal referential integrity** (Section 1): "a student can only
+  take a course at time t if both the student and the course exist in
+  the database at time t" — :class:`TemporalForeignKey` requires, for
+  every referencing tuple and chronon, a referenced tuple alive at that
+  chronon whose key matches the referencing value there.
+
+* **Temporal functional dependencies** (Section 5): the classical
+  ``X -> A`` read pointwise — at every single chronon, tuples agreeing
+  on ``X`` agree on ``A`` (:class:`TemporalFD` with
+  ``scope="pointwise"``); or the stronger *intension* reading — two
+  tuples agreeing on ``X`` at any times agree on ``A`` across all
+  times (``scope="global"``), the paper's "hold not only at each single
+  point in time, but also ... over all points in time".
+
+* **Dynamic (transition) constraints** (Section 5): "the familiar
+  'salary must never decrease' example" — :class:`NonDecreasing` /
+  :class:`NonIncreasing` / :class:`ChangeBounded` constrain how a
+  value may evolve along a tuple's lifespan.
+
+Every constraint exposes ``check(db)`` raising
+:class:`~repro.core.errors.IntegrityError` (or a subclass) on
+violation; :class:`HistoricalDatabase` re-checks registered constraints
+after each mutation and rolls back on failure.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.core.attribute import attr_names
+from repro.core.errors import DependencyError, IntegrityError, ReferentialIntegrityError
+from repro.core.lifespan import Lifespan
+from repro.core.relation import HistoricalRelation
+
+
+class Constraint:
+    """Base class: a named, checkable database-level constraint."""
+
+    name: str = "constraint"
+
+    def check(self, db) -> None:
+        """Raise :class:`IntegrityError` if the database violates this."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r})"
+
+
+class TemporalForeignKey(Constraint):
+    """Referential integrity with respect to the temporal dimension.
+
+    For every tuple ``t`` of *source* and chronon ``s`` where the
+    *source_attrs* values are defined, there must exist a tuple of
+    *target* alive at ``s`` whose key equals those values.
+
+    >>> fk = TemporalForeignKey("ENROLLMENT", ["STUDENT"], "STUDENT")
+    """
+
+    def __init__(self, source: str, source_attrs: Iterable[str], target: str,
+                 name: Optional[str] = None):
+        self.source = source
+        self.source_attrs = attr_names(source_attrs)
+        self.target = target
+        self.name = name or f"fk_{source}_{target}"
+
+    def check(self, db) -> None:
+        source = db.relation(self.source)
+        target = db.relation(self.target)
+        for t in source:
+            self._check_tuple(t, target)
+
+    def _check_tuple(self, t, target: HistoricalRelation) -> None:
+        # The chronons where the reference is asserted: everywhere all
+        # referencing attributes have values.
+        asserted = Lifespan.intersect_all(
+            [t.value(a).domain for a in self.source_attrs]
+        )
+        if asserted.is_empty:
+            return
+        # Group asserted chronons by the referenced key value.
+        for s in asserted:
+            ref_key = tuple(t.value(a)(s) for a in self.source_attrs)
+            referenced = target.get(*ref_key)
+            if referenced is None or s not in referenced.lifespan:
+                raise ReferentialIntegrityError(
+                    f"{self.name}: tuple {t.key_value()!r} references "
+                    f"{ref_key!r} at time {s}, but no such object is alive then"
+                )
+
+
+class TemporalFD(Constraint):
+    """A temporal functional dependency ``X -> A``.
+
+    scope="pointwise"
+        At every chronon ``s``, any two tuples alive and defined on
+        ``X`` with equal ``X`` values have equal ``A`` values at ``s``.
+    scope="global"
+        Stronger: tuples that *ever* agree on ``X`` (at possibly
+        different times) must realise identical functions for ``A``
+        wherever both are defined.
+    """
+
+    def __init__(self, relation: str, lhs: Iterable[str], rhs: Iterable[str],
+                 scope: str = "pointwise", name: Optional[str] = None):
+        if scope not in ("pointwise", "global"):
+            raise IntegrityError(f"unknown TemporalFD scope {scope!r}")
+        self.relation = relation
+        self.lhs = attr_names(lhs)
+        self.rhs = attr_names(rhs)
+        self.scope = scope
+        self.name = name or f"fd_{relation}_{'_'.join(self.lhs)}"
+
+    def check(self, db) -> None:
+        relation = db.relation(self.relation)
+        tuples = list(relation)
+        for i, t1 in enumerate(tuples):
+            for t2 in tuples[i:]:
+                if self.scope == "pointwise":
+                    self._check_pointwise(t1, t2)
+                else:
+                    self._check_global(t1, t2)
+
+    def _check_pointwise(self, t1, t2) -> None:
+        shared = t1.lifespan & t2.lifespan
+        if t1 is t2:
+            return  # a single tuple cannot disagree with itself pointwise
+        for s in shared:
+            lhs1 = [t1.value(a).get(s, _MISSING) for a in self.lhs]
+            lhs2 = [t2.value(a).get(s, _MISSING) for a in self.lhs]
+            if _MISSING in lhs1 or _MISSING in lhs2 or lhs1 != lhs2:
+                continue
+            for a in self.rhs:
+                v1 = t1.value(a).get(s, _MISSING)
+                v2 = t2.value(a).get(s, _MISSING)
+                if v1 is not _MISSING and v2 is not _MISSING and v1 != v2:
+                    raise DependencyError(
+                        f"{self.name}: tuples {t1.key_value()!r} and "
+                        f"{t2.key_value()!r} agree on {self.lhs} but differ on "
+                        f"{a!r} at time {s}"
+                    )
+
+    def _check_global(self, t1, t2) -> None:
+        if t1 is t2:
+            return
+        if not self._ever_agree(t1, t2):
+            return
+        for a in self.rhs:
+            f1, f2 = t1.value(a), t2.value(a)
+            overlap = f1.domain & f2.domain
+            if overlap and f1.restrict(overlap) != f2.restrict(overlap):
+                raise DependencyError(
+                    f"{self.name} (global): tuples {t1.key_value()!r} and "
+                    f"{t2.key_value()!r} agree on {self.lhs} but realise "
+                    f"different {a!r} histories"
+                )
+
+    def _ever_agree(self, t1, t2) -> bool:
+        values1 = set()
+        for s in t1.lifespan:
+            key = tuple(t1.value(a).get(s, _MISSING) for a in self.lhs)
+            if _MISSING not in key:
+                values1.add(key)
+        for s in t2.lifespan:
+            key = tuple(t2.value(a).get(s, _MISSING) for a in self.lhs)
+            if _MISSING not in key and key in values1:
+                return True
+        return False
+
+
+class NonDecreasing(Constraint):
+    """The paper's "salary must never decrease" dynamic constraint.
+
+    Along each tuple's lifespan, successive defined values of
+    *attribute* must be non-decreasing. Gaps (death/reincarnation) do
+    not reset the comparison by default; pass ``reset_on_gap=True`` to
+    compare only within contiguous incarnations.
+    """
+
+    comparator = staticmethod(lambda prev, cur: cur >= prev)
+    direction = "decrease"
+
+    def __init__(self, relation: str, attribute: str,
+                 reset_on_gap: bool = False, name: Optional[str] = None):
+        self.relation = relation
+        self.attribute = attribute
+        self.reset_on_gap = reset_on_gap
+        self.name = name or f"{type(self).__name__.lower()}_{relation}_{attribute}"
+
+    def check(self, db) -> None:
+        relation = db.relation(self.relation)
+        for t in relation:
+            self._check_tuple(t)
+
+    def _check_tuple(self, t) -> None:
+        fn = t.value(self.attribute)
+        previous = None
+        previous_end = None
+        for (lo, hi), value in fn.items():
+            if previous is not None:
+                in_same_incarnation = (
+                    previous_end is not None and lo == previous_end + 1
+                )
+                if (in_same_incarnation or not self.reset_on_gap) and not self.comparator(
+                    previous, value
+                ):
+                    raise IntegrityError(
+                        f"{self.name}: {self.attribute!r} of {t.key_value()!r} "
+                        f"may never {self.direction}, but goes {previous!r} -> "
+                        f"{value!r} at time {lo}"
+                    )
+            previous = value
+            previous_end = hi
+
+
+class NonIncreasing(NonDecreasing):
+    """Successive values of the attribute must be non-increasing."""
+
+    comparator = staticmethod(lambda prev, cur: cur <= prev)
+    direction = "increase"
+
+
+class ChangeBounded(Constraint):
+    """Bound the per-change delta of a numeric attribute.
+
+    Successive values may differ by at most *max_delta* (absolute).
+    A demonstration of the paper's "constraints over the way that
+    values change over time".
+    """
+
+    def __init__(self, relation: str, attribute: str, max_delta: float,
+                 name: Optional[str] = None):
+        self.relation = relation
+        self.attribute = attribute
+        self.max_delta = max_delta
+        self.name = name or f"bounded_{relation}_{attribute}"
+
+    def check(self, db) -> None:
+        relation = db.relation(self.relation)
+        for t in relation:
+            previous = None
+            for _, value in t.value(self.attribute).items():
+                if previous is not None and abs(value - previous) > self.max_delta:
+                    raise IntegrityError(
+                        f"{self.name}: {self.attribute!r} of {t.key_value()!r} "
+                        f"jumps {previous!r} -> {value!r} (> {self.max_delta})"
+                    )
+                previous = value
+
+
+class LifespanWithin(Constraint):
+    """Every tuple lifespan must stay inside a bounding lifespan.
+
+    Useful for pinning relations to the database's time domain or to a
+    regulatory retention window.
+    """
+
+    def __init__(self, relation: str, bound: Lifespan, name: Optional[str] = None):
+        self.relation = relation
+        self.bound = bound
+        self.name = name or f"within_{relation}"
+
+    def check(self, db) -> None:
+        relation = db.relation(self.relation)
+        for t in relation:
+            if not t.lifespan.issubset(self.bound):
+                raise IntegrityError(
+                    f"{self.name}: tuple {t.key_value()!r} lives outside the "
+                    f"bounding lifespan"
+                )
+
+
+_MISSING = object()

@@ -1,0 +1,25 @@
+"""HRQL — a small textual query language for the historical algebra.
+
+Lexer → parser → compiler → :mod:`repro.algebra.expr` trees. Entry
+point: :func:`repro.query.run`.
+"""
+
+from repro.query.compiler import (
+    WhenQuery,
+    compile_lifespan,
+    compile_predicate,
+    compile_query,
+    run,
+)
+from repro.query.lexer import tokenize
+from repro.query.parser import parse
+
+__all__ = [
+    "WhenQuery",
+    "compile_lifespan",
+    "compile_predicate",
+    "compile_query",
+    "parse",
+    "run",
+    "tokenize",
+]

@@ -1,0 +1,100 @@
+"""An interactive HRQL shell: ``python -m repro.query``.
+
+Loads the demo personnel workload (relation ``EMP``) and reads HRQL
+queries from stdin, printing relations as timeline-annotated tables and
+lifespans directly. A minimal but real entry point for exploring the
+model without writing a script.
+
+Commands::
+
+    \\relations           list loaded relations
+    \\timelines NAME      draw the per-tuple lifespans of a relation
+    \\quit                exit
+
+Anything else is parsed as an HRQL query, e.g.::
+
+    SELECT WHEN SALARY >= 60000 IN EMP
+    WHEN (SELECT WHEN DEPT = 'Toys' IN EMP)
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.core.errors import HRDMError
+from repro.core.lifespan import Lifespan
+from repro.core.relation import HistoricalRelation
+from repro.query.compiler import run
+from repro.render import relation_table, relation_timelines
+from repro.workloads import PersonnelConfig, generate_personnel
+
+BANNER = """\
+HRDM / HRQL shell — demo relation: EMP(NAME*, SALARY, DEPT), months 0..120
+Type an HRQL query, \\relations, \\timelines EMP, or \\quit.
+"""
+
+MAX_TABLE_ROWS = 40
+
+
+def default_environment() -> dict[str, HistoricalRelation]:
+    """The demo environment: one generated personnel relation."""
+    return {"EMP": generate_personnel(PersonnelConfig(n_employees=20, seed=7))}
+
+
+def format_result(result: HistoricalRelation | Lifespan) -> str:
+    """Render a query result for the terminal."""
+    if isinstance(result, Lifespan):
+        return f"lifespan: {result}"
+    table = relation_table(result)
+    lines = table.splitlines()
+    if len(lines) > MAX_TABLE_ROWS:
+        hidden = len(lines) - MAX_TABLE_ROWS
+        lines = lines[:MAX_TABLE_ROWS] + [f"... ({hidden} more rows)"]
+    summary = f"{len(result)} tuple(s); LS = {result.lifespan()}"
+    return "\n".join([summary, *lines])
+
+
+def execute(line: str, env: dict[str, HistoricalRelation]) -> str:
+    """Run one shell line and return the printable response."""
+    stripped = line.strip()
+    if not stripped:
+        return ""
+    if stripped in ("\\quit", "\\q"):
+        raise EOFError
+    if stripped == "\\relations":
+        return "\n".join(
+            f"  {name}: {len(rel)} tuples, LS = {rel.lifespan()}"
+            for name, rel in env.items()
+        )
+    if stripped.startswith("\\timelines"):
+        parts = stripped.split()
+        name = parts[1] if len(parts) > 1 else "EMP"
+        if name not in env:
+            return f"no relation named {name!r}"
+        return relation_timelines(env[name], width=60)
+    try:
+        return format_result(run(stripped, env, optimize=True))
+    except HRDMError as exc:
+        return f"error: {exc}"
+
+
+def main(argv: list[str] | None = None) -> int:
+    del argv
+    env = default_environment()
+    print(BANNER)
+    while True:
+        try:
+            line = input("hrql> ")
+        except (EOFError, KeyboardInterrupt):
+            print()
+            return 0
+        try:
+            response = execute(line, env)
+        except EOFError:
+            return 0
+        if response:
+            print(response)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,150 @@
+"""Abstract syntax tree for HRQL.
+
+A deliberately small AST, separate from the algebra expression tree of
+:mod:`repro.algebra.expr` so the surface language and the algebra can
+evolve independently; :mod:`repro.query.compiler` maps one to the
+other.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple, Union
+
+
+# -- predicate AST -----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """``ATTR θ literal`` or ``ATTR θ ATTR``."""
+
+    attribute: str
+    theta: str
+    rhs: Union[int, float, str]
+    rhs_is_attribute: bool = False
+
+
+@dataclass(frozen=True)
+class BoolOp:
+    """``AND`` / ``OR`` over sub-predicates."""
+
+    op: str  # "and" | "or"
+    parts: Tuple["PredicateNode", ...]
+
+
+@dataclass(frozen=True)
+class Negation:
+    """``NOT`` of a sub-predicate."""
+
+    inner: "PredicateNode"
+
+
+PredicateNode = Union[Comparison, BoolOp, Negation]
+
+
+# -- lifespan AST ---------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class LifespanLiteral:
+    """``[lo, hi], [lo, hi], ...`` or the keyword ``ALWAYS``."""
+
+    intervals: Tuple[Tuple[int, int], ...]
+    always: bool = False
+
+
+# -- relation expression AST ------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RelationRef:
+    """A named base relation."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class SelectNode:
+    """``SELECT IF|WHEN pred [EXISTS|FORALL] [DURING L] IN child``."""
+
+    flavor: str  # "if" | "when"
+    predicate: PredicateNode
+    child: "QueryNode"
+    quantifier: Optional[str] = None  # "exists" | "forall" (IF only)
+    during: Optional[LifespanLiteral] = None
+
+
+@dataclass(frozen=True)
+class ProjectNode:
+    """``PROJECT a, b, c FROM child``."""
+
+    attributes: Tuple[str, ...]
+    child: "QueryNode"
+
+
+@dataclass(frozen=True)
+class TimeSliceNode:
+    """``TIMESLICE child TO [lo, hi]`` (static)."""
+
+    child: "QueryNode"
+    lifespan: LifespanLiteral
+
+
+@dataclass(frozen=True)
+class DynamicTimeSliceNode:
+    """``TIMESLICE child VIA attr`` (dynamic, through a TT attribute)."""
+
+    child: "QueryNode"
+    attribute: str
+
+
+@dataclass(frozen=True)
+class SetOpNode:
+    """``left UNION|INTERSECT|MINUS|TIMES right`` (MERGED variants too)."""
+
+    op: str  # "union" | "intersect" | "minus" | "times" (+ "_merged")
+    left: "QueryNode"
+    right: "QueryNode"
+
+
+@dataclass(frozen=True)
+class JoinNode:
+    """``left JOIN right ON a θ b`` | ``left NATURAL JOIN right`` |
+    ``left TIMEJOIN right VIA attr``."""
+
+    kind: str  # "theta" | "natural" | "time"
+    left: "QueryNode"
+    right: "QueryNode"
+    left_attr: Optional[str] = None
+    theta: Optional[str] = None
+    right_attr: Optional[str] = None
+    via: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class RenameNode:
+    """``RENAME old TO new [, old TO new ...] IN child``."""
+
+    mapping: Tuple[Tuple[str, str], ...]
+    child: "QueryNode"
+
+
+@dataclass(frozen=True)
+class WhenNode:
+    """``WHEN (child)`` — produces a lifespan, not a relation."""
+
+    child: "QueryNode"
+
+
+QueryNode = Union[
+    RelationRef,
+    RenameNode,
+    SelectNode,
+    ProjectNode,
+    TimeSliceNode,
+    DynamicTimeSliceNode,
+    SetOpNode,
+    JoinNode,
+    WhenNode,
+]

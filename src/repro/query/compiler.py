@@ -1,0 +1,135 @@
+"""Compile HRQL ASTs onto the historical algebra.
+
+:func:`compile_query` maps an AST to an
+:class:`~repro.algebra.expr.Expr` tree (relations) or a
+:class:`WhenQuery` wrapper (top-level ``WHEN`` — a lifespan, the
+algebra's second sort). :func:`run` parses, compiles, optionally
+rewrites (the Section 5 laws), and evaluates in one call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Union
+
+from repro.algebra.when import when as when_fn
+from repro.algebra import expr as E
+from repro.algebra.predicates import And, AttrOp, AttrRef, Not, Or, Predicate
+from repro.algebra.rewriter import rewrite
+from repro.algebra.select import EXISTS, FORALL
+from repro.core.errors import CompileError
+from repro.core.lifespan import ALWAYS, Lifespan
+from repro.core.relation import HistoricalRelation
+from repro.query import ast_nodes as ast
+from repro.query.parser import parse
+
+
+@dataclass(frozen=True)
+class WhenQuery:
+    """A compiled top-level ``WHEN (...)`` — evaluates to a lifespan."""
+
+    child: E.Expr
+
+    def evaluate(self, env: Mapping[str, HistoricalRelation]) -> Lifespan:
+        return when_fn(self.child.evaluate(env))
+
+
+Compiled = Union[E.Expr, WhenQuery]
+
+
+def compile_predicate(node: ast.PredicateNode) -> Predicate:
+    """Map a predicate AST onto the algebra's predicate language."""
+    if isinstance(node, ast.Comparison):
+        rhs = AttrRef(node.rhs) if node.rhs_is_attribute else node.rhs
+        return AttrOp(node.attribute, node.theta, rhs)
+    if isinstance(node, ast.BoolOp):
+        parts = tuple(compile_predicate(p) for p in node.parts)
+        return And(*parts) if node.op == "and" else Or(*parts)
+    if isinstance(node, ast.Negation):
+        return Not(compile_predicate(node.inner))
+    raise CompileError(f"unknown predicate node {node!r}")
+
+
+def compile_lifespan(node: ast.LifespanLiteral | None) -> Lifespan | None:
+    """Map a lifespan literal; None stays None (meaning 'unbounded')."""
+    if node is None:
+        return None
+    if node.always:
+        return ALWAYS
+    return Lifespan(*node.intervals)
+
+
+_SETOP_NODES = {
+    "union": E.Union_,
+    "intersect": E.Intersection,
+    "minus": E.Difference,
+    "times": E.Product,
+    "union_merged": E.UnionMerge,
+    "intersect_merged": E.IntersectionMerge,
+    "minus_merged": E.DifferenceMerge,
+}
+
+
+def compile_query(node: ast.QueryNode) -> Compiled:
+    """Map a query AST onto the algebra expression tree."""
+    if isinstance(node, ast.WhenNode):
+        return WhenQuery(_compile_relational(node.child))
+    return _compile_relational(node)
+
+
+def _compile_relational(node: ast.QueryNode) -> E.Expr:
+    if isinstance(node, ast.RelationRef):
+        return E.Rel(node.name)
+    if isinstance(node, ast.SelectNode):
+        child = _compile_relational(node.child)
+        predicate = compile_predicate(node.predicate)
+        bound = compile_lifespan(node.during)
+        if node.flavor == "if":
+            quantifier = FORALL if node.quantifier == "forall" else EXISTS
+            return E.SelectIf(child, predicate, quantifier, bound)
+        return E.SelectWhen(child, predicate, bound)
+    if isinstance(node, ast.ProjectNode):
+        return E.Project(_compile_relational(node.child), node.attributes)
+    if isinstance(node, ast.RenameNode):
+        return E.Rename(_compile_relational(node.child), node.mapping)
+    if isinstance(node, ast.TimeSliceNode):
+        lifespan = compile_lifespan(node.lifespan)
+        assert lifespan is not None
+        return E.TimeSlice(_compile_relational(node.child), lifespan)
+    if isinstance(node, ast.DynamicTimeSliceNode):
+        return E.DynamicTimeSlice(_compile_relational(node.child), node.attribute)
+    if isinstance(node, ast.SetOpNode):
+        try:
+            ctor = _SETOP_NODES[node.op]
+        except KeyError:
+            raise CompileError(f"unknown set operator {node.op!r}") from None
+        return ctor(_compile_relational(node.left), _compile_relational(node.right))
+    if isinstance(node, ast.JoinNode):
+        left = _compile_relational(node.left)
+        right = _compile_relational(node.right)
+        if node.kind == "theta":
+            assert node.left_attr and node.theta and node.right_attr
+            return E.ThetaJoin(left, right, node.left_attr, node.theta, node.right_attr)
+        if node.kind == "natural":
+            return E.NaturalJoin(left, right)
+        if node.kind == "time":
+            assert node.via
+            return E.TimeJoin(left, right, node.via)
+        raise CompileError(f"unknown join kind {node.kind!r}")
+    if isinstance(node, ast.WhenNode):
+        raise CompileError("WHEN (...) is only allowed at the top level of a query")
+    raise CompileError(f"unknown query node {node!r}")
+
+
+def run(source: str, env: Mapping[str, HistoricalRelation],
+        optimize: bool = False) -> HistoricalRelation | Lifespan:
+    """Parse, compile, optionally rewrite, and evaluate an HRQL query.
+
+    >>> run("SELECT WHEN SALARY >= 30000 IN EMP", {"EMP": emp})  # doctest: +SKIP
+    """
+    compiled = compile_query(parse(source))
+    if isinstance(compiled, WhenQuery):
+        child = rewrite(compiled.child) if optimize else compiled.child
+        return WhenQuery(child).evaluate(env)
+    expression = rewrite(compiled) if optimize else compiled
+    return expression.evaluate(env)

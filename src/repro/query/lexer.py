@@ -1,0 +1,107 @@
+"""The HRQL lexer — a single-pass, position-tracking tokenizer."""
+
+from __future__ import annotations
+
+from repro.core.errors import LexError
+from repro.query.tokens import KEYWORDS, THETA_LEXEMES, Token, TokenType
+
+_PUNCT = {
+    ",": TokenType.COMMA,
+    "(": TokenType.LPAREN,
+    ")": TokenType.RPAREN,
+    "[": TokenType.LBRACKET,
+    "]": TokenType.RBRACKET,
+}
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize *source* into a list ending with an EOF token.
+
+    >>> [t.type.name for t in tokenize("SELECT WHEN A = 1 IN r")]
+    ['KEYWORD', 'KEYWORD', 'IDENT', 'THETA', 'INT', 'KEYWORD', 'IDENT', 'EOF']
+    """
+    tokens: list[Token] = []
+    pos = 0
+    line = 1
+    col = 1
+    n = len(source)
+
+    def advance(count: int) -> None:
+        nonlocal pos, line, col
+        for _ in range(count):
+            if pos < n and source[pos] == "\n":
+                line += 1
+                col = 1
+            else:
+                col += 1
+            pos += 1
+
+    while pos < n:
+        ch = source[pos]
+
+        if ch in " \t\r\n":
+            advance(1)
+            continue
+
+        if ch == "-" and source.startswith("--", pos):
+            while pos < n and source[pos] != "\n":
+                advance(1)
+            continue
+
+        start_line, start_col = line, col
+
+        if ch in _PUNCT:
+            tokens.append(Token(_PUNCT[ch], ch, start_line, start_col))
+            advance(1)
+            continue
+
+        matched_theta = next(
+            (lex for lex in THETA_LEXEMES if source.startswith(lex, pos)), None
+        )
+        if matched_theta is not None:
+            canonical = "!=" if matched_theta == "<>" else matched_theta
+            tokens.append(Token(TokenType.THETA, canonical, start_line, start_col))
+            advance(len(matched_theta))
+            continue
+
+        if ch == "'":
+            end = source.find("'", pos + 1)
+            if end < 0:
+                raise LexError("unterminated string literal", pos, start_line, start_col)
+            value = source[pos + 1:end]
+            tokens.append(Token(TokenType.STRING, value, start_line, start_col))
+            advance(end + 1 - pos)
+            continue
+
+        if ch.isdigit() or (ch == "-" and pos + 1 < n and source[pos + 1].isdigit()):
+            end = pos + 1
+            seen_dot = False
+            while end < n and (source[end].isdigit() or (source[end] == "." and not seen_dot)):
+                if source[end] == ".":
+                    seen_dot = True
+                end += 1
+            text = source[pos:end]
+            if seen_dot:
+                tokens.append(Token(TokenType.FLOAT, float(text), start_line, start_col))
+            else:
+                tokens.append(Token(TokenType.INT, int(text), start_line, start_col))
+            advance(end - pos)
+            continue
+
+        if ch.isalpha() or ch == "_":
+            end = pos + 1
+            while end < n and (source[end].isalnum() or source[end] in "_#"):
+                end += 1
+            word = source[pos:end]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token(TokenType.KEYWORD, upper, start_line, start_col))
+            else:
+                tokens.append(Token(TokenType.IDENT, word, start_line, start_col))
+            advance(end - pos)
+            continue
+
+        raise LexError(f"unexpected character {ch!r}", pos, start_line, start_col)
+
+    tokens.append(Token(TokenType.EOF, None, line, col))
+    return tokens

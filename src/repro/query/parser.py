@@ -1,0 +1,293 @@
+"""Recursive-descent parser for HRQL.
+
+Grammar (EBNF; keywords case-insensitive)::
+
+    query        := "WHEN" "(" setexpr ")"  |  setexpr
+    setexpr      := joinexpr { SETOP ["MERGED"] joinexpr }
+    SETOP        := "UNION" | "INTERSECT" | "MINUS" | "TIMES"
+    joinexpr     := unary { jointail }
+    jointail     := "JOIN" unary "ON" IDENT THETA IDENT
+                  | "NATURAL" "JOIN" unary
+                  | "TIMEJOIN" unary "VIA" IDENT
+    unary        := "SELECT" "IF" predicate [QUANT] ["DURING" lifespan] "IN" unary
+                  | "SELECT" "WHEN" predicate ["DURING" lifespan] "IN" unary
+                  | "PROJECT" identlist "FROM" unary
+                  | "TIMESLICE" unary ("TO" lifespan | "VIA" IDENT)
+                  | "RENAME" IDENT "TO" IDENT {"," IDENT "TO" IDENT} "IN" unary
+                  | primary
+    QUANT        := "EXISTS" | "FORALL"
+    primary      := IDENT | "(" setexpr ")"
+    predicate    := orpred
+    orpred       := andpred { "OR" andpred }
+    andpred      := notpred { "AND" notpred }
+    notpred      := "NOT" notpred | "(" predicate ")" | comparison
+    comparison   := IDENT THETA (INT | FLOAT | STRING | IDENT)
+    lifespan     := "ALWAYS" | interval { "," interval }
+    interval     := "[" INT "," INT "]"
+
+An identifier on the right-hand side of a comparison denotes *another
+attribute* (the paper's attribute-vs-attribute θ criteria); literals
+denote constants.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import ParseError
+from repro.query import ast_nodes as ast
+from repro.query.lexer import tokenize
+from repro.query.tokens import Token, TokenType
+
+_SETOPS = {"UNION": "union", "INTERSECT": "intersect", "MINUS": "minus", "TIMES": "times"}
+
+
+class Parser:
+    """One-shot recursive-descent parser over a token list."""
+
+    def __init__(self, tokens: list[Token]):
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- token helpers -----------------------------------------------------
+
+    def _peek(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._pos]
+        if token.type is not TokenType.EOF:
+            self._pos += 1
+        return token
+
+    def _check_keyword(self, word: str) -> bool:
+        return self._peek().is_keyword(word)
+
+    def _accept_keyword(self, word: str) -> bool:
+        if self._check_keyword(word):
+            self._advance()
+            return True
+        return False
+
+    def _expect_keyword(self, word: str) -> Token:
+        token = self._peek()
+        if not token.is_keyword(word):
+            raise ParseError(
+                f"expected {word}, found {token.value!r}", token.line, token.column
+            )
+        return self._advance()
+
+    def _expect(self, token_type: TokenType, what: str) -> Token:
+        token = self._peek()
+        if token.type is not token_type:
+            raise ParseError(
+                f"expected {what}, found {token.value!r}", token.line, token.column
+            )
+        return self._advance()
+
+    # -- grammar ---------------------------------------------------------------
+
+    def parse(self) -> ast.QueryNode:
+        """Parse a complete query; trailing tokens are an error."""
+        node = self._query()
+        trailer = self._peek()
+        if trailer.type is not TokenType.EOF:
+            raise ParseError(
+                f"unexpected input after query: {trailer.value!r}",
+                trailer.line, trailer.column,
+            )
+        return node
+
+    def _query(self) -> ast.QueryNode:
+        if self._check_keyword("WHEN"):
+            # Only a *top-level* WHEN is the Ω operator; inside SELECT
+            # the keyword introduces the select flavor.
+            self._advance()
+            self._expect(TokenType.LPAREN, "'('")
+            child = self._setexpr()
+            self._expect(TokenType.RPAREN, "')'")
+            return ast.WhenNode(child)
+        return self._setexpr()
+
+    def _setexpr(self) -> ast.QueryNode:
+        node = self._joinexpr()
+        while True:
+            token = self._peek()
+            if token.type is TokenType.KEYWORD and token.value in _SETOPS:
+                self._advance()
+                op = _SETOPS[token.value]
+                if self._accept_keyword("MERGED"):
+                    op += "_merged"
+                right = self._joinexpr()
+                node = ast.SetOpNode(op, node, right)
+            else:
+                return node
+
+    def _joinexpr(self) -> ast.QueryNode:
+        node = self._unary()
+        while True:
+            if self._accept_keyword("JOIN"):
+                right = self._unary()
+                self._expect_keyword("ON")
+                left_attr = self._expect(TokenType.IDENT, "attribute").value
+                theta = self._expect(TokenType.THETA, "comparison operator").value
+                right_attr = self._expect(TokenType.IDENT, "attribute").value
+                node = ast.JoinNode(
+                    "theta", node, right,
+                    left_attr=str(left_attr), theta=str(theta),
+                    right_attr=str(right_attr),
+                )
+            elif self._check_keyword("NATURAL"):
+                self._advance()
+                self._expect_keyword("JOIN")
+                right = self._unary()
+                node = ast.JoinNode("natural", node, right)
+            elif self._accept_keyword("TIMEJOIN"):
+                right = self._unary()
+                self._expect_keyword("VIA")
+                via = self._expect(TokenType.IDENT, "attribute").value
+                node = ast.JoinNode("time", node, right, via=str(via))
+            else:
+                return node
+
+    def _unary(self) -> ast.QueryNode:
+        if self._accept_keyword("SELECT"):
+            return self._select_tail()
+        if self._accept_keyword("PROJECT"):
+            attributes = [str(self._expect(TokenType.IDENT, "attribute").value)]
+            while self._peek().type is TokenType.COMMA:
+                self._advance()
+                attributes.append(str(self._expect(TokenType.IDENT, "attribute").value))
+            self._expect_keyword("FROM")
+            child = self._unary()
+            return ast.ProjectNode(tuple(attributes), child)
+        if self._accept_keyword("TIMESLICE"):
+            child = self._unary()
+            if self._accept_keyword("TO"):
+                return ast.TimeSliceNode(child, self._lifespan())
+            self._expect_keyword("VIA")
+            attribute = self._expect(TokenType.IDENT, "attribute").value
+            return ast.DynamicTimeSliceNode(child, str(attribute))
+        if self._accept_keyword("RENAME"):
+            pairs = [self._rename_pair()]
+            while self._peek().type is TokenType.COMMA:
+                self._advance()
+                pairs.append(self._rename_pair())
+            self._expect_keyword("IN")
+            child = self._unary()
+            return ast.RenameNode(tuple(pairs), child)
+        return self._primary()
+
+    def _rename_pair(self) -> tuple[str, str]:
+        old = self._expect(TokenType.IDENT, "attribute").value
+        self._expect_keyword("TO")
+        new = self._expect(TokenType.IDENT, "attribute").value
+        return (str(old), str(new))
+
+    def _select_tail(self) -> ast.QueryNode:
+        if self._accept_keyword("IF"):
+            predicate = self._predicate()
+            quantifier = None
+            if self._accept_keyword("EXISTS"):
+                quantifier = "exists"
+            elif self._accept_keyword("FORALL"):
+                quantifier = "forall"
+            during = self._lifespan() if self._accept_keyword("DURING") else None
+            self._expect_keyword("IN")
+            child = self._unary()
+            return ast.SelectNode("if", predicate, child, quantifier, during)
+        self._expect_keyword("WHEN")
+        predicate = self._predicate()
+        during = self._lifespan() if self._accept_keyword("DURING") else None
+        self._expect_keyword("IN")
+        child = self._unary()
+        return ast.SelectNode("when", predicate, child, None, during)
+
+    def _primary(self) -> ast.QueryNode:
+        token = self._peek()
+        if token.type is TokenType.IDENT:
+            self._advance()
+            return ast.RelationRef(str(token.value))
+        if token.type is TokenType.LPAREN:
+            self._advance()
+            node = self._setexpr()
+            self._expect(TokenType.RPAREN, "')'")
+            return node
+        raise ParseError(
+            f"expected a relation name or '(', found {token.value!r}",
+            token.line, token.column,
+        )
+
+    # -- predicates ------------------------------------------------------------------
+
+    def _predicate(self) -> ast.PredicateNode:
+        return self._orpred()
+
+    def _orpred(self) -> ast.PredicateNode:
+        parts = [self._andpred()]
+        while self._accept_keyword("OR"):
+            parts.append(self._andpred())
+        if len(parts) == 1:
+            return parts[0]
+        return ast.BoolOp("or", tuple(parts))
+
+    def _andpred(self) -> ast.PredicateNode:
+        parts = [self._notpred()]
+        while self._accept_keyword("AND"):
+            parts.append(self._notpred())
+        if len(parts) == 1:
+            return parts[0]
+        return ast.BoolOp("and", tuple(parts))
+
+    def _notpred(self) -> ast.PredicateNode:
+        if self._accept_keyword("NOT"):
+            return ast.Negation(self._notpred())
+        if self._peek().type is TokenType.LPAREN:
+            self._advance()
+            inner = self._predicate()
+            self._expect(TokenType.RPAREN, "')'")
+            return inner
+        return self._comparison()
+
+    def _comparison(self) -> ast.PredicateNode:
+        attribute = self._expect(TokenType.IDENT, "attribute").value
+        theta = self._expect(TokenType.THETA, "comparison operator").value
+        rhs_token = self._peek()
+        if rhs_token.type in (TokenType.INT, TokenType.FLOAT, TokenType.STRING):
+            self._advance()
+            return ast.Comparison(str(attribute), str(theta), rhs_token.value)
+        if rhs_token.type is TokenType.IDENT:
+            self._advance()
+            return ast.Comparison(
+                str(attribute), str(theta), str(rhs_token.value), rhs_is_attribute=True
+            )
+        raise ParseError(
+            f"expected a literal or attribute, found {rhs_token.value!r}",
+            rhs_token.line, rhs_token.column,
+        )
+
+    # -- lifespans ----------------------------------------------------------------------
+
+    def _lifespan(self) -> ast.LifespanLiteral:
+        if self._accept_keyword("ALWAYS"):
+            return ast.LifespanLiteral((), always=True)
+        intervals = [self._interval()]
+        while self._peek().type is TokenType.COMMA:
+            self._advance()
+            intervals.append(self._interval())
+        return ast.LifespanLiteral(tuple(intervals))
+
+    def _interval(self) -> tuple[int, int]:
+        self._expect(TokenType.LBRACKET, "'['")
+        lo = self._expect(TokenType.INT, "integer").value
+        self._expect(TokenType.COMMA, "','")
+        hi = self._expect(TokenType.INT, "integer").value
+        self._expect(TokenType.RBRACKET, "']'")
+        return (int(lo), int(hi))  # type: ignore[arg-type]
+
+
+def parse(source: str) -> ast.QueryNode:
+    """Parse an HRQL query string into its AST.
+
+    >>> parse("SELECT WHEN SALARY >= 30000 IN EMP")     # doctest: +ELLIPSIS
+    SelectNode(...)
+    """
+    return Parser(tokenize(source)).parse()

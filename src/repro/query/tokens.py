@@ -1,0 +1,62 @@
+"""Token definitions for HRQL, the small textual query language.
+
+HRQL is a keyword-oriented surface syntax for the historical algebra,
+so users (and the examples) can write::
+
+    SELECT WHEN SALARY >= 30000 IN EMP
+    PROJECT NAME, DEPT FROM (TIMESLICE EMP TO [0, 59])
+    EMP NATURAL JOIN MANAGES
+    WHEN (SELECT WHEN DEPT = 'Toys' IN EMP)
+
+Tokens carry their source position for error reporting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, auto
+
+
+class TokenType(Enum):
+    """Lexical token categories."""
+
+    IDENT = auto()       # attribute / relation names
+    INT = auto()         # integer literal
+    FLOAT = auto()       # float literal
+    STRING = auto()      # 'quoted' string literal
+    KEYWORD = auto()     # reserved word (case-insensitive)
+    THETA = auto()       # = != < <= > >=
+    COMMA = auto()
+    LPAREN = auto()
+    RPAREN = auto()
+    LBRACKET = auto()
+    RBRACKET = auto()
+    EOF = auto()
+
+
+#: Reserved words (stored uppercase; matching is case-insensitive).
+KEYWORDS = frozenset({
+    "SELECT", "IF", "WHEN", "IN", "PROJECT", "FROM", "TIMESLICE", "TO",
+    "VIA", "UNION", "INTERSECT", "MINUS", "TIMES", "JOIN", "NATURAL",
+    "TIMEJOIN", "ON", "AND", "OR", "NOT", "EXISTS", "FORALL", "DURING",
+    "MERGED", "ALWAYS", "RENAME",
+})
+
+#: θ comparison operators, longest first for maximal-munch lexing.
+THETA_LEXEMES = (">=", "<=", "!=", "<>", "=", "<", ">")
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position."""
+
+    type: TokenType
+    value: object
+    line: int
+    column: int
+
+    def is_keyword(self, word: str) -> bool:
+        return self.type is TokenType.KEYWORD and self.value == word
+
+    def __repr__(self) -> str:
+        return f"Token({self.type.name}, {self.value!r})"

@@ -1,0 +1,137 @@
+"""Plain-text rendering of historical relations.
+
+The paper communicates its model through timeline diagrams (Figures 2–8,
+11): boxes spanning the periods during which tuples and attribute values
+exist. This module renders the same pictures from live data:
+
+* :func:`timeline` — one lifespan as a ``──███──███──`` strip;
+* :func:`relation_timelines` — Figure 4-style per-tuple strips;
+* :func:`value_matrix` — Figure 7/8-style tuple × attribute matrix of
+  value lifespans;
+* :func:`relation_table` — a tabular dump with one row per maximal
+  constant segment, the common way to eyeball a historical relation.
+
+Everything returns strings (no terminal dependencies), so the renderers
+are usable in doctests, logs, and notebooks alike.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from repro.core.lifespan import Lifespan
+from repro.core.relation import HistoricalRelation
+from repro.core.tuples import HistoricalTuple
+
+#: Glyphs for timeline strips.
+FULL, EMPTY = "█", "·"
+
+
+def _window_of(relation_or_lifespans: Iterable[Lifespan],
+               window: Optional[tuple[int, int]]) -> tuple[int, int]:
+    if window is not None:
+        return window
+    spans = [ls for ls in relation_or_lifespans if not ls.is_empty]
+    if not spans:
+        return (0, 0)
+    return (min(ls.start for ls in spans), max(ls.end for ls in spans))
+
+
+def timeline(lifespan: Lifespan, window: Optional[tuple[int, int]] = None,
+             width: int = 60) -> str:
+    """Render one lifespan as a fixed-width strip.
+
+    >>> timeline(Lifespan((0, 3), (8, 9)), window=(0, 9), width=10)
+    '████····██'
+    """
+    lo, hi = _window_of([lifespan], window)
+    span = hi - lo + 1
+    if span <= 0:
+        return EMPTY * width
+    cells = []
+    for i in range(width):
+        # Each cell covers chronons [c_lo, c_hi] of the window.
+        c_lo = lo + (i * span) // width
+        c_hi = lo + ((i + 1) * span - 1) // width
+        covered = lifespan.overlaps(Lifespan.interval(c_lo, min(c_hi, hi)))
+        cells.append(FULL if covered else EMPTY)
+    return "".join(cells)
+
+
+def relation_timelines(relation: HistoricalRelation,
+                       window: Optional[tuple[int, int]] = None,
+                       width: int = 60) -> str:
+    """Figure 4-style per-tuple lifespan strips with a time axis."""
+    lifespans = [t.lifespan for t in relation]
+    lo, hi = _window_of(lifespans, window)
+    label_width = max((len(_key_label(t)) for t in relation), default=4)
+    lines = [f"{'time'.ljust(label_width)}  {lo} .. {hi}"]
+    for t in relation:
+        strip = timeline(t.lifespan, (lo, hi), width)
+        lines.append(f"{_key_label(t).ljust(label_width)}  {strip}")
+    return "\n".join(lines)
+
+
+def value_matrix(t: HistoricalTuple, window: Optional[tuple[int, int]] = None,
+                 width: int = 40) -> str:
+    """Figure 7/8-style matrix: one strip per attribute's value lifespan."""
+    lifespans = [t.lifespan] + [t.value(a).domain for a in t.scheme.attributes]
+    lo, hi = _window_of(lifespans, window)
+    label_width = max(len("(tuple)"),
+                      max(len(a) for a in t.scheme.attributes))
+    lines = [f"{_key_label(t)}: window {lo} .. {hi}"]
+    lines.append(f"{'(tuple)'.ljust(label_width)}  {timeline(t.lifespan, (lo, hi), width)}")
+    for a in t.scheme.attributes:
+        strip = timeline(t.value(a).domain, (lo, hi), width)
+        lines.append(f"{a.ljust(label_width)}  {strip}")
+    return "\n".join(lines)
+
+
+def relation_table(relation: HistoricalRelation,
+                   attributes: Optional[Sequence[str]] = None) -> str:
+    """A tabular dump: one row per (tuple, maximal constant period).
+
+    Rows show the period during which *all* displayed attributes were
+    simultaneously constant — the representation a tuple-timestamped
+    system would store, which makes it a familiar reading aid.
+    """
+    attrs = list(attributes or relation.scheme.attributes)
+    headers = ["FROM", "TO", *attrs]
+    rows: list[list[str]] = []
+    for t in relation:
+        for lo, hi in _constancy_periods(t, attrs):
+            row = [str(lo), str(hi)]
+            for a in attrs:
+                value = t.value(a).get(lo, "—")
+                row.append(str(value))
+            rows.append(row)
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = ["  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))]
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _constancy_periods(t: HistoricalTuple, attrs: Sequence[str]):
+    """Maximal intervals of t.l where every listed attribute is constant."""
+    boundaries: set[int] = set()
+    for lo, hi in t.lifespan.intervals:
+        boundaries.add(lo)
+        boundaries.add(hi + 1)
+    for a in attrs:
+        for (lo, hi), _ in t.value(a).items():
+            boundaries.add(lo)
+            boundaries.add(hi + 1)
+    cuts = sorted(boundaries)
+    for i in range(len(cuts) - 1):
+        lo, hi = cuts[i], cuts[i + 1] - 1
+        if lo in t.lifespan:
+            yield lo, hi
+
+
+def _key_label(t: HistoricalTuple) -> str:
+    return ",".join(str(v) for v in t.key_value())

@@ -1,0 +1,50 @@
+"""Storage substrate — Figure 9's representation and physical levels.
+
+Binary codec, compact representations with interpolation, slotted-page
+heap files, key and interval indexes, and the storage engine tying the
+three levels of the historical model together.
+"""
+
+from repro.storage.codec import (
+    decode_lifespan,
+    decode_tfunc,
+    decode_value,
+    encode_lifespan,
+    encode_tfunc,
+    encode_value,
+)
+from repro.storage.engine import StoredRelation, decode_tuple, encode_tuple
+from repro.storage.heapfile import PAGE_SIZE, HeapFile, Page, RecordId
+from repro.storage.index import IntervalIndex, KeyIndex
+from repro.storage.representation import (
+    ConstantRep,
+    Representation,
+    SampledRep,
+    SegmentRep,
+    best_representation,
+    make_sampled,
+)
+
+__all__ = [
+    "ConstantRep",
+    "HeapFile",
+    "IntervalIndex",
+    "KeyIndex",
+    "PAGE_SIZE",
+    "Page",
+    "RecordId",
+    "Representation",
+    "SampledRep",
+    "SegmentRep",
+    "StoredRelation",
+    "best_representation",
+    "decode_lifespan",
+    "decode_tfunc",
+    "decode_tuple",
+    "decode_value",
+    "encode_lifespan",
+    "encode_tfunc",
+    "encode_tuple",
+    "encode_value",
+    "make_sampled",
+]

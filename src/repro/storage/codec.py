@@ -1,0 +1,161 @@
+"""Binary codec for the physical level.
+
+Figure 9's bottom layer needs a concrete byte representation. This is a
+small, dependency-free, length-prefixed binary format:
+
+* fixed little-endian integer framing via :mod:`struct`;
+* tagged atomic values (int, float, str, bool, None, chronon);
+* composite encoders for lifespans (interval lists), temporal-function
+  segments, tuples, and whole relations.
+
+The format favours simplicity and determinism over compactness — it is
+the *substrate* of the reproduction, not a storage research artifact.
+All encoders return :class:`bytes`; all decoders take a
+:class:`memoryview` plus offset and return ``(value, new_offset)`` so
+composite decoding is allocation-free.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, Tuple
+
+from repro.core.errors import CodecError
+from repro.core.lifespan import Lifespan
+from repro.core.tfunc import TemporalFunction
+
+_I64 = struct.Struct("<q")
+_F64 = struct.Struct("<d")
+_U32 = struct.Struct("<I")
+
+#: Value-type tags.
+_TAG_NONE = 0
+_TAG_INT = 1
+_TAG_FLOAT = 2
+_TAG_STR = 3
+_TAG_BOOL = 4
+
+
+def encode_u32(value: int) -> bytes:
+    """A 4-byte unsigned length / count."""
+    if value < 0 or value > 0xFFFFFFFF:
+        raise CodecError(f"u32 out of range: {value}")
+    return _U32.pack(value)
+
+
+def decode_u32(buf: memoryview, offset: int) -> Tuple[int, int]:
+    try:
+        return _U32.unpack_from(buf, offset)[0], offset + 4
+    except struct.error as exc:
+        raise CodecError(f"truncated u32 at offset {offset}") from exc
+
+
+def encode_i64(value: int) -> bytes:
+    """An 8-byte signed integer (chronons, int values)."""
+    try:
+        return _I64.pack(value)
+    except struct.error as exc:
+        raise CodecError(f"i64 out of range: {value}") from exc
+
+
+def decode_i64(buf: memoryview, offset: int) -> Tuple[int, int]:
+    try:
+        return _I64.unpack_from(buf, offset)[0], offset + 8
+    except struct.error as exc:
+        raise CodecError(f"truncated i64 at offset {offset}") from exc
+
+
+def encode_value(value: Any) -> bytes:
+    """Encode one tagged atomic value."""
+    if value is None:
+        return bytes([_TAG_NONE])
+    if isinstance(value, bool):
+        return bytes([_TAG_BOOL, 1 if value else 0])
+    if isinstance(value, int):
+        return bytes([_TAG_INT]) + encode_i64(value)
+    if isinstance(value, float):
+        return bytes([_TAG_FLOAT]) + _F64.pack(value)
+    if isinstance(value, str):
+        raw = value.encode("utf-8")
+        return bytes([_TAG_STR]) + encode_u32(len(raw)) + raw
+    raise CodecError(f"cannot encode value of type {type(value).__name__}")
+
+
+def decode_value(buf: memoryview, offset: int) -> Tuple[Any, int]:
+    """Decode one tagged atomic value."""
+    if offset >= len(buf):
+        raise CodecError(f"truncated value tag at offset {offset}")
+    tag = buf[offset]
+    offset += 1
+    if tag == _TAG_NONE:
+        return None, offset
+    if tag == _TAG_BOOL:
+        return bool(buf[offset]), offset + 1
+    if tag == _TAG_INT:
+        return decode_i64(buf, offset)
+    if tag == _TAG_FLOAT:
+        try:
+            return _F64.unpack_from(buf, offset)[0], offset + 8
+        except struct.error as exc:
+            raise CodecError(f"truncated float at offset {offset}") from exc
+    if tag == _TAG_STR:
+        length, offset = decode_u32(buf, offset)
+        end = offset + length
+        if end > len(buf):
+            raise CodecError(f"truncated string at offset {offset}")
+        return bytes(buf[offset:end]).decode("utf-8"), end
+    raise CodecError(f"unknown value tag {tag} at offset {offset - 1}")
+
+
+def encode_str(value: str) -> bytes:
+    """A bare length-prefixed UTF-8 string (names, labels)."""
+    raw = value.encode("utf-8")
+    return encode_u32(len(raw)) + raw
+
+
+def decode_str(buf: memoryview, offset: int) -> Tuple[str, int]:
+    length, offset = decode_u32(buf, offset)
+    end = offset + length
+    if end > len(buf):
+        raise CodecError(f"truncated string at offset {offset}")
+    return bytes(buf[offset:end]).decode("utf-8"), end
+
+
+def encode_lifespan(lifespan: Lifespan) -> bytes:
+    """Interval-list encoding: count, then (lo, hi) i64 pairs."""
+    parts = [encode_u32(lifespan.n_intervals)]
+    for lo, hi in lifespan.intervals:
+        parts.append(encode_i64(lo))
+        parts.append(encode_i64(hi))
+    return b"".join(parts)
+
+
+def decode_lifespan(buf: memoryview, offset: int) -> Tuple[Lifespan, int]:
+    count, offset = decode_u32(buf, offset)
+    spans = []
+    for _ in range(count):
+        lo, offset = decode_i64(buf, offset)
+        hi, offset = decode_i64(buf, offset)
+        spans.append((lo, hi))
+    return Lifespan(*spans), offset
+
+
+def encode_tfunc(fn: TemporalFunction) -> bytes:
+    """Segment encoding: count, then ((lo, hi), value) triples."""
+    parts = [encode_u32(fn.n_changes())]
+    for (lo, hi), value in fn.items():
+        parts.append(encode_i64(lo))
+        parts.append(encode_i64(hi))
+        parts.append(encode_value(value))
+    return b"".join(parts)
+
+
+def decode_tfunc(buf: memoryview, offset: int) -> Tuple[TemporalFunction, int]:
+    count, offset = decode_u32(buf, offset)
+    segments = []
+    for _ in range(count):
+        lo, offset = decode_i64(buf, offset)
+        hi, offset = decode_i64(buf, offset)
+        value, offset = decode_value(buf, offset)
+        segments.append(((lo, hi), value))
+    return TemporalFunction(segments), offset

@@ -1,0 +1,281 @@
+"""A paged heap file — the physical level's record store.
+
+Figure 9's bottom layer: "At the physical level are the file structures
+and access methods." This is a small, honest heap file over an
+in-memory (or on-disk) byte array:
+
+* fixed-size :class:`Page` objects with a slot directory growing from
+  the tail (the classic slotted-page layout);
+* records addressed by :class:`RecordId` ``(page_no, slot_no)``;
+* insert / read / delete / scan; oversized records are rejected
+  (spanning records are out of scope for the reproduction);
+* :meth:`HeapFile.to_bytes` / :meth:`HeapFile.from_bytes` for
+  persistence through any byte transport.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Iterator, Optional, Tuple
+
+from repro.core.errors import PageError, StorageError
+
+#: Default page size in bytes. Small enough that tests exercise page
+#: overflow, large enough for realistic tuples.
+PAGE_SIZE = 4096
+
+_SLOT = struct.Struct("<HH")  # (offset, length) per slot
+_HEADER = struct.Struct("<HH")  # (n_slots, free_ptr)
+_HEADER_SIZE = _HEADER.size
+_TOMBSTONE = 0xFFFF
+
+
+@dataclass(frozen=True)
+class RecordId:
+    """The physical address of a record: page number and slot number."""
+
+    page_no: int
+    slot_no: int
+
+    def __repr__(self) -> str:
+        return f"rid({self.page_no}:{self.slot_no})"
+
+
+class Page:
+    """One slotted page: records grow forward, the slot directory backward."""
+
+    def __init__(self, size: int = PAGE_SIZE):
+        if size < 64:
+            raise PageError(f"page size {size} too small")
+        self.size = size
+        self._data = bytearray(size)
+        self._slots: list[Tuple[int, int]] = []  # (offset, length); length 0xFFFF = hole
+        self._free_ptr = _HEADER_SIZE
+
+    # -- capacity ---------------------------------------------------------
+
+    def free_space(self) -> int:
+        """Bytes available for one more record (including its slot entry)."""
+        directory_size = (len(self._slots) + 1) * _SLOT.size
+        return self.size - self._free_ptr - directory_size
+
+    def fits(self, record: bytes) -> bool:
+        return len(record) <= self.free_space()
+
+    @property
+    def n_records(self) -> int:
+        return sum(1 for _, length in self._slots if length != _TOMBSTONE)
+
+    # -- record operations ----------------------------------------------------
+
+    def insert(self, record: bytes) -> int:
+        """Store *record*, returning its slot number."""
+        if len(record) >= _TOMBSTONE:
+            raise PageError(f"record of {len(record)} bytes exceeds slot limit")
+        if not self.fits(record):
+            raise PageError("page full")
+        offset = self._free_ptr
+        self._data[offset:offset + len(record)] = record
+        self._free_ptr += len(record)
+        # Reuse a tombstoned slot when available.
+        for slot_no, (_, length) in enumerate(self._slots):
+            if length == _TOMBSTONE:
+                self._slots[slot_no] = (offset, len(record))
+                return slot_no
+        self._slots.append((offset, len(record)))
+        return len(self._slots) - 1
+
+    def read(self, slot_no: int) -> bytes:
+        """The record bytes at *slot_no*."""
+        offset, length = self._slot(slot_no)
+        return bytes(self._data[offset:offset + length])
+
+    def delete(self, slot_no: int) -> None:
+        """Tombstone a slot (space is reclaimed by :meth:`compact`)."""
+        offset, _ = self._slot(slot_no)
+        del offset
+        self._slots[slot_no] = (0, _TOMBSTONE)
+
+    def _slot(self, slot_no: int) -> Tuple[int, int]:
+        if not 0 <= slot_no < len(self._slots):
+            raise PageError(f"no slot {slot_no} in page")
+        offset, length = self._slots[slot_no]
+        if length == _TOMBSTONE:
+            raise PageError(f"slot {slot_no} is deleted")
+        return offset, length
+
+    def compact(self) -> None:
+        """Rewrite live records contiguously, reclaiming deleted space."""
+        new_data = bytearray(self.size)
+        cursor = _HEADER_SIZE
+        new_slots: list[Tuple[int, int]] = []
+        for offset, length in self._slots:
+            if length == _TOMBSTONE:
+                new_slots.append((0, _TOMBSTONE))
+                continue
+            new_data[cursor:cursor + length] = self._data[offset:offset + length]
+            new_slots.append((cursor, length))
+            cursor += length
+        self._data = new_data
+        self._slots = new_slots
+        self._free_ptr = cursor
+
+    def records(self) -> Iterator[Tuple[int, bytes]]:
+        """Iterate ``(slot_no, record_bytes)`` over live slots."""
+        for slot_no, (offset, length) in enumerate(self._slots):
+            if length != _TOMBSTONE:
+                yield slot_no, bytes(self._data[offset:offset + length])
+
+    # -- persistence --------------------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        """Serialise header + data + slot directory into ``size`` bytes."""
+        out = bytearray(self._data)
+        _HEADER.pack_into(out, 0, len(self._slots), self._free_ptr)
+        directory_at = self.size - len(self._slots) * _SLOT.size
+        if directory_at < self._free_ptr:
+            raise PageError("slot directory collides with record area")
+        for i, (offset, length) in enumerate(self._slots):
+            _SLOT.pack_into(out, directory_at + i * _SLOT.size, offset, length)
+        return bytes(out)
+
+    @classmethod
+    def from_bytes(cls, raw: bytes) -> "Page":
+        page = cls(len(raw))
+        n_slots, free_ptr = _HEADER.unpack_from(raw, 0)
+        page._data = bytearray(raw)
+        page._free_ptr = free_ptr
+        directory_at = len(raw) - n_slots * _SLOT.size
+        page._slots = [
+            _SLOT.unpack_from(raw, directory_at + i * _SLOT.size)
+            for i in range(n_slots)
+        ]
+        return page
+
+
+#: Blob records (too large for one page) live in a separate directory;
+#: their RecordIds carry negative page numbers so they cannot collide
+#: with slotted-page addresses.
+_BLOB_PAGE_BASE = -1
+
+
+class HeapFile:
+    """An append-friendly collection of slotted pages.
+
+    Records that fit in a page use the slotted layout. Oversized
+    records are stored whole as *blobs* on dedicated page runs
+    (addressed by negative page numbers), the classic
+    overflow/TOAST-style escape hatch.
+    """
+
+    def __init__(self, page_size: int = PAGE_SIZE):
+        self.page_size = page_size
+        self._pages: list[Page] = []
+        self._blobs: dict[int, Optional[bytes]] = {}
+        self._next_blob = 0
+
+    @property
+    def max_inline_payload(self) -> int:
+        """Largest record that fits in one slotted page."""
+        return self.page_size - _HEADER_SIZE - 2 * _SLOT.size
+
+    @property
+    def n_pages(self) -> int:
+        """Slotted pages plus the pages consumed by blob storage."""
+        blob_pages = sum(
+            -(-len(blob) // self.page_size)
+            for blob in self._blobs.values()
+            if blob is not None
+        )
+        return len(self._pages) + blob_pages
+
+    @property
+    def n_records(self) -> int:
+        live_blobs = sum(1 for blob in self._blobs.values() if blob is not None)
+        return sum(p.n_records for p in self._pages) + live_blobs
+
+    def insert(self, record: bytes) -> RecordId:
+        """Store *record* in the first page with room (or as a blob)."""
+        if len(record) > self.max_inline_payload:
+            blob_no = self._next_blob
+            self._next_blob += 1
+            self._blobs[blob_no] = record
+            return RecordId(_BLOB_PAGE_BASE - blob_no, 0)
+        for page_no in range(len(self._pages) - 1, -1, -1):
+            if self._pages[page_no].fits(record):
+                return RecordId(page_no, self._pages[page_no].insert(record))
+        page = Page(self.page_size)
+        self._pages.append(page)
+        return RecordId(len(self._pages) - 1, page.insert(record))
+
+    def read(self, rid: RecordId) -> bytes:
+        if rid.page_no < 0:
+            return self._blob(rid)
+        return self._page(rid).read(rid.slot_no)
+
+    def delete(self, rid: RecordId) -> None:
+        if rid.page_no < 0:
+            self._blob(rid)  # existence check
+            self._blobs[_BLOB_PAGE_BASE - rid.page_no] = None
+            return
+        self._page(rid).delete(rid.slot_no)
+
+    def _page(self, rid: RecordId) -> Page:
+        if not 0 <= rid.page_no < len(self._pages):
+            raise PageError(f"no page {rid.page_no}")
+        return self._pages[rid.page_no]
+
+    def _blob(self, rid: RecordId) -> bytes:
+        blob_no = _BLOB_PAGE_BASE - rid.page_no
+        blob = self._blobs.get(blob_no)
+        if blob is None:
+            raise PageError(f"no blob record {rid}")
+        return blob
+
+    def scan(self) -> Iterator[Tuple[RecordId, bytes]]:
+        """Full scan in physical order (slotted pages, then blobs)."""
+        for page_no, page in enumerate(self._pages):
+            for slot_no, record in page.records():
+                yield RecordId(page_no, slot_no), record
+        for blob_no, blob in self._blobs.items():
+            if blob is not None:
+                yield RecordId(_BLOB_PAGE_BASE - blob_no, 0), blob
+
+    def compact(self) -> None:
+        for page in self._pages:
+            page.compact()
+        self._blobs = {
+            blob_no: blob for blob_no, blob in self._blobs.items() if blob is not None
+        }
+
+    def to_bytes(self) -> bytes:
+        live_blobs = [
+            (blob_no, blob) for blob_no, blob in sorted(self._blobs.items())
+            if blob is not None
+        ]
+        header = struct.pack(
+            "<IIII", self.page_size, len(self._pages), len(live_blobs), self._next_blob
+        )
+        parts = [header]
+        parts.extend(p.to_bytes() for p in self._pages)
+        for blob_no, blob in live_blobs:
+            parts.append(struct.pack("<II", blob_no, len(blob)))
+            parts.append(blob)
+        return b"".join(parts)
+
+    @classmethod
+    def from_bytes(cls, raw: bytes) -> "HeapFile":
+        page_size, n_pages, n_blobs, next_blob = struct.unpack_from("<IIII", raw, 0)
+        hf = cls(page_size)
+        hf._next_blob = next_blob
+        offset = 16
+        for _ in range(n_pages):
+            hf._pages.append(Page.from_bytes(raw[offset:offset + page_size]))
+            offset += page_size
+        for _ in range(n_blobs):
+            blob_no, length = struct.unpack_from("<II", raw, offset)
+            offset += 8
+            hf._blobs[blob_no] = raw[offset:offset + length]
+            offset += length
+        return hf

@@ -1,0 +1,184 @@
+"""Access methods: key index and temporal (interval) index.
+
+The physical level's access paths:
+
+* :class:`KeyIndex` — an exact-match hash index from key values to
+  record ids (O(1) object lookup);
+* :class:`IntervalIndex` — a static interval tree over tuple lifespans
+  answering *stabbing* queries ("which records are alive at chronon
+  t?", the access path of static TIME-SLICE and snapshots) and window
+  queries ("which records overlap [lo, hi]?") in
+  O(log n + answers).
+
+The interval tree is the classic centered structure: each node stores
+the intervals containing its center point, sorted by both endpoints.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generic, Hashable, Iterable, Iterator, Optional, Tuple, TypeVar
+
+from repro.core.errors import StorageError
+from repro.core.lifespan import Lifespan
+
+P = TypeVar("P", bound=Hashable)  # payload type (RecordId, key, ...)
+
+
+class KeyIndex(Generic[P]):
+    """Exact-match index: key value → payload."""
+
+    def __init__(self) -> None:
+        self._map: dict[tuple, P] = {}
+
+    def put(self, key: tuple, payload: P) -> None:
+        if key in self._map:
+            raise StorageError(f"duplicate index entry for key {key!r}")
+        self._map[key] = payload
+
+    def replace(self, key: tuple, payload: P) -> None:
+        self._map[key] = payload
+
+    def get(self, key: tuple) -> Optional[P]:
+        return self._map.get(key)
+
+    def remove(self, key: tuple) -> P:
+        try:
+            return self._map.pop(key)
+        except KeyError:
+            raise StorageError(f"no index entry for key {key!r}") from None
+
+    def __len__(self) -> int:
+        return len(self._map)
+
+    def __contains__(self, key: object) -> bool:
+        return key in self._map
+
+    def items(self) -> Iterator[Tuple[tuple, P]]:
+        return iter(self._map.items())
+
+
+class _Node(Generic[P]):
+    """One node of the centered interval tree."""
+
+    __slots__ = ("center", "by_start", "by_end", "left", "right")
+
+    def __init__(self, center: int,
+                 spanning: list[Tuple[int, int, P]],
+                 left: Optional["_Node[P]"],
+                 right: Optional["_Node[P]"]):
+        self.center = center
+        self.by_start = sorted(spanning, key=lambda e: e[0])
+        self.by_end = sorted(spanning, key=lambda e: -e[1])
+        self.left = left
+        self.right = right
+
+
+class IntervalIndex(Generic[P]):
+    """A static centered interval tree over ``(lo, hi, payload)`` entries.
+
+    Build once with :meth:`build`; supports :meth:`stab` (alive at t)
+    and :meth:`overlapping` (alive anywhere in [lo, hi]). For lifespans
+    with several intervals, add one entry per interval with the same
+    payload — callers deduplicate (e.g. via a set of record ids).
+    """
+
+    def __init__(self) -> None:
+        self._root: Optional[_Node[P]] = None
+        self._size = 0
+
+    @classmethod
+    def build(cls, entries: Iterable[Tuple[int, int, P]]) -> "IntervalIndex[P]":
+        index = cls()
+        materialized = list(entries)
+        for lo, hi, _ in materialized:
+            if lo > hi:
+                raise StorageError(f"bad interval [{lo}, {hi}] in index entry")
+        index._root = cls._build(materialized)
+        index._size = len(materialized)
+        return index
+
+    @classmethod
+    def from_lifespans(cls, pairs: Iterable[Tuple[Lifespan, P]]) -> "IntervalIndex[P]":
+        """Index lifespans: one entry per maximal interval."""
+        entries = [
+            (lo, hi, payload)
+            for lifespan, payload in pairs
+            for lo, hi in lifespan.intervals
+        ]
+        return cls.build(entries)
+
+    @staticmethod
+    def _build(entries: list[Tuple[int, int, P]]) -> Optional[_Node[P]]:
+        if not entries:
+            return None
+        points = sorted({lo for lo, _, _ in entries} | {hi for _, hi, _ in entries})
+        center = points[len(points) // 2]
+        spanning, lefts, rights = [], [], []
+        for entry in entries:
+            lo, hi, _ = entry
+            if hi < center:
+                lefts.append(entry)
+            elif lo > center:
+                rights.append(entry)
+            else:
+                spanning.append(entry)
+        return _Node(
+            center,
+            spanning,
+            IntervalIndex._build(lefts),
+            IntervalIndex._build(rights),
+        )
+
+    def __len__(self) -> int:
+        return self._size
+
+    def stab(self, t: int) -> list[P]:
+        """Payloads of every interval containing chronon *t*."""
+        out: list[P] = []
+        node = self._root
+        while node is not None:
+            if t < node.center:
+                for lo, _, payload in node.by_start:
+                    if lo > t:
+                        break
+                    out.append(payload)
+                node = node.left
+            elif t > node.center:
+                for _, hi, payload in node.by_end:
+                    if hi < t:
+                        break
+                    out.append(payload)
+                node = node.right
+            else:
+                out.extend(payload for _, _, payload in node.by_start)
+                break
+        return out
+
+    def overlapping(self, lo: int, hi: int) -> list[P]:
+        """Payloads of every interval intersecting ``[lo, hi]`` (dedup'd)."""
+        if lo > hi:
+            raise StorageError(f"bad query window [{lo}, {hi}]")
+        seen: set[P] = set()
+        out: list[P] = []
+        self._collect_overlaps(self._root, lo, hi, seen, out)
+        return out
+
+    def _collect_overlaps(self, node: Optional[_Node[P]], lo: int, hi: int,
+                          seen: set, out: list[P]) -> None:
+        if node is None:
+            return
+        for e_lo, e_hi, payload in node.by_start:
+            if e_lo > hi:
+                break
+            if e_hi >= lo and payload not in seen:
+                seen.add(payload)
+                out.append(payload)
+        if lo < node.center:
+            self._collect_overlaps(node.left, lo, hi, seen, out)
+        if hi > node.center:
+            self._collect_overlaps(node.right, lo, hi, seen, out)
+
+
+def payload_key(payload: Any) -> Any:
+    """Identity helper kept for API symmetry (callers may map payloads)."""
+    return payload

@@ -1,0 +1,156 @@
+"""The representation level (Figure 9, middle-to-bottom mapping).
+
+"At the representation level these functions may be represented more
+succinctly using intervals and allowing for value interpolation. ...
+values constrained to be constant-valued functions might, at the
+representation level, be represented as simple <Lifespan, value> pairs
+(e.g., <[ti, tj], Codd>)."
+
+Three interchangeable representations of an attribute value:
+
+* :class:`ConstantRep` — the ``<lifespan, value>`` pair for ``CD``
+  values (keys);
+* :class:`SegmentRep` — interval-coalesced segments (exact, what the
+  model level uses internally);
+* :class:`SampledRep` — sparse time-stamped samples plus an
+  interpolation strategy; :meth:`to_model` totalises via the strategy
+  (the paper's interpolation function ``I``).
+
+:func:`best_representation` picks the most compact exact encoding for
+a function, and every representation reports its :meth:`cost` in
+stored atoms so benches can compare representation sizes.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.errors import StorageError
+from repro.core.interpolation import Interpolation, StepInterpolation, by_name
+from repro.core.lifespan import Lifespan
+from repro.core.tfunc import TemporalFunction
+
+
+class Representation:
+    """Base class: a storable stand-in for a model-level temporal function."""
+
+    kind: str = "abstract"
+
+    def to_model(self, target: Lifespan) -> TemporalFunction:
+        """Reconstruct the (total) model-level function on *target*."""
+        raise NotImplementedError
+
+    def cost(self) -> int:
+        """Stored atoms (chronon bounds + values) — the compactness metric."""
+        raise NotImplementedError
+
+
+class ConstantRep(Representation):
+    """``<lifespan, value>`` — the representation for constant functions."""
+
+    kind = "constant"
+
+    def __init__(self, lifespan: Lifespan, value: Any):
+        if lifespan.is_empty:
+            raise StorageError("ConstantRep needs a non-empty lifespan")
+        self.lifespan = lifespan
+        self.value = value
+
+    def to_model(self, target: Lifespan) -> TemporalFunction:
+        window = self.lifespan & target
+        return TemporalFunction.constant(self.value, window)
+
+    def cost(self) -> int:
+        return 2 * self.lifespan.n_intervals + 1
+
+    def __repr__(self) -> str:
+        return f"ConstantRep({self.lifespan!r}, {self.value!r})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ConstantRep):
+            return NotImplemented
+        return self.lifespan == other.lifespan and self.value == other.value
+
+
+class SegmentRep(Representation):
+    """Interval-coalesced segments — exact and general."""
+
+    kind = "segments"
+
+    def __init__(self, fn: TemporalFunction):
+        self.fn = fn
+
+    def to_model(self, target: Lifespan) -> TemporalFunction:
+        return self.fn.restrict(target)
+
+    def cost(self) -> int:
+        return 3 * self.fn.n_changes()
+
+    def __repr__(self) -> str:
+        return f"SegmentRep({self.fn!r})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SegmentRep):
+            return NotImplemented
+        return self.fn == other.fn
+
+
+class SampledRep(Representation):
+    """Sparse samples plus an interpolation function ``I``.
+
+    The paper: the mapping from the representation level to the model
+    level "must include, for any such attribute, an interpolation
+    function I which maps each such 'partially-represented function'
+    into a total function".
+    """
+
+    kind = "sampled"
+
+    def __init__(self, samples: TemporalFunction,
+                 interpolation: Interpolation | None = None):
+        if not samples:
+            raise StorageError("SampledRep needs at least one sample")
+        self.samples = samples
+        self.interpolation = interpolation or StepInterpolation()
+
+    @classmethod
+    def from_points(cls, points: dict[int, Any],
+                    interpolation: Interpolation | None = None) -> "SampledRep":
+        return cls(TemporalFunction.from_points(points), interpolation)
+
+    def to_model(self, target: Lifespan) -> TemporalFunction:
+        inside = self.samples.restrict(target)
+        if not inside:
+            raise StorageError(
+                "no stored sample falls inside the target lifespan; "
+                "cannot interpolate"
+            )
+        return self.interpolation.totalize(inside, target)
+
+    def cost(self) -> int:
+        return 3 * self.samples.n_changes() + 1
+
+    def __repr__(self) -> str:
+        return f"SampledRep({self.samples!r}, {self.interpolation!r})"
+
+
+def best_representation(fn: TemporalFunction) -> Representation:
+    """The most compact *exact* representation of *fn*.
+
+    Constant functions become ``<lifespan, value>`` pairs; everything
+    else stays segment-encoded. (Sampled representations are chosen by
+    the user, not inferred — interpolation changes semantics.)
+    """
+    if fn and fn.is_constant():
+        return ConstantRep(fn.domain, fn.constant_value())
+    return SegmentRep(fn)
+
+
+def representation_kinds() -> tuple[str, ...]:
+    """The machine names of the available representations."""
+    return ("constant", "segments", "sampled")
+
+
+def make_sampled(points: dict[int, Any], strategy_name: str) -> SampledRep:
+    """Build a :class:`SampledRep` from points and a strategy name."""
+    return SampledRep.from_points(points, by_name(strategy_name))

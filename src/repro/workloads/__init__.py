@@ -1,0 +1,31 @@
+"""Deterministic synthetic workloads for examples, tests, and benches."""
+
+from repro.workloads.generator import (
+    DEPARTMENTS,
+    EnrollmentConfig,
+    PersonnelConfig,
+    StockConfig,
+    course_scheme,
+    enrollment_scheme,
+    generate_enrollment_db,
+    generate_personnel,
+    generate_stocks,
+    personnel_scheme,
+    stock_scheme,
+    student_scheme,
+)
+
+__all__ = [
+    "DEPARTMENTS",
+    "EnrollmentConfig",
+    "PersonnelConfig",
+    "StockConfig",
+    "course_scheme",
+    "enrollment_scheme",
+    "generate_enrollment_db",
+    "generate_personnel",
+    "generate_stocks",
+    "personnel_scheme",
+    "stock_scheme",
+    "student_scheme",
+]

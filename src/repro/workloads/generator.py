@@ -1,0 +1,328 @@
+"""Seeded synthetic history generators.
+
+The paper's motivating domains — personnel records (hire / fire /
+re-hire, salary and department changes), stock-market data (the
+Figure 6 Daily-Trading-Volume schema evolution), and student/course
+enrollment (the Section 1 referential-integrity example) — as
+deterministic generators. Every generator takes an explicit seed, so
+tests, examples, and benchmarks are reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core import domains
+from repro.core.lifespan import Lifespan
+from repro.core.relation import HistoricalRelation
+from repro.core.scheme import RelationScheme
+from repro.core.tfunc import TemporalFunction
+
+#: Department names for the personnel workload.
+DEPARTMENTS = ("Toys", "Shoes", "Books", "Tools", "Foods", "Music", "Games")
+
+_FIRST = (
+    "Ada", "Alan", "Barbara", "Edgar", "Grace", "John", "Mary", "Niklaus",
+    "Raymond", "Ted", "Tony", "Vera",
+)
+_LAST = (
+    "Codd", "Turing", "Liskov", "Dijkstra", "Hopper", "Backus", "Shaw",
+    "Wirth", "Boyce", "Chen", "Hoare", "Date",
+)
+
+
+@dataclass
+class PersonnelConfig:
+    """Shape parameters for the personnel history generator."""
+
+    n_employees: int = 50
+    horizon: int = 120  # chronons (months)
+    rehire_probability: float = 0.25
+    mean_tenure: int = 30
+    mean_gap: int = 10
+    salary_lo: int = 20_000
+    salary_hi: int = 90_000
+    raise_every: int = 12
+    seed: int = 7
+    max_incarnations: int = 3
+    departments: tuple = field(default=DEPARTMENTS)
+
+
+def personnel_scheme(horizon: int = 120) -> RelationScheme:
+    """The EMP scheme: NAME (key), SALARY, DEPT over ``[0, horizon]``."""
+    window = Lifespan.interval(0, horizon)
+    return RelationScheme(
+        "EMP",
+        {
+            "NAME": domains.cd(domains.STRING),
+            "SALARY": domains.td(domains.INTEGER),
+            "DEPT": domains.enumerated("dept", DEPARTMENTS),
+        },
+        key=["NAME"],
+        lifespans={"NAME": window, "SALARY": window, "DEPT": window},
+    )
+
+
+def _employee_lifespan(rng: random.Random, cfg: PersonnelConfig) -> Lifespan:
+    """One employee's (possibly interrupted) employment lifespan."""
+    spans = []
+    cursor = rng.randrange(0, max(1, cfg.horizon // 2))
+    for _ in range(cfg.max_incarnations):
+        tenure = max(1, int(rng.expovariate(1.0 / cfg.mean_tenure)))
+        end = min(cursor + tenure, cfg.horizon)
+        if cursor > cfg.horizon:
+            break
+        spans.append((cursor, end))
+        if end >= cfg.horizon or rng.random() >= cfg.rehire_probability:
+            break
+        gap = max(1, int(rng.expovariate(1.0 / cfg.mean_gap)))
+        cursor = end + 1 + gap
+    if not spans:
+        spans = [(0, min(cfg.mean_tenure, cfg.horizon))]
+    return Lifespan(*spans)
+
+
+def _salary_history(rng: random.Random, cfg: PersonnelConfig,
+                    lifespan: Lifespan) -> TemporalFunction:
+    """A never-decreasing step salary over *lifespan*."""
+    salary = rng.randrange(cfg.salary_lo, cfg.salary_hi, 1000)
+    segments = []
+    for lo, hi in lifespan.intervals:
+        cursor = lo
+        while cursor <= hi:
+            stop = min(cursor + cfg.raise_every - 1, hi)
+            segments.append(((cursor, stop), salary))
+            salary += rng.randrange(0, 5000, 500)
+            cursor = stop + 1
+    return TemporalFunction(segments)
+
+
+def _dept_history(rng: random.Random, cfg: PersonnelConfig,
+                  lifespan: Lifespan) -> TemporalFunction:
+    """A department step function with occasional transfers."""
+    segments = []
+    dept = rng.choice(cfg.departments)
+    for lo, hi in lifespan.intervals:
+        cursor = lo
+        while cursor <= hi:
+            stay = max(6, int(rng.expovariate(1.0 / 24)))
+            stop = min(cursor + stay - 1, hi)
+            segments.append(((cursor, stop), dept))
+            dept = rng.choice(cfg.departments)
+            cursor = stop + 1
+    return TemporalFunction(segments)
+
+
+def generate_personnel(cfg: Optional[PersonnelConfig] = None) -> HistoricalRelation:
+    """A deterministic personnel relation with reincarnated employees.
+
+    >>> emp = generate_personnel(PersonnelConfig(n_employees=10, seed=1))
+    >>> len(emp)
+    10
+    """
+    cfg = cfg or PersonnelConfig()
+    rng = random.Random(cfg.seed)
+    scheme = personnel_scheme(cfg.horizon)
+    tuples = []
+    names = set()
+    while len(names) < cfg.n_employees:
+        name = f"{rng.choice(_FIRST)} {rng.choice(_LAST)} #{len(names)}"
+        names.add(name)
+    for name in sorted(names):
+        lifespan = _employee_lifespan(rng, cfg)
+        rows = {
+            "NAME": name,
+            "SALARY": _salary_history(rng, cfg, lifespan),
+            "DEPT": _dept_history(rng, cfg, lifespan),
+        }
+        tuples.append((lifespan, rows))
+    return HistoricalRelation.from_rows(scheme, tuples)
+
+
+@dataclass
+class StockConfig:
+    """Shape parameters for the stock-market workload (Figure 6)."""
+
+    n_stocks: int = 20
+    horizon: int = 250  # trading days
+    volume_dropped_at: int = 100  # the paper's t2
+    volume_readded_at: int = 180  # the paper's t3
+    price_lo: float = 5.0
+    price_hi: float = 500.0
+    seed: int = 11
+
+
+def stock_scheme(cfg: Optional[StockConfig] = None) -> RelationScheme:
+    """The STOCK scheme with the Figure 6 VOLUME attribute lifespan.
+
+    PRICE is recorded over the whole horizon; VOLUME only over
+    ``[0, t2) ∪ [t3, horizon]`` — the attribute was dropped when "too
+    expensive to collect" and re-added when "a cheap outside source"
+    appeared.
+    """
+    cfg = cfg or StockConfig()
+    window = Lifespan.interval(0, cfg.horizon)
+    volume_ls = (
+        Lifespan.interval(0, cfg.volume_dropped_at - 1)
+        | Lifespan.interval(cfg.volume_readded_at, cfg.horizon)
+    )
+    return RelationScheme(
+        "STOCK",
+        {
+            "TICKER": domains.cd(domains.STRING),
+            "PRICE": domains.td(domains.NUMBER),
+            "VOLUME": domains.td(domains.INTEGER),
+        },
+        key=["TICKER"],
+        lifespans={"TICKER": window, "PRICE": window, "VOLUME": volume_ls},
+    )
+
+
+def generate_stocks(cfg: Optional[StockConfig] = None) -> HistoricalRelation:
+    """A deterministic stock relation exercising attribute lifespans."""
+    cfg = cfg or StockConfig()
+    rng = random.Random(cfg.seed)
+    scheme = stock_scheme(cfg)
+    tuples = []
+    for i in range(cfg.n_stocks):
+        ticker = f"S{i:03d}"
+        listed_at = rng.randrange(0, cfg.horizon // 3)
+        lifespan = Lifespan.interval(listed_at, cfg.horizon)
+        price = rng.uniform(cfg.price_lo, cfg.price_hi)
+        price_segments = []
+        for day in range(listed_at, cfg.horizon + 1):
+            price = max(cfg.price_lo, price * rng.uniform(0.97, 1.035))
+            price_segments.append(((day, day), round(price, 2)))
+        volume_window = lifespan & scheme.als("VOLUME")
+        volume_segments = [
+            ((day, day), rng.randrange(1_000, 1_000_000))
+            for day in volume_window
+        ]
+        tuples.append((
+            lifespan,
+            {
+                "TICKER": ticker,
+                "PRICE": TemporalFunction(price_segments),
+                "VOLUME": TemporalFunction(volume_segments),
+            },
+        ))
+    return HistoricalRelation.from_rows(scheme, tuples)
+
+
+@dataclass
+class EnrollmentConfig:
+    """Shape parameters for the student / course / enrollment workload."""
+
+    n_students: int = 40
+    n_courses: int = 12
+    n_enrollments: int = 80
+    horizon: int = 48  # chronons (months over several school years)
+    dropout_probability: float = 0.2
+    seed: int = 23
+
+
+def student_scheme(horizon: int = 48) -> RelationScheme:
+    window = Lifespan.interval(0, horizon)
+    return RelationScheme(
+        "STUDENT",
+        {
+            "SID": domains.cd(domains.STRING),
+            "MAJOR": domains.td(domains.STRING),
+        },
+        key=["SID"],
+        lifespans={"SID": window, "MAJOR": window},
+    )
+
+
+def course_scheme(horizon: int = 48) -> RelationScheme:
+    window = Lifespan.interval(0, horizon)
+    return RelationScheme(
+        "COURSE",
+        {
+            "CID": domains.cd(domains.STRING),
+            "TITLE": domains.td(domains.STRING),
+        },
+        key=["CID"],
+        lifespans={"CID": window, "TITLE": window},
+    )
+
+
+def enrollment_scheme(horizon: int = 48) -> RelationScheme:
+    """The relationship relation — composite key (SID, CID)."""
+    window = Lifespan.interval(0, horizon)
+    return RelationScheme(
+        "ENROLLMENT",
+        {
+            "SID": domains.cd(domains.STRING),
+            "CID": domains.cd(domains.STRING),
+            "GRADE": domains.td(domains.STRING),
+        },
+        key=["SID", "CID"],
+        lifespans={"SID": window, "CID": window, "GRADE": window},
+    )
+
+
+_MAJORS = ("IS", "CS", "Math", "Econ", "Bio")
+_GRADES = ("A", "B", "C", "D")
+
+
+def generate_enrollment_db(cfg: Optional[EnrollmentConfig] = None):
+    """Students, courses, and enrollments with temporal referential integrity.
+
+    Returns ``(students, courses, enrollments)`` — three historical
+    relations such that every enrollment chronon lies inside both the
+    student's and the course's lifespan (the Section 1 constraint), with
+    some students dropping out and re-enrolling (reincarnation).
+    """
+    cfg = cfg or EnrollmentConfig()
+    rng = random.Random(cfg.seed)
+
+    students = []
+    for i in range(cfg.n_students):
+        sid = f"st{i:03d}"
+        start = rng.randrange(0, cfg.horizon // 2)
+        end = min(start + rng.randrange(12, 36), cfg.horizon)
+        if rng.random() < cfg.dropout_probability and end - start > 10:
+            mid = start + (end - start) // 2
+            lifespan = Lifespan((start, mid), (min(mid + 4, end), end))
+        else:
+            lifespan = Lifespan.interval(start, end)
+        major = TemporalFunction.constant(rng.choice(_MAJORS), lifespan)
+        students.append((lifespan, {"SID": sid, "MAJOR": major}))
+    student_rel = HistoricalRelation.from_rows(student_scheme(cfg.horizon), students)
+
+    courses = []
+    for i in range(cfg.n_courses):
+        cid = f"c{i:02d}"
+        start = rng.randrange(0, cfg.horizon // 3)
+        lifespan = Lifespan.interval(start, cfg.horizon)
+        title = TemporalFunction.constant(f"Course {i}", lifespan)
+        courses.append((lifespan, {"CID": cid, "TITLE": title}))
+    course_rel = HistoricalRelation.from_rows(course_scheme(cfg.horizon), courses)
+
+    enrollments = []
+    seen_pairs = set()
+    attempts = 0
+    while len(enrollments) < cfg.n_enrollments and attempts < cfg.n_enrollments * 20:
+        attempts += 1
+        student = rng.choice(student_rel.tuples)
+        course = rng.choice(course_rel.tuples)
+        pair = (student.key_value()[0], course.key_value()[0])
+        if pair in seen_pairs:
+            continue
+        window = student.lifespan & course.lifespan
+        if len(window) < 4:
+            continue
+        start = rng.choice(window.to_points()[: max(1, len(window) - 3)])
+        span = Lifespan.interval(start, start + 3) & window
+        if span.is_empty:
+            continue
+        seen_pairs.add(pair)
+        grade = TemporalFunction.constant(rng.choice(_GRADES), span)
+        enrollments.append((span, {"SID": pair[0], "CID": pair[1], "GRADE": grade}))
+    enrollment_rel = HistoricalRelation.from_rows(
+        enrollment_scheme(cfg.horizon), enrollments
+    )
+    return student_rel, course_rel, enrollment_rel

@@ -1,0 +1,112 @@
+"""Tests for temporal aggregation."""
+
+import pytest
+
+from repro.algebra.aggregate import (
+    aggregate,
+    aggregate_when,
+    avg_over,
+    count_alive,
+    count_over,
+    group_aggregate,
+    max_over,
+    min_over,
+    sum_over,
+)
+from repro.core.errors import SchemeError
+from repro.core.lifespan import Lifespan
+from repro.core.relation import HistoricalRelation
+
+
+class TestCountAlive:
+    def test_headcount_over_time(self, emp):
+        """John [0,9], Mary [0,3]∪[6,9], Tom [2,4]."""
+        fn = count_alive(emp)
+        assert fn(0) == 2      # John, Mary
+        assert fn(3) == 3      # + Tom
+        assert fn(4) == 2      # Mary gone (gap), Tom's last day
+        assert fn(5) == 1      # only John
+        assert fn(8) == 2      # John + Mary back
+
+    def test_domain_is_relation_lifespan(self, emp):
+        fn = count_alive(emp)
+        assert fn.domain == emp.lifespan()
+
+    def test_empty_relation(self, emp_scheme):
+        assert not count_alive(HistoricalRelation.empty(emp_scheme))
+
+    def test_segmentwise_not_chronon_wise(self, emp):
+        """The result has few segments, not one per chronon."""
+        fn = count_alive(emp)
+        assert fn.n_changes() <= 6
+
+
+class TestValueAggregates:
+    def test_max_salary(self, emp):
+        fn = max_over(emp, "SALARY")
+        assert fn(0) == 40_000    # Mary's 40K > John's 25K
+        assert fn(5) == 30_000    # only John (raise day)
+        assert fn(7) == 45_000    # Mary's second stint
+
+    def test_min_salary(self, emp):
+        fn = min_over(emp, "SALARY")
+        assert fn(3) == 20_000    # Tom
+
+    def test_sum_salary(self, emp):
+        fn = sum_over(emp, "SALARY")
+        assert fn(0) == 25_000 + 40_000
+        assert fn(2) == 25_000 + 40_000 + 20_000
+
+    def test_avg_salary(self, emp):
+        fn = avg_over(emp, "SALARY")
+        assert fn(5) == 30_000.0
+
+    def test_count_over(self, emp):
+        fn = count_over(emp, "SALARY")
+        assert fn(2) == 3 and fn(5) == 1
+
+    def test_custom_aggregate(self, emp):
+        spread = aggregate(emp, "SALARY", lambda vs: max(vs) - min(vs))
+        assert spread(0) == 15_000
+
+    def test_unknown_attribute(self, emp):
+        with pytest.raises(SchemeError):
+            sum_over(emp, "AGE")
+
+    def test_undefined_outside_any_value(self, emp):
+        fn = sum_over(emp, "SALARY")
+        assert fn.get(99) is None
+
+
+class TestGroupAggregate:
+    def test_per_department_headcount(self, emp):
+        groups = group_aggregate(emp, "DEPT", "SALARY", len)
+        # Toys: John [0,6], Tom [2,4], Mary [6,9]
+        toys = groups["Toys"]
+        assert toys(0) == 1 and toys(3) == 2 and toys(6) == 2 and toys(8) == 1
+
+    def test_groups_follow_value_changes(self, emp):
+        """John transfers Toys→Shoes at 7: Shoes appears then."""
+        groups = group_aggregate(emp, "DEPT", "SALARY", len)
+        assert groups["Shoes"].domain == Lifespan.interval(7, 9)
+
+    def test_group_sums(self, emp):
+        groups = group_aggregate(emp, "DEPT", "SALARY", sum)
+        assert groups["Books"](1) == 40_000
+
+
+class TestAggregateWhen:
+    def test_when_headcount_full(self, emp):
+        fn = count_alive(emp)
+        assert aggregate_when(fn, lambda n: n == 3) == Lifespan.interval(2, 3)
+
+    def test_when_max_salary_high(self, emp):
+        fn = max_over(emp, "SALARY")
+        assert aggregate_when(fn, lambda v: v >= 45_000) == Lifespan.interval(6, 9)
+
+    def test_composes_with_timeslice(self, emp):
+        from repro.algebra.timeslice import timeslice
+
+        busy = aggregate_when(count_alive(emp), lambda n: n >= 2)
+        sliced = timeslice(emp, busy)
+        assert sliced.lifespan() == busy

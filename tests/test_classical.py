@@ -1,0 +1,153 @@
+"""Tests for the classical relational model and algebra baseline."""
+
+import pytest
+
+from repro.classical import classical_algebra as ca
+from repro.classical.relation import Relation, Row
+from repro.core.errors import AlgebraError, RelationError, UnionCompatibilityError
+
+
+@pytest.fixture
+def emp():
+    return Relation.from_dicts(["NAME", "SALARY", "DEPT"], [
+        {"NAME": "John", "SALARY": 30, "DEPT": "Toys"},
+        {"NAME": "Mary", "SALARY": 45, "DEPT": "Books"},
+        {"NAME": "Tom", "SALARY": 20, "DEPT": "Toys"},
+    ])
+
+
+class TestRow:
+    def test_access(self):
+        row = Row.of(A=1, B="x")
+        assert row["A"] == 1 and row.get("C") is None and "B" in row
+
+    def test_missing_raises(self):
+        with pytest.raises(KeyError):
+            Row.of(A=1)["B"]
+
+    def test_equality_order_independent(self):
+        assert Row({"A": 1, "B": 2}) == Row({"B": 2, "A": 1})
+        assert hash(Row({"A": 1, "B": 2})) == hash(Row({"B": 2, "A": 1}))
+
+    def test_project(self):
+        assert Row.of(A=1, B=2).project(["A"]) == Row.of(A=1)
+
+    def test_project_missing(self):
+        with pytest.raises(AlgebraError):
+            Row.of(A=1).project(["Z"])
+
+    def test_merge(self):
+        assert Row.of(A=1).merge(Row.of(B=2)) == Row.of(A=1, B=2)
+
+    def test_merge_conflict(self):
+        with pytest.raises(AlgebraError):
+            Row.of(A=1).merge(Row.of(A=2))
+
+    def test_rename(self):
+        assert Row.of(A=1).rename({"A": "Z"}) == Row.of(Z=1)
+
+
+class TestRelation:
+    def test_set_semantics(self):
+        r = Relation(["A"], [Row.of(A=1), Row.of(A=1)])
+        assert len(r) == 1
+
+    def test_attribute_check(self):
+        with pytest.raises(RelationError):
+            Relation(["A"], [Row.of(B=1)])
+
+    def test_duplicate_attributes_rejected(self):
+        with pytest.raises(RelationError):
+            Relation(["A", "A"])
+
+    def test_needs_attributes(self):
+        with pytest.raises(RelationError):
+            Relation([])
+
+    def test_equality(self, emp):
+        clone = Relation.from_dicts(emp.attributes, [r.as_dict() for r in emp])
+        assert emp == clone and hash(emp) == hash(clone)
+
+
+class TestAlgebra:
+    def test_select(self, emp):
+        r = ca.select(emp, lambda row: row["SALARY"] > 25)
+        assert {row["NAME"] for row in r} == {"John", "Mary"}
+
+    def test_select_theta(self, emp):
+        r = ca.select_theta(emp, "DEPT", "=", "Toys")
+        assert len(r) == 2
+
+    def test_select_theta_unknown_op(self, emp):
+        with pytest.raises(AlgebraError):
+            ca.select_theta(emp, "DEPT", "~", "Toys")
+
+    def test_project_deduplicates(self, emp):
+        r = ca.project(emp, ["DEPT"])
+        assert len(r) == 2
+
+    def test_project_unknown(self, emp):
+        with pytest.raises(AlgebraError):
+            ca.project(emp, ["AGE"])
+
+    def test_union(self, emp):
+        extra = Relation.from_dicts(emp.attributes,
+                                    [{"NAME": "Zed", "SALARY": 1, "DEPT": "X"}])
+        assert len(ca.union(emp, extra)) == 4
+
+    def test_union_compatible_required(self, emp):
+        other = Relation.from_dicts(["A"], [{"A": 1}])
+        with pytest.raises(UnionCompatibilityError):
+            ca.union(emp, other)
+
+    def test_intersection_difference(self, emp):
+        subset = Relation.from_dicts(emp.attributes,
+                                     [{"NAME": "John", "SALARY": 30, "DEPT": "Toys"}])
+        assert len(ca.intersection(emp, subset)) == 1
+        assert len(ca.difference(emp, subset)) == 2
+
+    def test_product(self, emp):
+        bands = Relation.from_dicts(["BAND"], [{"BAND": "hi"}, {"BAND": "lo"}])
+        assert len(ca.cartesian_product(emp, bands)) == 6
+
+    def test_product_disjointness(self, emp):
+        with pytest.raises(AlgebraError):
+            ca.cartesian_product(emp, emp)
+
+    def test_theta_join(self, emp):
+        bands = Relation.from_dicts(["BAND", "MIN"], [
+            {"BAND": "senior", "MIN": 40}, {"BAND": "junior", "MIN": 10},
+        ])
+        r = ca.theta_join(emp, bands, "SALARY", ">=", "MIN")
+        assert {(row["NAME"], row["BAND"]) for row in r} == {
+            ("Mary", "senior"), ("John", "junior"), ("Mary", "junior"),
+            ("Tom", "junior"),
+        }
+
+    def test_equijoin(self, emp):
+        depts = Relation.from_dicts(["DNAME", "MGR"], [
+            {"DNAME": "Toys", "MGR": "Ann"},
+        ])
+        r = ca.equijoin(emp, depts, "DEPT", "DNAME")
+        assert {row["NAME"] for row in r} == {"John", "Tom"}
+
+    def test_natural_join(self, emp):
+        mgrs = Relation.from_dicts(["DEPT", "MGR"], [
+            {"DEPT": "Toys", "MGR": "Ann"},
+            {"DEPT": "Books", "MGR": "Bob"},
+        ])
+        r = ca.natural_join(emp, mgrs)
+        assert len(r) == 3
+        assert set(r.attributes) == {"NAME", "SALARY", "DEPT", "MGR"}
+
+    def test_natural_join_commutes(self, emp):
+        mgrs = Relation.from_dicts(["DEPT", "MGR"], [
+            {"DEPT": "Toys", "MGR": "Ann"},
+        ])
+        left = ca.natural_join(emp, mgrs)
+        right = ca.natural_join(mgrs, emp)
+        assert left.rows == right.rows
+
+    def test_rename(self, emp):
+        r = ca.rename(emp, {"NAME": "WHO"})
+        assert "WHO" in r.attributes and "NAME" not in r.attributes

@@ -1,0 +1,110 @@
+"""Tests for the binary codec (physical level)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.errors import CodecError
+from repro.core.lifespan import Lifespan
+from repro.core.tfunc import TemporalFunction
+from repro.storage import codec
+from tests.conftest import lifespans, temporal_functions
+
+
+def roundtrip_value(value):
+    raw = codec.encode_value(value)
+    decoded, offset = codec.decode_value(memoryview(raw), 0)
+    assert offset == len(raw)
+    return decoded
+
+
+class TestValues:
+    @pytest.mark.parametrize("value", [
+        None, True, False, 0, -1, 2**40, -(2**40), 1.5, -2.25, "", "héllo",
+        "x" * 1000,
+    ])
+    def test_roundtrip(self, value):
+        assert roundtrip_value(value) == value
+
+    def test_type_preserved(self):
+        assert isinstance(roundtrip_value(1), int)
+        assert isinstance(roundtrip_value(1.0), float)
+        assert isinstance(roundtrip_value(True), bool)
+
+    def test_unencodable_rejected(self):
+        with pytest.raises(CodecError):
+            codec.encode_value([1, 2])
+
+    def test_truncated_buffer_rejected(self):
+        raw = codec.encode_value("hello")
+        with pytest.raises(CodecError):
+            codec.decode_value(memoryview(raw[:3]), 0)
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(CodecError):
+            codec.decode_value(memoryview(b"\xff"), 0)
+
+
+class TestIntegers:
+    def test_u32_roundtrip(self):
+        raw = codec.encode_u32(12345)
+        assert codec.decode_u32(memoryview(raw), 0) == (12345, 4)
+
+    def test_u32_range(self):
+        with pytest.raises(CodecError):
+            codec.encode_u32(-1)
+        with pytest.raises(CodecError):
+            codec.encode_u32(2**32)
+
+    def test_i64_roundtrip(self):
+        raw = codec.encode_i64(-(2**40))
+        assert codec.decode_i64(memoryview(raw), 0) == (-(2**40), 8)
+
+    def test_str_roundtrip(self):
+        raw = codec.encode_str("lifespan")
+        assert codec.decode_str(memoryview(raw), 0) == ("lifespan", len(raw))
+
+
+class TestComposites:
+    def test_lifespan_roundtrip_explicit(self):
+        ls = Lifespan((0, 5), (10, 12))
+        raw = codec.encode_lifespan(ls)
+        decoded, _ = codec.decode_lifespan(memoryview(raw), 0)
+        assert decoded == ls
+
+    def test_empty_lifespan(self):
+        raw = codec.encode_lifespan(Lifespan.empty())
+        decoded, _ = codec.decode_lifespan(memoryview(raw), 0)
+        assert decoded.is_empty
+
+    def test_tfunc_roundtrip_explicit(self):
+        fn = TemporalFunction([((0, 4), "a"), ((7, 9), 42)])
+        raw = codec.encode_tfunc(fn)
+        decoded, _ = codec.decode_tfunc(memoryview(raw), 0)
+        assert decoded == fn
+
+    def test_empty_tfunc(self):
+        raw = codec.encode_tfunc(TemporalFunction.empty())
+        decoded, _ = codec.decode_tfunc(memoryview(raw), 0)
+        assert not decoded
+
+
+@given(lifespans())
+def test_lifespan_roundtrip_property(ls):
+    raw = codec.encode_lifespan(ls)
+    decoded, offset = codec.decode_lifespan(memoryview(raw), 0)
+    assert decoded == ls and offset == len(raw)
+
+
+@given(temporal_functions())
+def test_tfunc_roundtrip_property(fn):
+    raw = codec.encode_tfunc(fn)
+    decoded, offset = codec.decode_tfunc(memoryview(raw), 0)
+    assert decoded == fn and offset == len(raw)
+
+
+@given(st.one_of(st.integers(min_value=-(2**60), max_value=2**60),
+                 st.floats(allow_nan=False, allow_infinity=False),
+                 st.text(max_size=50), st.booleans(), st.none()))
+def test_value_roundtrip_property(value):
+    assert roundtrip_value(value) == value

@@ -1,0 +1,139 @@
+"""Tests for the HRQL compiler and the end-to-end ``run`` entry point."""
+
+import pytest
+
+from repro.algebra import expr as E
+from repro.algebra.predicates import And, AttrOp, AttrRef, Not, Or
+from repro.core.errors import CompileError
+from repro.core.lifespan import Lifespan
+from repro.query import compile_query, parse, run
+from repro.query.compiler import WhenQuery
+
+
+@pytest.fixture
+def env(emp, manages):
+    return {"EMP": emp, "MANAGES": manages}
+
+
+class TestCompilation:
+    def test_relation_ref(self):
+        assert compile_query(parse("EMP")) == E.Rel("EMP")
+
+    def test_select_when_shape(self):
+        compiled = compile_query(parse("SELECT WHEN SALARY = 1 IN EMP"))
+        assert isinstance(compiled, E.SelectWhen)
+        assert isinstance(compiled.predicate, AttrOp)
+
+    def test_select_if_quantifiers(self):
+        from repro.algebra.select import EXISTS, FORALL
+
+        assert compile_query(parse("SELECT IF A = 1 IN R")).quantifier is EXISTS
+        assert compile_query(parse("SELECT IF A = 1 FORALL IN R")).quantifier is FORALL
+
+    def test_during_bound_becomes_lifespan(self):
+        compiled = compile_query(parse("SELECT WHEN A = 1 DURING [0, 5] IN R"))
+        assert compiled.lifespan == Lifespan.interval(0, 5)
+
+    def test_predicates_composed(self):
+        compiled = compile_query(parse(
+            "SELECT WHEN A = 1 AND NOT B = 2 OR C = D IN R"
+        ))
+        pred = compiled.predicate
+        assert isinstance(pred, Or)
+        assert isinstance(pred.parts[0], And)
+        assert isinstance(pred.parts[0].parts[1], Not)
+        last = pred.parts[1]
+        assert isinstance(last.rhs, AttrRef)
+
+    def test_setops(self):
+        assert isinstance(compile_query(parse("A UNION B")), E.Union_)
+        assert isinstance(compile_query(parse("A UNION MERGED B")), E.UnionMerge)
+        assert isinstance(compile_query(parse("A TIMES B")), E.Product)
+
+    def test_joins(self):
+        assert isinstance(compile_query(parse("A JOIN B ON X = Y")), E.ThetaJoin)
+        assert isinstance(compile_query(parse("A NATURAL JOIN B")), E.NaturalJoin)
+        assert isinstance(compile_query(parse("A TIMEJOIN B VIA T")), E.TimeJoin)
+
+    def test_when_query(self):
+        compiled = compile_query(parse("WHEN (EMP)"))
+        assert isinstance(compiled, WhenQuery)
+
+    def test_timeslices(self):
+        assert isinstance(compile_query(parse("TIMESLICE R TO [0, 1]")), E.TimeSlice)
+        assert isinstance(compile_query(parse("TIMESLICE R VIA T")),
+                          E.DynamicTimeSlice)
+
+
+class TestRun:
+    def test_select_when(self, env):
+        result = run("SELECT WHEN SALARY = 30000 IN EMP", env)
+        assert result.get("John").lifespan == Lifespan.interval(5, 9)
+
+    def test_select_if_forall(self, env):
+        result = run("SELECT IF SALARY >= 25000 FORALL IN EMP", env)
+        assert {t.key_value() for t in result} == {("John",), ("Mary",)}
+
+    def test_when_returns_lifespan(self, env):
+        result = run("WHEN (SELECT WHEN DEPT = 'Toys' IN EMP)", env)
+        assert isinstance(result, Lifespan)
+        assert result == Lifespan.interval(0, 9)  # John 0-6, Tom 2-4, Mary 6-9
+
+    def test_project_timeslice_composition(self, env):
+        result = run("PROJECT NAME, DEPT FROM (TIMESLICE EMP TO [0, 4])", env)
+        assert result.scheme.attributes == ("NAME", "DEPT")
+        assert result.lifespan() == Lifespan.interval(0, 4)
+
+    def test_natural_join(self, env):
+        result = run("EMP NATURAL JOIN MANAGES", env)
+        assert len(result) >= 1
+
+    def test_merged_union(self, env):
+        plain = run("EMP UNION EMP", env)
+        merged = run("EMP UNION MERGED EMP", env)
+        assert len(plain) == len(merged) == 3
+
+    def test_optimize_equivalence(self, env):
+        query = "SELECT WHEN SALARY >= 30000 IN (TIMESLICE EMP TO [2, 8])"
+        assert run(query, env, optimize=True) == run(query, env)
+
+    def test_optimize_when_query(self, env):
+        query = "WHEN (SELECT WHEN DEPT = 'Toys' IN EMP)"
+        assert run(query, env, optimize=True) == run(query, env)
+
+    def test_attr_vs_attr_predicate(self, env):
+        result = run("SELECT WHEN DEPT = DEPT IN EMP", env)
+        assert len(result) == 3  # trivially true wherever DEPT is defined
+
+    def test_missing_relation_raises(self, env):
+        from repro.core.errors import AlgebraError
+
+        with pytest.raises(AlgebraError):
+            run("NOPE", env)
+
+    def test_during_bound_execution(self, env):
+        bounded = run("SELECT IF SALARY = 20000 DURING [0, 9] IN EMP", env)
+        assert {t.key_value() for t in bounded} == {("Tom",)}
+
+
+class TestRenameCompilation:
+    def test_rename_node(self):
+        compiled = compile_query(parse("RENAME NAME TO WHO IN EMP"))
+        assert isinstance(compiled, E.Rename)
+        assert compiled.mapping == (("NAME", "WHO"),)
+
+    def test_rename_execution(self, env):
+        result = run("RENAME NAME TO WHO IN EMP", env)
+        assert "WHO" in result.scheme.attributes
+        assert "NAME" not in result.scheme.attributes
+        assert len(result) == 3
+
+    def test_rename_enables_self_join(self, env):
+        # θ-join a renamed copy against the original (a self-join).
+        joined = run(
+            "(PROJECT NAME, SALARY FROM EMP) JOIN "
+            "(RENAME NAME TO WHO, SALARY TO WSAL, DEPT TO WDEPT IN EMP) "
+            "ON SALARY = WSAL", env)
+        # Every tuple at least matches itself wherever salary is defined.
+        keys = {t.key_value() for t in joined}
+        assert any(name == who for name, who in keys)

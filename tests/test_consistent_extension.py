@@ -1,0 +1,191 @@
+"""The Section 5 consistent-extension claim, made executable.
+
+"Each component C of the relational model ... has a corresponding
+component C_H in the historical relational model with the property that
+the definitions of C and C_H become equivalent in the absence of a
+temporal dimension" — i.e. with ``T = {now}``.
+
+These tests lift classical relations into HRDM over a single chronon,
+run the historical operators, collapse back, and compare with the
+classical algebra — for every operator pair the paper names.
+"""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.algebra import (
+    AttrOp,
+    EXISTS,
+    FORALL,
+    natural_join,
+    project,
+    select_if,
+    select_when,
+    theta_join,
+    timeslice,
+    when,
+)
+from repro.algebra import difference as h_difference
+from repro.algebra import intersection as h_intersection
+from repro.algebra import union as h_union
+from repro.classical import classical_algebra as ca
+from repro.classical.relation import Relation
+from repro.classical.snapshot import NOW, collapse, lift
+from repro.core.lifespan import Lifespan
+
+
+@st.composite
+def classical_relations(draw, attributes=("K", "V"), keys=("a", "b", "c", "d")):
+    rows = []
+    for key in draw(st.lists(st.sampled_from(keys), unique=True)):
+        rows.append({"K": key, "V": draw(st.integers(min_value=0, max_value=3))})
+    return Relation.from_dicts(attributes, rows)
+
+
+@pytest.fixture
+def classical():
+    return Relation.from_dicts(["K", "V"], [
+        {"K": "a", "V": 1}, {"K": "b", "V": 2}, {"K": "c", "V": 2},
+    ])
+
+
+class TestLiftCollapse:
+    def test_roundtrip(self, classical):
+        assert collapse(lift(classical, ["K"]), NOW) == classical
+
+    def test_lifted_shape(self, classical):
+        lifted = lift(classical, ["K"])
+        assert len(lifted) == len(classical)
+        for t in lifted:
+            assert t.lifespan == Lifespan.point(NOW)
+            for a in t.scheme.attributes:
+                assert t.value(a).is_constant()
+
+    def test_collapse_empty(self, classical):
+        lifted = lift(classical, ["K"])
+        sliced = timeslice(lifted, Lifespan.interval(90, 99))
+        assert len(collapse(sliced, 95)) == 0
+
+    def test_when_reduces_to_now_or_never(self, classical):
+        """Section 5: 'WHEN maps a relation either to now or to the
+        empty set'."""
+        lifted = lift(classical, ["K"])
+        assert when(lifted) == Lifespan.point(NOW)
+        empty = select_if(lifted, AttrOp("V", "=", 999))
+        assert when(empty).is_empty
+
+
+class TestOperatorReduction:
+    def test_select_if_reduces(self, classical):
+        lifted = lift(classical, ["K"])
+        historical = collapse(select_if(lifted, AttrOp("V", "=", 2)), NOW)
+        assert historical == ca.select_theta(classical, "V", "=", 2)
+
+    def test_select_when_reduces(self, classical):
+        lifted = lift(classical, ["K"])
+        historical = collapse(select_when(lifted, AttrOp("V", "=", 2)), NOW)
+        assert historical == ca.select_theta(classical, "V", "=", 2)
+
+    def test_select_flavors_coincide_at_now(self, classical):
+        """'both SELECT-IF and SELECT-WHEN reduce to one another'."""
+        lifted = lift(classical, ["K"])
+        p = AttrOp("V", ">=", 2)
+        a = collapse(select_if(lifted, p, EXISTS), NOW)
+        b = collapse(select_if(lifted, p, FORALL), NOW)
+        c = collapse(select_when(lifted, p), NOW)
+        assert a == b == c
+
+    def test_project_reduces(self, classical):
+        lifted = lift(classical, ["K"])
+        historical = collapse(project(lifted, ["K"]), NOW)
+        assert historical == ca.project(classical, ["K"])
+
+    def test_project_with_duplicates_reduces(self):
+        """Classical projection removes duplicates; so does HRDM's on
+        single-chronon relations."""
+        r = Relation.from_dicts(["K", "V"], [
+            {"K": "a", "V": 1}, {"K": "b", "V": 1},
+        ])
+        lifted = lift(r, ["K"])
+        historical = collapse(project(lifted, ["V"]), NOW)
+        assert historical == ca.project(r, ["V"])
+
+    def test_timeslice_is_identity_at_now(self, classical):
+        """'TIME-SLICE can be viewed as the identity function defined
+        only for time now'."""
+        lifted = lift(classical, ["K"])
+        assert collapse(timeslice(lifted, Lifespan.point(NOW)), NOW) == classical
+
+
+class TestSetOpReduction:
+    def test_union(self, classical):
+        other = Relation.from_dicts(["K", "V"], [
+            {"K": "a", "V": 1}, {"K": "z", "V": 9},
+        ])
+        l1, l2 = lift(classical, ["K"]), lift(other, ["K"])
+        assert collapse(h_union(l1, l2), NOW) == ca.union(classical, other)
+
+    def test_intersection(self, classical):
+        other = Relation.from_dicts(["K", "V"], [
+            {"K": "a", "V": 1}, {"K": "z", "V": 9},
+        ])
+        l1, l2 = lift(classical, ["K"]), lift(other, ["K"])
+        assert collapse(h_intersection(l1, l2), NOW) == ca.intersection(classical, other)
+
+    def test_difference(self, classical):
+        other = Relation.from_dicts(["K", "V"], [
+            {"K": "a", "V": 1}, {"K": "z", "V": 9},
+        ])
+        l1, l2 = lift(classical, ["K"]), lift(other, ["K"])
+        assert collapse(h_difference(l1, l2), NOW) == ca.difference(classical, other)
+
+
+class TestJoinReduction:
+    def test_theta_join_reduces(self, classical):
+        bands = Relation.from_dicts(["BAND", "MIN"], [
+            {"BAND": "hi", "MIN": 2}, {"BAND": "lo", "MIN": 1},
+        ])
+        l1 = lift(classical, ["K"])
+        l2 = lift(bands, ["BAND"])
+        historical = collapse(theta_join(l1, l2, "V", ">=", "MIN"), NOW)
+        assert historical == ca.theta_join(classical, bands, "V", ">=", "MIN")
+
+    def test_natural_join_reduces(self, classical):
+        mgrs = Relation.from_dicts(["V", "TAG"], [
+            {"V": 2, "TAG": "two"}, {"V": 9, "TAG": "nine"},
+        ])
+        l1 = lift(classical, ["K"])
+        l2 = lift(mgrs, ["TAG"])
+        historical = collapse(natural_join(l1, l2), NOW)
+        assert historical == ca.natural_join(classical, mgrs)
+
+
+# ---------------------------------------------------------------------------
+# Property versions over random classical relations.
+# ---------------------------------------------------------------------------
+
+
+@given(classical_relations())
+def test_roundtrip_property(r):
+    assert collapse(lift(r, ["K"]), NOW) == r
+
+
+@given(classical_relations(), st.integers(min_value=0, max_value=3),
+       st.sampled_from(["=", "<", ">=", "!="]))
+def test_select_reduction_property(r, v, theta):
+    lifted = lift(r, ["K"])
+    assert (collapse(select_when(lifted, AttrOp("V", theta, v)), NOW)
+            == ca.select_theta(r, "V", theta, v))
+
+
+@given(classical_relations(), classical_relations())
+def test_union_reduction_property(r1, r2):
+    l1, l2 = lift(r1, ["K"]), lift(r2, ["K"])
+    assert collapse(h_union(l1, l2), NOW) == ca.union(r1, r2)
+
+
+@given(classical_relations(), classical_relations())
+def test_difference_reduction_property(r1, r2):
+    l1, l2 = lift(r1, ["K"]), lift(r2, ["K"])
+    assert collapse(h_difference(l1, l2), NOW) == ca.difference(r1, r2)

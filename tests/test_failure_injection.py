@@ -1,0 +1,147 @@
+"""Failure-injection tests: corrupted bytes, torn pages, bad states.
+
+A production-quality storage layer must fail loudly and precisely, not
+return garbage. These tests corrupt real encoded artifacts and assert
+the error channel.
+"""
+
+import pytest
+
+from repro.core.errors import CodecError, HRDMError, PageError, StorageError
+from repro.core.lifespan import Lifespan
+from repro.storage import StoredRelation, codec
+from repro.storage.engine import encode_tuple
+from repro.storage.heapfile import HeapFile, Page
+from repro.workloads import PersonnelConfig, generate_personnel
+
+
+@pytest.fixture(scope="module")
+def emp():
+    return generate_personnel(PersonnelConfig(n_employees=10, seed=3))
+
+
+class TestCodecCorruption:
+    def test_truncated_lifespan(self):
+        raw = codec.encode_lifespan(Lifespan.interval(0, 9))
+        with pytest.raises(CodecError):
+            codec.decode_lifespan(memoryview(raw[:-4]), 0)
+
+    def test_truncated_tfunc(self, emp):
+        fn = emp.tuples[0].value("SALARY")
+        raw = codec.encode_tfunc(fn)
+        with pytest.raises(CodecError):
+            codec.decode_tfunc(memoryview(raw[: len(raw) // 2]), 0)
+
+    def test_bad_value_tag_inside_tfunc(self, emp):
+        fn = emp.tuples[0].value("DEPT")
+        raw = bytearray(codec.encode_tfunc(fn))
+        # The value tag of the first segment sits right after the count
+        # (4 bytes) and the two i64 interval bounds (16 bytes).
+        raw[20] = 0xEE
+        with pytest.raises(CodecError):
+            codec.decode_tfunc(memoryview(bytes(raw)), 0)
+
+    def test_truncated_string_payload(self):
+        raw = codec.encode_value("historical")
+        with pytest.raises(CodecError):
+            codec.decode_value(memoryview(raw[:-3]), 0)
+
+    def test_every_error_is_an_hrdm_error(self):
+        with pytest.raises(HRDMError):
+            codec.decode_u32(memoryview(b"\x01"), 0)
+
+
+class TestTupleDecodeCorruption:
+    def test_flipped_interval_bound_rejected(self, emp):
+        """Corrupting a chronon so intervals invert must not decode."""
+        from repro.storage.engine import decode_tuple
+
+        t = emp.tuples[0]
+        raw = bytearray(encode_tuple(t))
+        # Lifespan encoding: u32 count, then i64 pairs. Make lo > hi by
+        # smashing the first hi to a tiny value.
+        raw[12:20] = (-(2**40)).to_bytes(8, "little", signed=True)
+        with pytest.raises(HRDMError):
+            decode_tuple(bytes(raw), emp.scheme)
+
+    def test_garbage_is_not_a_tuple(self, emp):
+        from repro.storage.engine import decode_tuple
+
+        with pytest.raises(HRDMError):
+            decode_tuple(b"\xde\xad\xbe\xef" * 8, emp.scheme)
+
+
+class TestPageFailures:
+    def test_slot_out_of_range(self):
+        page = Page(128)
+        with pytest.raises(PageError):
+            page.read(0)
+
+    def test_double_delete(self):
+        page = Page(128)
+        slot = page.insert(b"x")
+        page.delete(slot)
+        with pytest.raises(PageError):
+            page.delete(slot)
+
+    def test_record_too_large_for_slot_encoding(self):
+        page = Page(4096 * 32)
+        with pytest.raises(PageError):
+            page.insert(b"x" * 0xFFFF)
+
+    def test_heap_read_after_delete(self):
+        hf = HeapFile(128)
+        rid = hf.insert(b"gone")
+        hf.delete(rid)
+        with pytest.raises(PageError):
+            hf.read(rid)
+
+
+class TestStoredRelationFailures:
+    def test_delete_unknown_key(self, emp):
+        stored = StoredRelation(emp.scheme)
+        stored.load(emp)
+        with pytest.raises(StorageError):
+            stored.delete("Nobody At All")
+
+    def test_corrupted_persisted_bytes(self, emp):
+        stored = StoredRelation(emp.scheme)
+        stored.load(emp)
+        raw = bytearray(stored.to_bytes())
+        # Flip bytes in the middle of the first page's record area.
+        for i in range(40, 60):
+            raw[i] ^= 0xFF
+        with pytest.raises(HRDMError):
+            recovered = StoredRelation.from_bytes(bytes(raw), emp.scheme)
+            recovered.to_relation()
+
+    def test_load_rejects_foreign_scheme(self, emp):
+        from repro.core import domains as d
+        from repro.core.scheme import RelationScheme
+
+        other = RelationScheme("O", {"K": d.cd(d.STRING)}, key=["K"])
+        stored = StoredRelation(other)
+        with pytest.raises(StorageError):
+            stored.load(emp)
+
+
+class TestConstraintRollbackUnderFailure:
+    def test_partial_batch_rolls_back(self):
+        """A constraint firing mid-update leaves the database unchanged."""
+        from repro.core import domains as d
+        from repro.core.scheme import RelationScheme
+        from repro.database import HistoricalDatabase, NonDecreasing
+
+        db = HistoricalDatabase("hr")
+        scheme = RelationScheme(
+            "EMP", {"NAME": d.cd(d.STRING), "SALARY": d.td(d.INTEGER)},
+            key=["NAME"],
+        )
+        db.create_relation(scheme)
+        db.insert("EMP", Lifespan.interval(0, 99), {"NAME": "a", "SALARY": 50})
+        db.add_constraint(NonDecreasing("EMP", "SALARY"))
+        before = db["EMP"]
+        with pytest.raises(HRDMError):
+            db.update("EMP", ("a",), at=10, changes={"SALARY": 10})
+        assert db["EMP"] == before
+        assert db["EMP"].get("a").at("SALARY", 10) == 50

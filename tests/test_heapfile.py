@@ -1,0 +1,157 @@
+"""Tests for the slotted-page heap file."""
+
+import pytest
+
+from repro.core.errors import PageError
+from repro.storage.heapfile import HeapFile, Page, RecordId
+
+
+class TestPage:
+    def test_insert_and_read(self):
+        page = Page(256)
+        slot = page.insert(b"hello")
+        assert page.read(slot) == b"hello"
+
+    def test_multiple_records(self):
+        page = Page(256)
+        slots = [page.insert(bytes([i]) * 10) for i in range(5)]
+        for i, slot in enumerate(slots):
+            assert page.read(slot) == bytes([i]) * 10
+
+    def test_page_full(self):
+        page = Page(64)
+        page.insert(b"x" * 40)
+        with pytest.raises(PageError):
+            page.insert(b"y" * 40)
+
+    def test_fits(self):
+        page = Page(128)
+        assert page.fits(b"x" * 50)
+        assert not page.fits(b"x" * 1000)
+
+    def test_delete_tombstones(self):
+        page = Page(256)
+        slot = page.insert(b"doomed")
+        page.delete(slot)
+        with pytest.raises(PageError):
+            page.read(slot)
+        assert page.n_records == 0
+
+    def test_slot_reuse_after_delete(self):
+        page = Page(256)
+        slot = page.insert(b"a")
+        page.delete(slot)
+        assert page.insert(b"b") == slot
+
+    def test_delete_unknown_slot(self):
+        page = Page(256)
+        with pytest.raises(PageError):
+            page.delete(3)
+
+    def test_compact_reclaims_space(self):
+        page = Page(128)
+        keep = page.insert(b"k" * 20)
+        doomed = page.insert(b"d" * 60)
+        page.delete(doomed)
+        before = page.free_space()
+        page.compact()
+        assert page.free_space() > before
+        assert page.read(keep) == b"k" * 20
+
+    def test_records_iterates_live_only(self):
+        page = Page(256)
+        a = page.insert(b"a")
+        b = page.insert(b"b")
+        page.delete(a)
+        assert [(s, r) for s, r in page.records()] == [(b, b"b")]
+
+    def test_to_from_bytes(self):
+        page = Page(256)
+        page.insert(b"alpha")
+        doomed = page.insert(b"beta")
+        page.delete(doomed)
+        restored = Page.from_bytes(page.to_bytes())
+        assert restored.read(0) == b"alpha"
+        assert restored.n_records == 1
+
+    def test_minimum_size(self):
+        with pytest.raises(PageError):
+            Page(10)
+
+
+class TestHeapFile:
+    def test_insert_read(self):
+        hf = HeapFile(256)
+        rid = hf.insert(b"record")
+        assert hf.read(rid) == b"record"
+
+    def test_spills_to_new_pages(self):
+        hf = HeapFile(128)
+        rids = [hf.insert(b"x" * 50) for _ in range(10)]
+        assert hf.n_pages > 1
+        assert all(hf.read(rid) == b"x" * 50 for rid in rids)
+
+    def test_n_records(self):
+        hf = HeapFile(256)
+        for i in range(5):
+            hf.insert(bytes([i]))
+        assert hf.n_records == 5
+
+    def test_delete(self):
+        hf = HeapFile(256)
+        rid = hf.insert(b"gone")
+        hf.delete(rid)
+        with pytest.raises(PageError):
+            hf.read(rid)
+
+    def test_read_bad_page(self):
+        hf = HeapFile(256)
+        with pytest.raises(PageError):
+            hf.read(RecordId(5, 0))
+
+    def test_scan(self):
+        hf = HeapFile(128)
+        payloads = {bytes([i]) * 30 for i in range(8)}
+        for p in payloads:
+            hf.insert(p)
+        assert {record for _, record in hf.scan()} == payloads
+
+    def test_blob_storage(self):
+        hf = HeapFile(128)
+        big = b"B" * 1000
+        rid = hf.insert(big)
+        assert rid.page_no < 0  # blob address
+        assert hf.read(rid) == big
+        assert hf.n_pages >= 8  # accounted as pages
+
+    def test_blob_delete(self):
+        hf = HeapFile(128)
+        rid = hf.insert(b"B" * 1000)
+        hf.delete(rid)
+        with pytest.raises(PageError):
+            hf.read(rid)
+
+    def test_blob_scan(self):
+        hf = HeapFile(128)
+        hf.insert(b"small")
+        hf.insert(b"B" * 500)
+        assert {r for _, r in hf.scan()} == {b"small", b"B" * 500}
+
+    def test_roundtrip_bytes(self):
+        hf = HeapFile(128)
+        small = hf.insert(b"small")
+        blob = hf.insert(b"B" * 500)
+        doomed = hf.insert(b"doomed")
+        hf.delete(doomed)
+        restored = HeapFile.from_bytes(hf.to_bytes())
+        assert restored.read(small) == b"small"
+        assert restored.read(blob) == b"B" * 500
+        assert restored.n_records == 2
+
+    def test_compact_drops_dead_blobs(self):
+        hf = HeapFile(128)
+        rid = hf.insert(b"B" * 1000)
+        pages_with_blob = hf.n_pages
+        hf.delete(rid)
+        hf.compact()
+        assert hf.n_pages < pages_with_blob

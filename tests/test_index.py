@@ -1,0 +1,123 @@
+"""Tests for the key index and the centered interval tree."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.errors import StorageError
+from repro.core.lifespan import Lifespan
+from repro.storage.index import IntervalIndex, KeyIndex
+
+
+class TestKeyIndex:
+    def test_put_get(self):
+        idx = KeyIndex()
+        idx.put(("a",), 1)
+        assert idx.get(("a",)) == 1 and idx.get(("b",)) is None
+
+    def test_duplicate_rejected(self):
+        idx = KeyIndex()
+        idx.put(("a",), 1)
+        with pytest.raises(StorageError):
+            idx.put(("a",), 2)
+
+    def test_replace(self):
+        idx = KeyIndex()
+        idx.put(("a",), 1)
+        idx.replace(("a",), 2)
+        assert idx.get(("a",)) == 2
+
+    def test_remove(self):
+        idx = KeyIndex()
+        idx.put(("a",), 1)
+        assert idx.remove(("a",)) == 1
+        assert ("a",) not in idx
+
+    def test_remove_missing(self):
+        with pytest.raises(StorageError):
+            KeyIndex().remove(("a",))
+
+    def test_len_contains_items(self):
+        idx = KeyIndex()
+        idx.put(("a",), 1)
+        idx.put(("b",), 2)
+        assert len(idx) == 2 and ("a",) in idx
+        assert dict(idx.items()) == {("a",): 1, ("b",): 2}
+
+
+class TestIntervalIndex:
+    def test_stab_basic(self):
+        idx = IntervalIndex.build([(0, 5, "a"), (3, 9, "b"), (20, 30, "c")])
+        assert set(idx.stab(4)) == {"a", "b"}
+        assert set(idx.stab(25)) == {"c"}
+        assert idx.stab(15) == []
+
+    def test_stab_boundaries(self):
+        idx = IntervalIndex.build([(0, 5, "a")])
+        assert idx.stab(0) == ["a"] and idx.stab(5) == ["a"]
+        assert idx.stab(-1) == [] and idx.stab(6) == []
+
+    def test_overlapping(self):
+        idx = IntervalIndex.build([(0, 5, "a"), (3, 9, "b"), (20, 30, "c")])
+        assert set(idx.overlapping(4, 21)) == {"a", "b", "c"}
+        assert set(idx.overlapping(10, 19)) == set()
+
+    def test_overlapping_dedupes(self):
+        idx = IntervalIndex.build([(0, 5, "a"), (8, 9, "a")])
+        assert idx.overlapping(0, 10) == ["a"]
+
+    def test_bad_entries_rejected(self):
+        with pytest.raises(StorageError):
+            IntervalIndex.build([(5, 1, "x")])
+
+    def test_bad_query_rejected(self):
+        idx = IntervalIndex.build([(0, 5, "a")])
+        with pytest.raises(StorageError):
+            idx.overlapping(9, 1)
+
+    def test_empty_index(self):
+        idx = IntervalIndex.build([])
+        assert idx.stab(0) == [] and idx.overlapping(0, 10) == []
+        assert len(idx) == 0
+
+    def test_from_lifespans(self):
+        idx = IntervalIndex.from_lifespans([
+            (Lifespan((0, 2), (8, 9)), "reincarnated"),
+            (Lifespan.interval(4, 6), "solid"),
+        ])
+        assert set(idx.stab(1)) == {"reincarnated"}
+        assert set(idx.stab(5)) == {"solid"}
+        assert set(idx.stab(3)) == set()
+        assert len(idx) == 3  # one entry per maximal interval
+
+
+# ---------------------------------------------------------------------------
+# Property tests against naive scans.
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def entry_lists(draw):
+    entries = []
+    for i in range(draw(st.integers(min_value=0, max_value=25))):
+        lo = draw(st.integers(min_value=-30, max_value=30))
+        width = draw(st.integers(min_value=0, max_value=15))
+        entries.append((lo, lo + width, i))
+    return entries
+
+
+@given(entry_lists(), st.integers(min_value=-40, max_value=40))
+def test_stab_matches_naive(entries, t):
+    idx = IntervalIndex.build(entries)
+    naive = {payload for lo, hi, payload in entries if lo <= t <= hi}
+    assert set(idx.stab(t)) == naive
+
+
+@given(entry_lists(), st.integers(min_value=-40, max_value=40),
+       st.integers(min_value=0, max_value=20))
+def test_overlapping_matches_naive(entries, lo, width):
+    hi = lo + width
+    idx = IntervalIndex.build(entries)
+    naive = {payload for e_lo, e_hi, payload in entries
+             if max(e_lo, lo) <= min(e_hi, hi)}
+    assert set(idx.overlapping(lo, hi)) == naive

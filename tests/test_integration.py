@@ -1,0 +1,183 @@
+"""End-to-end integration tests across every layer of the library.
+
+Each test tells one story from the paper through the public API:
+model → algebra → database → storage → query language.
+"""
+
+import pytest
+
+from repro.algebra import AttrOp, natural_join, select_when, timeslice, union_merge, when
+from repro.classical import collapse, from_historical, lift, to_historical
+from repro.core import Lifespan, TemporalFunction, TimeDomain, domains
+from repro.core.relation import HistoricalRelation
+from repro.core.scheme import RelationScheme
+from repro.database import (
+    HistoricalDatabase,
+    NonDecreasing,
+    TemporalForeignKey,
+    evolve,
+)
+from repro.query import run
+from repro.storage import StoredRelation
+from repro.workloads import (
+    EnrollmentConfig,
+    PersonnelConfig,
+    generate_enrollment_db,
+    generate_personnel,
+)
+
+
+class TestEmploymentStory:
+    """Hire, fire, re-hire — then query across the incarnations."""
+
+    @pytest.fixture
+    def db(self):
+        database = HistoricalDatabase("hr", TimeDomain(0, 100, now=90))
+        scheme = RelationScheme(
+            "EMP",
+            {"NAME": domains.cd(domains.STRING),
+             "SALARY": domains.td(domains.INTEGER),
+             "DEPT": domains.td(domains.STRING)},
+            key=["NAME"],
+        )
+        database.create_relation(scheme)
+        database.add_constraint(NonDecreasing("EMP", "SALARY"))
+        database.insert("EMP", Lifespan.interval(0, 100),
+                        {"NAME": "Ada", "SALARY": 50, "DEPT": "Tools"})
+        database.insert("EMP", Lifespan.interval(10, 100),
+                        {"NAME": "Alan", "SALARY": 40, "DEPT": "Toys"})
+        return database
+
+    def test_full_cycle(self, db):
+        db.terminate("EMP", ("Alan",), at=40)
+        db.reincarnate("EMP", ("Alan",), Lifespan.interval(60, 100),
+                       {"NAME": "Alan", "SALARY": 45, "DEPT": "Books"})
+        alan = db["EMP"].get("Alan")
+        assert alan.lifespan == Lifespan((10, 39), (60, 100))
+        # SELECT-WHEN across the gap:
+        result = select_when(db["EMP"], AttrOp("NAME", "=", "Alan"))
+        assert result.get("Alan").lifespan == alan.lifespan
+        # WHEN anyone was in Books:
+        assert when(select_when(db["EMP"], AttrOp("DEPT", "=", "Books"))) == \
+            Lifespan.interval(60, 100)
+
+    def test_constraint_survives_update_path(self, db):
+        db.update("EMP", ("Ada",), at=50, changes={"SALARY": 60})
+        from repro.core.errors import IntegrityError
+
+        with pytest.raises(IntegrityError):
+            db.update("EMP", ("Ada",), at=70, changes={"SALARY": 55})
+        assert db["EMP"].get("Ada").at("SALARY", 70) == 60
+
+
+class TestSchemaEvolutionStory:
+    """Figure 6 through the database layer with live data and queries."""
+
+    def test_volume_lifecycle(self):
+        db = HistoricalDatabase("market", TimeDomain(0, 250))
+        scheme = RelationScheme(
+            "STOCK",
+            {"TICKER": domains.cd(domains.STRING), "PRICE": domains.td(domains.NUMBER)},
+            key=["TICKER"],
+            lifespans={"TICKER": Lifespan.interval(0, 250),
+                       "PRICE": Lifespan.interval(0, 250)},
+        )
+        db.create_relation(scheme)
+        db.insert("STOCK", Lifespan.interval(0, 250), {"TICKER": "X", "PRICE": 10.0})
+        evolve(db, "STOCK", add={"VOLUME": (domains.td(domains.INTEGER), 0, 250)})
+        db.update("STOCK", ("X",), at=0, changes={"VOLUME": 100})
+        evolve(db, "STOCK", drop_at={"VOLUME": 100})
+        evolve(db, "STOCK", readd={"VOLUME": (180, 250)})
+        t = db["STOCK"].get("X")
+        # History before the drop is intact; the gap has no values.
+        assert t.at("VOLUME", 50) == 100
+        assert t.get_at("VOLUME", 150) is None
+        # The re-opened period accepts new values.
+        db.update("STOCK", ("X",), at=200, changes={"VOLUME": 500})
+        assert db["STOCK"].get("X").at("VOLUME", 200) == 500
+
+
+class TestEnrollmentStory:
+    def test_joins_respect_referential_integrity(self):
+        students, courses, enrollments = generate_enrollment_db(
+            EnrollmentConfig(n_students=15, n_courses=5, n_enrollments=25, seed=3)
+        )
+        db = HistoricalDatabase("school", TimeDomain(0, 48))
+        db.create_relation(students.scheme, students.tuples)
+        db.create_relation(courses.scheme, courses.tuples)
+        db.create_relation(enrollments.scheme, enrollments.tuples)
+        db.add_constraint(TemporalForeignKey("ENROLLMENT", ["SID"], "STUDENT"))
+        db.add_constraint(TemporalForeignKey("ENROLLMENT", ["CID"], "COURSE"))
+        joined = natural_join(db["ENROLLMENT"], db["STUDENT"])
+        # Join lifespans are exactly the enrollment lifespans (enrollment ⊆ student).
+        for t in joined:
+            sid, cid = t.key_value()
+            original = db["ENROLLMENT"].get(sid, cid)
+            assert t.lifespan == original.lifespan
+
+
+class TestStorageRoundtripStory:
+    def test_query_results_survive_storage(self):
+        emp = generate_personnel(PersonnelConfig(n_employees=20, seed=13))
+        result = select_when(emp, AttrOp("SALARY", ">=", 50_000))
+        stored = StoredRelation(result.scheme)
+        stored.load(result)
+        recovered = StoredRelation.from_bytes(stored.to_bytes(), result.scheme)
+        assert recovered.to_relation() == result
+
+
+class TestBaselineAgreementStory:
+    """HRDM and the tuple-timestamping baseline answer queries identically."""
+
+    def test_snapshot_and_history_agree(self):
+        emp = generate_personnel(PersonnelConfig(n_employees=20, seed=17))
+        ts = from_historical(emp)
+        # Snapshots agree at every probe time.
+        for time in (10, 50, 100):
+            hrdm = sorted(emp.snapshot(time), key=lambda r: r["NAME"])
+            base = sorted(
+                ({k: v for k, v in row.items() if v is not None}
+                 for row in ts.snapshot(time)),
+                key=lambda r: r["NAME"],
+            )
+            assert hrdm == base
+        # Lifespans (WHEN) agree per object.
+        for t in emp:
+            assert ts.lifespan_of(t.key_value()) == t.lifespan
+        # And the round trip is lossless.
+        assert to_historical(ts, emp.scheme) == emp
+
+
+class TestQueryLanguageStory:
+    def test_hrql_over_generated_data(self):
+        emp = generate_personnel(PersonnelConfig(n_employees=25, seed=19))
+        env = {"EMP": emp}
+        rich_now = run("SELECT IF SALARY >= 80000 DURING [100, 120] IN EMP", env)
+        assert all(
+            any(t.at("SALARY", s) >= 80_000
+                for s in (t.lifespan & Lifespan.interval(100, 120)))
+            for t in rich_now
+        )
+        toys_times = run("WHEN (SELECT WHEN DEPT = 'Toys' IN EMP)", env)
+        sliced = timeslice(emp, toys_times)
+        assert sliced.lifespan() == toys_times
+
+    def test_optimizer_agrees_on_composite_query(self):
+        emp = generate_personnel(PersonnelConfig(n_employees=25, seed=23))
+        env = {"EMP": emp}
+        q = ("PROJECT NAME, SALARY FROM (TIMESLICE "
+             "(SELECT WHEN SALARY >= 40000 IN EMP) TO [20, 90])")
+        assert run(q, env, optimize=True) == run(q, env)
+
+
+class TestConsistentExtensionStory:
+    def test_now_reduction_via_union_merge(self):
+        """Object-based union at {now} is classical union (set semantics)."""
+        from repro.classical.relation import Relation
+
+        r1 = Relation.from_dicts(["K", "V"], [{"K": "a", "V": 1}, {"K": "b", "V": 2}])
+        r2 = Relation.from_dicts(["K", "V"], [{"K": "a", "V": 1}, {"K": "c", "V": 3}])
+        merged = union_merge(lift(r1, ["K"], "L1"), lift(r2, ["K"], "L2"))
+        from repro.classical import classical_algebra as ca
+
+        assert collapse(merged, 0) == ca.union(r1, r2)

@@ -1,0 +1,203 @@
+"""Tests for temporal integrity constraints."""
+
+import pytest
+
+from repro.core import domains as d
+from repro.core.errors import (
+    DependencyError,
+    IntegrityError,
+    ReferentialIntegrityError,
+)
+from repro.core.lifespan import Lifespan
+from repro.core.scheme import RelationScheme
+from repro.core.time_domain import TimeDomain
+from repro.database import (
+    ChangeBounded,
+    HistoricalDatabase,
+    LifespanWithin,
+    NonDecreasing,
+    NonIncreasing,
+    TemporalFD,
+    TemporalForeignKey,
+)
+
+
+@pytest.fixture
+def db():
+    database = HistoricalDatabase("school", TimeDomain(0, 100))
+    student = RelationScheme(
+        "STUDENT", {"SID": d.cd(d.STRING), "MAJOR": d.td(d.STRING)}, key=["SID"]
+    )
+    enroll = RelationScheme(
+        "ENROLL",
+        {"SID": d.cd(d.STRING), "CID": d.cd(d.STRING), "GRADE": d.td(d.STRING)},
+        key=["SID", "CID"],
+    )
+    database.create_relation(student)
+    database.create_relation(enroll)
+    database.insert("STUDENT", Lifespan.interval(0, 50), {"SID": "s1", "MAJOR": "IS"})
+    return database
+
+
+class TestTemporalForeignKey:
+    def test_valid_reference(self, db):
+        db.insert("ENROLL", Lifespan.interval(10, 20),
+                  {"SID": "s1", "CID": "c1", "GRADE": "A"})
+        db.add_constraint(TemporalForeignKey("ENROLL", ["SID"], "STUDENT"))
+
+    def test_reference_outside_lifespan_rejected(self, db):
+        db.add_constraint(TemporalForeignKey("ENROLL", ["SID"], "STUDENT"))
+        with pytest.raises(ReferentialIntegrityError):
+            db.insert("ENROLL", Lifespan.interval(40, 60),  # student ends at 50
+                      {"SID": "s1", "CID": "c1", "GRADE": "A"})
+
+    def test_unknown_key_rejected(self, db):
+        db.add_constraint(TemporalForeignKey("ENROLL", ["SID"], "STUDENT"))
+        with pytest.raises(ReferentialIntegrityError):
+            db.insert("ENROLL", Lifespan.interval(10, 20),
+                      {"SID": "ghost", "CID": "c1", "GRADE": "A"})
+
+    def test_rollback_on_violation(self, db):
+        db.add_constraint(TemporalForeignKey("ENROLL", ["SID"], "STUDENT"))
+        try:
+            db.insert("ENROLL", Lifespan.interval(40, 60),
+                      {"SID": "s1", "CID": "c1", "GRADE": "A"})
+        except ReferentialIntegrityError:
+            pass
+        assert len(db["ENROLL"]) == 0  # the bad insert was rolled back
+
+    def test_adding_constraint_checks_existing_data(self, db):
+        db.insert("ENROLL", Lifespan.interval(40, 60),
+                  {"SID": "s1", "CID": "c1", "GRADE": "A"})
+        with pytest.raises(ReferentialIntegrityError):
+            db.add_constraint(TemporalForeignKey("ENROLL", ["SID"], "STUDENT"))
+        assert len(db.constraints()) == 0  # not registered
+
+    def test_gap_in_referenced_lifespan_detected(self, db):
+        db.insert("STUDENT", Lifespan((0, 10), (20, 30)), {"SID": "s2", "MAJOR": "CS"})
+        db.add_constraint(TemporalForeignKey("ENROLL", ["SID"], "STUDENT"))
+        with pytest.raises(ReferentialIntegrityError):
+            db.insert("ENROLL", Lifespan.interval(5, 25),  # spans the gap
+                      {"SID": "s2", "CID": "c1", "GRADE": "B"})
+
+
+@pytest.fixture
+def emp_db():
+    database = HistoricalDatabase("hr", TimeDomain(0, 100))
+    scheme = RelationScheme(
+        "EMP", {"NAME": d.cd(d.STRING), "SALARY": d.td(d.INTEGER)}, key=["NAME"]
+    )
+    database.create_relation(scheme)
+    return database
+
+
+class TestDynamicConstraints:
+    def test_nondecreasing_ok(self, emp_db):
+        from repro.core.tfunc import TemporalFunction
+
+        emp_db.insert("EMP", Lifespan.interval(0, 9),
+                      {"NAME": "a", "SALARY": TemporalFunction.step({0: 10, 5: 20}, end=9)})
+        emp_db.add_constraint(NonDecreasing("EMP", "SALARY"))
+
+    def test_nondecreasing_violation(self, emp_db):
+        from repro.core.tfunc import TemporalFunction
+
+        emp_db.insert("EMP", Lifespan.interval(0, 9),
+                      {"NAME": "a", "SALARY": TemporalFunction.step({0: 20, 5: 10}, end=9)})
+        with pytest.raises(IntegrityError):
+            emp_db.add_constraint(NonDecreasing("EMP", "SALARY"))
+
+    def test_nondecreasing_across_gap(self, emp_db):
+        """A salary drop across a death/rebirth gap: rejected by default,
+        allowed with reset_on_gap."""
+        from repro.core.tfunc import TemporalFunction
+
+        fn = TemporalFunction([((0, 4), 20), ((10, 14), 15)])
+        emp_db.insert("EMP", Lifespan((0, 4), (10, 14)), {"NAME": "a", "SALARY": fn})
+        with pytest.raises(IntegrityError):
+            emp_db.add_constraint(NonDecreasing("EMP", "SALARY"))
+        emp_db.add_constraint(NonDecreasing("EMP", "SALARY", reset_on_gap=True))
+
+    def test_nonincreasing(self, emp_db):
+        from repro.core.tfunc import TemporalFunction
+
+        emp_db.insert("EMP", Lifespan.interval(0, 9),
+                      {"NAME": "a", "SALARY": TemporalFunction.step({0: 20, 5: 10}, end=9)})
+        emp_db.add_constraint(NonIncreasing("EMP", "SALARY"))
+
+    def test_change_bounded(self, emp_db):
+        from repro.core.tfunc import TemporalFunction
+
+        emp_db.insert("EMP", Lifespan.interval(0, 9),
+                      {"NAME": "a", "SALARY": TemporalFunction.step({0: 10, 5: 12}, end=9)})
+        emp_db.add_constraint(ChangeBounded("EMP", "SALARY", max_delta=5))
+        with pytest.raises(IntegrityError):
+            emp_db.update("EMP", ("a",), at=8, changes={"SALARY": 100})
+
+    def test_lifespan_within(self, emp_db):
+        emp_db.insert("EMP", Lifespan.interval(0, 9), {"NAME": "a", "SALARY": 1})
+        emp_db.add_constraint(LifespanWithin("EMP", Lifespan.interval(0, 50)))
+        with pytest.raises(IntegrityError):
+            emp_db.insert("EMP", Lifespan.interval(40, 99), {"NAME": "b", "SALARY": 1})
+
+
+@pytest.fixture
+def fd_db():
+    database = HistoricalDatabase("fd", TimeDomain(0, 100))
+    scheme = RelationScheme(
+        "WORKS",
+        {"ID": d.cd(d.STRING), "DEPT": d.td(d.STRING), "FLOOR": d.td(d.INTEGER)},
+        key=["ID"],
+    )
+    database.create_relation(scheme)
+    return database
+
+
+class TestTemporalFD:
+    def test_pointwise_satisfied(self, fd_db):
+        fd_db.insert("WORKS", Lifespan.interval(0, 9),
+                     {"ID": "a", "DEPT": "Toys", "FLOOR": 3})
+        fd_db.insert("WORKS", Lifespan.interval(0, 9),
+                     {"ID": "b", "DEPT": "Toys", "FLOOR": 3})
+        fd_db.add_constraint(TemporalFD("WORKS", ["DEPT"], ["FLOOR"]))
+
+    def test_pointwise_violation(self, fd_db):
+        fd_db.insert("WORKS", Lifespan.interval(0, 9),
+                     {"ID": "a", "DEPT": "Toys", "FLOOR": 3})
+        fd_db.insert("WORKS", Lifespan.interval(0, 9),
+                     {"ID": "b", "DEPT": "Toys", "FLOOR": 4})
+        with pytest.raises(DependencyError):
+            fd_db.add_constraint(TemporalFD("WORKS", ["DEPT"], ["FLOOR"]))
+
+    def test_pointwise_allows_change_over_time(self, fd_db):
+        """Toys is on floor 3 early and floor 4 later — fine pointwise."""
+        from repro.core.tfunc import TemporalFunction
+
+        fd_db.insert("WORKS", Lifespan.interval(0, 9),
+                     {"ID": "a", "DEPT": "Toys",
+                      "FLOOR": TemporalFunction.step({0: 3, 5: 4}, end=9)})
+        fd_db.insert("WORKS", Lifespan.interval(0, 9),
+                     {"ID": "b", "DEPT": "Toys",
+                      "FLOOR": TemporalFunction.step({0: 3, 5: 4}, end=9)})
+        fd_db.add_constraint(TemporalFD("WORKS", ["DEPT"], ["FLOOR"]))
+
+    def test_pointwise_tolerates_disjoint_lifespans(self, fd_db):
+        fd_db.insert("WORKS", Lifespan.interval(0, 4),
+                     {"ID": "a", "DEPT": "Toys", "FLOOR": 3})
+        fd_db.insert("WORKS", Lifespan.interval(6, 9),
+                     {"ID": "b", "DEPT": "Toys", "FLOOR": 4})
+        fd_db.add_constraint(TemporalFD("WORKS", ["DEPT"], ["FLOOR"]))
+
+    def test_global_scope_catches_cross_time_disagreement(self, fd_db):
+        """The same X value at different times with different histories."""
+        fd_db.insert("WORKS", Lifespan.interval(0, 9),
+                     {"ID": "a", "DEPT": "Toys", "FLOOR": 3})
+        fd_db.insert("WORKS", Lifespan.interval(5, 9),
+                     {"ID": "b", "DEPT": "Toys", "FLOOR": 4})
+        with pytest.raises(DependencyError):
+            fd_db.add_constraint(TemporalFD("WORKS", ["DEPT"], ["FLOOR"],
+                                            scope="global"))
+
+    def test_unknown_scope_rejected(self):
+        with pytest.raises(IntegrityError):
+            TemporalFD("R", ["X"], ["A"], scope="sometimes")

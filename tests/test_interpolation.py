@@ -1,0 +1,182 @@
+"""Tests for the interpolation strategies (representation → model)."""
+
+import pytest
+
+from repro.core.errors import TemporalFunctionError
+from repro.core.interpolation import (
+    INTERPOLATIONS,
+    DiscreteInterpolation,
+    LinearInterpolation,
+    NearestInterpolation,
+    StepInterpolation,
+    by_name,
+)
+from repro.core.lifespan import Lifespan
+from repro.core.tfunc import TemporalFunction
+
+
+class TestStepInterpolation:
+    def test_fills_forward(self):
+        sparse = TemporalFunction.from_points({0: "a", 5: "b"})
+        total = StepInterpolation().totalize(sparse, Lifespan.interval(0, 9))
+        assert total(3) == "a" and total(5) == "b" and total(9) == "b"
+        assert total.domain == Lifespan.interval(0, 9)
+
+    def test_backward_extension_before_first_sample(self):
+        sparse = TemporalFunction.from_points({5: "x"})
+        total = StepInterpolation().totalize(sparse, Lifespan.interval(0, 9))
+        assert total(0) == "x"
+
+    def test_gap_lifespans(self):
+        sparse = TemporalFunction.from_points({0: "a", 8: "b"})
+        target = Lifespan((0, 2), (7, 9))
+        total = StepInterpolation().totalize(sparse, target)
+        assert total.domain == target
+        assert total(7) == "a" and total(8) == "b"
+
+    def test_total_input_returned_unchanged(self):
+        fn = TemporalFunction([((0, 4), "x")])
+        assert StepInterpolation().totalize(fn, Lifespan.interval(0, 4)) is fn
+
+    def test_empty_representation_raises(self):
+        with pytest.raises(TemporalFunctionError):
+            StepInterpolation().totalize(TemporalFunction.empty(), Lifespan.interval(0, 3))
+
+    def test_samples_outside_target_raise(self):
+        sparse = TemporalFunction.from_points({99: "x"})
+        with pytest.raises(TemporalFunctionError):
+            StepInterpolation().totalize(sparse, Lifespan.interval(0, 9))
+
+    def test_preserves_sample_values(self):
+        sparse = TemporalFunction.from_points({0: 1, 3: 2, 7: 3})
+        total = StepInterpolation().totalize(sparse, Lifespan.interval(0, 9))
+        for t, v in sparse.point_items():
+            assert total(t) == v
+
+
+class TestDiscreteInterpolation:
+    def test_refuses_to_fill(self):
+        sparse = TemporalFunction.from_points({0: "a"})
+        with pytest.raises(TemporalFunctionError):
+            DiscreteInterpolation().totalize(sparse, Lifespan.interval(0, 5))
+
+    def test_accepts_already_total(self):
+        fn = TemporalFunction([((0, 5), "a")])
+        assert DiscreteInterpolation().totalize(fn, Lifespan.interval(0, 5)) == fn
+
+
+class TestLinearInterpolation:
+    def test_midpoint(self):
+        sparse = TemporalFunction.from_points({0: 0.0, 10: 100.0})
+        total = LinearInterpolation().totalize(sparse, Lifespan.interval(0, 10))
+        assert total(5) == 50.0 and total(1) == 10.0
+
+    def test_constant_extrapolation(self):
+        sparse = TemporalFunction.from_points({3: 30.0, 5: 50.0})
+        total = LinearInterpolation().totalize(sparse, Lifespan.interval(0, 9))
+        assert total(0) == 30.0 and total(9) == 50.0
+
+    def test_int_samples_accepted(self):
+        sparse = TemporalFunction.from_points({0: 0, 4: 8})
+        total = LinearInterpolation().totalize(sparse, Lifespan.interval(0, 4))
+        assert total(2) == 4.0
+
+    def test_non_numeric_rejected(self):
+        sparse = TemporalFunction.from_points({0: "a", 5: "b"})
+        with pytest.raises(TemporalFunctionError):
+            LinearInterpolation().totalize(sparse, Lifespan.interval(0, 5))
+
+
+class TestNearestInterpolation:
+    def test_takes_nearest(self):
+        sparse = TemporalFunction.from_points({0: "a", 10: "b"})
+        total = NearestInterpolation().totalize(sparse, Lifespan.interval(0, 10))
+        assert total(2) == "a" and total(8) == "b"
+
+    def test_tie_goes_to_earlier(self):
+        sparse = TemporalFunction.from_points({0: "a", 10: "b"})
+        total = NearestInterpolation().totalize(sparse, Lifespan.interval(0, 10))
+        assert total(5) == "a"
+
+    def test_outside_ends(self):
+        sparse = TemporalFunction.from_points({5: "m"})
+        total = NearestInterpolation().totalize(sparse, Lifespan.interval(0, 9))
+        assert total(0) == "m" and total(9) == "m"
+
+
+class TestRegistry:
+    def test_all_registered(self):
+        assert set(INTERPOLATIONS) == {"discrete", "step", "linear", "nearest"}
+
+    def test_by_name(self):
+        assert isinstance(by_name("step"), StepInterpolation)
+
+    def test_by_name_unknown(self):
+        with pytest.raises(TemporalFunctionError):
+            by_name("cubic-spline")
+
+    def test_equality_by_type(self):
+        assert StepInterpolation() == StepInterpolation()
+        assert StepInterpolation() != LinearInterpolation()
+        assert hash(StepInterpolation()) == hash(StepInterpolation())
+
+
+class TestTotalizeHelpers:
+    def test_totalize_tuple(self):
+        from repro.core import domains as d
+        from repro.core.interpolation import totalize_tuple
+        from repro.core.scheme import RelationScheme
+        from repro.core.tuples import HistoricalTuple
+
+        scheme = RelationScheme(
+            "S", {"K": d.cd(d.STRING), "V": d.td(d.NUMBER)}, key=["K"]
+        )
+        t = HistoricalTuple.build(scheme, Lifespan.interval(0, 9),
+                                  {"K": "a", "V": {0: 1.0, 5: 2.0}})
+        assert not t.is_total()
+        total = totalize_tuple(t, {"V": StepInterpolation()})
+        assert total.is_total()
+        assert total.at("V", 3) == 1.0 and total.at("V", 9) == 2.0
+
+    def test_totalize_relation(self):
+        from repro.core import domains as d
+        from repro.core.interpolation import totalize_relation
+        from repro.core.relation import HistoricalRelation
+        from repro.core.scheme import RelationScheme
+
+        scheme = RelationScheme(
+            "S", {"K": d.cd(d.STRING), "V": d.td(d.NUMBER)}, key=["K"]
+        )
+        r = HistoricalRelation.from_rows(scheme, [
+            (Lifespan.interval(0, 9), {"K": "a", "V": {0: 1.0}}),
+            (Lifespan.interval(0, 4), {"K": "b", "V": {2: 3.0}}),
+        ])
+        total = totalize_relation(r, {"V": StepInterpolation()})
+        assert all(t.is_total() for t in total)
+
+    def test_totalize_skips_unlisted_attributes(self):
+        from repro.core import domains as d
+        from repro.core.interpolation import totalize_tuple
+        from repro.core.scheme import RelationScheme
+        from repro.core.tuples import HistoricalTuple
+
+        scheme = RelationScheme(
+            "S", {"K": d.cd(d.STRING), "V": d.td(d.NUMBER)}, key=["K"]
+        )
+        t = HistoricalTuple.build(scheme, Lifespan.interval(0, 9),
+                                  {"K": "a", "V": {0: 1.0}})
+        same = totalize_tuple(t, {})
+        assert same == t
+
+    def test_totalize_skips_empty_functions(self):
+        from repro.core import domains as d
+        from repro.core.interpolation import totalize_tuple
+        from repro.core.scheme import RelationScheme
+        from repro.core.tuples import HistoricalTuple
+
+        scheme = RelationScheme(
+            "S", {"K": d.cd(d.STRING), "V": d.td(d.NUMBER)}, key=["K"]
+        )
+        t = HistoricalTuple.build(scheme, Lifespan.interval(0, 9), {"K": "a"})
+        total = totalize_tuple(t, {"V": StepInterpolation()})
+        assert not total.value("V")

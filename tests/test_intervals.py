@@ -1,0 +1,205 @@
+"""Unit and property tests for the interval kernel.
+
+Every set operation is cross-checked against the obvious reference
+implementation over explicit Python sets of chronons.
+"""
+
+import pytest
+from hypothesis import given
+
+from repro.core import intervals as iv
+from repro.core.errors import LifespanError
+from tests.conftest import point_sets
+
+
+def pts(intervals):
+    """Reference: materialise an interval list as a set of ints."""
+    return set(iv.iter_points(intervals))
+
+
+class TestNormalize:
+    def test_empty(self):
+        assert iv.normalize([]) == ()
+
+    def test_single(self):
+        assert iv.normalize([(1, 5)]) == ((1, 5),)
+
+    def test_sorts(self):
+        assert iv.normalize([(10, 12), (1, 3)]) == ((1, 3), (10, 12))
+
+    def test_merges_overlap(self):
+        assert iv.normalize([(1, 5), (3, 8)]) == ((1, 8),)
+
+    def test_merges_adjacent(self):
+        assert iv.normalize([(1, 3), (4, 6)]) == ((1, 6),)
+
+    def test_keeps_gap(self):
+        assert iv.normalize([(1, 3), (5, 6)]) == ((1, 3), (5, 6))
+
+    def test_contained_interval(self):
+        assert iv.normalize([(1, 10), (3, 4)]) == ((1, 10),)
+
+    def test_rejects_reversed(self):
+        with pytest.raises(LifespanError):
+            iv.normalize([(5, 1)])
+
+    def test_degenerate_point(self):
+        assert iv.normalize([(3, 3)]) == ((3, 3),)
+
+    def test_duplicates(self):
+        assert iv.normalize([(1, 2), (1, 2)]) == ((1, 2),)
+
+
+class TestFromPoints:
+    def test_empty(self):
+        assert iv.from_points([]) == ()
+
+    def test_run_detection(self):
+        assert iv.from_points([5, 1, 2, 3, 9]) == ((1, 3), (5, 5), (9, 9))
+
+    def test_duplicates_collapse(self):
+        assert iv.from_points([1, 1, 2, 2]) == ((1, 2),)
+
+    def test_negative_points(self):
+        assert iv.from_points([-3, -2, 0]) == ((-3, -2), (0, 0))
+
+
+class TestPointOps:
+    def test_iter_points(self):
+        assert list(iv.iter_points(((1, 3), (7, 8)))) == [1, 2, 3, 7, 8]
+
+    def test_cardinality(self):
+        assert iv.cardinality(((1, 3), (7, 8))) == 5
+
+    def test_cardinality_empty(self):
+        assert iv.cardinality(()) == 0
+
+    @pytest.mark.parametrize("t,expected", [
+        (0, False), (1, True), (3, True), (4, False), (7, True), (9, False),
+    ])
+    def test_contains_point(self, t, expected):
+        assert iv.contains_point(((1, 3), (7, 8)), t) is expected
+
+
+class TestSetOps:
+    def test_union_disjoint(self):
+        assert iv.union(((1, 2),), ((5, 6),)) == ((1, 2), (5, 6))
+
+    def test_union_overlap(self):
+        assert iv.union(((1, 4),), ((3, 8),)) == ((1, 8),)
+
+    def test_union_identity(self):
+        a = ((1, 5),)
+        assert iv.union(a, ()) == a
+        assert iv.union((), a) == a
+
+    def test_intersection_basic(self):
+        assert iv.intersection(((1, 5),), ((3, 9),)) == ((3, 5),)
+
+    def test_intersection_empty(self):
+        assert iv.intersection(((1, 2),), ((4, 5),)) == ()
+
+    def test_intersection_multi(self):
+        a = ((0, 10),)
+        b = ((1, 2), (4, 5), (9, 12))
+        assert iv.intersection(a, b) == ((1, 2), (4, 5), (9, 10))
+
+    def test_difference_splits(self):
+        assert iv.difference(((0, 10),), ((3, 5),)) == ((0, 2), (6, 10))
+
+    def test_difference_everything(self):
+        assert iv.difference(((2, 4),), ((0, 9),)) == ()
+
+    def test_difference_nothing(self):
+        assert iv.difference(((2, 4),), ((8, 9),)) == ((2, 4),)
+
+    def test_symmetric_difference(self):
+        assert iv.symmetric_difference(((0, 5),), ((3, 8),)) == ((0, 2), (6, 8))
+
+    def test_complement_window(self):
+        assert iv.complement(((2, 3),), universe=(0, 6)) == ((0, 1), (4, 6))
+
+    def test_complement_of_empty(self):
+        assert iv.complement((), universe=(0, 3)) == ((0, 3),)
+
+
+class TestPredicates:
+    def test_is_subset_true(self):
+        assert iv.is_subset(((2, 3), (5, 5)), ((1, 6),))
+
+    def test_is_subset_false_partial(self):
+        assert not iv.is_subset(((2, 8),), ((1, 6),))
+
+    def test_empty_is_subset(self):
+        assert iv.is_subset((), ((1, 2),))
+        assert iv.is_subset((), ())
+
+    def test_overlaps(self):
+        assert iv.overlaps(((1, 5),), ((5, 9),))
+        assert not iv.overlaps(((1, 4),), ((5, 9),))
+
+    def test_span(self):
+        assert iv.span(((1, 2), (9, 12))) == (1, 12)
+        assert iv.span(()) is None
+
+    def test_clamp(self):
+        assert iv.clamp(((0, 10),), 3, 5) == ((3, 5),)
+
+    def test_shift(self):
+        assert iv.shift(((1, 2), (5, 6)), 10) == ((11, 12), (15, 16))
+
+
+# ---------------------------------------------------------------------------
+# Property tests against the set-of-points reference model.
+# ---------------------------------------------------------------------------
+
+
+@given(point_sets(), point_sets())
+def test_union_matches_reference(a, b):
+    ia, ib = iv.from_points(a), iv.from_points(b)
+    assert pts(iv.union(ia, ib)) == a | b
+
+
+@given(point_sets(), point_sets())
+def test_intersection_matches_reference(a, b):
+    ia, ib = iv.from_points(a), iv.from_points(b)
+    assert pts(iv.intersection(ia, ib)) == a & b
+
+
+@given(point_sets(), point_sets())
+def test_difference_matches_reference(a, b):
+    ia, ib = iv.from_points(a), iv.from_points(b)
+    assert pts(iv.difference(ia, ib)) == a - b
+
+
+@given(point_sets(), point_sets())
+def test_symmetric_difference_matches_reference(a, b):
+    ia, ib = iv.from_points(a), iv.from_points(b)
+    assert pts(iv.symmetric_difference(ia, ib)) == a ^ b
+
+
+@given(point_sets(), point_sets())
+def test_subset_matches_reference(a, b):
+    ia, ib = iv.from_points(a), iv.from_points(b)
+    assert iv.is_subset(ia, ib) == a.issubset(b)
+
+
+@given(point_sets(), point_sets())
+def test_overlaps_matches_reference(a, b):
+    ia, ib = iv.from_points(a), iv.from_points(b)
+    assert iv.overlaps(ia, ib) == bool(a & b)
+
+
+@given(point_sets())
+def test_from_points_roundtrip(a):
+    assert pts(iv.from_points(a)) == a
+
+
+@given(point_sets())
+def test_canonical_form_is_normalized(a):
+    canonical = iv.from_points(a)
+    # Sorted, disjoint, coalesced: each interval valid, gaps >= 2.
+    for lo, hi in canonical:
+        assert lo <= hi
+    for (_, hi1), (lo2, _) in zip(canonical, canonical[1:]):
+        assert lo2 > hi1 + 1

@@ -1,0 +1,178 @@
+"""Tests for the JOIN family (Section 4.6)."""
+
+import pytest
+
+from repro.algebra.join import equijoin, natural_join, theta_join, time_join
+from repro.algebra.project import project
+from repro.core import domains as d
+from repro.core.errors import AlgebraError, NotTimeValuedError
+from repro.core.lifespan import Lifespan
+from repro.core.relation import HistoricalRelation
+from repro.core.scheme import RelationScheme
+from repro.core.tfunc import TemporalFunction
+from repro.core.tuples import HistoricalTuple
+
+
+class TestNaturalJoin:
+    def test_join_on_shared_dept(self, emp, manages):
+        r = natural_join(emp, manages)
+        # John: Toys [0,6] matches Ann(Toys) [0,9] on [0,6];
+        #       Shoes [7,9] matches Bob(Shoes) only until Bob ends at 5 => no.
+        pairs = {(t.key_value(), t.lifespan) for t in r}
+        assert (("John", "Ann"), Lifespan.interval(0, 6)) in pairs
+
+    def test_join_lifespan_is_agreement_window(self, emp, manages):
+        r = natural_join(emp, manages)
+        mary_bob = [t for t in r if t.key_value() == ("Mary", "Bob")]
+        # Mary in Books [0,3]; Bob manages Books [0,2] then Shoes.
+        assert mary_bob and mary_bob[0].lifespan == Lifespan.interval(0, 2)
+
+    def test_no_nulls(self, emp, manages):
+        """Section 5: joins are defined only over lifespan intersections."""
+        for t in natural_join(emp, manages):
+            for a in t.scheme.attributes:
+                assert t.value(a).domain == (t.lifespan & t.scheme.als(a))
+
+    def test_shared_attribute_once(self, emp, manages):
+        r = natural_join(emp, manages)
+        assert list(r.scheme.attributes).count("DEPT") == 1
+
+    def test_no_shared_attributes_degenerates_to_product_on_overlap(self):
+        s1 = RelationScheme("A", {"K1": d.cd(d.STRING)}, key=["K1"])
+        s2 = RelationScheme("B", {"K2": d.cd(d.STRING)}, key=["K2"])
+        r1 = HistoricalRelation.from_rows(s1, [(Lifespan.interval(0, 5), {"K1": "a"})])
+        r2 = HistoricalRelation.from_rows(s2, [(Lifespan.interval(3, 9), {"K2": "b"})])
+        r = natural_join(r1, r2)
+        assert len(r) == 1 and next(iter(r)).lifespan == Lifespan.interval(3, 5)
+
+    def test_disjoint_tuple_lifespans_produce_nothing(self):
+        s1 = RelationScheme("A", {"K1": d.cd(d.STRING)}, key=["K1"])
+        s2 = RelationScheme("B", {"K2": d.cd(d.STRING)}, key=["K2"])
+        r1 = HistoricalRelation.from_rows(s1, [(Lifespan.interval(0, 2), {"K1": "a"})])
+        r2 = HistoricalRelation.from_rows(s2, [(Lifespan.interval(5, 9), {"K2": "b"})])
+        assert len(natural_join(r1, r2)) == 0
+
+
+@pytest.fixture
+def salary_bands():
+    scheme = RelationScheme(
+        "BANDS",
+        {"BAND": d.cd(d.STRING), "THRESHOLD": d.td(d.INTEGER)},
+        key=["BAND"],
+    )
+    ls = Lifespan.interval(0, 9)
+    return HistoricalRelation.from_rows(scheme, [
+        (ls, {"BAND": "senior", "THRESHOLD": 35_000}),
+        (ls, {"BAND": "junior", "THRESHOLD": 22_000}),
+    ])
+
+
+class TestThetaJoin:
+    def test_ge_join(self, emp, salary_bands):
+        r = theta_join(emp, salary_bands, "SALARY", ">=", "THRESHOLD")
+        # Mary (40/45K) >= senior threshold over her whole lifespan.
+        mary_senior = [t for t in r if t.key_value() == ("Mary", "senior")]
+        assert mary_senior and mary_senior[0].lifespan == Lifespan((0, 3), (6, 9))
+
+    def test_theta_window_varies_with_values(self, emp, salary_bands):
+        r = theta_join(emp, salary_bands, "SALARY", "<", "THRESHOLD")
+        # John < senior threshold while earning 25K and 30K (both < 35K): all of [0,9].
+        john = [t for t in r if t.key_value() == ("John", "senior")]
+        assert john and john[0].lifespan == Lifespan.interval(0, 9)
+        # John < junior threshold (22K)? Never.
+        assert not [t for t in r if t.key_value() == ("John", "junior")]
+
+    def test_no_match_no_tuple(self, emp, salary_bands):
+        r = theta_join(emp, salary_bands, "SALARY", ">", "THRESHOLD")
+        tom = [t for t in r if t.key_value()[0] == "Tom" and t.key_value()[1] == "senior"]
+        assert not tom
+
+    def test_unknown_theta(self, emp, salary_bands):
+        with pytest.raises(AlgebraError):
+            theta_join(emp, salary_bands, "SALARY", "~", "THRESHOLD")
+
+    def test_shared_attributes_rejected(self, emp):
+        with pytest.raises(AlgebraError):
+            theta_join(emp, emp, "SALARY", "=", "SALARY")
+
+    def test_key_is_union(self, emp, salary_bands):
+        r = theta_join(emp, salary_bands, "SALARY", ">=", "THRESHOLD")
+        assert r.scheme.key == ("NAME", "BAND")
+
+
+class TestEquijoin:
+    def test_equals_theta_with_eq(self, emp, manages):
+        renamed = HistoricalRelation(
+            manages.scheme.rename({"DEPT": "MDEPT"}),
+            [t.rename({"DEPT": "MDEPT"}) for t in manages],
+        )
+        eq = equijoin(emp, renamed, "DEPT", "MDEPT")
+        theta = theta_join(emp, renamed, "DEPT", "=", "MDEPT")
+        assert eq == theta
+
+    def test_equijoin_values_equal_on_lifespan(self, emp, manages):
+        renamed = HistoricalRelation(
+            manages.scheme.rename({"DEPT": "MDEPT"}),
+            [t.rename({"DEPT": "MDEPT"}) for t in manages],
+        )
+        for t in equijoin(emp, renamed, "DEPT", "MDEPT"):
+            for s in t.lifespan:
+                assert t.at("DEPT", s) == t.at("MDEPT", s)
+
+
+class TestNaturalJoinAsProjectedEquijoin:
+    def test_paper_characterisation(self, emp, manages):
+        """'The natural join is just a projection of the equijoin.'"""
+        renamed = HistoricalRelation(
+            manages.scheme.rename({"DEPT": "MDEPT"}),
+            [t.rename({"DEPT": "MDEPT"}) for t in manages],
+        )
+        eq = equijoin(emp, renamed, "DEPT", "MDEPT")
+        projected = project(eq, ["NAME", "SALARY", "DEPT", "MGR"])
+        natural = natural_join(emp, manages)
+        natural_as_sets = {(t.key_value(), t.lifespan) for t in natural}
+        projected_as_sets = {(t.key_value(), t.lifespan) for t in projected}
+        assert natural_as_sets == projected_as_sets
+
+
+@pytest.fixture
+def audits():
+    """An audit log whose AT attribute names the audited chronons (TT)."""
+    scheme = RelationScheme(
+        "AUDITS", {"AUDIT": d.cd(d.STRING), "AT": d.tt()}, key=["AUDIT"]
+    )
+    ls = Lifespan.interval(0, 9)
+    return HistoricalRelation(scheme, [
+        HistoricalTuple(scheme, ls, {
+            "AUDIT": TemporalFunction.constant("a1", ls),
+            "AT": TemporalFunction.step({0: 2, 5: 8}, end=9),
+        }),
+    ])
+
+
+class TestTimeJoin:
+    def test_joins_at_named_times(self, audits, emp):
+        r = time_join(audits, emp, "AT")
+        # image of AT = {2, 8}; both inside audit lifespan.
+        for t in r:
+            assert t.lifespan.issubset(Lifespan.from_points([2, 8]))
+
+    def test_partner_lifespan_respected(self, audits, emp):
+        r = time_join(audits, emp, "AT")
+        tom = [t for t in r if t.key_value()[1] == "Tom"]
+        # Tom lives [2,4]: only chronon 2 qualifies.
+        assert tom and tom[0].lifespan == Lifespan.point(2)
+
+    def test_requires_tt(self, emp, audits):
+        with pytest.raises(NotTimeValuedError):
+            time_join(emp, audits, "SALARY")
+
+    def test_disjoint_attributes_required(self, audits):
+        with pytest.raises(AlgebraError):
+            time_join(audits, audits, "AT")
+
+
+class TestJoinScheme:
+    def test_lifespans_united(self, emp, manages):
+        r = natural_join(emp, manages)
+        assert r.scheme.als("DEPT") == (emp.scheme.als("DEPT") | manages.scheme.als("DEPT"))

@@ -1,0 +1,132 @@
+"""Property tests for the JOIN family's structural invariants."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.algebra.join import natural_join, theta_join, theta_join_union
+from repro.core import domains as d
+from repro.core.lifespan import Lifespan
+from repro.core.relation import HistoricalRelation
+from repro.core.scheme import RelationScheme
+from repro.core.tfunc import TemporalFunction
+from repro.core.tuples import HistoricalTuple
+
+_LEFT = RelationScheme(
+    "L", {"K1": d.cd(d.STRING), "V1": d.td(d.INTEGER)}, key=["K1"]
+)
+_RIGHT = RelationScheme(
+    "R", {"K2": d.cd(d.STRING), "V2": d.td(d.INTEGER)}, key=["K2"]
+)
+_SHARED_L = RelationScheme(
+    "SL", {"K1": d.cd(d.STRING), "X": d.td(d.INTEGER)}, key=["K1"]
+)
+_SHARED_R = RelationScheme(
+    "SR", {"K2": d.cd(d.STRING), "X": d.td(d.INTEGER)}, key=["K2"]
+)
+
+
+@st.composite
+def relations(draw, scheme, key_attr, value_attr, prefix):
+    tuples = []
+    n = draw(st.integers(min_value=0, max_value=4))
+    for i in range(n):
+        lo = draw(st.integers(min_value=0, max_value=15))
+        width = draw(st.integers(min_value=0, max_value=10))
+        ls = Lifespan.interval(lo, lo + width)
+        changes = {lo: draw(st.integers(min_value=0, max_value=3))}
+        if width > 3:
+            changes[lo + 3] = draw(st.integers(min_value=0, max_value=3))
+        tuples.append(HistoricalTuple(scheme, ls, {
+            key_attr: TemporalFunction.constant(f"{prefix}{i}", ls),
+            value_attr: TemporalFunction.step(changes, end=lo + width),
+        }))
+    return HistoricalRelation(scheme, tuples)
+
+
+lefts = relations(_LEFT, "K1", "V1", "l")
+rights = relations(_RIGHT, "K2", "V2", "r")
+shared_lefts = relations(_SHARED_L, "K1", "X", "l")
+shared_rights = relations(_SHARED_R, "K2", "X", "r")
+
+thetas = st.sampled_from(["=", "!=", "<", ">="])
+
+
+@given(lefts, rights, thetas)
+def test_theta_join_lifespans_within_intersection(r1, r2, theta):
+    joined = theta_join(r1, r2, "V1", theta, "V2")
+    for t in joined:
+        k1, k2 = t.key_value()
+        t1 = r1.get(k1)
+        t2 = r2.get(k2)
+        assert t.lifespan.issubset(t1.lifespan & t2.lifespan)
+
+
+@given(lefts, rights, thetas)
+def test_theta_join_pointwise_correct(r1, r2, theta):
+    from repro.algebra.predicates import THETA_OPS
+
+    op = THETA_OPS[theta]
+    joined = theta_join(r1, r2, "V1", theta, "V2")
+    for t in joined:
+        for s in t.lifespan:
+            assert op(t.at("V1", s), t.at("V2", s))
+
+
+@given(lefts, rights, thetas)
+def test_theta_join_complete(r1, r2, theta):
+    """Every qualifying (pair, chronon) is represented in the result."""
+    from repro.algebra.predicates import THETA_OPS
+
+    op = THETA_OPS[theta]
+    joined = theta_join(r1, r2, "V1", theta, "V2")
+    covered = {}
+    for t in joined:
+        covered[t.key_value()] = t.lifespan
+    for t1 in r1:
+        for t2 in r2:
+            for s in t1.lifespan & t2.lifespan:
+                v1, v2 = t1.value("V1").get(s), t2.value("V2").get(s)
+                if v1 is not None and v2 is not None and op(v1, v2):
+                    key = (t1.key_value()[0], t2.key_value()[0])
+                    assert key in covered and s in covered[key]
+
+
+@given(lefts, rights, thetas)
+def test_no_nulls_in_intersection_join(r1, r2, theta):
+    """Section 5: intersection joins never leave values undefined."""
+    for t in theta_join(r1, r2, "V1", theta, "V2"):
+        for a in t.scheme.attributes:
+            assert t.value(a).domain == (t.lifespan & t.scheme.als(a))
+
+
+@given(lefts, rights, thetas)
+def test_union_join_extends_intersection_join(r1, r2, theta):
+    narrow = theta_join(r1, r2, "V1", theta, "V2")
+    wide = theta_join_union(r1, r2, "V1", theta, "V2")
+    narrow_keys = {t.key_value() for t in narrow}
+    wide_keys = {t.key_value() for t in wide}
+    assert narrow_keys == wide_keys
+    wide_by_key = {t.key_value(): t for t in wide}
+    for t in narrow:
+        assert t.lifespan.issubset(wide_by_key[t.key_value()].lifespan)
+
+
+@given(shared_lefts, shared_rights)
+def test_natural_join_commutes(r1, r2):
+    """Section 5: 'the commutativity of the natural join'."""
+    left = natural_join(r1, r2)
+    right = natural_join(r2, r1)
+    left_facts = {(frozenset(t.key_value()), t.lifespan) for t in left}
+    right_facts = {(frozenset(t.key_value()), t.lifespan) for t in right}
+    assert left_facts == right_facts
+
+
+@given(shared_lefts, shared_rights)
+def test_natural_join_values_agree_on_shared(r1, r2):
+    for t in natural_join(r1, r2):
+        k1, k2 = t.key_value()
+        t1 = r1.get(k1)
+        t2 = r2.get(k2)
+        for s in t.lifespan:
+            assert t1.at("X", s) == t2.at("X", s) == t.at("X", s)

@@ -1,0 +1,94 @@
+"""Tests for the Section 5 union-lifespan join variant."""
+
+import pytest
+
+from repro.algebra.join import theta_join, theta_join_union
+from repro.core import domains as d
+from repro.core.errors import AlgebraError
+from repro.core.lifespan import Lifespan
+from repro.core.relation import HistoricalRelation
+from repro.core.scheme import RelationScheme
+
+
+@pytest.fixture
+def left():
+    s = RelationScheme("L", {"K1": d.cd(d.STRING), "V1": d.td(d.INTEGER)},
+                       key=["K1"])
+    return HistoricalRelation.from_rows(s, [
+        (Lifespan.interval(0, 5), {"K1": "a", "V1": 10}),
+        (Lifespan.interval(0, 5), {"K1": "b", "V1": 99}),
+    ])
+
+
+@pytest.fixture
+def right():
+    s = RelationScheme("R", {"K2": d.cd(d.STRING), "V2": d.td(d.INTEGER)},
+                       key=["K2"])
+    return HistoricalRelation.from_rows(s, [
+        (Lifespan.interval(3, 9), {"K2": "x", "V2": 10}),
+    ])
+
+
+class TestThetaJoinUnion:
+    def test_union_lifespan(self, left, right):
+        r = theta_join_union(left, right, "V1", "=", "V2")
+        assert len(r) == 1
+        t = next(iter(r))
+        assert t.lifespan == Lifespan.interval(0, 9)  # union, not intersection
+
+    def test_nulls_outside_contribution(self, left, right):
+        """Section 5: 'a resulting tuple will have null values for times
+        outside of its contributing tuples' lifespans.'"""
+        t = next(iter(theta_join_union(left, right, "V1", "=", "V2")))
+        assert t.get_at("V2", 1) is None    # right not alive yet
+        assert t.get_at("V1", 8) is None    # left already dead
+        assert t.at("V1", 4) == 10 and t.at("V2", 4) == 10
+
+    def test_exists_semantics(self, left, right):
+        """A pair joins if θ holds at *some* chronon (SELECT-IF of ×)."""
+        r = theta_join_union(left, right, "V1", "=", "V2")
+        keys = {t.key_value() for t in r}
+        assert ("a", "x") in keys and ("b", "x") not in keys
+
+    def test_intersection_join_is_restriction_of_union_join(self, left, right):
+        narrow = theta_join(left, right, "V1", "=", "V2")
+        wide = theta_join_union(left, right, "V1", "=", "V2")
+        assert len(narrow) == len(wide)
+        for t_narrow, t_wide in zip(sorted(narrow, key=lambda t: t.key_value()),
+                                    sorted(wide, key=lambda t: t.key_value())):
+            assert t_narrow.lifespan.issubset(t_wide.lifespan)
+
+    def test_no_match_no_tuple(self, left):
+        s = RelationScheme("R2", {"K2": d.cd(d.STRING), "V2": d.td(d.INTEGER)},
+                           key=["K2"])
+        other = HistoricalRelation.from_rows(s, [
+            (Lifespan.interval(3, 9), {"K2": "x", "V2": 77777}),
+        ])
+        assert len(theta_join_union(left, other, "V1", "=", "V2")) == 0
+
+    def test_disjoint_attrs_required(self, left):
+        with pytest.raises(AlgebraError):
+            theta_join_union(left, left, "V1", "=", "V1")
+
+    def test_unknown_theta(self, left, right):
+        with pytest.raises(AlgebraError):
+            theta_join_union(left, right, "V1", "~", "V2")
+
+    def test_key_constants_cover_union(self, left, right):
+        t = next(iter(theta_join_union(left, right, "V1", "=", "V2")))
+        assert t.value("K1").domain == t.lifespan
+        assert t.value("K2").domain == t.lifespan
+
+    def test_disjoint_lifespans_can_still_join(self):
+        """Unlike the intersection join, temporally disjoint tuples whose
+        values never co-exist cannot θ-relate pointwise — so they do NOT
+        join even under union semantics (θ is evaluated pointwise)."""
+        s1 = RelationScheme("A", {"K1": d.cd(d.STRING), "V1": d.td(d.INTEGER)},
+                            key=["K1"])
+        s2 = RelationScheme("B", {"K2": d.cd(d.STRING), "V2": d.td(d.INTEGER)},
+                            key=["K2"])
+        r1 = HistoricalRelation.from_rows(s1, [(Lifespan.interval(0, 2),
+                                                {"K1": "a", "V1": 1})])
+        r2 = HistoricalRelation.from_rows(s2, [(Lifespan.interval(5, 9),
+                                                {"K2": "x", "V2": 1})])
+        assert len(theta_join_union(r1, r2, "V1", "=", "V2")) == 0

@@ -1,0 +1,84 @@
+"""Tests for the HRQL lexer."""
+
+import pytest
+
+from repro.core.errors import LexError
+from repro.query.lexer import tokenize
+from repro.query.tokens import TokenType
+
+
+def types(source):
+    return [t.type for t in tokenize(source)]
+
+
+def values(source):
+    return [t.value for t in tokenize(source)][:-1]  # drop EOF
+
+
+class TestBasics:
+    def test_empty_input(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1 and tokens[0].type is TokenType.EOF
+
+    def test_keywords_case_insensitive(self):
+        assert values("select Select SELECT") == ["SELECT"] * 3
+
+    def test_identifiers(self):
+        toks = tokenize("EMP salary_2 x#1")
+        assert toks[0].type is TokenType.IDENT
+        assert values("EMP salary_2") == ["EMP", "salary_2"]
+
+    def test_keyword_vs_ident(self):
+        toks = tokenize("SELECTED")
+        assert toks[0].type is TokenType.IDENT  # not the SELECT keyword
+
+    def test_integers(self):
+        assert values("42 -7 0") == [42, -7, 0]
+
+    def test_floats(self):
+        assert values("1.5 -2.25") == [1.5, -2.25]
+
+    def test_strings(self):
+        assert values("'Toys' ''") == ["Toys", ""]
+
+    def test_unterminated_string(self):
+        with pytest.raises(LexError):
+            tokenize("'oops")
+
+    def test_theta_operators(self):
+        assert values("= != <> < <= > >=") == ["=", "!=", "!=", "<", "<=", ">", ">="]
+
+    def test_punctuation(self):
+        assert types("( ) [ ] ,")[:-1] == [
+            TokenType.LPAREN, TokenType.RPAREN, TokenType.LBRACKET,
+            TokenType.RBRACKET, TokenType.COMMA,
+        ]
+
+    def test_comments_skipped(self):
+        assert values("SELECT -- a comment\n WHEN") == ["SELECT", "WHEN"]
+
+    def test_unexpected_character(self):
+        with pytest.raises(LexError) as err:
+            tokenize("SELECT @")
+        assert err.value.column == 8
+
+    def test_positions_tracked(self):
+        toks = tokenize("A\n  B")
+        assert (toks[0].line, toks[0].column) == (1, 1)
+        assert (toks[1].line, toks[1].column) == (2, 3)
+
+    def test_full_query_shape(self):
+        source = "SELECT WHEN SALARY >= 30000 IN EMP"
+        assert types(source) == [
+            TokenType.KEYWORD, TokenType.KEYWORD, TokenType.IDENT,
+            TokenType.THETA, TokenType.INT, TokenType.KEYWORD,
+            TokenType.IDENT, TokenType.EOF,
+        ]
+
+    def test_negative_number_vs_minus(self):
+        # A lone '-' (not followed by a digit) is not a token we accept.
+        with pytest.raises(LexError):
+            tokenize("A - B")
+
+    def test_interval_literal(self):
+        assert values("[0, 59]") == ["[", 0, ",", 59, "]"]

@@ -1,0 +1,227 @@
+"""Unit and property tests for :class:`repro.core.lifespan.Lifespan`."""
+
+import pytest
+from hypothesis import given
+
+from repro.core.errors import LifespanError
+from repro.core.lifespan import ALWAYS, EMPTY_LIFESPAN, Lifespan
+from repro.core.time_domain import T_MAX, T_MIN
+from tests.conftest import lifespans
+
+
+class TestConstruction:
+    def test_empty(self):
+        ls = Lifespan.empty()
+        assert ls.is_empty and len(ls) == 0 and not ls
+
+    def test_interval(self):
+        ls = Lifespan.interval(1, 5)
+        assert len(ls) == 5 and 3 in ls and 6 not in ls
+
+    def test_point(self):
+        ls = Lifespan.point(7)
+        assert ls.to_points() == (7,)
+
+    def test_from_points(self):
+        ls = Lifespan.from_points([9, 1, 2, 3])
+        assert ls.intervals == ((1, 3), (9, 9))
+
+    def test_multi_interval_constructor_normalizes(self):
+        ls = Lifespan((5, 8), (1, 3), (4, 4))
+        assert ls.intervals == ((1, 8),)
+
+    def test_since_until(self):
+        assert Lifespan.since(10).intervals == ((10, T_MAX),)
+        assert Lifespan.until(10).intervals == ((T_MIN, 10),)
+
+    def test_always_contains_everything(self):
+        assert 0 in ALWAYS and T_MIN in ALWAYS and T_MAX in ALWAYS
+
+    def test_union_all(self):
+        ls = Lifespan.union_all([Lifespan.interval(0, 2), Lifespan.interval(5, 6)])
+        assert ls.intervals == ((0, 2), (5, 6))
+
+    def test_union_all_empty_iterable(self):
+        assert Lifespan.union_all([]) == EMPTY_LIFESPAN
+
+    def test_intersect_all(self):
+        ls = Lifespan.intersect_all(
+            [Lifespan.interval(0, 9), Lifespan.interval(3, 12), Lifespan.interval(0, 5)]
+        )
+        assert ls == Lifespan.interval(3, 5)
+
+    def test_intersect_all_empty_iterable_raises(self):
+        with pytest.raises(LifespanError):
+            Lifespan.intersect_all([])
+
+
+class TestProtocol:
+    def test_membership_rejects_non_ints(self):
+        ls = Lifespan.interval(0, 5)
+        assert "3" not in ls
+        assert True not in ls  # bool is not a chronon
+
+    def test_iteration_order(self):
+        assert list(Lifespan((5, 6), (1, 2))) == [1, 2, 5, 6]
+
+    def test_equality_and_hash(self):
+        a = Lifespan.interval(1, 5)
+        b = Lifespan((1, 3), (4, 5))
+        assert a == b and hash(a) == hash(b)
+
+    def test_repr_roundtrip_info(self):
+        assert repr(Lifespan((1, 1), (4, 6))) == "Lifespan([1], [4, 6])"
+
+    def test_duration_alias(self):
+        assert Lifespan.interval(2, 4).duration() == 3
+
+
+class TestAccessors:
+    def test_start_end(self):
+        ls = Lifespan((10, 12), (1, 3))
+        assert ls.start == 1 and ls.end == 12
+
+    def test_start_of_empty_raises(self):
+        with pytest.raises(LifespanError):
+            _ = Lifespan.empty().start
+        with pytest.raises(LifespanError):
+            _ = Lifespan.empty().end
+
+    def test_span(self):
+        assert Lifespan((1, 2), (8, 9)).span() == Lifespan.interval(1, 9)
+        assert Lifespan.empty().span() == Lifespan.empty()
+
+    def test_gaps_of_reincarnated(self):
+        assert Lifespan((1, 3), (7, 9)).gaps() == Lifespan.interval(4, 6)
+
+    def test_gaps_of_contiguous_is_empty(self):
+        assert Lifespan.interval(1, 9).gaps().is_empty
+
+    def test_n_intervals_counts_incarnations(self):
+        assert Lifespan((1, 2), (5, 6), (9, 9)).n_intervals == 3
+
+    def test_shift(self):
+        assert Lifespan((1, 2),).shift(10) == Lifespan.interval(11, 12)
+
+    def test_clamp(self):
+        assert Lifespan.interval(0, 100).clamp(5, 7) == Lifespan.interval(5, 7)
+
+    def test_first_n(self):
+        ls = Lifespan((1, 3), (7, 9))
+        assert ls.first_n(2) == Lifespan.interval(1, 2)
+        assert ls.first_n(4) == Lifespan((1, 3), (7, 7))
+        assert ls.first_n(0).is_empty
+        assert ls.first_n(100) == ls
+
+
+class TestSetAlgebra:
+    def test_operator_aliases(self):
+        a, b = Lifespan.interval(0, 5), Lifespan.interval(4, 9)
+        assert (a | b) == Lifespan.interval(0, 9)
+        assert (a & b) == Lifespan.interval(4, 5)
+        assert (a - b) == Lifespan.interval(0, 3)
+        assert (a ^ b) == Lifespan((0, 3), (6, 9))
+
+    def test_complement_involution(self):
+        a = Lifespan((1, 3), (9, 12))
+        assert ~~a == a
+
+    def test_subset_operators(self):
+        small, big = Lifespan.interval(2, 3), Lifespan.interval(0, 9)
+        assert small <= big and small < big
+        assert big >= small and big > small
+        assert not big <= small
+
+    def test_disjoint_and_overlap(self):
+        a, b = Lifespan.interval(0, 2), Lifespan.interval(5, 6)
+        assert a.isdisjoint(b) and not a.overlaps(b)
+        assert not a.isdisjoint(a | b)
+
+
+# ---------------------------------------------------------------------------
+# Property tests: lifespans form a boolean algebra under ∪, ∩, −, ~.
+# ---------------------------------------------------------------------------
+
+
+@given(lifespans(), lifespans())
+def test_union_commutes(a, b):
+    assert a | b == b | a
+
+
+@given(lifespans(), lifespans())
+def test_intersection_commutes(a, b):
+    assert a & b == b & a
+
+
+@given(lifespans(), lifespans(), lifespans())
+def test_union_associates(a, b, c):
+    assert (a | b) | c == a | (b | c)
+
+
+@given(lifespans(), lifespans(), lifespans())
+def test_intersection_distributes_over_union(a, b, c):
+    assert a & (b | c) == (a & b) | (a & c)
+
+
+@given(lifespans(), lifespans(), lifespans())
+def test_union_distributes_over_intersection(a, b, c):
+    assert a | (b & c) == (a | b) & (a | c)
+
+
+@given(lifespans())
+def test_idempotence(a):
+    assert a | a == a
+    assert a & a == a
+
+
+@given(lifespans())
+def test_identity_elements(a):
+    assert a | Lifespan.empty() == a
+    assert a & ALWAYS == a
+    assert (a & Lifespan.empty()).is_empty
+
+
+@given(lifespans(), lifespans())
+def test_difference_as_intersection_with_complement(a, b):
+    assert a - b == a & ~b
+
+
+@given(lifespans(), lifespans())
+def test_de_morgan(a, b):
+    assert ~(a | b) == ~a & ~b
+    assert ~(a & b) == ~a | ~b
+
+
+@given(lifespans(), lifespans())
+def test_absorption(a, b):
+    assert a | (a & b) == a
+    assert a & (a | b) == a
+
+
+@given(lifespans())
+def test_partition_by_complement(a):
+    assert (a | ~a) == ALWAYS
+    assert (a & ~a).is_empty
+
+
+@given(lifespans(), lifespans())
+def test_subset_iff_intersection_is_self(a, b):
+    assert a.issubset(b) == ((a & b) == a)
+
+
+@given(lifespans())
+def test_duration_equals_point_count(a):
+    assert len(a) == len(list(a))
+
+
+@given(lifespans())
+def test_span_contains_self(a):
+    assert a.issubset(a.span())
+    if not a.is_empty:
+        assert a.span().start == a.start and a.span().end == a.end
+
+
+@given(lifespans())
+def test_gaps_disjoint_from_self(a):
+    assert a.gaps().isdisjoint(a)
+    assert (a | a.gaps()) == a.span()

@@ -1,0 +1,179 @@
+"""Tests for the HRQL parser."""
+
+import pytest
+
+from repro.core.errors import ParseError
+from repro.query import ast_nodes as ast
+from repro.query.parser import parse
+
+
+class TestPrimary:
+    def test_relation_ref(self):
+        assert parse("EMP") == ast.RelationRef("EMP")
+
+    def test_parenthesised(self):
+        assert parse("(EMP)") == ast.RelationRef("EMP")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse("EMP EMP")
+
+    def test_missing_relation(self):
+        with pytest.raises(ParseError):
+            parse("SELECT WHEN A = 1 IN")
+
+
+class TestSelect:
+    def test_select_when(self):
+        node = parse("SELECT WHEN SALARY >= 30000 IN EMP")
+        assert isinstance(node, ast.SelectNode) and node.flavor == "when"
+        assert node.predicate == ast.Comparison("SALARY", ">=", 30000)
+        assert node.child == ast.RelationRef("EMP")
+
+    def test_select_if_default_quantifier(self):
+        node = parse("SELECT IF SALARY > 1 IN EMP")
+        assert node.flavor == "if" and node.quantifier is None
+
+    def test_select_if_forall(self):
+        node = parse("SELECT IF SALARY > 1 FORALL IN EMP")
+        assert node.quantifier == "forall"
+
+    def test_select_if_exists(self):
+        node = parse("SELECT IF SALARY > 1 EXISTS IN EMP")
+        assert node.quantifier == "exists"
+
+    def test_during_bound(self):
+        node = parse("SELECT WHEN A = 1 DURING [0, 9], [20, 29] IN EMP")
+        assert node.during == ast.LifespanLiteral(((0, 9), (20, 29)))
+
+    def test_during_always(self):
+        node = parse("SELECT IF A = 1 DURING ALWAYS IN EMP")
+        assert node.during.always
+
+    def test_string_literal_rhs(self):
+        node = parse("SELECT WHEN DEPT = 'Toys' IN EMP")
+        assert node.predicate.rhs == "Toys"
+        assert not node.predicate.rhs_is_attribute
+
+    def test_attribute_rhs(self):
+        node = parse("SELECT WHEN DEPT = MGR_DEPT IN EMP")
+        assert node.predicate.rhs_is_attribute
+
+    def test_boolean_predicates(self):
+        node = parse("SELECT WHEN A = 1 AND B = 2 OR NOT C = 3 IN EMP")
+        pred = node.predicate
+        assert isinstance(pred, ast.BoolOp) and pred.op == "or"
+        assert isinstance(pred.parts[0], ast.BoolOp) and pred.parts[0].op == "and"
+        assert isinstance(pred.parts[1], ast.Negation)
+
+    def test_parenthesised_predicate(self):
+        node = parse("SELECT WHEN A = 1 AND (B = 2 OR C = 3) IN EMP")
+        pred = node.predicate
+        assert pred.op == "and"
+        assert isinstance(pred.parts[1], ast.BoolOp) and pred.parts[1].op == "or"
+
+    def test_nested_select(self):
+        node = parse("SELECT IF A = 1 IN SELECT WHEN B = 2 IN EMP")
+        assert node.flavor == "if"
+        assert node.child.flavor == "when"
+
+
+class TestProjectAndSlice:
+    def test_project(self):
+        node = parse("PROJECT NAME, DEPT FROM EMP")
+        assert node == ast.ProjectNode(("NAME", "DEPT"), ast.RelationRef("EMP"))
+
+    def test_static_timeslice(self):
+        node = parse("TIMESLICE EMP TO [0, 59]")
+        assert isinstance(node, ast.TimeSliceNode)
+        assert node.lifespan.intervals == ((0, 59),)
+
+    def test_dynamic_timeslice(self):
+        node = parse("TIMESLICE EMP VIA REVIEW")
+        assert node == ast.DynamicTimeSliceNode(ast.RelationRef("EMP"), "REVIEW")
+
+    def test_slice_of_parenthesised(self):
+        node = parse("TIMESLICE (PROJECT A FROM R) TO [1, 2]")
+        assert isinstance(node.child, ast.ProjectNode)
+
+    def test_bad_interval(self):
+        with pytest.raises(ParseError):
+            parse("TIMESLICE EMP TO [0 59]")
+
+
+class TestSetOps:
+    @pytest.mark.parametrize("kw,op", [
+        ("UNION", "union"), ("INTERSECT", "intersect"),
+        ("MINUS", "minus"), ("TIMES", "times"),
+    ])
+    def test_plain(self, kw, op):
+        node = parse(f"A {kw} B")
+        assert isinstance(node, ast.SetOpNode) and node.op == op
+
+    @pytest.mark.parametrize("kw,op", [
+        ("UNION MERGED", "union_merged"),
+        ("INTERSECT MERGED", "intersect_merged"),
+        ("MINUS MERGED", "minus_merged"),
+    ])
+    def test_merged(self, kw, op):
+        node = parse(f"A {kw} B")
+        assert node.op == op
+
+    def test_left_associative(self):
+        node = parse("A UNION B MINUS C")
+        assert node.op == "minus"
+        assert node.left.op == "union"
+
+
+class TestJoins:
+    def test_theta_join(self):
+        node = parse("A JOIN B ON X >= Y")
+        assert node == ast.JoinNode("theta", ast.RelationRef("A"),
+                                    ast.RelationRef("B"),
+                                    left_attr="X", theta=">=", right_attr="Y")
+
+    def test_natural_join(self):
+        node = parse("A NATURAL JOIN B")
+        assert node.kind == "natural"
+
+    def test_time_join(self):
+        node = parse("A TIMEJOIN B VIA AT")
+        assert node.kind == "time" and node.via == "AT"
+
+    def test_join_chain(self):
+        node = parse("A NATURAL JOIN B NATURAL JOIN C")
+        assert node.kind == "natural" and node.left.kind == "natural"
+
+    def test_join_binds_tighter_than_setop(self):
+        node = parse("A UNION B NATURAL JOIN C")
+        assert isinstance(node, ast.SetOpNode)
+        assert isinstance(node.right, ast.JoinNode)
+
+
+class TestWhen:
+    def test_top_level_when(self):
+        node = parse("WHEN (SELECT WHEN A = 1 IN EMP)")
+        assert isinstance(node, ast.WhenNode)
+        assert isinstance(node.child, ast.SelectNode)
+
+    def test_when_requires_parens(self):
+        with pytest.raises(ParseError):
+            parse("WHEN SELECT WHEN A = 1 IN EMP")
+
+
+class TestRename:
+    def test_single_pair(self):
+        node = parse("RENAME NAME TO MGR IN EMP")
+        assert node == ast.RenameNode((("NAME", "MGR"),), ast.RelationRef("EMP"))
+
+    def test_multiple_pairs(self):
+        node = parse("RENAME A TO X, B TO Y IN EMP")
+        assert node.mapping == (("A", "X"), ("B", "Y"))
+
+    def test_missing_to(self):
+        with pytest.raises(ParseError):
+            parse("RENAME A X IN EMP")
+
+    def test_nested(self):
+        node = parse("PROJECT MGR FROM (RENAME NAME TO MGR IN EMP)")
+        assert isinstance(node.child, ast.RenameNode)

@@ -1,0 +1,145 @@
+"""Tests for the predicate language of SELECT."""
+
+import pytest
+
+from repro.algebra.predicates import (
+    ALWAYS_TRUE,
+    And,
+    AttrOp,
+    AttrRef,
+    Custom,
+    Not,
+    Or,
+    referenced_attributes,
+)
+from repro.core.errors import AlgebraError
+from repro.core.lifespan import Lifespan
+
+
+@pytest.fixture
+def john(emp):
+    return emp.get("John")
+
+
+@pytest.fixture
+def mary(emp):
+    return emp.get("Mary")
+
+
+class TestAttrOp:
+    def test_holds_at(self, john):
+        p = AttrOp("SALARY", ">=", 30_000)
+        assert not p.holds_at(john, 4) and p.holds_at(john, 5)
+
+    def test_undefined_time_is_false(self, john):
+        p = AttrOp("SALARY", ">=", 0)
+        assert not p.holds_at(john, 99)
+
+    def test_all_theta_operators(self, john):
+        assert AttrOp("SALARY", "=", 25_000).holds_at(john, 0)
+        assert AttrOp("SALARY", "!=", 25_000).holds_at(john, 5)
+        assert AttrOp("SALARY", "<>", 25_000).holds_at(john, 5)
+        assert AttrOp("SALARY", "<", 30_000).holds_at(john, 0)
+        assert AttrOp("SALARY", "<=", 25_000).holds_at(john, 0)
+        assert AttrOp("SALARY", ">", 25_000).holds_at(john, 5)
+        assert AttrOp("SALARY", ">=", 30_000).holds_at(john, 5)
+
+    def test_unknown_theta_rejected(self):
+        with pytest.raises(AlgebraError):
+            AttrOp("A", "~", 1)
+
+    def test_type_error_is_false(self, john):
+        assert not AttrOp("SALARY", "<", "a string").holds_at(john, 0)
+
+    def test_attr_vs_attr(self, john):
+        p = AttrOp("DEPT", "=", AttrRef("DEPT"))
+        assert p.holds_at(john, 0)
+
+    def test_satisfying_lifespan_segmentwise(self, john):
+        p = AttrOp("SALARY", "=", 30_000)
+        assert p.satisfying_lifespan(john, john.lifespan) == Lifespan.interval(5, 9)
+
+    def test_satisfying_lifespan_bounded(self, john):
+        p = AttrOp("SALARY", "=", 30_000)
+        assert p.satisfying_lifespan(john, Lifespan.interval(0, 6)) == Lifespan.interval(5, 6)
+
+    def test_satisfying_lifespan_attr_rhs(self, john):
+        p = AttrOp("DEPT", "=", AttrRef("DEPT"))
+        assert p.satisfying_lifespan(john, john.lifespan) == john.lifespan
+
+
+class TestCombinators:
+    def test_and(self, john):
+        p = And(AttrOp("SALARY", "=", 30_000), AttrOp("DEPT", "=", "Toys"))
+        # salary 30K on [5,9]; Toys on [0,6] => overlap [5,6]
+        assert p.satisfying_lifespan(john, john.lifespan) == Lifespan.interval(5, 6)
+
+    def test_or(self, john):
+        p = Or(AttrOp("SALARY", "=", 25_000), AttrOp("DEPT", "=", "Shoes"))
+        assert p.satisfying_lifespan(john, john.lifespan) == Lifespan((0, 4), (7, 9))
+
+    def test_operator_sugar(self, john):
+        conj = AttrOp("SALARY", "=", 30_000) & AttrOp("DEPT", "=", "Toys")
+        assert isinstance(conj, And)
+        disj = AttrOp("SALARY", "=", 1) | AttrOp("SALARY", "=", 2)
+        assert isinstance(disj, Or)
+        neg = ~AttrOp("SALARY", "=", 1)
+        assert isinstance(neg, Not)
+
+    def test_empty_combinators_rejected(self):
+        with pytest.raises(AlgebraError):
+            And()
+        with pytest.raises(AlgebraError):
+            Or()
+
+    def test_not_excludes_undefined(self, mary):
+        # Mary's lifespan has a gap [4, 5]; Not must not claim it.
+        p = Not(AttrOp("SALARY", "=", 40_000))
+        sat = p.satisfying_lifespan(mary, Lifespan.interval(0, 9))
+        assert sat == Lifespan.interval(6, 9)
+        assert not p.holds_at(mary, 4)
+
+    def test_double_negation_on_defined_region(self, john):
+        p = AttrOp("SALARY", "=", 30_000)
+        inner = p.satisfying_lifespan(john, john.lifespan)
+        double = Not(Not(p)).satisfying_lifespan(john, john.lifespan)
+        assert double == inner
+
+    def test_custom(self, john):
+        p = Custom(lambda t, s: s % 2 == 0, "even-times")
+        sat = p.satisfying_lifespan(john, Lifespan.interval(0, 5))
+        assert sat == Lifespan.from_points([0, 2, 4])
+
+    def test_always_true(self, john):
+        assert ALWAYS_TRUE.holds_at(john, 0)
+        assert ALWAYS_TRUE.satisfying_lifespan(john, john.lifespan) == john.lifespan
+
+
+class TestReferencedAttributes:
+    def test_atom(self):
+        assert referenced_attributes(AttrOp("A", "=", 1)) == {"A"}
+
+    def test_attr_rhs(self):
+        assert referenced_attributes(AttrOp("A", "=", AttrRef("B"))) == {"A", "B"}
+
+    def test_composite(self):
+        p = And(AttrOp("A", "=", 1), Or(AttrOp("B", "=", 2), Not(AttrOp("C", "=", 3))))
+        assert referenced_attributes(p) == {"A", "B", "C"}
+
+    def test_custom_is_opaque(self):
+        assert referenced_attributes(Custom(lambda t, s: True)) == frozenset()
+
+
+class TestGenericVsSegmentwise:
+    """The fast segment-wise path must agree with pointwise evaluation."""
+
+    @pytest.mark.parametrize("theta,rhs", [
+        ("=", 30_000), ("!=", 30_000), (">", 26_000), ("<=", 29_000),
+    ])
+    def test_agreement(self, john, theta, rhs):
+        p = AttrOp("SALARY", theta, rhs)
+        fast = p.satisfying_lifespan(john, john.lifespan)
+        slow = Lifespan.from_points(
+            s for s in john.lifespan if p.holds_at(john, s)
+        )
+        assert fast == slow

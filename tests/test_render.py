@@ -1,0 +1,95 @@
+"""Tests for the plain-text renderers."""
+
+import pytest
+
+from repro.core.lifespan import Lifespan
+from repro.render import (
+    EMPTY,
+    FULL,
+    relation_table,
+    relation_timelines,
+    timeline,
+    value_matrix,
+)
+
+
+class TestTimeline:
+    def test_exact_cells(self):
+        assert timeline(Lifespan((0, 3), (8, 9)), window=(0, 9), width=10) == \
+            FULL * 4 + EMPTY * 4 + FULL * 2
+
+    def test_full_coverage(self):
+        assert timeline(Lifespan.interval(0, 9), window=(0, 9), width=10) == FULL * 10
+
+    def test_empty_lifespan(self):
+        assert timeline(Lifespan.empty(), window=(0, 9), width=10) == EMPTY * 10
+
+    def test_window_defaults_to_lifespan_extent(self):
+        strip = timeline(Lifespan.interval(5, 14), width=10)
+        assert strip == FULL * 10
+
+    def test_compression(self):
+        """A wide window squeezed into few cells still marks coverage."""
+        strip = timeline(Lifespan.point(50), window=(0, 99), width=10)
+        assert strip.count(FULL) == 1
+        assert strip[5] == FULL
+
+    def test_width_respected(self):
+        assert len(timeline(Lifespan.interval(0, 3), window=(0, 9), width=33)) == 33
+
+
+class TestRelationTimelines:
+    def test_contains_every_key(self, emp):
+        text = relation_timelines(emp, width=20)
+        for t in emp:
+            assert t.key_value()[0] in text
+
+    def test_reincarnation_visible(self, emp):
+        text = relation_timelines(emp, window=(0, 9), width=10)
+        mary_line = next(line for line in text.splitlines() if "Mary" in line)
+        # Mary's gap at chronons 4-5 shows as empty cells.
+        strip = mary_line.split()[-1]
+        assert EMPTY in strip and FULL in strip
+
+    def test_axis_line(self, emp):
+        text = relation_timelines(emp, width=10)
+        assert text.splitlines()[0].startswith("time")
+
+
+class TestValueMatrix:
+    def test_figure8_shape(self, emp):
+        john = emp.get("John")
+        text = value_matrix(john, width=20)
+        lines = text.splitlines()
+        assert lines[1].lstrip().startswith("(tuple)")
+        for a in john.scheme.attributes:
+            assert any(line.startswith(a) for line in lines)
+
+    def test_attribute_gap_rendered(self, emp):
+        mary = emp.get("Mary")
+        text = value_matrix(mary, window=(0, 9), width=10)
+        salary_line = next(line for line in text.splitlines()
+                           if line.startswith("SALARY"))
+        assert EMPTY in salary_line
+
+
+class TestRelationTable:
+    def test_one_row_per_constancy_period(self, emp):
+        text = relation_table(emp)
+        lines = text.splitlines()
+        # John: salary changes at 5, dept at 7 -> periods [0,4],[5,6],[7,9]
+        john_rows = [l for l in lines if "John" in l]
+        assert len(john_rows) == 3
+
+    def test_headers(self, emp):
+        header = relation_table(emp).splitlines()[0]
+        for h in ("FROM", "TO", "NAME", "SALARY", "DEPT"):
+            assert h in header
+
+    def test_attribute_subset(self, emp):
+        text = relation_table(emp, ["NAME", "DEPT"])
+        assert "SALARY" not in text
+
+    def test_values_shown(self, emp):
+        text = relation_table(emp)
+        assert "25000" in text and "Toys" in text

@@ -1,0 +1,116 @@
+"""Tests for representation-level encodings (Figure 9)."""
+
+import pytest
+
+from repro.core.errors import StorageError
+from repro.core.interpolation import LinearInterpolation, StepInterpolation
+from repro.core.lifespan import Lifespan
+from repro.core.tfunc import TemporalFunction
+from repro.storage.representation import (
+    ConstantRep,
+    SampledRep,
+    SegmentRep,
+    best_representation,
+    make_sampled,
+    representation_kinds,
+)
+
+
+class TestConstantRep:
+    def test_paper_example_shape(self):
+        """The paper's <[ti, tj], Codd> pair."""
+        rep = ConstantRep(Lifespan.interval(3, 9), "Codd")
+        fn = rep.to_model(Lifespan.interval(0, 20))
+        assert fn.domain == Lifespan.interval(3, 9)
+        assert fn.constant_value() == "Codd"
+
+    def test_restricts_to_target(self):
+        rep = ConstantRep(Lifespan.interval(0, 9), 5)
+        fn = rep.to_model(Lifespan.interval(5, 20))
+        assert fn.domain == Lifespan.interval(5, 9)
+
+    def test_cost_is_constant_in_duration(self):
+        short = ConstantRep(Lifespan.interval(0, 1), "x")
+        long = ConstantRep(Lifespan.interval(0, 10_000), "x")
+        assert short.cost() == long.cost() == 3
+
+    def test_needs_nonempty_lifespan(self):
+        with pytest.raises(StorageError):
+            ConstantRep(Lifespan.empty(), "x")
+
+    def test_equality(self):
+        assert (ConstantRep(Lifespan.interval(0, 1), "x")
+                == ConstantRep(Lifespan.interval(0, 1), "x"))
+
+
+class TestSegmentRep:
+    def test_exact(self):
+        fn = TemporalFunction([((0, 4), "a"), ((5, 9), "b")])
+        rep = SegmentRep(fn)
+        assert rep.to_model(fn.domain) == fn
+
+    def test_cost_tracks_segments(self):
+        fn = TemporalFunction([((0, 4), "a"), ((5, 9), "b")])
+        assert SegmentRep(fn).cost() == 6
+
+
+class TestSampledRep:
+    def test_step_totalisation(self):
+        rep = SampledRep.from_points({0: "a", 5: "b"}, StepInterpolation())
+        fn = rep.to_model(Lifespan.interval(0, 9))
+        assert fn(3) == "a" and fn(9) == "b"
+        assert fn.domain == Lifespan.interval(0, 9)
+
+    def test_linear_totalisation(self):
+        rep = SampledRep.from_points({0: 0.0, 10: 10.0}, LinearInterpolation())
+        fn = rep.to_model(Lifespan.interval(0, 10))
+        assert fn(5) == 5.0
+
+    def test_default_interpolation_is_step(self):
+        rep = SampledRep.from_points({0: 1})
+        assert isinstance(rep.interpolation, StepInterpolation)
+
+    def test_needs_samples(self):
+        with pytest.raises(StorageError):
+            SampledRep(TemporalFunction.empty())
+
+    def test_no_samples_in_target_rejected(self):
+        rep = SampledRep.from_points({100: 1})
+        with pytest.raises(StorageError):
+            rep.to_model(Lifespan.interval(0, 9))
+
+    def test_cost_tracks_samples_not_duration(self):
+        rep = SampledRep.from_points({0: 1, 50: 2, 100: 3})
+        assert rep.cost() == 10
+
+    def test_make_sampled(self):
+        rep = make_sampled({0: 1.0, 4: 2.0}, "linear")
+        assert isinstance(rep.interpolation, LinearInterpolation)
+
+
+class TestBestRepresentation:
+    def test_constant_becomes_pair(self):
+        fn = TemporalFunction.constant("x", Lifespan.interval(0, 99))
+        rep = best_representation(fn)
+        assert isinstance(rep, ConstantRep)
+
+    def test_varying_stays_segments(self):
+        fn = TemporalFunction([((0, 4), 1), ((5, 9), 2)])
+        assert isinstance(best_representation(fn), SegmentRep)
+
+    def test_empty_stays_segments(self):
+        assert isinstance(best_representation(TemporalFunction.empty()), SegmentRep)
+
+    def test_best_is_exact(self):
+        for fn in (
+            TemporalFunction.constant("x", Lifespan.interval(0, 9)),
+            TemporalFunction([((0, 4), 1), ((7, 9), 2)]),
+        ):
+            assert best_representation(fn).to_model(fn.domain) == fn
+
+    def test_constant_pair_cheaper_than_segments(self):
+        fn = TemporalFunction.constant("x", Lifespan.interval(0, 99))
+        assert best_representation(fn).cost() <= SegmentRep(fn).cost()
+
+    def test_kinds(self):
+        assert representation_kinds() == ("constant", "segments", "sampled")

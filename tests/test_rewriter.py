@@ -1,0 +1,282 @@
+"""Tests for the rewrite engine — each Section 5 law is *verified*.
+
+Every rule is checked for semantic equivalence on hand-built cases and
+on randomised relations via hypothesis: the rewritten expression must
+return the same relation as the original.
+"""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.algebra import expr as E
+from repro.algebra.predicates import AttrOp
+from repro.algebra.rewriter import (
+    DEFAULT_RULES,
+    distribute_select_over_setops,
+    distribute_timeslice_over_setops,
+    fuse_projects,
+    fuse_select_whens,
+    fuse_timeslices,
+    push_select_if_under_project,
+    push_timeslice_under_project,
+    push_timeslice_under_select_when,
+    rewrite,
+    rewrite_node,
+)
+from repro.core import domains as d
+from repro.core.lifespan import Lifespan
+from repro.core.relation import HistoricalRelation
+from repro.core.scheme import RelationScheme
+from repro.core.tfunc import TemporalFunction
+from repro.core.tuples import HistoricalTuple
+
+# ---------------------------------------------------------------------------
+# Randomised relations over a fixed small scheme.
+# ---------------------------------------------------------------------------
+
+_SCHEME = RelationScheme(
+    "RND", {"K": d.cd(d.STRING), "V": d.td(d.INTEGER)}, key=["K"]
+)
+
+
+@st.composite
+def small_relations(draw):
+    tuples = []
+    for key in draw(st.lists(st.sampled_from("abcdef"), unique=True, max_size=4)):
+        lo = draw(st.integers(min_value=0, max_value=12))
+        width = draw(st.integers(min_value=0, max_value=8))
+        ls = Lifespan.interval(lo, lo + width)
+        changes = {lo: draw(st.integers(min_value=0, max_value=4))}
+        if width > 2:
+            changes[lo + 2] = draw(st.integers(min_value=0, max_value=4))
+        tuples.append(HistoricalTuple(_SCHEME, ls, {
+            "K": TemporalFunction.constant(key, ls),
+            "V": TemporalFunction.step(changes, end=lo + width),
+        }))
+    return HistoricalRelation(_SCHEME, tuples)
+
+
+windows = st.tuples(
+    st.integers(min_value=0, max_value=15), st.integers(min_value=0, max_value=8)
+).map(lambda pair: Lifespan.interval(pair[0], pair[0] + pair[1]))
+
+predicates = st.integers(min_value=0, max_value=4).flatmap(
+    lambda v: st.sampled_from(["=", "<", ">=", "!="]).map(
+        lambda theta: AttrOp("V", theta, v)
+    )
+)
+
+
+def assert_equivalent(before: E.Expr, after: E.Expr, env) -> None:
+    assert before.evaluate(env) == after.evaluate(env)
+
+
+class TestRuleShapes:
+    def test_fuse_timeslices_shape(self):
+        tree = E.TimeSlice(E.TimeSlice(E.Rel("R"), Lifespan.interval(0, 9)),
+                           Lifespan.interval(5, 20))
+        fused = fuse_timeslices(tree)
+        assert isinstance(fused, E.TimeSlice)
+        assert fused.lifespan == Lifespan.interval(5, 9)
+        assert fused.child == E.Rel("R")
+
+    def test_fuse_projects_shape(self):
+        tree = E.Project(E.Project(E.Rel("R"), ("A", "B", "C")), ("A",))
+        fused = fuse_projects(tree)
+        assert fused == E.Project(E.Rel("R"), ("A",))
+
+    def test_fuse_projects_requires_subset(self):
+        tree = E.Project(E.Project(E.Rel("R"), ("A",)), ("B",))
+        assert fuse_projects(tree) is None
+
+    def test_fuse_select_whens_shape(self):
+        p, q = AttrOp("V", "=", 1), AttrOp("V", ">", 0)
+        tree = E.SelectWhen(E.SelectWhen(E.Rel("R"), q), p)
+        fused = fuse_select_whens(tree)
+        assert isinstance(fused, E.SelectWhen) and fused.child == E.Rel("R")
+
+    def test_fuse_select_whens_intersects_bounds(self):
+        p, q = AttrOp("V", "=", 1), AttrOp("V", ">", 0)
+        tree = E.SelectWhen(
+            E.SelectWhen(E.Rel("R"), q, Lifespan.interval(0, 5)),
+            p, Lifespan.interval(3, 9),
+        )
+        fused = fuse_select_whens(tree)
+        assert fused.lifespan == Lifespan.interval(3, 5)
+
+    def test_fuse_select_whens_keeps_single_bound(self):
+        p, q = AttrOp("V", "=", 1), AttrOp("V", ">", 0)
+        tree = E.SelectWhen(E.SelectWhen(E.Rel("R"), q, Lifespan.interval(0, 5)), p)
+        fused = fuse_select_whens(tree)
+        assert fused.lifespan == Lifespan.interval(0, 5)
+
+    def test_push_timeslice_under_project_shape(self):
+        tree = E.TimeSlice(E.Project(E.Rel("R"), ("K", "V")), Lifespan.interval(0, 5))
+        out = push_timeslice_under_project(tree)
+        assert isinstance(out, E.Project)
+        assert isinstance(out.child, E.TimeSlice)
+
+    def test_push_select_if_under_project_requires_attrs(self):
+        p = AttrOp("V", "=", 1)
+        keeps = E.SelectIf(E.Project(E.Rel("R"), ("K", "V")), p)
+        assert isinstance(push_select_if_under_project(keeps), E.Project)
+        drops = E.SelectIf(E.Project(E.Rel("R"), ("K",)), p)
+        assert push_select_if_under_project(drops) is None
+
+    def test_distribute_timeslice_over_union_only(self):
+        ts_union = E.TimeSlice(E.Union_(E.Rel("A"), E.Rel("B")), Lifespan.interval(0, 5))
+        out = distribute_timeslice_over_setops(ts_union)
+        assert isinstance(out, E.Union_)
+        ts_isect = E.TimeSlice(E.Intersection(E.Rel("A"), E.Rel("B")),
+                               Lifespan.interval(0, 5))
+        assert distribute_timeslice_over_setops(ts_isect) is None
+
+    def test_distribute_select_over_difference_left_only(self):
+        p = AttrOp("V", "=", 1)
+        tree = E.SelectIf(E.Difference(E.Rel("A"), E.Rel("B")), p)
+        out = distribute_select_over_setops(tree)
+        assert isinstance(out, E.Difference)
+        assert isinstance(out.left, E.SelectIf)
+        assert out.right == E.Rel("B")  # subtrahend untouched
+
+    def test_push_timeslice_under_select_when_shape(self):
+        p = AttrOp("V", "=", 1)
+        tree = E.TimeSlice(E.SelectWhen(E.Rel("R"), p), Lifespan.interval(0, 5))
+        out = push_timeslice_under_select_when(tree)
+        assert isinstance(out, E.SelectWhen)
+        assert isinstance(out.child, E.TimeSlice)
+        assert out.lifespan == Lifespan.interval(0, 5)
+
+    def test_rewrite_node_first_match(self):
+        tree = E.TimeSlice(E.TimeSlice(E.Rel("R"), Lifespan.interval(0, 9)),
+                           Lifespan.interval(5, 20))
+        assert isinstance(rewrite_node(tree), E.TimeSlice)
+
+    def test_rewrite_reaches_fixpoint(self):
+        tree = E.TimeSlice(
+            E.TimeSlice(
+                E.TimeSlice(E.Rel("R"), Lifespan.interval(0, 100)),
+                Lifespan.interval(0, 50),
+            ),
+            Lifespan.interval(25, 75),
+        )
+        out = rewrite(tree)
+        assert out == E.TimeSlice(E.Rel("R"), Lifespan.interval(25, 50))
+
+    def test_rewrite_applies_in_subtrees(self):
+        inner = E.TimeSlice(E.TimeSlice(E.Rel("A"), Lifespan.interval(0, 9)),
+                            Lifespan.interval(3, 5))
+        tree = E.Union_(inner, E.Rel("B"))
+        out = rewrite(tree)
+        assert isinstance(out.left, E.TimeSlice)
+        assert out.left.child == E.Rel("A")
+
+
+# ---------------------------------------------------------------------------
+# Semantic-equivalence properties: the laws themselves.
+# ---------------------------------------------------------------------------
+
+
+@given(small_relations(), windows, windows)
+def test_law_timeslice_fusion(r, w1, w2):
+    env = {"R": r}
+    before = E.TimeSlice(E.TimeSlice(E.Rel("R"), w1), w2)
+    assert_equivalent(before, rewrite(before), env)
+
+
+@given(small_relations(), small_relations(), windows)
+def test_law_timeslice_distributes_over_union(r1, r2, w):
+    env = {"A": r1, "B": r2}
+    before = E.TimeSlice(E.Union_(E.Rel("A"), E.Rel("B")), w)
+    assert_equivalent(before, rewrite(before), env)
+
+
+@given(small_relations(), small_relations(), predicates)
+def test_law_select_distributes_over_union(r1, r2, p):
+    env = {"A": r1, "B": r2}
+    before = E.SelectIf(E.Union_(E.Rel("A"), E.Rel("B")), p)
+    assert_equivalent(before, rewrite(before), env)
+
+
+@given(small_relations(), small_relations(), predicates)
+def test_law_select_distributes_over_intersection(r1, r2, p):
+    env = {"A": r1, "B": r2}
+    before = E.SelectIf(E.Intersection(E.Rel("A"), E.Rel("B")), p)
+    assert_equivalent(before, rewrite(before), env)
+
+
+@given(small_relations(), small_relations(), predicates)
+def test_law_select_over_difference(r1, r2, p):
+    env = {"A": r1, "B": r2}
+    before = E.SelectIf(E.Difference(E.Rel("A"), E.Rel("B")), p)
+    assert_equivalent(before, rewrite(before), env)
+
+
+@given(small_relations(), predicates, windows)
+def test_law_timeslice_commutes_with_select_when(r, p, w):
+    env = {"R": r}
+    before = E.TimeSlice(E.SelectWhen(E.Rel("R"), p), w)
+    assert_equivalent(before, rewrite(before), env)
+
+
+@given(small_relations(), predicates, predicates)
+def test_law_select_when_fusion(r, p, q):
+    env = {"R": r}
+    before = E.SelectWhen(E.SelectWhen(E.Rel("R"), q), p)
+    assert_equivalent(before, rewrite(before), env)
+
+
+@given(small_relations(), predicates, predicates)
+def test_law_select_if_commutativity(r, p, q):
+    """Section 5's 'commutativity of select' — verified directly."""
+    env = {"R": r}
+    a = E.SelectIf(E.SelectIf(E.Rel("R"), q), p)
+    b = E.SelectIf(E.SelectIf(E.Rel("R"), p), q)
+    assert a.evaluate(env) == b.evaluate(env)
+
+
+@given(small_relations(), predicates, predicates)
+def test_law_select_when_commutativity(r, p, q):
+    env = {"R": r}
+    a = E.SelectWhen(E.SelectWhen(E.Rel("R"), q), p)
+    b = E.SelectWhen(E.SelectWhen(E.Rel("R"), p), q)
+    assert a.evaluate(env) == b.evaluate(env)
+
+
+@given(small_relations(), windows, windows, predicates, predicates)
+def test_law_bounded_select_when_fusion(r, w1, w2, p, q):
+    env = {"R": r}
+    before = E.SelectWhen(E.SelectWhen(E.Rel("R"), q, w1), p, w2)
+    assert_equivalent(before, rewrite(before), env)
+
+
+@given(small_relations(), windows)
+def test_law_timeslice_commutes_with_project(r, w):
+    env = {"R": r}
+    before = E.TimeSlice(E.Project(E.Rel("R"), ("K", "V")), w)
+    assert_equivalent(before, rewrite(before), env)
+
+
+@given(small_relations(), predicates)
+def test_law_select_if_commutes_with_project(r, p):
+    env = {"R": r}
+    before = E.SelectIf(E.Project(E.Rel("R"), ("K", "V")), p)
+    assert_equivalent(before, rewrite(before), env)
+
+
+@given(small_relations(), predicates)
+def test_law_select_if_under_value_projection(r, p):
+    """Projection that drops the key still commutes with SELECT-IF."""
+    env = {"R": r}
+    before = E.SelectIf(E.Project(E.Rel("R"), ("V",)), p)
+    assert_equivalent(before, rewrite(before), env)
+
+
+@given(small_relations(), windows, predicates)
+def test_full_rewrite_preserves_semantics_on_composites(r, w, p):
+    env = {"A": r, "B": r}
+    tree = E.TimeSlice(
+        E.SelectWhen(E.Union_(E.Rel("A"), E.Rel("B")), p), w
+    )
+    assert_equivalent(tree, rewrite(tree), env)

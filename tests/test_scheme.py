@@ -1,0 +1,228 @@
+"""Tests for relation schemes ``<A, K, ALS, DOM>``."""
+
+import pytest
+
+from repro.core import domains as d
+from repro.core.attribute import Attribute, attr_name, attr_names
+from repro.core.errors import KeyConstraintError, SchemeError
+from repro.core.lifespan import ALWAYS, Lifespan
+from repro.core.scheme import RelationScheme
+
+
+@pytest.fixture
+def scheme():
+    return RelationScheme(
+        "EMP",
+        {
+            "NAME": d.cd(d.STRING),
+            "SALARY": d.td(d.INTEGER),
+            "DEPT": d.td(d.STRING),
+        },
+        key=["NAME"],
+    )
+
+
+class TestAttributeHelpers:
+    def test_attribute_eq_string(self):
+        assert Attribute("X") == "X" and Attribute("X") == Attribute("X")
+
+    def test_attr_name(self):
+        assert attr_name("A") == "A" and attr_name(Attribute("A")) == "A"
+
+    def test_attr_name_rejects_empty(self):
+        with pytest.raises(SchemeError):
+            attr_name("")
+
+    def test_attr_names(self):
+        assert attr_names(["A", Attribute("B")]) == ("A", "B")
+
+    def test_attribute_needs_name(self):
+        with pytest.raises(SchemeError):
+            Attribute("")
+
+
+class TestConstruction:
+    def test_basic(self, scheme):
+        assert scheme.attributes == ("NAME", "SALARY", "DEPT")
+        assert scheme.key == ("NAME",)
+        assert scheme.nonkey_attributes == ("SALARY", "DEPT")
+
+    def test_key_forced_constant(self, scheme):
+        assert scheme.dom("NAME").constant
+
+    def test_bare_value_domains_promoted(self):
+        s = RelationScheme("R", {"K": d.cd(d.STRING), "V": d.INTEGER}, key=["K"])
+        assert s.dom("V") == d.td(d.INTEGER)
+
+    def test_empty_key_rejected(self):
+        with pytest.raises(KeyConstraintError):
+            RelationScheme("R", {"A": d.td(d.ANY)}, key=[])
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(KeyConstraintError):
+            RelationScheme("R", {"A": d.td(d.ANY)}, key=["B"])
+
+    def test_duplicate_key_rejected(self):
+        with pytest.raises(KeyConstraintError):
+            RelationScheme("R", {"A": d.cd(d.ANY)}, key=["A", "A"])
+
+    def test_empty_attributes_rejected(self):
+        with pytest.raises(SchemeError):
+            RelationScheme("R", {}, key=["A"])
+
+    def test_needs_name(self):
+        with pytest.raises(SchemeError):
+            RelationScheme("", {"A": d.cd(d.ANY)}, key=["A"])
+
+    def test_unknown_lifespan_attribute_rejected(self):
+        with pytest.raises(SchemeError):
+            RelationScheme(
+                "R", {"A": d.cd(d.ANY)}, key=["A"],
+                lifespans={"NOPE": ALWAYS},
+            )
+
+    def test_lifespan_must_be_lifespan(self):
+        with pytest.raises(SchemeError):
+            RelationScheme(
+                "R", {"A": d.cd(d.ANY)}, key=["A"],
+                lifespans={"A": (0, 5)},  # type: ignore[dict-item]
+            )
+
+    def test_default_lifespan_is_always(self, scheme):
+        assert scheme.als("SALARY") == ALWAYS
+
+
+class TestKeyLifespanConstraint:
+    """The paper: key lifespans must equal the whole scheme lifespan."""
+
+    def test_key_lifespan_must_cover_scheme(self):
+        with pytest.raises(KeyConstraintError):
+            RelationScheme(
+                "R",
+                {"K": d.cd(d.STRING), "V": d.td(d.INTEGER)},
+                key=["K"],
+                lifespans={"K": Lifespan.interval(0, 5), "V": Lifespan.interval(0, 9)},
+            )
+
+    def test_key_lifespan_equal_to_union_accepted(self):
+        s = RelationScheme(
+            "R",
+            {"K": d.cd(d.STRING), "V": d.td(d.INTEGER), "W": d.td(d.INTEGER)},
+            key=["K"],
+            lifespans={
+                "K": Lifespan.interval(0, 9),
+                "V": Lifespan.interval(0, 5),
+                "W": Lifespan.interval(3, 9),
+            },
+        )
+        assert s.lifespan() == Lifespan.interval(0, 9)
+
+
+class TestAccessors:
+    def test_dom_unknown_attribute(self, scheme):
+        with pytest.raises(SchemeError):
+            scheme.dom("AGE")
+
+    def test_als_unknown_attribute(self, scheme):
+        with pytest.raises(SchemeError):
+            scheme.als("AGE")
+
+    def test_contains_iter_len(self, scheme):
+        assert "NAME" in scheme and "AGE" not in scheme
+        assert list(scheme) == ["NAME", "SALARY", "DEPT"]
+        assert len(scheme) == 3
+
+    def test_check_attributes(self, scheme):
+        assert scheme.check_attributes(["NAME", "DEPT"]) == ("NAME", "DEPT")
+        with pytest.raises(SchemeError):
+            scheme.check_attributes(["NOPE"])
+
+    def test_copies_are_defensive(self, scheme):
+        doms = scheme.domains()
+        doms["NAME"] = d.td(d.INTEGER)
+        assert scheme.dom("NAME").constant  # unchanged
+
+
+class TestCompatibility:
+    def test_union_compatible_same_attrs(self, scheme):
+        other = RelationScheme(
+            "EMP2",
+            {"NAME": d.cd(d.STRING), "SALARY": d.td(d.INTEGER), "DEPT": d.td(d.STRING)},
+            key=["NAME"],
+        )
+        assert scheme.is_union_compatible(other)
+        assert scheme.is_merge_compatible(other)
+
+    def test_union_compatible_ignores_name_and_lifespans(self, scheme):
+        other = RelationScheme(
+            "X",
+            {"NAME": d.cd(d.STRING), "SALARY": d.td(d.INTEGER), "DEPT": d.td(d.STRING)},
+            key=["NAME"],
+            lifespans={"SALARY": Lifespan.interval(0, 5)},
+        )
+        assert scheme.is_union_compatible(other)
+
+    def test_different_domains_not_union_compatible(self, scheme):
+        other = RelationScheme(
+            "EMP2",
+            {"NAME": d.cd(d.STRING), "SALARY": d.td(d.NUMBER), "DEPT": d.td(d.STRING)},
+            key=["NAME"],
+        )
+        assert not scheme.is_union_compatible(other)
+
+    def test_merge_needs_same_key(self):
+        a = RelationScheme("A", {"X": d.cd(d.ANY), "Y": d.cd(d.ANY)}, key=["X"])
+        b = RelationScheme("B", {"X": d.cd(d.ANY), "Y": d.cd(d.ANY)}, key=["Y"])
+        # Same attributes but different key: union- but not merge-compatible.
+        assert not a.is_merge_compatible(b)
+
+
+class TestDerivedSchemes:
+    def test_project_keeps_key(self, scheme):
+        p = scheme.project(["NAME", "SALARY"])
+        assert p.key == ("NAME",) and p.attributes == ("NAME", "SALARY")
+
+    def test_project_dropping_key_rekeys_all(self, scheme):
+        p = scheme.project(["SALARY", "DEPT"])
+        assert set(p.key) == {"SALARY", "DEPT"}
+
+    def test_project_empty_rejected(self, scheme):
+        with pytest.raises(SchemeError):
+            scheme.project([])
+
+    def test_rename(self, scheme):
+        r = scheme.rename({"NAME": "WHO", "DEPT": "WHERE"})
+        assert r.attributes == ("WHO", "SALARY", "WHERE")
+        assert r.key == ("WHO",)
+
+    def test_rename_collision_rejected(self, scheme):
+        with pytest.raises(SchemeError):
+            scheme.rename({"NAME": "SALARY"})
+
+    def test_rename_unknown_rejected(self, scheme):
+        with pytest.raises(SchemeError):
+            scheme.rename({"NOPE": "X"})
+
+    def test_with_lifespans(self, scheme):
+        narrowed = scheme.with_lifespans({"SALARY": Lifespan.interval(0, 4)})
+        assert narrowed.als("SALARY") == Lifespan.interval(0, 4)
+        # Key widened to the scheme lifespan (still ALWAYS via DEPT).
+        assert narrowed.als("NAME") == ALWAYS
+
+    def test_with_lifespans_unknown_rejected(self, scheme):
+        with pytest.raises(SchemeError):
+            scheme.with_lifespans({"NOPE": ALWAYS})
+
+    def test_merge_lifespans(self, scheme):
+        other = scheme.with_lifespans({"SALARY": Lifespan.interval(0, 4)})
+        merged = scheme.merge_lifespans(other, Lifespan.intersection)
+        assert merged["SALARY"] == Lifespan.interval(0, 4)
+
+    def test_equality_and_hash(self, scheme):
+        clone = RelationScheme(
+            "OTHER_NAME",
+            {"NAME": d.cd(d.STRING), "SALARY": d.td(d.INTEGER), "DEPT": d.td(d.STRING)},
+            key=["NAME"],
+        )
+        # Name is not part of identity; structure is.
+        assert scheme == clone and hash(scheme) == hash(clone)

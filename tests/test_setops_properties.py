@@ -1,0 +1,83 @@
+"""Property tests for the standard set-theoretic operators."""
+
+from hypothesis import given
+
+from repro.algebra import setops
+from repro.algebra.merge import union_merge
+from repro.core.relation import HistoricalRelation
+
+from tests.test_merge import _SCHEME, keyed_relations
+
+
+def tuple_set(relation: HistoricalRelation) -> frozenset:
+    return frozenset(relation.tuples)
+
+
+@given(keyed_relations(_SCHEME), keyed_relations(_SCHEME))
+def test_union_commutes_as_sets(r1, r2):
+    assert tuple_set(setops.union(r1, r2)) == tuple_set(setops.union(r2, r1))
+
+
+@given(keyed_relations(_SCHEME), keyed_relations(_SCHEME),
+       keyed_relations(_SCHEME))
+def test_union_associates_as_sets(r1, r2, r3):
+    left = setops.union(setops.union(r1, r2), r3)
+    right = setops.union(r1, setops.union(r2, r3))
+    assert tuple_set(left) == tuple_set(right)
+
+
+@given(keyed_relations(_SCHEME))
+def test_union_idempotent_as_sets(r):
+    assert tuple_set(setops.union(r, r)) == tuple_set(r)
+
+
+@given(keyed_relations(_SCHEME), keyed_relations(_SCHEME))
+def test_intersection_commutes_as_sets(r1, r2):
+    assert tuple_set(setops.intersection(r1, r2)) == tuple_set(
+        setops.intersection(r2, r1)
+    )
+
+
+@given(keyed_relations(_SCHEME), keyed_relations(_SCHEME))
+def test_intersection_subset_of_both(r1, r2):
+    common = tuple_set(setops.intersection(r1, r2))
+    assert common.issubset(tuple_set(r1))
+    assert common.issubset(tuple_set(r2))
+
+
+@given(keyed_relations(_SCHEME), keyed_relations(_SCHEME))
+def test_difference_disjoint_from_subtrahend(r1, r2):
+    diff = tuple_set(setops.difference(r1, r2))
+    assert diff.isdisjoint(tuple_set(r2))
+    assert diff.issubset(tuple_set(r1))
+
+
+@given(keyed_relations(_SCHEME))
+def test_difference_with_self_is_empty(r):
+    assert len(setops.difference(r, r)) == 0
+
+
+@given(keyed_relations(_SCHEME), keyed_relations(_SCHEME))
+def test_partition_identity(r1, r2):
+    """``(r1 − r2) ∪ (r1 ∩ r2) == r1`` at the tuple-set level."""
+    diff = tuple_set(setops.difference(r1, r2))
+    common = tuple_set(setops.intersection(r1, r2))
+    assert diff | common == tuple_set(r1)
+
+
+@given(keyed_relations(_SCHEME), keyed_relations(_SCHEME))
+def test_object_union_covers_standard_union_lifespans(r1, r2):
+    """``∪ₒ`` preserves the total history that plain ``∪`` carries."""
+    plain = setops.union(r1, r2)
+    merged = union_merge(r1, r2)
+    assert merged.lifespan() == plain.lifespan()
+    # Every object in the plain union appears exactly once in ∪ₒ with
+    # the union of its partial lifespans.
+    for key in {t.key_value() for t in plain}:
+        fragments = plain.tuples_with_key(*key)
+        whole = merged.tuples_with_key(*key)
+        if len(whole) == 1:
+            expected = fragments[0].lifespan
+            for fragment in fragments[1:]:
+                expected = expected | fragment.lifespan
+            assert whole[0].lifespan == expected

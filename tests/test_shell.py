@@ -1,0 +1,59 @@
+"""Tests for the HRQL interactive shell's command dispatch."""
+
+import pytest
+
+from repro.query.__main__ import default_environment, execute, format_result
+from repro.core.lifespan import Lifespan
+
+
+@pytest.fixture(scope="module")
+def env():
+    return default_environment()
+
+
+class TestExecute:
+    def test_empty_line(self, env):
+        assert execute("", env) == ""
+
+    def test_quit_raises_eof(self, env):
+        with pytest.raises(EOFError):
+            execute("\\quit", env)
+        with pytest.raises(EOFError):
+            execute("\\q", env)
+
+    def test_relations_listing(self, env):
+        out = execute("\\relations", env)
+        assert "EMP" in out and "tuples" in out
+
+    def test_timelines(self, env):
+        out = execute("\\timelines EMP", env)
+        assert "time" in out.splitlines()[0]
+
+    def test_timelines_unknown(self, env):
+        assert "no relation" in execute("\\timelines NOPE", env)
+
+    def test_query_returns_table(self, env):
+        out = execute("SELECT WHEN SALARY >= 60000 IN EMP", env)
+        assert "tuple(s)" in out and "FROM" in out
+
+    def test_when_query_returns_lifespan(self, env):
+        out = execute("WHEN (SELECT WHEN DEPT = 'Toys' IN EMP)", env)
+        assert out.startswith("lifespan:")
+
+    def test_bad_query_reports_error(self, env):
+        out = execute("SELECT GIBBERISH", env)
+        assert out.startswith("error:")
+
+    def test_unknown_relation_reports_error(self, env):
+        out = execute("SELECT WHEN A = 1 IN NOPE", env)
+        assert out.startswith("error:")
+
+
+class TestFormatResult:
+    def test_lifespan(self):
+        assert format_result(Lifespan.interval(0, 4)) == \
+            "lifespan: Lifespan([0, 4])"
+
+    def test_table_truncation(self, env):
+        out = format_result(env["EMP"])
+        assert "tuple(s)" in out.splitlines()[0]

@@ -1,0 +1,209 @@
+"""Unit and property tests for temporal functions."""
+
+import pytest
+from hypothesis import given
+
+from repro.core.errors import TemporalFunctionError, UndefinedAtTimeError
+from repro.core.lifespan import Lifespan
+from repro.core.tfunc import TemporalFunction
+from tests.conftest import lifespans, temporal_functions
+
+
+class TestConstruction:
+    def test_empty(self):
+        fn = TemporalFunction.empty()
+        assert not fn and len(fn) == 0 and fn.domain.is_empty
+
+    def test_segments_coalesce_equal_adjacent(self):
+        fn = TemporalFunction([((0, 2), "a"), ((3, 5), "a")])
+        assert fn.segments == (((0, 5), "a"),)
+
+    def test_segments_keep_distinct_adjacent(self):
+        fn = TemporalFunction([((0, 2), "a"), ((3, 5), "b")])
+        assert fn.n_changes() == 2
+
+    def test_overlapping_segments_rejected(self):
+        with pytest.raises(TemporalFunctionError):
+            TemporalFunction([((0, 5), "a"), ((3, 8), "b")])
+
+    def test_no_bool_int_coalescing(self):
+        fn = TemporalFunction([((0, 0), 1), ((1, 1), True)])
+        assert fn.n_changes() == 2  # 1 == True but types differ
+
+    def test_constant(self):
+        ls = Lifespan((0, 2), (5, 6))
+        fn = TemporalFunction.constant("x", ls)
+        assert fn.domain == ls and fn.is_constant() and fn.constant_value() == "x"
+
+    def test_from_points(self):
+        fn = TemporalFunction.from_points({1: "a", 2: "a", 5: "b"})
+        assert fn.segments == (((1, 2), "a"), ((5, 5), "b"))
+
+    def test_step(self):
+        fn = TemporalFunction.step({0: 10, 5: 20}, end=9)
+        assert fn(4) == 10 and fn(5) == 20 and fn(9) == 20
+
+    def test_step_rejects_end_before_first_change(self):
+        with pytest.raises(TemporalFunctionError):
+            TemporalFunction.step({5: 1}, end=3)
+
+    def test_step_empty(self):
+        assert not TemporalFunction.step({}, end=10)
+
+
+class TestApplication:
+    def test_call_at_defined_time(self):
+        fn = TemporalFunction([((0, 4), 7)])
+        assert fn(2) == 7
+
+    def test_call_outside_domain_raises(self):
+        fn = TemporalFunction([((0, 4), 7)])
+        with pytest.raises(UndefinedAtTimeError) as err:
+            fn(9)
+        assert err.value.time == 9
+
+    def test_undefined_is_also_keyerror(self):
+        fn = TemporalFunction([((0, 4), 7)])
+        with pytest.raises(KeyError):
+            fn(9)
+
+    def test_get_with_default(self):
+        fn = TemporalFunction([((0, 4), 7)])
+        assert fn.get(9) is None and fn.get(9, "gone") == "gone"
+
+    def test_defined_at(self):
+        fn = TemporalFunction([((0, 2), 1), ((5, 6), 2)])
+        assert fn.defined_at(1) and not fn.defined_at(3)
+
+    def test_point_items(self):
+        fn = TemporalFunction([((0, 1), "a"), ((4, 4), "b")])
+        assert list(fn.point_items()) == [(0, "a"), (1, "a"), (4, "b")]
+
+    def test_changes(self):
+        fn = TemporalFunction([((0, 2), "a"), ((3, 5), "b"), ((9, 9), "b")])
+        assert list(fn.changes()) == [(0, "a"), (3, "b"), (9, "b")]
+
+
+class TestOperations:
+    def test_restrict(self):
+        fn = TemporalFunction([((0, 9), "x")])
+        assert fn.restrict(Lifespan.interval(3, 5)).segments == (((3, 5), "x"),)
+
+    def test_restrict_to_disjoint_is_empty(self):
+        fn = TemporalFunction([((0, 3), "x")])
+        assert not fn.restrict(Lifespan.interval(8, 9))
+
+    def test_restrict_splits_segments(self):
+        fn = TemporalFunction([((0, 9), "x")])
+        window = Lifespan((1, 2), (5, 6))
+        assert fn.restrict(window).segments == (((1, 2), "x"), ((5, 6), "x"))
+
+    def test_merge_disjoint(self):
+        a = TemporalFunction([((0, 2), "a")])
+        b = TemporalFunction([((5, 6), "b")])
+        merged = a.merge(b)
+        assert merged(0) == "a" and merged(6) == "b"
+
+    def test_merge_agreeing_overlap(self):
+        a = TemporalFunction([((0, 5), "x")])
+        b = TemporalFunction([((3, 8), "x")])
+        assert a.merge(b).segments == (((0, 8), "x"),)
+
+    def test_merge_contradiction_raises(self):
+        a = TemporalFunction([((0, 5), "x")])
+        b = TemporalFunction([((3, 8), "y")])
+        with pytest.raises(TemporalFunctionError):
+            a.merge(b)
+
+    def test_agrees_with(self):
+        a = TemporalFunction([((0, 5), "x")])
+        assert a.agrees_with(TemporalFunction([((4, 9), "x")]))
+        assert not a.agrees_with(TemporalFunction([((4, 9), "y")]))
+        assert a.agrees_with(TemporalFunction([((9, 12), "z")]))  # disjoint
+
+    def test_image(self):
+        fn = TemporalFunction([((0, 1), "a"), ((2, 3), "b"), ((6, 7), "a")])
+        assert fn.image() == {"a", "b"}
+
+    def test_image_lifespan_for_tt(self):
+        fn = TemporalFunction([((0, 4), 10), ((5, 9), 11)])
+        assert fn.image_lifespan() == Lifespan.interval(10, 11)
+
+    def test_image_lifespan_rejects_non_chronons(self):
+        fn = TemporalFunction([((0, 1), "not a time")])
+        with pytest.raises(Exception):
+            fn.image_lifespan()
+
+    def test_is_constant(self):
+        assert TemporalFunction([((0, 1), 5), ((7, 8), 5)]).is_constant()
+        assert not TemporalFunction([((0, 1), 5), ((7, 8), 6)]).is_constant()
+        assert TemporalFunction.empty().is_constant()
+
+    def test_constant_value_of_varying_raises(self):
+        fn = TemporalFunction([((0, 1), 5), ((4, 5), 6)])
+        with pytest.raises(TemporalFunctionError):
+            fn.constant_value()
+
+    def test_map(self):
+        fn = TemporalFunction([((0, 2), 10), ((5, 6), 20)])
+        doubled = fn.map(lambda v: v * 2)
+        assert doubled(0) == 20 and doubled(6) == 40
+        assert doubled.domain == fn.domain
+
+    def test_shift(self):
+        fn = TemporalFunction([((0, 2), "a")])
+        assert fn.shift(10).segments == (((10, 12), "a"),)
+
+    def test_equality_and_hash(self):
+        a = TemporalFunction([((0, 2), "a"), ((3, 5), "a")])
+        b = TemporalFunction([((0, 5), "a")])
+        assert a == b and hash(a) == hash(b)
+
+    def test_hash_with_unhashable_values(self):
+        fn = TemporalFunction([((0, 1), "x")]).map(lambda v: [v])
+        assert isinstance(hash(fn), int)
+
+
+# ---------------------------------------------------------------------------
+# Property tests.
+# ---------------------------------------------------------------------------
+
+
+@given(temporal_functions())
+def test_domain_equals_segment_cover(fn):
+    assert set(fn.domain) == {t for t, _ in fn.point_items()}
+
+
+@given(temporal_functions(), lifespans())
+def test_restrict_domain_law(fn, window):
+    restricted = fn.restrict(window)
+    assert restricted.domain == (fn.domain & window)
+    for t, v in restricted.point_items():
+        assert fn(t) == v
+
+
+@given(temporal_functions(), lifespans(), lifespans())
+def test_restrict_composes(fn, w1, w2):
+    assert fn.restrict(w1).restrict(w2) == fn.restrict(w1 & w2)
+
+
+@given(temporal_functions())
+def test_restrict_to_own_domain_is_identity(fn):
+    assert fn.restrict(fn.domain) == fn
+
+
+@given(temporal_functions(), lifespans())
+def test_merge_with_own_restriction_is_identity(fn, window):
+    part = fn.restrict(window)
+    assert fn.merge(part) == fn
+
+
+@given(temporal_functions())
+def test_pointwise_lookup_matches_items(fn):
+    for (lo, hi), value in fn.items():
+        assert fn(lo) == value and fn(hi) == value
+
+
+@given(temporal_functions())
+def test_image_matches_point_values(fn):
+    assert fn.image() == {v for _, v in fn.point_items()}

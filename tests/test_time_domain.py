@@ -1,0 +1,102 @@
+"""Tests for the time domain ``T`` and chronon validation."""
+
+import pytest
+
+from repro.core.errors import TimeDomainError
+from repro.core.time_domain import (
+    T_MAX,
+    T_MIN,
+    TimeDomain,
+    check_chronon,
+    earliest,
+    is_chronon,
+    latest,
+)
+
+
+class TestChronons:
+    def test_is_chronon_accepts_ints(self):
+        assert is_chronon(0) and is_chronon(-5) and is_chronon(T_MAX)
+
+    def test_is_chronon_rejects_bool(self):
+        assert not is_chronon(True) and not is_chronon(False)
+
+    def test_is_chronon_rejects_float_and_str(self):
+        assert not is_chronon(1.0) and not is_chronon("1")
+
+    def test_is_chronon_rejects_out_of_universe(self):
+        assert not is_chronon(T_MAX + 1) and not is_chronon(T_MIN - 1)
+
+    def test_check_chronon_passes_through(self):
+        assert check_chronon(42) == 42
+
+    def test_check_chronon_raises_with_context(self):
+        with pytest.raises(TimeDomainError, match="birthday"):
+            check_chronon("nope", "birthday")
+
+    def test_check_chronon_range(self):
+        with pytest.raises(TimeDomainError):
+            check_chronon(T_MAX + 1)
+
+
+class TestTimeDomain:
+    def test_defaults_now_to_end(self):
+        td = TimeDomain(0, 100)
+        assert td.now == 100
+
+    def test_len_and_iter(self):
+        td = TimeDomain(3, 6)
+        assert len(td) == 4 and list(td) == [3, 4, 5, 6]
+
+    def test_contains(self):
+        td = TimeDomain(0, 10)
+        assert 5 in td and 11 not in td and "5" not in td
+
+    def test_rejects_reversed_bounds(self):
+        with pytest.raises(TimeDomainError):
+            TimeDomain(10, 0)
+
+    def test_rejects_now_outside(self):
+        with pytest.raises(TimeDomainError):
+            TimeDomain(0, 10, now=99)
+
+    def test_set_now_and_advance(self):
+        td = TimeDomain(0, 100, now=50)
+        assert td.advance() == 51
+        assert td.advance(9) == 60
+        assert td.set_now(0) == 0
+
+    def test_advance_past_end_raises(self):
+        td = TimeDomain(0, 10, now=10)
+        with pytest.raises(TimeDomainError):
+            td.advance()
+
+    def test_check_inside(self):
+        td = TimeDomain(0, 10)
+        assert td.check(5) == 5
+        with pytest.raises(TimeDomainError):
+            td.check(11)
+
+    def test_clamp(self):
+        td = TimeDomain(0, 10)
+        assert td.clamp(-5) == 0 and td.clamp(99) == 10 and td.clamp(7) == 7
+
+    def test_range_inclusive(self):
+        td = TimeDomain(0, 10)
+        assert list(td.range(2, 4)) == [2, 3, 4]
+        assert list(td.range()) == list(range(0, 11))
+
+    def test_granularity_label(self):
+        assert TimeDomain(0, 1, granularity="day").granularity == "day"
+
+
+class TestMinMaxHelpers:
+    def test_earliest_latest(self):
+        assert earliest([5, 2, 9]) == 2
+        assert latest([5, 2, 9]) == 9
+
+    def test_empty_raises(self):
+        with pytest.raises(TimeDomainError):
+            earliest([])
+        with pytest.raises(TimeDomainError):
+            latest([])

@@ -1,0 +1,107 @@
+"""Tests for the synthetic workload generators."""
+
+import pytest
+
+from repro.core.lifespan import Lifespan
+from repro.workloads import (
+    EnrollmentConfig,
+    PersonnelConfig,
+    StockConfig,
+    generate_enrollment_db,
+    generate_personnel,
+    generate_stocks,
+    stock_scheme,
+)
+
+
+class TestPersonnel:
+    def test_deterministic(self):
+        a = generate_personnel(PersonnelConfig(n_employees=10, seed=1))
+        b = generate_personnel(PersonnelConfig(n_employees=10, seed=1))
+        assert a == b
+
+    def test_seed_changes_output(self):
+        a = generate_personnel(PersonnelConfig(n_employees=10, seed=1))
+        b = generate_personnel(PersonnelConfig(n_employees=10, seed=2))
+        assert a != b
+
+    def test_count(self):
+        assert len(generate_personnel(PersonnelConfig(n_employees=17, seed=3))) == 17
+
+    def test_lifespans_within_horizon(self):
+        emp = generate_personnel(PersonnelConfig(n_employees=20, horizon=60, seed=5))
+        window = Lifespan.interval(0, 60)
+        for t in emp:
+            assert t.lifespan.issubset(window)
+
+    def test_salaries_never_decrease(self):
+        """The generator respects the paper's dynamic constraint."""
+        emp = generate_personnel(PersonnelConfig(n_employees=30, seed=7))
+        for t in emp:
+            values = [v for _, v in t.value("SALARY").items()]
+            assert values == sorted(values), t.key_value()
+
+    def test_values_total_on_vls(self):
+        emp = generate_personnel(PersonnelConfig(n_employees=15, seed=9))
+        for t in emp:
+            assert t.is_total()
+
+    def test_some_reincarnation(self):
+        emp = generate_personnel(
+            PersonnelConfig(n_employees=60, rehire_probability=0.9, seed=11)
+        )
+        assert any(t.lifespan.n_intervals > 1 for t in emp)
+
+
+class TestStocks:
+    def test_deterministic(self):
+        assert generate_stocks(StockConfig(seed=1)) == generate_stocks(StockConfig(seed=1))
+
+    def test_volume_lifespan_matches_figure6(self):
+        cfg = StockConfig(volume_dropped_at=100, volume_readded_at=180, horizon=250)
+        scheme = stock_scheme(cfg)
+        assert scheme.als("VOLUME") == Lifespan((0, 99), (180, 250))
+
+    def test_no_volume_values_in_gap(self):
+        cfg = StockConfig(n_stocks=5, seed=2)
+        stocks = generate_stocks(cfg)
+        gap = Lifespan.interval(cfg.volume_dropped_at, cfg.volume_readded_at - 1)
+        for t in stocks:
+            assert t.value("VOLUME").domain.isdisjoint(gap)
+
+    def test_prices_daily(self):
+        cfg = StockConfig(n_stocks=3, seed=3)
+        stocks = generate_stocks(cfg)
+        for t in stocks:
+            assert t.value("PRICE").domain == t.lifespan
+
+
+class TestEnrollment:
+    def test_referential_integrity_by_construction(self):
+        students, courses, enrollments = generate_enrollment_db(
+            EnrollmentConfig(seed=5)
+        )
+        for e in enrollments:
+            sid, cid = e.key_value()
+            student = students.get(sid)
+            course = courses.get(cid)
+            assert student is not None and course is not None
+            assert e.lifespan.issubset(student.lifespan)
+            assert e.lifespan.issubset(course.lifespan)
+
+    def test_composite_keys_unique(self):
+        _, _, enrollments = generate_enrollment_db(EnrollmentConfig(seed=5))
+        keys = [t.key_value() for t in enrollments]
+        assert len(keys) == len(set(keys))
+
+    def test_requested_count_reached(self):
+        _, _, enrollments = generate_enrollment_db(
+            EnrollmentConfig(n_enrollments=40, seed=5)
+        )
+        assert len(enrollments) == 40
+
+    def test_some_dropouts(self):
+        students, _, _ = generate_enrollment_db(
+            EnrollmentConfig(n_students=50, dropout_probability=0.8, seed=7)
+        )
+        assert any(t.lifespan.n_intervals > 1 for t in students)
