@@ -4,14 +4,19 @@ Each benchmark regenerates one of the paper's figures (or a Section 2 /
 Section 5 claim) as a small table. Tables are printed and also written
 to ``benchmarks/results/<experiment>.txt`` so the regenerated artifacts
 survive the pytest run regardless of output capturing.
+:func:`report_json` additionally persists machine-readable results
+(e.g. ``BENCH_planner.json`` at the repo root) so successive PRs can
+track performance trajectories.
 """
 
 from __future__ import annotations
 
+import json
 import os
 from typing import Iterable, Sequence
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 
 def format_table(title: str, headers: Sequence[str],
@@ -40,3 +45,17 @@ def report(experiment: str, title: str, headers: Sequence[str],
         fh.write(text + "\n")
     print(f"\n{text}\n[written to {path}]")
     return text
+
+
+def report_json(name: str, payload: dict) -> str:
+    """Persist *payload* as ``<repo root>/<name>.json``; returns the path.
+
+    Used for trajectory files like ``BENCH_planner.json`` that future
+    PRs diff against.
+    """
+    path = os.path.join(REPO_ROOT, f"{name}.json")
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"[json written to {path}]")
+    return path

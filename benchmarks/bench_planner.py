@@ -1,0 +1,163 @@
+"""PLANNER — planned vs. naive execution on the generator workloads.
+
+The cost-based planner exists to make queries cheaper without changing
+their answers. This bench runs a small query suite from the personnel
+workload in three modes:
+
+* **naive** — the expression evaluator over in-memory relations (the
+  seed's execution path);
+* **planned/mem** — through the planner against the same in-memory
+  relations (measures planning + dispatch overhead);
+* **planned/stored** — through the planner against the storage engine,
+  where access-path choices (interval scans, key lookups) actually pay
+  off against full-scan-and-decode.
+
+Results go to ``benchmarks/results/planner.txt`` and, machine-readable,
+to ``BENCH_planner.json`` at the repo root — the perf trajectory file
+for future PRs. The bench also asserts the acceptance criterion: the
+narrow-window queries must *choose* the interval index, and every mode
+must return identical answers.
+"""
+
+import time
+
+import pytest
+
+from benchmarks._report import report, report_json
+from repro.algebra import expr as E
+from repro.algebra.predicates import AttrOp
+from repro.core.lifespan import Lifespan
+from repro.planner import FullScan, IntervalScan, KeyLookup, Planner
+from repro.storage.engine import StoredRelation
+from repro.workloads import PersonnelConfig, generate_personnel
+
+_CFG = PersonnelConfig(n_employees=400, seed=29)
+
+
+@pytest.fixture(scope="module")
+def emp():
+    return generate_personnel(_CFG)
+
+
+@pytest.fixture(scope="module")
+def stored_emp(emp):
+    stored = StoredRelation(emp.scheme)
+    stored.load(emp)
+    stored.rebuild_indexes()
+    return stored
+
+
+def _queries(emp):
+    a_name = sorted(t.key_value()[0] for t in emp)[0]
+    return [
+        ("narrow slice", E.TimeSlice(E.Rel("EMP"), Lifespan.interval(10, 13))),
+        ("slice over select",
+         E.TimeSlice(E.SelectWhen(E.Rel("EMP"), AttrOp("SALARY", ">=", 60_000)),
+                     Lifespan.interval(10, 13))),
+        ("key lookup", E.SelectIf(E.Rel("EMP"), AttrOp("NAME", "=", a_name))),
+        ("wide slice", E.TimeSlice(E.Rel("EMP"), Lifespan.interval(0, _CFG.horizon))),
+        ("unbounded select",
+         E.SelectIf(E.Rel("EMP"), AttrOp("SALARY", ">=", 80_000))),
+    ]
+
+
+def _time(fn, repeat: int = 5) -> float:
+    """Best-of-*repeat* wall time in milliseconds."""
+    best = float("inf")
+    for _ in range(repeat):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best * 1000.0
+
+
+def test_planner_report(emp, stored_emp):
+    mem_env = {"EMP": emp}
+    stored_env = {"EMP": stored_emp}
+    planner = Planner()
+
+    rows = []
+    payload = {"workload": {"n_employees": _CFG.n_employees,
+                            "horizon": _CFG.horizon, "seed": _CFG.seed},
+               "queries": {}}
+    for name, tree in _queries(emp):
+        naive_ms = _time(lambda: tree.evaluate(mem_env))
+        planned_mem_ms = _time(lambda: planner.plan(tree, mem_env).execute(mem_env))
+        planned_stored_ms = _time(
+            lambda: planner.plan(tree, stored_env).execute(stored_env)
+        )
+        full_decode_ms = _time(
+            lambda: tree.evaluate({"EMP": stored_emp.to_relation()})
+        )
+
+        chosen = planner.plan(tree, stored_env)
+        paths = sorted({type(n).__name__ for n in chosen.root.walk()
+                        if not n.children()})
+        # Answers must agree across every mode — costs change, answers don't.
+        expected = tree.evaluate(mem_env)
+        assert planner.plan(tree, mem_env).execute(mem_env) == expected
+        assert chosen.execute(stored_env) == expected
+
+        rows.append((name, "+".join(paths), f"{naive_ms:.2f}",
+                     f"{planned_mem_ms:.2f}", f"{planned_stored_ms:.2f}",
+                     f"{full_decode_ms:.2f}"))
+        payload["queries"][name] = {
+            "access_paths": paths,
+            "est_rows": chosen.est_rows,
+            "est_cost": chosen.est_cost,
+            "actual_rows": len(expected),
+            "naive_ms": naive_ms,
+            "planned_mem_ms": planned_mem_ms,
+            "planned_stored_ms": planned_stored_ms,
+            "stored_full_decode_ms": full_decode_ms,
+        }
+
+    report(
+        "planner",
+        f"Planned vs naive execution (EMP: {_CFG.n_employees} employees)",
+        ["query", "stored access path", "naive ms", "planned mem ms",
+         "planned stored ms", "stored full-decode ms"],
+        rows,
+    )
+    report_json("BENCH_planner", payload)
+
+    # Acceptance: the narrow-window queries pick the interval index over
+    # a full scan; the wide slice correctly declines it.
+    assert "IntervalScan" in payload["queries"]["narrow slice"]["access_paths"]
+    assert "IntervalScan" in payload["queries"]["slice over select"]["access_paths"]
+    assert "KeyLookup" in payload["queries"]["key lookup"]["access_paths"]
+    assert payload["queries"]["wide slice"]["access_paths"] == ["FullScan"]
+
+    # And on stored data, the chosen index path beats decoding everything.
+    narrow = payload["queries"]["narrow slice"]
+    assert narrow["planned_stored_ms"] < narrow["stored_full_decode_ms"]
+
+
+class TestPlannedExecutionSpeed:
+    """pytest-benchmark microbenches for the two headline paths."""
+
+    def test_bench_narrow_slice_naive_stored(self, benchmark, stored_emp):
+        tree = _queries(stored_emp.to_relation())[0][1]
+
+        def full_decode():
+            return tree.evaluate({"EMP": stored_emp.to_relation()})
+
+        benchmark(full_decode)
+
+    def test_bench_narrow_slice_planned_stored(self, benchmark, stored_emp):
+        env = {"EMP": stored_emp}
+        tree = _queries(stored_emp.to_relation())[0][1]
+        planner = Planner()
+        benchmark(lambda: planner.plan(tree, env).execute(env))
+
+    def test_bench_key_lookup_planned(self, benchmark, emp):
+        env = {"EMP": emp}
+        tree = _queries(emp)[2][1]
+        planner = Planner()
+        benchmark(lambda: planner.plan(tree, env).execute(env))
+
+    def test_bench_planning_overhead(self, benchmark, emp):
+        env = {"EMP": emp}
+        tree = _queries(emp)[1][1]
+        planner = Planner()
+        benchmark(lambda: planner.plan(tree, env))

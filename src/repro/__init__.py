@@ -26,7 +26,7 @@ Quickstart
 Lifespan([5, 9])
 """
 
-from repro import algebra
+from repro import algebra, planner
 from repro.core import (
     ALWAYS,
     EMPTY_LIFESPAN,
@@ -59,4 +59,5 @@ __all__ = [
     "__version__",
     "algebra",
     "domains",
+    "planner",
 ]

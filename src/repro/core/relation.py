@@ -31,7 +31,7 @@ from repro.core.tuples import HistoricalTuple
 class HistoricalRelation:
     """An immutable historical relation: a keyed set of historical tuples."""
 
-    __slots__ = ("scheme", "enforce_key", "_tuples", "_by_key", "_hash")
+    __slots__ = ("scheme", "enforce_key", "_tuples", "_by_key", "_hash", "_stats")
 
     def __init__(
         self,
@@ -86,6 +86,7 @@ class HistoricalRelation:
         self._tuples = tuple(unique)
         self._by_key = by_key
         self._hash: int | None = None
+        self._stats = None
 
     # -- constructors ----------------------------------------------------------
 
@@ -181,6 +182,18 @@ class HistoricalRelation:
     def alive_at(self, time: int) -> "HistoricalRelation":
         """The sub-relation of tuples whose lifespan covers *time*."""
         return self.filter(lambda t: time in t.lifespan)
+
+    def statistics(self):
+        """Summary statistics for the cost-based planner (cached).
+
+        Returns a :class:`repro.planner.stats.Statistics`; safe to
+        cache because the relation is immutable.
+        """
+        if self._stats is None:
+            from repro.planner.stats import Statistics
+
+            self._stats = Statistics.of(self)
+        return self._stats
 
     def snapshot(self, time: int) -> list[dict[str, Any]]:
         """The classical-relation view at one chronon.

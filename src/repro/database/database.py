@@ -13,7 +13,10 @@ mutable top-level object tying together:
 * schema evolution via attribute lifespans
   (:mod:`repro.database.evolution`);
 * registered integrity constraints, checked on every mutation
-  (:mod:`repro.database.integrity`).
+  (:mod:`repro.database.integrity`);
+* HRQL querying routed through the cost-based planner —
+  :meth:`HistoricalDatabase.query` and
+  :meth:`HistoricalDatabase.explain`.
 
 Relations are stored immutably; every mutation installs a new relation
 value, so readers holding a reference are never surprised.
@@ -30,6 +33,10 @@ from repro.core.scheme import RelationScheme
 from repro.core.tfunc import TemporalFunction
 from repro.core.time_domain import T_MAX, T_MIN, TimeDomain
 from repro.core.tuples import HistoricalTuple
+from repro.planner.explain import PlanExplanation, explain as explain_plan
+from repro.planner.planner import Planner
+from repro.query.compiler import ExplainQuery, WhenQuery, compile_query
+from repro.query.parser import parse as parse_hrql
 
 
 class HistoricalDatabase:
@@ -251,6 +258,50 @@ class HistoricalDatabase:
     def _check_constraints(self) -> None:
         for constraint in self._constraints:
             constraint.check(self)
+
+    # -- querying ----------------------------------------------------------------------
+
+    def query(self, source: str, optimize: bool = True
+              ) -> HistoricalRelation | Lifespan | PlanExplanation:
+        """Run an HRQL statement against the catalog, via the planner.
+
+        Every query is planned: normalized with the Section 5 rewrite
+        laws (unless ``optimize=False``), translated to a physical
+        plan with cost-chosen access paths, and executed.
+        ``EXPLAIN [ANALYZE]`` statements return the plan explanation
+        instead of the answer; top-level ``WHEN`` returns a lifespan.
+
+        >>> db.query("SELECT WHEN SALARY >= 30000 IN EMP")  # doctest: +SKIP
+        """
+        compiled = compile_query(parse_hrql(source))
+        if isinstance(compiled, ExplainQuery):
+            return compiled.evaluate(self._relations, normalize=optimize)
+        planner = Planner(normalize=optimize)
+        if isinstance(compiled, WhenQuery):
+            plan = planner.plan(compiled.child, self._relations, when=True)
+        else:
+            plan = planner.plan(compiled, self._relations)
+        return plan.execute(self._relations)
+
+    def explain(self, source: str, analyze: bool = False,
+                optimize: bool = True) -> PlanExplanation:
+        """EXPLAIN an HRQL query against the catalog.
+
+        Equivalent to :meth:`query` on ``EXPLAIN [ANALYZE] <source>``,
+        as a programmatic API. *source* may itself be an
+        ``EXPLAIN [ANALYZE]`` statement; its ``ANALYZE`` flag is
+        honored alongside the *analyze* argument.
+        """
+        compiled = compile_query(parse_hrql(source))
+        if isinstance(compiled, ExplainQuery):
+            analyze = analyze or compiled.analyze
+            compiled = compiled.child
+        planner = Planner(normalize=optimize)
+        if isinstance(compiled, WhenQuery):
+            return explain_plan(compiled.child, self._relations,
+                                when=True, analyze=analyze, planner=planner)
+        return explain_plan(compiled, self._relations,
+                            analyze=analyze, planner=planner)
 
     # -- convenience -------------------------------------------------------------------
 

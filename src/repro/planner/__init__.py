@@ -1,0 +1,68 @@
+"""Cost-based query planning for the historical algebra.
+
+The planner closes the loop between the Section 5 rewrite laws
+(:mod:`repro.algebra.rewriter`) and the Figure 9 storage stack
+(:mod:`repro.storage.engine`): a logical expression is normalized,
+translated to a physical plan whose leaves choose between full scans,
+key-index lookups, and interval-index scans from relation statistics,
+and executed against either in-memory relations or stored ones — with
+``EXPLAIN`` rendering the choices and their estimated vs. actual
+costs.
+
+Data flow::
+
+    HRQL text ─parse→ AST ─compile→ algebra Expr
+        ─normalize (Section 5 laws)→ Expr
+        ─translate + cost access paths→ physical Plan
+        ─execute→ HistoricalRelation | Lifespan
+"""
+
+from repro.planner.cost import annotate, full_scan, interval_scan, key_lookup
+from repro.planner.executor import execute
+from repro.planner.explain import PlanExplanation, explain, render_plan
+from repro.planner.plan import (
+    DynamicSlice,
+    Filter,
+    FullScan,
+    IntervalScan,
+    JoinOp,
+    KeyLookup,
+    Materialized,
+    PhysicalNode,
+    Plan,
+    ProjectOp,
+    RenameOp,
+    SetOp,
+    Slice,
+    WhenOp,
+)
+from repro.planner.planner import Planner, plan
+from repro.planner.stats import Statistics
+
+__all__ = [
+    "DynamicSlice",
+    "Filter",
+    "FullScan",
+    "IntervalScan",
+    "JoinOp",
+    "KeyLookup",
+    "Materialized",
+    "PhysicalNode",
+    "Plan",
+    "PlanExplanation",
+    "Planner",
+    "ProjectOp",
+    "RenameOp",
+    "SetOp",
+    "Slice",
+    "Statistics",
+    "WhenOp",
+    "annotate",
+    "execute",
+    "explain",
+    "full_scan",
+    "interval_scan",
+    "key_lookup",
+    "plan",
+    "render_plan",
+]

@@ -1,0 +1,247 @@
+"""The cost model — cardinality and work estimates over physical plans.
+
+Costs are abstract work units, calibrated only relatively: touching an
+in-memory tuple costs ``TUPLE_CPU``; decoding a stored heap record
+costs ``DECODE`` (several times more); an index probe costs ``PROBE``
+per ``log₂`` level. The absolute numbers do not matter — the planner
+only ever *compares* alternatives over the same data.
+
+Cardinality estimation uses textbook selectivities informed by
+:class:`~repro.planner.stats.Statistics`:
+
+* a time window keeps roughly ``(w + d) / E`` of the tuples, for
+  window coverage ``w``, mean tuple duration ``d``, extent ``E``
+  (see :meth:`Statistics.overlap_selectivity`);
+* an equality criterion keeps ``1/n`` of the tuples when it binds the
+  relation key, else ``DEFAULT_EQ_SELECTIVITY``;
+* inequalities keep ``DEFAULT_THETA_SELECTIVITY``.
+
+:func:`annotate` walks a physical tree bottom-up and stamps
+``est_rows`` / ``est_cost`` / ``est_extent`` onto every node.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Optional, Tuple
+
+from repro.algebra.predicates import And, AttrOp, AttrRef, Not, Or, Predicate
+from repro.core.lifespan import ALWAYS, EMPTY_LIFESPAN, Lifespan
+from repro.planner import plan as P
+from repro.planner.stats import UNKNOWN, Statistics
+
+#: Cost of handling one in-memory tuple.
+TUPLE_CPU = 1.0
+#: Cost of decoding one stored heap record (codec + tuple rebuild).
+DECODE = 6.0
+#: Cost of one index probe level (hash hop / tree node).
+PROBE = 2.0
+#: Cost of evaluating a predicate against one tuple.
+PREDICATE_CPU = 0.8
+#: Cost of restricting one tuple to a lifespan.
+RESTRICT_CPU = 1.2
+#: Selectivity of ``A = a`` on a non-key attribute.
+DEFAULT_EQ_SELECTIVITY = 0.15
+#: Selectivity of ``A θ a`` for an inequality θ.
+DEFAULT_THETA_SELECTIVITY = 0.4
+#: Fraction of tuple pairs surviving a natural / time join.
+JOIN_SELECTIVITY = 0.2
+
+StatsEnv = Mapping[str, Statistics]
+
+
+# -- leaf access-path formulas (used directly for plan choices) ----------
+
+
+def full_scan(stats: Statistics) -> Tuple[float, float]:
+    """``(rows, cost)`` of scanning the whole relation."""
+    per_tuple = DECODE if stats.stored else TUPLE_CPU
+    return float(stats.n_tuples), stats.n_tuples * per_tuple
+
+
+def key_lookup(stats: Statistics) -> Tuple[float, float]:
+    """``(rows, cost)`` of one key-index probe."""
+    rows = 1.0 if stats.n_tuples else 0.0
+    per_tuple = DECODE if stats.stored else TUPLE_CPU
+    return rows, PROBE + rows * per_tuple
+
+
+def interval_scan(stats: Statistics, window: Lifespan) -> Tuple[float, float]:
+    """``(rows, cost)`` of fetching the tuples meeting *window*.
+
+    The interval tree answers each window interval in
+    ``O(log n + answers)``; every answer is then fetched through the
+    key index and decoded. Interval scans therefore win exactly when
+    the window is selective enough that ``answers × (probe + decode)``
+    undercuts ``n × decode``.
+    """
+    rows = stats.n_tuples * stats.overlap_selectivity(window)
+    probes = max(1, window.n_intervals) * PROBE * math.log2(stats.n_tuples + 2)
+    per_match = PROBE + (DECODE if stats.stored else TUPLE_CPU)
+    return rows, probes + rows * per_match
+
+
+# -- predicate selectivity ----------------------------------------------
+
+
+def predicate_selectivity(predicate: Predicate, stats: Statistics,
+                          key: Tuple[str, ...] = ()) -> float:
+    """Estimated fraction of tuples satisfying *predicate* somewhere."""
+    if isinstance(predicate, AttrOp):
+        if isinstance(predicate.rhs, AttrRef):
+            return DEFAULT_THETA_SELECTIVITY
+        if predicate.theta in ("=", "=="):
+            if key == (predicate.attribute,) and stats.n_tuples:
+                return 1.0 / stats.n_tuples
+            return DEFAULT_EQ_SELECTIVITY
+        if predicate.theta in ("!=", "<>"):
+            return 1.0 - DEFAULT_EQ_SELECTIVITY
+        return DEFAULT_THETA_SELECTIVITY
+    if isinstance(predicate, And):
+        sel = 1.0
+        for part in predicate.parts:
+            sel *= predicate_selectivity(part, stats, key)
+        return sel
+    if isinstance(predicate, Or):
+        sel = 1.0
+        for part in predicate.parts:
+            sel *= 1.0 - predicate_selectivity(part, stats, key)
+        return 1.0 - sel
+    if isinstance(predicate, Not):
+        return 1.0 - predicate_selectivity(predicate.inner, stats, key)
+    return 0.5
+
+
+# -- bottom-up annotation ------------------------------------------------
+
+
+#: Per-relation key attribute tuples (for 1/n equality selectivity).
+KeyEnv = Mapping[str, Tuple[str, ...]]
+
+
+def annotate(node: P.PhysicalNode, stats_env: StatsEnv,
+             keys: Optional[KeyEnv] = None) -> P.PhysicalNode:
+    """Stamp ``est_rows`` / ``est_cost`` / ``est_extent`` bottom-up."""
+    for child in node.children():
+        annotate(child, stats_env, keys)
+    _estimate(node, stats_env, keys or {})
+    return node
+
+
+def _stats_for(name: str, stats_env: StatsEnv) -> Statistics:
+    return stats_env.get(name, UNKNOWN)
+
+
+def _extent_of(node: P.PhysicalNode) -> Lifespan:
+    return node.est_extent if node.est_extent is not None else ALWAYS
+
+
+def _window_selectivity(extent: Lifespan, window: Lifespan) -> float:
+    """Fraction of tuples of a stream with *extent* meeting *window*."""
+    if extent.is_empty:
+        return 0.0
+    covered = len(window & extent)
+    if covered == 0:
+        return 0.0
+    return min(1.0, 2.0 * covered / len(extent))
+
+
+def _estimate(node: P.PhysicalNode, stats_env: StatsEnv, keys: KeyEnv) -> None:
+    if isinstance(node, P.FullScan):
+        stats = _stats_for(node.name, stats_env)
+        node.est_rows, node.est_cost = full_scan(stats)
+        node.est_extent = stats.extent
+    elif isinstance(node, P.KeyLookup):
+        stats = _stats_for(node.name, stats_env)
+        node.est_rows, node.est_cost = key_lookup(stats)
+        node.est_extent = stats.extent
+    elif isinstance(node, P.IntervalScan):
+        stats = _stats_for(node.name, stats_env)
+        node.est_rows, node.est_cost = interval_scan(stats, node.window)
+        node.est_extent = stats.extent & node.window.span()
+    elif isinstance(node, P.Materialized):
+        node.est_rows = float(len(node.relation))
+        node.est_cost = len(node.relation) * TUPLE_CPU
+        node.est_extent = node.relation.lifespan()
+    elif isinstance(node, P.Filter):
+        child = node.child
+        stats = _leaf_stats(child, stats_env)
+        if isinstance(child, P.KeyLookup):
+            # The lookup already applied the key criterion; the filter
+            # is a recheck that keeps (almost) every candidate.
+            sel = 1.0
+        else:
+            sel = predicate_selectivity(node.predicate, stats, _leaf_key(child, keys))
+        if node.lifespan is not None:
+            sel *= _window_selectivity(_extent_of(child), node.lifespan)
+        node.est_rows = child.est_rows * sel
+        node.est_cost = child.est_cost + child.est_rows * PREDICATE_CPU
+        extent = _extent_of(child)
+        if node.flavor == "when" and node.lifespan is not None:
+            extent = extent & node.lifespan
+        node.est_extent = extent
+    elif isinstance(node, P.Slice):
+        child = node.child
+        sel = _window_selectivity(_extent_of(child), node.lifespan)
+        node.est_rows = child.est_rows * sel
+        node.est_cost = child.est_cost + child.est_rows * RESTRICT_CPU
+        node.est_extent = _extent_of(child) & node.lifespan
+    elif isinstance(node, P.DynamicSlice):
+        child = node.child
+        node.est_rows = child.est_rows * 0.8
+        node.est_cost = child.est_cost + child.est_rows * RESTRICT_CPU
+        node.est_extent = _extent_of(child)
+    elif isinstance(node, (P.ProjectOp, P.RenameOp)):
+        child = node.child
+        node.est_rows = child.est_rows
+        node.est_cost = child.est_cost + child.est_rows * TUPLE_CPU
+        node.est_extent = _extent_of(child)
+    elif isinstance(node, P.WhenOp):
+        child = node.child
+        node.est_rows = 1.0 if child.est_rows else 0.0
+        node.est_cost = child.est_cost + child.est_rows * TUPLE_CPU
+        node.est_extent = _extent_of(child)
+    elif isinstance(node, P.SetOp):
+        left, right = node.left, node.right
+        base = left.est_cost + right.est_cost
+        if node.op == "times":
+            node.est_rows = left.est_rows * right.est_rows
+            node.est_cost = base + node.est_rows * TUPLE_CPU
+            node.est_extent = _extent_of(left) & _extent_of(right)
+        elif node.op.startswith("union"):
+            node.est_rows = left.est_rows + right.est_rows
+            node.est_cost = base + node.est_rows * TUPLE_CPU
+            node.est_extent = _extent_of(left) | _extent_of(right)
+        elif node.op.startswith("intersect"):
+            node.est_rows = min(left.est_rows, right.est_rows) * 0.5
+            node.est_cost = base + (left.est_rows + right.est_rows) * TUPLE_CPU
+            node.est_extent = _extent_of(left) & _extent_of(right)
+        else:  # minus
+            node.est_rows = left.est_rows * 0.5
+            node.est_cost = base + (left.est_rows + right.est_rows) * TUPLE_CPU
+            node.est_extent = _extent_of(left)
+    elif isinstance(node, P.JoinOp):
+        left, right = node.left, node.right
+        pairs = left.est_rows * right.est_rows
+        node.est_rows = pairs * JOIN_SELECTIVITY
+        node.est_cost = (left.est_cost + right.est_cost
+                         + pairs * PREDICATE_CPU + node.est_rows * TUPLE_CPU)
+        node.est_extent = _extent_of(left) & _extent_of(right)
+    else:  # pragma: no cover - future node types
+        node.est_rows = 0.0
+        node.est_cost = sum(c.est_cost for c in node.children())
+        node.est_extent = EMPTY_LIFESPAN
+
+
+def _leaf_stats(node: P.PhysicalNode, stats_env: StatsEnv) -> Statistics:
+    """Statistics of the base relation under *node*, if it is a leaf access."""
+    if isinstance(node, (P.FullScan, P.KeyLookup, P.IntervalScan)):
+        return _stats_for(node.name, stats_env)
+    return UNKNOWN
+
+
+def _leaf_key(node: P.PhysicalNode, keys: KeyEnv) -> Tuple[str, ...]:
+    """The key attributes of the base relation under a leaf access node."""
+    if isinstance(node, (P.FullScan, P.KeyLookup, P.IntervalScan)):
+        return keys.get(node.name, ())
+    return ()

@@ -1,0 +1,285 @@
+"""The physical plan IR — operator nodes the executor knows how to run.
+
+A physical plan is a tree of :class:`PhysicalNode` objects. Interior
+nodes mirror the logical algebra one-for-one (filter, slice, project,
+set operations, joins); the leaves are *access paths*, where the
+planner's choices live:
+
+* :class:`FullScan` — read every tuple of a base relation (decoding
+  every heap record when the relation is stored);
+* :class:`KeyLookup` — fetch one object through the key index
+  (hash-map lookup for in-memory relations);
+* :class:`IntervalScan` — fetch only the tuples whose lifespans meet a
+  window, through the storage engine's interval index;
+* :class:`Materialized` — an inline literal relation.
+
+Nodes are mutable on purpose: the planner stamps cost estimates
+(``est_rows``, ``est_cost``, ``est_extent``) onto them, and an
+``EXPLAIN ANALYZE`` execution stamps observed values (``actual_rows``,
+``actual_ms``) next to the estimates.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Tuple
+
+from repro.algebra.predicates import Predicate
+from repro.algebra.select import Quantifier
+from repro.core.lifespan import Lifespan
+from repro.core.relation import HistoricalRelation
+
+
+class PhysicalNode:
+    """Base class of physical operators (a small mutable tree)."""
+
+    def __init__(self) -> None:
+        #: Estimated output cardinality (tuples).
+        self.est_rows: float = 0.0
+        #: Estimated cumulative cost, in abstract work units.
+        self.est_cost: float = 0.0
+        #: Estimated temporal extent of the output.
+        self.est_extent: Optional[Lifespan] = None
+        #: Observed output cardinality (filled by EXPLAIN ANALYZE).
+        self.actual_rows: Optional[int] = None
+        #: Observed wall-clock milliseconds (filled by EXPLAIN ANALYZE).
+        self.actual_ms: Optional[float] = None
+
+    def children(self) -> Tuple["PhysicalNode", ...]:
+        return ()
+
+    def label(self) -> str:
+        """One-line description for EXPLAIN output."""
+        return type(self).__name__
+
+    def walk(self):
+        """Yield this node and all descendants, pre-order."""
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+    def __repr__(self) -> str:
+        return f"<{self.label()}>"
+
+
+# -- leaf access paths ---------------------------------------------------
+
+
+class FullScan(PhysicalNode):
+    """Read every tuple of the named base relation."""
+
+    def __init__(self, name: str):
+        super().__init__()
+        self.name = name
+
+    def label(self) -> str:
+        return f"FullScan[{self.name}]"
+
+
+class KeyLookup(PhysicalNode):
+    """Fetch the single object with the given key through the key index."""
+
+    def __init__(self, name: str, key: Tuple[Any, ...]):
+        super().__init__()
+        self.name = name
+        self.key = key
+
+    def label(self) -> str:
+        key = ", ".join(repr(part) for part in self.key)
+        return f"KeyLookup[{self.name} key=({key})]"
+
+
+class IntervalScan(PhysicalNode):
+    """Fetch the tuples whose lifespans meet *window* via the interval index."""
+
+    def __init__(self, name: str, window: Lifespan):
+        super().__init__()
+        self.name = name
+        self.window = window
+
+    def label(self) -> str:
+        return f"IntervalScan[{self.name} ∩ {self.window!r}]"
+
+
+class Materialized(PhysicalNode):
+    """An inline literal relation (from :class:`repro.algebra.expr.Literal`)."""
+
+    def __init__(self, relation: HistoricalRelation):
+        super().__init__()
+        self.relation = relation
+
+    def label(self) -> str:
+        return f"Materialized[{self.relation.scheme.name}, {len(self.relation)} tuples]"
+
+
+# -- unary operators -----------------------------------------------------
+
+
+class _Unary(PhysicalNode):
+    def __init__(self, child: PhysicalNode):
+        super().__init__()
+        self.child = child
+
+    def children(self) -> Tuple[PhysicalNode, ...]:
+        return (self.child,)
+
+
+class Filter(_Unary):
+    """SELECT-IF or SELECT-WHEN over the child's output."""
+
+    def __init__(self, child: PhysicalNode, flavor: str, predicate: Predicate,
+                 quantifier: Optional[Quantifier] = None,
+                 lifespan: Optional[Lifespan] = None):
+        super().__init__(child)
+        if flavor not in ("if", "when"):
+            raise ValueError(f"unknown select flavor {flavor!r}")
+        self.flavor = flavor
+        self.predicate = predicate
+        self.quantifier = quantifier
+        self.lifespan = lifespan
+
+    def label(self) -> str:
+        sigma = "σ-IF" if self.flavor == "if" else "σ-WHEN"
+        quant = f" {self.quantifier.value}" if (
+            self.flavor == "if" and self.quantifier is not None) else ""
+        bound = f" during {self.lifespan!r}" if self.lifespan is not None else ""
+        return f"Filter[{sigma} {self.predicate!r}{quant}{bound}]"
+
+
+class Slice(_Unary):
+    """Static TIME-SLICE ``τ_L`` over the child's output."""
+
+    def __init__(self, child: PhysicalNode, lifespan: Lifespan):
+        super().__init__(child)
+        self.lifespan = lifespan
+
+    def label(self) -> str:
+        return f"Slice[τ {self.lifespan!r}]"
+
+
+class DynamicSlice(_Unary):
+    """Dynamic TIME-SLICE ``τ_@A`` through a time-valued attribute."""
+
+    def __init__(self, child: PhysicalNode, attribute: str):
+        super().__init__(child)
+        self.attribute = attribute
+
+    def label(self) -> str:
+        return f"DynamicSlice[τ @{self.attribute}]"
+
+
+class ProjectOp(_Unary):
+    """PROJECT ``π_X`` over the child's output."""
+
+    def __init__(self, child: PhysicalNode, attributes: Tuple[str, ...]):
+        super().__init__(child)
+        self.attributes = tuple(attributes)
+
+    def label(self) -> str:
+        return f"Project[{', '.join(self.attributes)}]"
+
+
+class RenameOp(_Unary):
+    """RENAME ``ρ`` over the child's output."""
+
+    def __init__(self, child: PhysicalNode, mapping: Tuple[Tuple[str, str], ...]):
+        super().__init__(child)
+        self.mapping = tuple(mapping)
+
+    def label(self) -> str:
+        pairs = ", ".join(f"{a}→{b}" for a, b in self.mapping)
+        return f"Rename[{pairs}]"
+
+
+class WhenOp(_Unary):
+    """Ω — reduce the child relation to its lifespan ``LS(r)``."""
+
+    def label(self) -> str:
+        return "When[Ω]"
+
+
+# -- binary operators ----------------------------------------------------
+
+
+class _Binary(PhysicalNode):
+    def __init__(self, left: PhysicalNode, right: PhysicalNode):
+        super().__init__()
+        self.left = left
+        self.right = right
+
+    def children(self) -> Tuple[PhysicalNode, ...]:
+        return (self.left, self.right)
+
+
+class SetOp(_Binary):
+    """A standard or object-based (MERGED) set operation, or ×."""
+
+    OPS = ("union", "intersect", "minus", "times",
+           "union_merged", "intersect_merged", "minus_merged")
+
+    def __init__(self, op: str, left: PhysicalNode, right: PhysicalNode):
+        super().__init__(left, right)
+        if op not in self.OPS:
+            raise ValueError(f"unknown set operation {op!r}")
+        self.op = op
+
+    def label(self) -> str:
+        return f"SetOp[{self.op}]"
+
+
+class JoinOp(_Binary):
+    """θ-join, natural join, or time-join."""
+
+    def __init__(self, kind: str, left: PhysicalNode, right: PhysicalNode,
+                 left_attr: Optional[str] = None, theta: Optional[str] = None,
+                 right_attr: Optional[str] = None, via: Optional[str] = None):
+        super().__init__(left, right)
+        if kind not in ("theta", "natural", "time"):
+            raise ValueError(f"unknown join kind {kind!r}")
+        self.kind = kind
+        self.left_attr = left_attr
+        self.theta = theta
+        self.right_attr = right_attr
+        self.via = via
+
+    def label(self) -> str:
+        if self.kind == "theta":
+            return f"Join[θ {self.left_attr} {self.theta} {self.right_attr}]"
+        if self.kind == "time":
+            return f"Join[time via {self.via}]"
+        return "Join[natural]"
+
+
+class Plan:
+    """A complete physical plan plus planning metadata."""
+
+    def __init__(self, root: PhysicalNode, logical, normalized,
+                 planning_ms: float = 0.0):
+        #: The physical operator tree.
+        self.root = root
+        #: The logical expression as given to the planner.
+        self.logical = logical
+        #: The expression after rewriter normalization.
+        self.normalized = normalized
+        #: Wall-clock milliseconds spent planning.
+        self.planning_ms = planning_ms
+
+    @property
+    def est_rows(self) -> float:
+        return self.root.est_rows
+
+    @property
+    def est_cost(self) -> float:
+        return self.root.est_cost
+
+    def access_paths(self) -> Tuple[PhysicalNode, ...]:
+        """The leaf access nodes, left to right."""
+        return tuple(n for n in self.root.walk() if not n.children())
+
+    def execute(self, env, record: bool = False):
+        """Run the plan against *env* (see :mod:`repro.planner.executor`)."""
+        from repro.planner.executor import execute
+        return execute(self.root, env, record=record)
+
+    def __repr__(self) -> str:
+        return (f"Plan({self.root.label()}, est_rows={self.est_rows:.1f}, "
+                f"est_cost={self.est_cost:.1f})")

@@ -1,0 +1,131 @@
+"""Relation statistics — the planner's view of the data.
+
+Cost-based planning needs to know, before touching any tuples, roughly
+how much data each base relation holds and how it is spread over time.
+:class:`Statistics` captures exactly that: cardinality, the relation
+lifespan ``LS(r)`` (its *extent*), how many distinct chronons the
+extent covers, and how long a typical tuple lives. The numbers are
+cheap to collect (one pass) and are cached on the relation objects —
+:meth:`repro.core.relation.HistoricalRelation.statistics` and
+:meth:`repro.storage.engine.StoredRelation.statistics` both return one
+of these.
+
+Examples
+--------
+>>> from repro.core.lifespan import Lifespan
+>>> from repro.core.relation import HistoricalRelation
+>>> from repro.core.scheme import RelationScheme
+>>> from repro.core import domains
+>>> scheme = RelationScheme("R", {"K": domains.cd(domains.STRING)}, key=["K"])
+>>> r = HistoricalRelation.from_rows(scheme, [
+...     (Lifespan.interval(0, 9), {"K": "a"}),
+...     (Lifespan.interval(20, 24), {"K": "b"}),
+... ])
+>>> s = r.statistics()
+>>> (s.n_tuples, s.n_chronons, s.total_chronons)
+(2, 15, 15)
+>>> s.extent
+Lifespan([0, 9], [20, 24])
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.lifespan import EMPTY_LIFESPAN, Lifespan
+from repro.core.relation import HistoricalRelation
+
+
+@dataclass(frozen=True)
+class Statistics:
+    """Summary statistics of one historical relation.
+
+    Attributes
+    ----------
+    n_tuples:
+        Number of tuples (objects) in the relation.
+    extent:
+        ``LS(r)`` — the union of the tuple lifespans.
+    n_chronons:
+        Number of distinct chronons the extent covers.
+    total_chronons:
+        Sum of the per-tuple lifespan durations (tuple-chronons).
+    n_intervals:
+        Total number of maximal intervals across all tuple lifespans
+        (reincarnated objects contribute several).
+    stored:
+        True if the relation lives behind the storage engine, where
+        touching a tuple means decoding a heap record.
+    """
+
+    n_tuples: int
+    extent: Lifespan
+    n_chronons: int
+    total_chronons: int
+    n_intervals: int
+    stored: bool = False
+
+    @classmethod
+    def of(cls, source) -> "Statistics":
+        """Collect statistics from a relation in one pass.
+
+        *source* may be an in-memory
+        :class:`~repro.core.relation.HistoricalRelation` or a
+        :class:`~repro.storage.engine.StoredRelation` (anything
+        iterable over historical tuples via ``scan()``).
+        """
+        if isinstance(source, HistoricalRelation):
+            tuples = source.tuples
+            stored = False
+        else:
+            tuples = tuple(source.scan())
+            stored = True
+        extent = EMPTY_LIFESPAN
+        total = 0
+        n_intervals = 0
+        for t in tuples:
+            extent = extent | t.lifespan
+            total += len(t.lifespan)
+            n_intervals += t.lifespan.n_intervals
+        return cls(
+            n_tuples=len(tuples),
+            extent=extent,
+            n_chronons=len(extent),
+            total_chronons=total,
+            n_intervals=n_intervals,
+            stored=stored,
+        )
+
+    @property
+    def is_empty(self) -> bool:
+        """True for a relation with no tuples."""
+        return self.n_tuples == 0
+
+    @property
+    def avg_duration(self) -> float:
+        """Mean tuple lifespan duration in chronons."""
+        if self.n_tuples == 0:
+            return 0.0
+        return self.total_chronons / self.n_tuples
+
+    def overlap_selectivity(self, window: Lifespan) -> float:
+        """Estimated fraction of tuples whose lifespan meets *window*.
+
+        The classic interval-overlap estimate: a tuple of average
+        duration ``d`` placed uniformly in an extent of ``E`` chronons
+        overlaps a window covering ``w`` of those chronons with
+        probability about ``(w + d) / E``, clamped to ``[0, 1]``.
+        """
+        if self.n_tuples == 0 or self.n_chronons == 0:
+            return 0.0
+        covered = len(window & self.extent)
+        if covered == 0:
+            return 0.0
+        return min(1.0, (covered + self.avg_duration) / self.n_chronons)
+
+
+#: Statistics of a relation the planner knows nothing about.
+UNKNOWN = Statistics(
+    n_tuples=0, extent=EMPTY_LIFESPAN, n_chronons=0,
+    total_chronons=0, n_intervals=0, stored=False,
+)

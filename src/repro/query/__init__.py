@@ -5,6 +5,7 @@ point: :func:`repro.query.run`.
 """
 
 from repro.query.compiler import (
+    ExplainQuery,
     WhenQuery,
     compile_lifespan,
     compile_predicate,
@@ -15,6 +16,7 @@ from repro.query.lexer import tokenize
 from repro.query.parser import parse
 
 __all__ = [
+    "ExplainQuery",
     "WhenQuery",
     "compile_lifespan",
     "compile_predicate",

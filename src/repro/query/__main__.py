@@ -15,6 +15,7 @@ Anything else is parsed as an HRQL query, e.g.::
 
     SELECT WHEN SALARY >= 60000 IN EMP
     WHEN (SELECT WHEN DEPT = 'Toys' IN EMP)
+    EXPLAIN ANALYZE TIMESLICE EMP TO [10, 20]
 """
 
 from __future__ import annotations
@@ -24,6 +25,7 @@ import sys
 from repro.core.errors import HRDMError
 from repro.core.lifespan import Lifespan
 from repro.core.relation import HistoricalRelation
+from repro.planner.explain import PlanExplanation
 from repro.query.compiler import run
 from repro.render import relation_table, relation_timelines
 from repro.workloads import PersonnelConfig, generate_personnel
@@ -41,8 +43,10 @@ def default_environment() -> dict[str, HistoricalRelation]:
     return {"EMP": generate_personnel(PersonnelConfig(n_employees=20, seed=7))}
 
 
-def format_result(result: HistoricalRelation | Lifespan) -> str:
+def format_result(result: HistoricalRelation | Lifespan | PlanExplanation) -> str:
     """Render a query result for the terminal."""
+    if isinstance(result, PlanExplanation):
+        return result.text
     if isinstance(result, Lifespan):
         return f"lifespan: {result}"
     table = relation_table(result)

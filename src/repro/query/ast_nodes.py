@@ -137,6 +137,18 @@ class WhenNode:
     child: "QueryNode"
 
 
+@dataclass(frozen=True)
+class ExplainNode:
+    """``EXPLAIN [ANALYZE] query`` — produces a plan explanation.
+
+    Only allowed at the very top of a statement; with ``analyze`` the
+    plan is also executed so actual costs appear beside estimates.
+    """
+
+    child: "QueryNode"
+    analyze: bool = False
+
+
 QueryNode = Union[
     RelationRef,
     RenameNode,
@@ -148,3 +160,6 @@ QueryNode = Union[
     JoinNode,
     WhenNode,
 ]
+
+#: A full statement: a query, optionally wrapped in EXPLAIN.
+Statement = Union[QueryNode, ExplainNode]

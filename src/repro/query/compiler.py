@@ -1,10 +1,11 @@
 """Compile HRQL ASTs onto the historical algebra.
 
 :func:`compile_query` maps an AST to an
-:class:`~repro.algebra.expr.Expr` tree (relations) or a
+:class:`~repro.algebra.expr.Expr` tree (relations), a
 :class:`WhenQuery` wrapper (top-level ``WHEN`` — a lifespan, the
-algebra's second sort). :func:`run` parses, compiles, optionally
-rewrites (the Section 5 laws), and evaluates in one call.
+algebra's second sort), or an :class:`ExplainQuery` wrapper (top-level
+``EXPLAIN`` — a rendered plan). :func:`run` parses, compiles,
+optionally rewrites (the Section 5 laws), and evaluates in one call.
 """
 
 from __future__ import annotations
@@ -20,6 +21,8 @@ from repro.algebra.select import EXISTS, FORALL
 from repro.core.errors import CompileError
 from repro.core.lifespan import ALWAYS, Lifespan
 from repro.core.relation import HistoricalRelation
+from repro.planner.explain import PlanExplanation, explain as explain_fn
+from repro.planner.planner import Planner
 from repro.query import ast_nodes as ast
 from repro.query.parser import parse
 
@@ -34,7 +37,29 @@ class WhenQuery:
         return when_fn(self.child.evaluate(env))
 
 
-Compiled = Union[E.Expr, WhenQuery]
+@dataclass(frozen=True)
+class ExplainQuery:
+    """A compiled ``EXPLAIN [ANALYZE] query`` — evaluates to a plan.
+
+    Evaluation plans the inner query through the cost-based planner
+    (normalizing with the Section 5 laws unless ``normalize=False``)
+    and, with ``analyze``, also executes the plan to record actual row
+    counts and timings.
+    """
+
+    child: Union[E.Expr, WhenQuery]
+    analyze: bool = False
+
+    def evaluate(self, env: Mapping[str, HistoricalRelation],
+                 normalize: bool = True) -> PlanExplanation:
+        planner = Planner(normalize=normalize)
+        if isinstance(self.child, WhenQuery):
+            return explain_fn(self.child.child, env, when=True,
+                              analyze=self.analyze, planner=planner)
+        return explain_fn(self.child, env, analyze=self.analyze, planner=planner)
+
+
+Compiled = Union[E.Expr, WhenQuery, ExplainQuery]
 
 
 def compile_predicate(node: ast.PredicateNode) -> Predicate:
@@ -70,8 +95,13 @@ _SETOP_NODES = {
 }
 
 
-def compile_query(node: ast.QueryNode) -> Compiled:
+def compile_query(node: ast.Statement) -> Compiled:
     """Map a query AST onto the algebra expression tree."""
+    if isinstance(node, ast.ExplainNode):
+        inner = node.child
+        if isinstance(inner, ast.ExplainNode):
+            raise CompileError("EXPLAIN cannot be nested")
+        return ExplainQuery(compile_query(inner), node.analyze)
     if isinstance(node, ast.WhenNode):
         return WhenQuery(_compile_relational(node.child))
     return _compile_relational(node)
@@ -122,12 +152,21 @@ def _compile_relational(node: ast.QueryNode) -> E.Expr:
 
 
 def run(source: str, env: Mapping[str, HistoricalRelation],
-        optimize: bool = False) -> HistoricalRelation | Lifespan:
-    """Parse, compile, optionally rewrite, and evaluate an HRQL query.
+        optimize: bool = False) -> HistoricalRelation | Lifespan | PlanExplanation:
+    """Parse, compile, optionally rewrite, and evaluate an HRQL statement.
+
+    ``EXPLAIN [ANALYZE]`` statements return a
+    :class:`~repro.planner.explain.PlanExplanation` (its ``str()`` is
+    the rendered plan tree); plain queries return a relation or, for
+    top-level ``WHEN``, a lifespan. *optimize* governs Section 5
+    normalization uniformly: naive evaluation for plain queries, and
+    whether the explained plan is normalized for ``EXPLAIN``.
 
     >>> run("SELECT WHEN SALARY >= 30000 IN EMP", {"EMP": emp})  # doctest: +SKIP
     """
     compiled = compile_query(parse(source))
+    if isinstance(compiled, ExplainQuery):
+        return compiled.evaluate(env, normalize=optimize)
     if isinstance(compiled, WhenQuery):
         child = rewrite(compiled.child) if optimize else compiled.child
         return WhenQuery(child).evaluate(env)

@@ -2,6 +2,7 @@
 
 Grammar (EBNF; keywords case-insensitive)::
 
+    statement    := "EXPLAIN" ["ANALYZE"] query  |  query
     query        := "WHEN" "(" setexpr ")"  |  setexpr
     setexpr      := joinexpr { SETOP ["MERGED"] joinexpr }
     SETOP        := "UNION" | "INTERSECT" | "MINUS" | "TIMES"
@@ -85,9 +86,9 @@ class Parser:
 
     # -- grammar ---------------------------------------------------------------
 
-    def parse(self) -> ast.QueryNode:
-        """Parse a complete query; trailing tokens are an error."""
-        node = self._query()
+    def parse(self) -> ast.Statement:
+        """Parse a complete statement; trailing tokens are an error."""
+        node = self._statement()
         trailer = self._peek()
         if trailer.type is not TokenType.EOF:
             raise ParseError(
@@ -95,6 +96,12 @@ class Parser:
                 trailer.line, trailer.column,
             )
         return node
+
+    def _statement(self) -> ast.Statement:
+        if self._accept_keyword("EXPLAIN"):
+            analyze = self._accept_keyword("ANALYZE")
+            return ast.ExplainNode(self._query(), analyze)
+        return self._query()
 
     def _query(self) -> ast.QueryNode:
         if self._check_keyword("WHEN"):
@@ -284,10 +291,12 @@ class Parser:
         return (int(lo), int(hi))  # type: ignore[arg-type]
 
 
-def parse(source: str) -> ast.QueryNode:
-    """Parse an HRQL query string into its AST.
+def parse(source: str) -> ast.Statement:
+    """Parse an HRQL statement string into its AST.
 
     >>> parse("SELECT WHEN SALARY >= 30000 IN EMP")     # doctest: +ELLIPSIS
     SelectNode(...)
+    >>> parse("EXPLAIN TIMESLICE EMP TO [0, 9]")        # doctest: +ELLIPSIS
+    ExplainNode(...)
     """
     return Parser(tokenize(source)).parse()

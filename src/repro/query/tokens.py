@@ -39,7 +39,7 @@ KEYWORDS = frozenset({
     "SELECT", "IF", "WHEN", "IN", "PROJECT", "FROM", "TIMESLICE", "TO",
     "VIA", "UNION", "INTERSECT", "MINUS", "TIMES", "JOIN", "NATURAL",
     "TIMEJOIN", "ON", "AND", "OR", "NOT", "EXISTS", "FORALL", "DURING",
-    "MERGED", "ALWAYS", "RENAME",
+    "MERGED", "ALWAYS", "RENAME", "EXPLAIN", "ANALYZE",
 })
 
 #: θ comparison operators, longest first for maximal-munch lexing.

@@ -61,6 +61,7 @@ class StoredRelation:
         self._key_index: KeyIndex[RecordId] = KeyIndex()
         self._interval_index: Optional[IntervalIndex[tuple]] = None
         self._dirty = False
+        self._stats = None
 
     # -- writes ------------------------------------------------------------
 
@@ -74,6 +75,7 @@ class StoredRelation:
         rid = self._heap.insert(encode_tuple(t))
         self._key_index.put(key, rid)
         self._dirty = True
+        self._stats = None
         return rid
 
     def delete(self, *key: Any) -> None:
@@ -81,6 +83,7 @@ class StoredRelation:
         rid = self._key_index.remove(tuple(key))
         self._heap.delete(rid)
         self._dirty = True
+        self._stats = None
 
     def replace(self, t: HistoricalTuple) -> RecordId:
         """Replace the stored tuple carrying ``t``'s key."""
@@ -90,6 +93,7 @@ class StoredRelation:
         rid = self._heap.insert(encode_tuple(t))
         self._key_index.put(key, rid)
         self._dirty = True
+        self._stats = None
         return rid
 
     def load(self, relation: HistoricalRelation) -> None:
@@ -156,6 +160,19 @@ class StoredRelation:
     def storage_bytes(self) -> int:
         """Physical footprint (pages × page size)."""
         return self._heap.n_pages * self._heap.page_size
+
+    def statistics(self):
+        """Summary statistics for the cost-based planner.
+
+        Returns a :class:`repro.planner.stats.Statistics` with
+        ``stored=True`` (so the cost model charges decode costs).
+        Cached until the next write.
+        """
+        if self._stats is None:
+            from repro.planner.stats import Statistics
+
+            self._stats = Statistics.of(self)
+        return self._stats
 
     def rebuild_indexes(self) -> None:
         """Rebuild the interval index after bulk mutations."""

@@ -1,0 +1,45 @@
+"""Doctests as a test step — so the documented examples can never rot.
+
+The README and the quickstart in :mod:`repro` promise runnable
+examples; this module executes the docstring examples of every
+``repro`` module inside the regular pytest run. The same check can be
+run directly with::
+
+    PYTHONPATH=src python -m pytest --doctest-modules src/repro -q
+"""
+
+import doctest
+import importlib
+import os
+import pkgutil
+
+import pytest
+
+import repro
+
+_README = os.path.join(os.path.dirname(__file__), os.pardir, "README.md")
+
+
+def _all_modules():
+    names = ["repro"]
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        if info.name.endswith("__main__"):
+            continue  # importing it is fine, but keep the list tidy
+        names.append(info.name)
+    return sorted(names)
+
+
+@pytest.mark.parametrize("name", _all_modules())
+def test_module_doctests(name):
+    module = importlib.import_module(name)
+    results = doctest.testmod(module, optionflags=doctest.ELLIPSIS)
+    assert results.failed == 0, f"{results.failed} doctest failure(s) in {name}"
+
+
+def test_readme_examples():
+    """The README's quickstart blocks are real doctests — run them."""
+    results = doctest.testfile(
+        _README, module_relative=False, optionflags=doctest.ELLIPSIS
+    )
+    assert results.attempted >= 5
+    assert results.failed == 0, f"{results.failed} README example failure(s)"

@@ -1,0 +1,168 @@
+"""EXPLAIN end-to-end: HRQL text → plan tree → rendered explanation.
+
+Covers the acceptance path of the planner feature: ``EXPLAIN`` parses,
+plans, renders an annotated tree, and (with ``ANALYZE``) executes a
+plan whose answer equals naive evaluation.
+"""
+
+import pytest
+
+from repro.core.errors import CompileError
+from repro.core.lifespan import Lifespan
+from repro.database import HistoricalDatabase
+from repro.planner import IntervalScan, KeyLookup, PlanExplanation
+from repro.query import ExplainQuery, parse, run, tokenize
+from repro.query import ast_nodes as ast
+from repro.query.__main__ import execute as shell_execute
+from repro.query.compiler import compile_query
+from repro.storage.engine import StoredRelation
+from repro.workloads import PersonnelConfig, generate_personnel
+
+
+@pytest.fixture(scope="module")
+def emp():
+    return generate_personnel(PersonnelConfig(n_employees=40, seed=5))
+
+
+@pytest.fixture(scope="module")
+def stored_env(emp):
+    stored = StoredRelation(emp.scheme)
+    stored.load(emp)
+    stored.rebuild_indexes()
+    return {"EMP": stored}
+
+
+class TestParsing:
+    def test_explain_keyword_lexes(self):
+        kinds = [t.type.name for t in tokenize("EXPLAIN ANALYZE EMP")]
+        assert kinds == ["KEYWORD", "KEYWORD", "IDENT", "EOF"]
+
+    def test_explain_parses(self):
+        node = parse("EXPLAIN TIMESLICE EMP TO [0, 9]")
+        assert isinstance(node, ast.ExplainNode)
+        assert not node.analyze
+        assert isinstance(node.child, ast.TimeSliceNode)
+
+    def test_explain_analyze_parses(self):
+        node = parse("explain analyze EMP")  # keywords are case-insensitive
+        assert isinstance(node, ast.ExplainNode)
+        assert node.analyze
+
+    def test_explain_when_parses(self):
+        node = parse("EXPLAIN WHEN (SELECT WHEN SALARY >= 1 IN EMP)")
+        assert isinstance(node.child, ast.WhenNode)
+
+    def test_compiles_to_explain_query(self):
+        compiled = compile_query(parse("EXPLAIN EMP"))
+        assert isinstance(compiled, ExplainQuery)
+
+    def test_explain_only_at_top_level(self):
+        from repro.core.errors import ParseError
+
+        with pytest.raises(ParseError):
+            parse("SELECT IF SALARY >= 1 IN EXPLAIN EMP")
+
+    def test_nested_explain_rejected(self):
+        node = ast.ExplainNode(ast.ExplainNode(ast.RelationRef("EMP")))
+        with pytest.raises(CompileError):
+            compile_query(node)
+
+
+class TestEndToEnd:
+    def test_explain_renders_a_tree(self, emp):
+        out = run("EXPLAIN PROJECT NAME FROM (TIMESLICE EMP TO [10, 14])",
+                  {"EMP": emp})
+        assert isinstance(out, PlanExplanation)
+        assert "Project[NAME]" in out.text
+        assert "est rows" in out.text and "cost" in out.text
+        assert "actual" not in out.text  # not analyzed
+        assert out.result is None
+
+    def test_explain_analyze_matches_naive(self, emp, stored_env):
+        query = "SELECT WHEN SALARY >= 50000 DURING [5, 9] IN EMP"
+        expected = run(query, {"EMP": emp})
+        out = run("EXPLAIN ANALYZE " + query, stored_env)
+        assert out.result == expected
+        assert "actual rows" in out.text
+        assert "ms" in out.text
+
+    def test_explain_chooses_interval_scan_on_stored(self, stored_env):
+        out = run("EXPLAIN TIMESLICE EMP TO [10, 12]", stored_env)
+        assert any(isinstance(n, IntervalScan) for n in out.plan.root.walk())
+        assert "IntervalScan[EMP" in out.text
+
+    def test_explain_shows_key_lookup(self, emp):
+        name = sorted(t.key_value()[0] for t in emp)[0]
+        out = run(f"EXPLAIN SELECT IF NAME = '{name}' IN EMP", {"EMP": emp})
+        assert any(isinstance(n, KeyLookup) for n in out.plan.root.walk())
+
+    def test_explain_analyze_when_query(self, emp):
+        out = run("EXPLAIN ANALYZE WHEN (TIMESLICE EMP TO [10, 14])", {"EMP": emp})
+        assert isinstance(out.result, Lifespan)
+        assert "When[Ω]" in out.text
+
+    def test_plain_queries_still_work(self, emp):
+        result = run("SELECT WHEN SALARY >= 50000 IN EMP", {"EMP": emp},
+                     optimize=True)
+        assert result == run("SELECT WHEN SALARY >= 50000 IN EMP", {"EMP": emp})
+
+
+class TestDatabaseQuery:
+    @pytest.fixture()
+    def db(self, emp):
+        db = HistoricalDatabase("co")
+        db.create_relation(emp.scheme, emp.tuples)
+        return db
+
+    def test_query_equals_naive_run(self, db, emp):
+        query = "PROJECT NAME, SALARY FROM (SELECT IF DEPT = 'Toys' IN EMP)"
+        assert db.query(query) == run(query, {"EMP": emp})
+
+    def test_query_without_optimize(self, db, emp):
+        query = "TIMESLICE (TIMESLICE EMP TO [0, 50]) TO [10, 20]"
+        assert db.query(query, optimize=False) == run(query, {"EMP": emp})
+
+    def test_query_returns_lifespan_for_when(self, db):
+        out = db.query("WHEN (SELECT WHEN SALARY >= 50000 IN EMP)")
+        assert isinstance(out, Lifespan)
+
+    def test_query_handles_explain_statements(self, db):
+        out = db.query("EXPLAIN ANALYZE TIMESLICE EMP TO [10, 14]")
+        assert isinstance(out, PlanExplanation)
+        assert out.result is not None
+
+    def test_explain_method(self, db):
+        out = db.explain("TIMESLICE EMP TO [10, 14]")
+        assert isinstance(out, PlanExplanation)
+        assert out.result is None
+        analyzed = db.explain("TIMESLICE EMP TO [10, 14]", analyze=True)
+        assert analyzed.result is not None
+
+    def test_explain_method_accepts_explain_text(self, db):
+        out = db.explain("EXPLAIN TIMESLICE EMP TO [10, 14]")
+        assert isinstance(out, PlanExplanation)
+
+    def test_explain_method_honors_embedded_analyze(self, db):
+        out = db.explain("EXPLAIN ANALYZE TIMESLICE EMP TO [10, 14]")
+        assert out.analyzed
+        assert out.result is not None
+
+    def test_explain_respects_optimize_flag(self, db):
+        query = "EXPLAIN TIMESLICE (TIMESLICE EMP TO [0, 50]) TO [10, 20]"
+        normalized = db.query(query)
+        raw = db.query(query, optimize=False)
+        from repro.algebra import expr as E
+
+        assert E.size(raw.plan.normalized) > E.size(normalized.plan.normalized)
+        assert "normalized 3 → 3" in raw.text
+        assert "normalized 3 → 2" in normalized.text
+
+
+class TestShell:
+    def test_shell_prints_plan(self):
+        from repro.query.__main__ import default_environment
+
+        env = default_environment()
+        out = shell_execute("EXPLAIN TIMESLICE EMP TO [10, 14]", env)
+        assert out.startswith("Plan")
+        assert "Slice" in out
