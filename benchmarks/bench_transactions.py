@@ -1,0 +1,117 @@
+"""TRANSACTIONS — bulk loading through sessions vs. per-call mutations.
+
+The direct mutation API re-checks every registered constraint and
+rebuilds (or re-encodes) the touched relation after *every* call: a
+bulk load of N tuples costs N constraint sweeps over an ever-growing
+relation — quadratic. A transaction buffers the batch, applies it in
+one ``with_tuples`` pass per relation, and sweeps constraints once.
+
+This bench loads N employees both ways, over both storage backends
+(``storage="memory"`` and ``storage="disk"``), with a registered
+``NonDecreasing`` constraint so the deferred check is doing real work.
+Results go to ``benchmarks/results/transactions.txt`` and the
+machine-readable trajectory file ``BENCH_transactions.json`` at the
+repo root. The bench asserts the acceptance criterion: the batched
+path must beat per-call mutation, and both paths must produce the same
+relation.
+"""
+
+import time
+
+import pytest
+
+from benchmarks._report import report, report_json
+from repro.core.lifespan import Lifespan
+from repro.database import HistoricalDatabase, NonDecreasing
+from repro.workloads import PersonnelConfig, generate_personnel
+
+_CFG = PersonnelConfig(n_employees=250, seed=31)
+
+
+@pytest.fixture(scope="module")
+def rows():
+    emp = generate_personnel(_CFG)
+    return emp.scheme, [(t.lifespan, {a: t.value(a) for a in emp.scheme.attributes})
+                        for t in emp]
+
+
+def _fresh(scheme, storage):
+    db = HistoricalDatabase("bench")
+    db.create_relation(scheme, storage=storage)
+    db.add_constraint(NonDecreasing("EMP", "SALARY"))
+    return db
+
+
+def _load_per_call(db, rows):
+    for lifespan, values in rows:
+        db.insert("EMP", lifespan, values)
+
+
+def _load_transaction(db, rows):
+    with db.transaction() as txn:
+        for lifespan, values in rows:
+            txn.insert("EMP", lifespan, values)
+
+
+def _time_once(fn) -> float:
+    start = time.perf_counter()
+    fn()
+    return (time.perf_counter() - start) * 1000.0
+
+
+def test_transactions_report(rows):
+    scheme, data = rows
+    table = []
+    payload = {"workload": {"n_employees": _CFG.n_employees, "seed": _CFG.seed,
+                            "constraint": "NonDecreasing(EMP.SALARY)"},
+               "modes": {}}
+
+    for storage in ("memory", "disk"):
+        per_call_db = _fresh(scheme, storage)
+        per_call_ms = _time_once(lambda: _load_per_call(per_call_db, data))
+
+        txn_db = _fresh(scheme, storage)
+        txn_ms = _time_once(lambda: _load_transaction(txn_db, data))
+
+        # Same answer either way — the transaction only changes costs.
+        assert (per_call_db["EMP"].to_relation() if storage == "disk"
+                else per_call_db["EMP"]) == \
+               (txn_db["EMP"].to_relation() if storage == "disk"
+                else txn_db["EMP"])
+        assert len(txn_db["EMP"]) == _CFG.n_employees
+
+        speedup = per_call_ms / txn_ms if txn_ms > 0 else float("inf")
+        table.append((storage, f"{per_call_ms:.1f}", f"{txn_ms:.1f}",
+                      f"{speedup:.1f}x"))
+        payload["modes"][storage] = {
+            "per_call_ms": per_call_ms,
+            "transaction_ms": txn_ms,
+            "speedup": speedup,
+        }
+
+    report(
+        "transactions",
+        f"Bulk load of {_CFG.n_employees} employees: per-call vs transaction",
+        ["storage", "per-call ms", "transaction ms", "speedup"],
+        table,
+    )
+    report_json("BENCH_transactions", payload)
+
+    # Acceptance: deferring the constraint sweep must win on both backends.
+    for storage in ("memory", "disk"):
+        mode = payload["modes"][storage]
+        assert mode["transaction_ms"] < mode["per_call_ms"], (
+            f"{storage}: transaction loading should beat per-call mutation"
+        )
+
+
+class TestBulkLoadSpeed:
+    """pytest-benchmark microbenches for the two load paths (memory)."""
+
+    def test_bench_per_call_load(self, benchmark, rows):
+        scheme, data = rows
+        benchmark(lambda: _load_per_call(_fresh(scheme, "memory"), data))
+
+    def test_bench_transaction_load(self, benchmark, rows):
+        scheme, data = rows
+        benchmark(lambda: _load_transaction(_fresh(scheme, "memory"), data))

@@ -36,26 +36,38 @@ from repro.core import (
     HistoricalTuple,
     HRDMError,
     Lifespan,
+    Relation,
     RelationScheme,
     TemporalFunction,
     TimeDomain,
     domains,
 )
+from repro.database import (
+    HistoricalDatabase,
+    PreparedQuery,
+    QueryResult,
+    Transaction,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ALWAYS",
     "Attribute",
     "EMPTY_LIFESPAN",
     "HRDMError",
+    "HistoricalDatabase",
     "HistoricalDomain",
     "HistoricalRelation",
     "HistoricalTuple",
     "Lifespan",
+    "PreparedQuery",
+    "QueryResult",
+    "Relation",
     "RelationScheme",
     "TemporalFunction",
     "TimeDomain",
+    "Transaction",
     "__version__",
     "algebra",
     "domains",

@@ -49,6 +49,7 @@ from repro.core.interpolation import (
     StepInterpolation,
 )
 from repro.core.lifespan import ALWAYS, EMPTY_LIFESPAN, Lifespan
+from repro.core.protocols import Relation
 from repro.core.relation import HistoricalRelation
 from repro.core.scheme import RelationScheme
 from repro.core.tfunc import TemporalFunction
@@ -81,6 +82,7 @@ __all__ = [
     "NUMBER",
     "NearestInterpolation",
     "NotTimeValuedError",
+    "Relation",
     "RelationError",
     "RelationScheme",
     "STRING",

@@ -95,6 +95,10 @@ class EvolutionError(HRDMError):
     """An illegal schema-evolution operation was requested."""
 
 
+class TransactionError(HRDMError):
+    """A transactional session was used after commit or rollback."""
+
+
 class StorageError(HRDMError):
     """The physical level failed to encode, decode, or locate data."""
 
@@ -134,3 +138,7 @@ class ParseError(QueryError):
 
 class CompileError(QueryError):
     """The compiler could not map the AST onto the algebra."""
+
+
+class BindError(QueryError):
+    """A bind parameter was missing, unused, or of the wrong type."""

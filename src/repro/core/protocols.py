@@ -1,0 +1,55 @@
+"""The ``Relation`` protocol — what the database layer demands of a relation.
+
+Figure 9 of the paper separates the model level from the physical
+level; this protocol is the seam between them in code. Anything that
+can (1) name its scheme, (2) look up an object by key, (3) iterate its
+historical tuples, and (4) summarise itself for the planner is a
+relation as far as :class:`~repro.database.database.HistoricalDatabase`
+is concerned — the catalog holds in-memory
+:class:`~repro.core.relation.HistoricalRelation` values and disk-backed
+:class:`~repro.storage.engine.StoredRelation` handles side by side, and
+every query, mutation, and integrity constraint works against both.
+
+The protocol is :func:`~typing.runtime_checkable`, so
+``isinstance(obj, Relation)`` verifies structural conformance (method
+presence, not signatures) in tests and assertions.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Optional, Protocol, runtime_checkable
+
+from repro.core.lifespan import Lifespan
+from repro.core.scheme import RelationScheme
+from repro.core.tuples import HistoricalTuple
+
+
+@runtime_checkable
+class Relation(Protocol):
+    """Structural interface shared by in-memory and stored relations."""
+
+    scheme: RelationScheme
+
+    def get(self, *key: Any) -> Optional[HistoricalTuple]:
+        """The tuple with the given key value, or None."""
+        ...
+
+    def __iter__(self) -> Iterator[HistoricalTuple]:
+        """Iterate every historical tuple."""
+        ...
+
+    def __len__(self) -> int:
+        """Number of tuples (objects)."""
+        ...
+
+    def lifespan(self) -> Lifespan:
+        """``LS(r)`` — the union of the tuple lifespans."""
+        ...
+
+    def snapshot(self, time: int) -> list[dict[str, Any]]:
+        """The classical view at one chronon: one dict per live tuple."""
+        ...
+
+    def statistics(self) -> Any:
+        """Planner statistics (:class:`repro.planner.stats.Statistics`)."""
+        ...

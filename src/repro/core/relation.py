@@ -236,6 +236,26 @@ class HistoricalRelation:
         kept.append(t)
         return HistoricalRelation(self.scheme, kept, enforce_key=self.enforce_key)
 
+    def with_tuples(self, ts: Iterable[HistoricalTuple]) -> "HistoricalRelation":
+        """A new relation with every tuple of *ts* added in one pass.
+
+        Each incoming tuple replaces the existing tuple carrying its
+        key (later duplicates within *ts* win). This is the batch
+        counterpart of :meth:`with_tuple`: a transaction commit applies
+        a whole buffered batch with a single relation rebuild instead
+        of one rebuild per mutation.
+        """
+        incoming: dict[tuple, HistoricalTuple] = {}
+        for t in ts:
+            if t.scheme != self.scheme:
+                raise RelationError("tuple scheme differs from relation scheme")
+            incoming[t.key_value()] = t
+        if not incoming:
+            return self
+        kept = [u for u in self._tuples if u.key_value() not in incoming]
+        kept.extend(incoming.values())
+        return HistoricalRelation(self.scheme, kept, enforce_key=self.enforce_key)
+
     def without_key(self, *key: Any) -> "HistoricalRelation":
         """A new relation with the tuple(s) of the given key removed."""
         wanted = tuple(key)

@@ -1,14 +1,21 @@
-"""Database layer: catalog, updates, schema evolution, and integrity.
+"""Database layer: catalog, sessions, evolution, and integrity.
 
 Builds the paper's instance hierarchy (Figure 1) on top of the core
-structures: a named catalog of historical relations with
-lifespan-phrased updates (birth / death / reincarnation), schema
-evolution via attribute lifespans (Figure 6), temporal integrity
-constraints (referential integrity, temporal FDs, dynamic constraints),
-and the Section 2 granularity-tradeoff model.
+structures: a named catalog of historical relations (in memory or on
+the Figure 9 storage engine, chosen per relation) with lifespan-phrased
+updates (birth / death / reincarnation), transactional sessions with
+deferred constraint checking, typed query results with ``:name``
+parameter binding and prepared statements, schema evolution via
+attribute lifespans (Figure 6), temporal integrity constraints
+(referential integrity, temporal FDs, dynamic constraints), and the
+Section 2 granularity-tradeoff model.
 """
 
+from repro.database.backends import DiskBackend, MemoryBackend
 from repro.database.database import HistoricalDatabase
+from repro.database.prepared import PreparedQuery
+from repro.database.result import QueryResult
+from repro.database.session import Transaction
 from repro.database.dependencies import (
     FD,
     bcnf_violations,
@@ -63,13 +70,18 @@ __all__ = [
     "satisfies",
     "Constraint",
     "DatabaseShape",
+    "DiskBackend",
     "GranularityLevel",
     "HistoricalDatabase",
     "LifespanWithin",
+    "MemoryBackend",
     "NonDecreasing",
     "NonIncreasing",
+    "PreparedQuery",
+    "QueryResult",
     "TemporalFD",
     "TemporalForeignKey",
+    "Transaction",
     "ValueCell",
     "add_attribute",
     "attribute_history",

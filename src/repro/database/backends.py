@@ -1,0 +1,144 @@
+"""Catalog storage backends — one relation, two physical homes.
+
+The paper's Figure 9 separates the model level from the physical
+level; :class:`~repro.database.database.HistoricalDatabase` keeps that
+separation by holding each catalog entry behind a small backend object:
+
+* :class:`MemoryBackend` — the relation is an immutable
+  :class:`~repro.core.relation.HistoricalRelation`; every batch of
+  changes installs a fresh relation value (readers are never
+  surprised), and undo is a pointer swap.
+* :class:`DiskBackend` — the relation lives in a
+  :class:`~repro.storage.engine.StoredRelation` (slotted heap pages,
+  key index, interval index); changes are applied tuple-by-tuple
+  through the engine, and undo restores the prior records.
+
+Both expose the same three operations the database needs:
+
+``source()``
+    The object queries and constraints see — it satisfies the
+    :class:`~repro.core.protocols.Relation` protocol, and the planner /
+    executor know how to scan, probe, and cost either kind.
+``apply(changes)``
+    Apply a keyed batch of new tuple values in one pass and return an
+    *undo closure* that restores the prior state exactly.
+``install(relation)``
+    Replace the whole relation value (schema evolution, ``replace()``),
+    again returning an undo closure.
+
+Undo closures are what make constraint checking transactional at every
+granularity: the database applies, checks, and on violation calls the
+closures in reverse order — whether one tuple changed or a whole
+transaction's worth.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Mapping, Optional
+
+from repro.core.relation import HistoricalRelation
+from repro.core.scheme import RelationScheme
+from repro.core.tuples import HistoricalTuple
+from repro.storage.engine import StoredRelation
+
+#: Restores a backend to the state captured when the closure was made.
+Undo = Callable[[], None]
+
+#: Keyed batch of new tuple values: key -> replacement tuple.
+Changes = Mapping[tuple, HistoricalTuple]
+
+
+class MemoryBackend:
+    """An in-memory catalog entry: an immutable relation value."""
+
+    kind = "memory"
+
+    def __init__(self, scheme: RelationScheme,
+                 tuples: Iterable[HistoricalTuple] = ()):
+        self._relation = HistoricalRelation(scheme, tuples)
+
+    @property
+    def scheme(self) -> RelationScheme:
+        return self._relation.scheme
+
+    def source(self) -> HistoricalRelation:
+        return self._relation
+
+    def get(self, *key: Any) -> Optional[HistoricalTuple]:
+        return self._relation.get(*key)
+
+    def apply(self, changes: Changes) -> Undo:
+        previous = self._relation
+        self._relation = previous.with_tuples(changes.values())
+
+        def undo() -> None:
+            self._relation = previous
+
+        return undo
+
+    def install(self, relation: HistoricalRelation) -> Undo:
+        previous = self._relation
+        self._relation = relation
+
+        def undo() -> None:
+            self._relation = previous
+
+        return undo
+
+
+class DiskBackend:
+    """A disk-backed catalog entry: a storage-engine handle."""
+
+    kind = "disk"
+
+    def __init__(self, scheme: RelationScheme,
+                 tuples: Iterable[HistoricalTuple] = (),
+                 page_size: int = 4096):
+        self._page_size = page_size
+        self._stored = StoredRelation(scheme, page_size)
+        for t in tuples:
+            self._stored.insert(t)
+
+    @property
+    def scheme(self) -> RelationScheme:
+        return self._stored.scheme
+
+    def source(self) -> StoredRelation:
+        return self._stored
+
+    def get(self, *key: Any) -> Optional[HistoricalTuple]:
+        return self._stored.get(*key)
+
+    def apply(self, changes: Changes) -> Undo:
+        stored = self._stored
+        prior = [(key, stored.get(*key)) for key in changes]
+        for t in changes.values():
+            stored.replace(t)
+
+        def undo() -> None:
+            for key, previous in reversed(prior):
+                if previous is None:
+                    stored.delete(*key)
+                else:
+                    stored.replace(previous)
+
+        return undo
+
+    def install(self, relation: HistoricalRelation) -> Undo:
+        previous = self._stored
+        replacement = StoredRelation(relation.scheme, self._page_size)
+        for t in relation:
+            replacement.insert(t)
+        self._stored = replacement
+
+        def undo() -> None:
+            self._stored = previous
+
+        return undo
+
+
+#: Backend constructors by the ``storage=`` argument of create_relation.
+BACKENDS = {
+    "memory": MemoryBackend,
+    "disk": DiskBackend,
+}

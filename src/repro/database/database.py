@@ -1,4 +1,4 @@
-"""The historical database — a named collection of historical relations.
+"""The historical database — a named catalog of historical relations.
 
 Figure 1 of the paper shows the instance hierarchy: a database is a set
 of relations, each a set of tuples. :class:`HistoricalDatabase` is the
@@ -6,37 +6,51 @@ mutable top-level object tying together:
 
 * a :class:`~repro.core.time_domain.TimeDomain` giving chronons meaning
   and carrying the movable ``now``;
-* a catalog of named relations (schemes + instances);
+* a catalog of named relations, each behind a storage backend — held
+  in memory (:class:`~repro.core.relation.HistoricalRelation`) or on
+  the Figure 9 storage engine
+  (:class:`~repro.storage.engine.StoredRelation`), chosen per relation
+  with ``create_relation(..., storage="memory" | "disk")``; both
+  satisfy the :class:`~repro.core.protocols.Relation` protocol and
+  answer the same queries;
 * update operations phrased in lifespan terms — :meth:`insert` (birth),
   :meth:`terminate` (death), :meth:`reincarnate` (rebirth of the same
-  key, Section 1's hire / fire / re-hire cycle);
+  key, Section 1's hire / fire / re-hire cycle) — checked against the
+  registered integrity constraints after every call, with atomic
+  rollback on violation;
+* transactional sessions (:meth:`transaction`) that buffer mutations,
+  apply them per relation in one batch, and defer the constraint sweep
+  to commit — the bulk path;
 * schema evolution via attribute lifespans
   (:mod:`repro.database.evolution`);
-* registered integrity constraints, checked on every mutation
-  (:mod:`repro.database.integrity`);
-* HRQL querying routed through the cost-based planner —
-  :meth:`HistoricalDatabase.query` and
-  :meth:`HistoricalDatabase.explain`.
-
-Relations are stored immutably; every mutation installs a new relation
-value, so readers holding a reference are never surprised.
+* HRQL querying through the cost-based planner — :meth:`query` returns
+  a typed :class:`~repro.database.result.QueryResult`, ``:name``
+  parameters bind at plan time, and :meth:`prepare` caches the parsed
+  statement for cheap re-planning.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, Iterator, Mapping, Optional
+from typing import Any, Dict, Iterator, Mapping, Optional, Union
 
-from repro.core.errors import EvolutionError, IntegrityError, RelationError
+from repro.core.errors import HRDMError, IntegrityError, RelationError
 from repro.core.lifespan import Lifespan
 from repro.core.relation import HistoricalRelation
 from repro.core.scheme import RelationScheme
-from repro.core.tfunc import TemporalFunction
 from repro.core.time_domain import T_MAX, T_MIN, TimeDomain
 from repro.core.tuples import HistoricalTuple
+from repro.database import mutations
+from repro.database.backends import BACKENDS, DiskBackend, MemoryBackend
+from repro.database.prepared import PreparedQuery
+from repro.database.result import QueryResult
+from repro.database.session import Transaction
 from repro.planner.explain import PlanExplanation, explain as explain_plan
 from repro.planner.planner import Planner
 from repro.query.compiler import ExplainQuery, WhenQuery, compile_query
 from repro.query.parser import parse as parse_hrql
+
+#: A catalog entry's storage backend.
+Backend = Union[MemoryBackend, DiskBackend]
 
 
 class HistoricalDatabase:
@@ -47,67 +61,111 @@ class HistoricalDatabase:
             raise RelationError("database needs a non-empty name")
         self.name = name
         self.time_domain = time_domain or TimeDomain(T_MIN, T_MAX)
-        self._relations: Dict[str, HistoricalRelation] = {}
+        self._backends: Dict[str, Backend] = {}
         self._constraints: list = []
+        #: Bumped on every successful catalog change; prepared queries
+        #: key their plan caches on it.
+        self._version = 0
 
     # -- catalog -----------------------------------------------------------
 
     def create_relation(self, scheme: RelationScheme,
-                        tuples: Iterable[HistoricalTuple] = ()) -> HistoricalRelation:
-        """Create (and return) an empty or pre-populated relation."""
-        if scheme.name in self._relations:
+                        tuples: Any = (), *,
+                        storage: str = "memory", **backend_options):
+        """Create a relation and return its catalog value.
+
+        *storage* selects the physical home: ``"memory"`` (an immutable
+        :class:`~repro.core.relation.HistoricalRelation`) or ``"disk"``
+        (a :class:`~repro.storage.engine.StoredRelation` on heap pages
+        with key and interval indexes; accepts ``page_size=``). Both
+        satisfy the :class:`~repro.core.protocols.Relation` protocol
+        and behave identically under queries and mutations.
+        """
+        if scheme.name in self._backends:
             raise RelationError(f"relation {scheme.name!r} already exists")
-        relation = HistoricalRelation(scheme, tuples)
-        self._relations[scheme.name] = relation
-        self._check_constraints()
-        return relation
+        try:
+            factory = BACKENDS[storage]
+        except KeyError:
+            options = ", ".join(sorted(BACKENDS))
+            raise RelationError(
+                f"unknown storage {storage!r}; expected one of: {options}"
+            ) from None
+        backend = factory(scheme, tuples, **backend_options)
+        self._backends[scheme.name] = backend
+        try:
+            self._check_constraints()
+        except IntegrityError:
+            del self._backends[scheme.name]
+            raise
+        self._version += 1
+        return backend.source()
 
     def drop_relation(self, name: str) -> None:
-        """Remove a relation from the catalog."""
-        if name not in self._relations:
-            raise RelationError(f"no relation named {name!r}")
-        del self._relations[name]
+        """Remove a relation from the catalog.
 
-    def relation(self, name: str) -> HistoricalRelation:
-        """The current value of the named relation."""
+        Registered constraints are re-checked against the shrunken
+        catalog: a constraint that still references the dropped
+        relation would silently go stale, so the drop is refused (and
+        rolled back) until the constraint is removed.
+        """
+        backend = self._backend(name)
+        del self._backends[name]
         try:
-            return self._relations[name]
-        except KeyError:
-            raise RelationError(f"no relation named {name!r}") from None
+            self._check_constraints()
+        except HRDMError as exc:
+            self._backends[name] = backend
+            raise RelationError(
+                f"cannot drop relation {name!r}: a registered constraint "
+                f"still references it ({exc}); remove the constraint first"
+            ) from exc
+        self._version += 1
 
-    def __getitem__(self, name: str) -> HistoricalRelation:
+    def relation(self, name: str):
+        """The current value of the named relation.
+
+        Returns the catalog object itself — a
+        :class:`~repro.core.relation.HistoricalRelation` or a
+        :class:`~repro.storage.engine.StoredRelation` — both satisfying
+        the :class:`~repro.core.protocols.Relation` protocol.
+        """
+        return self._backend(name).source()
+
+    def storage(self, name: str) -> str:
+        """The storage kind of the named relation: "memory" or "disk"."""
+        return self._backend(name).kind
+
+    def __getitem__(self, name: str):
         return self.relation(name)
 
     def __contains__(self, name: object) -> bool:
-        return name in self._relations
+        return name in self._backends
 
     def __iter__(self) -> Iterator[str]:
-        return iter(self._relations)
+        return iter(self._backends)
 
     def __len__(self) -> int:
-        return len(self._relations)
+        return len(self._backends)
 
-    def relations(self) -> dict[str, HistoricalRelation]:
-        """A snapshot copy of the whole catalog."""
-        return dict(self._relations)
+    def relations(self) -> dict[str, Any]:
+        """A snapshot copy of the whole catalog (name → relation)."""
+        return {name: backend.source()
+                for name, backend in self._backends.items()}
 
     def scheme(self, name: str) -> RelationScheme:
         """The scheme of the named relation."""
-        return self.relation(name).scheme
+        return self._backend(name).scheme
 
     def replace(self, name: str, relation: HistoricalRelation) -> None:
         """Install a new relation value under an existing name.
 
         The algebra returns fresh relations; ``replace`` is how a
-        computed result becomes the new stored state. Constraints are
-        re-checked.
+        computed result becomes the new stored state (re-encoded onto
+        the storage engine for disk-backed entries). Constraints are
+        re-checked, and the prior value restored on violation.
         """
-        if name not in self._relations:
-            raise RelationError(f"no relation named {name!r}")
-        self._relations[name] = relation
-        self._check_constraints()
+        self._install_relation(name, relation)
 
-    # -- lifespan-phrased updates -----------------------------------------------
+    # -- lifespan-phrased updates -------------------------------------------
 
     def insert(self, name: str, lifespan: Lifespan,
                values: Mapping[str, Any]) -> HistoricalTuple:
@@ -116,14 +174,12 @@ class HistoricalDatabase:
         ``values`` follows :meth:`HistoricalTuple.build` conventions
         (scalars become constant functions over the value lifespan).
         """
-        relation = self.relation(name)
-        t = HistoricalTuple.build(relation.scheme, lifespan, values)
-        key = t.key_value()
-        if relation.get(*key) is not None:
-            raise RelationError(
-                f"key {key!r} already exists in {name!r}; use reincarnate() or update()"
-            )
-        self._install(name, relation.with_tuple(t))
+        backend = self._backend(name)
+        t = mutations.build_insert(
+            backend.scheme, lifespan, values,
+            lambda key: backend.get(*key), name,
+        )
+        self._apply(name, {t.key_value(): t})
         return t
 
     def terminate(self, name: str, key: tuple, at: int) -> HistoricalTuple:
@@ -132,18 +188,9 @@ class HistoricalDatabase:
         The tuple's lifespan (and all values) are truncated to times
         strictly before *at*.
         """
-        relation = self.relation(name)
-        t = self._existing(relation, key)
-        remaining = t.lifespan & Lifespan.until(at - 1)
-        if remaining.is_empty:
-            raise RelationError(
-                f"terminating at {at} would erase the whole history of {key!r}; "
-                "drop the tuple explicitly instead"
-            )
-        truncated = t.restrict(remaining)
-        assert truncated is not None
-        self._install(name, relation.with_tuple(truncated))
-        return truncated
+        t = mutations.build_terminate(self._existing(name, key), at)
+        self._apply(name, {t.key_value(): t})
+        return t
 
     def reincarnate(self, name: str, key: tuple, lifespan: Lifespan,
                     values: Mapping[str, Any]) -> HistoricalTuple:
@@ -152,22 +199,11 @@ class HistoricalDatabase:
         The new *lifespan* must be disjoint from the existing one; the
         new values extend the object's temporal functions.
         """
-        relation = self.relation(name)
-        t = self._existing(relation, key)
-        if not t.lifespan.isdisjoint(lifespan):
-            raise RelationError(
-                f"reincarnation lifespan overlaps the existing lifespan of {key!r}"
-            )
-        addition = HistoricalTuple.build(relation.scheme, lifespan, values)
-        if addition.key_value() != t.key_value():
-            raise RelationError("reincarnation must preserve the key value")
-        merged_ls = t.lifespan | lifespan
-        merged_values = {
-            a: t.value(a).merge(addition.value(a))
-            for a in relation.scheme.attributes
-        }
-        merged = HistoricalTuple(relation.scheme, merged_ls, merged_values)
-        self._install(name, relation.with_tuple(merged))
+        backend = self._backend(name)
+        merged = mutations.build_reincarnate(
+            backend.scheme, self._existing(name, key), lifespan, values
+        )
+        self._apply(name, {merged.key_value(): merged})
         return merged
 
     def update(self, name: str, key: tuple, at: int,
@@ -178,71 +214,94 @@ class HistoricalDatabase:
         history before *at* and takes the new constant value on the
         remainder of the tuple's (and attribute's) lifespan.
         """
-        relation = self.relation(name)
-        t = self._existing(relation, key)
-        values = {a: t.value(a) for a in relation.scheme.attributes}
-        future = Lifespan.since(at)
-        for attr, new_value in changes.items():
-            vls = t.vls(attr)
-            window = vls & future
-            if window.is_empty:
-                raise RelationError(
-                    f"attribute {attr!r} of {key!r} has no lifespan at or after {at}"
-                )
-            kept = values[attr].restrict(t.lifespan - future)
-            values[attr] = kept.merge(TemporalFunction.constant(new_value, window))
-        updated = HistoricalTuple(relation.scheme, t.lifespan, values)
-        self._install(name, relation.with_tuple(updated))
+        backend = self._backend(name)
+        updated = mutations.build_update(
+            backend.scheme, self._existing(name, key), at, changes
+        )
+        self._apply(name, {updated.key_value(): updated})
         return updated
 
-    def _existing(self, relation: HistoricalRelation, key: tuple) -> HistoricalTuple:
-        t = relation.get(*key)
+    # -- transactions -------------------------------------------------------
+
+    def transaction(self) -> Transaction:
+        """Open a transactional session buffering mutations until commit.
+
+        ::
+
+            with db.transaction() as txn:
+                txn.insert("EMP", lifespan, values)
+                txn.update("EMP", key, at=50, changes={...})
+
+        All buffered changes apply atomically at the end of the
+        ``with`` block: one batched pass per touched relation and a
+        single constraint sweep, instead of one full sweep per
+        mutation — the bulk-load fast path. On any error (including a
+        constraint violation at commit) the catalog is left exactly as
+        it was when the transaction began.
+        """
+        return Transaction(self)
+
+    # -- internal apply/restore machinery -----------------------------------
+
+    def _backend(self, name: str) -> Backend:
+        try:
+            return self._backends[name]
+        except KeyError:
+            raise RelationError(f"no relation named {name!r}") from None
+
+    def _existing(self, name: str, key: tuple) -> HistoricalTuple:
+        t = self._backend(name).get(*tuple(key))
         if t is None:
-            raise RelationError(f"no tuple with key {key!r} in {relation.scheme.name!r}")
+            raise RelationError(f"no tuple with key {tuple(key)!r} in {name!r}")
         return t
 
-    def _install(self, name: str, relation: HistoricalRelation) -> None:
-        previous = self._relations[name]
-        self._relations[name] = relation
+    def _apply(self, name: str, changes: Mapping[tuple, HistoricalTuple]) -> None:
+        """Apply a keyed batch to one relation, check, roll back on failure."""
+        undo = self._backend(name).apply(changes)
         try:
             self._check_constraints()
         except IntegrityError:
-            self._relations[name] = previous
+            undo()
             raise
+        self._version += 1
 
-    # -- schema evolution (delegates) ---------------------------------------------
+    def _install_relation(self, name: str,
+                          relation: HistoricalRelation) -> None:
+        """Replace a whole relation value, check, roll back on failure."""
+        undo = self._backend(name).install(relation)
+        try:
+            self._check_constraints()
+        except IntegrityError:
+            undo()
+            raise
+        self._version += 1
+
+    def _env(self) -> dict[str, Any]:
+        """The planner / executor environment: name → tuple source."""
+        return self.relations()
+
+    # -- schema evolution (delegates) ----------------------------------------
 
     def evolve_scheme(self, name: str, new_scheme: RelationScheme) -> None:
         """Install an evolved scheme, re-homing every tuple.
 
         Values outside the new attribute lifespans are clipped; this is
         the low-level hook used by :mod:`repro.database.evolution`.
+        Constraints are re-checked through the same install / restore
+        path as every other mutation, so a violating evolution leaves
+        the catalog untouched.
         """
-        relation = self.relation(name)
-        rehomed = []
-        for t in relation:
-            values = {}
-            for a in new_scheme.attributes:
-                if a in t.scheme:
-                    values[a] = t.value(a).restrict(t.lifespan & new_scheme.als(a))
-                else:
-                    values[a] = TemporalFunction.empty()
-            rehomed.append(HistoricalTuple(new_scheme, t.lifespan, values))
-        if new_scheme.name != name:
-            raise EvolutionError(
-                f"evolved scheme must keep the relation name {name!r}, "
-                f"got {new_scheme.name!r}"
-            )
-        self._relations[name] = HistoricalRelation(new_scheme, rehomed)
-        self._check_constraints()
+        backend = self._backend(name)
+        rehomed = mutations.rehome(backend.source(), new_scheme, name)
+        self._install_relation(name, HistoricalRelation(new_scheme, rehomed))
 
-    # -- constraints ------------------------------------------------------------------
+    # -- constraints ---------------------------------------------------------
 
     def add_constraint(self, constraint) -> None:
         """Register a constraint (see :mod:`repro.database.integrity`).
 
         The constraint is checked immediately and then after every
-        mutation.
+        mutation (at commit, for transactional sessions).
         """
         self._constraints.append(constraint)
         try:
@@ -259,51 +318,81 @@ class HistoricalDatabase:
         for constraint in self._constraints:
             constraint.check(self)
 
-    # -- querying ----------------------------------------------------------------------
+    # -- querying ------------------------------------------------------------
 
-    def query(self, source: str, optimize: bool = True
-              ) -> HistoricalRelation | Lifespan | PlanExplanation:
+    def query(self, source,
+              params: Optional[Mapping[str, Any]] = None, *,
+              optimize: bool = True) -> QueryResult:
         """Run an HRQL statement against the catalog, via the planner.
 
         Every query is planned: normalized with the Section 5 rewrite
         laws (unless ``optimize=False``), translated to a physical
-        plan with cost-chosen access paths, and executed.
-        ``EXPLAIN [ANALYZE]`` statements return the plan explanation
-        instead of the answer; top-level ``WHEN`` returns a lifespan.
+        plan with cost-chosen access paths, and executed against the
+        catalog's mix of in-memory and stored relations. *params*
+        binds ``:name`` parameters in the statement at plan time.
+        *source* is HRQL text, or an already-parsed statement AST for
+        callers that inspected it first (the shell does, to pick
+        session bindings).
 
-        >>> db.query("SELECT WHEN SALARY >= 30000 IN EMP")  # doctest: +SKIP
+        Returns a typed :class:`~repro.database.result.QueryResult`:
+        ``.relation`` for relation answers, ``.lifespan`` for top-level
+        ``WHEN``, ``.explanation`` for ``EXPLAIN [ANALYZE]``, and
+        ``.plan`` for the physical plan behind any of them.
+
+        >>> db.query("SELECT WHEN SALARY >= :min IN EMP",
+        ...          {"min": 30_000}).relation             # doctest: +SKIP
         """
-        compiled = compile_query(parse_hrql(source))
+        statement = parse_hrql(source) if isinstance(source, str) else source
+        compiled = compile_query(statement, params)
+        env = self._env()
         if isinstance(compiled, ExplainQuery):
-            return compiled.evaluate(self._relations, normalize=optimize)
+            return QueryResult(compiled.evaluate(env, normalize=optimize))
         planner = Planner(normalize=optimize)
         if isinstance(compiled, WhenQuery):
-            plan = planner.plan(compiled.child, self._relations, when=True)
+            plan = planner.plan(compiled.child, env, when=True)
         else:
-            plan = planner.plan(compiled, self._relations)
-        return plan.execute(self._relations)
+            plan = planner.plan(compiled, env)
+        return QueryResult(plan.execute(env), plan)
 
-    def explain(self, source: str, analyze: bool = False,
+    def explain(self, source,
+                params: Optional[Mapping[str, Any]] = None, *,
+                analyze: bool = False,
                 optimize: bool = True) -> PlanExplanation:
         """EXPLAIN an HRQL query against the catalog.
 
         Equivalent to :meth:`query` on ``EXPLAIN [ANALYZE] <source>``,
         as a programmatic API. *source* may itself be an
-        ``EXPLAIN [ANALYZE]`` statement; its ``ANALYZE`` flag is
-        honored alongside the *analyze* argument.
+        ``EXPLAIN [ANALYZE]`` statement (its ``ANALYZE`` flag is
+        honored alongside the *analyze* argument) or an already-parsed
+        statement AST. *params* binds ``:name`` parameters.
         """
-        compiled = compile_query(parse_hrql(source))
+        statement = parse_hrql(source) if isinstance(source, str) else source
+        compiled = compile_query(statement, params)
         if isinstance(compiled, ExplainQuery):
             analyze = analyze or compiled.analyze
             compiled = compiled.child
         planner = Planner(normalize=optimize)
+        env = self._env()
         if isinstance(compiled, WhenQuery):
-            return explain_plan(compiled.child, self._relations,
+            return explain_plan(compiled.child, env,
                                 when=True, analyze=analyze, planner=planner)
-        return explain_plan(compiled, self._relations,
+        return explain_plan(compiled, env,
                             analyze=analyze, planner=planner)
 
-    # -- convenience -------------------------------------------------------------------
+    def prepare(self, source: str) -> PreparedQuery:
+        """Parse an HRQL query once, for repeated parameterized runs.
+
+        The returned :class:`~repro.database.prepared.PreparedQuery`
+        caches the parsed statement and its normalized algebra form per
+        binding, so each execution only re-translates and re-costs —
+        see :meth:`PreparedQuery.query`.
+
+        >>> ready = db.prepare("SELECT IF SALARY >= :min IN EMP")  # doctest: +SKIP
+        >>> ready.query({"min": 30_000}).rows()                    # doctest: +SKIP
+        """
+        return PreparedQuery(self, source)
+
+    # -- convenience ---------------------------------------------------------
 
     @property
     def now(self) -> int:
@@ -313,7 +402,8 @@ class HistoricalDatabase:
     def snapshot(self, time: Optional[int] = None) -> dict[str, list[dict]]:
         """The classical view of the whole database at one chronon."""
         at = self.now if time is None else time
-        return {name: rel.snapshot(at) for name, rel in self._relations.items()}
+        return {name: backend.source().snapshot(at)
+                for name, backend in self._backends.items()}
 
     def __repr__(self) -> str:
         return f"HistoricalDatabase({self.name!r}, {len(self)} relations)"

@@ -1,0 +1,125 @@
+"""Prepared queries — parse once, bind and re-plan cheaply per run.
+
+A :class:`PreparedQuery` splits query processing along the boundary of
+what depends on the parameter bindings:
+
+* **parse** — done once, at :meth:`HistoricalDatabase.prepare` time;
+* **bind + compile + normalize** — per distinct binding; the Section 5
+  rewrite fixpoint is the expensive planning phase and its result is
+  cached per binding (the rewrite laws are structural, so the same
+  binding always normalizes the same way);
+* **translate + cost** — per execution when the catalog has changed
+  since the plan was cached (statistics move, and a bound key value
+  can switch the access path between scan and key lookup); done via
+  :meth:`repro.planner.planner.Planner.plan_normalized`, which skips
+  the rewrite.
+
+Plans are cached keyed on (binding, catalog version, optimize flag),
+so the hot path of a repeated parameterized query — same binding, no
+intervening writes — is a dictionary hit plus execution.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Mapping, Optional, Tuple
+
+from repro.algebra.rewriter import rewrite
+from repro.core.errors import QueryError
+from repro.database.result import QueryResult
+from repro.planner.executor import execute
+from repro.planner.explain import PlanExplanation
+from repro.planner.plan import Plan
+from repro.planner.planner import Planner
+from repro.query import ast_nodes as ast
+from repro.query.compiler import Compiled, WhenQuery, compile_query
+from repro.query.parser import parse as parse_hrql
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.database.database import HistoricalDatabase
+
+
+class PreparedQuery:
+    """One parsed HRQL query, executable repeatedly with fresh bindings."""
+
+    def __init__(self, db: "HistoricalDatabase", source: str):
+        self._db = db
+        self.source = source
+        self._ast = parse_hrql(source)
+        if isinstance(self._ast, ast.ExplainNode):
+            raise QueryError(
+                "prepare the plain query and call .explain() on it instead "
+                "of preparing an EXPLAIN statement"
+            )
+        #: The ``:name`` parameters the query expects, in first-use order.
+        self.param_names: Tuple[str, ...] = ast.parameters(self._ast)
+        # binding key -> (compiled, normalized child expr, when-flag)
+        self._compiled: dict = {}
+        # (binding key, optimize) -> plan, valid at _plan_version only
+        self._plans: dict = {}
+        self._plan_version = -1
+
+    # -- execution ---------------------------------------------------------
+
+    def query(self, params: Optional[Mapping[str, Any]] = None, *,
+              optimize: bool = True) -> QueryResult:
+        """Bind, plan (or reuse a cached plan), execute; typed result."""
+        plan, _ = self._plan(params, optimize)
+        result = plan.execute(self._db._env())
+        return QueryResult(result, plan)
+
+    def explain(self, params: Optional[Mapping[str, Any]] = None, *,
+                analyze: bool = False,
+                optimize: bool = True) -> PlanExplanation:
+        """The plan this binding would run (optionally executed)."""
+        plan, _ = self._plan(params, optimize)
+        result = None
+        if analyze:
+            result = execute(plan.root, self._db._env(), record=True)
+        return PlanExplanation(plan, analyze, result)
+
+    # -- internals ---------------------------------------------------------
+
+    def _binding_key(self, params: Optional[Mapping[str, Any]]):
+        try:
+            key = tuple(sorted((params or {}).items()))
+            hash(key)
+            return key
+        except TypeError:  # unorderable / unhashable values: don't cache
+            return None
+
+    def _plan(self, params: Optional[Mapping[str, Any]],
+              optimize: bool) -> tuple[Plan, bool]:
+        key = self._binding_key(params)
+        version = self._db._version
+        if version != self._plan_version:
+            self._plans.clear()
+            self._plan_version = version
+        if key is not None and (key, optimize) in self._plans:
+            plan, when = self._plans[(key, optimize)]
+            return plan, when
+        logical, normalized, when = self._normalized(key, params, optimize)
+        planner = Planner(normalize=False)
+        plan = planner.plan_normalized(normalized, self._db._env(),
+                                       when=when, logical=logical)
+        if key is not None:
+            self._plans[(key, optimize)] = (plan, when)
+        return plan, when
+
+    def _normalized(self, key, params: Optional[Mapping[str, Any]],
+                    optimize: bool):
+        """The bound query's (logical, normalized) expressions (cached)."""
+        if key is not None and (key, optimize) in self._compiled:
+            return self._compiled[(key, optimize)]
+        compiled: Compiled = compile_query(self._ast, params)
+        if isinstance(compiled, WhenQuery):
+            logical, when = compiled.child, True
+        else:
+            logical, when = compiled, False
+        normalized = rewrite(logical) if optimize else logical
+        if key is not None:
+            self._compiled[(key, optimize)] = (logical, normalized, when)
+        return logical, normalized, when
+
+    def __repr__(self) -> str:
+        names = ", ".join(f":{n}" for n in self.param_names) or "no parameters"
+        return f"PreparedQuery({self.source!r}, {names})"

@@ -1,0 +1,236 @@
+"""Transactional sessions — buffered mutations with deferred checking.
+
+:class:`Transaction` gives :class:`HistoricalDatabase` its bulk path.
+The direct mutation methods re-check every registered constraint after
+every call and rebuild the touched relation per call — correct, but
+quadratic for a bulk load. A transaction instead:
+
+* **buffers** inserts / updates / terminates / reincarnates / schema
+  evolutions in a per-relation overlay (reads through the transaction
+  see their own writes);
+* at commit, applies each relation's batch in **one**
+  :meth:`~repro.core.relation.HistoricalRelation.with_tuples` pass (or
+  one storage-engine batch for disk-backed relations);
+* runs the constraint sweep **once**, over the fully applied state;
+* on any failure — constraint violation included — calls the
+  backends' undo closures in reverse order, leaving the catalog
+  exactly as it was when the transaction began.
+
+Usage::
+
+    with db.transaction() as txn:
+        for row in feed:
+            txn.insert("EMP", row.lifespan, row.values)
+    # committed here; or roll back by raising / calling txn.rollback()
+
+A transaction is single-shot: once committed or rolled back it refuses
+further operations. Queries through ``db.query`` keep seeing the
+committed state until commit (the buffered view is private to the
+transaction).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, Mapping, Optional
+
+from repro.core.errors import RelationError, TransactionError
+from repro.core.lifespan import Lifespan
+from repro.core.relation import HistoricalRelation
+from repro.core.scheme import RelationScheme
+from repro.core.tuples import HistoricalTuple
+from repro.database import mutations
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.database.database import HistoricalDatabase
+
+
+class _PendingRelation:
+    """One relation's buffered view inside a transaction.
+
+    ``overlay`` maps keys to their pending tuple values; ``replaced``
+    holds a full replacement relation once a schema evolution has been
+    buffered (evolution re-homes *every* tuple, so from that point the
+    pending state is a whole new relation value plus later overlay
+    entries on the evolved scheme).
+    """
+
+    def __init__(self, backend) -> None:
+        self.backend = backend
+        self.scheme: RelationScheme = backend.scheme
+        self.overlay: Dict[tuple, HistoricalTuple] = {}
+        self.replaced: Optional[HistoricalRelation] = None
+
+    def get(self, key: tuple) -> Optional[HistoricalTuple]:
+        if key in self.overlay:
+            return self.overlay[key]
+        if self.replaced is not None:
+            return self.replaced.get(*key)
+        return self.backend.get(*key)
+
+    def put(self, t: HistoricalTuple) -> None:
+        self.overlay[t.key_value()] = t
+
+    def current_tuples(self) -> list[HistoricalTuple]:
+        """Every tuple as the transaction currently sees the relation."""
+        merged: Dict[tuple, HistoricalTuple] = {}
+        base = self.replaced if self.replaced is not None else self.backend.source()
+        for t in base:
+            merged[t.key_value()] = t
+        merged.update(self.overlay)
+        return list(merged.values())
+
+    def evolve(self, new_scheme: RelationScheme, name: str) -> None:
+        rehomed = mutations.rehome(self.current_tuples(), new_scheme, name)
+        self.replaced = HistoricalRelation(new_scheme, rehomed)
+        self.scheme = new_scheme
+        self.overlay.clear()
+
+
+class Transaction:
+    """A buffered, atomically-committed mutation session."""
+
+    def __init__(self, db: "HistoricalDatabase") -> None:
+        self._db = db
+        self._pending: Dict[str, _PendingRelation] = {}
+        self._state = "active"
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        """"active", "committed", or "rolled-back"."""
+        return self._state
+
+    def __enter__(self) -> "Transaction":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is not None:
+            if self._state == "active":
+                self.rollback()
+            return False  # propagate the exception
+        if self._state == "active":
+            self.commit()
+        return False
+
+    def commit(self) -> None:
+        """Apply every buffered change atomically.
+
+        Each touched relation gets one batched write; the registered
+        constraints run once over the fully applied state. Any error
+        restores every relation (in reverse application order) and
+        re-raises — the catalog is untouched.
+        """
+        self._ensure_active()
+        db = self._db
+        undos = []
+        try:
+            for name, pending in self._pending.items():
+                backend = db._backend(name)
+                if pending.replaced is not None:
+                    final = pending.replaced.with_tuples(pending.overlay.values())
+                    undos.append(backend.install(final))
+                elif pending.overlay:
+                    undos.append(backend.apply(pending.overlay))
+            db._check_constraints()
+        except BaseException:
+            for undo in reversed(undos):
+                undo()
+            self._pending.clear()
+            self._state = "rolled-back"
+            raise
+        if undos:
+            db._version += 1
+        self._pending.clear()
+        self._state = "committed"
+
+    def rollback(self) -> None:
+        """Discard every buffered change; the catalog was never touched."""
+        self._ensure_active()
+        self._pending.clear()
+        self._state = "rolled-back"
+
+    def _ensure_active(self) -> None:
+        if self._state != "active":
+            raise TransactionError(f"transaction already {self._state}")
+
+    # -- buffered reads ----------------------------------------------------
+
+    def get(self, name: str, *key: Any) -> Optional[HistoricalTuple]:
+        """The tuple with *key* as this transaction sees it (reads its
+        own buffered writes)."""
+        self._ensure_active()
+        return self._touch(name).get(tuple(key))
+
+    def scheme(self, name: str) -> RelationScheme:
+        """The (possibly already evolved) scheme as the transaction sees it."""
+        self._ensure_active()
+        return self._touch(name).scheme
+
+    # -- buffered mutations ------------------------------------------------
+
+    def insert(self, name: str, lifespan: Lifespan,
+               values: Mapping[str, Any]) -> HistoricalTuple:
+        """Buffer an object's *birth* (see ``HistoricalDatabase.insert``)."""
+        pending = self._mutable(name)
+        t = mutations.build_insert(pending.scheme, lifespan, values,
+                                   pending.get, name)
+        pending.put(t)
+        return t
+
+    def terminate(self, name: str, key: tuple, at: int) -> HistoricalTuple:
+        """Buffer an object's *death* (see ``HistoricalDatabase.terminate``)."""
+        pending = self._mutable(name)
+        t = mutations.build_terminate(self._existing(pending, name, key), at)
+        pending.put(t)
+        return t
+
+    def reincarnate(self, name: str, key: tuple, lifespan: Lifespan,
+                    values: Mapping[str, Any]) -> HistoricalTuple:
+        """Buffer a *rebirth* (see ``HistoricalDatabase.reincarnate``)."""
+        pending = self._mutable(name)
+        merged = mutations.build_reincarnate(
+            pending.scheme, self._existing(pending, name, key), lifespan, values
+        )
+        pending.put(merged)
+        return merged
+
+    def update(self, name: str, key: tuple, at: int,
+               changes: Mapping[str, Any]) -> HistoricalTuple:
+        """Buffer new values from *at* on (see ``HistoricalDatabase.update``)."""
+        pending = self._mutable(name)
+        updated = mutations.build_update(
+            pending.scheme, self._existing(pending, name, key), at, changes
+        )
+        pending.put(updated)
+        return updated
+
+    def evolve_scheme(self, name: str, new_scheme: RelationScheme) -> None:
+        """Buffer a schema evolution, re-homing the buffered view.
+
+        Later buffered mutations in the same transaction operate on the
+        evolved scheme.
+        """
+        self._mutable(name).evolve(new_scheme, name)
+
+    # -- helpers -----------------------------------------------------------
+
+    def _touch(self, name: str) -> _PendingRelation:
+        if name not in self._pending:
+            self._pending[name] = _PendingRelation(self._db._backend(name))
+        return self._pending[name]
+
+    def _mutable(self, name: str) -> _PendingRelation:
+        self._ensure_active()
+        return self._touch(name)
+
+    def _existing(self, pending: _PendingRelation, name: str,
+                  key: tuple) -> HistoricalTuple:
+        t = pending.get(tuple(key))
+        if t is None:
+            raise RelationError(f"no tuple with key {tuple(key)!r} in {name!r}")
+        return t
+
+    def __repr__(self) -> str:
+        touched = ", ".join(sorted(self._pending)) or "nothing"
+        return f"Transaction({self._state}, buffering {touched})"

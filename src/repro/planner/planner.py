@@ -74,13 +74,35 @@ class Planner:
         """
         started = time.perf_counter()
         normalized = rewrite(expr, self.rules) if self.normalize else expr
+        return self._finish(expr, normalized, env, when, started)
+
+    def plan_normalized(self, normalized: E.Expr, env: Env,
+                        when: bool = False,
+                        logical: Optional[E.Expr] = None) -> P.Plan:
+        """Plan an expression that is already in normal form.
+
+        Skips the Section 5 rewrite fixpoint — the expensive,
+        binding-independent phase of planning — and goes straight to
+        translation and costing (which *are* binding- and
+        statistics-dependent: a freshly bound key value can turn a scan
+        into a key lookup, and new data changes the access-path
+        choice). This is how a prepared statement re-plans cheaply per
+        execution: normalize once at prepare time, translate + cost per
+        binding.
+        """
+        started = time.perf_counter()
+        logical = normalized if logical is None else logical
+        return self._finish(logical, normalized, env, when, started)
+
+    def _finish(self, logical: E.Expr, normalized: E.Expr, env: Env,
+                when: bool, started: float) -> P.Plan:
         stats_env, key_env = self._collect_stats(normalized, env)
         root = self._translate(normalized, env, stats_env)
         if when:
             root = P.WhenOp(root)
         cost.annotate(root, stats_env, key_env)
         planning_ms = (time.perf_counter() - started) * 1000.0
-        return P.Plan(root, expr, normalized, planning_ms)
+        return P.Plan(root, logical, normalized, planning_ms)
 
     # -- statistics ------------------------------------------------------
 

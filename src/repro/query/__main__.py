@@ -1,19 +1,23 @@
 """An interactive HRQL shell: ``python -m repro.query``.
 
-Loads the demo personnel workload (relation ``EMP``) and reads HRQL
-queries from stdin, printing relations as timeline-annotated tables and
-lifespans directly. A minimal but real entry point for exploring the
-model without writing a script.
+Loads the demo personnel workload (relation ``EMP``) into a
+:class:`~repro.database.HistoricalDatabase` and reads HRQL queries from
+stdin, printing relations as timeline-annotated tables, lifespans
+directly, and ``EXPLAIN`` plans as trees. Queries may use ``:name``
+bind parameters, set with ``\\set``.
 
 Commands::
 
     \\relations           list loaded relations
     \\timelines NAME      draw the per-tuple lifespans of a relation
+    \\set NAME VALUE      bind a session parameter (int, float, or 'str')
+    \\params              show the session parameter bindings
     \\quit                exit
 
 Anything else is parsed as an HRQL query, e.g.::
 
     SELECT WHEN SALARY >= 60000 IN EMP
+    SELECT WHEN SALARY >= :min IN EMP     -- after \\set min 60000
     WHEN (SELECT WHEN DEPT = 'Toys' IN EMP)
     EXPLAIN ANALYZE TIMESLICE EMP TO [10, 20]
 """
@@ -21,30 +25,41 @@ Anything else is parsed as an HRQL query, e.g.::
 from __future__ import annotations
 
 import sys
+from typing import Any, Optional
 
 from repro.core.errors import HRDMError
 from repro.core.lifespan import Lifespan
 from repro.core.relation import HistoricalRelation
+from repro.database import HistoricalDatabase, QueryResult
 from repro.planner.explain import PlanExplanation
-from repro.query.compiler import run
+from repro.query import ast_nodes as ast
+from repro.query.parser import parse
 from repro.render import relation_table, relation_timelines
 from repro.workloads import PersonnelConfig, generate_personnel
 
 BANNER = """\
 HRDM / HRQL shell — demo relation: EMP(NAME*, SALARY, DEPT), months 0..120
-Type an HRQL query, \\relations, \\timelines EMP, or \\quit.
+Type an HRQL query (\\set binds :name parameters), \\relations,
+\\timelines EMP, or \\quit.
 """
 
 MAX_TABLE_ROWS = 40
 
 
-def default_environment() -> dict[str, HistoricalRelation]:
+def default_environment() -> HistoricalDatabase:
     """The demo environment: one generated personnel relation."""
-    return {"EMP": generate_personnel(PersonnelConfig(n_employees=20, seed=7))}
+    db = HistoricalDatabase("demo")
+    emp = generate_personnel(PersonnelConfig(n_employees=20, seed=7))
+    db.create_relation(emp.scheme, emp.tuples)
+    return db
 
 
-def format_result(result: HistoricalRelation | Lifespan | PlanExplanation) -> str:
+def format_result(
+    result: QueryResult | HistoricalRelation | Lifespan | PlanExplanation,
+) -> str:
     """Render a query result for the terminal."""
+    if isinstance(result, QueryResult):
+        result = result.value
     if isinstance(result, PlanExplanation):
         return result.text
     if isinstance(result, Lifespan):
@@ -58,8 +73,28 @@ def format_result(result: HistoricalRelation | Lifespan | PlanExplanation) -> st
     return "\n".join([summary, *lines])
 
 
-def execute(line: str, env: dict[str, HistoricalRelation]) -> str:
-    """Run one shell line and return the printable response."""
+def _parse_value(text: str) -> Any:
+    """A \\set value: 'quoted' string, int, or float."""
+    if len(text) >= 2 and text[0] == text[-1] == "'":
+        return text[1:-1]
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        return text
+
+
+def execute(line: str, env: HistoricalDatabase,
+            params: Optional[dict[str, Any]] = None) -> str:
+    """Run one shell line and return the printable response.
+
+    *params* holds the session's ``\\set`` bindings; queries consume
+    only the bindings they actually reference.
+    """
+    params = params if params is not None else {}
     stripped = line.strip()
     if not stripped:
         return ""
@@ -67,17 +102,34 @@ def execute(line: str, env: dict[str, HistoricalRelation]) -> str:
         raise EOFError
     if stripped == "\\relations":
         return "\n".join(
-            f"  {name}: {len(rel)} tuples, LS = {rel.lifespan()}"
-            for name, rel in env.items()
+            f"  {name}: {len(env[name])} tuples, LS = {env[name].lifespan()} "
+            f"[{env.storage(name)}]"
+            for name in env
         )
     if stripped.startswith("\\timelines"):
         parts = stripped.split()
         name = parts[1] if len(parts) > 1 else "EMP"
         if name not in env:
             return f"no relation named {name!r}"
-        return relation_timelines(env[name], width=60)
+        relation = env[name]
+        if not isinstance(relation, HistoricalRelation):
+            relation = relation.to_relation()
+        return relation_timelines(relation, width=60)
+    if stripped == "\\params":
+        if not params:
+            return "no session parameters; \\set NAME VALUE to bind one"
+        return "\n".join(f"  :{k} = {v!r}" for k, v in sorted(params.items()))
+    if stripped.startswith("\\set"):
+        parts = stripped.split(maxsplit=2)
+        if len(parts) < 3:
+            return "usage: \\set NAME VALUE"
+        params[parts[1].lstrip(":")] = _parse_value(parts[2])
+        return f":{parts[1].lstrip(':')} bound"
     try:
-        return format_result(run(stripped, env, optimize=True))
+        statement = parse(stripped)
+        needed = ast.parameters(statement)
+        bindings = {name: params[name] for name in needed if name in params}
+        return format_result(env.query(statement, bindings or None))
     except HRDMError as exc:
         return f"error: {exc}"
 
@@ -85,6 +137,7 @@ def execute(line: str, env: dict[str, HistoricalRelation]) -> str:
 def main(argv: list[str] | None = None) -> int:
     del argv
     env = default_environment()
+    params: dict[str, Any] = {}
     print(BANNER)
     while True:
         try:
@@ -93,7 +146,7 @@ def main(argv: list[str] | None = None) -> int:
             print()
             return 0
         try:
-            response = execute(line, env)
+            response = execute(line, env, params)
         except EOFError:
             return 0
         if response:

@@ -12,16 +12,33 @@ from dataclasses import dataclass
 from typing import Optional, Tuple, Union
 
 
+# -- parameters --------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Parameter:
+    """``:name`` — a bind parameter standing in for a literal.
+
+    Parameters may appear wherever a literal may: on the right-hand
+    side of a comparison and as interval endpoints in lifespan
+    literals. They are resolved at compile (bind) time from the
+    ``params`` mapping, so one parsed statement can be re-planned
+    cheaply under different bindings.
+    """
+
+    name: str
+
+
 # -- predicate AST -----------------------------------------------------------
 
 
 @dataclass(frozen=True)
 class Comparison:
-    """``ATTR θ literal`` or ``ATTR θ ATTR``."""
+    """``ATTR θ literal``, ``ATTR θ :param``, or ``ATTR θ ATTR``."""
 
     attribute: str
     theta: str
-    rhs: Union[int, float, str]
+    rhs: Union[int, float, str, Parameter]
     rhs_is_attribute: bool = False
 
 
@@ -46,11 +63,19 @@ PredicateNode = Union[Comparison, BoolOp, Negation]
 # -- lifespan AST ---------------------------------------------------------------
 
 
+#: An interval endpoint: a chronon literal or a bind parameter.
+Endpoint = Union[int, Parameter]
+
+
 @dataclass(frozen=True)
 class LifespanLiteral:
-    """``[lo, hi], [lo, hi], ...`` or the keyword ``ALWAYS``."""
+    """``[lo, hi], [lo, hi], ...`` or the keyword ``ALWAYS``.
 
-    intervals: Tuple[Tuple[int, int], ...]
+    Endpoints may be bind parameters (``[:lo, :hi]``), resolved when
+    the statement is compiled with a ``params`` mapping.
+    """
+
+    intervals: Tuple[Tuple[Endpoint, Endpoint], ...]
     always: bool = False
 
 
@@ -163,3 +188,30 @@ QueryNode = Union[
 
 #: A full statement: a query, optionally wrapped in EXPLAIN.
 Statement = Union[QueryNode, ExplainNode]
+
+
+def parameters(node: object) -> Tuple[str, ...]:
+    """The names of the bind parameters in *node*, in first-use order.
+
+    Walks the whole statement tree (predicates, lifespan literals,
+    nested queries) and returns each distinct ``:name`` once.
+
+    >>> from repro.query.parser import parse
+    >>> parameters(parse("SELECT WHEN SALARY >= :min DURING [:lo, 59] IN EMP"))
+    ('min', 'lo')
+    """
+    found: list[str] = []
+
+    def visit(value: object) -> None:
+        if isinstance(value, Parameter):
+            if value.name not in found:
+                found.append(value.name)
+        elif isinstance(value, tuple):
+            for item in value:
+                visit(item)
+        elif hasattr(value, "__dataclass_fields__"):
+            for field in value.__dataclass_fields__:
+                visit(getattr(value, field))
+
+    visit(node)
+    return tuple(found)

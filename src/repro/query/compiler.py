@@ -6,19 +6,26 @@
 algebra's second sort), or an :class:`ExplainQuery` wrapper (top-level
 ``EXPLAIN`` — a rendered plan). :func:`run` parses, compiles,
 optionally rewrites (the Section 5 laws), and evaluates in one call.
+
+Bind parameters (``:name`` in the surface syntax) are resolved here:
+``compile_query(ast, params={"min": 30_000})`` substitutes each
+:class:`~repro.query.ast_nodes.Parameter` with its bound value, so the
+parsed statement itself stays reusable — prepare once, bind and plan
+per execution. A missing, unused, or ill-typed binding raises
+:class:`~repro.core.errors.BindError`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping, Union
+from typing import Any, Mapping, Optional, Union
 
 from repro.algebra.when import when as when_fn
 from repro.algebra import expr as E
 from repro.algebra.predicates import And, AttrOp, AttrRef, Not, Or, Predicate
 from repro.algebra.rewriter import rewrite
 from repro.algebra.select import EXISTS, FORALL
-from repro.core.errors import CompileError
+from repro.core.errors import BindError, CompileError
 from repro.core.lifespan import ALWAYS, Lifespan
 from repro.core.relation import HistoricalRelation
 from repro.planner.explain import PlanExplanation, explain as explain_fn
@@ -62,26 +69,79 @@ class ExplainQuery:
 Compiled = Union[E.Expr, WhenQuery, ExplainQuery]
 
 
-def compile_predicate(node: ast.PredicateNode) -> Predicate:
+class _Binder:
+    """Resolves :class:`~repro.query.ast_nodes.Parameter` nodes.
+
+    Tracks which bindings were consumed so a typo'd extra binding is an
+    error rather than a silent no-op.
+    """
+
+    def __init__(self, params: Optional[Mapping[str, Any]]):
+        self._params = dict(params) if params else {}
+        self._used: set[str] = set()
+
+    def resolve(self, parameter: ast.Parameter) -> Any:
+        try:
+            value = self._params[parameter.name]
+        except KeyError:
+            raise BindError(
+                f"parameter :{parameter.name} is not bound; "
+                f"pass params={{{parameter.name!r}: ...}}"
+            ) from None
+        self._used.add(parameter.name)
+        return value
+
+    def resolve_chronon(self, parameter: ast.Parameter) -> int:
+        value = self.resolve(parameter)
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise BindError(
+                f"interval endpoint :{parameter.name} must bind an integer "
+                f"chronon, got {value!r}"
+            )
+        return value
+
+    def finish(self) -> None:
+        unused = sorted(set(self._params) - self._used)
+        if unused:
+            names = ", ".join(f":{name}" for name in unused)
+            raise BindError(f"unknown parameter(s) {names} not used by the query")
+
+
+def compile_predicate(node: ast.PredicateNode,
+                      binder: Optional[_Binder] = None) -> Predicate:
     """Map a predicate AST onto the algebra's predicate language."""
+    binder = binder or _Binder(None)
     if isinstance(node, ast.Comparison):
-        rhs = AttrRef(node.rhs) if node.rhs_is_attribute else node.rhs
+        if node.rhs_is_attribute:
+            rhs: Any = AttrRef(node.rhs)
+        elif isinstance(node.rhs, ast.Parameter):
+            rhs = binder.resolve(node.rhs)
+        else:
+            rhs = node.rhs
         return AttrOp(node.attribute, node.theta, rhs)
     if isinstance(node, ast.BoolOp):
-        parts = tuple(compile_predicate(p) for p in node.parts)
+        parts = tuple(compile_predicate(p, binder) for p in node.parts)
         return And(*parts) if node.op == "and" else Or(*parts)
     if isinstance(node, ast.Negation):
-        return Not(compile_predicate(node.inner))
+        return Not(compile_predicate(node.inner, binder))
     raise CompileError(f"unknown predicate node {node!r}")
 
 
-def compile_lifespan(node: ast.LifespanLiteral | None) -> Lifespan | None:
+def compile_lifespan(node: ast.LifespanLiteral | None,
+                     binder: Optional[_Binder] = None) -> Lifespan | None:
     """Map a lifespan literal; None stays None (meaning 'unbounded')."""
     if node is None:
         return None
     if node.always:
         return ALWAYS
-    return Lifespan(*node.intervals)
+    binder = binder or _Binder(None)
+
+    def chronon(endpoint: ast.Endpoint) -> int:
+        if isinstance(endpoint, ast.Parameter):
+            return binder.resolve_chronon(endpoint)
+        return endpoint
+
+    return Lifespan(*((chronon(lo), chronon(hi)) for lo, hi in node.intervals))
 
 
 _SETOP_NODES = {
@@ -95,48 +155,63 @@ _SETOP_NODES = {
 }
 
 
-def compile_query(node: ast.Statement) -> Compiled:
-    """Map a query AST onto the algebra expression tree."""
+def compile_query(node: ast.Statement,
+                  params: Optional[Mapping[str, Any]] = None) -> Compiled:
+    """Map a query AST onto the algebra expression tree.
+
+    *params* binds the statement's ``:name`` parameters; every
+    parameter must be bound and every binding must be used
+    (:class:`~repro.core.errors.BindError` otherwise).
+    """
+    binder = _Binder(params)
+    compiled = _compile_statement(node, binder)
+    binder.finish()
+    return compiled
+
+
+def _compile_statement(node: ast.Statement, binder: _Binder) -> Compiled:
     if isinstance(node, ast.ExplainNode):
         inner = node.child
         if isinstance(inner, ast.ExplainNode):
             raise CompileError("EXPLAIN cannot be nested")
-        return ExplainQuery(compile_query(inner), node.analyze)
+        return ExplainQuery(_compile_statement(inner, binder), node.analyze)
     if isinstance(node, ast.WhenNode):
-        return WhenQuery(_compile_relational(node.child))
-    return _compile_relational(node)
+        return WhenQuery(_compile_relational(node.child, binder))
+    return _compile_relational(node, binder)
 
 
-def _compile_relational(node: ast.QueryNode) -> E.Expr:
+def _compile_relational(node: ast.QueryNode, binder: _Binder) -> E.Expr:
     if isinstance(node, ast.RelationRef):
         return E.Rel(node.name)
     if isinstance(node, ast.SelectNode):
-        child = _compile_relational(node.child)
-        predicate = compile_predicate(node.predicate)
-        bound = compile_lifespan(node.during)
+        child = _compile_relational(node.child, binder)
+        predicate = compile_predicate(node.predicate, binder)
+        bound = compile_lifespan(node.during, binder)
         if node.flavor == "if":
             quantifier = FORALL if node.quantifier == "forall" else EXISTS
             return E.SelectIf(child, predicate, quantifier, bound)
         return E.SelectWhen(child, predicate, bound)
     if isinstance(node, ast.ProjectNode):
-        return E.Project(_compile_relational(node.child), node.attributes)
+        return E.Project(_compile_relational(node.child, binder), node.attributes)
     if isinstance(node, ast.RenameNode):
-        return E.Rename(_compile_relational(node.child), node.mapping)
+        return E.Rename(_compile_relational(node.child, binder), node.mapping)
     if isinstance(node, ast.TimeSliceNode):
-        lifespan = compile_lifespan(node.lifespan)
+        lifespan = compile_lifespan(node.lifespan, binder)
         assert lifespan is not None
-        return E.TimeSlice(_compile_relational(node.child), lifespan)
+        return E.TimeSlice(_compile_relational(node.child, binder), lifespan)
     if isinstance(node, ast.DynamicTimeSliceNode):
-        return E.DynamicTimeSlice(_compile_relational(node.child), node.attribute)
+        return E.DynamicTimeSlice(_compile_relational(node.child, binder),
+                                  node.attribute)
     if isinstance(node, ast.SetOpNode):
         try:
             ctor = _SETOP_NODES[node.op]
         except KeyError:
             raise CompileError(f"unknown set operator {node.op!r}") from None
-        return ctor(_compile_relational(node.left), _compile_relational(node.right))
+        return ctor(_compile_relational(node.left, binder),
+                    _compile_relational(node.right, binder))
     if isinstance(node, ast.JoinNode):
-        left = _compile_relational(node.left)
-        right = _compile_relational(node.right)
+        left = _compile_relational(node.left, binder)
+        right = _compile_relational(node.right, binder)
         if node.kind == "theta":
             assert node.left_attr and node.theta and node.right_attr
             return E.ThetaJoin(left, right, node.left_attr, node.theta, node.right_attr)
@@ -152,7 +227,8 @@ def _compile_relational(node: ast.QueryNode) -> E.Expr:
 
 
 def run(source: str, env: Mapping[str, HistoricalRelation],
-        optimize: bool = False) -> HistoricalRelation | Lifespan | PlanExplanation:
+        optimize: bool = False, params: Optional[Mapping[str, Any]] = None
+        ) -> HistoricalRelation | Lifespan | PlanExplanation:
     """Parse, compile, optionally rewrite, and evaluate an HRQL statement.
 
     ``EXPLAIN [ANALYZE]`` statements return a
@@ -161,10 +237,12 @@ def run(source: str, env: Mapping[str, HistoricalRelation],
     top-level ``WHEN``, a lifespan. *optimize* governs Section 5
     normalization uniformly: naive evaluation for plain queries, and
     whether the explained plan is normalized for ``EXPLAIN``.
+    *params* binds ``:name`` parameters in the statement.
 
-    >>> run("SELECT WHEN SALARY >= 30000 IN EMP", {"EMP": emp})  # doctest: +SKIP
+    >>> run("SELECT WHEN SALARY >= :min IN EMP", {"EMP": emp},
+    ...     params={"min": 30_000})                          # doctest: +SKIP
     """
-    compiled = compile_query(parse(source))
+    compiled = compile_query(parse(source), params)
     if isinstance(compiled, ExplainQuery):
         return compiled.evaluate(env, normalize=optimize)
     if isinstance(compiled, WhenQuery):

@@ -19,6 +19,8 @@ def tokenize(source: str) -> list[Token]:
 
     >>> [t.type.name for t in tokenize("SELECT WHEN A = 1 IN r")]
     ['KEYWORD', 'KEYWORD', 'IDENT', 'THETA', 'INT', 'KEYWORD', 'IDENT', 'EOF']
+    >>> [t.type.name for t in tokenize("SALARY >= :min")]
+    ['IDENT', 'THETA', 'PARAM', 'EOF']
     """
     tokens: list[Token] = []
     pos = 0
@@ -62,6 +64,20 @@ def tokenize(source: str) -> list[Token]:
             canonical = "!=" if matched_theta == "<>" else matched_theta
             tokens.append(Token(TokenType.THETA, canonical, start_line, start_col))
             advance(len(matched_theta))
+            continue
+
+        if ch == ":":
+            end = pos + 1
+            while end < n and (source[end].isalnum() or source[end] == "_"):
+                end += 1
+            name = source[pos + 1:end]
+            if not name or not (name[0].isalpha() or name[0] == "_"):
+                raise LexError(
+                    "':' must introduce a named parameter like :min",
+                    pos, start_line, start_col,
+                )
+            tokens.append(Token(TokenType.PARAM, name, start_line, start_col))
+            advance(end - pos)
             continue
 
         if ch == "'":

@@ -22,13 +22,15 @@ Grammar (EBNF; keywords case-insensitive)::
     orpred       := andpred { "OR" andpred }
     andpred      := notpred { "AND" notpred }
     notpred      := "NOT" notpred | "(" predicate ")" | comparison
-    comparison   := IDENT THETA (INT | FLOAT | STRING | IDENT)
+    comparison   := IDENT THETA (INT | FLOAT | STRING | PARAM | IDENT)
     lifespan     := "ALWAYS" | interval { "," interval }
-    interval     := "[" INT "," INT "]"
+    interval     := "[" endpoint "," endpoint "]"
+    endpoint     := INT | PARAM
 
 An identifier on the right-hand side of a comparison denotes *another
 attribute* (the paper's attribute-vs-attribute θ criteria); literals
-denote constants.
+denote constants. ``PARAM`` is a named bind parameter (``:min``),
+resolved when the statement is compiled with a ``params`` mapping.
 """
 
 from __future__ import annotations
@@ -261,6 +263,11 @@ class Parser:
         if rhs_token.type in (TokenType.INT, TokenType.FLOAT, TokenType.STRING):
             self._advance()
             return ast.Comparison(str(attribute), str(theta), rhs_token.value)
+        if rhs_token.type is TokenType.PARAM:
+            self._advance()
+            return ast.Comparison(
+                str(attribute), str(theta), ast.Parameter(str(rhs_token.value))
+            )
         if rhs_token.type is TokenType.IDENT:
             self._advance()
             return ast.Comparison(
@@ -282,13 +289,20 @@ class Parser:
             intervals.append(self._interval())
         return ast.LifespanLiteral(tuple(intervals))
 
-    def _interval(self) -> tuple[int, int]:
+    def _interval(self) -> tuple[ast.Endpoint, ast.Endpoint]:
         self._expect(TokenType.LBRACKET, "'['")
-        lo = self._expect(TokenType.INT, "integer").value
+        lo = self._endpoint()
         self._expect(TokenType.COMMA, "','")
-        hi = self._expect(TokenType.INT, "integer").value
+        hi = self._endpoint()
         self._expect(TokenType.RBRACKET, "']'")
-        return (int(lo), int(hi))  # type: ignore[arg-type]
+        return (lo, hi)
+
+    def _endpoint(self) -> ast.Endpoint:
+        token = self._peek()
+        if token.type is TokenType.PARAM:
+            self._advance()
+            return ast.Parameter(str(token.value))
+        return int(self._expect(TokenType.INT, "integer").value)  # type: ignore[arg-type]
 
 
 def parse(source: str) -> ast.Statement:

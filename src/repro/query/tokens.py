@@ -4,6 +4,7 @@ HRQL is a keyword-oriented surface syntax for the historical algebra,
 so users (and the examples) can write::
 
     SELECT WHEN SALARY >= 30000 IN EMP
+    SELECT WHEN SALARY >= :min IN EMP        -- with a bind parameter
     PROJECT NAME, DEPT FROM (TIMESLICE EMP TO [0, 59])
     EMP NATURAL JOIN MANAGES
     WHEN (SELECT WHEN DEPT = 'Toys' IN EMP)
@@ -26,6 +27,7 @@ class TokenType(Enum):
     STRING = auto()      # 'quoted' string literal
     KEYWORD = auto()     # reserved word (case-insensitive)
     THETA = auto()       # = != < <= > >=
+    PARAM = auto()       # :name — a bind parameter
     COMMA = auto()
     LPAREN = auto()
     RPAREN = auto()

@@ -147,6 +147,36 @@ class StoredRelation:
         """Materialise the stored state as an in-memory relation."""
         return HistoricalRelation(self.scheme, self.scan())
 
+    # -- Relation protocol (repro.core.protocols) --------------------------
+    #
+    # These make a StoredRelation a drop-in catalog citizen next to
+    # HistoricalRelation: the database layer, integrity constraints, and
+    # the planner address both through the same surface.
+
+    def __iter__(self) -> Iterator[HistoricalTuple]:
+        return self.scan()
+
+    def __len__(self) -> int:
+        return len(self._key_index)
+
+    def __bool__(self) -> bool:
+        return len(self._key_index) > 0
+
+    def __contains__(self, item: Any) -> bool:
+        if isinstance(item, HistoricalTuple):
+            return self.get(*item.key_value()) == item
+        if isinstance(item, tuple):
+            return item in self._key_index
+        return False
+
+    def lifespan(self) -> Lifespan:
+        """``LS(r)`` — union of the stored tuple lifespans (via stats)."""
+        return self.statistics().extent
+
+    def snapshot(self, time: int) -> list[dict[str, Any]]:
+        """Alias of :meth:`snapshot_at`, matching ``HistoricalRelation``."""
+        return self.snapshot_at(time)
+
     # -- stats & maintenance ------------------------------------------------------
 
     @property

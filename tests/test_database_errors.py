@@ -1,0 +1,160 @@
+"""Error-path coverage for the database layer.
+
+Each test pins an invariant about what a *failed* operation leaves
+behind: rejected mutations, constraint rollbacks, refused drops, and
+aborted transactions must leave the catalog exactly as it was.
+"""
+
+import pytest
+
+from repro.core import domains as d
+from repro.core.errors import IntegrityError, RelationError
+from repro.core.lifespan import Lifespan
+from repro.core.scheme import RelationScheme
+from repro.database import (
+    Constraint,
+    HistoricalDatabase,
+    NonDecreasing,
+    TemporalForeignKey,
+)
+from repro.database.evolution import remove_attribute
+
+
+@pytest.fixture
+def scheme():
+    return RelationScheme(
+        "EMP",
+        {"NAME": d.cd(d.STRING), "SALARY": d.td(d.INTEGER)},
+        key=["NAME"],
+    )
+
+
+@pytest.fixture(params=["memory", "disk"])
+def db(request, scheme):
+    database = HistoricalDatabase("test")
+    database.create_relation(scheme, storage=request.param)
+    return database
+
+
+class TestMutationErrorPaths:
+    def test_overlapping_reincarnation_rejected(self, db):
+        db.insert("EMP", Lifespan.interval(10, 29), {"NAME": "Ada", "SALARY": 1})
+        with pytest.raises(RelationError, match="overlaps"):
+            db.reincarnate("EMP", ("Ada",), Lifespan.interval(25, 40),
+                           {"NAME": "Ada", "SALARY": 2})
+        # Nothing changed.
+        assert db["EMP"].get("Ada").lifespan == Lifespan.interval(10, 29)
+
+    def test_update_past_attribute_lifespan_rejected(self, db, scheme):
+        db.insert("EMP", Lifespan.interval(0, 30), {"NAME": "Ada", "SALARY": 1})
+        with pytest.raises(RelationError, match="no lifespan at or after"):
+            db.update("EMP", ("Ada",), at=50, changes={"SALARY": 2})
+        assert db["EMP"].get("Ada").at("SALARY", 30) == 1
+
+    def test_terminate_erasing_whole_history_rejected(self, db):
+        db.insert("EMP", Lifespan.interval(10, 60), {"NAME": "Ada", "SALARY": 1})
+        with pytest.raises(RelationError, match="erase the whole history"):
+            db.terminate("EMP", ("Ada",), at=10)
+        assert db["EMP"].get("Ada").lifespan == Lifespan.interval(10, 60)
+
+
+class TestConstraintRollback:
+    def test_rollback_restores_exact_prior_relation_object(self, scheme):
+        db = HistoricalDatabase("test")
+        db.create_relation(scheme)  # memory: identity is observable
+        db.insert("EMP", Lifespan.interval(0, 99), {"NAME": "Ada", "SALARY": 50})
+        db.add_constraint(NonDecreasing("EMP", "SALARY"))
+        before = db["EMP"]
+        with pytest.raises(IntegrityError):
+            db.update("EMP", ("Ada",), at=50, changes={"SALARY": 5})
+        assert db["EMP"] is before
+
+    def test_rollback_on_disk_restores_stored_tuples(self, scheme):
+        db = HistoricalDatabase("test")
+        db.create_relation(scheme, storage="disk")
+        db.insert("EMP", Lifespan.interval(0, 99), {"NAME": "Ada", "SALARY": 50})
+        db.add_constraint(NonDecreasing("EMP", "SALARY"))
+        with pytest.raises(IntegrityError):
+            db.update("EMP", ("Ada",), at=50, changes={"SALARY": 5})
+        assert db["EMP"].get("Ada").at("SALARY", 60) == 50
+        assert len(db["EMP"]) == 1
+
+    def test_violating_create_relation_rolls_back(self, db, scheme):
+        class Never(Constraint):
+            name = "never"
+
+            def check(self, database):
+                if "OTHER" in database:
+                    raise IntegrityError("no OTHER allowed")
+
+        db.add_constraint(Never())
+        other = RelationScheme("OTHER", {"K": d.cd(d.STRING)}, key=["K"])
+        with pytest.raises(IntegrityError):
+            db.create_relation(other)
+        assert "OTHER" not in db
+
+
+class TestEvolveRollback:
+    def test_violating_evolution_leaves_catalog_untouched(self, db, scheme):
+        class SalaryRequired(Constraint):
+            name = "salary_required"
+
+            def check(self, database):
+                if "SALARY" not in database.scheme("EMP"):
+                    raise IntegrityError("EMP must keep SALARY")
+
+        db.insert("EMP", Lifespan.interval(0, 9), {"NAME": "Ada", "SALARY": 1})
+        db.add_constraint(SalaryRequired())
+        before = db["EMP"]
+        with pytest.raises(IntegrityError):
+            db.evolve_scheme("EMP", remove_attribute(scheme, "SALARY"))
+        assert "SALARY" in db.scheme("EMP")
+        assert db["EMP"].get("Ada").at("SALARY", 5) == 1
+        if db.storage("EMP") == "memory":
+            assert db["EMP"] is before
+
+
+class TestDropRelationWithConstraints:
+    def test_drop_referenced_relation_refused(self, db, scheme):
+        enroll = RelationScheme(
+            "ENROLL",
+            {"SID": d.cd(d.STRING), "NAME": d.td(d.STRING)},
+            key=["SID"],
+        )
+        db.create_relation(enroll)
+        db.add_constraint(TemporalForeignKey("ENROLL", ["NAME"], "EMP"))
+        with pytest.raises(RelationError, match="remove the constraint first"):
+            db.drop_relation("EMP")
+        assert "EMP" in db  # restored
+
+    def test_drop_without_constraints_still_works(self, db):
+        db.drop_relation("EMP")
+        assert "EMP" not in db
+
+
+class TestQueryAfterMutations:
+    def test_disk_twin_answers_like_memory(self, scheme):
+        """The acceptance criterion: same ops, same queries, same answers."""
+        mem = HistoricalDatabase("m")
+        disk = HistoricalDatabase("d")
+        mem.create_relation(scheme)
+        disk.create_relation(scheme, storage="disk")
+        for db in (mem, disk):
+            db.insert("EMP", Lifespan.interval(0, 49), {"NAME": "Ada", "SALARY": 10})
+            db.insert("EMP", Lifespan.interval(5, 80), {"NAME": "Bob", "SALARY": 30})
+            db.terminate("EMP", ("Ada",), at=30)
+            db.reincarnate("EMP", ("Ada",), Lifespan.interval(40, 70),
+                           {"NAME": "Ada", "SALARY": 45})
+            db.update("EMP", ("Bob",), at=50, changes={"SALARY": 60})
+        queries = [
+            "SELECT IF SALARY >= 30 IN EMP",
+            "SELECT WHEN SALARY >= 30 IN EMP",
+            "PROJECT NAME FROM EMP",
+            "TIMESLICE EMP TO [20, 45]",
+            "WHEN (SELECT WHEN NAME = 'Ada' IN EMP)",
+        ]
+        for q in queries:
+            assert mem.query(q) == disk.query(q), q
+        by_name = lambda row: row["NAME"]  # snapshots are sets; order free
+        assert (sorted(mem.snapshot(45)["EMP"], key=by_name)
+                == sorted(disk.snapshot(45)["EMP"], key=by_name))

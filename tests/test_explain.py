@@ -124,12 +124,14 @@ class TestDatabaseQuery:
 
     def test_query_returns_lifespan_for_when(self, db):
         out = db.query("WHEN (SELECT WHEN SALARY >= 50000 IN EMP)")
-        assert isinstance(out, Lifespan)
+        assert out.kind == "lifespan"
+        assert isinstance(out.lifespan, Lifespan)
 
     def test_query_handles_explain_statements(self, db):
         out = db.query("EXPLAIN ANALYZE TIMESLICE EMP TO [10, 14]")
-        assert isinstance(out, PlanExplanation)
-        assert out.result is not None
+        assert out.kind == "plan"
+        assert isinstance(out.explanation, PlanExplanation)
+        assert out.explanation.result is not None
 
     def test_explain_method(self, db):
         out = db.explain("TIMESLICE EMP TO [10, 14]")
@@ -154,8 +156,8 @@ class TestDatabaseQuery:
         from repro.algebra import expr as E
 
         assert E.size(raw.plan.normalized) > E.size(normalized.plan.normalized)
-        assert "normalized 3 → 3" in raw.text
-        assert "normalized 3 → 2" in normalized.text
+        assert "normalized 3 → 3" in str(raw)
+        assert "normalized 3 → 2" in str(normalized)
 
 
 class TestShell:

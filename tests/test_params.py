@@ -1,0 +1,203 @@
+"""Tests for HRQL bind parameters and prepared queries.
+
+The property at the heart of the feature: a query executed with a
+binding must equal the same query with the value spliced into the text
+as a literal — parameters change how values arrive, never what the
+query means.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import BindError, QueryError
+from repro.database import HistoricalDatabase, PreparedQuery
+from repro.planner.plan import IntervalScan, KeyLookup
+from repro.query import ast_nodes as ast
+from repro.query.lexer import tokenize
+from repro.query.parser import parse
+from repro.query.tokens import TokenType
+from repro.workloads import PersonnelConfig, generate_personnel
+
+_EMP = generate_personnel(PersonnelConfig(n_employees=30, seed=11))
+
+
+def _database(storage="memory"):
+    db = HistoricalDatabase("co")
+    db.create_relation(_EMP.scheme, _EMP.tuples, storage=storage)
+    return db
+
+
+_DB = _database()
+
+
+class TestLexing:
+    def test_param_token(self):
+        tokens = tokenize("SALARY >= :min_pay")
+        assert tokens[2].type is TokenType.PARAM
+        assert tokens[2].value == "min_pay"
+
+    def test_bare_colon_rejected(self):
+        from repro.core.errors import LexError
+
+        with pytest.raises(LexError):
+            tokenize("SALARY >= :")
+
+    def test_colon_digit_rejected(self):
+        from repro.core.errors import LexError
+
+        with pytest.raises(LexError):
+            tokenize("SALARY >= :1")
+
+
+class TestParsing:
+    def test_comparison_rhs(self):
+        node = parse("SELECT WHEN SALARY >= :min IN EMP")
+        assert node.predicate.rhs == ast.Parameter("min")
+
+    def test_interval_endpoints(self):
+        node = parse("TIMESLICE EMP TO [:lo, :hi]")
+        assert node.lifespan.intervals == ((ast.Parameter("lo"), ast.Parameter("hi")),)
+
+    def test_parameters_collects_in_order_without_duplicates(self):
+        node = parse(
+            "SELECT IF SALARY >= :min AND SALARY <= :max DURING [:lo, :hi] IN "
+            "(SELECT WHEN SALARY >= :min IN EMP)"
+        )
+        assert ast.parameters(node) == ("min", "max", "lo", "hi")
+
+
+class TestBindingErrors:
+    def test_missing_binding(self):
+        with pytest.raises(BindError, match="not bound"):
+            _DB.query("SELECT WHEN SALARY >= :min IN EMP")
+
+    def test_extra_binding(self):
+        with pytest.raises(BindError, match="unknown parameter"):
+            _DB.query("SELECT WHEN SALARY >= :min IN EMP",
+                      {"min": 1, "typo": 2})
+
+    def test_non_integer_chronon(self):
+        with pytest.raises(BindError, match="integer chronon"):
+            _DB.query("TIMESLICE EMP TO [:lo, 9]", {"lo": "early"})
+
+    def test_unparameterized_query_rejects_params(self):
+        with pytest.raises(BindError):
+            _DB.query("SELECT WHEN SALARY >= 1 IN EMP", {"min": 1})
+
+
+class TestBoundEqualsInterpolated:
+    """The acceptance property, over both storage backends."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=0, max_value=120_000))
+    def test_integer_threshold(self, threshold):
+        bound = _DB.query("SELECT WHEN SALARY >= :min IN EMP", {"min": threshold})
+        literal = _DB.query(f"SELECT WHEN SALARY >= {threshold} IN EMP")
+        assert bound == literal
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.sampled_from(["Toys", "Shoes", "Books", "Tools", "Nope"]))
+    def test_string_value(self, dept):
+        bound = _DB.query("SELECT IF DEPT = :dept IN EMP", {"dept": dept})
+        literal = _DB.query(f"SELECT IF DEPT = '{dept}' IN EMP")
+        assert bound == literal
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=100),
+           st.integers(min_value=0, max_value=40))
+    def test_interval_endpoints(self, lo, width):
+        hi = lo + width
+        bound = _DB.query("TIMESLICE EMP TO [:lo, :hi]", {"lo": lo, "hi": hi})
+        literal = _DB.query(f"TIMESLICE EMP TO [{lo}, {hi}]")
+        assert bound == literal
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=0, max_value=120_000))
+    def test_when_lifespan_answer(self, threshold):
+        bound = _DB.query("WHEN (SELECT WHEN SALARY >= :min IN EMP)",
+                          {"min": threshold})
+        literal = _DB.query(f"WHEN (SELECT WHEN SALARY >= {threshold} IN EMP)")
+        assert bound.lifespan == literal.lifespan
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=0, max_value=120_000))
+    def test_same_on_disk_catalog(self, threshold):
+        disk = _database(storage="disk")
+        bound = disk.query("SELECT WHEN SALARY >= :min IN EMP", {"min": threshold})
+        literal = _DB.query(f"SELECT WHEN SALARY >= {threshold} IN EMP")
+        assert bound == literal
+
+
+class TestPlanTimeBinding:
+    def test_bound_key_value_gets_key_lookup(self):
+        name = sorted(t.key_value()[0] for t in _EMP)[0]
+        explanation = _DB.explain("SELECT IF NAME = :who IN EMP", {"who": name})
+        assert any(isinstance(n, KeyLookup)
+                   for n in explanation.plan.root.walk())
+
+    def test_bound_window_gets_interval_scan_on_disk(self):
+        disk = _database(storage="disk")
+        explanation = disk.explain("TIMESLICE EMP TO [:lo, :hi]",
+                                   {"lo": 10, "hi": 12})
+        assert any(isinstance(n, IntervalScan)
+                   for n in explanation.plan.root.walk())
+
+
+class TestPreparedQueries:
+    def test_param_names(self):
+        ready = _DB.prepare("SELECT WHEN SALARY >= :min DURING [:lo, 59] IN EMP")
+        assert isinstance(ready, PreparedQuery)
+        assert ready.param_names == ("min", "lo")
+
+    def test_prepared_equals_direct(self):
+        ready = _DB.prepare("SELECT WHEN SALARY >= :min IN EMP")
+        direct = _DB.query("SELECT WHEN SALARY >= :min IN EMP", {"min": 60_000})
+        assert ready.query({"min": 60_000}) == direct
+
+    def test_plan_reused_for_same_binding(self):
+        ready = _DB.prepare("SELECT WHEN SALARY >= :min IN EMP")
+        first = ready.query({"min": 60_000})
+        second = ready.query({"min": 60_000})
+        assert first.plan is second.plan
+
+    def test_plan_differs_across_bindings(self):
+        ready = _DB.prepare("SELECT WHEN SALARY >= :min IN EMP")
+        a = ready.query({"min": 10_000})
+        b = ready.query({"min": 90_000})
+        assert a.plan is not b.plan
+
+    def test_mutation_invalidates_cached_plan(self):
+        from repro.core.lifespan import Lifespan
+
+        db = _database()
+        ready = db.prepare("SELECT IF SALARY >= :min IN EMP")
+        before = ready.query({"min": 0})
+        db.insert("EMP", Lifespan.interval(0, 9),
+                  {"NAME": "ZNew", "SALARY": 99_999, "DEPT": "Toys"})
+        after = ready.query({"min": 0})
+        assert after.plan is not before.plan
+        assert len(after) == len(before) + 1
+
+    def test_unhashable_binding_skips_cache_and_reports_cleanly(self):
+        ready = _DB.prepare("TIMESLICE EMP TO [:lo, 9]")
+        with pytest.raises(BindError, match="integer chronon"):
+            ready.query({"lo": [1, 2]})
+
+    def test_prepared_explain_reports_true_normalization(self):
+        q = "TIMESLICE (TIMESLICE EMP TO [0, 59]) TO [:lo, :hi]"
+        bindings = {"lo": 10, "hi": 20}
+        direct = _DB.explain(q, bindings)
+        prepared = _DB.prepare(q).explain(bindings)
+        assert "normalized 3 → 2" in direct.text
+        assert "normalized 3 → 2" in prepared.text
+
+    def test_prepare_rejects_explain(self):
+        with pytest.raises(QueryError):
+            _DB.prepare("EXPLAIN SELECT WHEN SALARY >= :min IN EMP")
+
+    def test_prepared_explain(self):
+        ready = _DB.prepare("TIMESLICE EMP TO [:lo, :hi]")
+        explanation = ready.explain({"lo": 5, "hi": 9}, analyze=True)
+        assert explanation.result is not None
+        assert "Slice" in explanation.text

@@ -1,0 +1,87 @@
+"""Tests for the typed QueryResult wrapper."""
+
+import pytest
+
+from repro.core.errors import QueryError
+from repro.core.lifespan import Lifespan
+from repro.database import HistoricalDatabase, QueryResult
+from repro.workloads import PersonnelConfig, generate_personnel
+
+_EMP = generate_personnel(PersonnelConfig(n_employees=12, seed=5))
+
+
+@pytest.fixture(scope="module")
+def db():
+    database = HistoricalDatabase("co")
+    database.create_relation(_EMP.scheme, _EMP.tuples)
+    return database
+
+
+class TestRelationResults:
+    def test_kind_and_accessors(self, db):
+        result = db.query("SELECT IF SALARY >= 0 IN EMP")
+        assert result.kind == "relation"
+        assert result.relation == _EMP
+        assert result.rows() == list(result.relation)
+        assert result.snapshot(10) == result.relation.snapshot(10)
+
+    def test_wrong_kind_raises(self, db):
+        result = db.query("SELECT IF SALARY >= 0 IN EMP")
+        with pytest.raises(QueryError):
+            result.lifespan
+        with pytest.raises(QueryError):
+            result.explanation
+
+    def test_delegation(self, db):
+        result = db.query("SELECT IF SALARY >= 0 IN EMP")
+        assert len(result) == len(_EMP)
+        assert bool(result)
+        assert set(result) == set(_EMP)
+        assert result == _EMP          # against the raw relation
+        assert result == db.query("SELECT IF SALARY >= 0 IN EMP")
+
+    def test_plan_attached(self, db):
+        result = db.query("TIMESLICE EMP TO [0, 9]")
+        assert result.plan.root is not None
+        assert result.plan.est_cost > 0
+
+
+class TestLifespanResults:
+    def test_kind_and_accessor(self, db):
+        result = db.query("WHEN (SELECT IF SALARY >= 0 IN EMP)")
+        assert result.kind == "lifespan"
+        assert isinstance(result.lifespan, Lifespan)
+        assert result.lifespan == _EMP.lifespan()
+
+    def test_relation_accessors_raise(self, db):
+        result = db.query("WHEN (SELECT IF SALARY >= 0 IN EMP)")
+        with pytest.raises(QueryError):
+            result.relation
+        with pytest.raises(QueryError):
+            result.rows()
+
+    def test_delegation(self, db):
+        result = db.query("WHEN (SELECT IF SALARY >= 0 IN EMP)")
+        assert len(result) == len(_EMP.lifespan())
+        assert result == _EMP.lifespan()
+
+
+class TestPlanResults:
+    def test_kind_and_accessors(self, db):
+        result = db.query("EXPLAIN ANALYZE TIMESLICE EMP TO [0, 9]")
+        assert result.kind == "plan"
+        assert result.explanation.analyzed
+        assert result.plan is result.explanation.plan
+        assert "Slice" in str(result)
+
+    def test_no_length_or_iteration(self, db):
+        result = db.query("EXPLAIN TIMESLICE EMP TO [0, 9]")
+        with pytest.raises(QueryError):
+            len(result)
+        with pytest.raises(QueryError):
+            iter(result)
+        assert bool(result)
+
+    def test_rejects_non_result_values(self):
+        with pytest.raises(QueryError):
+            QueryResult(42)
