@@ -1,0 +1,143 @@
+"""WAL — commit throughput per fsync policy, and recovery time.
+
+Two questions a durability subsystem must answer with numbers:
+
+1. **What does an fsync per commit cost?** The same bulk of
+   single-insert commits runs against a durable database under each
+   sync policy: ``"always"`` (fsync per commit), ``"batch"`` (group
+   commit), ``"never"`` (OS-paced). Group commit is the classic
+   throughput lever — the WAL batches many commits per fsync.
+2. **What does recovery cost?** Reopening replays the WAL; the longer
+   the log since the last checkpoint, the longer the replay. The bench
+   reopens databases with growing logs, then shows the checkpoint
+   escape hatch: a checkpointed database reopens from its snapshot
+   (heap pages + persisted indexes) in near-constant time.
+
+Results go to ``benchmarks/results/wal.txt`` and the machine-readable
+trajectory file ``BENCH_wal.json`` at the repo root. Correctness is
+asserted throughout: every recovered catalog equals the state that was
+committed.
+"""
+
+import os
+import time
+
+import pytest
+
+from benchmarks._report import report, report_json
+from repro.database import HistoricalDatabase
+from repro.workloads import PersonnelConfig, generate_personnel
+
+_CFG = PersonnelConfig(n_employees=200, seed=17)
+_REPLAY_SIZES = (50, 200, 800)
+
+
+@pytest.fixture(scope="module")
+def rows():
+    emp = generate_personnel(_CFG)
+    return emp.scheme, [(t.lifespan, {a: t.value(a) for a in emp.scheme.attributes})
+                        for t in emp]
+
+
+def _commit_all(db, rows):
+    for lifespan, values in rows:
+        db.insert("EMP", lifespan, values)
+
+
+def _expected(db):
+    return db["EMP"].to_relation()
+
+
+def test_wal_report(rows, tmp_path):
+    scheme, data = rows
+    table = []
+    payload = {"workload": {"n_employees": _CFG.n_employees, "seed": _CFG.seed,
+                            "commit": "one INSERT per commit"},
+               "commit_throughput": {}, "recovery": {}}
+
+    # -- 1. commit throughput per sync policy ----------------------------
+    states = {}
+    for sync in ("always", "batch", "never"):
+        path = str(tmp_path / f"tp-{sync}")
+        db = HistoricalDatabase("bench", path=path, sync=sync)
+        db.create_relation(scheme, storage="disk")
+        start = time.perf_counter()
+        _commit_all(db, data)
+        db.flush()  # count the group-commit fsync inside the measurement
+        seconds = time.perf_counter() - start
+        states[sync] = _expected(db)
+        db.close()
+        recovered = HistoricalDatabase(path=path)
+        assert _expected(recovered) == states[sync], f"{sync}: lost commits"
+        recovered.close()
+        per_sec = len(data) / seconds if seconds > 0 else float("inf")
+        payload["commit_throughput"][sync] = {
+            "commits": len(data), "seconds": seconds, "commits_per_sec": per_sec,
+        }
+        table.append((f"commit sync={sync}", len(data), f"{seconds * 1000:.1f}",
+                      f"{per_sec:,.0f}/s"))
+    assert states["always"] == states["batch"] == states["never"]
+
+    # -- 2. recovery time vs log length ----------------------------------
+    replay_rows = []
+    for n in _REPLAY_SIZES:
+        path = str(tmp_path / f"replay-{n}")
+        db = HistoricalDatabase("bench", path=path, sync="never")
+        db.create_relation(scheme, storage="disk")
+        inserts = data[: min(n, len(data))]
+        _commit_all(db, inserts)
+        done = len(inserts)
+        while done < n:  # grow the log past the workload size with updates
+            lifespan, values = data[done % len(data)]
+            db.update("EMP", (values["NAME"].constant_value(),),
+                      at=lifespan.intervals[0][0],
+                      changes={"SALARY": 1_000 + done})
+            done += 1
+        want = _expected(db)
+        wal_bytes = os.path.getsize(os.path.join(path, "wal.log"))
+        db.close()
+        start = time.perf_counter()
+        recovered = HistoricalDatabase(path=path)
+        reopen_ms = (time.perf_counter() - start) * 1000.0
+        assert _expected(recovered) == want, f"replay of {n} commits diverged"
+        recovered.close()
+        replay_rows.append({"commits": n, "wal_bytes": wal_bytes,
+                            "reopen_ms": reopen_ms})
+        table.append((f"reopen, {n}-commit WAL", n, f"{reopen_ms:.1f}", "-"))
+    payload["recovery"]["wal_replay"] = replay_rows
+
+    # -- 3. checkpointed reopen ------------------------------------------
+    path = str(tmp_path / "checkpointed")
+    db = HistoricalDatabase("bench", path=path, sync="never")
+    db.create_relation(scheme, storage="disk")
+    _commit_all(db, data)
+    db.checkpoint()
+    want = _expected(db)
+    db.close()
+    start = time.perf_counter()
+    recovered = HistoricalDatabase(path=path)
+    checkpoint_reopen_ms = (time.perf_counter() - start) * 1000.0
+    assert _expected(recovered) == want
+    recovered.close()
+    payload["recovery"]["checkpointed"] = {
+        "commits_snapshotted": len(data), "reopen_ms": checkpoint_reopen_ms,
+    }
+    table.append(("reopen after checkpoint", len(data),
+                  f"{checkpoint_reopen_ms:.1f}", "-"))
+
+    report(
+        "wal",
+        f"Durability: {len(data)} single-insert commits per policy; recovery",
+        ["mode", "commits", "ms", "throughput"],
+        table,
+    )
+    report_json("BENCH_wal", payload)
+
+    # Acceptance: group commit must not be slower than fsync-per-commit
+    # (it strictly removes fsyncs), and a checkpointed reopen must beat
+    # replaying the longest WAL.
+    tp = payload["commit_throughput"]
+    assert tp["batch"]["commits_per_sec"] >= 0.8 * tp["always"]["commits_per_sec"]
+    assert checkpoint_reopen_ms < replay_rows[-1]["reopen_ms"], (
+        "checkpointed reopen should beat replaying the longest WAL"
+    )

@@ -111,6 +111,15 @@ class PageError(StorageError):
     """A heap-file page overflowed or was addressed out of range."""
 
 
+class WALError(StorageError):
+    """The write-ahead log was misused or met an invalid record."""
+
+
+class RecoveryError(StorageError):
+    """A durable database directory could not be restored to a
+    consistent state (bad manifest, snapshot/WAL mismatch)."""
+
+
 class QueryError(HRDMError):
     """Base class for query-language errors."""
 

@@ -7,12 +7,15 @@ updates (birth / death / reincarnation), transactional sessions with
 deferred constraint checking, typed query results with ``:name``
 parameter binding and prepared statements, schema evolution via
 attribute lifespans (Figure 6), temporal integrity constraints
-(referential integrity, temporal FDs, dynamic constraints), and the
-Section 2 granularity-tradeoff model.
+(referential integrity, temporal FDs, dynamic constraints), the
+Section 2 granularity-tradeoff model, and durability
+(``HistoricalDatabase(path=...)``: write-ahead-logged commits,
+checkpoints, crash recovery — see :mod:`repro.database.durability`).
 """
 
 from repro.database.backends import DiskBackend, MemoryBackend
 from repro.database.database import HistoricalDatabase
+from repro.database.durability import DurabilityManager
 from repro.database.prepared import PreparedQuery
 from repro.database.result import QueryResult
 from repro.database.session import Transaction
@@ -71,6 +74,7 @@ __all__ = [
     "Constraint",
     "DatabaseShape",
     "DiskBackend",
+    "DurabilityManager",
     "GranularityLevel",
     "HistoricalDatabase",
     "LifespanWithin",

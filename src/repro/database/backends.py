@@ -30,16 +30,35 @@ Undo closures are what make constraint checking transactional at every
 granularity: the database applies, checks, and on violation calls the
 closures in reverse order — whether one tuple changed or a whole
 transaction's worth.
+
+For durable databases each backend additionally knows how to snapshot
+itself (``to_snapshot`` / ``from_snapshot``) — the pager writes these
+bytes at every checkpoint — and reports its construction ``options()``
+so the manifest can rebuild it on reopen.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Iterable, Mapping, Optional
+import struct
+from typing import Any, Callable, Iterable, Iterator, Mapping, Optional
 
 from repro.core.relation import HistoricalRelation
 from repro.core.scheme import RelationScheme
 from repro.core.tuples import HistoricalTuple
-from repro.storage.engine import StoredRelation
+from repro.storage.codec import decode_blobs, encode_blobs
+from repro.storage.engine import StoredRelation, decode_tuple, encode_tuple
+
+_U32 = struct.Struct("<I")
+
+
+def _frame_tuples(tuples: Iterable[HistoricalTuple]) -> bytes:
+    return encode_blobs(encode_tuple(t) for t in tuples)
+
+
+def _unframe_tuples(raw: bytes, scheme: RelationScheme) -> Iterator[HistoricalTuple]:
+    blobs, _ = decode_blobs(memoryview(raw), 0)
+    for blob in blobs:
+        yield decode_tuple(blob, scheme)
 
 #: Restores a backend to the state captured when the closure was made.
 Undo = Callable[[], None]
@@ -84,6 +103,19 @@ class MemoryBackend:
             self._relation = previous
 
         return undo
+
+    def options(self) -> dict:
+        """Construction options to persist in the manifest (none)."""
+        return {}
+
+    def to_snapshot(self) -> bytes:
+        """Serialise the relation as a framed tuple stream."""
+        return _frame_tuples(self._relation)
+
+    @classmethod
+    def from_snapshot(cls, scheme: RelationScheme, raw: bytes) -> "MemoryBackend":
+        """Restore from :meth:`to_snapshot` bytes."""
+        return cls(scheme, _unframe_tuples(raw, scheme))
 
 
 class DiskBackend:
@@ -135,6 +167,32 @@ class DiskBackend:
             self._stored = previous
 
         return undo
+
+    def options(self) -> dict:
+        """Construction options to persist in the manifest."""
+        return {"page_size": self._page_size}
+
+    def to_snapshot(self) -> bytes:
+        """Serialise heap pages plus both access methods.
+
+        Layout: ``u32 heap_length | heap bytes | index bytes`` — the
+        index part is :meth:`repro.storage.engine.StoredRelation.index_bytes`,
+        so reopening restores the key and interval indexes without
+        decoding any record.
+        """
+        heap = self._stored.to_bytes()
+        return _U32.pack(len(heap)) + heap + self._stored.index_bytes()
+
+    @classmethod
+    def from_snapshot(cls, scheme: RelationScheme, raw: bytes,
+                      page_size: int = 4096) -> "DiskBackend":
+        """Restore from :meth:`to_snapshot` bytes, indexes included."""
+        (heap_length,) = _U32.unpack_from(raw, 0)
+        heap = raw[4:4 + heap_length]
+        index = raw[4 + heap_length:]
+        backend = cls(scheme, (), page_size)
+        backend._stored = StoredRelation.from_bytes(heap, scheme, index or None)
+        return backend
 
 
 #: Backend constructors by the ``storage=`` argument of create_relation.

@@ -26,21 +26,28 @@ mutable top-level object tying together:
 * HRQL querying through the cost-based planner — :meth:`query` returns
   a typed :class:`~repro.database.result.QueryResult`, ``:name``
   parameters bind at plan time, and :meth:`prepare` caches the parsed
-  statement for cheap re-planning.
+  statement for cheap re-planning;
+* durability (``path=...``) — the catalog lives in a directory, every
+  commit appends a checksummed write-ahead-log record
+  (:mod:`repro.database.durability`), :meth:`checkpoint` writes a
+  consistent snapshot, and reopening after a crash replays the log to
+  the last committed state.
 """
 
 from __future__ import annotations
 
 from typing import Any, Dict, Iterator, Mapping, Optional, Union
 
+from repro.core.domains import ValueDomain
 from repro.core.errors import HRDMError, IntegrityError, RelationError
 from repro.core.lifespan import Lifespan
 from repro.core.relation import HistoricalRelation
 from repro.core.scheme import RelationScheme
 from repro.core.time_domain import T_MAX, T_MIN, TimeDomain
 from repro.core.tuples import HistoricalTuple
-from repro.database import mutations
+from repro.database import durability, mutations
 from repro.database.backends import BACKENDS, DiskBackend, MemoryBackend
+from repro.database.durability import DurabilityManager
 from repro.database.prepared import PreparedQuery
 from repro.database.result import QueryResult
 from repro.database.session import Transaction
@@ -54,18 +61,62 @@ Backend = Union[MemoryBackend, DiskBackend]
 
 
 class HistoricalDatabase:
-    """A mutable catalog of historical relations sharing one time domain."""
+    """A mutable catalog of historical relations sharing one time domain.
 
-    def __init__(self, name: str, time_domain: Optional[TimeDomain] = None):
-        if not name:
+    Without *path* the database is ephemeral — it dies with the
+    process. With *path* it is **durable**: the catalog lives under
+    that directory, every committed mutation appends a write-ahead-log
+    record (the commit's durability point, see
+    :mod:`repro.storage.wal`), :meth:`checkpoint` writes a consistent
+    snapshot and truncates the log, and constructing the database
+    against an existing directory recovers the last committed state —
+    including after a crash (torn log tails are detected by checksum
+    and discarded).
+
+    Parameters
+    ----------
+    name:
+        The database name. Required for ephemeral databases; optional
+        for durable ones (a fresh directory defaults to its basename,
+        an existing one supplies its own — passing a *different* name
+        is an error).
+    time_domain:
+        The shared :class:`~repro.core.time_domain.TimeDomain`. For an
+        existing durable database the persisted domain wins.
+    path:
+        Directory of a durable database (created if missing).
+    sync:
+        WAL fsync policy: ``"always"`` (fsync per commit),
+        ``"batch"`` (group commit: fsync every *wal_batch_size*
+        commits and on :meth:`flush` / :meth:`close`), or ``"never"``.
+    wal_batch_size:
+        Group-commit window for ``sync="batch"``.
+    domains:
+        Custom :class:`~repro.core.domains.ValueDomain` objects by
+        name, to restore membership enforcement for schemes that use
+        them (built-in domains round-trip automatically).
+    """
+
+    def __init__(self, name: Optional[str] = None,
+                 time_domain: Optional[TimeDomain] = None, *,
+                 path: Optional[str] = None,
+                 sync: str = "batch",
+                 wal_batch_size: int = 64,
+                 domains: Optional[Mapping[str, ValueDomain]] = None):
+        if path is None and not name:
             raise RelationError("database needs a non-empty name")
-        self.name = name
+        self.name = name or ""
         self.time_domain = time_domain or TimeDomain(T_MIN, T_MAX)
         self._backends: Dict[str, Backend] = {}
         self._constraints: list = []
         #: Bumped on every successful catalog change; prepared queries
         #: key their plan caches on it.
         self._version = 0
+        self._durability: Optional[DurabilityManager] = None
+        if path is not None:
+            manager = DurabilityManager(path, sync, wal_batch_size, domains)
+            manager.open(self, name)
+            self._durability = manager
 
     # -- catalog -----------------------------------------------------------
 
@@ -94,7 +145,12 @@ class HistoricalDatabase:
         self._backends[scheme.name] = backend
         try:
             self._check_constraints()
-        except IntegrityError:
+            if self._durability is not None:
+                self._durability.log_commit([durability.create_op(
+                    scheme.name, backend.kind, backend.options(),
+                    scheme, backend.source(),
+                )])
+        except BaseException:
             del self._backends[scheme.name]
             raise
         self._version += 1
@@ -118,6 +174,12 @@ class HistoricalDatabase:
                 f"cannot drop relation {name!r}: a registered constraint "
                 f"still references it ({exc}); remove the constraint first"
             ) from exc
+        try:
+            if self._durability is not None:
+                self._durability.log_commit([durability.drop_op(name)])
+        except BaseException:
+            self._backends[name] = backend
+            raise
         self._version += 1
 
     def relation(self, name: str):
@@ -241,6 +303,65 @@ class HistoricalDatabase:
         """
         return Transaction(self)
 
+    # -- durability ----------------------------------------------------------
+
+    @property
+    def durable(self) -> bool:
+        """True when the database is backed by a directory on disk."""
+        return self._durability is not None
+
+    @property
+    def path(self) -> Optional[str]:
+        """The durable database directory, or None for ephemeral ones."""
+        return None if self._durability is None else self._durability.path
+
+    def checkpoint(self) -> int:
+        """Write a consistent snapshot and truncate the write-ahead log.
+
+        Every relation's heap pages and indexes are written at a new
+        generation, the manifest flips atomically, and the WAL resets —
+        so reopening costs a snapshot load instead of a long replay.
+        The protocol is crash-safe at every boundary (see
+        :meth:`repro.database.durability.DurabilityManager.checkpoint`).
+        Returns the new checkpoint generation.
+        """
+        self._require_durable("checkpoint")
+        return self._durability.checkpoint(self)
+
+    def flush(self) -> None:
+        """Force every acknowledged commit to stable storage.
+
+        A no-op under ``sync="always"``; under ``"batch"`` / ``"never"``
+        this is the group-commit boundary callers can invoke by hand.
+        """
+        self._require_durable("flush")
+        self._durability.flush()
+
+    def close(self) -> None:
+        """Flush and release the durable database's files (idempotent).
+
+        Ephemeral databases accept ``close()`` as a no-op so callers
+        can treat both kinds uniformly. A closed database refuses
+        further mutations (``StorageError``); reopen it by
+        constructing a new :class:`HistoricalDatabase` on the path.
+        """
+        if self._durability is not None:
+            self._durability.close()
+
+    def __enter__(self) -> "HistoricalDatabase":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+    def _require_durable(self, action: str) -> None:
+        if self._durability is None:
+            raise RelationError(
+                f"cannot {action}: {self.name!r} is not a durable database "
+                f"(construct it with path=...)"
+            )
+
     # -- internal apply/restore machinery -----------------------------------
 
     def _backend(self, name: str) -> Backend:
@@ -256,22 +377,26 @@ class HistoricalDatabase:
         return t
 
     def _apply(self, name: str, changes: Mapping[tuple, HistoricalTuple]) -> None:
-        """Apply a keyed batch to one relation, check, roll back on failure."""
+        """Apply a keyed batch to one relation, check, log, roll back on failure."""
         undo = self._backend(name).apply(changes)
         try:
             self._check_constraints()
-        except IntegrityError:
+            if self._durability is not None:
+                self._durability.log_commit([durability.apply_op(name, changes)])
+        except BaseException:
             undo()
             raise
         self._version += 1
 
     def _install_relation(self, name: str,
                           relation: HistoricalRelation) -> None:
-        """Replace a whole relation value, check, roll back on failure."""
+        """Replace a whole relation value, check, log, roll back on failure."""
         undo = self._backend(name).install(relation)
         try:
             self._check_constraints()
-        except IntegrityError:
+            if self._durability is not None:
+                self._durability.log_commit([durability.install_op(name, relation)])
+        except BaseException:
             undo()
             raise
         self._version += 1

@@ -1,0 +1,257 @@
+"""Durability — checkpoints, WAL commits, and crash recovery.
+
+:class:`DurabilityManager` is the glue between a
+:class:`~repro.database.database.HistoricalDatabase` and the storage
+substrate's persistence machinery (:mod:`repro.storage.pager`,
+:mod:`repro.storage.wal`). The database owns the in-memory truth; the
+manager makes three promises about the directory behind it:
+
+1. **Committed means durable** (modulo the chosen sync policy). Every
+   commit — an auto-commit mutation, a DDL change, or a whole
+   transaction — appends exactly one framed, checksummed WAL record
+   *after* the in-memory apply and the constraint sweep succeeded.
+   The WAL append is the commit's durability point.
+2. **Checkpoints are consistent cuts.** ``checkpoint()`` writes every
+   relation's snapshot at a new generation, atomically flips the
+   manifest, and only then truncates the log. A crash at *any* point
+   of that protocol recovers to a state that equals some committed
+   state — never a torn mix.
+3. **Reopen replays to the last commit.** ``open()`` loads the
+   manifest's snapshots, then replays the WAL's complete records
+   (skipping stale generations, stopping at a torn tail) through the
+   normal backend apply/install paths — without re-running integrity
+   constraints, which already passed when the record was written.
+
+The recovery invariant is property-tested in
+``tests/test_durability.py``: truncate or corrupt the log at *any*
+byte offset, reopen, and the recovered catalog equals the state after
+the last surviving commit.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import TYPE_CHECKING, Mapping, Optional
+
+from repro.core.domains import ValueDomain
+from repro.core.errors import RecoveryError, StorageError
+from repro.core.relation import HistoricalRelation
+from repro.core.scheme import RelationScheme
+from repro.core.tuples import HistoricalTuple
+from repro.storage import pager as pager_mod
+from repro.storage import wal as wal_mod
+from repro.storage.engine import decode_tuple, encode_tuple
+from repro.storage.pager import Pager
+from repro.storage.wal import CommitRecord, WriteAheadLog
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.database.database import HistoricalDatabase
+
+
+# -- op builders (commit-time encoding) --------------------------------------
+
+
+def apply_op(name: str, changes: Mapping[tuple, HistoricalTuple]) -> bytes:
+    """Encode a keyed batch of replacement tuples for *name*."""
+    return wal_mod.encode_apply(
+        name, (encode_tuple(t) for t in changes.values())
+    )
+
+
+def install_op(name: str, relation: HistoricalRelation) -> bytes:
+    """Encode a whole-relation replacement (evolution, ``replace``)."""
+    return wal_mod.encode_install(
+        name, pager_mod.scheme_to_json(relation.scheme),
+        (encode_tuple(t) for t in relation),
+    )
+
+
+def create_op(name: str, kind: str, options: dict,
+              scheme: RelationScheme, tuples) -> bytes:
+    """Encode a new catalog entry with its initial contents."""
+    return wal_mod.encode_create(
+        name, kind, options, pager_mod.scheme_to_json(scheme),
+        (encode_tuple(t) for t in tuples),
+    )
+
+
+def drop_op(name: str) -> bytes:
+    """Encode a catalog entry removal."""
+    return wal_mod.encode_drop(name)
+
+
+class DurabilityManager:
+    """Pager + WAL behind one durable :class:`HistoricalDatabase`."""
+
+    def __init__(self, path: str, sync: str = "batch", batch_size: int = 64,
+                 domains: Optional[Mapping[str, ValueDomain]] = None):
+        self.pager = Pager(path)
+        self._lock = self.pager.acquire_lock()  # single writer per directory
+        self.wal = WriteAheadLog(self.pager.wal_path, sync, batch_size)
+        self.generation = 0
+        self._domains = dict(domains or {})
+        self._closed = False
+
+    @property
+    def path(self) -> str:
+        """The database directory."""
+        return self.pager.path
+
+    # -- open / recover ----------------------------------------------------
+
+    def open(self, db: "HistoricalDatabase",
+             name: Optional[str]) -> None:
+        """Load (or initialize) the directory into *db*.
+
+        For an existing database: restores the catalog from the
+        manifest's snapshots, then replays the WAL's surviving commit
+        records on top. For a fresh or empty directory: initializes a
+        generation-0 manifest so the database is reopenable from the
+        very first commit.
+        """
+        manifest = self.pager.read_manifest()
+        if manifest is None:
+            db.name = name or os.path.basename(self.path.rstrip(os.sep)) or "db"
+            self.generation = 0
+            self.wal.recover()  # truncates any torn tail of a dead sibling
+            self.wal.generation = 0
+            self.write_manifest(db)
+            return
+        if name is not None and name != manifest["name"]:
+            raise RecoveryError(
+                f"the database at {self.path} is named {manifest['name']!r}, "
+                f"not {name!r}"
+            )
+        db.name = manifest["name"]
+        db.time_domain = pager_mod.time_domain_from_dict(manifest["time_domain"])
+        self.generation = manifest["generation"]
+        from repro.database.backends import BACKENDS
+
+        for rel_name, meta in manifest["relations"].items():
+            scheme = pager_mod.scheme_from_dict(meta["scheme"], self._domains)
+            raw = self.pager.read_snapshot(rel_name, self.generation)
+            factory = BACKENDS[meta["storage"]]
+            db._backends[rel_name] = factory.from_snapshot(
+                scheme, raw, **meta.get("options", {})
+            )
+        records = self.wal.recover()
+        self.wal.generation = self.generation
+        for record in records:
+            if record.generation < self.generation:
+                continue  # predates the checkpoint; already in the snapshot
+            if record.generation > self.generation:
+                raise RecoveryError(
+                    f"WAL record generation {record.generation} is ahead of "
+                    f"the manifest ({self.generation}); refusing to guess"
+                )
+            self._replay(db, record)
+            db._version += 1
+
+    def _replay(self, db: "HistoricalDatabase", record: CommitRecord) -> None:
+        """Apply one committed record through the backend write paths.
+
+        Constraints are *not* re-checked: the record was only written
+        because they passed at commit time.
+        """
+        from repro.database.backends import BACKENDS
+
+        for op in record.decoded():
+            tag = op[0]
+            if tag == "apply":
+                _, name, blobs = op
+                backend = db._backends[name]
+                changes = {}
+                for blob in blobs:
+                    t = decode_tuple(blob, backend.scheme)
+                    changes[t.key_value()] = t
+                backend.apply(changes)
+            elif tag == "install":
+                _, name, scheme_json, blobs = op
+                scheme = pager_mod.scheme_from_json(scheme_json, self._domains)
+                tuples = [decode_tuple(blob, scheme) for blob in blobs]
+                db._backends[name].install(HistoricalRelation(scheme, tuples))
+            elif tag == "create":
+                _, name, kind, options, scheme_json, blobs = op
+                scheme = pager_mod.scheme_from_json(scheme_json, self._domains)
+                tuples = [decode_tuple(blob, scheme) for blob in blobs]
+                db._backends[name] = BACKENDS[kind](scheme, tuples, **options)
+            elif tag == "drop":
+                _, name = op
+                del db._backends[name]
+            else:  # pragma: no cover - decode_op already rejects these
+                raise RecoveryError(f"unknown WAL op {tag!r}")
+
+    # -- commit logging ----------------------------------------------------
+
+    def log_commit(self, ops: list) -> int:
+        """Append one commit record (the durability point); returns its LSN."""
+        self._ensure_open()
+        return self.wal.append(ops)
+
+    # -- checkpointing -----------------------------------------------------
+
+    def checkpoint(self, db: "HistoricalDatabase") -> int:
+        """Write a consistent snapshot and truncate the log.
+
+        Protocol (crash-safe at every boundary):
+
+        1. write every relation's snapshot at generation ``G+1``;
+        2. atomically flip the manifest to generation ``G+1``;
+        3. truncate the WAL (its records are all inside the snapshot);
+        4. delete snapshots of generations ``< G+1``.
+
+        A crash before (2) leaves the old manifest + full WAL: recovery
+        ignores the half-written new snapshots. A crash between (2)
+        and (3) leaves stale WAL records, which replay skips by their
+        generation stamp. Returns the new generation.
+        """
+        self._ensure_open()
+        new_generation = self.generation + 1
+        for name, backend in db._backends.items():
+            self.pager.write_snapshot(name, new_generation, backend.to_snapshot())
+        self.write_manifest(db, new_generation)
+        self.wal.reset(new_generation)
+        self.pager.clean_snapshots(new_generation)
+        self.generation = new_generation
+        return new_generation
+
+    def write_manifest(self, db: "HistoricalDatabase",
+                       generation: Optional[int] = None) -> None:
+        """Serialize the catalog metadata at *generation* (default: current)."""
+        manifest = {
+            "format": pager_mod.FORMAT_VERSION,
+            "name": db.name,
+            "generation": self.generation if generation is None else generation,
+            "time_domain": pager_mod.time_domain_to_dict(db.time_domain),
+            "relations": {
+                name: {
+                    "storage": backend.kind,
+                    "options": backend.options(),
+                    "scheme": pager_mod.scheme_to_dict(backend.scheme),
+                }
+                for name, backend in db._backends.items()
+            },
+        }
+        self.pager.write_manifest(manifest)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def flush(self) -> None:
+        """Force every acknowledged commit to stable storage."""
+        self.wal.flush()
+
+    def close(self) -> None:
+        """Flush and release the log and the directory lock (idempotent)."""
+        if not self._closed:
+            self.wal.close()
+            self.pager.release_lock(self._lock)
+            self._lock = None
+            self._closed = True
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise StorageError("the database has been closed")
+
+    def __repr__(self) -> str:
+        return (f"DurabilityManager({self.path!r}, "
+                f"generation={self.generation}, sync={self.wal.sync!r})")

@@ -38,7 +38,7 @@ from repro.core.lifespan import Lifespan
 from repro.core.relation import HistoricalRelation
 from repro.core.scheme import RelationScheme
 from repro.core.tuples import HistoricalTuple
-from repro.database import mutations
+from repro.database import durability, mutations
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.database.database import HistoricalDatabase
@@ -117,22 +117,33 @@ class Transaction:
         """Apply every buffered change atomically.
 
         Each touched relation gets one batched write; the registered
-        constraints run once over the fully applied state. Any error
+        constraints run once over the fully applied state. On a
+        durable database the whole transaction then becomes **one**
+        write-ahead-log record — the commit boundary the log was built
+        around. Any error (constraint violation, log append failure)
         restores every relation (in reverse application order) and
         re-raises — the catalog is untouched.
         """
         self._ensure_active()
         db = self._db
+        durable = db._durability is not None
         undos = []
+        ops: list[bytes] = []
         try:
             for name, pending in self._pending.items():
                 backend = db._backend(name)
                 if pending.replaced is not None:
                     final = pending.replaced.with_tuples(pending.overlay.values())
                     undos.append(backend.install(final))
+                    if durable:
+                        ops.append(durability.install_op(name, final))
                 elif pending.overlay:
                     undos.append(backend.apply(pending.overlay))
+                    if durable:
+                        ops.append(durability.apply_op(name, pending.overlay))
             db._check_constraints()
+            if durable and ops:
+                db._durability.log_commit(ops)
         except BaseException:
             for undo in reversed(undos):
                 undo()

@@ -12,6 +12,8 @@ Commands::
     \\timelines NAME      draw the per-tuple lifespans of a relation
     \\set NAME VALUE      bind a session parameter (int, float, or 'str')
     \\params              show the session parameter bindings
+    \\open PATH           open (or create) a durable database directory
+    \\checkpoint          snapshot the open durable database, truncate its WAL
     \\quit                exit
 
 Anything else is parsed as an HRQL query, e.g.::
@@ -40,7 +42,7 @@ from repro.workloads import PersonnelConfig, generate_personnel
 BANNER = """\
 HRDM / HRQL shell — demo relation: EMP(NAME*, SALARY, DEPT), months 0..120
 Type an HRQL query (\\set binds :name parameters), \\relations,
-\\timelines EMP, or \\quit.
+\\timelines EMP, \\open PATH (durable database), \\checkpoint, or \\quit.
 """
 
 MAX_TABLE_ROWS = 40
@@ -88,11 +90,14 @@ def _parse_value(text: str) -> Any:
 
 
 def execute(line: str, env: HistoricalDatabase,
-            params: Optional[dict[str, Any]] = None) -> str:
+            params: Optional[dict[str, Any]] = None,
+            state: Optional[dict[str, Any]] = None) -> str:
     """Run one shell line and return the printable response.
 
     *params* holds the session's ``\\set`` bindings; queries consume
-    only the bindings they actually reference.
+    only the bindings they actually reference. *state*, when given, is
+    the shell's mutable session (``state["env"]``) so ``\\open`` can
+    switch the active database.
     """
     params = params if params is not None else {}
     stripped = line.strip()
@@ -100,6 +105,26 @@ def execute(line: str, env: HistoricalDatabase,
         return ""
     if stripped in ("\\quit", "\\q"):
         raise EOFError
+    if stripped.startswith("\\open"):
+        parts = stripped.split(maxsplit=1)
+        if len(parts) < 2:
+            return "usage: \\open PATH"
+        if state is None:
+            return "error: \\open needs an interactive session to switch into"
+        try:
+            db = HistoricalDatabase(path=parts[1])
+        except HRDMError as exc:
+            return f"error: {exc}"
+        if env.durable:
+            env.close()
+        state["env"] = db
+        return (f"opened durable database {db.name!r} at {db.path} "
+                f"({len(db)} relation(s))")
+    if stripped == "\\checkpoint":
+        if not env.durable:
+            return "error: the current database is not durable; \\open PATH first"
+        generation = env.checkpoint()
+        return f"checkpointed {env.name!r} at generation {generation}"
     if stripped == "\\relations":
         return "\n".join(
             f"  {name}: {len(env[name])} tuples, LS = {env[name].lifespan()} "
@@ -136,21 +161,27 @@ def execute(line: str, env: HistoricalDatabase,
 
 def main(argv: list[str] | None = None) -> int:
     del argv
-    env = default_environment()
+    state: dict[str, Any] = {"env": default_environment()}
     params: dict[str, Any] = {}
     print(BANNER)
-    while True:
-        try:
-            line = input("hrql> ")
-        except (EOFError, KeyboardInterrupt):
-            print()
-            return 0
-        try:
-            response = execute(line, env, params)
-        except EOFError:
-            return 0
-        if response:
-            print(response)
+    try:
+        while True:
+            try:
+                line = input("hrql> ")
+            except (EOFError, KeyboardInterrupt):
+                print()
+                break
+            try:
+                response = execute(line, state["env"], params, state)
+            except EOFError:
+                break
+            if response:
+                print(response)
+    finally:
+        env = state["env"]
+        if env.durable:
+            env.close()
+    return 0
 
 
 if __name__ == "__main__":

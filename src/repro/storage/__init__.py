@@ -1,8 +1,11 @@
 """Storage substrate — Figure 9's representation and physical levels.
 
 Binary codec, compact representations with interpolation, slotted-page
-heap files, key and interval indexes, and the storage engine tying the
-three levels of the historical model together.
+heap files, key and interval indexes, the storage engine tying the
+three levels of the historical model together, and the durability
+machinery (write-ahead log, pager/checkpoint layout) that lets whole
+databases survive process death — see ``docs/storage.md`` for the
+stack top to bottom.
 """
 
 from repro.storage.codec import (
@@ -16,6 +19,8 @@ from repro.storage.codec import (
 from repro.storage.engine import StoredRelation, decode_tuple, encode_tuple
 from repro.storage.heapfile import PAGE_SIZE, HeapFile, Page, RecordId
 from repro.storage.index import IntervalIndex, KeyIndex
+from repro.storage.pager import Pager
+from repro.storage.wal import SYNC_POLICIES, CommitRecord, WriteAheadLog
 from repro.storage.representation import (
     ConstantRep,
     Representation,
@@ -26,14 +31,18 @@ from repro.storage.representation import (
 )
 
 __all__ = [
+    "CommitRecord",
     "ConstantRep",
     "HeapFile",
     "IntervalIndex",
     "KeyIndex",
     "PAGE_SIZE",
     "Page",
+    "Pager",
     "RecordId",
     "Representation",
+    "SYNC_POLICIES",
+    "WriteAheadLog",
     "SampledRep",
     "SegmentRep",
     "StoredRelation",

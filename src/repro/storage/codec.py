@@ -13,6 +13,11 @@ the *substrate* of the reproduction, not a storage research artifact.
 All encoders return :class:`bytes`; all decoders take a
 :class:`memoryview` plus offset and return ``(value, new_offset)`` so
 composite decoding is allocation-free.
+
+Everything persistent builds on these primitives: heap records
+(:mod:`repro.storage.engine`), persisted indexes, and the tuple
+payloads inside write-ahead-log commit records
+(:mod:`repro.storage.wal`). See ``docs/storage.md`` for the stack.
 """
 
 from __future__ import annotations
@@ -105,6 +110,34 @@ def decode_value(buf: memoryview, offset: int) -> Tuple[Any, int]:
             raise CodecError(f"truncated string at offset {offset}")
         return bytes(buf[offset:end]).decode("utf-8"), end
     raise CodecError(f"unknown value tag {tag} at offset {offset - 1}")
+
+
+def encode_blobs(blobs: Any) -> bytes:
+    """A counted sequence of length-prefixed byte strings.
+
+    The shared framing for opaque payload lists: encoded tuples inside
+    WAL commit records and snapshot tuple streams both use it.
+    """
+    materialized = list(blobs)
+    parts = [encode_u32(len(materialized))]
+    for blob in materialized:
+        parts.append(encode_u32(len(blob)))
+        parts.append(bytes(blob))
+    return b"".join(parts)
+
+
+def decode_blobs(buf: memoryview, offset: int) -> Tuple[list, int]:
+    """Inverse of :func:`encode_blobs`."""
+    count, offset = decode_u32(buf, offset)
+    blobs = []
+    for _ in range(count):
+        length, offset = decode_u32(buf, offset)
+        end = offset + length
+        if end > len(buf):
+            raise CodecError(f"truncated blob at offset {offset}")
+        blobs.append(bytes(buf[offset:end]))
+        offset = end
+    return blobs, offset
 
 
 def encode_str(value: str) -> bytes:

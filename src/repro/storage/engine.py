@@ -14,13 +14,21 @@ A :class:`StoredRelation` persists an
 The engine demonstrates (and the benches measure) that the access
 methods change *costs*, never *answers*: ``snapshot_at`` via the
 interval index returns exactly the relation's ``snapshot``.
+
+Persistence is split across two byte streams: :meth:`StoredRelation.to_bytes`
+carries the heap pages and :meth:`StoredRelation.index_bytes` the
+access methods, so :meth:`StoredRelation.from_bytes` can restore a
+relation without decoding any record. Durable databases write both at
+every checkpoint (:mod:`repro.storage.pager`) and replay committed
+changes from the write-ahead log (:mod:`repro.storage.wal`).
 """
 
 from __future__ import annotations
 
+import struct
 from typing import Any, Iterator, Optional
 
-from repro.core.errors import StorageError
+from repro.core.errors import HRDMError, StorageError
 from repro.core.lifespan import Lifespan
 from repro.core.relation import HistoricalRelation
 from repro.core.scheme import RelationScheme
@@ -205,11 +213,21 @@ class StoredRelation:
         return self._stats
 
     def rebuild_indexes(self) -> None:
-        """Rebuild the interval index after bulk mutations."""
+        """Rebuild both access methods from a full heap scan.
+
+        Restores the key index (key → record id) and the interval
+        index (tuple lifespans → keys) to exactly the live heap
+        contents. Called automatically after :meth:`compact` and by
+        :meth:`_ensure_interval_index` when writes have made the
+        interval index stale.
+        """
+        key_index: KeyIndex[RecordId] = KeyIndex()
         pairs = []
-        for _, raw in self._heap.scan():
+        for rid, raw in self._heap.scan():
             t = decode_tuple(raw, self.scheme)
+            key_index.put(t.key_value(), rid)
             pairs.append((t.lifespan, t.key_value()))
+        self._key_index = key_index
         self._interval_index = IntervalIndex.from_lifespans(pairs)
         self._dirty = False
 
@@ -220,21 +238,101 @@ class StoredRelation:
         return self._interval_index
 
     def compact(self) -> None:
+        """Reclaim tombstoned space, then rebuild the indexes.
+
+        Compaction rewrites records inside their pages; both indexes
+        are rebuilt immediately afterwards so reads through them never
+        observe the relation mid-maintenance (previously the interval
+        index stayed stale until :meth:`rebuild_indexes` was called by
+        hand). Statistics are invalidated too — the physical footprint
+        changed.
+        """
         self._heap.compact()
+        self.rebuild_indexes()
+        self._stats = None
 
     def to_bytes(self) -> bytes:
-        """Serialise the heap (indexes are rebuilt on load)."""
+        """Serialise the heap pages (see also :meth:`index_bytes`)."""
         return self._heap.to_bytes()
 
+    def index_bytes(self) -> bytes:
+        """Serialise the access methods for persistence.
+
+        One entry per live record: its record id, key value, and
+        lifespan — enough to rebuild both the key index and the
+        interval index on :meth:`from_bytes` without decoding a single
+        heap record. Written alongside the heap bytes by checkpoints
+        ("heap pages *and indexes* persist").
+        """
+        entries = []
+        for key, rid in self._key_index.items():
+            raw = self._heap.read(rid)
+            lifespan, _ = codec.decode_lifespan(memoryview(raw), 0)
+            entries.append((rid, key, lifespan))
+        parts = [codec.encode_u32(len(entries))]
+        for rid, key, lifespan in entries:
+            parts.append(codec.encode_i64(rid.page_no))
+            parts.append(codec.encode_u32(rid.slot_no))
+            parts.append(codec.encode_u32(len(key)))
+            for component in key:
+                parts.append(codec.encode_value(component))
+            parts.append(codec.encode_lifespan(lifespan))
+        return b"".join(parts)
+
     @classmethod
-    def from_bytes(cls, raw: bytes, scheme: RelationScheme) -> "StoredRelation":
+    def from_bytes(cls, raw: bytes, scheme: RelationScheme,
+                   index_raw: Optional[bytes] = None) -> "StoredRelation":
+        """Restore a stored relation from persisted heap bytes.
+
+        With *index_raw* (from :meth:`index_bytes`) both indexes are
+        restored directly — no record is decoded. Without it, the key
+        index is rebuilt by a decoding scan and the interval index
+        lazily on first temporal read. If the persisted index does not
+        match the heap's live record count it is discarded and the
+        indexes rebuilt from the heap — the heap is the truth.
+        """
         stored = cls(scheme)
         stored._heap = HeapFile.from_bytes(raw)
+        if index_raw is not None:
+            try:
+                stored._load_indexes(index_raw)
+                return stored
+            except (HRDMError, struct.error, ValueError, IndexError):
+                # count mismatch, truncated/corrupt index bytes, bad
+                # lifespans — whatever the damage, fall back to the heap
+                stored._key_index = KeyIndex()
+                stored._interval_index = None
         for rid, record in stored._heap.scan():
             t = decode_tuple(record, scheme)
             stored._key_index.put(t.key_value(), rid)
         stored._dirty = True
         return stored
+
+    def _load_indexes(self, index_raw: bytes) -> None:
+        buf = memoryview(index_raw)
+        count, offset = codec.decode_u32(buf, 0)
+        if count != self._heap.n_records:
+            raise StorageError(
+                f"persisted index covers {count} records, heap holds "
+                f"{self._heap.n_records}; discarding the stale index"
+            )
+        key_index: KeyIndex[RecordId] = KeyIndex()
+        pairs = []
+        for _ in range(count):
+            page_no, offset = codec.decode_i64(buf, offset)
+            slot_no, offset = codec.decode_u32(buf, offset)
+            n_components, offset = codec.decode_u32(buf, offset)
+            components = []
+            for _ in range(n_components):
+                component, offset = codec.decode_value(buf, offset)
+                components.append(component)
+            lifespan, offset = codec.decode_lifespan(buf, offset)
+            key = tuple(components)
+            key_index.put(key, RecordId(page_no, slot_no))
+            pairs.append((lifespan, key))
+        self._key_index = key_index
+        self._interval_index = IntervalIndex.from_lifespans(pairs)
+        self._dirty = False
 
 
 def timeslice_lifespan(relation_lifespan: Lifespan, window: Lifespan) -> Lifespan:

@@ -7,10 +7,12 @@ in-memory (or on-disk) byte array:
 * fixed-size :class:`Page` objects with a slot directory growing from
   the tail (the classic slotted-page layout);
 * records addressed by :class:`RecordId` ``(page_no, slot_no)``;
-* insert / read / delete / scan; oversized records are rejected
-  (spanning records are out of scope for the reproduction);
+* insert / read / delete / scan; records too large for one page go to
+  a blob overflow area (the classic TOAST-style escape hatch);
 * :meth:`HeapFile.to_bytes` / :meth:`HeapFile.from_bytes` for
-  persistence through any byte transport.
+  persistence through any byte transport — checkpoint snapshots of
+  durable databases (:mod:`repro.storage.pager`) are exactly these
+  bytes, one file per relation per generation.
 """
 
 from __future__ import annotations

@@ -12,6 +12,14 @@ The physical level's access paths:
 
 The interval tree is the classic centered structure: each node stores
 the intervals containing its center point, sorted by both endpoints.
+
+These are the access paths behind the planner's ``KeyLookup`` and
+``IntervalScan`` nodes (a key-equality criterion, or a Section 4
+``τ_L`` / ``DURING``-bounded select, over a stored relation). Both
+indexes persist across restarts via
+:meth:`repro.storage.engine.StoredRelation.index_bytes`, written at
+every checkpoint, so a reopened database answers temporal probes
+without first decoding its heap.
 """
 
 from __future__ import annotations

@@ -1,0 +1,296 @@
+"""The pager — on-disk layout of a durable historical database.
+
+A durable :class:`~repro.database.database.HistoricalDatabase` lives in
+one directory::
+
+    <path>/
+        manifest.json           the checkpoint manifest (atomic flips)
+        wal.log                 the write-ahead log since the checkpoint
+        data/
+            EMP.3.snap          relation snapshots, named by generation
+
+The :class:`Pager` owns this layout. The two invariants that make
+crash recovery work:
+
+1. **The manifest flips atomically.** A checkpoint writes the new
+   manifest to a temp file, ``fsync``\\ s it, and ``os.replace``\\ s it
+   over ``manifest.json`` — so a reader always sees either the old or
+   the new checkpoint, never a torn one. Snapshot files are named by
+   generation and written *before* the flip, so a manifest never
+   references a file that might not be complete.
+2. **Generations only grow.** The manifest's ``generation`` says which
+   snapshot files are current and which WAL records are live (records
+   stamped with an older generation predate the checkpoint and are
+   skipped on replay — see :mod:`repro.storage.wal`).
+
+The manifest also carries the catalog metadata that is not derivable
+from the snapshot bytes: the database name, its
+:class:`~repro.core.time_domain.TimeDomain` (including the movable
+``now``), and per relation the storage kind, backend options, and the
+serialized :class:`~repro.core.scheme.RelationScheme` (Section 3's
+``<A, K, ALS, DOM>``, so attribute lifespans survive reopening).
+
+Value domains serialize by *name*. The built-in atomic domains
+(string, integer, number, boolean, any, time) round-trip exactly;
+user-defined domains (e.g. :func:`repro.core.domains.enumerated`)
+come back as permissive domains with the original name — scheme
+equality is by name, so catalog round-trips compare equal, but
+membership enforcement of custom predicates does not survive a
+restart. Declare custom domains at open time and pass them via
+*domains* to restore enforcement.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Mapping, Optional
+
+from repro.core import domains as d
+from repro.core.errors import RecoveryError, StorageError
+from repro.core.lifespan import Lifespan
+from repro.core.scheme import RelationScheme
+from repro.core.time_domain import TimeDomain
+
+#: Current on-disk format version, checked on open.
+FORMAT_VERSION = 1
+
+MANIFEST = "manifest.json"
+WAL_FILE = "wal.log"
+DATA_DIR = "data"
+SNAPSHOT_SUFFIX = "snap"
+LOCK_FILE = "LOCK"
+
+#: The built-in value domains, reconstructable by name.
+_BUILTIN_DOMAINS = {
+    dom.name: dom
+    for dom in (d.STRING, d.INTEGER, d.NUMBER, d.BOOLEAN, d.ANY, d.TIME)
+}
+
+
+# -- scheme (de)serialization ------------------------------------------------
+
+
+def domain_to_dict(dom: d.HistoricalDomain) -> dict:
+    """Serialize a historical domain (``TD`` / ``TT`` / ``CD``)."""
+    return {
+        "value_domain": dom.value_domain.name,
+        "constant": dom.constant,
+        "time_valued": dom.time_valued,
+    }
+
+
+def domain_from_dict(raw: Mapping,
+                     domains: Optional[Mapping[str, d.ValueDomain]] = None
+                     ) -> d.HistoricalDomain:
+    """Rebuild a historical domain; unknown value domains become
+    permissive stand-ins with the original name (equality preserved)."""
+    name = raw["value_domain"]
+    vd = (domains or {}).get(name) or _BUILTIN_DOMAINS.get(name)
+    if vd is None:
+        vd = d.ValueDomain(name, lambda value: True)
+    return d.HistoricalDomain(vd, constant=bool(raw["constant"]),
+                              time_valued=bool(raw["time_valued"]))
+
+
+def scheme_to_dict(scheme: RelationScheme) -> dict:
+    """Serialize the full 4-tuple ``<A, K, ALS, DOM>`` of a scheme."""
+    return {
+        "name": scheme.name,
+        "attributes": [[a, domain_to_dict(scheme.dom(a))]
+                       for a in scheme.attributes],
+        "key": list(scheme.key),
+        "lifespans": {a: [list(iv) for iv in scheme.als(a).intervals]
+                      for a in scheme.attributes},
+    }
+
+
+def scheme_from_dict(raw: Mapping,
+                     domains: Optional[Mapping[str, d.ValueDomain]] = None
+                     ) -> RelationScheme:
+    """Rebuild a scheme from :func:`scheme_to_dict` output.
+
+    Domain flags are restored verbatim (``constant_keys=False``), so
+    weak-keyed schemes produced by key-dropping projections round-trip
+    unchanged.
+    """
+    attributes = {a: domain_from_dict(spec, domains)
+                  for a, spec in raw["attributes"]}
+    lifespans = {a: Lifespan(*[tuple(iv) for iv in spans])
+                 for a, spans in raw["lifespans"].items()}
+    return RelationScheme(raw["name"], attributes, raw["key"], lifespans,
+                          constant_keys=False)
+
+
+def scheme_to_json(scheme: RelationScheme) -> str:
+    """The compact JSON form used inside WAL records."""
+    return json.dumps(scheme_to_dict(scheme), sort_keys=True)
+
+
+def scheme_from_json(raw: str,
+                     domains: Optional[Mapping[str, d.ValueDomain]] = None
+                     ) -> RelationScheme:
+    """Inverse of :func:`scheme_to_json`."""
+    return scheme_from_dict(json.loads(raw), domains)
+
+
+def time_domain_to_dict(td: TimeDomain) -> dict:
+    """Serialize a time domain, ``now`` marker included."""
+    return {"start": td.start, "end": td.end,
+            "granularity": td.granularity, "now": td.now}
+
+
+def time_domain_from_dict(raw: Mapping) -> TimeDomain:
+    """Inverse of :func:`time_domain_to_dict`."""
+    return TimeDomain(raw["start"], raw["end"],
+                      granularity=raw["granularity"], now=raw["now"])
+
+
+# -- the pager ---------------------------------------------------------------
+
+
+def _fsync_dir(path: str) -> None:
+    """Flush directory metadata (new/renamed files) to stable storage."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platforms without dir fds
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - not supported on this OS
+        pass
+    finally:
+        os.close(fd)
+
+
+class Pager:
+    """Owns one durable database directory (layout, manifest, snapshots)."""
+
+    def __init__(self, path: str):
+        self.path = os.path.abspath(path)
+        self.data_dir = os.path.join(self.path, DATA_DIR)
+        try:
+            os.makedirs(self.data_dir, exist_ok=True)
+        except OSError as exc:
+            raise StorageError(
+                f"cannot use {self.path!r} as a database directory: {exc}"
+            ) from exc
+
+    @property
+    def manifest_path(self) -> str:
+        return os.path.join(self.path, MANIFEST)
+
+    @property
+    def wal_path(self) -> str:
+        return os.path.join(self.path, WAL_FILE)
+
+    # -- single-writer lock ------------------------------------------------
+
+    def acquire_lock(self):
+        """Take the directory's advisory single-opener lock.
+
+        Two live databases on one directory would truncate and
+        interleave each other's log, so opening is exclusive: an
+        ``flock`` on the ``LOCK`` file, released automatically when
+        the holding process dies (no stale locks after a crash).
+        Returns the lock handle; pass it to :meth:`release_lock`.
+        """
+        handle = open(os.path.join(self.path, LOCK_FILE), "a+b")
+        try:
+            import fcntl
+        except ImportError:  # pragma: no cover - no flock on this platform
+            return handle
+        try:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+        except OSError:
+            handle.close()
+            raise StorageError(
+                f"the database at {self.path} is already open elsewhere "
+                f"(close the other handle, or remove a stale {LOCK_FILE} "
+                f"only if you are sure no process holds it)"
+            ) from None
+        return handle
+
+    @staticmethod
+    def release_lock(handle) -> None:
+        """Release a lock from :meth:`acquire_lock` (closing drops it)."""
+        if handle is not None:
+            handle.close()
+
+    # -- manifest ----------------------------------------------------------
+
+    def read_manifest(self) -> Optional[dict]:
+        """The current manifest, or None for a fresh directory."""
+        try:
+            with open(self.manifest_path, "r", encoding="utf-8") as fh:
+                manifest = json.load(fh)
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError) as exc:
+            raise RecoveryError(f"unreadable manifest at {self.manifest_path}: {exc}") from exc
+        version = manifest.get("format")
+        if version != FORMAT_VERSION:
+            raise RecoveryError(
+                f"manifest format {version!r} unsupported (expected {FORMAT_VERSION})"
+            )
+        return manifest
+
+    def write_manifest(self, manifest: dict) -> None:
+        """Atomically replace the manifest (tmp + fsync + rename)."""
+        tmp = self.manifest_path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(manifest, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, self.manifest_path)
+        _fsync_dir(self.path)
+
+    # -- snapshots ---------------------------------------------------------
+
+    def snapshot_path(self, name: str, generation: int) -> str:
+        return os.path.join(self.data_dir,
+                            f"{name}.{generation}.{SNAPSHOT_SUFFIX}")
+
+    def write_snapshot(self, name: str, generation: int, data: bytes) -> None:
+        """Durably write one relation's checkpoint snapshot."""
+        path = self.snapshot_path(name, generation)
+        tmp = path + ".tmp"
+        with open(tmp, "wb") as fh:
+            fh.write(data)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+        _fsync_dir(self.data_dir)
+
+    def read_snapshot(self, name: str, generation: int) -> bytes:
+        """One relation's snapshot bytes at *generation*."""
+        path = self.snapshot_path(name, generation)
+        try:
+            with open(path, "rb") as fh:
+                return fh.read()
+        except OSError as exc:
+            raise RecoveryError(
+                f"missing snapshot for relation {name!r} "
+                f"(generation {generation}) at {path}"
+            ) from exc
+
+    def clean_snapshots(self, keep_generation: int) -> None:
+        """Remove snapshot (and orphaned temp) files of older generations."""
+        for entry in os.listdir(self.data_dir):
+            full = os.path.join(self.data_dir, entry)
+            if entry.endswith(".tmp"):
+                os.unlink(full)
+                continue
+            parts = entry.rsplit(".", 2)
+            if len(parts) != 3 or parts[2] != SNAPSHOT_SUFFIX:
+                continue
+            try:
+                generation = int(parts[1])
+            except ValueError:
+                continue
+            if generation < keep_generation:
+                os.unlink(full)
+
+    def __repr__(self) -> str:
+        return f"Pager({self.path!r})"

@@ -18,7 +18,9 @@ Three interchangeable representations of an attribute value:
 
 :func:`best_representation` picks the most compact exact encoding for
 a function, and every representation reports its :meth:`cost` in
-stored atoms so benches can compare representation sizes.
+stored atoms so benches can compare representation sizes. (The paper's
+Section 6 / Figure 9 places this level between the model and the
+physical bytes; :mod:`repro.storage.engine` is where the levels meet.)
 """
 
 from __future__ import annotations

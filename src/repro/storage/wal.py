@@ -1,0 +1,384 @@
+"""The write-ahead log — durability for committed transactions.
+
+The paper's lifespan model (Section 1) is about histories that outlive
+any single query; this module is what lets them outlive the *process*.
+A :class:`WriteAheadLog` is an append-only file of framed, checksummed
+commit records. The database appends one record per committed
+transaction (auto-commit mutations count as one-operation
+transactions), *after* the in-memory state and the integrity
+constraints have accepted it — the WAL append is the durability point.
+
+Frame layout (little-endian)::
+
+    +----------+----------+------------------+
+    | length   | crc32    | payload          |
+    | u32      | u32      | `length` bytes   |
+    +----------+----------+------------------+
+
+    payload := generation u32 | lsn u64 | n_ops u32 | op*
+    op      := opcode u8 | opcode-specific body
+
+Opcodes mirror the four ways a catalog changes:
+
+* ``APPLY``   — a keyed batch of replacement tuples for one relation
+  (the normal mutation path, model-level tuples encoded by
+  :func:`repro.storage.engine.encode_tuple`);
+* ``INSTALL`` — a whole-relation replacement (schema evolution,
+  ``db.replace``), carrying the possibly-new scheme;
+* ``CREATE``  — a new catalog entry: storage kind, backend options,
+  scheme, and any initial tuples;
+* ``DROP``    — a catalog entry removed.
+
+Torn tails are expected, not exceptional: a crash mid-append leaves a
+final frame whose length or checksum does not verify. :meth:`recover`
+stops replay at the first invalid frame and truncates the file back to
+the last valid boundary, so the log is again append-able — exactly the
+"kill at any write boundary" contract the crash-safety property tests
+exercise.
+
+Sync policies trade durability latency for throughput (group commit):
+
+* ``"always"`` — ``fsync`` after every commit; an acknowledged commit
+  survives an immediate power cut;
+* ``"batch"``  — ``fsync`` every *batch_size* commits (and on
+  :meth:`flush` / :meth:`close`); a crash may lose the unsynced tail
+  of *acknowledged* commits, never a prefix — the classic group
+  commit;
+* ``"never"``  — leave syncing to the OS; fastest, weakest.
+
+``benchmarks/bench_wal.py`` measures the throughput spread.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import zlib
+from dataclasses import dataclass
+from typing import Any, Iterable, Optional
+
+from repro.core.errors import WALError
+from repro.storage.codec import decode_blobs, encode_blobs
+
+_FRAME = struct.Struct("<II")  # (payload length, crc32 of payload)
+_PAYLOAD_HEAD = struct.Struct("<IQI")  # (generation, lsn, n_ops)
+
+#: Operation codes inside a commit record.
+OP_APPLY = 1
+OP_INSTALL = 2
+OP_CREATE = 3
+OP_DROP = 4
+
+_U32 = struct.Struct("<I")
+
+#: The admissible values of the ``sync=`` policy.
+SYNC_POLICIES = ("always", "batch", "never")
+
+
+def _enc_str(value: str) -> bytes:
+    raw = value.encode("utf-8")
+    return _U32.pack(len(raw)) + raw
+
+
+def _dec_str(buf: memoryview, offset: int) -> tuple[str, int]:
+    (length,), offset = _U32.unpack_from(buf, offset), offset + 4
+    end = offset + length
+    if end > len(buf):
+        raise WALError(f"truncated string at offset {offset}")
+    return bytes(buf[offset:end]).decode("utf-8"), end
+
+
+# -- operation encoders ------------------------------------------------------
+
+
+def encode_apply(name: str, tuple_blobs: Iterable[bytes]) -> bytes:
+    """An APPLY op: *name* takes the encoded replacement tuples."""
+    return bytes([OP_APPLY]) + _enc_str(name) + encode_blobs(tuple_blobs)
+
+
+def encode_install(name: str, scheme_json: str,
+                   tuple_blobs: Iterable[bytes]) -> bytes:
+    """An INSTALL op: *name* is wholly replaced under *scheme_json*."""
+    return (bytes([OP_INSTALL]) + _enc_str(name) + _enc_str(scheme_json)
+            + encode_blobs(tuple_blobs))
+
+
+def encode_create(name: str, kind: str, options: dict,
+                  scheme_json: str, tuple_blobs: Iterable[bytes]) -> bytes:
+    """A CREATE op: a new catalog entry with its backend and contents."""
+    return (bytes([OP_CREATE]) + _enc_str(name) + _enc_str(kind)
+            + _enc_str(json.dumps(options, sort_keys=True))
+            + _enc_str(scheme_json) + encode_blobs(tuple_blobs))
+
+
+def encode_drop(name: str) -> bytes:
+    """A DROP op: the catalog entry *name* is removed."""
+    return bytes([OP_DROP]) + _enc_str(name)
+
+
+def decode_op(raw: bytes) -> tuple[Any, ...]:
+    """Decode one op into a tagged tuple.
+
+    Returns one of::
+
+        ("apply",   name, [tuple_bytes, ...])
+        ("install", name, scheme_json, [tuple_bytes, ...])
+        ("create",  name, kind, options_dict, scheme_json, [tuple_bytes, ...])
+        ("drop",    name)
+    """
+    buf = memoryview(raw)
+    if not buf:
+        raise WALError("empty operation")
+    opcode, offset = buf[0], 1
+    if opcode == OP_APPLY:
+        name, offset = _dec_str(buf, offset)
+        blobs, offset = decode_blobs(buf, offset)
+        return ("apply", name, blobs)
+    if opcode == OP_INSTALL:
+        name, offset = _dec_str(buf, offset)
+        scheme_json, offset = _dec_str(buf, offset)
+        blobs, offset = decode_blobs(buf, offset)
+        return ("install", name, scheme_json, blobs)
+    if opcode == OP_CREATE:
+        name, offset = _dec_str(buf, offset)
+        kind, offset = _dec_str(buf, offset)
+        options_json, offset = _dec_str(buf, offset)
+        scheme_json, offset = _dec_str(buf, offset)
+        blobs, offset = decode_blobs(buf, offset)
+        return ("create", name, kind, json.loads(options_json),
+                scheme_json, blobs)
+    if opcode == OP_DROP:
+        name, offset = _dec_str(buf, offset)
+        return ("drop", name)
+    raise WALError(f"unknown opcode {opcode}")
+
+
+# -- the log -----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CommitRecord:
+    """One committed transaction as read back from the log."""
+
+    generation: int
+    lsn: int
+    ops: tuple[bytes, ...]
+
+    def decoded(self) -> list[tuple[Any, ...]]:
+        """Every op of this record, decoded (see :func:`decode_op`)."""
+        return [decode_op(op) for op in self.ops]
+
+
+class WriteAheadLog:
+    """An append-only, checksummed log of commit records.
+
+    Records written after a checkpoint carry the checkpoint's
+    *generation*; replay skips records older than the manifest's
+    generation, which is what makes the checkpoint protocol safe
+    against a crash between the manifest flip and the log truncation.
+    """
+
+    def __init__(self, path: str, sync: str = "batch", batch_size: int = 64):
+        if sync not in SYNC_POLICIES:
+            options = ", ".join(SYNC_POLICIES)
+            raise WALError(f"unknown sync policy {sync!r}; expected one of: {options}")
+        if batch_size < 1:
+            raise WALError(f"batch_size must be >= 1, got {batch_size}")
+        self.path = path
+        self.sync = sync
+        self.batch_size = batch_size
+        self.generation = 0
+        self._lsn = 0
+        self._unsynced = 0
+        self._fh: Optional[Any] = None
+        self._broken = False
+
+    # -- recovery ----------------------------------------------------------
+
+    def recover(self) -> list[CommitRecord]:
+        """Read every complete record; truncate any torn tail.
+
+        A frame whose header is truncated, whose payload is shorter
+        than its declared length, or whose checksum does not verify
+        ends the replay: everything before it is the recovered history,
+        everything from it on is discarded (a torn final write). The
+        file is truncated back to the last valid frame boundary so
+        subsequent appends start clean.
+        """
+        self._ensure_closed("recover")
+        records: list[CommitRecord] = []
+        valid_end = 0
+        try:
+            with open(self.path, "rb") as fh:
+                raw = fh.read()
+        except FileNotFoundError:
+            raw = b""
+        offset = 0
+        while offset + _FRAME.size <= len(raw):
+            length, crc = _FRAME.unpack_from(raw, offset)
+            start = offset + _FRAME.size
+            end = start + length
+            if end > len(raw):
+                break  # torn final frame
+            payload = raw[start:end]
+            if zlib.crc32(payload) != crc:
+                break  # torn or corrupt tail
+            try:
+                records.append(self._decode_payload(payload))
+            except (WALError, struct.error):
+                break
+            offset = end
+            valid_end = end
+        if valid_end < len(raw):
+            with open(self.path, "r+b") as fh:
+                fh.truncate(valid_end)
+                fh.flush()
+                os.fsync(fh.fileno())
+        if records:
+            self._lsn = records[-1].lsn
+        return records
+
+    @staticmethod
+    def _decode_payload(payload: bytes) -> CommitRecord:
+        generation, lsn, n_ops = _PAYLOAD_HEAD.unpack_from(payload, 0)
+        buf = memoryview(payload)
+        offset = _PAYLOAD_HEAD.size
+        ops = []
+        for _ in range(n_ops):
+            (length,), offset = _U32.unpack_from(buf, offset), offset + 4
+            end = offset + length
+            if end > len(buf):
+                raise WALError("truncated op inside record")
+            ops.append(bytes(buf[offset:end]))
+            offset = end
+        if offset != len(buf):
+            raise WALError("trailing garbage inside record")
+        return CommitRecord(generation, lsn, tuple(ops))
+
+    # -- appending ---------------------------------------------------------
+
+    def append(self, ops: Iterable[bytes]) -> int:
+        """Frame and append one commit record; returns its LSN.
+
+        Honors the sync policy: the record is durable on return under
+        ``"always"``, durable after the next :meth:`flush` / batch
+        boundary under ``"batch"``, and left to the OS under
+        ``"never"``.
+
+        A failed append (disk full, I/O error) must not leave a
+        valid-looking frame behind — the caller is about to roll the
+        commit back, and replaying it later would resurrect a mutation
+        the application observed as failed. On any write/sync error the
+        partial frame is cut back out of the file before the error
+        propagates; if even that fails, the log is marked broken and
+        refuses further appends (reopen the database to recover).
+        """
+        materialized = list(ops)
+        if not materialized:
+            raise WALError("a commit record needs at least one op")
+        lsn = self._lsn + 1
+        body = [_PAYLOAD_HEAD.pack(self.generation, lsn, len(materialized))]
+        for op in materialized:
+            body.append(_U32.pack(len(op)))
+            body.append(op)
+        payload = b"".join(body)
+        frame = _FRAME.pack(len(payload), zlib.crc32(payload)) + payload
+        fh = self._file()
+        start = fh.tell()
+        try:
+            fh.write(frame)
+            if self.sync == "always":
+                fh.flush()
+                os.fsync(fh.fileno())
+            elif self.sync == "batch":
+                fh.flush()
+                self._unsynced += 1
+                if self._unsynced >= self.batch_size:
+                    os.fsync(fh.fileno())
+                    self._unsynced = 0
+            else:  # "never"
+                fh.flush()
+        except Exception as exc:
+            self._retract(start, exc)
+            raise
+        self._lsn = lsn
+        return lsn
+
+    def _retract(self, start: int, cause: BaseException) -> None:
+        """Remove a partially appended frame after a write failure."""
+        try:
+            if self._fh is not None:
+                self._fh.close()
+        except Exception:
+            pass
+        self._fh = None
+        try:
+            with open(self.path, "r+b") as fh:
+                fh.truncate(start)
+                fh.flush()
+                os.fsync(fh.fileno())
+        except OSError as exc:
+            self._broken = True
+            raise WALError(
+                f"log append failed ({cause}) and the partial frame could "
+                f"not be removed ({exc}); the log is offline — reopen the "
+                f"database to recover"
+            ) from exc
+
+    def flush(self) -> None:
+        """Force everything appended so far to stable storage."""
+        if self._fh is not None:
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
+            self._unsynced = 0
+
+    def reset(self, generation: int) -> None:
+        """Truncate the log after a checkpoint at *generation*.
+
+        Called only after the checkpoint manifest referencing
+        *generation* is durably in place: every record in the log is
+        then part of the snapshot and safe to discard. Records
+        appended afterwards carry the new generation.
+        """
+        fh = self._file()
+        fh.truncate(0)
+        fh.seek(0)
+        fh.flush()
+        os.fsync(fh.fileno())
+        self._unsynced = 0
+        self.generation = generation
+
+    @property
+    def size_bytes(self) -> int:
+        """The log's current length on disk."""
+        if self._fh is not None:
+            self._fh.flush()
+        try:
+            return os.path.getsize(self.path)
+        except OSError:
+            return 0
+
+    def close(self) -> None:
+        """Flush and release the log file."""
+        if self._fh is not None:
+            self.flush()
+            self._fh.close()
+            self._fh = None
+
+    def _file(self):
+        if self._broken:
+            raise WALError(
+                "the log is offline after a failed write; reopen the database"
+            )
+        if self._fh is None:
+            self._fh = open(self.path, "ab")
+        return self._fh
+
+    def _ensure_closed(self, action: str) -> None:
+        if self._fh is not None:
+            raise WALError(f"cannot {action} while the log is open for appending")
+
+    def __repr__(self) -> str:
+        return (f"WriteAheadLog({self.path!r}, sync={self.sync!r}, "
+                f"generation={self.generation}, lsn={self._lsn})")

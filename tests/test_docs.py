@@ -1,0 +1,81 @@
+"""The documentation is part of the test surface.
+
+Two guarantees, also enforced as a standalone CI job:
+
+* every ``>>>`` example in ``docs/*.md`` (and ``PAPER.md``) runs and
+  produces its documented output — the docs cannot drift from the
+  code;
+* every intra-repository markdown link points at a file that exists —
+  renames cannot silently orphan the docs.
+
+(The README's examples are covered separately by
+``tests/test_doctests.py``.)
+"""
+
+import doctest
+import glob
+import os
+import re
+
+import pytest
+
+_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), os.pardir))
+
+#: Markdown files whose ``>>>`` blocks must execute cleanly.
+DOCTESTED = sorted(glob.glob(os.path.join(_ROOT, "docs", "*.md"))) + [
+    os.path.join(_ROOT, "PAPER.md"),
+]
+
+#: Markdown files whose relative links must resolve.
+LINK_CHECKED = DOCTESTED + [
+    os.path.join(_ROOT, "README.md"),
+    os.path.join(_ROOT, "ROADMAP.md"),
+    os.path.join(_ROOT, "CHANGES.md"),
+]
+
+_LINK = re.compile(r"\[[^\]^\[]*\]\(([^)\s]+)\)")
+_EXTERNAL = ("http://", "https://", "mailto:")
+
+
+@pytest.mark.parametrize("path", DOCTESTED,
+                         ids=[os.path.relpath(p, _ROOT) for p in DOCTESTED])
+def test_doc_examples_run(path):
+    """Each ``>>>`` block in the file is a real doctest — run it."""
+    results = doctest.testfile(path, module_relative=False,
+                               optionflags=doctest.ELLIPSIS)
+    assert results.failed == 0, (
+        f"{results.failed} documented example(s) in "
+        f"{os.path.relpath(path, _ROOT)} no longer produce their output"
+    )
+
+
+def test_storage_walkthrough_is_doctested():
+    """The durability walkthrough must actually contain examples."""
+    results = doctest.testfile(os.path.join(_ROOT, "docs", "storage.md"),
+                               module_relative=False,
+                               optionflags=doctest.ELLIPSIS)
+    assert results.attempted >= 10
+    assert results.failed == 0
+
+
+@pytest.mark.parametrize("path", LINK_CHECKED,
+                         ids=[os.path.relpath(p, _ROOT) for p in LINK_CHECKED])
+def test_intra_repo_links_resolve(path):
+    """Relative markdown links must point at files that exist."""
+    with open(path, encoding="utf-8") as fh:
+        text = fh.read()
+    broken = []
+    for target in _LINK.findall(text):
+        if target.startswith(_EXTERNAL) or target.startswith("#"):
+            continue
+        relative = target.split("#", 1)[0]
+        if not relative:
+            continue
+        resolved = os.path.normpath(
+            os.path.join(os.path.dirname(path), relative))
+        if not os.path.exists(resolved):
+            broken.append(target)
+    assert not broken, (
+        f"{os.path.relpath(path, _ROOT)} has broken intra-repo link(s): "
+        f"{broken}"
+    )

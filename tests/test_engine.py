@@ -118,6 +118,76 @@ class TestPersistence:
                 == {t.key_value() for t in emp_relation.alive_at(60)})
 
 
+class TestCompactRebuildsIndexes:
+    def test_compact_after_deletes_keeps_temporal_reads_exact(self, stored,
+                                                              emp_relation):
+        """Compaction must leave both access methods consistent at once."""
+        victims = [t.key_value() for t in list(emp_relation)[:5]]
+        survivors = emp_relation  # used only for scheme/probe times below
+        stored._ensure_interval_index()  # build, then make it stale
+        for key in victims:
+            stored.delete(*key)
+        stored.compact()
+        # no manual rebuild_indexes(): compact did it
+        assert stored._dirty is False
+        for probe in (0, 30, 60, 90):
+            via_index = {t.key_value() for t in stored.alive_at(probe)}
+            via_scan = {t.key_value() for t in stored.scan()
+                        if probe in t.lifespan}
+            assert via_index == via_scan
+            assert not (via_index & set(victims))
+        del survivors
+
+    def test_compact_invalidates_statistics(self, stored):
+        before = stored.statistics()
+        stored.delete(*next(iter(stored)).key_value())
+        stored.compact()
+        assert stored.statistics().n_tuples == before.n_tuples - 1
+
+
+class TestIndexPersistence:
+    def test_index_bytes_restore_without_decoding(self, stored, emp_relation):
+        heap, index = stored.to_bytes(), stored.index_bytes()
+        recovered = StoredRelation.from_bytes(heap, emp_relation.scheme, index)
+        # indexes are live immediately — no lazy rebuild pending
+        assert recovered._dirty is False
+        assert recovered._interval_index is not None
+        assert len(recovered) == len(stored)
+        for probe in (0, 45, 100):
+            assert ({t.key_value() for t in recovered.alive_at(probe)}
+                    == {t.key_value() for t in stored.alive_at(probe)})
+        assert recovered.to_relation() == emp_relation
+
+    def test_stale_index_is_discarded(self, stored, emp_relation):
+        index = stored.index_bytes()
+        stored.delete(*next(iter(stored)).key_value())
+        heap = stored.to_bytes()
+        # index claims one more record than the heap holds → rebuilt
+        recovered = StoredRelation.from_bytes(heap, emp_relation.scheme, index)
+        assert len(recovered) == len(stored)
+        assert recovered.to_relation() == stored.to_relation()
+
+    def test_corrupt_index_bytes_fall_back_to_heap(self, stored, emp_relation):
+        """Truncated or bit-rotted index bytes must not fail the load —
+        the heap is the truth and the indexes rebuild from it."""
+        heap, index = stored.to_bytes(), stored.index_bytes()
+        for damaged in (index[: len(index) // 2],      # truncated mid-entry
+                        b"\xee" * len(index),           # garbage
+                        b"\x01\x00\x00"):               # short header
+            recovered = StoredRelation.from_bytes(heap, emp_relation.scheme,
+                                                  damaged)
+            assert recovered.to_relation() == emp_relation
+            assert ({t.key_value() for t in recovered.alive_at(60)}
+                    == {t.key_value() for t in stored.alive_at(60)})
+
+    def test_index_bytes_after_deletes(self, stored, emp_relation):
+        for t in list(stored.scan())[:3]:
+            stored.delete(*t.key_value())
+        recovered = StoredRelation.from_bytes(
+            stored.to_bytes(), emp_relation.scheme, stored.index_bytes())
+        assert recovered.to_relation() == stored.to_relation()
+
+
 # ---------------------------------------------------------------------------
 # Property tests: random relations survive the full storage stack.
 # ---------------------------------------------------------------------------

@@ -57,3 +57,42 @@ class TestFormatResult:
     def test_table_truncation(self, env):
         out = format_result(env["EMP"])
         assert "tuple(s)" in out.splitlines()[0]
+
+
+class TestDurableCommands:
+    def test_open_creates_and_switches(self, env, tmp_path):
+        state = {"env": env}
+        out = execute(f"\\open {tmp_path / 'shop'}", env, {}, state)
+        assert "opened durable database 'shop'" in out
+        db = state["env"]
+        assert db is not env and db.durable
+        db.close()
+
+    def test_open_usage(self, env):
+        assert execute("\\open", env) == "usage: \\open PATH"
+
+    def test_checkpoint_requires_durable(self, env):
+        out = execute("\\checkpoint", env)
+        assert out.startswith("error:") and "not durable" in out
+
+    def test_checkpoint_on_durable_database(self, env, tmp_path):
+        state = {"env": env}
+        execute(f"\\open {tmp_path / 'shop'}", env, {}, state)
+        db = state["env"]
+        out = execute("\\checkpoint", db, {}, state)
+        assert out == "checkpointed 'shop' at generation 1"
+        db.close()
+
+    def test_open_reports_bad_path(self, env, tmp_path):
+        # a file where a directory should be → error string, no crash
+        bad = tmp_path / "occupied"
+        bad.write_text("not a directory")
+        out = execute(f"\\open {bad}", env, {}, {"env": env})
+        assert out.startswith("error:")
+
+    def test_open_without_session_state_refused(self, env):
+        # the documented 3-arg form cannot switch databases: refuse
+        # instead of closing the caller's env and leaking the new one
+        out = execute("\\open /tmp/nowhere-relevant", env)
+        assert out.startswith("error:") and "interactive session" in out
+        assert env.durable is False  # untouched
