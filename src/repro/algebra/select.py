@@ -28,8 +28,7 @@ from __future__ import annotations
 from enum import Enum
 from typing import Optional
 
-from repro.core.errors import AlgebraError
-from repro.core.lifespan import ALWAYS, Lifespan
+from repro.core.lifespan import Lifespan
 from repro.core.relation import HistoricalRelation
 from repro.algebra.predicates import Predicate
 
@@ -43,6 +42,12 @@ class Quantifier(Enum):
 
 EXISTS = Quantifier.EXISTS
 FORALL = Quantifier.FORALL
+
+# Imported after Quantifier is defined: repro.algebra.kernels needs the
+# enum, and this module applies the kernels relation-wide. The per-tuple
+# decision logic lives in kernels so the pipelined plan executor runs
+# the very same code (see the kernels module docstring).
+from repro.algebra import kernels  # noqa: E402
 
 
 def select_if(
@@ -75,20 +80,9 @@ def select_if(
     HistoricalRelation
         The selected tuples, lifespans unchanged.
     """
-    bound = ALWAYS if lifespan is None else lifespan
-
-    def keep(t) -> bool:
-        window = bound & t.lifespan
-        if window.is_empty:
-            return vacuous if quantifier is FORALL else False
-        satisfied = predicate.satisfying_lifespan(t, window)
-        if quantifier is EXISTS:
-            return not satisfied.is_empty
-        if quantifier is FORALL:
-            return satisfied == window
-        raise AlgebraError(f"unknown quantifier {quantifier!r}")
-
-    return relation.filter(keep)
+    return relation.filter(
+        lambda t: kernels.select_if_keeps(t, predicate, quantifier, lifespan, vacuous)
+    )
 
 
 def select_when(
@@ -102,15 +96,8 @@ def select_when(
     set of chronons of ``(L ∩ t.l)`` at which the predicate is met;
     tuples with empty ``W`` drop out entirely.
     """
-    bound = ALWAYS if lifespan is None else lifespan
-
     def shrink(t):
-        window = bound & t.lifespan
-        if window.is_empty:
-            return None
-        satisfied = predicate.satisfying_lifespan(t, window)
-        if satisfied.is_empty:
-            return None
-        return t.restrict(satisfied)
+        satisfied = kernels.select_when_window(t, predicate, lifespan)
+        return kernels.when_restrict(t, satisfied)
 
     return relation.map_tuples(shrink)

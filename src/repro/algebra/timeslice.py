@@ -15,8 +15,8 @@ time. Two application modes:
 
 from __future__ import annotations
 
+from repro.algebra.kernels import check_time_valued, dynamic_window, slice_tuple
 from repro.core.attribute import AttributeLike, attr_name
-from repro.core.errors import NotTimeValuedError
 from repro.core.lifespan import Lifespan
 from repro.core.relation import HistoricalRelation
 
@@ -29,7 +29,7 @@ def timeslice(relation: HistoricalRelation, lifespan: Lifespan) -> HistoricalRel
 
     >>> nineties = timeslice(emp, Lifespan.interval(1990, 1999))  # doctest: +SKIP
     """
-    return relation.map_tuples(lambda t: t.restrict(lifespan))
+    return relation.map_tuples(lambda t: slice_tuple(t, lifespan))
 
 
 def timeslice_at(relation: HistoricalRelation, time: int) -> HistoricalRelation:
@@ -50,14 +50,10 @@ def dynamic_timeslice(relation: HistoricalRelation,
         If ``DOM(A)`` is not ``TT`` (time-valued).
     """
     name = attr_name(attribute)
-    dom = relation.scheme.dom(name)
-    if not dom.time_valued:
-        raise NotTimeValuedError(
-            f"dynamic TIME-SLICE needs a TT attribute; {name!r} has domain {dom.name}"
-        )
+    check_time_valued(relation.scheme, name)
 
     def shrink(t):
-        window = t.value(name).image_lifespan()
+        window = dynamic_window(t, name)
         if window.is_empty:
             return None
         return t.restrict(window)

@@ -30,10 +30,29 @@ from repro.core.scheme import RelationScheme
 from repro.core.tfunc import TemporalFunction
 
 
+def key_from_functions(functions: Iterable[TemporalFunction]) -> tuple:
+    """Fold key-attribute functions into a key value.
+
+    A constant (CD) component contributes its constant; a non-constant
+    (weak-key) component contributes the whole function as the
+    identity. The single definition of key identity — shared by
+    :meth:`HistoricalTuple.key_value` and the storage engine's
+    record-level key extraction, which must agree exactly for the key
+    and interval indexes to stay consistent with relation keys.
+    """
+    out = []
+    for fn in functions:
+        if fn and fn.is_constant():
+            out.append(fn.constant_value())
+        else:
+            out.append(fn)
+    return tuple(out)
+
+
 class HistoricalTuple:
     """An immutable historical tuple ``<v, l>`` on a relation scheme."""
 
-    __slots__ = ("scheme", "lifespan", "_values", "_hash")
+    __slots__ = ("scheme", "lifespan", "_values", "_hash", "_key")
 
     def __init__(
         self,
@@ -101,6 +120,7 @@ class HistoricalTuple:
         self.lifespan = lifespan
         self._values = normalized
         self._hash: int | None = None
+        self._key: tuple[Any, ...] | None = None
 
     # -- constructors --------------------------------------------------------
 
@@ -196,15 +216,15 @@ class HistoricalTuple:
         that dropped the original key re-keys on whatever remains), a
         non-constant component contributes its whole function as the
         identity.
+
+        The tuple is immutable, so the key is computed once and cached
+        — interval-scan deduplication and relation key maps ask for it
+        repeatedly per tuple.
         """
-        out = []
-        for k in self.scheme.key:
-            fn = self._values[k]
-            if fn and fn.is_constant():
-                out.append(fn.constant_value())
-            else:
-                out.append(fn)
-        return tuple(out)
+        if self._key is None:
+            self._key = key_from_functions(
+                self._values[k] for k in self.scheme.key)
+        return self._key
 
     def is_total(self) -> bool:
         """True if every attribute value is total on its ``vls``."""

@@ -477,7 +477,9 @@ class HistoricalDatabase:
             plan = planner.plan(compiled.child, env, when=True)
         else:
             plan = planner.plan(compiled, env)
-        return QueryResult(plan.execute(env), plan)
+        # The stream materializes inside QueryResult — the result
+        # object is the pipeline's final breaker.
+        return QueryResult(plan.execute_stream(env), plan)
 
     def explain(self, source,
                 params: Optional[Mapping[str, Any]] = None, *,

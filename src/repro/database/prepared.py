@@ -64,7 +64,7 @@ class PreparedQuery:
               optimize: bool = True) -> QueryResult:
         """Bind, plan (or reuse a cached plan), execute; typed result."""
         plan, _ = self._plan(params, optimize)
-        result = plan.execute(self._db._env())
+        result = plan.execute_stream(self._db._env())
         return QueryResult(result, plan)
 
     def explain(self, params: Optional[Mapping[str, Any]] = None, *,

@@ -17,6 +17,13 @@ Accessing the wrong sort (``.lifespan`` on a relation result) raises
 :class:`~repro.core.errors.QueryError` instead of silently returning
 the wrong type — the failure the old union return made easy.
 
+A :class:`QueryResult` is also the query pipeline's **final breaker**:
+the executor streams tuples from the scans through the plan's
+operators (:mod:`repro.planner.executor`), and the stream materializes
+into a relation right here, as the result is constructed — no
+intermediate relation exists between the scan and the answer the
+caller holds.
+
 For migration friendliness the wrapper also *delegates* the common
 dunders to the underlying value: ``len(result)``, ``bool(result)``,
 iteration, and ``==`` against a plain relation / lifespan all behave as
@@ -31,11 +38,14 @@ from repro.core.errors import QueryError
 from repro.core.lifespan import Lifespan
 from repro.core.relation import HistoricalRelation
 from repro.core.tuples import HistoricalTuple
+from repro.planner.executor import TupleStream
 from repro.planner.explain import PlanExplanation
 from repro.planner.plan import Plan
 
-#: The raw sorts a query can evaluate to.
-ResultValue = Union[HistoricalRelation, Lifespan, PlanExplanation]
+#: The raw sorts a query can evaluate to. A ``TupleStream`` (the
+#: pipelined executor's output) is accepted too and materializes into a
+#: relation as the result is built.
+ResultValue = Union[HistoricalRelation, Lifespan, PlanExplanation, TupleStream]
 
 
 class QueryResult:
@@ -44,6 +54,10 @@ class QueryResult:
     __slots__ = ("kind", "_value", "_plan")
 
     def __init__(self, value: ResultValue, plan: Optional[Plan] = None):
+        if isinstance(value, TupleStream):
+            # The result is the last pipeline breaker: scans streamed
+            # tuple-by-tuple through the operators into this relation.
+            value = value.materialize()
         if isinstance(value, PlanExplanation):
             self.kind = "plan"
             plan = plan or value.plan

@@ -18,12 +18,16 @@ Data flow::
 """
 
 from repro.planner.cost import annotate, full_scan, interval_scan, key_lookup
-from repro.planner.executor import execute
+from repro.planner.executor import TupleStream, execute, execute_stream
 from repro.planner.explain import PlanExplanation, explain, render_plan
 from repro.planner.plan import (
     DynamicSlice,
     Filter,
     FullScan,
+    FusedFilter,
+    FusedProject,
+    FusedScan,
+    FusedSlice,
     IntervalScan,
     JoinOp,
     KeyLookup,
@@ -36,13 +40,17 @@ from repro.planner.plan import (
     Slice,
     WhenOp,
 )
-from repro.planner.planner import Planner, plan
+from repro.planner.planner import Planner, fuse_plan, plan
 from repro.planner.stats import Statistics
 
 __all__ = [
     "DynamicSlice",
     "Filter",
     "FullScan",
+    "FusedFilter",
+    "FusedProject",
+    "FusedScan",
+    "FusedSlice",
     "IntervalScan",
     "JoinOp",
     "KeyLookup",
@@ -56,11 +64,14 @@ __all__ = [
     "SetOp",
     "Slice",
     "Statistics",
+    "TupleStream",
     "WhenOp",
     "annotate",
     "execute",
+    "execute_stream",
     "explain",
     "full_scan",
+    "fuse_plan",
     "interval_scan",
     "key_lookup",
     "plan",

@@ -25,7 +25,15 @@ from __future__ import annotations
 import math
 from typing import Mapping, Optional, Tuple
 
-from repro.algebra.predicates import And, AttrOp, AttrRef, Not, Or, Predicate
+from repro.algebra.predicates import (
+    And,
+    AttrOp,
+    AttrRef,
+    Not,
+    Or,
+    Predicate,
+    referenced_attributes,
+)
 from repro.core.lifespan import ALWAYS, EMPTY_LIFESPAN, Lifespan
 from repro.planner import plan as P
 from repro.planner.stats import UNKNOWN, Statistics
@@ -34,6 +42,10 @@ from repro.planner.stats import UNKNOWN, Statistics
 TUPLE_CPU = 1.0
 #: Cost of decoding one stored heap record (codec + tuple rebuild).
 DECODE = 6.0
+#: Cost of decoding just a record's header (lifespan + key + offsets) —
+#: what a fused scan pays per *candidate* tuple before deciding whether
+#: any attribute is worth decoding.
+HEADER_DECODE = 1.0
 #: Cost of one index probe level (hash hop / tree node).
 PROBE = 2.0
 #: Cost of evaluating a predicate against one tuple.
@@ -159,6 +171,8 @@ def _estimate(node: P.PhysicalNode, stats_env: StatsEnv, keys: KeyEnv) -> None:
         stats = _stats_for(node.name, stats_env)
         node.est_rows, node.est_cost = interval_scan(stats, node.window)
         node.est_extent = stats.extent & node.window.span()
+    elif isinstance(node, P.FusedScan):
+        _estimate_fused(node, stats_env, keys)
     elif isinstance(node, P.Materialized):
         node.est_rows = float(len(node.relation))
         node.est_cost = len(node.relation) * TUPLE_CPU
@@ -233,15 +247,78 @@ def _estimate(node: P.PhysicalNode, stats_env: StatsEnv, keys: KeyEnv) -> None:
         node.est_extent = EMPTY_LIFESPAN
 
 
+def _estimate_fused(node: P.FusedScan, stats_env: StatsEnv, keys: KeyEnv) -> None:
+    """Rows / cost / extent of a fused scan.
+
+    The candidate set is the underlying access path's; per candidate
+    the engine decodes a *header* (cheap) instead of a whole record,
+    predicates decode only the attributes they reference, and only the
+    tuples surviving every fused op pay (projected-fraction) decode
+    and materialization costs. That per-attribute accounting is why a
+    fused plan prices far below the scan-then-filter chain it
+    replaces.
+    """
+    stats = _stats_for(node.name, stats_env)
+    key = keys.get(node.name, ())
+    n_attrs = max(1, stats.n_attributes)
+    per_candidate = HEADER_DECODE if stats.stored else TUPLE_CPU
+    if node.window is None:
+        rows = float(stats.n_tuples)
+        cost = rows * per_candidate
+        extent = stats.extent
+    else:
+        rows = stats.n_tuples * stats.overlap_selectivity(node.window)
+        probes = (max(1, node.window.n_intervals)
+                  * PROBE * math.log2(stats.n_tuples + 2))
+        cost = probes + rows * (PROBE + per_candidate)
+        extent = stats.extent & node.window.span()
+    touched: set = set()  # attributes fused predicates have decoded
+    projected = None  # attribute names of the output scheme, if narrowed
+    for op in node.ops:
+        if isinstance(op, P.FusedFilter):
+            fresh = referenced_attributes(op.predicate) - touched
+            cost += rows * PREDICATE_CPU
+            if stats.stored and fresh:
+                # Decodes are memoized per view: each attribute is
+                # billed the first time a predicate touches it, never
+                # again.
+                cost += rows * DECODE * min(1.0, len(fresh) / n_attrs)
+            touched |= fresh
+            sel = predicate_selectivity(op.predicate, stats, key)
+            if op.lifespan is not None:
+                sel *= _window_selectivity(extent, op.lifespan)
+                if op.flavor == "when":
+                    extent = extent & op.lifespan
+            rows *= sel
+        elif isinstance(op, P.FusedSlice):
+            cost += rows * RESTRICT_CPU
+            rows *= _window_selectivity(extent, op.lifespan)
+            extent = extent & op.lifespan
+        elif isinstance(op, P.FusedProject):
+            projected = set(op.attributes)
+    # Survivors materialize, decoding only the output columns their
+    # predicates have not already paid for.
+    if stats.stored:
+        if projected is not None:
+            remaining = len(projected - touched)
+        else:
+            remaining = max(0, n_attrs - len(touched))
+        cost += rows * DECODE * (remaining / n_attrs)
+    cost += rows * TUPLE_CPU
+    node.est_rows = rows
+    node.est_cost = cost
+    node.est_extent = extent
+
+
 def _leaf_stats(node: P.PhysicalNode, stats_env: StatsEnv) -> Statistics:
     """Statistics of the base relation under *node*, if it is a leaf access."""
-    if isinstance(node, (P.FullScan, P.KeyLookup, P.IntervalScan)):
+    if isinstance(node, (P.FullScan, P.KeyLookup, P.IntervalScan, P.FusedScan)):
         return _stats_for(node.name, stats_env)
     return UNKNOWN
 
 
 def _leaf_key(node: P.PhysicalNode, keys: KeyEnv) -> Tuple[str, ...]:
     """The key attributes of the base relation under a leaf access node."""
-    if isinstance(node, (P.FullScan, P.KeyLookup, P.IntervalScan)):
+    if isinstance(node, (P.FullScan, P.KeyLookup, P.IntervalScan, P.FusedScan)):
         return keys.get(node.name, ())
     return ()

@@ -1,27 +1,48 @@
-"""The plan executor — physical operators against real access methods.
+"""The plan executor — a pipelined (Volcano-style) engine.
 
 :func:`execute` interprets a physical plan tree against an environment
 mapping relation names to either in-memory
 :class:`~repro.core.relation.HistoricalRelation` values or
-:class:`~repro.storage.engine.StoredRelation` handles. Leaf access
-paths dispatch to the matching engine method (``scan`` / ``get`` /
-``alive_during``); interior operators call the same algebra functions
-the naive evaluator uses, so *every plan shape computes exactly the
-naive answer* — the access path changes costs, never results (the
-engine's contract, restated at the planner level and property-tested
-in ``tests/test_planner.py``).
+:class:`~repro.storage.engine.StoredRelation` handles.
+
+Execution is **streaming**: scan leaves yield historical tuples one at
+a time, and the unary operators (``Filter``, ``Slice``,
+``DynamicSlice``, ``ProjectOp``, ``RenameOp``) are generators applying
+the per-tuple kernels of :mod:`repro.algebra.kernels` — the same
+per-tuple logic the naive evaluator runs, so *every plan shape
+computes exactly the naive answer*; pipelining changes costs, never
+results (property-tested in ``tests/test_planner.py``). Tuples
+materialize into a relation only at **pipeline breakers**: set
+operations, joins, the Ω operator, and the final result
+(:class:`TupleStream.materialize`, or
+:class:`~repro.database.result.QueryResult` consuming the stream).
+
+Two scan-side optimizations make the pipeline earn the planner's
+estimates on stored relations:
+
+* :class:`~repro.planner.plan.FusedScan` leaves evaluate their fused
+  filters / slices / projections against *lazily decoded* records
+  (:class:`~repro.storage.engine.TupleView`): the header answers
+  lifespan tests, predicates decode only the attributes they
+  reference, and only surviving tuples materialize — with only their
+  projected attributes decoded;
+* plain scans serve repeat reads from the engine's decoded-tuple
+  cache, so an unchanged relation is never decoded twice.
 
 With ``record=True`` each node is stamped with its observed output
-cardinality and wall-clock time — the "actual" column of
-``EXPLAIN ANALYZE``.
+cardinality and wall-clock time — the "actual" column of ``EXPLAIN
+ANALYZE``. The recording path materializes at every node boundary (the
+point is to attribute rows and time to individual operators), so
+``ANALYZE`` numbers describe the un-pipelined data flow.
 """
 
 from __future__ import annotations
 
 import time
-from typing import Any, Mapping, Union
+from typing import Any, Iterable, Iterator, Mapping, Optional, Union
 
 from repro.algebra import join as join_ops
+from repro.algebra import kernels
 from repro.algebra import merge as merge_ops
 from repro.algebra import setops
 from repro.algebra.project import project as project_op
@@ -32,7 +53,10 @@ from repro.algebra.when import when as when_op
 from repro.core.errors import AlgebraError
 from repro.core.lifespan import Lifespan
 from repro.core.relation import HistoricalRelation
+from repro.core.scheme import RelationScheme
+from repro.core.tuples import HistoricalTuple
 from repro.planner import plan as P
+from repro.storage.engine import TupleView
 
 #: Execution environments may mix in-memory and stored relations.
 Source = Any  # HistoricalRelation | StoredRelation
@@ -49,6 +73,56 @@ _SETOP_FNS = {
 }
 
 
+class TupleStream:
+    """A stream of historical tuples plus the relation metadata needed
+    to materialize them.
+
+    The executor's unit of data flow: operators transform streams into
+    streams without building intermediate relations. ``scheme`` and
+    ``enforce_key`` are folded eagerly (operator by operator, exactly
+    as the relation-level algebra would set them), so
+    :meth:`materialize` builds the same
+    :class:`~repro.core.relation.HistoricalRelation` the naive
+    evaluator returns.
+    """
+
+    __slots__ = ("scheme", "enforce_key", "_tuples", "_relation", "_consumed")
+
+    def __init__(self, scheme: RelationScheme,
+                 tuples: Iterable[HistoricalTuple],
+                 enforce_key: bool = True,
+                 relation: Optional[HistoricalRelation] = None):
+        self.scheme = scheme
+        self.enforce_key = enforce_key
+        self._tuples = tuples
+        #: When the stream is exactly an existing relation (an unfused
+        #: in-memory scan, a literal, a breaker's output), keep it:
+        #: materializing again would only rehash every tuple.
+        self._relation = relation
+        self._consumed = False
+
+    def _drain(self) -> Iterable[HistoricalTuple]:
+        if self._consumed:
+            raise AlgebraError(
+                "tuple stream already consumed; a stream flows once — "
+                "materialize() it if the tuples are needed again"
+            )
+        self._consumed = True
+        return self._tuples
+
+    def __iter__(self) -> Iterator[HistoricalTuple]:
+        if self._relation is not None:
+            return iter(self._relation)
+        return iter(self._drain())
+
+    def materialize(self) -> HistoricalRelation:
+        """Drain the stream into a relation (a pipeline breaker)."""
+        if self._relation is not None:
+            return self._relation
+        return HistoricalRelation(self.scheme, self._drain(),
+                                  enforce_key=self.enforce_key)
+
+
 def _source(env: Env, name: str) -> Source:
     try:
         return env[name]
@@ -60,13 +134,23 @@ def _is_stored(source: Source) -> bool:
     return not isinstance(source, HistoricalRelation)
 
 
+def _enforces_key(source: Source) -> bool:
+    return getattr(source, "enforce_key", True)
+
+
+# -- the streaming engine ------------------------------------------------
+
+
 def execute(node: P.PhysicalNode, env: Env,
             record: bool = False) -> Union[HistoricalRelation, Lifespan]:
     """Run *node* against *env*; optionally stamp actual rows / times."""
     if not record:
-        return _run(node, env, False)
+        result = execute_stream(node, env)
+        if isinstance(result, TupleStream):
+            return result.materialize()
+        return result
     start = time.perf_counter()
-    result = _run(node, env, True)
+    result = _run_materialized(node, env)
     node.actual_ms = (time.perf_counter() - start) * 1000.0
     if isinstance(result, HistoricalRelation):
         node.actual_rows = len(result)
@@ -75,7 +159,288 @@ def execute(node: P.PhysicalNode, env: Env,
     return result
 
 
-def _run(node: P.PhysicalNode, env: Env, record: bool):
+def execute_stream(node: P.PhysicalNode, env: Env
+                   ) -> Union["TupleStream", Lifespan]:
+    """Run *node* against *env*, returning the top of the pipeline.
+
+    Relation-sorted plans come back as a lazy :class:`TupleStream` —
+    the caller is the final pipeline breaker. An Ω-topped plan drains
+    its child stream here (the union of lifespans needs every tuple,
+    but never a relation) and returns the
+    :class:`~repro.core.lifespan.Lifespan`.
+    """
+    if isinstance(node, P.WhenOp):
+        # Ω over a bare stored scan needs only the header lifespans —
+        # LS(r) without decoding a single attribute.
+        if isinstance(node.child, P.FullScan):
+            source = _source(env, node.child.name)
+            if _is_stored(source):
+                return Lifespan.union_all(source.iter_lifespans())
+        child = _stream(node.child, env)
+        return Lifespan.union_all(t.lifespan for t in child)
+    return _stream(node, env)
+
+
+def _stream(node: P.PhysicalNode, env: Env) -> TupleStream:
+    """Translate a plan node into a (lazy) tuple stream.
+
+    Structural work — environment lookups, scheme folding, argument
+    validation — happens *eagerly* here, so errors surface when the
+    pipeline is built, exactly as they do in the naive evaluator.
+    Only the per-tuple work is deferred.
+    """
+    # -- leaves ----------------------------------------------------------
+    if isinstance(node, P.FullScan):
+        source = _source(env, node.name)
+        if _is_stored(source):
+            return TupleStream(source.scheme, source.scan())
+        return TupleStream(source.scheme, iter(source), source.enforce_key,
+                           relation=source)
+    if isinstance(node, P.Materialized):
+        relation = node.relation
+        return TupleStream(relation.scheme, iter(relation),
+                           relation.enforce_key, relation=relation)
+    if isinstance(node, P.KeyLookup):
+        source = _source(env, node.name)
+        t = source.get(*node.key)
+        return TupleStream(source.scheme, () if t is None else (t,),
+                           _enforces_key(source))
+    if isinstance(node, P.IntervalScan):
+        source = _source(env, node.name)
+        return TupleStream(source.scheme,
+                           _window_tuples(source, node.window),
+                           _enforces_key(source))
+    if isinstance(node, P.FusedScan):
+        return _fused_stream(node, env)
+
+    # -- streaming unary operators ---------------------------------------
+    if isinstance(node, P.Filter):
+        child = _stream(node.child, env)
+        if node.flavor == "if":
+            tuples = (t for t in child
+                      if kernels.select_if_keeps(t, node.predicate,
+                                                 node.quantifier, node.lifespan))
+        else:
+            tuples = _select_when_tuples(child, node.predicate, node.lifespan)
+        return TupleStream(child.scheme, tuples, child.enforce_key)
+    if isinstance(node, P.Slice):
+        child = _stream(node.child, env)
+        lifespan = node.lifespan
+        tuples = (s for t in child
+                  if (s := kernels.slice_tuple(t, lifespan)) is not None)
+        return TupleStream(child.scheme, tuples, child.enforce_key)
+    if isinstance(node, P.DynamicSlice):
+        child = _stream(node.child, env)
+        kernels.check_time_valued(child.scheme, node.attribute)
+        tuples = _dynamic_slice_tuples(child, node.attribute)
+        return TupleStream(child.scheme, tuples, child.enforce_key)
+    if isinstance(node, P.ProjectOp):
+        child = _stream(node.child, env)
+        names = child.scheme.check_attributes(node.attributes)
+        scheme = child.scheme.project(names)
+        keeps_key = set(child.scheme.key).issubset(names)
+        tuples = (t.project(names, scheme) for t in child)
+        return TupleStream(scheme, tuples, child.enforce_key and keeps_key)
+    if isinstance(node, P.RenameOp):
+        child = _stream(node.child, env)
+        mapping = dict(node.mapping)
+        scheme = child.scheme.rename(mapping)
+        tuples = (t.rename(mapping, scheme) for t in child)
+        return TupleStream(scheme, tuples, child.enforce_key)
+
+    # -- pipeline breakers -----------------------------------------------
+    if isinstance(node, (P.SetOp, P.JoinOp)):
+        left = _stream(node.left, env).materialize()
+        right = _stream(node.right, env).materialize()
+        result = _binary(node, left, right)
+        return TupleStream(result.scheme, iter(result), result.enforce_key,
+                           relation=result)
+    raise AlgebraError(f"executor cannot run node {node!r}")
+
+
+def _select_when_tuples(child: TupleStream, predicate, lifespan):
+    for t in child:
+        window = kernels.select_when_window(t, predicate, lifespan)
+        restricted = kernels.when_restrict(t, window)
+        if restricted is not None:
+            yield restricted
+
+
+def _dynamic_slice_tuples(child: TupleStream, attribute: str):
+    for t in child:
+        window = kernels.dynamic_window(t, attribute)
+        if window.is_empty:
+            continue
+        restricted = t.restrict(window)
+        if restricted is not None:
+            yield restricted
+
+
+def _window_tuples(source: Source, window: Lifespan):
+    """The tuples of *source* whose lifespans meet *window* (deduped)."""
+    if _is_stored(source):
+        scheme = source.scheme
+        for item in source.window_lazy(window):
+            yield item.materialize(scheme) if isinstance(item, TupleView) else item
+    else:
+        # A plan carrying an interval scan can still run against an
+        # in-memory binding of the same name; the semantics are just an
+        # overlap filter.
+        for t in source:
+            if t.lifespan.overlaps(window):
+                yield t
+
+
+def _binary(node: P.PhysicalNode, left: HistoricalRelation,
+            right: HistoricalRelation) -> HistoricalRelation:
+    if isinstance(node, P.SetOp):
+        return _SETOP_FNS[node.op](left, right)
+    if node.kind == "theta":
+        return join_ops.theta_join(left, right, node.left_attr,
+                                   node.theta, node.right_attr)
+    if node.kind == "natural":
+        return join_ops.natural_join(left, right)
+    return join_ops.time_join(left, right, node.via)
+
+
+# -- fused scans ---------------------------------------------------------
+
+
+def _fused_stream(node: P.FusedScan, env: Env) -> TupleStream:
+    """Run a fused scan: apply the fused ops per tuple, while reading.
+
+    Over a stored relation the items are lazy
+    :class:`~repro.storage.engine.TupleView` records (or already-cached
+    tuples); over an in-memory relation the ops apply eagerly to each
+    tuple. Either way every op runs through the same streaming kernels
+    the naive operators use, in the original bottom-up order.
+    """
+    source = _source(env, node.name)
+    steps, out_scheme, enforce_key = _fused_steps(node, source)
+    if node.window is None:
+        if _is_stored(source):
+            items = source.scan_lazy()
+        else:
+            items = iter(source)
+    elif _is_stored(source):
+        items = source.window_lazy(node.window)
+    else:
+        window = node.window
+        items = (t for t in source if t.lifespan.overlaps(window))
+    return TupleStream(out_scheme,
+                       _fused_tuples(items, steps, out_scheme),
+                       enforce_key)
+
+
+def _fused_steps(node: P.FusedScan, source: Source):
+    """Resolve the fused ops against the source scheme, eagerly.
+
+    Returns ``(steps, output scheme, enforce_key)`` where each step is
+    ``(op, projected names, target scheme)`` — the latter two are None
+    except for projections, which pre-compute their target scheme once
+    per scan instead of once per tuple.
+    """
+    scheme = source.scheme
+    enforce_key = _enforces_key(source)
+    # LS(r) backs the identity-slice elision below; computed on the
+    # first slice op only (statistics are header-only and cached, but
+    # filter-only scans need no extent at all).
+    extent: Optional[Lifespan] = None
+    steps = []
+    for op in node.ops:
+        if isinstance(op, P.FusedSlice):
+            if extent is None:
+                extent = source.statistics().extent
+            if extent.issubset(op.lifespan):
+                # τ_L with L ⊇ LS(r) restricts nothing: every tuple's
+                # lifespan is already inside L. Dropping the op keeps
+                # wide slices at scan speed.
+                continue
+            steps.append((op, None, None))
+        elif isinstance(op, P.FusedProject):
+            names = scheme.check_attributes(op.attributes)
+            keeps_key = set(scheme.key).issubset(names)
+            scheme = scheme.project(names)
+            enforce_key = enforce_key and keeps_key
+            steps.append((op, names, scheme))
+        else:
+            steps.append((op, None, None))
+    return steps, scheme, enforce_key
+
+
+def _fused_tuples(items, steps, out_scheme: RelationScheme):
+    for item in items:
+        if isinstance(item, TupleView):
+            t = _apply_fused_lazy(item, steps, out_scheme)
+        else:
+            t = _apply_fused_eager(item, steps)
+        if t is not None:
+            yield t
+
+
+def _apply_fused_eager(t: HistoricalTuple, steps) -> Optional[HistoricalTuple]:
+    """The fused op chain over a real tuple — the naive calls, inlined."""
+    for op, names, scheme in steps:
+        if isinstance(op, P.FusedFilter):
+            if op.flavor == "if":
+                if not kernels.select_if_keeps(t, op.predicate,
+                                               op.quantifier, op.lifespan):
+                    return None
+            else:
+                window = kernels.select_when_window(t, op.predicate, op.lifespan)
+                t = kernels.when_restrict(t, window)
+                if t is None:
+                    return None
+        elif isinstance(op, P.FusedSlice):
+            t = kernels.slice_tuple(t, op.lifespan)
+            if t is None:
+                return None
+        else:  # FusedProject
+            t = t.project(names, scheme)
+    return t
+
+
+def _apply_fused_lazy(view: TupleView, steps,
+                      out_scheme: RelationScheme) -> Optional[HistoricalTuple]:
+    """The fused op chain over a half-decoded record.
+
+    Restrictions accumulate on the view (its ``value()`` answers are
+    always restricted to the current lifespan, so the kernels see
+    exactly what they would see on an eagerly-restricted tuple);
+    projections narrow the visible attributes. Only a view surviving
+    every op materializes — and only the output scheme's attributes
+    ever decode.
+    """
+    for op, names, scheme in steps:
+        if isinstance(op, P.FusedFilter):
+            if op.flavor == "if":
+                if not kernels.select_if_keeps(view, op.predicate,
+                                               op.quantifier, op.lifespan):
+                    return None
+            else:
+                window = kernels.select_when_window(view, op.predicate, op.lifespan)
+                if window.is_empty or not view.restrict(window):
+                    return None
+        elif isinstance(op, P.FusedSlice):
+            if not view.restrict(op.lifespan):
+                return None
+        else:  # FusedProject
+            view.project(names, scheme)
+    return view.materialize(out_scheme)
+
+
+# -- the recording (EXPLAIN ANALYZE) engine ------------------------------
+
+
+def _run_materialized(node: P.PhysicalNode, env: Env):
+    """Operator-at-a-time execution, stamping actuals on every node.
+
+    Used only under ``record=True``: each node materializes its output
+    so its row count and wall-clock contribution are observable. The
+    interior operators call the same relation-level algebra functions
+    the naive evaluator uses (which themselves run the streaming
+    kernels), so the answer is identical to the pipelined path's.
+    """
     # -- leaves ----------------------------------------------------------
     if isinstance(node, P.FullScan):
         source = _source(env, node.name)
@@ -84,24 +449,11 @@ def _run(node: P.PhysicalNode, env: Env, record: bool):
         return source
     if isinstance(node, P.Materialized):
         return node.relation
-    if isinstance(node, P.KeyLookup):
-        source = _source(env, node.name)
-        t = source.get(*node.key)
-        return HistoricalRelation(source.scheme, () if t is None else (t,))
-    if isinstance(node, P.IntervalScan):
-        source = _source(env, node.name)
-        seen: set = set()
-        out = []
-        for lo, hi in node.window.intervals:
-            for t in source.alive_during(lo, hi):
-                key = t.key_value()
-                if key not in seen:
-                    seen.add(key)
-                    out.append(t)
-        return HistoricalRelation(source.scheme, out)
+    if isinstance(node, (P.KeyLookup, P.IntervalScan, P.FusedScan)):
+        return _stream(node, env).materialize()
 
     # -- interior operators ---------------------------------------------
-    kids = [execute(child, env, record) for child in node.children()]
+    kids = [execute(child, env, record=True) for child in node.children()]
     if isinstance(node, P.Filter):
         if node.flavor == "if":
             return select_if(kids[0], node.predicate, node.quantifier, node.lifespan)
@@ -116,14 +468,6 @@ def _run(node: P.PhysicalNode, env: Env, record: bool):
         return rename_op(kids[0], dict(node.mapping))
     if isinstance(node, P.WhenOp):
         return when_op(kids[0])
-    if isinstance(node, P.SetOp):
-        return _SETOP_FNS[node.op](kids[0], kids[1])
-    if isinstance(node, P.JoinOp):
-        if node.kind == "theta":
-            return join_ops.theta_join(
-                kids[0], kids[1], node.left_attr, node.theta, node.right_attr
-            )
-        if node.kind == "natural":
-            return join_ops.natural_join(kids[0], kids[1])
-        return join_ops.time_join(kids[0], kids[1], node.via)
+    if isinstance(node, (P.SetOp, P.JoinOp)):
+        return _binary(node, kids[0], kids[1])
     raise AlgebraError(f"executor cannot run node {node!r}")

@@ -3,11 +3,15 @@
 :func:`explain` plans an expression and renders the chosen operators
 with their cost estimates; with ``analyze=True`` it also *executes*
 the plan and prints observed row counts and timings next to the
-estimates, so estimate quality is visible at a glance::
+estimates, so estimate quality is visible at a glance. Pushed-down
+operators render inside their fused scan leaf, in application order::
 
     Plan  (normalized 3 → 2 nodes, planning 0.1 ms)
-    └─ Slice[τ Lifespan([10, 20])]  (est rows≈34, cost≈156.9)
-       └─ IntervalScan[EMP ∩ Lifespan([10, 20])]  (est rows≈34, cost≈122.6)
+    └─ FusedScan[EMP ∩ Lifespan([10, 20]) | τ Lifespan([10, 20])]  (est rows≈34, cost≈122.6)
+
+(``ANALYZE`` runs the recording executor, which materializes at every
+node boundary so each operator's rows and milliseconds are its own —
+see :mod:`repro.planner.executor`.)
 
 The same renderer backs the HRQL ``EXPLAIN [ANALYZE] <query>``
 statement and :meth:`repro.database.database.HistoricalDatabase.explain`.

@@ -11,7 +11,10 @@ planner's choices live:
   (hash-map lookup for in-memory relations);
 * :class:`IntervalScan` — fetch only the tuples whose lifespans meet a
   window, through the storage engine's interval index;
-* :class:`Materialized` — an inline literal relation.
+* :class:`Materialized` — an inline literal relation;
+* :class:`FusedScan` — a scan with filters, slices, and projections
+  pushed into it by the planner's fusion pass, applied per tuple while
+  records decode selectively (the pipelined engine's workhorse).
 
 Nodes are mutable on purpose: the planner stamps cost estimates
 (``est_rows``, ``est_cost``, ``est_extent``) onto them, and an
@@ -111,6 +114,100 @@ class Materialized(PhysicalNode):
         return f"Materialized[{self.relation.scheme.name}, {len(self.relation)} tuples]"
 
 
+# -- fused scans ---------------------------------------------------------
+
+
+class FusedOp:
+    """One operator fused into a :class:`FusedScan`, applied per tuple."""
+
+    def describe(self) -> str:
+        raise NotImplementedError
+
+
+def _select_label(flavor: str, predicate: Predicate,
+                  quantifier: Optional[Quantifier],
+                  lifespan: Optional[Lifespan]) -> str:
+    """Shared σ rendering for :class:`Filter` and :class:`FusedFilter` —
+    a select must read identically whether or not it was fused."""
+    sigma = "σ-IF" if flavor == "if" else "σ-WHEN"
+    quant = f" {quantifier.value}" if (
+        flavor == "if" and quantifier is not None) else ""
+    bound = f" during {lifespan!r}" if lifespan is not None else ""
+    return f"{sigma} {predicate!r}{quant}{bound}"
+
+
+class FusedFilter(FusedOp):
+    """A SELECT (either flavor) applied during the scan."""
+
+    def __init__(self, flavor: str, predicate: Predicate,
+                 quantifier: Optional[Quantifier] = None,
+                 lifespan: Optional[Lifespan] = None):
+        self.flavor = flavor
+        self.predicate = predicate
+        self.quantifier = quantifier
+        self.lifespan = lifespan
+
+    def describe(self) -> str:
+        return _select_label(self.flavor, self.predicate,
+                             self.quantifier, self.lifespan)
+
+
+class FusedSlice(FusedOp):
+    """A static TIME-SLICE applied during the scan."""
+
+    def __init__(self, lifespan: Lifespan):
+        self.lifespan = lifespan
+
+    def describe(self) -> str:
+        return f"τ {self.lifespan!r}"
+
+
+class FusedProject(FusedOp):
+    """A projection applied during the scan (bounds what gets decoded)."""
+
+    def __init__(self, attributes: Tuple[str, ...]):
+        self.attributes = tuple(attributes)
+
+    def describe(self) -> str:
+        return f"π {', '.join(self.attributes)}"
+
+
+class FusedScan(PhysicalNode):
+    """A scan leaf with filters / slices / projections pushed into it.
+
+    The planner's fusion pass (:func:`repro.planner.planner.fuse_plan`)
+    collapses a chain of :class:`Filter` / :class:`Slice` /
+    :class:`ProjectOp` nodes over a base-relation scan into one of
+    these. ``ops`` apply *in order* (bottom-up from the original tree),
+    one tuple at a time, while the tuple is being read: over a stored
+    relation the record header (key + lifespan + attribute offsets)
+    answers lifespan tests before any attribute decodes, predicates
+    decode only the attributes they reference, and only surviving
+    tuples materialize — projected columns only.
+
+    ``window`` selects the underlying access path: None is a full scan,
+    a :class:`~repro.core.lifespan.Lifespan` scans through the interval
+    index (with per-key dedup across the window's intervals).
+    """
+
+    def __init__(self, name: str, window: Optional[Lifespan] = None,
+                 ops: Tuple[FusedOp, ...] = ()):
+        super().__init__()
+        self.name = name
+        self.window = window
+        self.ops = tuple(ops)
+
+    @property
+    def source_kind(self) -> str:
+        """The subsumed access path: ``"FullScan"`` or ``"IntervalScan"``."""
+        return "FullScan" if self.window is None else "IntervalScan"
+
+    def label(self) -> str:
+        source = self.name if self.window is None else f"{self.name} ∩ {self.window!r}"
+        inner = " | ".join(op.describe() for op in self.ops)
+        return f"FusedScan[{source}{' | ' if inner else ''}{inner}]"
+
+
 # -- unary operators -----------------------------------------------------
 
 
@@ -138,11 +235,10 @@ class Filter(_Unary):
         self.lifespan = lifespan
 
     def label(self) -> str:
-        sigma = "σ-IF" if self.flavor == "if" else "σ-WHEN"
-        quant = f" {self.quantifier.value}" if (
-            self.flavor == "if" and self.quantifier is not None) else ""
-        bound = f" during {self.lifespan!r}" if self.lifespan is not None else ""
-        return f"Filter[{sigma} {self.predicate!r}{quant}{bound}]"
+        return ("Filter["
+                + _select_label(self.flavor, self.predicate,
+                                self.quantifier, self.lifespan)
+                + "]")
 
 
 class Slice(_Unary):
@@ -279,6 +375,17 @@ class Plan:
         """Run the plan against *env* (see :mod:`repro.planner.executor`)."""
         from repro.planner.executor import execute
         return execute(self.root, env, record=record)
+
+    def execute_stream(self, env):
+        """Run the plan, keeping the final result a stream.
+
+        Returns a :class:`~repro.planner.executor.TupleStream` for
+        relation-sorted plans (the caller is the last pipeline breaker
+        — :class:`~repro.database.result.QueryResult` consumes it) or a
+        :class:`~repro.core.lifespan.Lifespan` for Ω-topped plans.
+        """
+        from repro.planner.executor import execute_stream
+        return execute_stream(self.root, env)
 
     def __repr__(self) -> str:
         return (f"Plan({self.root.label()}, est_rows={self.est_rows:.1f}, "

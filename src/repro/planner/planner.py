@@ -1,6 +1,6 @@
 """The cost-based planner — algebra expressions to physical plans.
 
-Planning proceeds in three phases:
+Planning proceeds in four phases:
 
 1. **Normalize** — the expression is rewritten to a fixpoint with the
    Section 5 laws (:func:`repro.algebra.rewriter.rewrite`): slices
@@ -13,7 +13,12 @@ Planning proceeds in three phases:
    criterion, the planner *costs the alternatives* (full scan vs.
    interval-index scan vs. key lookup) using the base relation's
    :class:`~repro.planner.stats.Statistics` and keeps the cheapest.
-3. **Estimate** — :func:`repro.planner.cost.annotate` stamps row and
+3. **Fuse** — :func:`fuse_plan` collapses Filter / Slice / Project
+   chains sitting on base-relation scans into
+   :class:`~repro.planner.plan.FusedScan` leaves, so the pipelined
+   executor applies them per tuple *during* the scan — with selective
+   decode on stored relations (skip with ``Planner(fuse=False)``).
+4. **Estimate** — :func:`repro.planner.cost.annotate` stamps row and
    cost estimates on every node, for EXPLAIN and for tests.
 
 Access-path choices are *conservative*: every candidate access path
@@ -40,7 +45,15 @@ import time
 from typing import Mapping, Optional, Tuple
 
 from repro.algebra import expr as E
-from repro.algebra.predicates import And, AttrOp, AttrRef, Predicate
+from repro.algebra.predicates import (
+    And,
+    AttrOp,
+    AttrRef,
+    Not,
+    Or,
+    Predicate,
+    TruePredicate,
+)
 from repro.algebra.rewriter import DEFAULT_RULES, Rule, rewrite
 from repro.core.relation import HistoricalRelation
 from repro.planner import cost
@@ -59,9 +72,15 @@ class Planner:
     """Plans algebra expressions against a catalog of base relations."""
 
     def __init__(self, rules: Tuple[Rule, ...] = DEFAULT_RULES,
-                 normalize: bool = True):
+                 normalize: bool = True, fuse: bool = True):
         self.rules = rules
         self.normalize = normalize
+        #: Run the physical fusion pass (:func:`fuse_plan`) — collapse
+        #: Filter / Slice / Project chains into the scan leaf so the
+        #: executor applies them per tuple during the scan. ``False``
+        #: keeps the one-node-per-operator plans (for comparison
+        #: benches and debugging).
+        self.fuse = fuse
 
     # -- entry point -----------------------------------------------------
 
@@ -98,6 +117,8 @@ class Planner:
                 when: bool, started: float) -> P.Plan:
         stats_env, key_env = self._collect_stats(normalized, env)
         root = self._translate(normalized, env, stats_env)
+        if self.fuse:
+            root = fuse_plan(root)
         if when:
             root = P.WhenOp(root)
         cost.annotate(root, stats_env, key_env)
@@ -219,6 +240,80 @@ class Planner:
         return P.FullScan(child.name)
 
 
+# -- physical fusion -----------------------------------------------------
+
+
+def _fusable_predicate(predicate: Predicate) -> bool:
+    """True when *predicate* can run against a half-decoded tuple.
+
+    The built-in predicate language (``A θ a`` atoms and the boolean
+    combinators) touches tuples only through ``.lifespan`` and
+    ``.value(attr)`` — exactly what a lazy
+    :class:`~repro.storage.engine.TupleView` offers. ``Custom``
+    predicates wrap arbitrary callables that may poke anything, so
+    filters carrying them stay un-fused (they still stream, over fully
+    materialized tuples).
+    """
+    if isinstance(predicate, (AttrOp, TruePredicate)):
+        return True
+    if isinstance(predicate, (And, Or)):
+        return all(_fusable_predicate(p) for p in predicate.parts)
+    if isinstance(predicate, Not):
+        return _fusable_predicate(predicate.inner)
+    return False
+
+
+def _fused_op(node: P.PhysicalNode) -> Optional[P.FusedOp]:
+    """The fused-op descriptor for *node*, or None when not fusable."""
+    if isinstance(node, P.Filter) and _fusable_predicate(node.predicate):
+        return P.FusedFilter(node.flavor, node.predicate,
+                             node.quantifier, node.lifespan)
+    if isinstance(node, P.Slice):
+        return P.FusedSlice(node.lifespan)
+    if isinstance(node, P.ProjectOp):
+        return P.FusedProject(node.attributes)
+    return None
+
+
+def fuse_plan(node: P.PhysicalNode) -> P.PhysicalNode:
+    """Collapse Filter / Slice / Project chains into their scan leaves.
+
+    Bottom-up physical rewrite: whenever a fusable unary operator sits
+    directly on a base-relation scan (:class:`~repro.planner.plan.FullScan`,
+    :class:`~repro.planner.plan.IntervalScan`, or an already-fused
+    scan), the operator moves *into* the scan as a per-tuple op. The
+    op order inside the fused node preserves the original bottom-up
+    evaluation order, so the fused scan computes exactly what the
+    operator chain computed — tuple by tuple, during the scan, with
+    selective decode on stored relations.
+
+    Key lookups stay un-fused (a single probe has nothing to gain) and
+    so do operators over pipeline breakers, dynamic slices, and
+    renames — those keep streaming through the executor's generic
+    operators.
+    """
+    if isinstance(node, (P.Filter, P.Slice, P.ProjectOp)):
+        child = fuse_plan(node.child)
+        op = _fused_op(node)
+        if op is not None:
+            if isinstance(child, (P.FullScan, P.IntervalScan)):
+                window = child.window if isinstance(child, P.IntervalScan) else None
+                return P.FusedScan(child.name, window, (op,))
+            if isinstance(child, P.FusedScan):
+                child.ops = child.ops + (op,)
+                return child
+        node.child = child
+        return node
+    if isinstance(node, P._Unary):
+        node.child = fuse_plan(node.child)
+        return node
+    if isinstance(node, P._Binary):
+        node.left = fuse_plan(node.left)
+        node.right = fuse_plan(node.right)
+        return node
+    return node
+
+
 #: Logical → physical set-operation kinds.
 _SETOP_KINDS = {
     E.Union_: "union",
@@ -258,6 +353,6 @@ def _key_equality(predicate: Predicate, source) -> Optional[Tuple[object, ...]]:
 
 
 def plan(expr: E.Expr, env: Env, when: bool = False, *,
-         normalize: bool = True) -> P.Plan:
+         normalize: bool = True, fuse: bool = True) -> P.Plan:
     """Plan *expr* with a default :class:`Planner` (convenience)."""
-    return Planner(normalize=normalize).plan(expr, env, when=when)
+    return Planner(normalize=normalize, fuse=fuse).plan(expr, env, when=when)

@@ -56,6 +56,10 @@ class Statistics:
     stored:
         True if the relation lives behind the storage engine, where
         touching a tuple means decoding a heap record.
+    n_attributes:
+        Width of the scheme — the denominator of the selective-decode
+        fraction a fused scan's cost uses (decode 2 of 4 attributes →
+        half the decode bill).
     """
 
     n_tuples: int
@@ -64,6 +68,7 @@ class Statistics:
     total_chronons: int
     n_intervals: int
     stored: bool = False
+    n_attributes: int = 0
 
     @classmethod
     def of(cls, source) -> "Statistics":
@@ -71,29 +76,35 @@ class Statistics:
 
         *source* may be an in-memory
         :class:`~repro.core.relation.HistoricalRelation` or a
-        :class:`~repro.storage.engine.StoredRelation` (anything
-        iterable over historical tuples via ``scan()``).
+        :class:`~repro.storage.engine.StoredRelation`. Only lifespans
+        are consulted; stored relations provide them **header-only**
+        (:meth:`~repro.storage.engine.StoredRelation.iter_lifespans`),
+        so collecting statistics — which happens at plan time, after
+        every write — never pays a decoding scan.
         """
         if isinstance(source, HistoricalRelation):
-            tuples = source.tuples
+            lifespans = (t.lifespan for t in source.tuples)
             stored = False
         else:
-            tuples = tuple(source.scan())
+            lifespans = source.iter_lifespans()
             stored = True
         extent = EMPTY_LIFESPAN
+        count = 0
         total = 0
         n_intervals = 0
-        for t in tuples:
-            extent = extent | t.lifespan
-            total += len(t.lifespan)
-            n_intervals += t.lifespan.n_intervals
+        for lifespan in lifespans:
+            count += 1
+            extent = extent | lifespan
+            total += len(lifespan)
+            n_intervals += lifespan.n_intervals
         return cls(
-            n_tuples=len(tuples),
+            n_tuples=count,
             extent=extent,
             n_chronons=len(extent),
             total_chronons=total,
             n_intervals=n_intervals,
             stored=stored,
+            n_attributes=len(source.scheme.attributes),
         )
 
     @property

@@ -140,6 +140,27 @@ def decode_blobs(buf: memoryview, offset: int) -> Tuple[list, int]:
     return blobs, offset
 
 
+def encode_u32s(values) -> bytes:
+    """A bare run of u32 values (no count prefix — the caller knows it).
+
+    Used for the per-attribute offset table in the header-first tuple
+    layout (:mod:`repro.storage.engine`): ``n_attrs`` offsets, each the
+    byte position of one attribute's payload, so selective decode can
+    seek straight to the attributes a query touches.
+    """
+    materialized = list(values)
+    return struct.pack(f"<{len(materialized)}I", *materialized)
+
+
+def decode_u32s(buf: memoryview, offset: int, count: int) -> Tuple[Tuple[int, ...], int]:
+    """Inverse of :func:`encode_u32s` for a known *count*."""
+    try:
+        values = struct.unpack_from(f"<{count}I", buf, offset)
+    except struct.error as exc:
+        raise CodecError(f"truncated u32 run at offset {offset}") from exc
+    return values, offset + 4 * count
+
+
 def encode_str(value: str) -> bytes:
     """A bare length-prefixed UTF-8 string (names, labels)."""
     raw = value.encode("utf-8")

@@ -15,49 +15,330 @@ The engine demonstrates (and the benches measure) that the access
 methods change *costs*, never *answers*: ``snapshot_at`` via the
 interval index returns exactly the relation's ``snapshot``.
 
+Record layout (header-first, for selective decode)
+--------------------------------------------------
+
+Each heap record leads with a header that answers the questions a scan
+asks *before* it commits to decoding attribute values::
+
+    lifespan        interval list — lifespan-overlap tests are free
+    flags:u8        bit 0: constant key values present in the header
+    [key]           u32 count + tagged values (when flag bit 0 is set)
+    n_attrs:u32
+    offsets         n_attrs × u32 — byte offset of each attribute's
+                    payload block, relative to the payload area
+    payload         per attribute, in scheme order:
+                    name string + temporal-function segments
+
+A :class:`TupleView` decodes only the header eagerly; attribute
+functions decode lazily, one offset-seek each, so a fused scan
+(:class:`repro.planner.plan.FusedScan`) can test lifespan overlap for
+free, evaluate predicates (a key-equality criterion costs one key-attr
+decode), and project — touching only the attributes the query
+references. Untouched temporal functions are never decoded, and the
+header key makes ``key_value()`` / index rebuilds decode-free.
+
+Fully-decoded tuples are cached per :class:`~repro.storage.heapfile.RecordId`
+and invalidated by a mutation version counter, so back-to-back scans
+of an unchanged relation decode nothing at all. ``decode_count`` /
+``attr_decode_count`` expose the work done, for regression tests and
+benches.
+
 Persistence is split across two byte streams: :meth:`StoredRelation.to_bytes`
 carries the heap pages and :meth:`StoredRelation.index_bytes` the
 access methods, so :meth:`StoredRelation.from_bytes` can restore a
 relation without decoding any record. Durable databases write both at
 every checkpoint (:mod:`repro.storage.pager`) and replay committed
-changes from the write-ahead log (:mod:`repro.storage.wal`).
+changes from the write-ahead log (:mod:`repro.storage.wal`). Even
+without persisted index bytes, rebuilding the indexes is a
+header-only scan — keys and lifespans live in the header.
 """
 
 from __future__ import annotations
 
 import struct
-from typing import Any, Iterator, Optional
+from typing import Any, Iterator, Optional, Tuple
 
-from repro.core.errors import HRDMError, StorageError
+from repro.core.errors import CodecError, HRDMError, StorageError, TupleError
 from repro.core.lifespan import Lifespan
 from repro.core.relation import HistoricalRelation
 from repro.core.scheme import RelationScheme
-from repro.core.tuples import HistoricalTuple
+from repro.core.tfunc import TemporalFunction
+from repro.core.tuples import HistoricalTuple, key_from_functions
 from repro.storage import codec
 from repro.storage.heapfile import HeapFile, RecordId
 from repro.storage.index import IntervalIndex, KeyIndex
 
+#: Header flag: the key's constant values are embedded in the header.
+_FLAG_HEADER_KEY = 0x01
 
-def encode_tuple(t: HistoricalTuple) -> bytes:
-    """Encode one historical tuple: lifespan + per-attribute functions."""
-    parts = [codec.encode_lifespan(t.lifespan), codec.encode_u32(len(t.scheme.attributes))]
-    for a in t.scheme.attributes:
-        parts.append(codec.encode_str(a))
-        parts.append(codec.encode_tfunc(t.value(a)))
+
+def _encode_header_key(t: HistoricalTuple) -> Optional[bytes]:
+    """The header key block, or None when the key is not embeddable.
+
+    Keys are normally constant-valued (CD attributes), in which case
+    the constants ride in the header and ``key_value()`` never needs an
+    attribute decode. Weak keys (non-constant components, e.g. after a
+    re-keying projection) fall back to decoding the key attributes.
+    """
+    parts = [codec.encode_u32(len(t.scheme.key))]
+    for k in t.scheme.key:
+        fn = t.value(k)
+        if not (fn and fn.is_constant()):
+            return None
+        try:
+            parts.append(codec.encode_value(fn.constant_value()))
+        except CodecError:
+            return None
     return b"".join(parts)
 
 
-def decode_tuple(raw: bytes, scheme: RelationScheme) -> HistoricalTuple:
-    """Decode one historical tuple against its scheme."""
-    buf = memoryview(raw)
+def encode_tuple(t: HistoricalTuple) -> bytes:
+    """Encode one historical tuple in the header-first layout."""
+    blocks = []
+    offsets = []
+    position = 0
+    for a in t.scheme.attributes:
+        block = codec.encode_str(a) + codec.encode_tfunc(t.value(a))
+        offsets.append(position)
+        position += len(block)
+        blocks.append(block)
+    key_block = _encode_header_key(t)
+    parts = [codec.encode_lifespan(t.lifespan)]
+    if key_block is None:
+        parts.append(bytes([0]))
+    else:
+        parts.append(bytes([_FLAG_HEADER_KEY]))
+        parts.append(key_block)
+    parts.append(codec.encode_u32(len(blocks)))
+    parts.append(codec.encode_u32s(offsets))
+    parts.extend(blocks)
+    return b"".join(parts)
+
+
+def decode_tuple_header(buf: memoryview) -> Tuple[Lifespan, Optional[tuple],
+                                                  Tuple[int, ...], int]:
+    """Decode a record header: ``(lifespan, key?, offsets, payload_base)``.
+
+    *key* is None when the record's key is not embedded (non-constant
+    components); *offsets* are relative to *payload_base*.
+    """
     lifespan, offset = codec.decode_lifespan(buf, 0)
+    if offset >= len(buf):
+        raise CodecError("truncated tuple header: missing flags byte")
+    flags = buf[offset]
+    offset += 1
+    key: Optional[tuple] = None
+    if flags & _FLAG_HEADER_KEY:
+        n_key, offset = codec.decode_u32(buf, offset)
+        components = []
+        for _ in range(n_key):
+            component, offset = codec.decode_value(buf, offset)
+            components.append(component)
+        key = tuple(components)
     n_attrs, offset = codec.decode_u32(buf, offset)
+    offsets, offset = codec.decode_u32s(buf, offset, n_attrs)
+    return lifespan, key, offsets, offset
+
+
+def _decode_attr_block(buf: memoryview, position: int) -> Tuple[str, TemporalFunction]:
+    """Decode one attribute payload block: ``(name, function)``."""
+    name, position = codec.decode_str(buf, position)
+    fn, _ = codec.decode_tfunc(buf, position)
+    return name, fn
+
+
+def decode_tuple(raw: bytes, scheme: RelationScheme) -> HistoricalTuple:
+    """Decode one historical tuple against its scheme (all attributes)."""
+    buf = memoryview(raw)
+    lifespan, _, offsets, base = decode_tuple_header(buf)
     values = {}
-    for _ in range(n_attrs):
-        name, offset = codec.decode_str(buf, offset)
-        fn, offset = codec.decode_tfunc(buf, offset)
+    for position in offsets:
+        name, fn = _decode_attr_block(buf, base + position)
         values[name] = fn
     return HistoricalTuple(scheme, lifespan, values)
+
+
+def decode_record_key(raw: bytes, scheme: RelationScheme) -> tuple:
+    """The key of an encoded record, decoding as little as possible.
+
+    Header-embedded keys cost nothing; weak keys decode only the key
+    attributes' functions (mirroring
+    :meth:`~repro.core.tuples.HistoricalTuple.key_value`).
+    """
+    buf = memoryview(raw)
+    _, key, offsets, base = decode_tuple_header(buf)
+    if key is not None:
+        return key
+    return _key_from_attributes(buf, offsets, base, scheme)
+
+
+def _key_from_attributes(buf: memoryview, offsets, base: int,
+                         scheme: RelationScheme,
+                         positions: Optional[dict] = None) -> tuple:
+    """Key of a record whose header carries no embedded key values.
+
+    *positions* is the attribute→index mapping; per-record callers
+    pass a shared (memoized) one instead of rebuilding it every call.
+    """
+    if positions is None:
+        positions = {a: i for i, a in enumerate(scheme.attributes)}
+    return key_from_functions(
+        _decode_attr_block(buf, base + offsets[positions[k]])[1]
+        for k in scheme.key
+    )
+
+
+class TupleView:
+    """A stored record with its header decoded and attributes lazy.
+
+    The pipelined executor streams views through fused scans: the
+    *current* ``lifespan`` shrinks as slices and σ-WHEN windows apply,
+    ``value()`` decodes an attribute on first touch (restricted to the
+    current lifespan, exactly as an eagerly-restricted tuple would
+    report it), and :meth:`materialize` builds the surviving
+    :class:`~repro.core.tuples.HistoricalTuple` — decoding only the
+    attributes of the output scheme. Dropped tuples never decode
+    anything beyond what their predicates touched.
+
+    A view offers the two members the streaming kernels
+    (:mod:`repro.algebra.kernels`) and the predicate language use:
+    ``.lifespan`` and ``.value(attr)``.
+    """
+
+    __slots__ = ("_stored", "_rid", "_version", "_buf", "_offsets", "_base",
+                 "_header_key", "lifespan", "_restricted", "_attrs", "_full",
+                 "_current", "_scheme")
+
+    def __init__(self, stored: "StoredRelation", raw: bytes,
+                 rid: Optional[RecordId] = None):
+        self._stored = stored
+        self._rid = rid
+        # The mutation version this view was read under: a view drained
+        # after a write must not poison the fresh cache (record ids are
+        # reused by replace/insert).
+        self._version = stored._mutation_version
+        self._buf = memoryview(raw)
+        lifespan, key, offsets, base = decode_tuple_header(self._buf)
+        self._offsets = offsets
+        self._base = base
+        self._header_key = key
+        #: The current lifespan (shrinks under restriction).
+        self.lifespan = lifespan
+        self._restricted = False
+        self._attrs: Optional[Tuple[str, ...]] = None  # None = whole scheme
+        self._full: dict[str, TemporalFunction] = {}
+        self._current: dict[str, TemporalFunction] = {}
+        #: The scheme this view currently presents (narrows under
+        #: projection — error messages name the right relation).
+        self._scheme = stored.scheme
+
+    # -- the kernel-facing protocol ---------------------------------------
+
+    def value(self, attribute: str) -> TemporalFunction:
+        """``t(A)`` under the current restriction, decoding on demand."""
+        if self._attrs is not None and attribute not in self._attrs:
+            raise TupleError(
+                f"no attribute {attribute!r} in tuple on {self._scheme.name!r}"
+            )
+        fn = self._current.get(attribute)
+        if fn is None:
+            fn = self._decode(attribute)
+            if self._restricted:
+                fn = fn.restrict(self.lifespan)
+            self._current[attribute] = fn
+        return fn
+
+    def key_value(self) -> tuple:
+        """The stored tuple's key — free when embedded in the header.
+
+        The weak-key fallback folds the *restricted* functions (via
+        :meth:`value`), matching what ``materialize().key_value()``
+        would report at this point in the pipeline.
+        """
+        if self._header_key is not None:
+            return self._header_key
+        return key_from_functions(
+            self.value(k) for k in self._stored.scheme.key)
+
+    # -- pipeline operations ----------------------------------------------
+
+    def restrict(self, lifespan: Lifespan) -> bool:
+        """Shrink the current lifespan; False when the view drops out."""
+        new_ls = self.lifespan & lifespan
+        if new_ls.is_empty:
+            return False
+        if new_ls != self.lifespan:
+            self.lifespan = new_ls
+            self._restricted = True
+            self._current.clear()
+        return True
+
+    def project(self, attributes: Tuple[str, ...],
+                scheme: Optional[RelationScheme] = None) -> None:
+        """Narrow the visible attribute set; *scheme* is the projected
+        scheme the view now presents (the caller owns it)."""
+        self._attrs = tuple(attributes)
+        if scheme is not None:
+            self._scheme = scheme
+
+    def materialize(self, scheme: RelationScheme) -> HistoricalTuple:
+        """Build the surviving tuple on *scheme* (the fused output).
+
+        Decodes exactly the attributes of *scheme* that were not
+        already touched by predicates; each is restricted to the
+        accumulated lifespan, which is precisely what the equivalent
+        chain of eager ``restrict`` / ``project`` calls produces.
+
+        A view that survives *unrestricted and unprojected* (e.g. a
+        σ-IF keeps the whole tuple) materializes the stored tuple
+        itself — that result enters the decoded-tuple cache, so later
+        scans get it for free.
+        """
+        unchanged = (not self._restricted and self._attrs is None
+                     and scheme is self._stored.scheme)
+        if unchanged and not self._full:
+            # Nothing touched, nothing restricted: decode every block
+            # straight off the (already parsed) offset table — this is
+            # a full decode, counted as one.
+            values = {}
+            for position in self._offsets:
+                name, fn = _decode_attr_block(self._buf, self._base + position)
+                values[name] = fn
+            self._stored.decode_count += 1
+            t = HistoricalTuple(scheme, self.lifespan, values)
+        else:
+            values = {a: self.value(a) for a in scheme.attributes}
+            t = HistoricalTuple(scheme, self.lifespan, values)
+        if (unchanged and self._rid is not None
+                and self._version == self._stored._mutation_version):
+            self._stored._tuple_cache()[self._rid] = t
+        return t
+
+    # -- internals ---------------------------------------------------------
+
+    def _decode(self, attribute: str) -> TemporalFunction:
+        fn = self._full.get(attribute)
+        if fn is None:
+            index = self._stored._attr_positions().get(attribute)
+            if index is None:
+                # Same error the eager paths raise (HistoricalTuple.value).
+                raise TupleError(
+                    f"no attribute {attribute!r} in tuple on "
+                    f"{self._scheme.name!r}"
+                )
+            name, fn = _decode_attr_block(self._buf, self._base + self._offsets[index])
+            if name != attribute:
+                raise CodecError(
+                    f"record attribute order diverged from scheme: "
+                    f"expected {attribute!r}, found {name!r}"
+                )
+            self._full[attribute] = fn
+            self._stored.attr_decode_count += 1
+        return fn
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TupleView(l={self.lifespan!r})"
 
 
 class StoredRelation:
@@ -70,6 +351,16 @@ class StoredRelation:
         self._interval_index: Optional[IntervalIndex[tuple]] = None
         self._dirty = False
         self._stats = None
+        self._positions: Optional[dict[str, int]] = None
+        #: Bumped by every mutation; the decoded-tuple cache is valid
+        #: only for the version it was built against.
+        self._mutation_version = 0
+        self._decoded: dict[RecordId, HistoricalTuple] = {}
+        self._decoded_version = 0
+        #: Full-tuple decodes performed (counter hook for tests/benches).
+        self.decode_count = 0
+        #: Individual attribute decodes performed by selective scans.
+        self.attr_decode_count = 0
 
     # -- writes ------------------------------------------------------------
 
@@ -82,16 +373,14 @@ class StoredRelation:
             raise StorageError(f"key {key!r} already stored")
         rid = self._heap.insert(encode_tuple(t))
         self._key_index.put(key, rid)
-        self._dirty = True
-        self._stats = None
+        self._mutated()
         return rid
 
     def delete(self, *key: Any) -> None:
         """Remove the tuple with the given key."""
         rid = self._key_index.remove(tuple(key))
         self._heap.delete(rid)
-        self._dirty = True
-        self._stats = None
+        self._mutated()
 
     def replace(self, t: HistoricalTuple) -> RecordId:
         """Replace the stored tuple carrying ``t``'s key."""
@@ -100,8 +389,7 @@ class StoredRelation:
             self._heap.delete(self._key_index.remove(key))
         rid = self._heap.insert(encode_tuple(t))
         self._key_index.put(key, rid)
-        self._dirty = True
-        self._stats = None
+        self._mutated()
         return rid
 
     def load(self, relation: HistoricalRelation) -> None:
@@ -109,19 +397,80 @@ class StoredRelation:
         for t in relation:
             self.insert(t)
 
+    def _mutated(self) -> None:
+        self._dirty = True
+        self._stats = None
+        self._mutation_version += 1
+
     # -- reads ------------------------------------------------------------------
 
     def get(self, *key: Any) -> Optional[HistoricalTuple]:
-        """Key lookup through the key index."""
+        """Key lookup through the key index (decoded-tuple cached)."""
         rid = self._key_index.get(tuple(key))
         if rid is None:
             return None
-        return decode_tuple(self._heap.read(rid), self.scheme)
+        return self._tuple_at(rid)
 
     def scan(self) -> Iterator[HistoricalTuple]:
-        """Full scan, decoding every live record."""
+        """Full scan, decoding every live record not already cached.
+
+        An unchanged relation serves repeat scans entirely from the
+        decoded-tuple cache — zero decodes (see ``decode_count``).
+        """
+        cache = self._tuple_cache()
+        for rid, raw in self._heap.scan():
+            t = cache.get(rid)
+            if t is None:
+                t = self._decode_record(raw)
+                cache[rid] = t
+            yield t
+
+    def iter_lifespans(self) -> Iterator[Lifespan]:
+        """The live records' lifespans, header-only (no decoding).
+
+        Statistics collection runs on this, so planning a query never
+        costs a decoding scan — lifespans are the first field of every
+        record header.
+        """
         for _, raw in self._heap.scan():
-            yield decode_tuple(raw, self.scheme)
+            lifespan, _ = codec.decode_lifespan(memoryview(raw), 0)
+            yield lifespan
+
+    def scan_lazy(self) -> Iterator[Any]:
+        """Selective-decode scan for fused pipelines.
+
+        Yields a cached :class:`~repro.core.tuples.HistoricalTuple`
+        when one exists (already paid for) and a lazy
+        :class:`TupleView` otherwise — the consumer decides how much of
+        the view ever gets decoded.
+        """
+        cache = self._tuple_cache()
+        for rid, raw in self._heap.scan():
+            t = cache.get(rid)
+            yield t if t is not None else TupleView(self, raw, rid)
+
+    def window_lazy(self, window: Lifespan) -> Iterator[Any]:
+        """Interval-index window scan with selective decode.
+
+        Deduplicates keys across the window's intervals (the index
+        stores one entry per lifespan interval) without decoding —
+        index payloads *are* keys.
+        """
+        index = self._ensure_interval_index()
+        cache = self._tuple_cache()
+        seen: set = set()
+        for lo, hi in window.intervals:
+            for key in index.overlapping(lo, hi):
+                if key in seen:
+                    continue
+                seen.add(key)
+                rid = self._key_index.get(key)
+                if rid is None:  # pragma: no cover - index/key drift guard
+                    continue
+                t = cache.get(rid)
+                if t is None:
+                    t = TupleView(self, self._heap.read(rid), rid)
+                yield t
 
     def alive_at(self, time: int) -> list[HistoricalTuple]:
         """Stabbing query through the interval index."""
@@ -154,6 +503,45 @@ class StoredRelation:
     def to_relation(self) -> HistoricalRelation:
         """Materialise the stored state as an in-memory relation."""
         return HistoricalRelation(self.scheme, self.scan())
+
+    # -- decoded-tuple cache ----------------------------------------------
+
+    def _tuple_cache(self) -> dict[RecordId, HistoricalTuple]:
+        if self._decoded_version != self._mutation_version:
+            self._decoded = {}
+            self._decoded_version = self._mutation_version
+        return self._decoded
+
+    def _tuple_at(self, rid: RecordId) -> HistoricalTuple:
+        cache = self._tuple_cache()
+        t = cache.get(rid)
+        if t is None:
+            t = self._decode_record(self._heap.read(rid))
+            cache[rid] = t
+        return t
+
+    def _decode_record(self, raw: bytes) -> HistoricalTuple:
+        self.decode_count += 1
+        return decode_tuple(raw, self.scheme)
+
+    def _attr_positions(self) -> dict[str, int]:
+        if self._positions is None:
+            self._positions = {a: i for i, a in enumerate(self.scheme.attributes)}
+        return self._positions
+
+    def reset_decode_counters(self) -> None:
+        """Zero ``decode_count`` / ``attr_decode_count`` (test hook)."""
+        self.decode_count = 0
+        self.attr_decode_count = 0
+
+    def drop_decoded_cache(self) -> None:
+        """Release the decoded-tuple cache.
+
+        A memory-pressure valve (and the benches' cold-read switch):
+        the next read of each record decodes again. Purely a cost
+        decision — answers never change.
+        """
+        self._decoded = {}
 
     # -- Relation protocol (repro.core.protocols) --------------------------
     #
@@ -213,20 +601,26 @@ class StoredRelation:
         return self._stats
 
     def rebuild_indexes(self) -> None:
-        """Rebuild both access methods from a full heap scan.
+        """Rebuild both access methods from a header-only heap scan.
 
         Restores the key index (key → record id) and the interval
         index (tuple lifespans → keys) to exactly the live heap
-        contents. Called automatically after :meth:`compact` and by
-        :meth:`_ensure_interval_index` when writes have made the
-        interval index stale.
+        contents. Keys and lifespans live in the record header, so no
+        attribute function is decoded. Called automatically after
+        :meth:`compact` and by :meth:`_ensure_interval_index` when
+        writes have made the interval index stale.
         """
         key_index: KeyIndex[RecordId] = KeyIndex()
         pairs = []
+        positions = self._attr_positions()
         for rid, raw in self._heap.scan():
-            t = decode_tuple(raw, self.scheme)
-            key_index.put(t.key_value(), rid)
-            pairs.append((t.lifespan, t.key_value()))
+            buf = memoryview(raw)
+            lifespan, key, offsets, base = decode_tuple_header(buf)
+            if key is None:
+                key = _key_from_attributes(buf, offsets, base, self.scheme,
+                                           positions)
+            key_index.put(key, rid)
+            pairs.append((lifespan, key))
         self._key_index = key_index
         self._interval_index = IntervalIndex.from_lifespans(pairs)
         self._dirty = False
@@ -244,12 +638,12 @@ class StoredRelation:
         are rebuilt immediately afterwards so reads through them never
         observe the relation mid-maintenance (previously the interval
         index stayed stale until :meth:`rebuild_indexes` was called by
-        hand). Statistics are invalidated too — the physical footprint
-        changed.
+        hand). Statistics and the decoded-tuple cache are invalidated
+        too — record ids moved and the physical footprint changed.
         """
         self._heap.compact()
+        self._mutated()
         self.rebuild_indexes()
-        self._stats = None
 
     def to_bytes(self) -> bytes:
         """Serialise the heap pages (see also :meth:`index_bytes`)."""
@@ -286,7 +680,7 @@ class StoredRelation:
 
         With *index_raw* (from :meth:`index_bytes`) both indexes are
         restored directly — no record is decoded. Without it, the key
-        index is rebuilt by a decoding scan and the interval index
+        index is rebuilt by a header-only scan and the interval index
         lazily on first temporal read. If the persisted index does not
         match the heap's live record count it is discarded and the
         indexes rebuilt from the heap — the heap is the truth.
@@ -302,9 +696,13 @@ class StoredRelation:
                 # lifespans — whatever the damage, fall back to the heap
                 stored._key_index = KeyIndex()
                 stored._interval_index = None
+        positions = stored._attr_positions()
         for rid, record in stored._heap.scan():
-            t = decode_tuple(record, scheme)
-            stored._key_index.put(t.key_value(), rid)
+            buf = memoryview(record)
+            _, key, offsets, base = decode_tuple_header(buf)
+            if key is None:
+                key = _key_from_attributes(buf, offsets, base, scheme, positions)
+            stored._key_index.put(key, rid)
         stored._dirty = True
         return stored
 

@@ -52,8 +52,12 @@ from repro.core.lifespan import Lifespan
 from repro.core.scheme import RelationScheme
 from repro.core.time_domain import TimeDomain
 
-#: Current on-disk format version, checked on open.
-FORMAT_VERSION = 1
+#: Current on-disk format version, checked on open. Version 2
+#: introduced the header-first tuple record layout (lifespan + key +
+#: per-attribute offsets — see :mod:`repro.storage.engine`), which
+#: changed every snapshot and WAL tuple payload; version-1 directories
+#: are rejected here rather than mis-decoded.
+FORMAT_VERSION = 2
 
 MANIFEST = "manifest.json"
 WAL_FILE = "wal.log"

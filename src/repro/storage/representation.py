@@ -21,6 +21,15 @@ a function, and every representation reports its :meth:`cost` in
 stored atoms so benches can compare representation sizes. (The paper's
 Section 6 / Figure 9 places this level between the model and the
 physical bytes; :mod:`repro.storage.engine` is where the levels meet.)
+
+At the physical boundary the representation principle — store what a
+reader needs first — reappears as the engine's *header-first tuple
+layout*: each record leads with its lifespan, its (constant) key
+values, and a per-attribute offset table, so scans can answer
+lifespan-overlap and key-equality questions, and seek straight to the
+attributes a query touches, without reconstructing the untouched
+temporal functions (see :class:`repro.storage.engine.TupleView` and
+``docs/performance.md``).
 """
 
 from __future__ import annotations

@@ -10,7 +10,7 @@ import pytest
 from repro.core.errors import CompileError
 from repro.core.lifespan import Lifespan
 from repro.database import HistoricalDatabase
-from repro.planner import IntervalScan, KeyLookup, PlanExplanation
+from repro.planner import FusedScan, IntervalScan, KeyLookup, PlanExplanation
 from repro.query import ExplainQuery, parse, run, tokenize
 from repro.query import ast_nodes as ast
 from repro.query.__main__ import execute as shell_execute
@@ -73,7 +73,11 @@ class TestEndToEnd:
         out = run("EXPLAIN PROJECT NAME FROM (TIMESLICE EMP TO [10, 14])",
                   {"EMP": emp})
         assert isinstance(out, PlanExplanation)
-        assert "Project[NAME]" in out.text
+        # Slice and projection fuse into the scan leaf; the fused node
+        # renders both pushed-down operators.
+        assert "FusedScan[EMP" in out.text
+        assert "τ Lifespan([10, 14])" in out.text
+        assert "π NAME" in out.text
         assert "est rows" in out.text and "cost" in out.text
         assert "actual" not in out.text  # not analyzed
         assert out.result is None
@@ -88,8 +92,10 @@ class TestEndToEnd:
 
     def test_explain_chooses_interval_scan_on_stored(self, stored_env):
         out = run("EXPLAIN TIMESLICE EMP TO [10, 12]", stored_env)
-        assert any(isinstance(n, IntervalScan) for n in out.plan.root.walk())
-        assert "IntervalScan[EMP" in out.text
+        fused = [n for n in out.plan.root.walk() if isinstance(n, FusedScan)]
+        assert fused and fused[0].window is not None
+        assert fused[0].source_kind == "IntervalScan"
+        assert "FusedScan[EMP ∩" in out.text
 
     def test_explain_shows_key_lookup(self, emp):
         name = sorted(t.key_value()[0] for t in emp)[0]
@@ -167,4 +173,4 @@ class TestShell:
         env = default_environment()
         out = shell_execute("EXPLAIN TIMESLICE EMP TO [10, 14]", env)
         assert out.startswith("Plan")
-        assert "Slice" in out
+        assert "τ Lifespan([10, 14])" in out

@@ -12,7 +12,7 @@ from hypothesis import strategies as st
 
 from repro.core.errors import BindError, QueryError
 from repro.database import HistoricalDatabase, PreparedQuery
-from repro.planner.plan import IntervalScan, KeyLookup
+from repro.planner.plan import FusedScan, IntervalScan, KeyLookup
 from repro.query import ast_nodes as ast
 from repro.query.lexer import tokenize
 from repro.query.parser import parse
@@ -140,8 +140,13 @@ class TestPlanTimeBinding:
         disk = _database(storage="disk")
         explanation = disk.explain("TIMESLICE EMP TO [:lo, :hi]",
                                    {"lo": 10, "hi": 12})
-        assert any(isinstance(n, IntervalScan)
-                   for n in explanation.plan.root.walk())
+        # The bound window surfaces as an interval-index access — since
+        # the fusion pass it rides inside the fused scan leaf.
+        assert any(
+            isinstance(n, IntervalScan)
+            or (isinstance(n, FusedScan) and n.window is not None)
+            for n in explanation.plan.root.walk()
+        )
 
 
 class TestPreparedQueries:
@@ -200,4 +205,4 @@ class TestPreparedQueries:
         ready = _DB.prepare("TIMESLICE EMP TO [:lo, :hi]")
         explanation = ready.explain({"lo": 5, "hi": 9}, analyze=True)
         assert explanation.result is not None
-        assert "Slice" in explanation.text
+        assert "τ Lifespan([5, 9])" in explanation.text

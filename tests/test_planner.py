@@ -22,6 +22,7 @@ from repro.core.tfunc import TemporalFunction
 from repro.core.tuples import HistoricalTuple
 from repro.planner import (
     FullScan,
+    FusedScan,
     IntervalScan,
     KeyLookup,
     Planner,
@@ -184,6 +185,122 @@ def test_when_plans_return_lifespans(r, w, p):
 
 
 # ---------------------------------------------------------------------------
+# Fusion: pipelined / fused plans are a pure cost decision.
+# ---------------------------------------------------------------------------
+
+
+@settings(deadline=None, max_examples=50)
+@given(expressions(), small_relations(), small_relations())
+def test_fused_equals_unfused_equals_naive_stored(expr, a, b):
+    """The fusion pass may only change costs: over stored relations,
+    fused and unfused plans both compute the naive answer."""
+    mem_env = {"A": a, "B": b}
+    stored_env = {"A": _stored(a), "B": _stored(b)}
+    expected = expr.evaluate(mem_env)
+    assert plan_fn(expr, stored_env, fuse=True).execute(stored_env) == expected
+    assert plan_fn(expr, stored_env, fuse=False).execute(stored_env) == expected
+
+
+@settings(deadline=None, max_examples=30)
+@given(expressions(), small_relations(), small_relations())
+def test_fused_plans_have_no_fusable_chains_left(expr, a, b):
+    """After fusion no Filter/Slice/Project sits directly on a scan
+    (modulo un-fusable predicates, which the strategy never builds)."""
+    from repro.planner import Filter, ProjectOp, Slice
+
+    chosen = plan_fn(expr, {"A": a, "B": b})
+    for node in chosen.root.walk():
+        if isinstance(node, (Filter, Slice, ProjectOp)):
+            assert not isinstance(node.child, (FullScan, IntervalScan, FusedScan))
+
+
+class TestFusion:
+    def test_chain_fuses_into_one_leaf_in_order(self, stored_emp):
+        from repro.planner import FusedFilter, FusedProject, FusedSlice
+
+        env = {"EMP": stored_emp}
+        tree = E.Project(
+            E.SelectIf(E.TimeSlice(E.Rel("EMP"), Lifespan.interval(0, 120)),
+                       AttrOp("SALARY", ">=", 50_000)),
+            ("NAME",),
+        )
+        chosen = plan_fn(tree, env, normalize=False)
+        assert isinstance(chosen.root, FusedScan)
+        kinds = [type(op) for op in chosen.root.ops]
+        assert kinds == [FusedSlice, FusedFilter, FusedProject]
+
+    def test_custom_predicate_stays_unfused(self, emp):
+        from repro.algebra.predicates import Custom
+        from repro.planner import Filter
+
+        env = {"EMP": emp}
+        tree = E.SelectIf(E.Rel("EMP"),
+                          Custom(lambda t, s: True, "anything"))
+        chosen = plan_fn(tree, env)
+        assert isinstance(chosen.root, Filter)
+        assert chosen.execute(env) == tree.evaluate(env)
+
+    def test_key_lookup_not_fused(self, emp):
+        name = sorted(t.key_value()[0] for t in emp)[0]
+        chosen = plan_fn(E.SelectIf(E.Rel("EMP"), AttrOp("NAME", "=", name)),
+                         {"EMP": emp})
+        assert any(isinstance(n, KeyLookup) for n in chosen.root.walk())
+        assert not any(isinstance(n, FusedScan) for n in chosen.root.walk())
+
+    def test_fuse_false_keeps_operator_nodes(self, stored_emp):
+        from repro.planner import Slice
+
+        env = {"EMP": stored_emp}
+        tree = E.TimeSlice(E.Rel("EMP"), Lifespan.interval(10, 12))
+        chosen = plan_fn(tree, env, fuse=False)
+        assert isinstance(chosen.root, Slice)
+        assert not any(isinstance(n, FusedScan) for n in chosen.root.walk())
+
+    def test_fused_scan_renders_in_explain(self, stored_emp):
+        from repro.planner import explain
+
+        env = {"EMP": stored_emp}
+        tree = E.SelectWhen(E.TimeSlice(E.Rel("EMP"), Lifespan.interval(5, 9)),
+                            AttrOp("SALARY", ">=", 50_000))
+        out = explain(tree, env)
+        assert "FusedScan[EMP" in out.text
+        assert "σ-WHEN" in out.text and "τ" in out.text
+
+    def test_explain_analyze_of_fused_plan_stamps_actuals(self, emp, stored_emp):
+        from repro.planner import explain
+
+        env = {"EMP": stored_emp}
+        tree = E.TimeSlice(E.Rel("EMP"), Lifespan.interval(10, 14))
+        out = explain(tree, env, analyze=True)
+        assert out.result == tree.evaluate({"EMP": emp})
+        for node in out.plan.root.walk():
+            assert node.actual_rows is not None
+            assert node.actual_ms is not None
+
+    def test_consumed_stream_raises(self, emp):
+        """A TupleStream flows once: draining it twice is an error, not
+        a silent empty relation."""
+        from repro.core.errors import AlgebraError
+
+        env = {"EMP": emp}
+        tree = E.SelectIf(E.Rel("EMP"), AttrOp("SALARY", ">=", 0))
+        stream = plan_fn(tree, env).execute_stream(env)
+        assert len(list(stream)) == len(emp)
+        with pytest.raises(AlgebraError):
+            stream.materialize()
+
+    def test_streamed_when_plan(self, emp, stored_emp):
+        """Ω over a fused pipeline: the stream drains into a lifespan
+        without ever materializing a relation."""
+        from repro.algebra.when import when
+
+        tree = E.SelectWhen(E.Rel("EMP"), AttrOp("SALARY", ">=", 50_000))
+        expected = when(tree.evaluate({"EMP": emp}))
+        for env in ({"EMP": emp}, {"EMP": stored_emp}):
+            assert plan_fn(tree, env, when=True).execute(env) == expected
+
+
+# ---------------------------------------------------------------------------
 # Access-path choices.
 # ---------------------------------------------------------------------------
 
@@ -198,27 +315,45 @@ def stored_emp(emp):
     return _stored(emp)
 
 
+def _uses_interval_access(chosen) -> bool:
+    """The plan reads through the interval index — as a bare
+    IntervalScan or subsumed into a fused scan."""
+    return any(
+        isinstance(n, IntervalScan)
+        or (isinstance(n, FusedScan) and n.window is not None)
+        for n in chosen.root.walk()
+    )
+
+
+def _uses_full_access(chosen) -> bool:
+    return any(
+        isinstance(n, FullScan)
+        or (isinstance(n, FusedScan) and n.window is None)
+        for n in chosen.root.walk()
+    )
+
+
 class TestAccessPaths:
     def test_narrow_slice_uses_interval_index(self, emp, stored_emp):
         env = {"EMP": stored_emp}
         tree = E.TimeSlice(E.Rel("EMP"), Lifespan.interval(10, 12))
         chosen = plan_fn(tree, env)
-        assert any(isinstance(n, IntervalScan) for n in chosen.root.walk())
+        assert _uses_interval_access(chosen)
         assert chosen.execute(env) == tree.evaluate({"EMP": emp})
 
     def test_wide_slice_uses_full_scan(self, stored_emp):
         env = {"EMP": stored_emp}
         tree = E.TimeSlice(E.Rel("EMP"), Lifespan.interval(0, 120))
         chosen = plan_fn(tree, env)
-        assert all(not isinstance(n, IntervalScan) for n in chosen.root.walk())
-        assert any(isinstance(n, FullScan) for n in chosen.root.walk())
+        assert not _uses_interval_access(chosen)
+        assert _uses_full_access(chosen)
 
     def test_bounded_select_when_uses_interval_index(self, emp, stored_emp):
         env = {"EMP": stored_emp}
         tree = E.SelectWhen(E.Rel("EMP"), AttrOp("SALARY", ">=", 50_000),
                             Lifespan.interval(5, 8))
         chosen = plan_fn(tree, env)
-        assert any(isinstance(n, IntervalScan) for n in chosen.root.walk())
+        assert _uses_interval_access(chosen)
         assert chosen.execute(env) == tree.evaluate({"EMP": emp})
 
     def test_slice_over_select_normalizes_to_interval_scan(self, emp, stored_emp):
@@ -227,7 +362,7 @@ class TestAccessPaths:
         tree = E.TimeSlice(E.SelectWhen(E.Rel("EMP"), AttrOp("SALARY", ">=", 50_000)),
                            Lifespan.interval(5, 8))
         chosen = plan_fn(tree, env)
-        assert any(isinstance(n, IntervalScan) for n in chosen.root.walk())
+        assert _uses_interval_access(chosen)
         assert chosen.execute(env) == tree.evaluate({"EMP": emp})
 
     def test_key_equality_uses_key_lookup_stored(self, emp, stored_emp):

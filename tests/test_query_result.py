@@ -72,7 +72,7 @@ class TestPlanResults:
         assert result.kind == "plan"
         assert result.explanation.analyzed
         assert result.plan is result.explanation.plan
-        assert "Slice" in str(result)
+        assert "FusedScan[EMP | τ" in str(result)
 
     def test_no_length_or_iteration(self, db):
         result = db.query("EXPLAIN TIMESLICE EMP TO [0, 9]")
