@@ -1,0 +1,201 @@
+"""Server — throughput scaling under concurrent clients, group commit.
+
+The service subsystem's two quantitative claims:
+
+1. **Read throughput scales with client count.** Clients are
+   closed-loop with a fixed think time (each "application" computes
+   for a few milliseconds between requests, the TPC-style model): one
+   client leaves the server idle most of the time, so adding clients
+   raises aggregate throughput until the server's core saturates.
+   Queries execute against published snapshots — no reader ever
+   blocks on the committing writers.
+2. **Group commit pays under concurrent writers.** The write-heavy
+   workload (auto-commit inserts, no think time) runs under
+   ``sync="always"`` (an fsync on every commit's critical path) and
+   ``sync="batch"`` (the WAL absorbs the concurrent commit stream
+   into one fsync per batch window). Batch must win by ≥ 2×.
+
+Results go to ``benchmarks/results/server.txt`` and the trajectory
+file ``BENCH_server.json``. ``BENCH_SERVER_TINY=1`` runs a smoke-sized
+workload (CI) without touching the trajectory file. Correctness is
+asserted throughout: every acknowledged write is present afterwards.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+
+import pytest
+
+from benchmarks._report import report, report_json
+from repro.client import connect
+from repro.core.lifespan import Lifespan
+from repro.database import HistoricalDatabase
+from repro.server import DatabaseServer
+from repro.workloads import PersonnelConfig, generate_personnel
+
+TINY = bool(os.environ.get("BENCH_SERVER_TINY"))
+
+CLIENT_COUNTS = (1, 2) if TINY else (1, 2, 4, 8, 16)
+WRITE_CLIENT_COUNTS = (1, 2) if TINY else (1, 4, 8)
+READ_SECONDS = 0.4 if TINY else 1.2
+THINK_SECONDS = 0.006  # closed-loop client think time (6 ms)
+WRITE_OPS_PER_CLIENT = 30 if TINY else 150
+N_EMPLOYEES = 20 if TINY else 60
+
+READ_QUERY = "SELECT WHEN SALARY >= :min DURING [:lo, :hi] IN EMP"
+
+
+def _served_db(tmp_path, name: str, sync: str):
+    db = HistoricalDatabase(path=str(tmp_path / name), sync=sync)
+    emp = generate_personnel(PersonnelConfig(n_employees=N_EMPLOYEES, seed=7))
+    db.create_relation(emp.scheme, emp.tuples, storage="disk")
+    return db
+
+
+def _run_clients(server, n_clients: int, body) -> list:
+    """Start *n_clients* session threads running ``body(client_id,
+    session, results)`` after a common barrier; returns the results."""
+    results: list = []
+    errors: list = []
+    barrier = threading.Barrier(n_clients)
+
+    def worker(client_id: int) -> None:
+        try:
+            session = connect(*server.address)
+            barrier.wait()
+            body(client_id, session, results)
+            session.close()
+        except Exception as exc:  # pragma: no cover - fails the bench
+            errors.append(repr(exc))
+
+    threads = [threading.Thread(target=worker, args=(i,), daemon=True)
+               for i in range(n_clients)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(120)
+        assert not thread.is_alive(), "benchmark client deadlocked"
+    assert not errors, errors[:3]
+    return results
+
+
+def _closed_loop_reads(server, n_clients: int, mixed: bool) -> float:
+    """Aggregate ops/s of *n_clients* closed-loop sessions."""
+
+    def body(client_id: int, session, results) -> None:
+        prepared = session.prepare(READ_QUERY)
+        deadline = time.perf_counter() + READ_SECONDS
+        ops = 0
+        i = 0
+        while time.perf_counter() < deadline:
+            if mixed and i % 5 == 4:  # 20% writes in the mixed workload
+                session.insert(
+                    "EMP", Lifespan.interval(0, 9),
+                    {"NAME": f"M{n_clients}-{client_id}-{i}",
+                     "SALARY": 10_000 + i, "DEPT": "Tools"})
+            else:
+                lo = 20 + (i % 5) * 10
+                rows = prepared.query(
+                    {"min": 25_000, "lo": lo, "hi": lo + 3}).rows()
+                assert rows is not None
+            ops += 1
+            i += 1
+            time.sleep(THINK_SECONDS)
+        results.append(ops)
+
+    started = time.perf_counter()
+    results = _run_clients(server, n_clients, body)
+    elapsed = time.perf_counter() - started
+    return sum(results) / elapsed
+
+
+def _write_burst(server, n_clients: int, tag: str) -> float:
+    """Aggregate commits/s of *n_clients* auto-commit insert streams."""
+
+    def body(client_id: int, session, results) -> None:
+        for i in range(WRITE_OPS_PER_CLIENT):
+            session.insert("EMP", Lifespan.interval(0, 9),
+                           {"NAME": f"{tag}-{client_id}-{i}",
+                            "SALARY": i, "DEPT": "Games"})
+        results.append(WRITE_OPS_PER_CLIENT)
+
+    started = time.perf_counter()
+    results = _run_clients(server, n_clients, body)
+    elapsed = time.perf_counter() - started
+    return sum(results) / elapsed
+
+
+@pytest.mark.filterwarnings("ignore::pytest.PytestUnraisableExceptionWarning")
+def test_server_report(tmp_path):
+    rows = []
+    payload = {
+        "workload": {
+            "n_employees": N_EMPLOYEES,
+            "storage": "disk",
+            "read_query": READ_QUERY,
+            "think_time_ms": THINK_SECONDS * 1000,
+            "write_ops_per_client": WRITE_OPS_PER_CLIENT,
+            "tiny": TINY,
+        },
+        "read_only": {}, "mixed": {},
+        "write_heavy": {"always": {}, "batch": {}, "group_commit_speedup": {}},
+    }
+
+    # -- 1. read-only and mixed scaling, 1 → 16 clients -------------------
+    db = _served_db(tmp_path, "read", sync="batch")
+    with DatabaseServer(db) as server:
+        for n_clients in CLIENT_COUNTS:
+            ops = _closed_loop_reads(server, n_clients, mixed=False)
+            payload["read_only"][str(n_clients)] = round(ops, 1)
+            rows.append(("read-only", n_clients, f"{ops:.0f} ops/s", ""))
+        for n_clients in CLIENT_COUNTS:
+            ops = _closed_loop_reads(server, n_clients, mixed=True)
+            payload["mixed"][str(n_clients)] = round(ops, 1)
+            rows.append(("mixed 80/20", n_clients, f"{ops:.0f} ops/s", ""))
+    db.close()
+
+    # Read throughput must scale with client count (the server overlaps
+    # one client's think time with another's query).
+    low = payload["read_only"][str(CLIENT_COUNTS[0])]
+    high = max(payload["read_only"].values())
+    assert high >= 1.5 * low, (
+        f"read throughput did not scale: 1 client {low}, best {high}")
+
+    # -- 2. write-heavy under each sync policy ----------------------------
+    for sync in ("always", "batch"):
+        for n_clients in WRITE_CLIENT_COUNTS:
+            db = _served_db(tmp_path, f"w-{sync}-{n_clients}", sync=sync)
+            tag = f"{sync[0]}{n_clients}"
+            with DatabaseServer(db) as server:
+                ops = _write_burst(server, n_clients, tag)
+            # Every acknowledged commit is present.
+            expected = n_clients * WRITE_OPS_PER_CLIENT
+            burst = [t for t in db["EMP"]
+                     if t.key_value()[0].startswith(f"{tag}-")]
+            assert len(burst) == expected
+            db.close()
+            payload["write_heavy"][sync][str(n_clients)] = round(ops, 1)
+            rows.append((f"write-heavy sync={sync}", n_clients,
+                         f"{ops:.0f} commits/s", ""))
+
+    for n_clients in WRITE_CLIENT_COUNTS:
+        always = payload["write_heavy"]["always"][str(n_clients)]
+        batch = payload["write_heavy"]["batch"][str(n_clients)]
+        speedup = batch / always
+        payload["write_heavy"]["group_commit_speedup"][str(n_clients)] = (
+            round(speedup, 2))
+        rows.append(("group commit speedup", n_clients,
+                     f"{speedup:.2f}x", "batch vs always"))
+
+    best = max(payload["write_heavy"]["group_commit_speedup"].values())
+    if not TINY:
+        assert best >= 2.0, (
+            f"group commit under-delivered: best speedup {best:.2f}x")
+
+    report("server", "Service throughput under concurrent clients",
+           ["workload", "clients", "throughput", "note"], rows)
+    if not TINY:
+        report_json("BENCH_server", payload)

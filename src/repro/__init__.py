@@ -5,8 +5,10 @@ Implements Clifford & Croker, "The Historical Relational Data Model
 functions, historical relations, the full historical algebra, a
 database layer with evolving schemas and temporal integrity
 constraints, a storage substrate mirroring the paper's three-level
-architecture, a classical / tuple-timestamping baseline, and a small
-query language (HRQL).
+architecture, a classical / tuple-timestamping baseline, a small
+query language (HRQL), and a concurrent service layer — a wire
+protocol server (:mod:`repro.server`) with a mirroring client library
+(:mod:`repro.client`) over snapshot-isolated sessions.
 
 Quickstart
 ----------

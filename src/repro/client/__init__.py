@@ -1,0 +1,514 @@
+"""The client library — a remote catalog that feels embedded.
+
+:func:`connect` opens a TCP connection to a :mod:`repro.server` and
+returns a :class:`Client` whose surface mirrors
+:class:`~repro.database.database.HistoricalDatabase`: the same
+``query()`` (HRQL text plus ``:name`` bind parameters), the same
+lifespan-phrased mutations (``insert`` / ``update`` / ``terminate`` /
+``reincarnate``), ``transaction()`` sessions, ``prepare()``\\ d
+statements, DDL, and ``checkpoint()``. Results come back *typed*:
+query answers are real :class:`~repro.core.relation.HistoricalRelation`
+/ :class:`~repro.core.lifespan.Lifespan` values (tuples travel in the
+storage engine's exact record encoding, so a remote answer equals the
+embedded answer byte for byte), and mutations return the resulting
+:class:`~repro.core.tuples.HistoricalTuple` just like the embedded API.
+
+Server-side errors surface as the matching
+:class:`~repro.core.errors.HRDMError` subclass with the original
+message, so error handling code is portable between embedded and
+remote use. The HRQL shell exploits all of this: ``\\connect
+HOST:PORT`` swaps its embedded catalog for a :class:`Client` and every
+command keeps working, with identical rendering.
+
+A :class:`Client` is **not** thread-safe — it is one session on one
+socket, like one :class:`~repro.database.session.Transaction`. Open
+one client per thread; the server gives each its own worker.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Any, Iterator, Mapping, Optional, Tuple, Union
+
+from repro.core.domains import ValueDomain
+from repro.core.errors import HRDMError, QueryError, StorageError
+from repro.core.lifespan import Lifespan
+from repro.core.relation import HistoricalRelation
+from repro.core.scheme import RelationScheme
+from repro.core.tuples import HistoricalTuple
+from repro.server import protocol
+from repro.storage import pager as pager_mod
+
+__all__ = ["Client", "RemoteExplanation", "RemoteResult",
+           "RemotePrepared", "RemoteTransaction", "connect"]
+
+
+def connect(address: Union[str, Tuple[str, int]],
+            port: Optional[int] = None, *,
+            timeout: Optional[float] = None,
+            domains: Optional[Mapping[str, ValueDomain]] = None) -> "Client":
+    """Open a client session with a running database server.
+
+    *address* is ``"host:port"``, or a host with *port* given
+    separately, or a ``(host, port)`` pair — so both
+    ``connect("localhost:7707")`` and ``connect(*server.address)``
+    read naturally. *timeout* bounds each request round trip (seconds);
+    *domains* restores membership enforcement for custom value domains
+    in schemes crossing the wire (exactly as for
+    ``HistoricalDatabase(domains=...)``).
+    """
+    if isinstance(address, tuple):
+        host, port = address
+    elif port is None:
+        host, _, port_text = address.rpartition(":")
+        if not host:
+            raise StorageError(
+                f"connect() needs HOST:PORT, got {address!r}")
+        try:
+            port = int(port_text)
+        except ValueError:
+            raise StorageError(
+                f"connect() needs a numeric port, got {port_text!r}"
+            ) from None
+    else:
+        host = address
+    return Client(host, int(port), timeout=timeout, domains=domains)
+
+
+class RemoteExplanation:
+    """An ``EXPLAIN [ANALYZE]`` answer rendered by the server.
+
+    Only the rendering crosses the wire — the physical plan objects
+    stay server-side — so this mirrors just the displayable part of
+    :class:`~repro.planner.explain.PlanExplanation`.
+    """
+
+    def __init__(self, text: str):
+        self.text = text
+
+    def __str__(self) -> str:
+        return self.text
+
+    def __repr__(self) -> str:
+        return f"RemoteExplanation({self.text.splitlines()[0]!r}...)"
+
+
+class RemoteResult:
+    """One remote query answer — the wire twin of
+    :class:`~repro.database.result.QueryResult`.
+
+    Same ``kind`` tag, same typed accessors, same delegating dunders;
+    ``relation`` / ``lifespan`` answers are real model objects, while
+    ``plan`` answers carry the server-rendered
+    :class:`RemoteExplanation`.
+    """
+
+    __slots__ = ("kind", "_value")
+
+    def __init__(self, value):
+        if isinstance(value, RemoteExplanation):
+            self.kind = "plan"
+        elif isinstance(value, Lifespan):
+            self.kind = "lifespan"
+        elif isinstance(value, HistoricalRelation):
+            self.kind = "relation"
+        else:  # pragma: no cover - guarded by the protocol decoder
+            raise QueryError(f"not a query result value: {value!r}")
+        self._value = value
+
+    @property
+    def value(self):
+        """The raw underlying answer."""
+        return self._value
+
+    @property
+    def relation(self) -> HistoricalRelation:
+        """The relation answer; raises unless ``kind == "relation"``."""
+        if self.kind != "relation":
+            raise QueryError(f"result is a {self.kind}, not a relation")
+        return self._value
+
+    @property
+    def lifespan(self) -> Lifespan:
+        """The lifespan answer of a top-level ``WHEN`` query."""
+        if self.kind != "lifespan":
+            raise QueryError(f"result is a {self.kind}, not a lifespan")
+        return self._value
+
+    @property
+    def explanation(self) -> RemoteExplanation:
+        """The ``EXPLAIN [ANALYZE]`` rendering; ``kind == "plan"`` only."""
+        if self.kind != "plan":
+            raise QueryError(f"result is a {self.kind}, not a plan explanation")
+        return self._value
+
+    def rows(self) -> list[HistoricalTuple]:
+        """The answer's historical tuples, as a list."""
+        return list(self.relation)
+
+    def snapshot(self, at: int) -> list[dict[str, Any]]:
+        """The classical (flat) view of the relation answer at *at*."""
+        return self.relation.snapshot(at)
+
+    def __iter__(self) -> Iterator:
+        if self.kind == "plan":
+            raise QueryError("a plan explanation is not iterable")
+        return iter(self._value)
+
+    def __len__(self) -> int:
+        if self.kind == "plan":
+            raise QueryError("a plan explanation has no length")
+        return len(self._value)
+
+    def __bool__(self) -> bool:
+        return True if self.kind == "plan" else bool(self._value)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, RemoteResult):
+            return self._value == other._value
+        if hasattr(other, "value"):  # a QueryResult
+            return self._value == other.value
+        return self._value == other
+
+    def __hash__(self) -> int:
+        return hash(self._value)
+
+    def __str__(self) -> str:
+        return str(self._value)
+
+    def __repr__(self) -> str:
+        return f"RemoteResult({self.kind}, {self._value!r})"
+
+
+class Client:
+    """One session with a database server (see :func:`connect`)."""
+
+    #: Lets generic callers (the HRQL shell) tell a remote catalog from
+    #: an embedded one where the difference matters (it rarely does).
+    remote = True
+
+    def __init__(self, host: str, port: int, *,
+                 timeout: Optional[float] = None,
+                 domains: Optional[Mapping[str, ValueDomain]] = None):
+        self._domains = dict(domains or {})
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._buffer = bytearray()
+        self._closed = False
+        self._txn_active = False
+        hello = self.request({"op": "hello", "client": "repro-client"})
+        #: The server's database name.
+        self.name: str = hello.get("database", "")
+        #: True when the served database is durable (``\\checkpoint`` works).
+        self.durable: bool = bool(hello.get("durable"))
+        self._address = (host, port)
+
+    # -- plumbing -----------------------------------------------------------
+
+    def request(self, payload: Mapping[str, Any]) -> dict:
+        """One round trip: send a frame, receive and check the response.
+
+        Raises the server-reported :class:`HRDMError` subclass on an
+        ERROR frame; raises :class:`StorageError` if the connection is
+        closed or drops mid-request.
+        """
+        if self._closed:
+            raise StorageError("the client connection has been closed")
+        try:
+            protocol.send_frame(self._sock, payload)
+            response = protocol.recv_frame(self._sock, self._buffer)
+        except (OSError, protocol.ProtocolError) as exc:
+            self._closed = True
+            raise StorageError(f"server connection lost: {exc}") from exc
+        if response is None:
+            self._closed = True
+            raise StorageError("server closed the connection")
+        if not response.get("ok"):
+            raise protocol.error_from_wire(response)
+        return response
+
+    def close(self) -> None:
+        """Close the session socket (idempotent)."""
+        if not self._closed:
+            self._closed = True
+            try:
+                self._sock.close()
+            except OSError:  # pragma: no cover - nothing left to release
+                pass
+
+    def __enter__(self) -> "Client":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+    # -- querying -----------------------------------------------------------
+
+    def query(self, source: str,
+              params: Optional[Mapping[str, Any]] = None) -> RemoteResult:
+        """Run an HRQL statement on the server; typed result.
+
+        Mirrors :meth:`HistoricalDatabase.query`: *source* is HRQL
+        text (``EXPLAIN [ANALYZE]`` included), *params* binds ``:name``
+        parameters server-side through the same machinery.
+        """
+        payload: dict[str, Any] = {"op": "query", "q": source}
+        if params:
+            payload["params"] = dict(params)
+        return self._decode_result(self.request(payload))
+
+    def prepare(self, source: str) -> "RemotePrepared":
+        """Parse *source* once server-side, for repeated runs."""
+        response = self.request({"op": "prepare", "q": source})
+        return RemotePrepared(self, response["id"], source,
+                              tuple(response["params"]))
+
+    def _decode_result(self, response: Mapping) -> RemoteResult:
+        kind = response.get("kind")
+        if kind == "relation":
+            return RemoteResult(
+                protocol.relation_from_wire(response, self._domains))
+        if kind == "lifespan":
+            return RemoteResult(
+                protocol.lifespan_from_wire(response["lifespan"]))
+        if kind == "plan":
+            return RemoteResult(RemoteExplanation(response["text"]))
+        raise protocol.ProtocolError(f"unknown result kind {kind!r}")
+
+    # -- mutations (the HistoricalDatabase surface) -------------------------
+
+    def _tuple_of(self, response: Mapping) -> HistoricalTuple:
+        scheme = pager_mod.scheme_from_dict(response["scheme"], self._domains)
+        return protocol.tuple_from_wire(response["tuple"], scheme)
+
+    def insert(self, name: str, lifespan: Lifespan,
+               values: Mapping[str, Any]) -> HistoricalTuple:
+        """Insert a new object (see :meth:`HistoricalDatabase.insert`)."""
+        return self._tuple_of(self.request({
+            "op": "execute", "action": "insert", "relation": name,
+            "lifespan": protocol.lifespan_to_wire(lifespan),
+            "values": dict(values),
+        }))
+
+    def update(self, name: str, key: tuple, at: int,
+               changes: Mapping[str, Any]) -> HistoricalTuple:
+        """New values from *at* on (see :meth:`HistoricalDatabase.update`)."""
+        return self._tuple_of(self.request({
+            "op": "execute", "action": "update", "relation": name,
+            "key": list(key), "at": at, "changes": dict(changes),
+        }))
+
+    def terminate(self, name: str, key: tuple, at: int) -> HistoricalTuple:
+        """End an incarnation (see :meth:`HistoricalDatabase.terminate`)."""
+        return self._tuple_of(self.request({
+            "op": "execute", "action": "terminate", "relation": name,
+            "key": list(key), "at": at,
+        }))
+
+    def reincarnate(self, name: str, key: tuple, lifespan: Lifespan,
+                    values: Mapping[str, Any]) -> HistoricalTuple:
+        """Re-open a history (see :meth:`HistoricalDatabase.reincarnate`)."""
+        return self._tuple_of(self.request({
+            "op": "execute", "action": "reincarnate", "relation": name,
+            "key": list(key),
+            "lifespan": protocol.lifespan_to_wire(lifespan),
+            "values": dict(values),
+        }))
+
+    def evolve_scheme(self, name: str, new_scheme: RelationScheme) -> None:
+        """Install an evolved scheme (see
+        :meth:`HistoricalDatabase.evolve_scheme`)."""
+        self.request({
+            "op": "execute", "action": "evolve", "relation": name,
+            "scheme": pager_mod.scheme_to_dict(new_scheme),
+        })
+
+    def create_relation(self, scheme: RelationScheme, tuples: Any = (), *,
+                        storage: str = "memory", **backend_options) -> None:
+        """Create a relation (see
+        :meth:`HistoricalDatabase.create_relation`)."""
+        self.request({
+            "op": "execute", "action": "create",
+            "scheme": pager_mod.scheme_to_dict(scheme),
+            "tuples": [protocol.tuple_to_wire(t) for t in tuples],
+            "storage": storage, "options": dict(backend_options),
+        })
+
+    def drop_relation(self, name: str) -> None:
+        """Remove a relation (see
+        :meth:`HistoricalDatabase.drop_relation`)."""
+        self.request({"op": "execute", "action": "drop", "relation": name})
+
+    # -- transactions --------------------------------------------------------
+
+    def transaction(self) -> "RemoteTransaction":
+        """Open a server-side buffered transaction for this session.
+
+        Mirrors :meth:`HistoricalDatabase.transaction`: mutations made
+        through the returned session buffer server-side and commit
+        atomically (one WAL record) when the ``with`` block exits —
+        or roll back on any exception.
+        """
+        self.request({"op": "begin"})
+        self._txn_active = True
+        return RemoteTransaction(self)
+
+    # -- durability ----------------------------------------------------------
+
+    def checkpoint(self) -> int:
+        """Snapshot + truncate the server's WAL; returns the generation."""
+        return self.request({"op": "checkpoint"})["generation"]
+
+    def flush(self) -> None:
+        """Force the server's acknowledged commits to stable storage."""
+        self.request({"op": "flush"})
+
+    # -- catalog introspection (the shell's surface) -------------------------
+
+    def relations_info(self) -> list[dict]:
+        """Per-relation summaries: name, tuple count, lifespan, storage."""
+        summaries = self.request({"op": "relations"})["relations"]
+        for summary in summaries:
+            summary["lifespan"] = protocol.lifespan_from_wire(
+                summary["lifespan"])
+        return summaries
+
+    def relation(self, name: str) -> HistoricalRelation:
+        """Fetch the named relation's full current value."""
+        response = self.request({"op": "relation", "name": name})
+        return protocol.relation_from_wire(response, self._domains)
+
+    def storage(self, name: str) -> str:
+        """The storage kind of the named relation ("memory" or "disk")."""
+        response = self.request({"op": "relation", "name": name})
+        return response["storage"]
+
+    def __getitem__(self, name: str) -> HistoricalRelation:
+        return self.relation(name)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(summary["name"] for summary in self.relations_info())
+
+    def __len__(self) -> int:
+        return len(self.relations_info())
+
+    def __contains__(self, name: object) -> bool:
+        return any(summary["name"] == name
+                   for summary in self.relations_info())
+
+    def __repr__(self) -> str:
+        host, port = self._address
+        state = "closed" if self._closed else "open"
+        return f"Client({self.name!r} at {host}:{port}, {state})"
+
+
+class RemotePrepared:
+    """A statement parsed (and plan-cached) server-side."""
+
+    def __init__(self, client: Client, statement_id: int, source: str,
+                 param_names: Tuple[str, ...]):
+        self._client = client
+        self._id = statement_id
+        self.source = source
+        #: The ``:name`` parameters the statement expects.
+        self.param_names = param_names
+
+    def query(self, params: Optional[Mapping[str, Any]] = None
+              ) -> RemoteResult:
+        """Bind and run the prepared statement; typed result."""
+        payload: dict[str, Any] = {"op": "query", "prepared": self._id}
+        if params:
+            payload["params"] = dict(params)
+        return self._client._decode_result(self._client.request(payload))
+
+    def __repr__(self) -> str:
+        names = ", ".join(f":{n}" for n in self.param_names) or "no parameters"
+        return f"RemotePrepared({self.source!r}, {names})"
+
+
+class RemoteTransaction:
+    """A server-side buffered transaction driven over the wire.
+
+    The buffering (and the commit-time constraint sweep, batching, and
+    atomic rollback) all happen in the server's
+    :class:`~repro.database.session.Transaction`; this object just
+    routes the same mutation calls through the open session.
+    """
+
+    def __init__(self, client: Client):
+        self._client = client
+        self._state = "active"
+
+    @property
+    def state(self) -> str:
+        """"active", "committed", or "rolled-back"."""
+        return self._state
+
+    def __enter__(self) -> "RemoteTransaction":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is not None:
+            if self._state == "active":
+                self.rollback()
+            return False
+        if self._state == "active":
+            self.commit()
+        return False
+
+    def commit(self) -> None:
+        """Apply every buffered change atomically on the server."""
+        self._finish("commit")
+
+    def rollback(self) -> None:
+        """Discard every buffered change."""
+        self._finish("rollback")
+
+    def _finish(self, op: str) -> None:
+        self._ensure_active()
+        try:
+            self._client.request({"op": op})
+        except HRDMError:
+            self._state = "rolled-back"
+            self._client._txn_active = False
+            raise
+        self._state = "committed" if op == "commit" else "rolled-back"
+        self._client._txn_active = False
+
+    def _ensure_active(self) -> None:
+        if self._state != "active":
+            from repro.core.errors import TransactionError
+
+            raise TransactionError(f"transaction already {self._state}")
+
+    def insert(self, name: str, lifespan: Lifespan,
+               values: Mapping[str, Any]) -> HistoricalTuple:
+        """Buffer a birth (see :meth:`Transaction.insert`)."""
+        self._ensure_active()
+        return self._client.insert(name, lifespan, values)
+
+    def update(self, name: str, key: tuple, at: int,
+               changes: Mapping[str, Any]) -> HistoricalTuple:
+        """Buffer new values (see :meth:`Transaction.update`)."""
+        self._ensure_active()
+        return self._client.update(name, key, at, changes)
+
+    def terminate(self, name: str, key: tuple, at: int) -> HistoricalTuple:
+        """Buffer a death (see :meth:`Transaction.terminate`)."""
+        self._ensure_active()
+        return self._client.terminate(name, key, at)
+
+    def reincarnate(self, name: str, key: tuple, lifespan: Lifespan,
+                    values: Mapping[str, Any]) -> HistoricalTuple:
+        """Buffer a rebirth (see :meth:`Transaction.reincarnate`)."""
+        self._ensure_active()
+        return self._client.reincarnate(name, key, lifespan, values)
+
+    def evolve_scheme(self, name: str, new_scheme: RelationScheme) -> None:
+        """Buffer a schema evolution (see
+        :meth:`Transaction.evolve_scheme`)."""
+        self._ensure_active()
+        self._client.evolve_scheme(name, new_scheme)
+
+    def __repr__(self) -> str:
+        return f"RemoteTransaction({self._state})"

@@ -104,6 +104,9 @@ class MemoryBackend:
 
         return undo
 
+    def freeze(self) -> None:
+        """Publish hook (no-op): the relation value is immutable already."""
+
     def options(self) -> dict:
         """Construction options to persist in the manifest (none)."""
         return {}
@@ -143,6 +146,20 @@ class DiskBackend:
 
     def apply(self, changes: Changes) -> Undo:
         stored = self._stored
+        if stored.frozen:
+            # The current value is a published read snapshot: apply the
+            # batch to a page-level copy-on-write clone and swap it in
+            # whole, so concurrent readers keep their frozen state and
+            # undo is a pointer restore. One clone per commit batch.
+            clone = stored.cow_clone()
+            for t in changes.values():
+                clone.replace(t)
+            self._stored = clone
+
+            def undo() -> None:
+                self._stored = stored
+
+            return undo
         prior = [(key, stored.get(*key)) for key in changes]
         for t in changes.values():
             stored.replace(t)
@@ -167,6 +184,10 @@ class DiskBackend:
             self._stored = previous
 
         return undo
+
+    def freeze(self) -> None:
+        """Publish hook: mark the stored relation as a shared snapshot."""
+        self._stored.freeze()
 
     def options(self) -> dict:
         """Construction options to persist in the manifest."""

@@ -31,7 +31,11 @@ mutable top-level object tying together:
   commit appends a checksummed write-ahead-log record
   (:mod:`repro.database.durability`), :meth:`checkpoint` writes a
   consistent snapshot, and reopening after a crash replays the log to
-  the last committed state.
+  the last committed state;
+* concurrency (:mod:`repro.database.concurrency`) — queries read
+  published committed snapshots without blocking, mutations serialize
+  on a single writer lock, so one catalog safely serves many threads
+  (and, through :mod:`repro.server`, many network clients).
 """
 
 from __future__ import annotations
@@ -39,7 +43,8 @@ from __future__ import annotations
 from typing import Any, Dict, Iterator, Mapping, Optional, Union
 
 from repro.core.domains import ValueDomain
-from repro.core.errors import HRDMError, IntegrityError, RelationError
+from repro.core.errors import (HRDMError, IntegrityError, RelationError,
+                               StorageError)
 from repro.core.lifespan import Lifespan
 from repro.core.relation import HistoricalRelation
 from repro.core.scheme import RelationScheme
@@ -47,6 +52,7 @@ from repro.core.time_domain import T_MAX, T_MIN, TimeDomain
 from repro.core.tuples import HistoricalTuple
 from repro.database import durability, mutations
 from repro.database.backends import BACKENDS, DiskBackend, MemoryBackend
+from repro.database.concurrency import ConcurrencyManager
 from repro.database.durability import DurabilityManager
 from repro.database.prepared import PreparedQuery
 from repro.database.result import QueryResult
@@ -112,11 +118,17 @@ class HistoricalDatabase:
         #: Bumped on every successful catalog change; prepared queries
         #: key their plan caches on it.
         self._version = 0
+        #: Snapshot publication + the single-writer commit lock (see
+        #: :mod:`repro.database.concurrency`). Queries read the last
+        #: published environment; every mutation entry point runs under
+        #: ``self._concurrency.write()``.
+        self._concurrency = ConcurrencyManager()
         self._durability: Optional[DurabilityManager] = None
         if path is not None:
             manager = DurabilityManager(path, sync, wal_batch_size, domains)
             manager.open(self, name)
             self._durability = manager
+        self._concurrency.publish(self._backends)
 
     # -- catalog -----------------------------------------------------------
 
@@ -132,29 +144,31 @@ class HistoricalDatabase:
         satisfy the :class:`~repro.core.protocols.Relation` protocol
         and behave identically under queries and mutations.
         """
-        if scheme.name in self._backends:
-            raise RelationError(f"relation {scheme.name!r} already exists")
-        try:
-            factory = BACKENDS[storage]
-        except KeyError:
-            options = ", ".join(sorted(BACKENDS))
-            raise RelationError(
-                f"unknown storage {storage!r}; expected one of: {options}"
-            ) from None
-        backend = factory(scheme, tuples, **backend_options)
-        self._backends[scheme.name] = backend
-        try:
-            self._check_constraints()
-            if self._durability is not None:
-                self._durability.log_commit([durability.create_op(
-                    scheme.name, backend.kind, backend.options(),
-                    scheme, backend.source(),
-                )])
-        except BaseException:
-            del self._backends[scheme.name]
-            raise
-        self._version += 1
-        return backend.source()
+        self._ensure_mutable("create a relation")
+        with self._concurrency.write():
+            if scheme.name in self._backends:
+                raise RelationError(f"relation {scheme.name!r} already exists")
+            try:
+                factory = BACKENDS[storage]
+            except KeyError:
+                options = ", ".join(sorted(BACKENDS))
+                raise RelationError(
+                    f"unknown storage {storage!r}; expected one of: {options}"
+                ) from None
+            backend = factory(scheme, tuples, **backend_options)
+            self._backends[scheme.name] = backend
+            try:
+                self._check_constraints()
+                if self._durability is not None:
+                    self._durability.log_commit([durability.create_op(
+                        scheme.name, backend.kind, backend.options(),
+                        scheme, backend.source(),
+                    )])
+            except BaseException:
+                del self._backends[scheme.name]
+                raise
+            self._committed()
+            return backend.source()
 
     def drop_relation(self, name: str) -> None:
         """Remove a relation from the catalog.
@@ -164,23 +178,25 @@ class HistoricalDatabase:
         relation would silently go stale, so the drop is refused (and
         rolled back) until the constraint is removed.
         """
-        backend = self._backend(name)
-        del self._backends[name]
-        try:
-            self._check_constraints()
-        except HRDMError as exc:
-            self._backends[name] = backend
-            raise RelationError(
-                f"cannot drop relation {name!r}: a registered constraint "
-                f"still references it ({exc}); remove the constraint first"
-            ) from exc
-        try:
-            if self._durability is not None:
-                self._durability.log_commit([durability.drop_op(name)])
-        except BaseException:
-            self._backends[name] = backend
-            raise
-        self._version += 1
+        self._ensure_mutable("drop a relation")
+        with self._concurrency.write():
+            backend = self._backend(name)
+            del self._backends[name]
+            try:
+                self._check_constraints()
+            except HRDMError as exc:
+                self._backends[name] = backend
+                raise RelationError(
+                    f"cannot drop relation {name!r}: a registered constraint "
+                    f"still references it ({exc}); remove the constraint first"
+                ) from exc
+            try:
+                if self._durability is not None:
+                    self._durability.log_commit([durability.drop_op(name)])
+            except BaseException:
+                self._backends[name] = backend
+                raise
+            self._committed()
 
     def relation(self, name: str):
         """The current value of the named relation.
@@ -209,9 +225,13 @@ class HistoricalDatabase:
         return len(self._backends)
 
     def relations(self) -> dict[str, Any]:
-        """A snapshot copy of the whole catalog (name → relation)."""
-        return {name: backend.source()
-                for name, backend in self._backends.items()}
+        """A snapshot copy of the whole catalog (name → relation).
+
+        The copy is the last *published* (committed) environment — an
+        atomic cut across all relations, safe to read while other
+        threads commit (see :mod:`repro.database.concurrency`).
+        """
+        return dict(self._concurrency.read_env())
 
     def scheme(self, name: str) -> RelationScheme:
         """The scheme of the named relation."""
@@ -225,6 +245,7 @@ class HistoricalDatabase:
         the storage engine for disk-backed entries). Constraints are
         re-checked, and the prior value restored on violation.
         """
+        self._ensure_mutable("replace a relation")
         self._install_relation(name, relation)
 
     # -- lifespan-phrased updates -------------------------------------------
@@ -236,13 +257,15 @@ class HistoricalDatabase:
         ``values`` follows :meth:`HistoricalTuple.build` conventions
         (scalars become constant functions over the value lifespan).
         """
-        backend = self._backend(name)
-        t = mutations.build_insert(
-            backend.scheme, lifespan, values,
-            lambda key: backend.get(*key), name,
-        )
-        self._apply(name, {t.key_value(): t})
-        return t
+        self._ensure_mutable("insert")
+        with self._concurrency.write():
+            backend = self._backend(name)
+            t = mutations.build_insert(
+                backend.scheme, lifespan, values,
+                lambda key: backend.get(*key), name,
+            )
+            self._apply(name, {t.key_value(): t})
+            return t
 
     def terminate(self, name: str, key: tuple, at: int) -> HistoricalTuple:
         """End an object's current incarnation — its *death* at chronon *at*.
@@ -250,9 +273,11 @@ class HistoricalDatabase:
         The tuple's lifespan (and all values) are truncated to times
         strictly before *at*.
         """
-        t = mutations.build_terminate(self._existing(name, key), at)
-        self._apply(name, {t.key_value(): t})
-        return t
+        self._ensure_mutable("terminate")
+        with self._concurrency.write():
+            t = mutations.build_terminate(self._existing(name, key), at)
+            self._apply(name, {t.key_value(): t})
+            return t
 
     def reincarnate(self, name: str, key: tuple, lifespan: Lifespan,
                     values: Mapping[str, Any]) -> HistoricalTuple:
@@ -261,12 +286,14 @@ class HistoricalDatabase:
         The new *lifespan* must be disjoint from the existing one; the
         new values extend the object's temporal functions.
         """
-        backend = self._backend(name)
-        merged = mutations.build_reincarnate(
-            backend.scheme, self._existing(name, key), lifespan, values
-        )
-        self._apply(name, {merged.key_value(): merged})
-        return merged
+        self._ensure_mutable("reincarnate")
+        with self._concurrency.write():
+            backend = self._backend(name)
+            merged = mutations.build_reincarnate(
+                backend.scheme, self._existing(name, key), lifespan, values
+            )
+            self._apply(name, {merged.key_value(): merged})
+            return merged
 
     def update(self, name: str, key: tuple, at: int,
                changes: Mapping[str, Any]) -> HistoricalTuple:
@@ -276,12 +303,14 @@ class HistoricalDatabase:
         history before *at* and takes the new constant value on the
         remainder of the tuple's (and attribute's) lifespan.
         """
-        backend = self._backend(name)
-        updated = mutations.build_update(
-            backend.scheme, self._existing(name, key), at, changes
-        )
-        self._apply(name, {updated.key_value(): updated})
-        return updated
+        self._ensure_mutable("update")
+        with self._concurrency.write():
+            backend = self._backend(name)
+            updated = mutations.build_update(
+                backend.scheme, self._existing(name, key), at, changes
+            )
+            self._apply(name, {updated.key_value(): updated})
+            return updated
 
     # -- transactions -------------------------------------------------------
 
@@ -301,6 +330,7 @@ class HistoricalDatabase:
         constraint violation at commit) the catalog is left exactly as
         it was when the transaction began.
         """
+        self._ensure_mutable("open a transaction")
         return Transaction(self)
 
     # -- durability ----------------------------------------------------------
@@ -326,7 +356,8 @@ class HistoricalDatabase:
         Returns the new checkpoint generation.
         """
         self._require_durable("checkpoint")
-        return self._durability.checkpoint(self)
+        with self._concurrency.write():
+            return self._durability.checkpoint(self)
 
     def flush(self) -> None:
         """Force every acknowledged commit to stable storage.
@@ -337,6 +368,15 @@ class HistoricalDatabase:
         self._require_durable("flush")
         self._durability.flush()
 
+    @property
+    def closed(self) -> bool:
+        """True once a durable database has been :meth:`close`\\ d.
+
+        Ephemeral databases are never closed (their ``close()`` is a
+        no-op).
+        """
+        return self._durability is not None and self._durability.closed
+
     def close(self) -> None:
         """Flush and release the durable database's files (idempotent).
 
@@ -346,7 +386,8 @@ class HistoricalDatabase:
         constructing a new :class:`HistoricalDatabase` on the path.
         """
         if self._durability is not None:
-            self._durability.close()
+            with self._concurrency.write():
+                self._durability.close()
 
     def __enter__(self) -> "HistoricalDatabase":
         return self
@@ -360,6 +401,22 @@ class HistoricalDatabase:
             raise RelationError(
                 f"cannot {action}: {self.name!r} is not a durable database "
                 f"(construct it with path=...)"
+            )
+
+    def _ensure_mutable(self, action: str) -> None:
+        """Fail fast — with one consistent error — on a closed database.
+
+        Every mutation entry point (insert / update / terminate /
+        reincarnate / evolve / DDL / replace / transaction) calls this
+        first, so mutation-after-``close()`` raises the same
+        :class:`~repro.core.errors.StorageError` regardless of which
+        path would otherwise have hit the durability layer first (or
+        not at all, for paths that fail later).
+        """
+        if self.closed:
+            raise StorageError(
+                f"the database has been closed; cannot {action} "
+                f"(reopen it with HistoricalDatabase(path=...))"
             )
 
     # -- internal apply/restore machinery -----------------------------------
@@ -376,34 +433,51 @@ class HistoricalDatabase:
             raise RelationError(f"no tuple with key {tuple(key)!r} in {name!r}")
         return t
 
+    def _committed(self) -> None:
+        """Acknowledge a successful commit: bump the catalog version
+        (prepared-statement plan caches key on it) and publish the new
+        read environment for concurrent snapshot readers."""
+        self._version += 1
+        self._concurrency.publish(self._backends)
+
     def _apply(self, name: str, changes: Mapping[tuple, HistoricalTuple]) -> None:
         """Apply a keyed batch to one relation, check, log, roll back on failure."""
-        undo = self._backend(name).apply(changes)
-        try:
-            self._check_constraints()
-            if self._durability is not None:
-                self._durability.log_commit([durability.apply_op(name, changes)])
-        except BaseException:
-            undo()
-            raise
-        self._version += 1
+        with self._concurrency.write():
+            undo = self._backend(name).apply(changes)
+            try:
+                self._check_constraints()
+                if self._durability is not None:
+                    self._durability.log_commit(
+                        [durability.apply_op(name, changes)])
+            except BaseException:
+                undo()
+                raise
+            self._committed()
 
     def _install_relation(self, name: str,
                           relation: HistoricalRelation) -> None:
         """Replace a whole relation value, check, log, roll back on failure."""
-        undo = self._backend(name).install(relation)
-        try:
-            self._check_constraints()
-            if self._durability is not None:
-                self._durability.log_commit([durability.install_op(name, relation)])
-        except BaseException:
-            undo()
-            raise
-        self._version += 1
+        with self._concurrency.write():
+            undo = self._backend(name).install(relation)
+            try:
+                self._check_constraints()
+                if self._durability is not None:
+                    self._durability.log_commit(
+                        [durability.install_op(name, relation)])
+            except BaseException:
+                undo()
+                raise
+            self._committed()
 
     def _env(self) -> dict[str, Any]:
-        """The planner / executor environment: name → tuple source."""
-        return self.relations()
+        """The planner / executor environment: name → tuple source.
+
+        This is the last *published* environment — an immutable,
+        committed snapshot (see :mod:`repro.database.concurrency`), so
+        a query executes against one consistent state even while other
+        threads commit.
+        """
+        return self._concurrency.read_env()
 
     # -- schema evolution (delegates) ----------------------------------------
 
@@ -416,9 +490,12 @@ class HistoricalDatabase:
         path as every other mutation, so a violating evolution leaves
         the catalog untouched.
         """
-        backend = self._backend(name)
-        rehomed = mutations.rehome(backend.source(), new_scheme, name)
-        self._install_relation(name, HistoricalRelation(new_scheme, rehomed))
+        self._ensure_mutable("evolve a scheme")
+        with self._concurrency.write():
+            backend = self._backend(name)
+            rehomed = mutations.rehome(backend.source(), new_scheme, name)
+            self._install_relation(
+                name, HistoricalRelation(new_scheme, rehomed))
 
     # -- constraints ---------------------------------------------------------
 
@@ -428,12 +505,13 @@ class HistoricalDatabase:
         The constraint is checked immediately and then after every
         mutation (at commit, for transactional sessions).
         """
-        self._constraints.append(constraint)
-        try:
-            self._check_constraints()
-        except IntegrityError:
-            self._constraints.pop()
-            raise
+        with self._concurrency.write():
+            self._constraints.append(constraint)
+            try:
+                self._check_constraints()
+            except IntegrityError:
+                self._constraints.pop()
+                raise
 
     def constraints(self) -> tuple:
         """The registered constraints."""
@@ -527,10 +605,14 @@ class HistoricalDatabase:
         return self.time_domain.now
 
     def snapshot(self, time: Optional[int] = None) -> dict[str, list[dict]]:
-        """The classical view of the whole database at one chronon."""
+        """The classical view of the whole database at one chronon.
+
+        Computed over the published read environment, so the view is a
+        committed cut even under concurrent commits.
+        """
         at = self.now if time is None else time
-        return {name: backend.source().snapshot(at)
-                for name, backend in self._backends.items()}
+        return {name: relation.snapshot(at)
+                for name, relation in self._env().items()}
 
     def __repr__(self) -> str:
         return f"HistoricalDatabase({self.name!r}, {len(self)} relations)"

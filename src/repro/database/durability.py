@@ -97,6 +97,11 @@ class DurabilityManager:
         """The database directory."""
         return self.pager.path
 
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` has released the directory."""
+        return self._closed
+
     # -- open / recover ----------------------------------------------------
 
     def open(self, db: "HistoricalDatabase",
@@ -238,6 +243,7 @@ class DurabilityManager:
 
     def flush(self) -> None:
         """Force every acknowledged commit to stable storage."""
+        self._ensure_open()
         self.wal.flush()
 
     def close(self) -> None:

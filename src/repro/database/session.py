@@ -126,32 +126,37 @@ class Transaction:
         """
         self._ensure_active()
         db = self._db
+        db._ensure_mutable("commit a transaction")
         durable = db._durability is not None
         undos = []
         ops: list[bytes] = []
-        try:
-            for name, pending in self._pending.items():
-                backend = db._backend(name)
-                if pending.replaced is not None:
-                    final = pending.replaced.with_tuples(pending.overlay.values())
-                    undos.append(backend.install(final))
-                    if durable:
-                        ops.append(durability.install_op(name, final))
-                elif pending.overlay:
-                    undos.append(backend.apply(pending.overlay))
-                    if durable:
-                        ops.append(durability.apply_op(name, pending.overlay))
-            db._check_constraints()
-            if durable and ops:
-                db._durability.log_commit(ops)
-        except BaseException:
-            for undo in reversed(undos):
-                undo()
-            self._pending.clear()
-            self._state = "rolled-back"
-            raise
-        if undos:
-            db._version += 1
+        with db._concurrency.write():
+            try:
+                for name, pending in self._pending.items():
+                    backend = db._backend(name)
+                    if pending.replaced is not None:
+                        final = pending.replaced.with_tuples(
+                            pending.overlay.values())
+                        undos.append(backend.install(final))
+                        if durable:
+                            ops.append(durability.install_op(name, final))
+                    elif pending.overlay:
+                        undos.append(backend.apply(pending.overlay))
+                        if durable:
+                            ops.append(durability.apply_op(name, pending.overlay))
+                db._check_constraints()
+                if durable and ops:
+                    db._durability.log_commit(ops)
+            except BaseException:
+                for undo in reversed(undos):
+                    undo()
+                self._pending.clear()
+                self._state = "rolled-back"
+                raise
+            if undos:
+                # One publish for the whole transaction: concurrent
+                # readers see all of its relations change together.
+                db._committed()
         self._pending.clear()
         self._state = "committed"
 

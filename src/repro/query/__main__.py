@@ -13,7 +13,9 @@ Commands::
     \\set NAME VALUE      bind a session parameter (int, float, or 'str')
     \\params              show the session parameter bindings
     \\open PATH           open (or create) a durable database directory
+    \\connect HOST:PORT   switch to a remote database server
     \\checkpoint          snapshot the open durable database, truncate its WAL
+    \\timing              toggle wall-clock reporting per statement
     \\quit                exit
 
 Anything else is parsed as an HRQL query, e.g.::
@@ -22,11 +24,18 @@ Anything else is parsed as an HRQL query, e.g.::
     SELECT WHEN SALARY >= :min IN EMP     -- after \\set min 60000
     WHEN (SELECT WHEN DEPT = 'Toys' IN EMP)
     EXPLAIN ANALYZE TIMESLICE EMP TO [10, 20]
+
+The session runs against an embedded catalog by default; after
+``\\connect`` the same commands (and the same scripts) run against a
+:mod:`repro.server` with identical rendering — results cross the wire
+as real relations, and ``\\timing`` makes the latency difference
+observable.
 """
 
 from __future__ import annotations
 
 import sys
+import time
 from typing import Any, Optional
 
 from repro.core.errors import HRDMError
@@ -42,7 +51,8 @@ from repro.workloads import PersonnelConfig, generate_personnel
 BANNER = """\
 HRDM / HRQL shell — demo relation: EMP(NAME*, SALARY, DEPT), months 0..120
 Type an HRQL query (\\set binds :name parameters), \\relations,
-\\timelines EMP, \\open PATH (durable database), \\checkpoint, or \\quit.
+\\timelines EMP, \\open PATH (durable database), \\connect HOST:PORT
+(remote server), \\checkpoint, \\timing, or \\quit.
 """
 
 MAX_TABLE_ROWS = 40
@@ -59,10 +69,15 @@ def default_environment() -> HistoricalDatabase:
 def format_result(
     result: QueryResult | HistoricalRelation | Lifespan | PlanExplanation,
 ) -> str:
-    """Render a query result for the terminal."""
-    if isinstance(result, QueryResult):
-        result = result.value
-    if isinstance(result, PlanExplanation):
+    """Render a query result for the terminal.
+
+    Accepts embedded results (:class:`QueryResult` and its raw values)
+    and their remote twins (:class:`repro.client.RemoteResult`, whose
+    plan explanations arrive as server-rendered text) — both render
+    identically.
+    """
+    result = getattr(result, "value", result)
+    if hasattr(result, "text"):  # PlanExplanation or RemoteExplanation
         return result.text
     if isinstance(result, Lifespan):
         return f"lifespan: {result}"
@@ -115,17 +130,46 @@ def execute(line: str, env: HistoricalDatabase,
             db = HistoricalDatabase(path=parts[1])
         except HRDMError as exc:
             return f"error: {exc}"
-        if env.durable:
-            env.close()
+        _release(env)
         state["env"] = db
         return (f"opened durable database {db.name!r} at {db.path} "
                 f"({len(db)} relation(s))")
+    if stripped.startswith("\\connect"):
+        parts = stripped.split(maxsplit=1)
+        if len(parts) < 2:
+            return "usage: \\connect HOST:PORT"
+        if state is None:
+            return "error: \\connect needs an interactive session to switch into"
+        from repro.client import connect
+
+        try:
+            client = connect(parts[1])
+        except (HRDMError, OSError) as exc:
+            return f"error: {exc}"
+        _release(env)
+        state["env"] = client
+        host, port = parts[1].rsplit(":", 1)[0], parts[1].rsplit(":", 1)[1]
+        return (f"connected to database {client.name!r} at {host}:{port} "
+                f"({len(client)} relation(s))")
+    if stripped == "\\timing":
+        if state is None:
+            return "error: \\timing needs an interactive session"
+        state["timing"] = not state.get("timing", False)
+        return f"timing is {'on' if state['timing'] else 'off'}"
     if stripped == "\\checkpoint":
         if not env.durable:
             return "error: the current database is not durable; \\open PATH first"
         generation = env.checkpoint()
         return f"checkpointed {env.name!r} at generation {generation}"
     if stripped == "\\relations":
+        if getattr(env, "remote", False):
+            # One RELATIONS frame instead of fetching every relation's
+            # full contents; same rendering as the embedded branch.
+            return "\n".join(
+                f"  {info['name']}: {info['n_tuples']} tuples, "
+                f"LS = {info['lifespan']} [{info['storage']}]"
+                for info in env.relations_info()
+            )
         return "\n".join(
             f"  {name}: {len(env[name])} tuples, LS = {env[name].lifespan()} "
             f"[{env.storage(name)}]"
@@ -154,9 +198,25 @@ def execute(line: str, env: HistoricalDatabase,
         statement = parse(stripped)
         needed = ast.parameters(statement)
         bindings = {name: params[name] for name in needed if name in params}
-        return format_result(env.query(statement, bindings or None))
+        # A remote session ships the source text (the server re-parses);
+        # an embedded one reuses the already-parsed statement.
+        source = stripped if getattr(env, "remote", False) else statement
+        started = time.perf_counter()
+        result = env.query(source, bindings or None)
+        elapsed_ms = (time.perf_counter() - started) * 1000.0
+        rendered = format_result(result)
+        if state is not None and state.get("timing"):
+            rendered += f"\nTime: {elapsed_ms:.3f} ms"
+        return rendered
     except HRDMError as exc:
         return f"error: {exc}"
+
+
+def _release(env) -> None:
+    """Close the session's previous database / connection, if closable."""
+    close = getattr(env, "close", None)
+    if close is not None:
+        close()
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -178,9 +238,7 @@ def main(argv: list[str] | None = None) -> int:
             if response:
                 print(response)
     finally:
-        env = state["env"]
-        if env.durable:
-            env.close()
+        _release(state["env"])
     return 0
 
 

@@ -1,0 +1,360 @@
+"""The database service — a threaded TCP server for one catalog.
+
+This package turns an embedded
+:class:`~repro.database.database.HistoricalDatabase` into a *service*:
+a :class:`DatabaseServer` accepts TCP connections, speaks the
+length-prefixed JSON wire protocol of :mod:`repro.server.protocol`,
+and runs one worker thread per connection against the shared catalog.
+The concurrency story is the database's own
+(:mod:`repro.database.concurrency`):
+
+* **queries** execute against a published snapshot — they never block
+  on writers and never observe half a transaction, no matter how many
+  connections commit concurrently;
+* **mutations** serialize on the single-writer commit lock; under
+  ``sync="batch"`` the write-ahead log absorbs the concurrent commit
+  stream into one fsync per batch window (group commit), which is
+  what makes the write-heavy service workload scale
+  (``benchmarks/bench_server.py``).
+
+Connection sessions are stateful: ``BEGIN`` opens a buffered
+transaction whose ``EXECUTE`` frames accumulate server-side until
+``COMMIT`` / ``ROLLBACK`` (a dropped connection rolls back), and
+``PREPARE`` caches parsed statements for repeated parameterized
+``QUERY`` frames. Frame-by-frame documentation lives in
+``docs/server.md``; the programmatic client is :mod:`repro.client`;
+``python -m repro.server PATH`` serves a durable database directory
+from the command line.
+
+>>> from repro.database import HistoricalDatabase
+>>> from repro.server import DatabaseServer
+>>> server = DatabaseServer(HistoricalDatabase("demo"))
+>>> server.start()
+>>> host, port = server.address
+>>> server.stop()
+"""
+
+from __future__ import annotations
+
+import socketserver
+import threading
+from typing import Any, Mapping, Optional, Tuple
+
+from repro.core.errors import HRDMError, RelationError, TransactionError
+from repro.database.database import HistoricalDatabase
+from repro.database.result import QueryResult
+from repro.server import protocol
+from repro.storage import pager as pager_mod
+from repro.storage.engine import StoredRelation
+
+__all__ = ["DatabaseServer", "protocol"]
+
+#: How often a blocked connection checks the server's shutdown flag.
+_POLL_SECONDS = 0.2
+
+
+class _WireServer(socketserver.ThreadingTCPServer):
+    """One listening socket, one daemon worker thread per connection."""
+
+    allow_reuse_address = True
+    daemon_threads = True
+    block_on_close = True  # stop() joins the workers — graceful shutdown
+
+    def __init__(self, address, owner: "DatabaseServer"):
+        super().__init__(address, _Connection)
+        self.owner = owner
+
+
+class _Connection(socketserver.BaseRequestHandler):
+    """One client session: socket, transaction, prepared statements."""
+
+    def setup(self) -> None:
+        self.request.settimeout(_POLL_SECONDS)
+        self.buffer = bytearray()
+        self.db: HistoricalDatabase = self.server.owner.db
+        self.txn = None
+        self.prepared: dict[int, Any] = {}
+        self._next_prepared = 0
+
+    def handle(self) -> None:
+        owner: DatabaseServer = self.server.owner
+        while not owner.stopping:
+            try:
+                request = protocol.recv_frame(
+                    self.request, self.buffer,
+                    keep_waiting=lambda: not owner.stopping)
+            except (protocol.ProtocolError, OSError):
+                break  # undecodable stream or dead socket: drop the session
+            if request is None:
+                break
+            try:
+                response = self.dispatch(request)
+            except HRDMError as exc:
+                response = protocol.error_to_wire(exc)
+            except Exception as exc:  # never let one request kill the worker
+                response = protocol.error_to_wire(exc)
+            try:
+                protocol.send_frame(self.request, response)
+            except protocol.ProtocolError as exc:
+                # The response itself was unsendable (e.g. a relation
+                # larger than the frame cap): report that instead of
+                # tearing the connection down with no diagnosis.
+                try:
+                    protocol.send_frame(self.request,
+                                        protocol.error_to_wire(exc))
+                except OSError:
+                    break
+            except OSError:
+                break
+
+    def finish(self) -> None:
+        if self.txn is not None and self.txn.state == "active":
+            self.txn.rollback()  # a dropped connection aborts its session
+
+    # -- dispatch ----------------------------------------------------------
+
+    def dispatch(self, request: Mapping[str, Any]) -> dict:
+        op = request.get("op")
+        handler = getattr(self, f"op_{op}", None)
+        if handler is None:
+            raise protocol.ProtocolError(f"unknown op {op!r}")
+        return handler(request)
+
+    # -- session / introspection frames ------------------------------------
+
+    def op_hello(self, request: Mapping) -> dict:
+        return {
+            "ok": True,
+            "server": "hrdm",
+            "protocol": protocol.PROTOCOL_VERSION,
+            "database": self.db.name,
+            "durable": self.db.durable,
+            "now": self.db.now,
+        }
+
+    @staticmethod
+    def _storage_kind(relation) -> str:
+        # Derived from the snapshot value itself (a StoredRelation or a
+        # HistoricalRelation), so introspection stays consistent with
+        # the committed cut even while another connection drops or
+        # recreates the catalog entry.
+        return "disk" if isinstance(relation, StoredRelation) else "memory"
+
+    def op_relations(self, request: Mapping) -> dict:
+        env = self.db.relations()  # one committed cut
+        return {"ok": True, "relations": [
+            {
+                "name": name,
+                "n_tuples": len(relation),
+                "lifespan": protocol.lifespan_to_wire(relation.lifespan()),
+                "storage": self._storage_kind(relation),
+            }
+            for name, relation in env.items()
+        ]}
+
+    def op_relation(self, request: Mapping) -> dict:
+        name = request.get("name")
+        env = self.db.relations()
+        if name not in env:
+            raise RelationError(f"no relation named {name!r}")
+        payload = protocol.relation_to_wire(env[name])
+        payload.update(ok=True, storage=self._storage_kind(env[name]))
+        return payload
+
+    # -- querying ----------------------------------------------------------
+
+    def op_query(self, request: Mapping) -> dict:
+        params = request.get("params") or None
+        if "prepared" in request:
+            statement = self.prepared.get(request["prepared"])
+            if statement is None:
+                raise protocol.ProtocolError(
+                    f"no prepared statement #{request['prepared']} "
+                    f"on this connection")
+            result = statement.query(params)
+        else:
+            result = self.db.query(request.get("q", ""), params)
+        return self._result_frame(result)
+
+    def op_prepare(self, request: Mapping) -> dict:
+        statement = self.db.prepare(request.get("q", ""))
+        self._next_prepared += 1
+        self.prepared[self._next_prepared] = statement
+        return {"ok": True, "id": self._next_prepared,
+                "params": list(statement.param_names)}
+
+    @staticmethod
+    def _result_frame(result: QueryResult) -> dict:
+        if result.kind == "relation":
+            payload = protocol.relation_to_wire(result.relation)
+            payload.update(ok=True, kind="relation")
+            return payload
+        if result.kind == "lifespan":
+            return {"ok": True, "kind": "lifespan",
+                    "lifespan": protocol.lifespan_to_wire(result.lifespan)}
+        return {"ok": True, "kind": "plan",
+                "text": result.explanation.text}
+
+    # -- transactions -------------------------------------------------------
+
+    def op_begin(self, request: Mapping) -> dict:
+        if self.txn is not None and self.txn.state == "active":
+            raise TransactionError(
+                "a transaction is already active on this connection")
+        self.txn = self.db.transaction()
+        return {"ok": True}
+
+    def op_commit(self, request: Mapping) -> dict:
+        self._active_txn().commit()
+        self.txn = None
+        return {"ok": True}
+
+    def op_rollback(self, request: Mapping) -> dict:
+        self._active_txn().rollback()
+        self.txn = None
+        return {"ok": True}
+
+    def _active_txn(self):
+        if self.txn is None or self.txn.state != "active":
+            raise TransactionError(
+                "no transaction is active on this connection (send BEGIN)")
+        return self.txn
+
+    # -- mutations ----------------------------------------------------------
+
+    def op_execute(self, request: Mapping) -> dict:
+        action = request.get("action")
+        handler = getattr(self, f"do_{action}", None)
+        if handler is None:
+            raise protocol.ProtocolError(f"unknown execute action {action!r}")
+        return handler(request)
+
+    @property
+    def _target(self):
+        """Where mutations go: the active transaction, else auto-commit."""
+        if self.txn is not None and self.txn.state == "active":
+            return self.txn
+        return self.db
+
+    @staticmethod
+    def _tuple_frame(t) -> dict:
+        return {"ok": True, "tuple": protocol.tuple_to_wire(t),
+                "scheme": pager_mod.scheme_to_dict(t.scheme)}
+
+    def do_insert(self, request: Mapping) -> dict:
+        return self._tuple_frame(self._target.insert(
+            request["relation"],
+            protocol.lifespan_from_wire(request["lifespan"]),
+            protocol.values_from_wire(request["values"]),
+        ))
+
+    def do_update(self, request: Mapping) -> dict:
+        return self._tuple_frame(self._target.update(
+            request["relation"], tuple(request["key"]), request["at"],
+            protocol.values_from_wire(request["changes"]),
+        ))
+
+    def do_terminate(self, request: Mapping) -> dict:
+        return self._tuple_frame(self._target.terminate(
+            request["relation"], tuple(request["key"]), request["at"],
+        ))
+
+    def do_reincarnate(self, request: Mapping) -> dict:
+        return self._tuple_frame(self._target.reincarnate(
+            request["relation"], tuple(request["key"]),
+            protocol.lifespan_from_wire(request["lifespan"]),
+            protocol.values_from_wire(request["values"]),
+        ))
+
+    def do_evolve(self, request: Mapping) -> dict:
+        scheme = pager_mod.scheme_from_dict(request["scheme"])
+        self._target.evolve_scheme(request["relation"], scheme)
+        return {"ok": True}
+
+    def do_create(self, request: Mapping) -> dict:
+        scheme = pager_mod.scheme_from_dict(request["scheme"])
+        tuples = [protocol.tuple_from_wire(blob, scheme)
+                  for blob in request.get("tuples", ())]
+        self.db.create_relation(scheme, tuples,
+                                storage=request.get("storage", "memory"),
+                                **(request.get("options") or {}))
+        return {"ok": True}
+
+    def do_drop(self, request: Mapping) -> dict:
+        self.db.drop_relation(request["relation"])
+        return {"ok": True}
+
+    # -- durability ---------------------------------------------------------
+
+    def op_checkpoint(self, request: Mapping) -> dict:
+        return {"ok": True, "generation": self.db.checkpoint()}
+
+    def op_flush(self, request: Mapping) -> dict:
+        self.db.flush()
+        return {"ok": True}
+
+
+class DatabaseServer:
+    """Serve one :class:`HistoricalDatabase` over TCP.
+
+    ``port=0`` (the default) binds an ephemeral port; read the real
+    one from :attr:`address` after construction. :meth:`start` runs
+    the accept loop on a background thread (the embedded-plus-served
+    mode used by tests and benchmarks); :meth:`serve_forever` runs it
+    on the calling thread (the ``python -m repro.server`` mode).
+    :meth:`stop` is graceful: the accept loop exits, every connection
+    worker notices the shutdown flag at its next poll tick and closes,
+    and in-flight requests finish first.
+    """
+
+    def __init__(self, db: HistoricalDatabase,
+                 host: str = "127.0.0.1", port: int = 0):
+        self.db = db
+        self.stopping = False
+        self._server = _WireServer((host, port), self)
+        self._thread: Optional[threading.Thread] = None
+        self._serving = False
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound ``(host, port)``."""
+        host, port = self._server.server_address[:2]
+        return host, port
+
+    def start(self) -> None:
+        """Run the accept loop on a daemon thread; returns immediately."""
+        if self._thread is not None:
+            raise RelationError("the server is already running")
+        self._serving = True
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name=f"hrdm-server:{self.address[1]}", daemon=True)
+        self._thread.start()
+
+    def serve_forever(self) -> None:
+        """Run the accept loop on the calling thread (until :meth:`stop`)."""
+        self._serving = True
+        self._server.serve_forever()
+
+    def stop(self) -> None:
+        """Graceful shutdown: stop accepting, drain workers, close."""
+        self.stopping = True
+        if self._serving:
+            self._server.shutdown()
+        self._server.server_close()  # joins the connection workers
+        if self._thread is not None:
+            self._thread.join()
+            self._thread = None
+        self._serving = False
+
+    def __enter__(self) -> "DatabaseServer":
+        self.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.stop()
+        return False
+
+    def __repr__(self) -> str:
+        host, port = self.address
+        return f"DatabaseServer({self.db.name!r} on {host}:{port})"

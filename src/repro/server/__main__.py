@@ -1,0 +1,93 @@
+"""Serve a historical database over TCP: ``python -m repro.server``.
+
+Usage::
+
+    python -m repro.server PATH [--host H] [--port P]
+                                [--sync always|batch|never]
+                                [--wal-batch-size N]
+    python -m repro.server --demo [--host H] [--port P]
+
+``PATH`` is a durable database directory (created if missing) opened
+with the given WAL sync policy; ``--demo`` serves the HRQL shell's
+ephemeral demo catalog instead (relation ``EMP``). The server prints
+one ``listening on HOST:PORT`` line once it accepts connections —
+drivers that spawn it as a subprocess (tests, benchmarks) parse the
+real port from that line when ``--port 0`` asked for an ephemeral one.
+SIGINT / SIGTERM shut down gracefully: in-flight requests finish, the
+database flushes and closes.
+
+Connect with :func:`repro.client.connect`, or from the HRQL shell via
+``\\connect HOST:PORT``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import signal
+import sys
+
+from repro.core.errors import HRDMError
+from repro.database import HistoricalDatabase
+from repro.server import DatabaseServer
+from repro.storage.wal import SYNC_POLICIES
+
+
+def _demo_database() -> HistoricalDatabase:
+    from repro.workloads import PersonnelConfig, generate_personnel
+
+    db = HistoricalDatabase("demo")
+    emp = generate_personnel(PersonnelConfig(n_employees=20, seed=7))
+    db.create_relation(emp.scheme, emp.tuples)
+    return db
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.server",
+        description="Serve a historical database over TCP.")
+    parser.add_argument("path", nargs="?", default=None,
+                        help="durable database directory (created if missing)")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=7707,
+                        help="TCP port (0 binds an ephemeral port)")
+    parser.add_argument("--sync", default="batch", choices=SYNC_POLICIES,
+                        help="WAL fsync policy for a durable database")
+    parser.add_argument("--wal-batch-size", type=int, default=64,
+                        help="group-commit window under --sync batch")
+    parser.add_argument("--demo", action="store_true",
+                        help="serve the ephemeral demo catalog (EMP)")
+    args = parser.parse_args(argv)
+    if args.path is None and not args.demo:
+        parser.error("give a database directory PATH, or --demo")
+    try:
+        if args.path is not None:
+            db = HistoricalDatabase(path=args.path, sync=args.sync,
+                                    wal_batch_size=args.wal_batch_size)
+        else:
+            db = _demo_database()
+    except HRDMError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    server = DatabaseServer(db, args.host, args.port)
+
+    def shut_down(signum, frame):
+        raise KeyboardInterrupt
+
+    signal.signal(signal.SIGINT, shut_down)
+    signal.signal(signal.SIGTERM, shut_down)
+    host, port = server.address
+    print(f"serving {db.name!r} — listening on {host}:{port}", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()
+        db.close()
+        print("server stopped", flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

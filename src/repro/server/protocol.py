@@ -1,0 +1,200 @@
+"""The wire protocol — length-prefixed JSON frames over TCP.
+
+One frame is a 4-byte big-endian payload length followed by that many
+bytes of UTF-8 JSON::
+
+    +-------------+----------------------+
+    | length  u32 | JSON payload (UTF-8) |
+    +-------------+----------------------+
+
+Requests are JSON objects with an ``op`` field; responses carry
+``ok: true`` plus op-specific fields, or ``ok: false`` with the error
+class name and message (the ERROR frame). The ops — HELLO, QUERY,
+EXECUTE, PREPARE, BEGIN, COMMIT, ROLLBACK, CHECKPOINT, FLUSH, and the
+catalog introspection pair RELATIONS / RELATION — are documented frame
+by frame in ``docs/server.md`` and dispatched in
+:mod:`repro.server` (server side) / :mod:`repro.client` (client side).
+
+Values cross the wire in two representations:
+
+* **scalars and structure** (parameters, keys, chronons, schemes,
+  lifespans) as plain JSON — schemes via the pager's manifest
+  serialization (:func:`repro.storage.pager.scheme_to_dict`),
+  lifespans as interval lists;
+* **historical tuples** as the storage engine's exact binary record
+  encoding (:func:`repro.storage.engine.encode_tuple`), base64-armored
+  — the client decodes them against the scheme shipped alongside and
+  reconstructs a real :class:`~repro.core.relation.HistoricalRelation`,
+  so a remote query answer is byte-for-byte the embedded answer.
+
+The frame length is capped (:data:`MAX_FRAME`) so a corrupt or
+malicious header cannot make either side allocate unbounded memory.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import socket
+import struct
+from typing import Any, Callable, Iterable, Mapping, Optional
+
+from repro.core.errors import HRDMError, StorageError
+from repro.core.lifespan import Lifespan
+from repro.core.relation import HistoricalRelation
+from repro.core.scheme import RelationScheme
+from repro.core.tuples import HistoricalTuple
+from repro.storage import pager as pager_mod
+from repro.storage.engine import decode_tuple, encode_tuple
+
+#: Protocol version spoken by this build (bumped on incompatible change).
+PROTOCOL_VERSION = 1
+
+_HEAD = struct.Struct(">I")
+
+#: Largest admissible frame payload (64 MiB).
+MAX_FRAME = 64 * 1024 * 1024
+
+
+class ProtocolError(StorageError):
+    """A malformed, oversized, or unexpected wire frame."""
+
+
+# -- framing -----------------------------------------------------------------
+
+
+def send_frame(sock: socket.socket, payload: Mapping[str, Any]) -> None:
+    """Serialize *payload* as one frame and send it whole."""
+    raw = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    if len(raw) > MAX_FRAME:
+        raise ProtocolError(f"frame of {len(raw)} bytes exceeds {MAX_FRAME}")
+    sock.sendall(_HEAD.pack(len(raw)) + raw)
+
+
+def recv_frame(sock: socket.socket, buffer: bytearray,
+               keep_waiting: Optional[Callable[[], bool]] = None
+               ) -> Optional[dict]:
+    """Receive one frame; None on clean EOF at a frame boundary.
+
+    *buffer* is the connection's carry-over byte buffer: a receive
+    timeout mid-frame keeps the partial bytes there, so timeouts are
+    safe at any point (the server uses them to poll its shutdown flag
+    via *keep_waiting* — return False to give up waiting and receive
+    None).
+    """
+    while True:
+        if len(buffer) >= _HEAD.size:
+            (length,) = _HEAD.unpack_from(bytes(buffer[:_HEAD.size]), 0)
+            if length > MAX_FRAME:
+                raise ProtocolError(
+                    f"incoming frame of {length} bytes exceeds {MAX_FRAME}")
+            if len(buffer) >= _HEAD.size + length:
+                raw = bytes(buffer[_HEAD.size:_HEAD.size + length])
+                del buffer[:_HEAD.size + length]
+                try:
+                    payload = json.loads(raw.decode("utf-8"))
+                except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                    raise ProtocolError(f"undecodable frame: {exc}") from None
+                if not isinstance(payload, dict):
+                    raise ProtocolError("frame payload must be a JSON object")
+                return payload
+        try:
+            chunk = sock.recv(65536)
+        except socket.timeout:
+            if keep_waiting is None:
+                raise  # honor the socket's own timeout (client side)
+            if not keep_waiting():
+                return None
+            continue
+        if not chunk:
+            if buffer:
+                raise ProtocolError("connection closed mid-frame")
+            return None
+        buffer.extend(chunk)
+
+
+# -- value (de)serialization -------------------------------------------------
+
+
+def lifespan_to_wire(lifespan: Lifespan) -> list:
+    """A lifespan as its maximal closed intervals, JSON-ready."""
+    return [[lo, hi] for lo, hi in lifespan.intervals]
+
+
+def lifespan_from_wire(raw: Iterable) -> Lifespan:
+    """Rebuild a lifespan from :func:`lifespan_to_wire` output."""
+    return Lifespan(*[tuple(interval) for interval in raw])
+
+
+def tuple_to_wire(t: HistoricalTuple) -> str:
+    """One historical tuple as its base64-armored record encoding."""
+    return base64.b64encode(encode_tuple(t)).decode("ascii")
+
+
+def tuple_from_wire(raw: str, scheme: RelationScheme) -> HistoricalTuple:
+    """Decode a :func:`tuple_to_wire` tuple against *scheme*."""
+    return decode_tuple(base64.b64decode(raw.encode("ascii")), scheme)
+
+
+def relation_to_wire(relation) -> dict:
+    """A relation (memory or stored) as ``{"scheme", "tuples"}``."""
+    return {
+        "scheme": pager_mod.scheme_to_dict(relation.scheme),
+        "tuples": [tuple_to_wire(t) for t in relation],
+    }
+
+
+def relation_from_wire(raw: Mapping, domains=None) -> HistoricalRelation:
+    """Rebuild an in-memory relation from :func:`relation_to_wire`."""
+    scheme = pager_mod.scheme_from_dict(raw["scheme"], domains)
+    return HistoricalRelation(
+        scheme, (tuple_from_wire(blob, scheme) for blob in raw["tuples"]))
+
+
+def values_from_wire(raw: Mapping[str, Any]) -> dict[str, Any]:
+    """Mutation values as :meth:`HistoricalTuple.build` conventions.
+
+    JSON scalars pass through (they become constant functions); a JSON
+    object is a ``{chronon: value}`` point mapping whose keys arrive as
+    strings and are restored to ints here.
+    """
+    values: dict[str, Any] = {}
+    for attr, value in raw.items():
+        if isinstance(value, dict):
+            try:
+                values[attr] = {int(at): v for at, v in value.items()}
+            except ValueError:
+                raise ProtocolError(
+                    f"point mapping for {attr!r} has a non-integer chronon"
+                ) from None
+        else:
+            values[attr] = value
+    return values
+
+
+def error_to_wire(exc: BaseException) -> dict:
+    """The ERROR frame for an exception."""
+    return {"ok": False, "error": type(exc).__name__, "message": str(exc)}
+
+
+def error_from_wire(payload: Mapping) -> HRDMError:
+    """Rebuild the closest matching library exception from an ERROR frame.
+
+    The class is looked up by name in :mod:`repro.core.errors`; classes
+    with richer constructors (lexer positions) fall back to the nearest
+    plain-message ancestor, so the *message* — which already embeds the
+    position text — survives verbatim.
+    """
+    from repro.core import errors as errors_mod
+
+    name = payload.get("error", "HRDMError")
+    message = payload.get("message", "remote error")
+    if name == "ProtocolError":
+        return ProtocolError(message)
+    cls = getattr(errors_mod, name, None)
+    if isinstance(cls, type) and issubclass(cls, HRDMError):
+        try:
+            return cls(message)
+        except TypeError:
+            pass
+    return HRDMError(f"{name}: {message}")

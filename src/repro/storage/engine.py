@@ -361,11 +361,65 @@ class StoredRelation:
         self.decode_count = 0
         #: Individual attribute decodes performed by selective scans.
         self.attr_decode_count = 0
+        #: True once this object has been handed to concurrent readers
+        #: as a snapshot (see :meth:`freeze`); writes must go through a
+        #: :meth:`cow_clone` instead of mutating in place.
+        self._frozen = False
+
+    # -- snapshot sharing ---------------------------------------------------
+
+    @property
+    def frozen(self) -> bool:
+        """True when this object is a published read snapshot."""
+        return self._frozen
+
+    def freeze(self) -> None:
+        """Mark this object as a published, immutable read snapshot.
+
+        Concurrent readers hold frozen stored relations without any
+        locking; the single writer clones (:meth:`cow_clone`) before
+        its next batch of changes. Mutating a frozen relation raises
+        :class:`~repro.core.errors.StorageError` — torn reads become a
+        loud error instead of a heisenbug. Index rebuilds and decoded-
+        tuple caching remain allowed: they replace whole objects with
+        equivalent ones and never change an answer.
+        """
+        self._frozen = True
+
+    def cow_clone(self) -> "StoredRelation":
+        """A mutable copy-on-write clone of this (frozen) relation.
+
+        Heap pages are shared and copied page-by-page on first write
+        (:meth:`repro.storage.heapfile.HeapFile.cow_clone`); the key
+        index mapping is copied (payloads shared); the interval index
+        and decoded-tuple cache are shared structurally — the clone's
+        first mutation bumps its own version counter, which detaches
+        its cache, and a stale interval index is rebuilt on demand.
+        """
+        clone = StoredRelation(self.scheme, self._heap.page_size)
+        clone._heap = self._heap.cow_clone()
+        clone._key_index = self._key_index.copy()
+        clone._interval_index = self._interval_index
+        clone._dirty = self._dirty
+        clone._stats = self._stats
+        clone._positions = self._positions
+        clone._mutation_version = self._mutation_version
+        clone._decoded = self._decoded
+        clone._decoded_version = self._decoded_version
+        return clone
 
     # -- writes ------------------------------------------------------------
 
+    def _ensure_mutable(self) -> None:
+        if self._frozen:
+            raise StorageError(
+                "cannot mutate a frozen relation snapshot; writes go "
+                "through the catalog (which clones before writing)"
+            )
+
     def insert(self, t: HistoricalTuple) -> RecordId:
         """Persist one tuple (key must be new)."""
+        self._ensure_mutable()
         if t.scheme != self.scheme:
             raise StorageError("tuple scheme differs from stored scheme")
         key = t.key_value()
@@ -378,12 +432,14 @@ class StoredRelation:
 
     def delete(self, *key: Any) -> None:
         """Remove the tuple with the given key."""
+        self._ensure_mutable()
         rid = self._key_index.remove(tuple(key))
         self._heap.delete(rid)
         self._mutated()
 
     def replace(self, t: HistoricalTuple) -> RecordId:
         """Replace the stored tuple carrying ``t``'s key."""
+        self._ensure_mutable()
         key = t.key_value()
         if key in self._key_index:
             self._heap.delete(self._key_index.remove(key))
@@ -641,6 +697,7 @@ class StoredRelation:
         hand). Statistics and the decoded-tuple cache are invalidated
         too — record ids moved and the physical footprint changed.
         """
+        self._ensure_mutable()
         self._heap.compact()
         self._mutated()
         self.rebuild_indexes()

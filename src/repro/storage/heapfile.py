@@ -107,6 +107,14 @@ class Page:
             raise PageError(f"slot {slot_no} is deleted")
         return offset, length
 
+    def clone(self) -> "Page":
+        """An independent deep copy (for copy-on-write page sharing)."""
+        page = Page(self.size)
+        page._data = bytearray(self._data)
+        page._slots = list(self._slots)
+        page._free_ptr = self._free_ptr
+        return page
+
     def compact(self) -> None:
         """Rewrite live records contiguously, reclaiming deleted space."""
         new_data = bytearray(self.size)
@@ -176,6 +184,9 @@ class HeapFile:
         self._pages: list[Page] = []
         self._blobs: dict[int, Optional[bytes]] = {}
         self._next_blob = 0
+        #: Page numbers shared with another HeapFile (see :meth:`cow_clone`);
+        #: they are copied just before their first mutation.
+        self._shared: set[int] = set()
 
     @property
     def max_inline_payload(self) -> int:
@@ -206,7 +217,7 @@ class HeapFile:
             return RecordId(_BLOB_PAGE_BASE - blob_no, 0)
         for page_no in range(len(self._pages) - 1, -1, -1):
             if self._pages[page_no].fits(record):
-                return RecordId(page_no, self._pages[page_no].insert(record))
+                return RecordId(page_no, self._own(page_no).insert(record))
         page = Page(self.page_size)
         self._pages.append(page)
         return RecordId(len(self._pages) - 1, page.insert(record))
@@ -221,12 +232,37 @@ class HeapFile:
             self._blob(rid)  # existence check
             self._blobs[_BLOB_PAGE_BASE - rid.page_no] = None
             return
-        self._page(rid).delete(rid.slot_no)
+        self._page(rid)  # range check before taking ownership
+        self._own(rid.page_no).delete(rid.slot_no)
 
     def _page(self, rid: RecordId) -> Page:
         if not 0 <= rid.page_no < len(self._pages):
             raise PageError(f"no page {rid.page_no}")
         return self._pages[rid.page_no]
+
+    def _own(self, page_no: int) -> Page:
+        """The page, copied first if it is still shared with a clone."""
+        if page_no in self._shared:
+            self._pages[page_no] = self._pages[page_no].clone()
+            self._shared.discard(page_no)
+        return self._pages[page_no]
+
+    def cow_clone(self) -> "HeapFile":
+        """A copy-on-write clone sharing every current page.
+
+        The clone (and only the clone — the original is expected to
+        stay frozen, see :meth:`repro.storage.engine.StoredRelation.freeze`)
+        copies a page just before first mutating it, so cloning costs
+        one list copy regardless of heap size, and a commit pays only
+        for the pages it actually touches. Blob records are immutable
+        bytes and share structurally.
+        """
+        clone = HeapFile(self.page_size)
+        clone._pages = list(self._pages)
+        clone._blobs = dict(self._blobs)
+        clone._next_blob = self._next_blob
+        clone._shared = set(range(len(clone._pages)))
+        return clone
 
     def _blob(self, rid: RecordId) -> bytes:
         blob_no = _BLOB_PAGE_BASE - rid.page_no
@@ -245,8 +281,8 @@ class HeapFile:
                 yield RecordId(_BLOB_PAGE_BASE - blob_no, 0), blob
 
     def compact(self) -> None:
-        for page in self._pages:
-            page.compact()
+        for page_no in range(len(self._pages)):
+            self._own(page_no).compact()
         self._blobs = {
             blob_no: blob for blob_no, blob in self._blobs.items() if blob is not None
         }

@@ -55,6 +55,12 @@ class KeyIndex(Generic[P]):
         except KeyError:
             raise StorageError(f"no index entry for key {key!r}") from None
 
+    def copy(self) -> "KeyIndex[P]":
+        """An independent copy (payloads shared, mapping owned)."""
+        clone: KeyIndex[P] = KeyIndex()
+        clone._map = dict(self._map)
+        return clone
+
     def __len__(self) -> int:
         return len(self._map)
 

@@ -46,7 +46,14 @@ Sync policies trade durability latency for throughput (group commit):
   commit;
 * ``"never"``  — leave syncing to the OS; fastest, weakest.
 
-``benchmarks/bench_wal.py`` measures the throughput spread.
+The log is safe to share across threads: :meth:`append`, :meth:`flush`
+and :meth:`reset` serialize on an internal mutex, so concurrent
+committers (one per server connection, see :mod:`repro.server`)
+interleave whole frames, never bytes — and under ``"batch"`` their
+commits are absorbed into one fsync per *batch_size* window, which is
+where group commit earns its throughput under concurrent load
+(``benchmarks/bench_wal.py`` and ``benchmarks/bench_server.py``
+measure the spread).
 """
 
 from __future__ import annotations
@@ -54,6 +61,7 @@ from __future__ import annotations
 import json
 import os
 import struct
+import threading
 import zlib
 from dataclasses import dataclass
 from typing import Any, Iterable, Optional
@@ -193,6 +201,9 @@ class WriteAheadLog:
         self._unsynced = 0
         self._fh: Optional[Any] = None
         self._broken = False
+        # Serializes cross-thread appends/flushes: frames interleave
+        # whole, and one batch fsync covers every thread's commits.
+        self._mutex = threading.RLock()
 
     # -- recovery ----------------------------------------------------------
 
@@ -277,33 +288,34 @@ class WriteAheadLog:
         materialized = list(ops)
         if not materialized:
             raise WALError("a commit record needs at least one op")
-        lsn = self._lsn + 1
-        body = [_PAYLOAD_HEAD.pack(self.generation, lsn, len(materialized))]
-        for op in materialized:
-            body.append(_U32.pack(len(op)))
-            body.append(op)
-        payload = b"".join(body)
-        frame = _FRAME.pack(len(payload), zlib.crc32(payload)) + payload
-        fh = self._file()
-        start = fh.tell()
-        try:
-            fh.write(frame)
-            if self.sync == "always":
-                fh.flush()
-                os.fsync(fh.fileno())
-            elif self.sync == "batch":
-                fh.flush()
-                self._unsynced += 1
-                if self._unsynced >= self.batch_size:
+        with self._mutex:
+            lsn = self._lsn + 1
+            body = [_PAYLOAD_HEAD.pack(self.generation, lsn, len(materialized))]
+            for op in materialized:
+                body.append(_U32.pack(len(op)))
+                body.append(op)
+            payload = b"".join(body)
+            frame = _FRAME.pack(len(payload), zlib.crc32(payload)) + payload
+            fh = self._file()
+            start = fh.tell()
+            try:
+                fh.write(frame)
+                if self.sync == "always":
+                    fh.flush()
                     os.fsync(fh.fileno())
-                    self._unsynced = 0
-            else:  # "never"
-                fh.flush()
-        except Exception as exc:
-            self._retract(start, exc)
-            raise
-        self._lsn = lsn
-        return lsn
+                elif self.sync == "batch":
+                    fh.flush()
+                    self._unsynced += 1
+                    if self._unsynced >= self.batch_size:
+                        os.fsync(fh.fileno())
+                        self._unsynced = 0
+                else:  # "never"
+                    fh.flush()
+            except Exception as exc:
+                self._retract(start, exc)
+                raise
+            self._lsn = lsn
+            return lsn
 
     def _retract(self, start: int, cause: BaseException) -> None:
         """Remove a partially appended frame after a write failure."""
@@ -328,10 +340,11 @@ class WriteAheadLog:
 
     def flush(self) -> None:
         """Force everything appended so far to stable storage."""
-        if self._fh is not None:
-            self._fh.flush()
-            os.fsync(self._fh.fileno())
-            self._unsynced = 0
+        with self._mutex:
+            if self._fh is not None:
+                self._fh.flush()
+                os.fsync(self._fh.fileno())
+                self._unsynced = 0
 
     def reset(self, generation: int) -> None:
         """Truncate the log after a checkpoint at *generation*.
@@ -341,13 +354,14 @@ class WriteAheadLog:
         then part of the snapshot and safe to discard. Records
         appended afterwards carry the new generation.
         """
-        fh = self._file()
-        fh.truncate(0)
-        fh.seek(0)
-        fh.flush()
-        os.fsync(fh.fileno())
-        self._unsynced = 0
-        self.generation = generation
+        with self._mutex:
+            fh = self._file()
+            fh.truncate(0)
+            fh.seek(0)
+            fh.flush()
+            os.fsync(fh.fileno())
+            self._unsynced = 0
+            self.generation = generation
 
     @property
     def size_bytes(self) -> int:
@@ -361,10 +375,11 @@ class WriteAheadLog:
 
     def close(self) -> None:
         """Flush and release the log file."""
-        if self._fh is not None:
-            self.flush()
-            self._fh.close()
-            self._fh = None
+        with self._mutex:
+            if self._fh is not None:
+                self.flush()
+                self._fh.close()
+                self._fh = None
 
     def _file(self):
         if self._broken:
