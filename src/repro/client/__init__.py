@@ -348,10 +348,48 @@ class Client:
         through the returned session buffer server-side and commit
         atomically (one WAL record) when the ``with`` block exits —
         or roll back on any exception.
+
+        The session is snapshot-isolated and optimistic: COMMIT can
+        lose its first-committer-wins race against a concurrent writer
+        and raise the retryable
+        :class:`~repro.core.errors.ConflictError` — the server has
+        already rolled the transaction back, so simply open a new one
+        and re-run (:meth:`run_transaction` wraps that loop).
         """
         self.request({"op": "begin"})
         self._txn_active = True
         return RemoteTransaction(self)
+
+    def run_transaction(self, body, *, attempts: int = 5):
+        """Run *body* in a remote transaction, retrying on conflicts.
+
+        The wire twin of :meth:`HistoricalDatabase.run_transaction`:
+        *body* receives the open :class:`RemoteTransaction`; a COMMIT
+        that loses its first-committer-wins race
+        (:class:`~repro.core.errors.ConflictError`) is retried against
+        a fresh snapshot up to *attempts* times, then the final
+        conflict propagates. Any other exception rolls back and
+        propagates immediately. *body* must be safe to re-run.
+        """
+        from repro.core.errors import ConflictError
+
+        for attempt in range(max(1, attempts)):
+            txn = self.transaction()
+            try:
+                result = body(txn)
+            except BaseException:
+                if txn.state == "active":
+                    txn.rollback()
+                raise
+            if txn.state != "active":  # body finished the session itself
+                return result
+            try:
+                txn.commit()
+            except ConflictError:
+                if attempt == max(1, attempts) - 1:
+                    raise
+                continue
+            return result
 
     # -- durability ----------------------------------------------------------
 
@@ -429,10 +467,13 @@ class RemotePrepared:
 class RemoteTransaction:
     """A server-side buffered transaction driven over the wire.
 
-    The buffering (and the commit-time constraint sweep, batching, and
-    atomic rollback) all happen in the server's
+    The buffering (and the commit-time validation, constraint sweep,
+    batching, and atomic rollback) all happen in the server's
     :class:`~repro.database.session.Transaction`; this object just
-    routes the same mutation calls through the open session.
+    routes the same mutation calls through the open session. A commit
+    that loses its first-committer-wins race raises the retryable
+    :class:`~repro.core.errors.ConflictError` with the session already
+    rolled back server-side — see :meth:`Client.run_transaction`.
     """
 
     def __init__(self, client: Client):
@@ -457,7 +498,9 @@ class RemoteTransaction:
         return False
 
     def commit(self) -> None:
-        """Apply every buffered change atomically on the server."""
+        """Validate and apply every buffered change atomically on the
+        server; raises :class:`~repro.core.errors.ConflictError` (state
+        already rolled back) on a lost first-committer-wins race."""
         self._finish("commit")
 
     def rollback(self) -> None:

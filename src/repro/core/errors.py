@@ -11,7 +11,16 @@ from __future__ import annotations
 
 
 class HRDMError(Exception):
-    """Base class for every error raised by the ``repro`` library."""
+    """Base class for every error raised by the ``repro`` library.
+
+    ``retryable`` is False for everything except
+    :class:`ConflictError`: a conflict rolled the transaction back
+    cleanly, so re-running the same logic against a fresh snapshot is
+    the documented response (the wire protocol carries the same flag
+    in its ERROR frame).
+    """
+
+    retryable = False
 
 
 class TimeDomainError(HRDMError):
@@ -97,6 +106,34 @@ class EvolutionError(HRDMError):
 
 class TransactionError(HRDMError):
     """A transactional session was used after commit or rollback."""
+
+
+class ConflictError(TransactionError):
+    """An optimistic commit lost its race: a conflicting write committed
+    first (first-committer-wins, see :mod:`repro.database.concurrency`).
+
+    The transaction has been rolled back and left no trace; the error is
+    **retryable** — reopen the session against a fresh snapshot and
+    re-run its logic (``HistoricalDatabase.run_transaction`` and
+    ``Client.run_transaction`` wrap that loop).
+
+    Attributes pinpoint the collision when it is known: *relation* and
+    *key* name the overlapping write (*key* is None for a
+    relation-granular conflict such as a schema evolution), and
+    *overlap* is the temporal intersection of the two writers' modified
+    lifespan regions — empty when the writes touched the same object at
+    disjoint times, in which case first-committer-wins still applies
+    because the stored unit is the whole tuple version.
+    """
+
+    retryable = True
+
+    def __init__(self, message: str, *, relation=None, key=None,
+                 overlap=None):
+        self.relation = relation
+        self.key = key
+        self.overlap = overlap
+        super().__init__(message)
 
 
 class StorageError(HRDMError):

@@ -32,19 +32,24 @@ mutable top-level object tying together:
   (:mod:`repro.database.durability`), :meth:`checkpoint` writes a
   consistent snapshot, and reopening after a crash replays the log to
   the last committed state;
-* concurrency (:mod:`repro.database.concurrency`) — queries read
-  published committed snapshots without blocking, mutations serialize
-  on a single writer lock, so one catalog safely serves many threads
-  (and, through :mod:`repro.server`, many network clients).
+* concurrency (:mod:`repro.database.concurrency`) — multi-version
+  concurrency control: queries read published committed snapshots
+  without blocking, transactional sessions build private write-sets
+  concurrently against their begin-time snapshot and validate at
+  commit (first-committer-wins, retryable
+  :class:`~repro.core.errors.ConflictError` on a lost race —
+  :meth:`run_transaction` wraps the retry loop), so one catalog safely
+  serves many threads (and, through :mod:`repro.server`, many network
+  clients).
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterator, Mapping, Optional, Union
+from typing import Any, Callable, Dict, Iterator, Mapping, Optional, Union
 
 from repro.core.domains import ValueDomain
-from repro.core.errors import (HRDMError, IntegrityError, RelationError,
-                               StorageError)
+from repro.core.errors import (ConflictError, HRDMError, IntegrityError,
+                               RelationError, StorageError)
 from repro.core.lifespan import Lifespan
 from repro.core.relation import HistoricalRelation
 from repro.core.scheme import RelationScheme
@@ -52,7 +57,7 @@ from repro.core.time_domain import T_MAX, T_MIN, TimeDomain
 from repro.core.tuples import HistoricalTuple
 from repro.database import durability, mutations
 from repro.database.backends import BACKENDS, DiskBackend, MemoryBackend
-from repro.database.concurrency import ConcurrencyManager
+from repro.database.concurrency import ConcurrencyManager, WriteSet
 from repro.database.durability import DurabilityManager
 from repro.database.prepared import PreparedQuery
 from repro.database.result import QueryResult
@@ -64,6 +69,14 @@ from repro.query.parser import parse as parse_hrql
 
 #: A catalog entry's storage backend.
 Backend = Union[MemoryBackend, DiskBackend]
+
+
+def _relation_write_set(name: str) -> WriteSet:
+    """The write-set of a relation-granular commit (DDL, replace,
+    evolution): conflicts with any concurrent write to *name*."""
+    write_set = WriteSet()
+    write_set.record_relation(name)
+    return write_set
 
 
 class HistoricalDatabase:
@@ -118,10 +131,11 @@ class HistoricalDatabase:
         #: Bumped on every successful catalog change; prepared queries
         #: key their plan caches on it.
         self._version = 0
-        #: Snapshot publication + the single-writer commit lock (see
-        #: :mod:`repro.database.concurrency`). Queries read the last
-        #: published environment; every mutation entry point runs under
-        #: ``self._concurrency.write()``.
+        #: MVCC machinery (see :mod:`repro.database.concurrency`).
+        #: Queries read the last published environment; transactional
+        #: sessions snapshot at begin and validate at commit; the
+        #: commit lock serializes only the validate/apply/log/publish
+        #: critical section.
         self._concurrency = ConcurrencyManager()
         self._durability: Optional[DurabilityManager] = None
         if path is not None:
@@ -145,6 +159,7 @@ class HistoricalDatabase:
         and behave identically under queries and mutations.
         """
         self._ensure_mutable("create a relation")
+        lsn = None
         with self._concurrency.write():
             if scheme.name in self._backends:
                 raise RelationError(f"relation {scheme.name!r} already exists")
@@ -160,15 +175,17 @@ class HistoricalDatabase:
             try:
                 self._check_constraints()
                 if self._durability is not None:
-                    self._durability.log_commit([durability.create_op(
+                    lsn = self._durability.log_commit([durability.create_op(
                         scheme.name, backend.kind, backend.options(),
                         scheme, backend.source(),
                     )])
             except BaseException:
                 del self._backends[scheme.name]
                 raise
-            self._committed()
-            return backend.source()
+            self._committed(_relation_write_set(scheme.name))
+        if lsn is not None:
+            self._durability.ensure_durable(lsn)
+        return backend.source()
 
     def drop_relation(self, name: str) -> None:
         """Remove a relation from the catalog.
@@ -179,6 +196,7 @@ class HistoricalDatabase:
         rolled back) until the constraint is removed.
         """
         self._ensure_mutable("drop a relation")
+        lsn = None
         with self._concurrency.write():
             backend = self._backend(name)
             del self._backends[name]
@@ -192,11 +210,13 @@ class HistoricalDatabase:
                 ) from exc
             try:
                 if self._durability is not None:
-                    self._durability.log_commit([durability.drop_op(name)])
+                    lsn = self._durability.log_commit([durability.drop_op(name)])
             except BaseException:
                 self._backends[name] = backend
                 raise
-            self._committed()
+            self._committed(_relation_write_set(name))
+        if lsn is not None:
+            self._durability.ensure_durable(lsn)
 
     def relation(self, name: str):
         """The current value of the named relation.
@@ -258,14 +278,15 @@ class HistoricalDatabase:
         (scalars become constant functions over the value lifespan).
         """
         self._ensure_mutable("insert")
-        with self._concurrency.write():
-            backend = self._backend(name)
+
+        def build(base):
             t = mutations.build_insert(
-                backend.scheme, lifespan, values,
-                lambda key: backend.get(*key), name,
+                base.scheme, lifespan, values,
+                lambda key: base.get(*key), name,
             )
-            self._apply(name, {t.key_value(): t})
-            return t
+            return t, mutations.delta_insert(t)
+
+        return self._autocommit(name, build)
 
     def terminate(self, name: str, key: tuple, at: int) -> HistoricalTuple:
         """End an object's current incarnation — its *death* at chronon *at*.
@@ -274,10 +295,13 @@ class HistoricalDatabase:
         strictly before *at*.
         """
         self._ensure_mutable("terminate")
-        with self._concurrency.write():
-            t = mutations.build_terminate(self._existing(name, key), at)
-            self._apply(name, {t.key_value(): t})
-            return t
+
+        def build(base):
+            before = self._existing_in(base, name, key)
+            t = mutations.build_terminate(before, at)
+            return t, mutations.delta_terminate(before, t)
+
+        return self._autocommit(name, build)
 
     def reincarnate(self, name: str, key: tuple, lifespan: Lifespan,
                     values: Mapping[str, Any]) -> HistoricalTuple:
@@ -287,13 +311,15 @@ class HistoricalDatabase:
         new values extend the object's temporal functions.
         """
         self._ensure_mutable("reincarnate")
-        with self._concurrency.write():
-            backend = self._backend(name)
+
+        def build(base):
             merged = mutations.build_reincarnate(
-                backend.scheme, self._existing(name, key), lifespan, values
+                base.scheme, self._existing_in(base, name, key),
+                lifespan, values,
             )
-            self._apply(name, {merged.key_value(): merged})
-            return merged
+            return merged, mutations.delta_reincarnate(lifespan)
+
+        return self._autocommit(name, build)
 
     def update(self, name: str, key: tuple, at: int,
                changes: Mapping[str, Any]) -> HistoricalTuple:
@@ -304,13 +330,14 @@ class HistoricalDatabase:
         remainder of the tuple's (and attribute's) lifespan.
         """
         self._ensure_mutable("update")
-        with self._concurrency.write():
-            backend = self._backend(name)
+
+        def build(base):
             updated = mutations.build_update(
-                backend.scheme, self._existing(name, key), at, changes
+                base.scheme, self._existing_in(base, name, key), at, changes
             )
-            self._apply(name, {updated.key_value(): updated})
-            return updated
+            return updated, mutations.delta_update(updated, at)
+
+        return self._autocommit(name, build)
 
     # -- transactions -------------------------------------------------------
 
@@ -329,9 +356,53 @@ class HistoricalDatabase:
         mutation — the bulk-load fast path. On any error (including a
         constraint violation at commit) the catalog is left exactly as
         it was when the transaction began.
+
+        Sessions are **snapshot-isolated and optimistic**: the body
+        runs against the committed cut captured here, with no lock
+        held, and commit validates first-committer-wins — a lost race
+        raises the retryable
+        :class:`~repro.core.errors.ConflictError` (see
+        :meth:`run_transaction` for the canonical retry loop).
         """
         self._ensure_mutable("open a transaction")
         return Transaction(self)
+
+    def run_transaction(self, body, *, attempts: int = 5):
+        """Run *body* in a transaction, retrying on commit conflicts.
+
+        *body* receives the open :class:`Transaction` and its return
+        value is returned on success. Each attempt runs against a fresh
+        snapshot; a commit that loses its first-committer-wins race
+        (:class:`~repro.core.errors.ConflictError`) is retried up to
+        *attempts* times, then the final conflict propagates. Any other
+        exception rolls back and propagates immediately. *body* may
+        commit or roll back explicitly; it must be safe to re-run.
+
+        ::
+
+            def give_raise(txn):
+                return txn.update("EMP", ("Ada",), at=50,
+                                  changes={"SALARY": 60_000})
+
+            updated = db.run_transaction(give_raise)
+        """
+        for attempt in range(max(1, attempts)):
+            txn = self.transaction()
+            try:
+                result = body(txn)
+            except BaseException:
+                if txn.state == "active":
+                    txn.rollback()
+                raise
+            if txn.state != "active":  # body committed / rolled back itself
+                return result
+            try:
+                txn.commit()
+            except ConflictError:
+                if attempt == max(1, attempts) - 1:
+                    raise
+                continue
+            return result
 
     # -- durability ----------------------------------------------------------
 
@@ -427,47 +498,114 @@ class HistoricalDatabase:
         except KeyError:
             raise RelationError(f"no relation named {name!r}") from None
 
-    def _existing(self, name: str, key: tuple) -> HistoricalTuple:
-        t = self._backend(name).get(*tuple(key))
+    def _existing_in(self, base, name: str, key: tuple) -> HistoricalTuple:
+        t = base.get(*tuple(key))
         if t is None:
             raise RelationError(f"no tuple with key {tuple(key)!r} in {name!r}")
         return t
 
-    def _committed(self) -> None:
+    def _committed(self, write_set: WriteSet) -> None:
         """Acknowledge a successful commit: bump the catalog version
         (prepared-statement plan caches key on it) and publish the new
-        read environment for concurrent snapshot readers."""
+        read environment for concurrent snapshot readers. *write_set*
+        names what changed — publication replaces only those relations,
+        and the write-set is retained so later optimistic commits can
+        validate against it."""
         self._version += 1
-        self._concurrency.publish(self._backends)
+        self._concurrency.committed(self._backends, write_set)
 
-    def _apply(self, name: str, changes: Mapping[tuple, HistoricalTuple]) -> None:
-        """Apply a keyed batch to one relation, check, log, roll back on failure."""
+    def _autocommit(self, name: str,
+                    build: Callable[[Any], tuple]) -> HistoricalTuple:
+        """Run one keyed mutation as an optimistic micro-transaction.
+
+        *build* computes ``(tuple, delta_lifespan)`` from the
+        relation's snapshot value — with **no lock held**, so
+        concurrent callers build in parallel. The commit lock then
+        covers only validate / apply / log / publish. When a concurrent
+        commit won the key in between, the operation retries against a
+        fresh snapshot, so the caller sees the same outcomes a serial
+        schedule would (a duplicate birth fails with
+        :class:`~repro.core.errors.RelationError`, a disjoint-key write
+        simply lands). Only a pathological stream of relation-granular
+        commits (DDL, evolution) can exhaust the retries and surface
+        the final :class:`~repro.core.errors.ConflictError`.
+        """
+        conflict: Optional[ConflictError] = None
+        for _ in range(8):
+            snapshot = self._concurrency.snapshot()
+            base = snapshot.relation(name)
+            if base is None:
+                # Not yet published (or dropped): fall back to the live
+                # catalog lookup for the canonical error / fresh value.
+                base = self._backend(name).source()
+            t, delta = build(base)
+            write_set = WriteSet()
+            write_set.record(name, t.key_value(), delta)
+            changes = {t.key_value(): t}
+            # Encoded outside the lock, like the build: the critical
+            # section below is validate / apply / buffered log append.
+            ops = (None if self._durability is None
+                   else [durability.apply_op(name, changes)])
+            with self._concurrency.write():
+                try:
+                    self._concurrency.validate(write_set,
+                                               snapshot.commit_id)
+                except ConflictError as exc:
+                    conflict = exc
+                    continue
+                lsn = self._apply(name, changes, write_set, ops)
+            if lsn is not None:
+                self._durability.ensure_durable(lsn)
+            return t
+        assert conflict is not None
+        raise conflict
+
+    def _apply(self, name: str, changes: Mapping[tuple, HistoricalTuple],
+               write_set: WriteSet,
+               ops: Optional[list] = None) -> Optional[int]:
+        """Apply a keyed batch to one relation, check, log, roll back on failure.
+
+        Returns the WAL LSN of the (deferred-sync) commit record, or
+        None on a non-durable catalog — the caller acknowledges only
+        after :meth:`DurabilityManager.ensure_durable`, *off* the
+        commit lock.
+        """
         with self._concurrency.write():
             undo = self._backend(name).apply(changes)
+            lsn = None
             try:
                 self._check_constraints()
                 if self._durability is not None:
-                    self._durability.log_commit(
-                        [durability.apply_op(name, changes)])
+                    if ops is None:
+                        ops = [durability.apply_op(name, changes)]
+                    lsn = self._durability.log_commit(ops)
             except BaseException:
                 undo()
                 raise
-            self._committed()
+            self._committed(write_set)
+            return lsn
 
     def _install_relation(self, name: str,
                           relation: HistoricalRelation) -> None:
-        """Replace a whole relation value, check, log, roll back on failure."""
+        """Replace a whole relation value, check, log, roll back on failure.
+
+        A relation-granular write: its write-set conflicts with any
+        concurrent optimistic commit touching the relation.
+        """
+        lsn = None
         with self._concurrency.write():
             undo = self._backend(name).install(relation)
             try:
                 self._check_constraints()
                 if self._durability is not None:
-                    self._durability.log_commit(
+                    lsn = self._durability.log_commit(
                         [durability.install_op(name, relation)])
             except BaseException:
                 undo()
                 raise
-            self._committed()
+            self._committed(_relation_write_set(name))
+        if lsn is not None:
+            self._durability.ensure_durable(lsn)
 
     def _env(self) -> dict[str, Any]:
         """The planner / executor environment: name → tuple source.

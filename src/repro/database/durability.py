@@ -189,9 +189,26 @@ class DurabilityManager:
     # -- commit logging ----------------------------------------------------
 
     def log_commit(self, ops: list) -> int:
-        """Append one commit record (the durability point); returns its LSN."""
+        """Append one commit record; returns its LSN.
+
+        The append is deferred-sync: it writes and flushes the frame
+        (cheap, safe under the commit lock — commit order and WAL
+        order stay identical) but leaves the fsync to
+        :meth:`ensure_durable`, which the committer calls *after*
+        releasing the commit lock and *before* acknowledging. The
+        record is the durability point only once both halves ran.
+        """
         self._ensure_open()
-        return self.wal.append(ops)
+        return self.wal.append(ops, defer_sync=True)
+
+    def ensure_durable(self, lsn: int) -> None:
+        """Block until the record at *lsn* is durable per the sync
+        policy (leader/follower group fsync — see
+        :meth:`~repro.storage.wal.WriteAheadLog.sync_to`). Called off
+        the commit lock so one committer's disk wait overlaps every
+        other committer's CPU work."""
+        self._ensure_open()
+        self.wal.sync_to(lsn)
 
     # -- checkpointing -----------------------------------------------------
 

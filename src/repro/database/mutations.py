@@ -13,6 +13,14 @@ implementation, two consistency disciplines.
 Every function raises :class:`~repro.core.errors.RelationError` on an
 illegal operation (duplicate birth, overlapping reincarnation, update
 past the attribute lifespan, termination that would erase all history).
+
+The ``delta_*`` companions compute each operation's **delta lifespan**
+— the temporal region where the resulting tuple differs from its base.
+Write-sets (:class:`~repro.database.concurrency.WriteSet`) record these
+alongside the written key, so when two concurrent sessions collide on
+the same object the :class:`~repro.core.errors.ConflictError` can
+report the temporal overlap of the two writes (empty when they touched
+disjoint regions of the same history).
 """
 
 from __future__ import annotations
@@ -108,6 +116,27 @@ def build_update(scheme: RelationScheme, t: HistoricalTuple, at: int,
         kept = values[attr].restrict(t.lifespan - future)
         values[attr] = kept.merge(TemporalFunction.constant(new_value, window))
     return HistoricalTuple(scheme, t.lifespan, values)
+
+
+def delta_insert(t: HistoricalTuple) -> Lifespan:
+    """The temporal region a birth modifies: the whole new lifespan."""
+    return t.lifespan
+
+
+def delta_terminate(before: HistoricalTuple,
+                    after: HistoricalTuple) -> Lifespan:
+    """The temporal region a death modifies: the truncated tail."""
+    return before.lifespan - after.lifespan
+
+
+def delta_reincarnate(lifespan: Lifespan) -> Lifespan:
+    """The temporal region a rebirth modifies: the added span."""
+    return lifespan
+
+
+def delta_update(updated: HistoricalTuple, at: int) -> Lifespan:
+    """The temporal region an update modifies: the lifespan from *at* on."""
+    return updated.lifespan & Lifespan.since(at)
 
 
 def rehome(tuples, new_scheme: RelationScheme, name: str) -> list[HistoricalTuple]:

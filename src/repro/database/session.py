@@ -1,20 +1,32 @@
-"""Transactional sessions — buffered mutations with deferred checking.
+"""Transactional sessions — snapshot reads, private write-sets,
+optimistic commit.
 
-:class:`Transaction` gives :class:`HistoricalDatabase` its bulk path.
-The direct mutation methods re-check every registered constraint after
-every call and rebuild the touched relation per call — correct, but
-quadratic for a bulk load. A transaction instead:
+:class:`Transaction` gives :class:`HistoricalDatabase` its bulk *and*
+its concurrent-writer path. A session captures a
+:class:`~repro.database.concurrency.Snapshot` when it opens and runs
+its whole body against that committed cut **without holding any
+lock** — many sessions build their changes at once:
 
-* **buffers** inserts / updates / terminates / reincarnates / schema
-  evolutions in a per-relation overlay (reads through the transaction
-  see their own writes);
-* at commit, applies each relation's batch in **one**
-  :meth:`~repro.core.relation.HistoricalRelation.with_tuples` pass (or
-  one storage-engine batch for disk-backed relations);
-* runs the constraint sweep **once**, over the fully applied state;
-* on any failure — constraint violation included — calls the
-  backends' undo closures in reverse order, leaving the catalog
-  exactly as it was when the transaction began.
+* **reads** go through the snapshot plus the session's private overlay
+  (a transaction sees its own buffered writes, and nothing committed
+  after it began — repeatable reads by construction);
+* **buffered mutations** (inserts / updates / terminates /
+  reincarnates / schema evolutions) land in a per-relation overlay and
+  are recorded in a :class:`~repro.database.concurrency.WriteSet`
+  together with the *delta lifespan* each write modifies;
+* at commit the per-relation batches and the write-ahead-log record
+  are prepared **outside** the commit lock; the short critical section
+  is validate → apply → log → publish. Validation is
+  first-committer-wins: if any commit newer than the session's
+  snapshot wrote an overlapping ``(relation, key)`` — or touched a
+  relation this session evolved / that was evolved under it — the
+  commit aborts with a retryable
+  :class:`~repro.core.errors.ConflictError` and the catalog is left
+  exactly as if the session never existed
+  (``HistoricalDatabase.run_transaction`` wraps the retry loop);
+* the constraint sweep runs **once**, over the fully applied state,
+  and any failure — constraint violation, conflict, log append error —
+  calls the backends' undo closures in reverse order.
 
 Usage::
 
@@ -39,6 +51,7 @@ from repro.core.relation import HistoricalRelation
 from repro.core.scheme import RelationScheme
 from repro.core.tuples import HistoricalTuple
 from repro.database import durability, mutations
+from repro.database.concurrency import Snapshot, WriteSet
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.database.database import HistoricalDatabase
@@ -47,16 +60,19 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
 class _PendingRelation:
     """One relation's buffered view inside a transaction.
 
-    ``overlay`` maps keys to their pending tuple values; ``replaced``
-    holds a full replacement relation once a schema evolution has been
-    buffered (evolution re-homes *every* tuple, so from that point the
-    pending state is a whole new relation value plus later overlay
-    entries on the evolved scheme).
+    ``base`` is the relation's value in the session's snapshot — reads
+    never touch the live catalog. ``overlay`` maps keys to their
+    pending tuple values; ``replaced`` holds a full replacement
+    relation once a schema evolution has been buffered (evolution
+    re-homes *every* tuple, so from that point the pending state is a
+    whole new relation value plus later overlay entries on the evolved
+    scheme).
     """
 
-    def __init__(self, backend) -> None:
-        self.backend = backend
-        self.scheme: RelationScheme = backend.scheme
+    def __init__(self, name: str, base) -> None:
+        self.name = name
+        self.base = base
+        self.scheme: RelationScheme = base.scheme
         self.overlay: Dict[tuple, HistoricalTuple] = {}
         self.replaced: Optional[HistoricalRelation] = None
 
@@ -65,7 +81,7 @@ class _PendingRelation:
             return self.overlay[key]
         if self.replaced is not None:
             return self.replaced.get(*key)
-        return self.backend.get(*key)
+        return self.base.get(*key)
 
     def put(self, t: HistoricalTuple) -> None:
         self.overlay[t.key_value()] = t
@@ -73,26 +89,30 @@ class _PendingRelation:
     def current_tuples(self) -> list[HistoricalTuple]:
         """Every tuple as the transaction currently sees the relation."""
         merged: Dict[tuple, HistoricalTuple] = {}
-        base = self.replaced if self.replaced is not None else self.backend.source()
-        for t in base:
+        source = self.replaced if self.replaced is not None else self.base
+        for t in source:
             merged[t.key_value()] = t
         merged.update(self.overlay)
         return list(merged.values())
 
-    def evolve(self, new_scheme: RelationScheme, name: str) -> None:
-        rehomed = mutations.rehome(self.current_tuples(), new_scheme, name)
+    def evolve(self, new_scheme: RelationScheme) -> None:
+        rehomed = mutations.rehome(self.current_tuples(), new_scheme,
+                                   self.name)
         self.replaced = HistoricalRelation(new_scheme, rehomed)
         self.scheme = new_scheme
         self.overlay.clear()
 
 
 class Transaction:
-    """A buffered, atomically-committed mutation session."""
+    """A snapshot-isolated, optimistically-committed mutation session."""
 
     def __init__(self, db: "HistoricalDatabase") -> None:
         self._db = db
+        self._snapshot: Snapshot = db._concurrency.snapshot()
+        self._write_set = WriteSet()
         self._pending: Dict[str, _PendingRelation] = {}
         self._state = "active"
+        db._concurrency.begin(self._snapshot)
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -114,67 +134,98 @@ class Transaction:
         return False
 
     def commit(self) -> None:
-        """Apply every buffered change atomically.
+        """Validate and apply every buffered change atomically.
 
-        Each touched relation gets one batched write; the registered
-        constraints run once over the fully applied state. On a
-        durable database the whole transaction then becomes **one**
-        write-ahead-log record — the commit boundary the log was built
-        around. Any error (constraint violation, log append failure)
-        restores every relation (in reverse application order) and
-        re-raises — the catalog is untouched.
+        The batches (one
+        :meth:`~repro.core.relation.HistoricalRelation.with_tuples`
+        pass or one storage-engine batch per touched relation) and the
+        write-ahead-log record are built first, with no lock held. The
+        commit lock then covers only: first-committer-wins
+        **validation** of the write-set against every commit since this
+        session's snapshot (a loss raises the retryable
+        :class:`~repro.core.errors.ConflictError` and rolls back),
+        batch application, one constraint sweep over the fully applied
+        state, the WAL append — on a durable database the whole
+        transaction is **one** log record — and snapshot publication.
+        The record's fsync runs *after* the lock is released
+        (:meth:`~repro.database.durability.DurabilityManager.ensure_durable`,
+        a leader/follower group sync), and the commit only returns
+        once it is durable per the sync policy. Any failure restores
+        every relation (in reverse application order) and re-raises
+        with the catalog untouched.
         """
         self._ensure_active()
         db = self._db
         db._ensure_mutable("commit a transaction")
         durable = db._durability is not None
-        undos = []
-        ops: list[bytes] = []
-        with db._concurrency.write():
-            try:
-                for name, pending in self._pending.items():
-                    backend = db._backend(name)
-                    if pending.replaced is not None:
-                        final = pending.replaced.with_tuples(
-                            pending.overlay.values())
-                        undos.append(backend.install(final))
-                        if durable:
-                            ops.append(durability.install_op(name, final))
-                    elif pending.overlay:
-                        undos.append(backend.apply(pending.overlay))
-                        if durable:
-                            ops.append(durability.apply_op(name, pending.overlay))
-                db._check_constraints()
-                if durable and ops:
-                    db._durability.log_commit(ops)
-            except BaseException:
-                for undo in reversed(undos):
-                    undo()
-                self._pending.clear()
-                self._state = "rolled-back"
-                raise
-            if undos:
-                # One publish for the whole transaction: concurrent
-                # readers see all of its relations change together.
-                db._committed()
-        self._pending.clear()
-        self._state = "committed"
+        try:
+            # Prepared outside the commit lock: concurrent sessions
+            # build their final relation values and encode their log
+            # records in parallel.
+            batches: list[tuple] = []
+            ops: list[bytes] = []
+            for name, pending in self._pending.items():
+                if pending.replaced is not None:
+                    final = pending.replaced.with_tuples(
+                        pending.overlay.values())
+                    batches.append((name, final, None))
+                    if durable:
+                        ops.append(durability.install_op(name, final))
+                elif pending.overlay:
+                    batches.append((name, None, pending.overlay))
+                    if durable:
+                        ops.append(durability.apply_op(name, pending.overlay))
+            undos = []
+            lsn = None
+            with db._concurrency.write():
+                try:
+                    db._concurrency.validate(self._write_set,
+                                             self._snapshot.commit_id)
+                    for name, final, overlay in batches:
+                        backend = db._backend(name)
+                        if final is not None:
+                            undos.append(backend.install(final))
+                        else:
+                            undos.append(backend.apply(overlay))
+                    db._check_constraints()
+                    if durable and ops:
+                        lsn = db._durability.log_commit(ops)
+                except BaseException:
+                    for undo in reversed(undos):
+                        undo()
+                    raise
+                if undos:
+                    # One publish for the whole transaction: concurrent
+                    # readers see all of its relations change together.
+                    db._committed(self._write_set)
+            if lsn is not None:
+                # Off the commit lock: the group fsync (leader/follower,
+                # see the WAL) runs while other sessions commit.
+                db._durability.ensure_durable(lsn)
+        except BaseException:
+            self._finish("rolled-back")
+            raise
+        self._finish("committed")
 
     def rollback(self) -> None:
         """Discard every buffered change; the catalog was never touched."""
         self._ensure_active()
+        self._finish("rolled-back")
+
+    def _finish(self, state: str) -> None:
         self._pending.clear()
-        self._state = "rolled-back"
+        self._state = state
+        self._db._concurrency.end(self._snapshot)
 
     def _ensure_active(self) -> None:
         if self._state != "active":
             raise TransactionError(f"transaction already {self._state}")
 
-    # -- buffered reads ----------------------------------------------------
+    # -- snapshot reads ----------------------------------------------------
 
     def get(self, name: str, *key: Any) -> Optional[HistoricalTuple]:
-        """The tuple with *key* as this transaction sees it (reads its
-        own buffered writes)."""
+        """The tuple with *key* as this transaction sees it: its own
+        buffered writes over the begin-time snapshot."""
         self._ensure_active()
         return self._touch(name).get(tuple(key))
 
@@ -192,13 +243,17 @@ class Transaction:
         t = mutations.build_insert(pending.scheme, lifespan, values,
                                    pending.get, name)
         pending.put(t)
+        self._write_set.record(name, t.key_value(), mutations.delta_insert(t))
         return t
 
     def terminate(self, name: str, key: tuple, at: int) -> HistoricalTuple:
         """Buffer an object's *death* (see ``HistoricalDatabase.terminate``)."""
         pending = self._mutable(name)
-        t = mutations.build_terminate(self._existing(pending, name, key), at)
+        before = self._existing(pending, name, key)
+        t = mutations.build_terminate(before, at)
         pending.put(t)
+        self._write_set.record(name, t.key_value(),
+                               mutations.delta_terminate(before, t))
         return t
 
     def reincarnate(self, name: str, key: tuple, lifespan: Lifespan,
@@ -209,6 +264,8 @@ class Transaction:
             pending.scheme, self._existing(pending, name, key), lifespan, values
         )
         pending.put(merged)
+        self._write_set.record(name, merged.key_value(),
+                               mutations.delta_reincarnate(lifespan))
         return merged
 
     def update(self, name: str, key: tuple, at: int,
@@ -219,21 +276,31 @@ class Transaction:
             pending.scheme, self._existing(pending, name, key), at, changes
         )
         pending.put(updated)
+        self._write_set.record(name, updated.key_value(),
+                               mutations.delta_update(updated, at))
         return updated
 
     def evolve_scheme(self, name: str, new_scheme: RelationScheme) -> None:
         """Buffer a schema evolution, re-homing the buffered view.
 
         Later buffered mutations in the same transaction operate on the
-        evolved scheme.
+        evolved scheme. An evolution is a **relation-granular** write:
+        it conflicts with *any* concurrent commit touching the
+        relation, in either direction (the re-homed value is built from
+        this session's snapshot, so a concurrent keyed write would
+        otherwise be silently lost).
         """
-        self._mutable(name).evolve(new_scheme, name)
+        self._mutable(name).evolve(new_scheme)
+        self._write_set.record_relation(name)
 
     # -- helpers -----------------------------------------------------------
 
     def _touch(self, name: str) -> _PendingRelation:
         if name not in self._pending:
-            self._pending[name] = _PendingRelation(self._db._backend(name))
+            base = self._snapshot.relation(name)
+            if base is None:
+                raise RelationError(f"no relation named {name!r}")
+            self._pending[name] = _PendingRelation(name, base)
         return self._pending[name]
 
     def _mutable(self, name: str) -> _PendingRelation:
@@ -249,4 +316,5 @@ class Transaction:
 
     def __repr__(self) -> str:
         touched = ", ".join(sorted(self._pending)) or "nothing"
-        return f"Transaction({self._state}, buffering {touched})"
+        return (f"Transaction({self._state}, snapshot "
+                f"{self._snapshot.commit_id}, buffering {touched})")

@@ -11,11 +11,16 @@ The concurrency story is the database's own
 * **queries** execute against a published snapshot — they never block
   on writers and never observe half a transaction, no matter how many
   connections commit concurrently;
-* **mutations** serialize on the single-writer commit lock; under
-  ``sync="batch"`` the write-ahead log absorbs the concurrent commit
-  stream into one fsync per batch window (group commit), which is
-  what makes the write-heavy service workload scale
-  (``benchmarks/bench_server.py``).
+* **transactions** are snapshot-isolated and optimistic: each
+  connection's session builds its write-set against its begin-time
+  snapshot with no lock held, and COMMIT validates
+  first-committer-wins — a lost race returns a *retryable*
+  :class:`~repro.core.errors.ConflictError` ERROR frame and the
+  session rolls back cleanly (``Client.run_transaction`` retries);
+* the **write-ahead-log append is the sole serialization point**;
+  under ``sync="batch"`` it absorbs the concurrent commit stream into
+  one fsync per batch window (group commit), which is what makes the
+  write-heavy service workload scale (``benchmarks/bench_server.py``).
 
 Connection sessions are stateful: ``BEGIN`` opens a buffered
 transaction whose ``EXECUTE`` frames accumulate server-side until
@@ -205,8 +210,12 @@ class _Connection(socketserver.BaseRequestHandler):
         return {"ok": True}
 
     def op_commit(self, request: Mapping) -> dict:
-        self._active_txn().commit()
+        # Detach the session first: a failed commit (conflict,
+        # constraint violation) has already rolled the transaction
+        # back, and the connection must be free to BEGIN a retry.
+        txn = self._active_txn()
         self.txn = None
+        txn.commit()
         return {"ok": True}
 
     def op_rollback(self, request: Mapping) -> dict:

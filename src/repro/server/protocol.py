@@ -39,7 +39,7 @@ import socket
 import struct
 from typing import Any, Callable, Iterable, Mapping, Optional
 
-from repro.core.errors import HRDMError, StorageError
+from repro.core.errors import ConflictError, HRDMError, StorageError
 from repro.core.lifespan import Lifespan
 from repro.core.relation import HistoricalRelation
 from repro.core.scheme import RelationScheme
@@ -173,8 +173,18 @@ def values_from_wire(raw: Mapping[str, Any]) -> dict[str, Any]:
 
 
 def error_to_wire(exc: BaseException) -> dict:
-    """The ERROR frame for an exception."""
-    return {"ok": False, "error": type(exc).__name__, "message": str(exc)}
+    """The ERROR frame for an exception.
+
+    A :class:`~repro.core.errors.ConflictError` — an optimistic COMMIT
+    that lost its first-committer-wins race — additionally carries
+    ``retryable: true``: the transaction rolled back cleanly and the
+    client should BEGIN again against a fresh snapshot
+    (``Client.run_transaction`` wraps that loop).
+    """
+    frame = {"ok": False, "error": type(exc).__name__, "message": str(exc)}
+    if isinstance(exc, ConflictError):
+        frame["retryable"] = True
+    return frame
 
 
 def error_from_wire(payload: Mapping) -> HRDMError:

@@ -33,42 +33,103 @@ P = TypeVar("P", bound=Hashable)  # payload type (RecordId, key, ...)
 
 
 class KeyIndex(Generic[P]):
-    """Exact-match index: key value → payload."""
+    """Exact-match index: key value → payload.
+
+    Copies are copy-on-write: :meth:`copy` shares the parent's
+    consolidated mapping (``_base``, never mutated once shared) and
+    gives the copy a small private overlay plus a tombstone set. A
+    chain of commit-sized clones therefore costs O(changes) per copy,
+    not O(relation) — the cost that used to make every commit against
+    a published snapshot re-copy the whole index. Once the overlay
+    grows past an eighth of the base, :meth:`copy` folds both into a
+    fresh consolidated mapping, so lookups stay at two dict probes
+    worst case and the fold is amortized over the commits that
+    built the overlay up.
+    """
 
     def __init__(self) -> None:
-        self._map: dict[tuple, P] = {}
+        self._map: dict[tuple, P] = {}  # private overlay (sole dict pre-copy)
+        self._base: Optional[dict[tuple, P]] = None  # shared, read-only
+        self._dead: set = set()  # keys removed from _base
+        self._size = 0
 
     def put(self, key: tuple, payload: P) -> None:
-        if key in self._map:
+        if key in self:
             raise StorageError(f"duplicate index entry for key {key!r}")
         self._map[key] = payload
+        self._dead.discard(key)
+        self._size += 1
 
     def replace(self, key: tuple, payload: P) -> None:
+        if key not in self:
+            self._size += 1
         self._map[key] = payload
+        self._dead.discard(key)
 
     def get(self, key: tuple) -> Optional[P]:
-        return self._map.get(key)
+        if key in self._map:
+            return self._map[key]
+        if self._base is not None and key not in self._dead:
+            return self._base.get(key)
+        return None
 
     def remove(self, key: tuple) -> P:
-        try:
-            return self._map.pop(key)
-        except KeyError:
-            raise StorageError(f"no index entry for key {key!r}") from None
+        if key in self._map:
+            payload = self._map.pop(key)
+            if self._base is not None and key in self._base:
+                self._dead.add(key)
+        elif (self._base is not None and key not in self._dead
+                and key in self._base):
+            payload = self._base[key]
+            self._dead.add(key)
+        else:
+            raise StorageError(f"no index entry for key {key!r}")
+        self._size -= 1
+        return payload
 
     def copy(self) -> "KeyIndex[P]":
-        """An independent copy (payloads shared, mapping owned)."""
+        """An independent copy (payloads shared, mapping copy-on-write)."""
         clone: KeyIndex[P] = KeyIndex()
-        clone._map = dict(self._map)
+        base = self._base
+        if base is None or (len(self._map) + len(self._dead)) * 8 >= len(base):
+            clone._base = dict(self.items())  # consolidate the overlay
+        else:
+            clone._base = base
+            clone._map = dict(self._map)
+            clone._dead = set(self._dead)
+        clone._size = self._size
         return clone
 
     def __len__(self) -> int:
-        return len(self._map)
+        return self._size
 
     def __contains__(self, key: object) -> bool:
-        return key in self._map
+        if key in self._map:
+            return True
+        return (self._base is not None and key not in self._dead
+                and key in self._base)
 
     def items(self) -> Iterator[Tuple[tuple, P]]:
-        return iter(self._map.items())
+        base = self._base
+        if base is None:
+            return iter(self._map.items())
+        return self._layered_items()
+
+    def _layered_items(self) -> Iterator[Tuple[tuple, P]]:
+        # Base order with in-place overlay substitution, then new keys:
+        # matches plain-dict iteration order for puts and replaces.
+        base, overlay, dead = self._base, self._map, self._dead
+        assert base is not None
+        for key, payload in base.items():
+            if key in dead:
+                continue
+            if key in overlay:
+                yield key, overlay[key]
+            else:
+                yield key, payload
+        for key, payload in overlay.items():
+            if key not in base:
+                yield key, payload
 
 
 class _Node(Generic[P]):

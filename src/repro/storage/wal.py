@@ -54,6 +54,16 @@ commits are absorbed into one fsync per *batch_size* window, which is
 where group commit earns its throughput under concurrent load
 (``benchmarks/bench_wal.py`` and ``benchmarks/bench_server.py``
 measure the spread).
+
+Committers that must not hold a lock across the disk wait split the
+append in two: ``append(ops, defer_sync=True)`` writes and flushes the
+frame (preserving commit order under the caller's commit lock), and
+:meth:`sync_to` afterwards makes it durable with a **leader/follower
+group fsync** — the first committer through becomes the leader and its
+one fsync covers every frame flushed so far; followers observe their
+LSN already synced and return immediately. Under ``"always"`` this
+keeps the acknowledged-means-durable contract while concurrent
+committers overlap their CPU work with the leader's fsync.
 """
 
 from __future__ import annotations
@@ -198,12 +208,17 @@ class WriteAheadLog:
         self.batch_size = batch_size
         self.generation = 0
         self._lsn = 0
-        self._unsynced = 0
         self._fh: Optional[Any] = None
         self._broken = False
         # Serializes cross-thread appends/flushes: frames interleave
         # whole, and one batch fsync covers every thread's commits.
         self._mutex = threading.RLock()
+        # Group-sync state: the last LSN (and its end offset in the
+        # file) known to be covered by an fsync. Guarded by _mutex;
+        # _sync_lock elects one fsync leader at a time (see sync_to).
+        self._synced_lsn = 0
+        self._synced_end = 0
+        self._sync_lock = threading.Lock()
 
     # -- recovery ----------------------------------------------------------
 
@@ -248,6 +263,8 @@ class WriteAheadLog:
                 os.fsync(fh.fileno())
         if records:
             self._lsn = records[-1].lsn
+        self._synced_lsn = self._lsn
+        self._synced_end = valid_end
         return records
 
     @staticmethod
@@ -269,13 +286,21 @@ class WriteAheadLog:
 
     # -- appending ---------------------------------------------------------
 
-    def append(self, ops: Iterable[bytes]) -> int:
+    def append(self, ops: Iterable[bytes], *, defer_sync: bool = False) -> int:
         """Frame and append one commit record; returns its LSN.
 
         Honors the sync policy: the record is durable on return under
         ``"always"``, durable after the next :meth:`flush` / batch
         boundary under ``"batch"``, and left to the OS under
         ``"never"``.
+
+        With ``defer_sync=True`` the frame is written and flushed but
+        **not** fsynced, whatever the policy — the caller promises to
+        call :meth:`sync_to` with the returned LSN before acknowledging
+        the commit. This is how a committer keeps the fsync off its
+        critical section: append under the commit lock (cheap buffered
+        write, preserving commit order), sync after releasing it, where
+        one leader's fsync covers every concurrent committer's frame.
 
         A failed append (disk full, I/O error) must not leave a
         valid-looking frame behind — the caller is about to roll the
@@ -300,22 +325,106 @@ class WriteAheadLog:
             start = fh.tell()
             try:
                 fh.write(frame)
-                if self.sync == "always":
-                    fh.flush()
-                    os.fsync(fh.fileno())
-                elif self.sync == "batch":
-                    fh.flush()
-                    self._unsynced += 1
-                    if self._unsynced >= self.batch_size:
+                fh.flush()
+                if not defer_sync:
+                    if self.sync == "always":
                         os.fsync(fh.fileno())
-                        self._unsynced = 0
-                else:  # "never"
-                    fh.flush()
+                        self._synced_lsn = lsn
+                        self._synced_end = fh.tell()
+                    elif (self.sync == "batch"
+                          and lsn - self._synced_lsn >= self.batch_size):
+                        os.fsync(fh.fileno())
+                        self._synced_lsn = lsn
+                        self._synced_end = fh.tell()
             except Exception as exc:
                 self._retract(start, exc)
                 raise
             self._lsn = lsn
             return lsn
+
+    def sync_to(self, lsn: int) -> None:
+        """Make the record at *lsn* durable per the sync policy.
+
+        The second half of a ``defer_sync`` append. Under ``"always"``
+        this blocks until an fsync covers *lsn* — concurrent callers
+        elect a **leader** (the first through ``_sync_lock``) whose one
+        fsync covers every frame flushed so far; followers arriving
+        behind it see their LSN already synced and return without
+        touching the disk. Under ``"batch"`` it performs the
+        batch-boundary fsync when one is due (off any caller's commit
+        lock); under ``"never"`` it is a no-op.
+
+        An fsync failure here is *not* retractable the way an append
+        failure is: frames behind *lsn* may belong to other committers
+        already stacked on top of this one. The unsynced suffix is cut
+        back out of the file, the log goes offline (every later append
+        refuses), and the error propagates — reopening the database
+        recovers the durable prefix.
+        """
+        if self.sync == "never":
+            return
+        with self._mutex:
+            if self._fh is None:
+                return  # closed: close() already flushed and synced
+            if self.sync == "always" and self._synced_lsn >= lsn:
+                return
+            if (self.sync == "batch"
+                    and self._lsn - self._synced_lsn < self.batch_size):
+                return
+        with self._sync_lock:
+            with self._mutex:
+                if self._fh is None:
+                    return
+                if self.sync == "always" and self._synced_lsn >= lsn:
+                    return  # a leader's fsync already covered us
+                if (self.sync == "batch"
+                        and self._lsn - self._synced_lsn < self.batch_size):
+                    return
+                fh = self._file()
+                fh.flush()
+                target_lsn = self._lsn
+                target_end = fh.tell()
+                fileno = fh.fileno()
+            try:
+                # Outside _mutex: appenders keep writing while the
+                # leader waits on the disk (their frames ride the next
+                # sync). fsync releases the GIL, so concurrent
+                # committers overlap their CPU work with this wait.
+                os.fsync(fileno)
+            except Exception as exc:
+                self._retract_unsynced(exc)
+                raise
+            with self._mutex:
+                if target_lsn > self._synced_lsn:
+                    self._synced_lsn = target_lsn
+                    self._synced_end = target_end
+
+    def _retract_unsynced(self, cause: BaseException) -> None:
+        """Cut the unsynced suffix after a deferred-sync fsync failure.
+
+        Every frame past the last synced boundary is of uncertain
+        durability (the kernel may have dropped the dirty pages), and
+        the in-memory state that produced those frames has already been
+        published — so the log cannot keep appending without risking a
+        replayable history with holes. Truncate back to the durable
+        prefix and take the log offline; reopening the database
+        recovers exactly that prefix.
+        """
+        self._broken = True
+        with self._mutex:
+            try:
+                if self._fh is not None:
+                    self._fh.close()
+            except Exception:
+                pass
+            self._fh = None
+            try:
+                with open(self.path, "r+b") as fh:
+                    fh.truncate(self._synced_end)
+                    fh.flush()
+                    os.fsync(fh.fileno())
+            except OSError:
+                pass  # file keeps the (truncated) suffix; still offline
 
     def _retract(self, start: int, cause: BaseException) -> None:
         """Remove a partially appended frame after a write failure."""
@@ -344,7 +453,8 @@ class WriteAheadLog:
             if self._fh is not None:
                 self._fh.flush()
                 os.fsync(self._fh.fileno())
-                self._unsynced = 0
+                self._synced_lsn = self._lsn
+                self._synced_end = self._fh.tell()
 
     def reset(self, generation: int) -> None:
         """Truncate the log after a checkpoint at *generation*.
@@ -360,7 +470,8 @@ class WriteAheadLog:
             fh.seek(0)
             fh.flush()
             os.fsync(fh.fileno())
-            self._unsynced = 0
+            self._synced_lsn = self._lsn
+            self._synced_end = 0
             self.generation = generation
 
     @property

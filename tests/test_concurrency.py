@@ -1,11 +1,15 @@
-"""Concurrency: snapshot isolation, COW clones, single-writer commits.
+"""Concurrency: snapshot isolation, COW clones, MVCC commits.
 
 The acceptance bar for the service subsystem: packs of reader threads
-racing a committing writer over memory *and* disk relations must only
+racing committing writers over memory *and* disk relations must only
 ever observe committed snapshots (no torn transactions), and the final
-state must equal a serial replay of the acknowledged commits. The unit
+state must equal a serial replay of the acknowledged commits. Every
+stress run also feeds a per-session operation history to the
+snapshot-isolation oracle (``tests/_history_oracle.py``), which
+re-checks the invariants post-hoc from the recorded schedule. The unit
 tests pin the mechanisms underneath — frozen stored relations, page
 copy-on-write clones, and the published read environment.
+(``tests/test_mvcc.py`` covers the writer-writer conflict side.)
 """
 
 from __future__ import annotations
@@ -15,12 +19,14 @@ import threading
 import pytest
 
 from repro.core import domains
-from repro.core.errors import StorageError
+from repro.core.errors import ConflictError, StorageError
 from repro.core.lifespan import Lifespan
 from repro.core.scheme import RelationScheme
 from repro.core.tuples import HistoricalTuple
 from repro.database import HistoricalDatabase
 from repro.storage.engine import StoredRelation
+
+from _history_oracle import HistoryOracle
 
 #: Generous upper bound for joining worker threads — a deadlock fails
 #: the test instead of hanging the suite.
@@ -193,15 +199,19 @@ class TestReadersWriterStress:
         acked: list[int] = []
         failures: list[str] = []
         done = threading.Event()
+        oracle = HistoryOracle()
 
         def writer():
             try:
                 for i in range(N_COMMITS):
-                    with db.transaction() as txn:
-                        txn.insert("R", Lifespan.interval(0, 9),
-                                   {"K": i, "V": i * 10})
-                        txn.insert("S", Lifespan.interval(0, 9),
-                                   {"K": i, "V": i * 10})
+                    txn = db.transaction()
+                    txn.insert("R", Lifespan.interval(0, 9),
+                               {"K": i, "V": i * 10})
+                    txn.insert("S", Lifespan.interval(0, 9),
+                               {"K": i, "V": i * 10})
+                    oracle.begin_commit("writer", {"R": {i}, "S": {i}})
+                    txn.commit()
+                    oracle.committed("writer")
                     acked.append(i)
             except Exception as exc:  # pragma: no cover - fails the test
                 failures.append(f"writer: {exc!r}")
@@ -219,6 +229,8 @@ class TestReadersWriterStress:
                     # so a torn snapshot would show unequal counts.
                     r_keys = {t.key_value()[0] for t in r}
                     s_keys = {t.key_value()[0] for t in s}
+                    oracle.observed(f"reader-{seed}",
+                                    {"R": r_keys, "S": s_keys})
                     if r_keys != s_keys:
                         failures.append(
                             f"reader {seed}: torn transaction "
@@ -251,6 +263,7 @@ class TestReadersWriterStress:
         writer_thread.start()
         _join([writer_thread, *readers])
         assert not failures, failures[:3]
+        oracle.verify(invariant=lambda cut: cut["R"] == cut["S"])
         return acked
 
     def _assert_serial_replay(self, db: HistoricalDatabase,
@@ -312,6 +325,70 @@ class TestReadersWriterStress:
         expected = {base + i for base in (0, 1000, 2000, 3000)
                     for i in range(40)}
         assert {t.key_value()[0] for t in db["R"]} == expected
+
+    def test_conflicting_writers_with_oracle(self):
+        """Writers racing over one shared key pool: every commit either
+        acks or aborts with the typed conflict, retries converge, and
+        the oracle certifies no observer ever saw an aborted write."""
+        db = HistoricalDatabase("conflict-stress")
+        db.create_relation(_scheme("R"), storage="disk")
+        oracle = HistoryOracle()
+        failures: list[str] = []
+        conflicts = [0] * 4
+        done = threading.Event()
+        pool = list(range(24))
+
+        def writer(w: int):
+            name = f"writer-{w}"
+            try:
+                # Every writer races to birth every pool key: exactly
+                # one birth per key can land, the rest must lose either
+                # the optimistic race (ConflictError, retried) or the
+                # serial duplicate check (RelationError, key is done).
+                for key in pool:
+                    while True:
+                        txn = db.transaction()
+                        try:
+                            txn.insert("R", Lifespan.interval(0, 9),
+                                       {"K": key, "V": w})
+                        except Exception:
+                            txn.rollback()  # born already: key is done
+                            break
+                        oracle.begin_commit(name, {"R": {key}})
+                        try:
+                            txn.commit()
+                        except ConflictError:
+                            oracle.aborted(name)
+                            conflicts[w] += 1
+                            continue  # retry against a fresh snapshot
+                        oracle.committed(name)
+                        break
+            except Exception as exc:  # pragma: no cover - fails the test
+                failures.append(f"{name}: {exc!r}")
+
+        def reader(seed: int):
+            try:
+                while True:
+                    finished = done.is_set()
+                    keys = {t.key_value()[0] for t in db._env()["R"]}
+                    oracle.observed(f"reader-{seed}", {"R": keys})
+                    if finished:
+                        return
+            except Exception as exc:  # pragma: no cover - fails the test
+                failures.append(f"reader {seed}: {exc!r}")
+
+        readers = [threading.Thread(target=reader, args=(i,), daemon=True)
+                   for i in range(2)]
+        writers = [threading.Thread(target=writer, args=(w,), daemon=True)
+                   for w in range(4)]
+        for thread in readers + writers:
+            thread.start()
+        _join(writers)
+        done.set()
+        _join(readers)
+        assert not failures, failures[:3]
+        assert {t.key_value()[0] for t in db["R"]} == set(pool)  # converged
+        oracle.verify()
 
 
 # ---------------------------------------------------------------------------

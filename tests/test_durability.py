@@ -415,9 +415,17 @@ class TestFailedAppendRetraction:
                   {"NAME": "Ada", "SALARY": 50_000, "DEPT": "Toys"})
         return db
 
-    def test_fsync_failure_rolls_back_and_leaves_no_frame(self, tmp_path,
-                                                          monkeypatch):
-        """A commit whose WAL append fails must not survive a reopen."""
+    def test_fsync_failure_retracts_suffix_and_takes_log_offline(
+            self, tmp_path, monkeypatch):
+        """A failed group fsync must not leave unsynced frames behind.
+
+        The fsync runs *after* the commit lock is released (the WAL's
+        deferred leader/follower group sync), so the commit is already
+        published in memory when the disk says no. The committer gets
+        the error (the commit was never acknowledged durable), the
+        unsynced suffix is cut back out of the log, and the log goes
+        offline — a reopen recovers exactly the durable prefix.
+        """
         path = str(tmp_path / "db")
         db = self._db_with_ada(path)
         state = _catalog_state(db)
@@ -435,23 +443,28 @@ class TestFailedAppendRetraction:
         with pytest.raises(OSError):
             db.insert("EMP", Lifespan.interval(0, 99),
                       {"NAME": "Bob", "SALARY": 40_000, "DEPT": "Shoes"})
+        monkeypatch.undo()
 
-        # in-memory state rolled back, and no frame for Bob on disk
-        assert _catalog_state(db) == state
+        # The commit surfaced as failed but was already published: Bob
+        # is visible in-process, yet his unacknowledged frame is gone
+        # from the log (the suffix retraction really truncated it).
+        assert db["EMP"].get("Bob") is not None
         assert os.path.getsize(os.path.join(path, WAL_FILE)) == wal_size
-        # the retraction succeeded, so the log keeps working in-process
-        db.insert("EMP", Lifespan.interval(0, 99),
-                  {"NAME": "Cyd", "SALARY": 45_000, "DEPT": "Toys"})
-        state = _catalog_state(db)
+        # The in-memory state now diverges from the durable history, so
+        # the log refuses to keep appending (a later record would leave
+        # a hole in the replayable history).
+        with pytest.raises(StorageError):
+            db.insert("EMP", Lifespan.interval(0, 99),
+                      {"NAME": "Cyd", "SALARY": 45_000, "DEPT": "Toys"})
         db.close()
-        again = HistoricalDatabase(path=path)
-        assert _catalog_state(again) == state
+        again = HistoricalDatabase(path=path)  # recovers the prefix:
+        assert _catalog_state(again) == state  # no Bob, no Cyd
         again.close()
 
-    def test_unretractable_failure_takes_log_offline(self, tmp_path,
-                                                     monkeypatch):
-        """If even the retraction cannot be made durable, the log refuses
-        further appends — reopening the directory recovers cleanly."""
+    def test_fsync_failure_during_retraction_still_recovers_on_reopen(
+            self, tmp_path, monkeypatch):
+        """Even if the retraction's own fsync fails too, the log stays
+        offline and a reopen recovers the durable prefix."""
         path = str(tmp_path / "db")
         db = self._db_with_ada(path)
         state = _catalog_state(db)
@@ -460,12 +473,11 @@ class TestFailedAppendRetraction:
             raise OSError(28, "No space left on device")
 
         monkeypatch.setattr(os, "fsync", always_fail)
-        with pytest.raises(StorageError):  # WALError from the retraction
+        with pytest.raises(OSError):
             db.insert("EMP", Lifespan.interval(0, 99),
                       {"NAME": "Bob", "SALARY": 40_000, "DEPT": "Shoes"})
         monkeypatch.undo()
 
-        assert _catalog_state(db) == state  # rolled back
         with pytest.raises(StorageError):   # the log is offline now
             db.insert("EMP", Lifespan.interval(0, 99),
                       {"NAME": "Cyd", "SALARY": 45_000, "DEPT": "Toys"})

@@ -44,6 +44,69 @@ class TestKeyIndex:
         assert len(idx) == 2 and ("a",) in idx
         assert dict(idx.items()) == {("a",): 1, ("b",): 2}
 
+    def test_copy_is_independent(self):
+        idx = KeyIndex()
+        idx.put(("a",), 1)
+        idx.put(("b",), 2)
+        clone = idx.copy()
+        clone.replace(("a",), 10)
+        clone.put(("c",), 3)
+        clone.remove(("b",))
+        # the clone sees its own writes...
+        assert dict(clone.items()) == {("a",): 10, ("c",): 3}
+        assert len(clone) == 2 and ("b",) not in clone
+        with pytest.raises(StorageError):
+            clone.remove(("b",))
+        # ...and the parent is untouched (copy-on-write sharing)
+        assert dict(idx.items()) == {("a",): 1, ("b",): 2}
+        assert len(idx) == 2 and idx.get(("b",)) == 2
+
+    def test_copy_chain_stays_consistent(self):
+        # A chain of commit-sized copies — the shape the storage engine
+        # produces — must behave exactly like independent full copies,
+        # across overlay consolidation boundaries.
+        idx = KeyIndex()
+        expected = {}
+        for i in range(300):
+            idx = idx.copy()
+            key = (f"k{i}",)
+            idx.put(key, i)
+            expected[key] = i
+            if i % 7 == 0 and i > 0:
+                victim = (f"k{i - 1}",)
+                idx.remove(victim)
+                del expected[victim]
+            if i % 11 == 0 and i > 0 and (f"k{i - 2}",) in expected:
+                idx.replace((f"k{i - 2}",), -i)
+                expected[(f"k{i - 2}",)] = -i
+        assert dict(idx.items()) == expected
+        assert len(idx) == len(expected)
+        for key, payload in expected.items():
+            assert idx.get(key) == payload and key in idx
+
+    @given(st.lists(st.tuples(st.sampled_from("abcdefgh"),
+                              st.sampled_from("pxd")),
+                    max_size=60))
+    def test_copy_on_write_matches_plain_dict(self, script):
+        """Put/replace/remove through an arbitrary copy chain behaves
+        like a plain dict (modulo iteration order)."""
+        idx = KeyIndex()
+        model = {}
+        for step, (name, op) in enumerate(script):
+            if step % 5 == 0:
+                idx = idx.copy()  # exercise overlays of every size
+            key = (name,)
+            if op == "p" and key not in model:
+                idx.put(key, step)
+                model[key] = step
+            elif op == "x":
+                idx.replace(key, step)
+                model[key] = step
+            elif op == "d" and key in model:
+                assert idx.remove(key) == model.pop(key)
+        assert dict(idx.items()) == model
+        assert len(idx) == len(model)
+
 
 class TestIntervalIndex:
     def test_stab_basic(self):

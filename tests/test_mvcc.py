@@ -1,0 +1,565 @@
+"""Multi-writer MVCC: serial-order equivalence, first-committer-wins.
+
+The acceptance bar for optimistic concurrency control:
+
+* any concurrent schedule of **disjoint-key** writers commits in full
+  and produces a state equal to *some* serial order (all permutations
+  replayed for small N; hypothesis drives the write-sets);
+* **overlapping** writers resolve first-committer-wins — the loser
+  aborts with the retryable :class:`ConflictError` carrying the
+  relation, key, and temporal overlap of the colliding deltas;
+* an aborted transaction leaves **no trace**: nothing published,
+  nothing in the write-ahead log, nothing after reopen;
+* every mutation entry point — embedded and transactional — records
+  its writes in the write-set path, pinned by a conflict matrix in the
+  style of the mutation-after-close matrix in ``test_concurrency.py``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import domains
+from repro.core.errors import ConflictError, RelationError, TransactionError
+from repro.core.lifespan import Lifespan
+from repro.core.scheme import RelationScheme
+from repro.database import HistoricalDatabase
+
+JOIN_TIMEOUT = 60.0
+
+
+def _scheme(name: str) -> RelationScheme:
+    return RelationScheme(name, {
+        "K": domains.cd(domains.INTEGER),
+        "V": domains.td(domains.INTEGER),
+    }, key=["K"])
+
+
+def _db(storage: str = "memory") -> HistoricalDatabase:
+    db = HistoricalDatabase("mvcc")
+    db.create_relation(_scheme("R"), storage=storage)
+    return db
+
+
+def _seeded_db(storage: str = "memory") -> HistoricalDatabase:
+    db = _db(storage)
+    db.insert("R", Lifespan.interval(0, 99), {"K": 1, "V": 1})
+    return db
+
+
+def _rows(db) -> set:
+    return set(iter(db["R"]))
+
+
+def _join(threads):
+    for thread in threads:
+        thread.join(JOIN_TIMEOUT)
+        assert not thread.is_alive(), "worker thread deadlocked"
+
+
+def _run_concurrent(db: HistoricalDatabase, bodies) -> list:
+    """Run each *body* in its own transaction, all overlapping.
+
+    Every session buffers its writes before any session commits (a
+    barrier separates the build phase from the commit race), so the
+    schedule genuinely interleaves. Returns one outcome per body:
+    ``"committed"``, the :class:`ConflictError` a commit lost with, or
+    any other exception (which fails the test at the call site).
+    """
+    barrier = threading.Barrier(len(bodies))
+    outcomes: list = [None] * len(bodies)
+
+    def worker(i: int, body) -> None:
+        try:
+            txn = db.transaction()
+            try:
+                body(txn)
+            finally:
+                barrier.wait(JOIN_TIMEOUT)
+            txn.commit()
+            outcomes[i] = "committed"
+        except ConflictError as exc:
+            outcomes[i] = exc
+        except Exception as exc:  # pragma: no cover - fails the test
+            outcomes[i] = exc
+
+    threads = [threading.Thread(target=worker, args=(i, body), daemon=True)
+               for i, body in enumerate(bodies)]
+    for thread in threads:
+        thread.start()
+    _join(threads)
+    return outcomes
+
+
+def _serial_states(make_db, bodies, order_indices) -> list[set]:
+    """Replay *bodies* serially in every given order; one final state each."""
+    states = []
+    for order in order_indices:
+        replay = make_db()
+        for i in order:
+            with replay.transaction() as txn:
+                bodies[i](txn)
+        states.append(_rows(replay))
+    return states
+
+
+# ---------------------------------------------------------------------------
+# Serial-order equivalence.
+# ---------------------------------------------------------------------------
+
+
+class TestSerialEquivalence:
+    """Concurrent disjoint-key schedules equal some serial order."""
+
+    N_WRITERS = 3
+
+    def _bodies(self, programs):
+        """One transaction body per writer program.
+
+        A program is a list of ``(slot, value)`` ops over the writer's
+        private key range: the first op on a slot is a birth, later
+        ones are updates — always a valid sequence.
+        """
+        def make(base: int, program):
+            def body(txn) -> None:
+                born: set[int] = set()
+                for slot, value in program:
+                    key = base + slot
+                    if slot not in born:
+                        txn.insert("R", Lifespan.interval(0, 9),
+                                   {"K": key, "V": value})
+                        born.add(slot)
+                    else:
+                        txn.update("R", (key,), 5, {"V": value})
+            return body
+
+        return [make(1000 * (i + 1), program)
+                for i, program in enumerate(programs)]
+
+    @given(programs=st.lists(
+        st.lists(st.tuples(st.integers(0, 3), st.integers(0, 99)),
+                 min_size=1, max_size=5),
+        min_size=N_WRITERS, max_size=N_WRITERS))
+    @settings(max_examples=20, deadline=None)
+    def test_disjoint_writers_equal_some_serial_order(self, programs):
+        bodies = self._bodies(programs)
+        db = _db()
+        outcomes = _run_concurrent(db, bodies)
+        assert outcomes == ["committed"] * self.N_WRITERS, outcomes
+        orders = list(itertools.permutations(range(self.N_WRITERS)))
+        serial = _serial_states(_db, bodies, orders)
+        assert _rows(db) in serial
+        # Disjoint keys commute: every serial order agrees, so the
+        # concurrent schedule matched all of them, not just one.
+        assert all(state == serial[0] for state in serial)
+
+    def test_disjoint_writers_on_disk_storage(self):
+        programs = [[(0, 7), (0, 8), (1, 9)], [(0, 17)], [(2, 27), (2, 28)]]
+        bodies = self._bodies(programs)
+        db = _db(storage="disk")
+        outcomes = _run_concurrent(db, bodies)
+        assert outcomes == ["committed"] * self.N_WRITERS, outcomes
+        assert _rows(db) in _serial_states(
+            lambda: _db(storage="disk"), bodies,
+            itertools.permutations(range(self.N_WRITERS)))
+
+    def test_overlapping_writers_commit_subset_is_serializable(self):
+        """Same-key racers: the committed subset replays serially."""
+        def writer(value):
+            def body(txn) -> None:
+                txn.insert("R", Lifespan.interval(0, 9),
+                           {"K": 1, "V": value})
+            return body
+
+        bodies = [writer(v) for v in (10, 20, 30)]
+        db = _db()
+        outcomes = _run_concurrent(db, bodies)
+        committed = [i for i, o in enumerate(outcomes) if o == "committed"]
+        conflicts = [o for o in outcomes if isinstance(o, ConflictError)]
+        assert len(committed) == 1  # first committer wins, the rest abort
+        assert len(conflicts) == 2
+        assert _rows(db) in _serial_states(
+            _db, bodies, [tuple(committed)])
+
+    def test_mixed_schedule_matches_a_serial_order_of_the_committed(self):
+        """Partially overlapping writers: whatever subset commits, the
+        final state equals some serial order of exactly that subset."""
+        def body_a(txn):
+            txn.insert("R", Lifespan.interval(0, 9), {"K": 1, "V": 10})
+            txn.insert("R", Lifespan.interval(0, 9), {"K": 2, "V": 11})
+
+        def body_b(txn):
+            txn.insert("R", Lifespan.interval(0, 9), {"K": 2, "V": 21})
+            txn.insert("R", Lifespan.interval(0, 9), {"K": 3, "V": 22})
+
+        def body_c(txn):
+            txn.insert("R", Lifespan.interval(0, 9), {"K": 4, "V": 30})
+
+        bodies = [body_a, body_b, body_c]
+        db = _db()
+        outcomes = _run_concurrent(db, bodies)
+        committed = tuple(i for i, o in enumerate(outcomes)
+                          if o == "committed")
+        assert 2 in committed  # disjoint writer always lands
+        assert len(committed) == 2  # exactly one of the K=2 racers lost
+        assert _rows(db) in _serial_states(
+            _db, bodies, itertools.permutations(committed))
+
+
+# ---------------------------------------------------------------------------
+# First-committer-wins, directed.
+# ---------------------------------------------------------------------------
+
+
+class TestFirstCommitterWins:
+    def test_second_committer_aborts_with_typed_conflict(self):
+        db = _seeded_db()
+        first = db.transaction()
+        second = db.transaction()
+        first.update("R", (1,), 50, {"V": 10})
+        second.update("R", (1,), 60, {"V": 20})
+        first.commit()
+        with pytest.raises(ConflictError) as err:
+            second.commit()
+        assert err.value.relation == "R"
+        assert err.value.key == (1,)
+        assert second.state == "rolled-back"
+        assert db["R"].get(1).value("V")(70) == 10  # the winner's write
+
+    def test_conflict_is_retryable(self):
+        db = _seeded_db()
+        loser = db.transaction()
+        loser.update("R", (1,), 50, {"V": 20})
+        db.update("R", (1,), 50, {"V": 10})  # wins the race
+        with pytest.raises(ConflictError):
+            loser.commit()
+        retry = db.transaction()  # fresh snapshot sees the winner
+        assert retry.get("R", 1).value("V")(60) == 10
+        retry.update("R", (1,), 60, {"V": 20})
+        retry.commit()
+        assert db["R"].get(1).value("V")(70) == 20
+
+    def test_run_transaction_retries_to_convergence(self):
+        db = _seeded_db()
+        loser_first_attempt = {"pending": db.transaction()}
+
+        def body(txn):
+            if loser_first_attempt["pending"] is not None:
+                # Sabotage attempt one: a rival commits after our
+                # snapshot was cut but before our commit.
+                rival = loser_first_attempt.pop("pending")
+                loser_first_attempt["pending"] = None
+                rival.update("R", (1,), 50, {"V": 99})
+                rival.commit()
+            return txn.update("R", (1,), 60, {"V": 42})
+
+        db.run_transaction(body)
+        assert db["R"].get(1).value("V")(70) == 42
+
+    def test_run_transaction_exhausts_attempts(self):
+        db = _seeded_db()
+
+        def always_racing(txn):
+            rival = db.transaction()
+            rival.update("R", (1,), 50, {"V": 99})
+            txn.update("R", (1,), 50, {"V": 1})
+            rival.commit()  # every attempt loses
+
+        with pytest.raises(ConflictError):
+            db.run_transaction(always_racing, attempts=3)
+
+    def test_disjoint_key_sessions_both_commit(self):
+        db = _seeded_db()
+        db.insert("R", Lifespan.interval(0, 99), {"K": 2, "V": 2})
+        first = db.transaction()
+        second = db.transaction()
+        first.update("R", (1,), 50, {"V": 10})
+        second.update("R", (2,), 50, {"V": 20})
+        first.commit()
+        second.commit()  # no overlap, no conflict
+        assert db["R"].get(1).value("V")(60) == 10
+        assert db["R"].get(2).value("V")(60) == 20
+
+    def test_committed_before_begin_never_conflicts(self):
+        db = _seeded_db()
+        db.update("R", (1,), 50, {"V": 5})  # already committed
+        txn = db.transaction()  # snapshot includes it
+        txn.update("R", (1,), 60, {"V": 6})
+        txn.commit()
+        assert db["R"].get(1).value("V")(70) == 6
+
+
+class TestTemporalOverlap:
+    def test_overlapping_deltas_reported(self):
+        db = _seeded_db()
+        first = db.transaction()
+        second = db.transaction()
+        first.update("R", (1,), 50, {"V": 10})      # delta [50, 99]
+        second.terminate("R", (1,), 30)             # delta [30, 99]
+        first.commit()
+        with pytest.raises(ConflictError) as err:
+            second.commit()
+        assert err.value.overlap == Lifespan.interval(50, 99)
+        assert "overlapping during" in str(err.value)
+
+    def test_temporally_disjoint_same_key_still_conflicts(self):
+        db = _seeded_db()
+        first = db.transaction()
+        second = db.transaction()
+        first.update("R", (1,), 50, {"V": 10})                  # [50, 99]
+        second.reincarnate("R", (1,), Lifespan.interval(200, 300),
+                           {"K": 1, "V": 2})                    # [200, 300]
+        first.commit()
+        with pytest.raises(ConflictError) as err:
+            second.commit()  # the stored unit is the whole tuple version
+        assert err.value.key == (1,)
+        assert err.value.overlap is not None and err.value.overlap.is_empty
+        assert "temporally disjoint" in str(err.value)
+
+    def test_evolution_is_relation_granular(self):
+        db = _seeded_db()
+        evolved = RelationScheme("R", {
+            "K": domains.cd(domains.INTEGER),
+            "V": domains.td(domains.INTEGER),
+            "W": domains.td(domains.INTEGER),
+        }, key=["K"])
+        keyed = db.transaction()
+        evolving = db.transaction()
+        keyed.insert("R", Lifespan.interval(0, 9), {"K": 5, "V": 5})
+        evolving.evolve_scheme("R", evolved)
+        keyed.commit()
+        with pytest.raises(ConflictError) as err:
+            evolving.commit()  # would silently drop the keyed commit
+        assert err.value.relation == "R"
+        assert err.value.key is None
+        assert "W" not in db.scheme("R")  # the evolution never landed
+
+    def test_keyed_session_loses_to_committed_evolution(self):
+        db = _seeded_db()
+        evolved = RelationScheme("R", {
+            "K": domains.cd(domains.INTEGER),
+            "V": domains.td(domains.INTEGER),
+            "W": domains.td(domains.INTEGER),
+        }, key=["K"])
+        keyed = db.transaction()
+        keyed.insert("R", Lifespan.interval(0, 9), {"K": 5, "V": 5})
+        db.evolve_scheme("R", evolved)  # relation-granular, commits first
+        with pytest.raises(ConflictError):
+            keyed.commit()
+        assert db["R"].get(5) is None
+
+
+# ---------------------------------------------------------------------------
+# Aborts leave no trace.
+# ---------------------------------------------------------------------------
+
+
+class TestAbortLeavesNoTrace:
+    def test_rollback_publishes_nothing(self):
+        db = _seeded_db()
+        env = db._env()
+        commits = db._concurrency.published_commits
+        txn = db.transaction()
+        txn.insert("R", Lifespan.interval(0, 9), {"K": 9, "V": 9})
+        txn.rollback()
+        assert db._env() is env
+        assert db._concurrency.published_commits == commits
+
+    def test_conflict_abort_publishes_nothing(self):
+        db = _seeded_db()
+        loser = db.transaction()
+        loser.update("R", (1,), 50, {"V": 20})
+        db.update("R", (1,), 50, {"V": 10})
+        env = db._env()
+        commits = db._concurrency.published_commits
+        with pytest.raises(ConflictError):
+            loser.commit()
+        assert db._env() is env  # the abort swapped no environment
+        assert db._concurrency.published_commits == commits
+
+    def test_conflict_abort_leaves_wal_untouched(self, tmp_path):
+        path = str(tmp_path / "db")
+        db = HistoricalDatabase(path=path, sync="always")
+        db.create_relation(_scheme("R"), storage="disk")
+        db.insert("R", Lifespan.interval(0, 99), {"K": 1, "V": 1})
+        loser = db.transaction()
+        loser.update("R", (1,), 50, {"V": 20})
+        db.update("R", (1,), 50, {"V": 10})
+        wal_size = os.path.getsize(os.path.join(path, "wal.log"))
+        with pytest.raises(ConflictError):
+            loser.commit()
+        db.flush()
+        assert os.path.getsize(os.path.join(path, "wal.log")) == wal_size
+        db.close()
+        reopened = HistoricalDatabase(path=path)
+        try:  # recovery replays only the winner
+            assert reopened["R"].get(1).value("V")(60) == 10
+        finally:
+            reopened.close()
+
+    def test_aborted_session_refuses_further_use(self):
+        db = _seeded_db()
+        loser = db.transaction()
+        loser.update("R", (1,), 50, {"V": 20})
+        db.update("R", (1,), 50, {"V": 10})
+        with pytest.raises(ConflictError):
+            loser.commit()
+        with pytest.raises(TransactionError):
+            loser.update("R", (1,), 60, {"V": 30})
+        with pytest.raises(TransactionError):
+            loser.commit()
+
+
+# ---------------------------------------------------------------------------
+# Snapshot reads inside a session.
+# ---------------------------------------------------------------------------
+
+
+class TestSnapshotReads:
+    def test_session_reads_its_begin_snapshot(self):
+        db = _seeded_db()
+        txn = db.transaction()
+        db.update("R", (1,), 50, {"V": 77})  # commits after the snapshot
+        assert txn.get("R", 1).value("V")(60) == 1  # repeatable read
+        txn.rollback()
+        assert db["R"].get(1).value("V")(60) == 77
+
+    def test_read_only_session_never_conflicts(self):
+        db = _seeded_db()
+        txn = db.transaction()
+        assert txn.get("R", 1) is not None
+        db.update("R", (1,), 50, {"V": 77})  # overlapping *read*, not write
+        txn.commit()  # empty write-set: nothing to validate
+
+    def test_snapshot_floor_aborts_ancient_sessions(self):
+        from repro.database import concurrency as concurrency_mod
+
+        db = _seeded_db()
+        ancient = db.transaction()
+        ancient.update("R", (1,), 50, {"V": 5})
+        db._concurrency.end(ancient._snapshot)  # simulate a lost session
+        for i in range(concurrency_mod.MAX_COMMIT_LOG + 2):
+            db.insert("R", Lifespan.interval(0, 9),
+                      {"K": 100 + i, "V": i})
+        db._concurrency.begin(ancient._snapshot)  # restore pairing
+        with pytest.raises(ConflictError) as err:
+            ancient.commit()
+        assert "validation history" in str(err.value)
+
+
+# ---------------------------------------------------------------------------
+# The write-set audit matrix: every mutation entry point conflicts.
+# ---------------------------------------------------------------------------
+
+_EVOLVED = RelationScheme("R", {
+    "K": domains.cd(domains.INTEGER),
+    "V": domains.td(domains.INTEGER),
+    "W": domains.td(domains.INTEGER),
+}, key=["K"])
+
+#: Embedded entry points, each racing an open session that wrote keys
+#: (1,) and (2,) of R. ``True`` — the entry point's commit must make
+#: the session's commit fail (it records a write-set the validator
+#: sees); ``False`` — it touches nothing the session wrote, so the
+#: session must still commit cleanly.
+DB_ENTRY_POINTS = {
+    "insert": (lambda db: db.insert(
+        "R", Lifespan.interval(0, 9), {"K": 2, "V": 22}), True),
+    "update": (lambda db: db.update("R", (1,), 50, {"V": 99}), True),
+    "terminate": (lambda db: db.terminate("R", (1,), 50), True),
+    "reincarnate": (lambda db: db.reincarnate(
+        "R", (1,), Lifespan.interval(200, 300), {"K": 1, "V": 3}), True),
+    "evolve": (lambda db: db.evolve_scheme("R", _EVOLVED), True),
+    "replace": (lambda db: db.replace(
+        "R", db["R"].to_relation()
+        if hasattr(db["R"], "to_relation") else db["R"]), True),
+    "drop": (lambda db: db.drop_relation("R"), True),
+    "create": (lambda db: db.create_relation(_scheme("T")), False),
+    "insert_other_key": (lambda db: db.insert(
+        "R", Lifespan.interval(0, 9), {"K": 3, "V": 33}), False),
+}
+
+#: Session entry points, each racing a conflicting embedded commit.
+TXN_ENTRY_POINTS = {
+    "insert": (lambda txn: txn.insert(
+        "R", Lifespan.interval(0, 9), {"K": 3, "V": 3}),
+        lambda db: db.insert("R", Lifespan.interval(0, 9),
+                             {"K": 3, "V": 30})),
+    "update": (lambda txn: txn.update("R", (1,), 50, {"V": 9}),
+               lambda db: db.update("R", (1,), 50, {"V": 90})),
+    "terminate": (lambda txn: txn.terminate("R", (1,), 50),
+                  lambda db: db.update("R", (1,), 50, {"V": 90})),
+    "reincarnate": (lambda txn: txn.reincarnate(
+        "R", (1,), Lifespan.interval(200, 300), {"K": 1, "V": 3}),
+        lambda db: db.update("R", (1,), 50, {"V": 90})),
+    "evolve": (lambda txn: txn.evolve_scheme("R", _EVOLVED),
+               lambda db: db.insert("R", Lifespan.interval(0, 9),
+                                    {"K": 7, "V": 7})),
+}
+
+
+class TestWriteSetAuditMatrix:
+    """No mutation entry point applies state outside the write-set path
+    — proven by making each one's commit visible to the validator."""
+
+    @pytest.mark.parametrize("entry_point", sorted(DB_ENTRY_POINTS))
+    def test_embedded_entry_point_records_its_writes(self, entry_point):
+        mutate, expect_conflict = DB_ENTRY_POINTS[entry_point]
+        db = _seeded_db()
+        session = db.transaction()
+        session.update("R", (1,), 60, {"V": 61})
+        session.insert("R", Lifespan.interval(0, 9), {"K": 2, "V": 2})
+        mutate(db)  # commits first: its write-set is now history
+        if expect_conflict:
+            with pytest.raises(ConflictError):
+                session.commit()
+            assert session.state == "rolled-back"
+        else:
+            session.commit()
+            assert db["R"].get(2).value("V")(5) == 2
+
+    @pytest.mark.parametrize("entry_point", sorted(TXN_ENTRY_POINTS))
+    def test_session_entry_point_records_its_writes(self, entry_point):
+        buffer_write, rival_commit = TXN_ENTRY_POINTS[entry_point]
+        db = _seeded_db()
+        session = db.transaction()
+        buffer_write(session)
+        rival_commit(db)
+        with pytest.raises(ConflictError):
+            session.commit()
+        assert session.state == "rolled-back"
+
+    def test_autocommit_rebuild_gives_serial_outcome(self):
+        """A lost auto-commit race re-derives from the fresh snapshot:
+        racing same-key births end as one birth and one duplicate-key
+        error, exactly as a serial schedule would."""
+        db = _db()
+        barrier = threading.Barrier(2)
+        outcomes: list = [None, None]
+
+        def birth(i: int) -> None:
+            try:
+                barrier.wait(JOIN_TIMEOUT)
+                db.insert("R", Lifespan.interval(0, 9), {"K": 1, "V": i})
+                outcomes[i] = "inserted"
+            except RelationError as exc:
+                outcomes[i] = exc
+
+        threads = [threading.Thread(target=birth, args=(i,), daemon=True)
+                   for i in range(2)]
+        for thread in threads:
+            thread.start()
+        _join(threads)
+        inserted = [o for o in outcomes if o == "inserted"]
+        duplicates = [o for o in outcomes if isinstance(o, RelationError)]
+        assert len(inserted) >= 1
+        assert len(inserted) + len(duplicates) == 2
+        if duplicates:
+            assert "already exists" in str(duplicates[0])
+        assert len(db["R"]) == 1

@@ -4,7 +4,12 @@ Covers the protocol primitives, embedded-vs-remote parity of the
 client API (typed results decode to the *same* model objects), the
 8-client concurrent smoke workload the CI ``server-smoke`` job runs,
 the kill -9 mid-commit-burst recovery property (the PR-3 torn-tail
-contract, now exercised through a real server process), and the HRQL
+contract, now exercised through a real server process — including a
+variant where the burst is *conflicting* concurrent transactions),
+first-committer-wins conflicts crossing the wire as the typed,
+retryable :class:`ConflictError` (checked against the
+:class:`HistoryOracle` snapshot-isolation oracle shared with the
+embedded stress tests), and the HRQL
 shell's ``\\connect`` / ``\\timing`` commands — including the
 acceptance bar that one session script renders identically against an
 embedded catalog and a connected server.
@@ -23,14 +28,16 @@ import time
 import pytest
 
 from repro.core import domains
-from repro.core.errors import (BindError, HRDMError, RelationError,
-                               StorageError, TransactionError)
+from repro.core.errors import (BindError, ConflictError, HRDMError,
+                               RelationError, StorageError, TransactionError)
 from repro.core.lifespan import Lifespan
 from repro.core.scheme import RelationScheme
 from repro.core.tuples import HistoricalTuple
 from repro.database import HistoricalDatabase
 from repro.client import Client, connect
 from repro.server import DatabaseServer, protocol
+
+from _history_oracle import HistoryOracle
 
 JOIN_TIMEOUT = 60.0
 
@@ -435,6 +442,169 @@ class TestConcurrentClients:
 
 
 # ---------------------------------------------------------------------------
+# First-committer-wins conflicts over the wire.
+# ---------------------------------------------------------------------------
+
+
+class TestConflictsOverTheWire:
+    def test_lost_race_raises_typed_retryable_conflict(self, server, db):
+        loser = connect(*server.address)
+        winner = connect(*server.address)
+        try:
+            losing = loser.transaction()
+            losing.update("EMP", ("John",), 5, {"SALARY": 111})
+            with winner.transaction() as txn:
+                txn.update("EMP", ("John",), 5, {"SALARY": 222})
+            with pytest.raises(ConflictError) as caught:
+                losing.commit()
+            assert "EMP" in str(caught.value)
+            assert caught.value.retryable is True
+            assert losing.state == "rolled-back"
+            # The server already rolled back: the same connection can
+            # retry immediately, and the retry converges.
+            loser.run_transaction(
+                lambda txn: txn.update("EMP", ("John",), 5, {"SALARY": 333}))
+            assert db["EMP"].get("John").value("SALARY")(9) == 333
+        finally:
+            loser.close()
+            winner.close()
+
+    def test_conflict_frame_carries_the_retryable_flag(self, server):
+        """Drive the protocol by hand: the ERROR frame for a lost race
+        names ConflictError and marks itself ``retryable`` so clients
+        can distinguish try-again from give-up without string-matching."""
+        loser = connect(*server.address)
+        winner = connect(*server.address)
+        try:
+            loser.request({"op": "begin"})
+            loser.update("EMP", ("John",), 5, {"SALARY": 1})
+            with winner.transaction() as txn:
+                txn.update("EMP", ("John",), 5, {"SALARY": 2})
+            protocol.send_frame(loser._sock, {"op": "commit"})
+            frame = protocol.recv_frame(loser._sock, loser._buffer)
+            assert frame["ok"] is False
+            assert frame["error"] == "ConflictError"
+            assert frame["retryable"] is True
+            rebuilt = protocol.error_from_wire(frame)
+            assert isinstance(rebuilt, ConflictError)
+            assert rebuilt.retryable is True
+        finally:
+            loser.close()
+            winner.close()
+
+    def test_conflict_under_load_8_clients_converge(self, server, db):
+        """8 clients race to birth the same pool of keys. Every COMMIT
+        either succeeds or raises the typed ConflictError; losing a key
+        means somebody else won it, so the union converges to the whole
+        pool — and the oracle confirms nobody saw an aborted write."""
+        n_clients = 8
+        pool = [f"P{i:02d}" for i in range(24)]
+        initial = {"EMP": {"John", "Mary", "Tom"}}
+        oracle = HistoryOracle()
+        failures: list[str] = []
+        conflicts = [0] * n_clients
+        stop_reading = threading.Event()
+
+        def writer(c: int):
+            me = f"client-{c}"
+            try:
+                session = connect(*server.address)
+                try:
+                    for name in pool[c:] + pool[:c]:  # rotated contention
+                        txn = session.transaction()
+                        try:
+                            txn.insert("EMP", Lifespan.interval(0, 9),
+                                       {"NAME": name, "SALARY": c,
+                                        "DEPT": "Race"})
+                        except RelationError:
+                            txn.rollback()  # born in our snapshot already
+                            continue
+                        oracle.begin_commit(me, {"EMP": {name}})
+                        try:
+                            txn.commit()
+                        except ConflictError:
+                            oracle.aborted(me)  # a concurrent birth won
+                            conflicts[c] += 1
+                        else:
+                            oracle.committed(me)
+                finally:
+                    session.close()
+            except Exception as exc:
+                failures.append(f"{me}: {exc!r}")
+
+        def reader():
+            try:
+                session = connect(*server.address)
+                try:
+                    while not stop_reading.is_set():
+                        rows = session.query(
+                            "SELECT IF SALARY >= 0 IN EMP").rows()
+                        cut = {t.key_value()[0] for t in rows}
+                        oracle.observed("reader", {"EMP": cut})
+                finally:
+                    session.close()
+            except Exception as exc:
+                failures.append(f"reader: {exc!r}")
+
+        threads = [threading.Thread(target=writer, args=(c,), daemon=True)
+                   for c in range(n_clients)]
+        observer = threading.Thread(target=reader, daemon=True)
+        observer.start()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(JOIN_TIMEOUT)
+            assert not thread.is_alive(), "writer client deadlocked"
+        stop_reading.set()
+        observer.join(JOIN_TIMEOUT)
+        assert not observer.is_alive(), "reader client deadlocked"
+        assert not failures, failures[:3]
+        born = {t.key_value()[0] for t in db["EMP"]
+                if t.key_value()[0].startswith("P")}
+        assert born == set(pool)  # retries converged: every key exists
+        assert len(db["EMP"]) == len(initial["EMP"]) + len(pool)  # once each
+        oracle.verify(initial=initial)
+
+    def test_run_transaction_serializes_remote_increments(self, server, db):
+        """The lost-update litmus: concurrent read-modify-write through
+        Client.run_transaction must serialize. 8 clients × 4 increments
+        of one hot counter — first-committer-wins plus the retry loop
+        must land on exactly 32."""
+        db.insert("EMP", Lifespan.interval(0, 9),
+                  {"NAME": "CTR", "SALARY": 0, "DEPT": "Hot"})
+        n_clients, per_client = 8, 4
+        failures: list[str] = []
+
+        def worker(c: int):
+            try:
+                session = connect(*server.address)
+                try:
+                    def bump(txn):
+                        (row,) = session.query(
+                            "SELECT IF NAME = 'CTR' IN EMP").rows()
+                        txn.update("EMP", ("CTR",), 5,
+                                   {"SALARY": row.value("SALARY")(9) + 1})
+
+                    for _ in range(per_client):
+                        session.run_transaction(bump, attempts=100)
+                finally:
+                    session.close()
+            except Exception as exc:
+                failures.append(f"{c}: {exc!r}")
+
+        threads = [threading.Thread(target=worker, args=(c,), daemon=True)
+                   for c in range(n_clients)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(JOIN_TIMEOUT)
+            assert not thread.is_alive(), "increment client deadlocked"
+        assert not failures, failures[:3]
+        assert (db["EMP"].get("CTR").value("SALARY")(9)
+                == n_clients * per_client)
+
+
+# ---------------------------------------------------------------------------
 # Crash safety: kill -9 a real server process mid-commit-burst.
 # ---------------------------------------------------------------------------
 
@@ -502,6 +672,85 @@ class TestServerCrashSafety:
         # (the in-flight insert may appear on top — acked but unreported).
         assert len(recovered) >= len(acked)
         assert len(recovered) <= len(acked) + 1
+
+    def test_kill9_during_concurrent_conflicting_commits(self, tmp_path):
+        """SIGKILL the server while 4 clients race conflicting
+        transactions over one hot row. Recovery must show, per client,
+        an atomic prefix of its acknowledged commits — paired rows
+        never split — and nothing from a conflict-aborted commit."""
+        path = str(tmp_path / "db")
+        seed = HistoricalDatabase(path=path)
+        seed.create_relation(_scheme(), storage="disk")
+        seed.insert("EMP", Lifespan.interval(0, 9),
+                    {"NAME": "HOT", "SALARY": 0, "DEPT": "X"})
+        seed.close()
+
+        process, port = self._spawn_server(path)
+        n_clients = 4
+        acked: list[list[int]] = [[] for _ in range(n_clients)]
+        conflicts = [0] * n_clients
+        done = [threading.Event() for _ in range(n_clients)]
+
+        def burst(c: int):
+            try:
+                session = connect("127.0.0.1", port, timeout=10.0)
+                for i in range(10_000):  # the kill ends the loop
+                    while True:  # conflict-retry the same commit
+                        txn = session.transaction()
+                        txn.insert("EMP", Lifespan.interval(0, 9),
+                                   {"NAME": f"A{c}-{i:04d}", "SALARY": i,
+                                    "DEPT": "X"})
+                        txn.insert("EMP", Lifespan.interval(0, 9),
+                                   {"NAME": f"B{c}-{i:04d}", "SALARY": i,
+                                    "DEPT": "X"})
+                        txn.update("EMP", ("HOT",), 5,
+                                   {"SALARY": c * 100_000 + i})
+                        try:
+                            txn.commit()
+                        except ConflictError:
+                            conflicts[c] += 1  # lost the HOT race: retry
+                            continue
+                        acked[c].append(i)
+                        break
+            except (HRDMError, OSError):
+                pass  # the server died under us — expected
+            finally:
+                done[c].set()
+
+        writers = [threading.Thread(target=burst, args=(c,), daemon=True)
+                   for c in range(n_clients)]
+        for writer in writers:
+            writer.start()
+        deadline = time.time() + JOIN_TIMEOUT
+        while (any(len(a) < 8 for a in acked) and time.time() < deadline):
+            time.sleep(0.01)
+        assert all(len(a) >= 8 for a in acked), "burst never got going"
+        os.kill(process.pid, signal.SIGKILL)
+        process.wait(timeout=30)
+        for flag in done:
+            flag.wait(JOIN_TIMEOUT)
+            assert flag.is_set()
+        # Contention was real: the hot row forced lost races + retries.
+        assert sum(conflicts) > 0
+
+        reopened = HistoricalDatabase(path=path)
+        try:
+            names = {t.key_value()[0] for t in reopened["EMP"]}
+            assert "HOT" in names
+            for c in range(n_clients):
+                a_rows = sorted(int(n.split("-")[1]) for n in names
+                                if n.startswith(f"A{c}-"))
+                b_rows = sorted(int(n.split("-")[1]) for n in names
+                                if n.startswith(f"B{c}-"))
+                # Commits are atomic: the A/B pair lands or vanishes
+                # together, and what lands is a gap-free prefix.
+                assert a_rows == b_rows
+                assert a_rows == list(range(len(a_rows)))
+                # sync="always": every acknowledged commit survived; at
+                # most the one in-flight commit rides on top unreported.
+                assert len(acked[c]) <= len(a_rows) <= len(acked[c]) + 1
+        finally:
+            reopened.close()
 
 
 # ---------------------------------------------------------------------------
