@@ -1,0 +1,75 @@
+"""Closed-loop read worker for the replicated-read benchmark.
+
+One OS process running N closed-loop reader threads, each pinned to
+one server of a cluster (``--targets`` round-robins threads over the
+listed ``host:port`` addresses). Real processes are the point: the
+parent benchmark compares a single served process against a primary
+plus replicas, and in-process client threads would share the parent's
+interpreter lock with nothing. Prints the total operation count on
+stdout as its last line.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import threading
+import time
+
+from repro.client import connect
+
+READ_QUERY = "SELECT WHEN SALARY >= :min DURING [:lo, :hi] IN EMP"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--targets", required=True,
+                        help="comma-separated HOST:PORT list; thread i "
+                             "reads from target i mod len(targets)")
+    parser.add_argument("--clients", type=int, default=1)
+    parser.add_argument("--seconds", type=float, default=1.0)
+    parser.add_argument("--think", type=float, default=0.006)
+    args = parser.parse_args(argv)
+    targets = [t for t in args.targets.split(",") if t]
+    totals: list[int] = []
+    errors: list[str] = []
+    lock = threading.Lock()
+    barrier = threading.Barrier(args.clients)
+
+    def run(i: int) -> None:
+        try:
+            session = connect(targets[i % len(targets)], timeout=30.0)
+            prepared = session.prepare(READ_QUERY)
+            barrier.wait()
+            deadline = time.perf_counter() + args.seconds
+            ops = 0
+            while time.perf_counter() < deadline:
+                lo = 20 + (ops % 5) * 10
+                rows = prepared.query(
+                    {"min": 25_000, "lo": lo, "hi": lo + 3}).rows()
+                assert rows is not None
+                ops += 1
+                time.sleep(args.think)
+            session.close()
+            with lock:
+                totals.append(ops)
+        except Exception as exc:  # noqa: BLE001 - reported to the parent
+            with lock:
+                errors.append(repr(exc))
+            barrier.abort()
+
+    threads = [threading.Thread(target=run, args=(i,), daemon=True)
+               for i in range(args.clients)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(120)
+    if errors:
+        print("; ".join(errors[:3]), file=sys.stderr)
+        return 1
+    print(sum(totals))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -19,6 +19,16 @@ The service subsystem's two quantitative claims:
    (one fsync per batch window) is reported as a speedup over always
    — it must still win (≥ 1.5× at its best point), though group fsync
    has narrowed the gap by making always cheap too.
+3. **Replication scales reads past one process.** A cluster of one
+   primary and two read replicas (real subprocesses, fed over the WAL
+   stream) serves a 16-client closed-loop read workload from three
+   processes; the ``replicated_read`` section records the aggregate
+   against the single-process ceiling. On a host with ≥ 4 cores the
+   cluster must reach ≥ 2× the single process; on fewer cores the
+   numbers are recorded honestly (every process shares the same core,
+   so the ceiling binds them equally) but the ratio is not asserted —
+   ``cpu_count`` rides along in the payload so trajectories stay
+   comparable across machines.
 
 Results go to ``benchmarks/results/server.txt`` and the trajectory
 file ``BENCH_server.json``. ``BENCH_SERVER_TINY=1`` runs a smoke-sized
@@ -29,6 +39,8 @@ asserted throughout: every acknowledged write is present afterwards.
 from __future__ import annotations
 
 import os
+import subprocess
+import sys
 import threading
 import time
 
@@ -43,9 +55,11 @@ from repro.workloads import PersonnelConfig, generate_personnel
 
 TINY = bool(os.environ.get("BENCH_SERVER_TINY"))
 
-CLIENT_COUNTS = (1, 2) if TINY else (1, 2, 4, 8, 16)
+CLIENT_COUNTS = (1, 2) if TINY else (1, 2, 4, 8, 16, 32, 64)
 WRITE_CLIENT_COUNTS = (1, 2) if TINY else (1, 4, 8)
 READ_SECONDS = 0.4 if TINY else 1.2
+CLUSTER_CLIENTS = 4 if TINY else 16
+CLUSTER_SECONDS = 0.4 if TINY else 2.0
 THINK_SECONDS = 0.006  # closed-loop client think time (6 ms)
 WRITE_OPS_PER_CLIENT = 30 if TINY else 400
 N_EMPLOYEES = 20 if TINY else 60
@@ -121,6 +135,115 @@ def _closed_loop_reads(server, n_clients: int, mixed: bool) -> float:
     return sum(results) / elapsed
 
 
+_HERE = os.path.dirname(os.path.abspath(__file__))
+_SRC = os.path.join(_HERE, os.pardir, "src")
+
+
+def _spawn_process(module_args: list[str]) -> tuple[subprocess.Popen, int]:
+    """A server / replica subprocess; returns it with its bound port."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = _SRC + os.pathsep + env.get("PYTHONPATH", "")
+    process = subprocess.Popen(
+        [sys.executable, *module_args], stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT, text=True, env=env)
+    assert process.stdout is not None
+    line = process.stdout.readline()
+    assert "listening on" in line, f"process failed to start: {line!r}"
+    return process, int(line.rsplit(":", 1)[1])
+
+
+def _cluster_read_ops(targets: list[str], n_clients: int,
+                      seconds: float) -> float:
+    """Aggregate ops/s of *n_clients* closed-loop readers spread over
+    *targets*, run in real worker processes (see _cluster_worker.py)."""
+    worker = os.path.join(_HERE, "_cluster_worker.py")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = _SRC + os.pathsep + env.get("PYTHONPATH", "")
+    n_procs = min(4, n_clients)
+    base, extra = divmod(n_clients, n_procs)
+    workers = []
+    for p in range(n_procs):
+        clients = base + (1 if p < extra else 0)
+        # Rotate the target list per process so the client population
+        # spreads evenly whatever the per-process thread count is.
+        rotated = targets[p % len(targets):] + targets[:p % len(targets)]
+        workers.append(subprocess.Popen(
+            [sys.executable, worker, "--targets", ",".join(rotated),
+             "--clients", str(clients), "--seconds", str(seconds),
+             "--think", str(THINK_SECONDS)],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+            text=True, env=env))
+    total = 0
+    for process in workers:
+        out, _ = process.communicate(timeout=240)
+        assert process.returncode == 0, f"cluster worker failed: {out}"
+        total += int(out.strip().splitlines()[-1])
+    return total / seconds
+
+
+def _replicated_read_section(tmp_path, rows: list) -> dict:
+    """Benchmark 3: the cluster's read throughput vs one process."""
+    _served_db(tmp_path, "cluster-primary", sync="batch").close()
+    primary_path = str(tmp_path / "cluster-primary")
+    primary, pport = _spawn_process(
+        ["-m", "repro.server", primary_path, "--port", "0",
+         "--sync", "batch"])
+    replicas: list[subprocess.Popen] = []
+    replica_ports: list[int] = []
+    try:
+        for i in range(2):
+            process, port = _spawn_process(
+                ["-m", "repro.replication", str(tmp_path / f"cluster-r{i}"),
+                 "--primary", f"127.0.0.1:{pport}", "--port", "0",
+                 "--replica-id", f"bench-r{i}"])
+            replicas.append(process)
+            replica_ports.append(port)
+        # Let both replicas reach the primary's position before timing.
+        with connect("127.0.0.1", pport, timeout=30.0) as c:
+            target_lsn = c.status()["lsn"]
+        deadline = time.time() + 60
+        for port in replica_ports:
+            while time.time() < deadline:
+                with connect("127.0.0.1", port, timeout=30.0) as c:
+                    if c.status()["replica"]["applied_lsn"] >= target_lsn:
+                        break
+                time.sleep(0.05)
+
+        single = _cluster_read_ops(
+            [f"127.0.0.1:{pport}"], CLUSTER_CLIENTS, CLUSTER_SECONDS)
+        spread = [f"127.0.0.1:{pport}"] + [
+            f"127.0.0.1:{port}" for port in replica_ports]
+        replicated = _cluster_read_ops(
+            spread, CLUSTER_CLIENTS, CLUSTER_SECONDS)
+    finally:
+        for process in [*replicas, primary]:
+            process.kill()
+            process.wait(timeout=30)
+
+    speedup = replicated / single
+    cores = os.cpu_count() or 1
+    rows.append(("replicated read", CLUSTER_CLIENTS,
+                 f"{single:.0f} ops/s", "single process"))
+    rows.append(("replicated read", CLUSTER_CLIENTS,
+                 f"{replicated:.0f} ops/s", "1 primary + 2 replicas"))
+    rows.append(("replicated read", CLUSTER_CLIENTS,
+                 f"{speedup:.2f}x", f"speedup on {cores} core(s)"))
+    if not TINY and cores >= 4:
+        # With real parallelism available, three serving processes must
+        # at least double the one-process read ceiling.
+        assert speedup >= 2.0, (
+            f"replication under-delivered on {cores} cores: "
+            f"{single:.0f} -> {replicated:.0f} ops/s ({speedup:.2f}x)")
+    return {
+        "clients": CLUSTER_CLIENTS,
+        "replicas": 2,
+        "single": round(single, 1),
+        "replicated": round(replicated, 1),
+        "speedup": round(speedup, 2),
+        "cpu_count": cores,
+    }
+
+
 def _write_burst(server, n_clients: int, tag: str) -> float:
     """Aggregate commits/s of *n_clients* auto-commit insert streams."""
 
@@ -150,6 +273,7 @@ def test_server_report(tmp_path):
         "read_only": {}, "mixed": {},
         "write_heavy": {},  # sync="always": the durable-commit curve
         "group_commit": {"batch": {}, "speedup_vs_always": {}},
+        "replicated_read": {},  # benchmark 3: the cluster vs one process
     }
 
     # -- 1. read-only and mixed scaling, 1 → 16 clients -------------------
@@ -225,6 +349,9 @@ def test_server_report(tmp_path):
         best = max(payload["group_commit"]["speedup_vs_always"].values())
         assert best >= 1.5, (
             f"group commit under-delivered: best speedup {best:.2f}x")
+
+    # -- 3. replicated reads: 1 primary + 2 replicas, real processes ------
+    payload["replicated_read"] = _replicated_read_section(tmp_path, rows)
 
     report("server", "Service throughput under concurrent clients",
            ["workload", "clients", "throughput", "note"], rows)

@@ -23,15 +23,26 @@ command keeps working, with identical rendering.
 A :class:`Client` is **not** thread-safe — it is one session on one
 socket, like one :class:`~repro.database.session.Transaction`. Open
 one client per thread; the server gives each its own worker.
+
+A dropped connection is transient, not fatal: the client reconnects
+and transparently retries reads, while in-flight mutations surface the
+retryable :class:`~repro.core.errors.ConnectionLostError` (their fate
+is unknown — the write may or may not have committed before the drop).
+And with read replicas running (:mod:`repro.replication`),
+``connect(primary, replicas=[...])`` returns a :class:`RoutedClient`
+that sends writes to the primary and fans reads out across the
+replicas with read-your-writes intact.
 """
 
 from __future__ import annotations
 
 import socket
-from typing import Any, Iterator, Mapping, Optional, Tuple, Union
+from typing import (Any, Callable, Iterator, Mapping, Optional, Sequence,
+                    Tuple, Union)
 
 from repro.core.domains import ValueDomain
-from repro.core.errors import HRDMError, QueryError, StorageError
+from repro.core.errors import (ConnectionLostError, HRDMError, QueryError,
+                               ReplicaLagError, StorageError)
 from repro.core.lifespan import Lifespan
 from repro.core.relation import HistoricalRelation
 from repro.core.scheme import RelationScheme
@@ -40,23 +51,25 @@ from repro.server import protocol
 from repro.storage import pager as pager_mod
 
 __all__ = ["Client", "RemoteExplanation", "RemoteResult",
-           "RemotePrepared", "RemoteTransaction", "connect"]
+           "RemotePrepared", "RemoteTransaction", "RoutedClient",
+           "RoutedPrepared", "connect"]
+
+#: An address in any of the shapes connect() accepts.
+Address = Union[str, Tuple[str, int]]
+
+#: Frames safe to re-send verbatim after a transparent reconnect: pure
+#: reads, session handshakes, PREPARE (re-parsing is harmless), BEGIN
+#: (the dropped connection's empty transaction died with it), and
+#: FLUSH (syncing twice syncs once). Mutating frames are excluded —
+#: their first send may have committed before the drop.
+_IDEMPOTENT_OPS = frozenset({
+    "hello", "status", "query", "relations", "relation", "prepare",
+    "begin", "flush",
+})
 
 
-def connect(address: Union[str, Tuple[str, int]],
-            port: Optional[int] = None, *,
-            timeout: Optional[float] = None,
-            domains: Optional[Mapping[str, ValueDomain]] = None) -> "Client":
-    """Open a client session with a running database server.
-
-    *address* is ``"host:port"``, or a host with *port* given
-    separately, or a ``(host, port)`` pair — so both
-    ``connect("localhost:7707")`` and ``connect(*server.address)``
-    read naturally. *timeout* bounds each request round trip (seconds);
-    *domains* restores membership enforcement for custom value domains
-    in schemes crossing the wire (exactly as for
-    ``HistoricalDatabase(domains=...)``).
-    """
+def _parse_hostport(address: Address,
+                    port: Optional[int] = None) -> Tuple[str, int]:
     if isinstance(address, tuple):
         host, port = address
     elif port is None:
@@ -72,7 +85,41 @@ def connect(address: Union[str, Tuple[str, int]],
             ) from None
     else:
         host = address
-    return Client(host, int(port), timeout=timeout, domains=domains)
+    return host, int(port)
+
+
+def connect(address: Address,
+            port: Optional[int] = None, *,
+            timeout: Optional[float] = None,
+            domains: Optional[Mapping[str, ValueDomain]] = None,
+            replicas: Optional[Sequence[Address]] = None,
+            replica_wait: float = 1.0,
+            ) -> Union["Client", "RoutedClient"]:
+    """Open a client session with a running database server.
+
+    *address* is ``"host:port"``, or a host with *port* given
+    separately, or a ``(host, port)`` pair — so both
+    ``connect("localhost:7707")`` and ``connect(*server.address)``
+    read naturally. *timeout* bounds each request round trip (seconds);
+    *domains* restores membership enforcement for custom value domains
+    in schemes crossing the wire (exactly as for
+    ``HistoricalDatabase(domains=...)``).
+
+    With *replicas* (addresses of read replicas of the same primary,
+    in any of the shapes above) the result is a :class:`RoutedClient`
+    instead: writes, transactions, and DDL go to the primary while
+    reads round-robin across the replicas carrying the session's last
+    commit LSN as a read-your-writes token. A replica that cannot
+    cover the token within *replica_wait* seconds — or that is simply
+    down — is skipped in favor of the next one, and finally of the
+    primary itself, so routed reads degrade rather than fail.
+    """
+    host, port = _parse_hostport(address, port)
+    if replicas:
+        return RoutedClient(
+            (host, port), [_parse_hostport(r) for r in replicas],
+            timeout=timeout, domains=domains, replica_wait=replica_wait)
+    return Client(host, port, timeout=timeout, domains=domains)
 
 
 class RemoteExplanation:
@@ -191,49 +238,123 @@ class Client:
                  timeout: Optional[float] = None,
                  domains: Optional[Mapping[str, ValueDomain]] = None):
         self._domains = dict(domains or {})
-        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._host, self._port, self._timeout = host, int(port), timeout
+        self._address = (host, int(port))
+        self._sock: Optional[socket.socket] = None
         self._buffer = bytearray()
         self._closed = False
         self._txn_active = False
-        hello = self.request({"op": "hello", "client": "repro-client"})
+        #: Bumped on every connection loss. Session state living on the
+        #: server's side of the socket (prepared statements, an open
+        #: transaction) dies with the connection; objects holding onto
+        #: it compare their birth epoch against this to notice.
+        self._epoch = 0
+        #: The LSN of this session's last acknowledged write — the
+        #: read-your-writes token a routed read hands to a replica.
+        self.last_commit_lsn = 0
         #: The server's database name.
-        self.name: str = hello.get("database", "")
+        self.name: str = ""
         #: True when the served database is durable (``\\checkpoint`` works).
-        self.durable: bool = bool(hello.get("durable"))
-        self._address = (host, port)
+        self.durable: bool = False
+        #: "primary" or "replica" (read-only), from the HELLO frame.
+        self.role: str = "primary"
+        self._dial()
 
     # -- plumbing -----------------------------------------------------------
+
+    def _dial(self) -> None:
+        """Connect and shake hands; the socket is live on return."""
+        sock = socket.create_connection((self._host, self._port),
+                                        timeout=self._timeout)
+        self._sock = sock
+        self._buffer.clear()
+        try:
+            protocol.send_frame(sock, {"op": "hello",
+                                       "client": "repro-client"})
+            hello = protocol.recv_frame(sock, self._buffer)
+            if hello is None:
+                raise protocol.ProtocolError(
+                    "the server closed the connection during the handshake")
+        except (OSError, protocol.ProtocolError) as exc:
+            self._drop()
+            raise ConnectionLostError(
+                f"handshake with {self._host}:{self._port} failed: {exc}"
+            ) from exc
+        if not hello.get("ok"):
+            raise protocol.error_from_wire(hello)
+        self.name = hello.get("database", "")
+        self.durable = bool(hello.get("durable"))
+        self.role = hello.get("role", "primary")
+
+    def _drop(self) -> None:
+        """Forget a dead socket (and the server-side session with it)."""
+        sock, self._sock = self._sock, None
+        self._buffer.clear()
+        self._epoch += 1
+        self._txn_active = False
+        if sock is not None:
+            try:
+                sock.close()
+            except OSError:  # pragma: no cover - nothing left to release
+                pass
+
+    def _reconnect(self) -> None:
+        try:
+            self._dial()
+        except OSError as exc:
+            raise ConnectionLostError(
+                f"cannot reach the server at {self._host}:{self._port}: "
+                f"{exc}") from exc
 
     def request(self, payload: Mapping[str, Any]) -> dict:
         """One round trip: send a frame, receive and check the response.
 
         Raises the server-reported :class:`HRDMError` subclass on an
-        ERROR frame; raises :class:`StorageError` if the connection is
-        closed or drops mid-request.
+        ERROR frame. A dropped connection is transient, not fatal: the
+        client reconnects, and idempotent frames (reads, PREPARE,
+        BEGIN, FLUSH) are retried once transparently. A mutating frame
+        caught mid-drop instead surfaces the retryable
+        :class:`~repro.core.errors.ConnectionLostError` — its fate is
+        unknown (the write may have committed just before the drop),
+        so only the caller can decide whether re-running is safe.
         """
         if self._closed:
             raise StorageError("the client connection has been closed")
-        try:
-            protocol.send_frame(self._sock, payload)
-            response = protocol.recv_frame(self._sock, self._buffer)
-        except (OSError, protocol.ProtocolError) as exc:
-            self._closed = True
-            raise StorageError(f"server connection lost: {exc}") from exc
-        if response is None:
-            self._closed = True
-            raise StorageError("server closed the connection")
-        if not response.get("ok"):
-            raise protocol.error_from_wire(response)
-        return response
+        op = payload.get("op")
+        for attempt in (0, 1):
+            if self._sock is None:
+                self._reconnect()
+            try:
+                protocol.send_frame(self._sock, payload)
+                response = protocol.recv_frame(self._sock, self._buffer)
+                if response is None:
+                    raise protocol.ProtocolError(
+                        "the server closed the connection")
+            except (OSError, protocol.ProtocolError) as exc:
+                self._drop()
+                if attempt == 0 and op in _IDEMPOTENT_OPS:
+                    continue
+                raise ConnectionLostError(
+                    f"connection to {self._host}:{self._port} was lost "
+                    f"mid-{op}: {exc}") from exc
+            if not response.get("ok"):
+                raise protocol.error_from_wire(response)
+            lsn = response.get("lsn")
+            if lsn is not None and op in ("execute", "commit"):
+                self.last_commit_lsn = max(self.last_commit_lsn, int(lsn))
+            return response
+        raise AssertionError("unreachable")  # pragma: no cover
 
     def close(self) -> None:
         """Close the session socket (idempotent)."""
         if not self._closed:
             self._closed = True
-            try:
-                self._sock.close()
-            except OSError:  # pragma: no cover - nothing left to release
-                pass
+            if self._sock is not None:
+                try:
+                    self._sock.close()
+                except OSError:  # pragma: no cover - nothing to release
+                    pass
+                self._sock = None
 
     def __enter__(self) -> "Client":
         return self
@@ -244,17 +365,40 @@ class Client:
 
     # -- querying -----------------------------------------------------------
 
+    @staticmethod
+    def _with_wait(payload: dict, wait_lsn: Optional[int],
+                   wait_timeout: Optional[float]) -> dict:
+        """Attach a read-your-writes token to a read frame.
+
+        A replica holds the read until its applied LSN covers
+        *wait_lsn*, raising the retryable
+        :class:`~repro.core.errors.ReplicaLagError` after *wait_timeout*
+        seconds; a primary satisfies any token trivially. A zero/None
+        token (no writes this session) needs no waiting at all.
+        """
+        if wait_lsn:
+            payload["wait_lsn"] = int(wait_lsn)
+            if wait_timeout is not None:
+                payload["wait_timeout"] = wait_timeout
+        return payload
+
     def query(self, source: str,
-              params: Optional[Mapping[str, Any]] = None) -> RemoteResult:
+              params: Optional[Mapping[str, Any]] = None, *,
+              wait_lsn: Optional[int] = None,
+              wait_timeout: Optional[float] = None) -> RemoteResult:
         """Run an HRQL statement on the server; typed result.
 
         Mirrors :meth:`HistoricalDatabase.query`: *source* is HRQL
         text (``EXPLAIN [ANALYZE]`` included), *params* binds ``:name``
-        parameters server-side through the same machinery.
+        parameters server-side through the same machinery. *wait_lsn*
+        (usually another client's :attr:`last_commit_lsn`) makes a
+        replica hold the read until it has applied that far — see
+        :meth:`_with_wait`.
         """
         payload: dict[str, Any] = {"op": "query", "q": source}
         if params:
             payload["params"] = dict(params)
+        self._with_wait(payload, wait_lsn, wait_timeout)
         return self._decode_result(self.request(payload))
 
     def prepare(self, source: str) -> "RemotePrepared":
@@ -262,6 +406,12 @@ class Client:
         response = self.request({"op": "prepare", "q": source})
         return RemotePrepared(self, response["id"], source,
                               tuple(response["params"]))
+
+    def status(self) -> dict:
+        """The server's STATUS frame: role, database, current
+        ``(generation, lsn)`` position, and — on a primary — the
+        per-replica lag table; on a replica, its primary link health."""
+        return self.request({"op": "status"})
 
     def _decode_result(self, response: Mapping) -> RemoteResult:
         kind = response.get("kind")
@@ -368,15 +518,34 @@ class Client:
         that loses its first-committer-wins race
         (:class:`~repro.core.errors.ConflictError`) is retried against
         a fresh snapshot up to *attempts* times, then the final
-        conflict propagates. Any other exception rolls back and
-        propagates immediately. *body* must be safe to re-run.
+        conflict propagates. A connection drop *before* COMMIT is also
+        retried — the server rolled the half-built transaction back
+        when the session died, so re-running the body is safe. A drop
+        *during* COMMIT itself is not: the outcome is ambiguous (the
+        commit may have applied just before the drop), so the
+        retryable :class:`~repro.core.errors.ConnectionLostError`
+        propagates for the caller to resolve. Any other exception
+        rolls back and propagates immediately. *body* must be safe to
+        re-run.
         """
         from repro.core.errors import ConflictError
 
+        last = max(1, attempts) - 1
         for attempt in range(max(1, attempts)):
-            txn = self.transaction()
+            try:
+                txn = self.transaction()
+            except ConnectionLostError:
+                if attempt == last:
+                    raise
+                continue
             try:
                 result = body(txn)
+            except ConnectionLostError:
+                if txn.state == "active":
+                    txn.rollback()  # wire no-op when the session is gone
+                if attempt == last:
+                    raise
+                continue
             except BaseException:
                 if txn.state == "active":
                     txn.rollback()
@@ -386,7 +555,7 @@ class Client:
             try:
                 txn.commit()
             except ConflictError:
-                if attempt == max(1, attempts) - 1:
+                if attempt == last:
                     raise
                 continue
             return result
@@ -403,22 +572,28 @@ class Client:
 
     # -- catalog introspection (the shell's surface) -------------------------
 
-    def relations_info(self) -> list[dict]:
+    def relations_info(self, *, wait_lsn: Optional[int] = None,
+                       wait_timeout: Optional[float] = None) -> list[dict]:
         """Per-relation summaries: name, tuple count, lifespan, storage."""
-        summaries = self.request({"op": "relations"})["relations"]
+        summaries = self.request(self._with_wait(
+            {"op": "relations"}, wait_lsn, wait_timeout))["relations"]
         for summary in summaries:
             summary["lifespan"] = protocol.lifespan_from_wire(
                 summary["lifespan"])
         return summaries
 
-    def relation(self, name: str) -> HistoricalRelation:
+    def relation(self, name: str, *, wait_lsn: Optional[int] = None,
+                 wait_timeout: Optional[float] = None) -> HistoricalRelation:
         """Fetch the named relation's full current value."""
-        response = self.request({"op": "relation", "name": name})
+        response = self.request(self._with_wait(
+            {"op": "relation", "name": name}, wait_lsn, wait_timeout))
         return protocol.relation_from_wire(response, self._domains)
 
-    def storage(self, name: str) -> str:
+    def storage(self, name: str, *, wait_lsn: Optional[int] = None,
+                wait_timeout: Optional[float] = None) -> str:
         """The storage kind of the named relation ("memory" or "disk")."""
-        response = self.request({"op": "relation", "name": name})
+        response = self.request(self._with_wait(
+            {"op": "relation", "name": name}, wait_lsn, wait_timeout))
         return response["storage"]
 
     def __getitem__(self, name: str) -> HistoricalRelation:
@@ -441,23 +616,48 @@ class Client:
 
 
 class RemotePrepared:
-    """A statement parsed (and plan-cached) server-side."""
+    """A statement parsed (and plan-cached) server-side.
+
+    Survives reconnects: the server-side statement dies with its
+    connection, so a run that finds the client's epoch has moved
+    re-sends PREPARE transparently before executing.
+    """
 
     def __init__(self, client: Client, statement_id: int, source: str,
                  param_names: Tuple[str, ...]):
         self._client = client
         self._id = statement_id
+        self._epoch = client._epoch
         self.source = source
         #: The ``:name`` parameters the statement expects.
         self.param_names = param_names
 
-    def query(self, params: Optional[Mapping[str, Any]] = None
-              ) -> RemoteResult:
+    def query(self, params: Optional[Mapping[str, Any]] = None, *,
+              wait_lsn: Optional[int] = None,
+              wait_timeout: Optional[float] = None) -> RemoteResult:
         """Bind and run the prepared statement; typed result."""
-        payload: dict[str, Any] = {"op": "query", "prepared": self._id}
-        if params:
-            payload["params"] = dict(params)
-        return self._client._decode_result(self._client.request(payload))
+        for attempt in (0, 1):
+            if self._epoch != self._client._epoch:
+                self._reprepare()
+            payload: dict[str, Any] = {"op": "query", "prepared": self._id}
+            if params:
+                payload["params"] = dict(params)
+            Client._with_wait(payload, wait_lsn, wait_timeout)
+            try:
+                return self._client._decode_result(
+                    self._client.request(payload))
+            except protocol.ProtocolError:
+                # The request was transparently retried over a fresh
+                # connection, where this statement id no longer exists.
+                if attempt == 0 and self._epoch != self._client._epoch:
+                    continue
+                raise
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _reprepare(self) -> None:
+        response = self._client.request({"op": "prepare", "q": self.source})
+        self._id = response["id"]
+        self._epoch = self._client._epoch
 
     def __repr__(self) -> str:
         names = ", ".join(f":{n}" for n in self.param_names) or "no parameters"
@@ -478,6 +678,7 @@ class RemoteTransaction:
 
     def __init__(self, client: Client):
         self._client = client
+        self._epoch = client._epoch
         self._state = "active"
 
     @property
@@ -508,9 +709,32 @@ class RemoteTransaction:
         self._finish("rollback")
 
     def _finish(self, op: str) -> None:
-        self._ensure_active()
+        if self._state != "active":
+            from repro.core.errors import TransactionError
+
+            raise TransactionError(f"transaction already {self._state}")
+        if self._epoch != self._client._epoch:
+            # The connection died under this transaction; the server
+            # rolled its buffered changes back when the session ended.
+            # A rollback is therefore already done; a commit was lost
+            # before it was ever sent.
+            self._state = "rolled-back"
+            if op == "commit":
+                raise ConnectionLostError(
+                    "the connection dropped before COMMIT was sent; the "
+                    "server rolled the transaction back — re-run it")
+            return
         try:
             self._client.request({"op": op})
+        except ConnectionLostError:
+            # The drop itself tore the server-side session down. For a
+            # rollback that *is* the requested outcome; for a commit
+            # the outcome is ambiguous (the frame may have applied
+            # before the drop), so surface it.
+            self._state = "rolled-back"
+            if op == "commit":
+                raise
+            return
         except HRDMError:
             self._state = "rolled-back"
             self._client._txn_active = False
@@ -523,6 +747,12 @@ class RemoteTransaction:
             from repro.core.errors import TransactionError
 
             raise TransactionError(f"transaction already {self._state}")
+        if self._epoch != self._client._epoch:
+            self._state = "rolled-back"
+            raise ConnectionLostError(
+                "the connection dropped mid-transaction; the server "
+                "rolled its buffered changes back — open a new "
+                "transaction and re-run")
 
     def insert(self, name: str, lifespan: Lifespan,
                values: Mapping[str, Any]) -> HistoricalTuple:
@@ -555,3 +785,270 @@ class RemoteTransaction:
 
     def __repr__(self) -> str:
         return f"RemoteTransaction({self._state})"
+
+
+class RoutedClient:
+    """A replica-aware session: writes to the primary, reads fanned out.
+
+    Mirrors the :class:`Client` surface so the shell and application
+    code stay oblivious. Mutations, transactions, DDL, and durability
+    frames always go to the primary; ``query()`` and catalog reads
+    round-robin across the replicas. Every routed read carries the
+    primary session's :attr:`~Client.last_commit_lsn` as a
+    read-your-writes token — the replica holds the read until its
+    applier covers that LSN, so this session always sees its own
+    writes. A replica still short of the token after *replica_wait*
+    seconds (or simply unreachable) is skipped for the next one, and
+    when every replica is out the read runs on the primary itself:
+    routed reads degrade, they do not fail.
+
+    Replica connections are lazy and self-healing — a replica that is
+    down is skipped now and re-dialed on a later read.
+    """
+
+    #: Generic callers (the HRQL shell) treat this like any remote catalog.
+    remote = True
+
+    def __init__(self, primary: Tuple[str, int],
+                 replicas: Sequence[Tuple[str, int]], *,
+                 timeout: Optional[float] = None,
+                 domains: Optional[Mapping[str, ValueDomain]] = None,
+                 replica_wait: float = 1.0):
+        #: The write session; also the read of last resort.
+        self.primary = Client(*primary, timeout=timeout, domains=domains)
+        self.replica_wait = replica_wait
+        self._timeout = timeout
+        self._domains = domains
+        self._replicas: list[dict[str, Any]] = [
+            {"address": (host, int(port)), "client": None}
+            for host, port in replicas]
+        self._rr = 0
+        self._closed = False
+
+    # -- the primary's identity, verbatim -----------------------------------
+
+    @property
+    def name(self) -> str:
+        """The served database's name (from the primary)."""
+        return self.primary.name
+
+    @property
+    def durable(self) -> bool:
+        """Whether the primary's database is durable."""
+        return self.primary.durable
+
+    @property
+    def last_commit_lsn(self) -> int:
+        """The session's read-your-writes token (primary-side)."""
+        return self.primary.last_commit_lsn
+
+    @property
+    def replica_addresses(self) -> list[Tuple[str, int]]:
+        """The configured replica addresses, in routing order."""
+        return [entry["address"] for entry in self._replicas]
+
+    def close(self) -> None:
+        """Close every connection (idempotent)."""
+        self._closed = True
+        for entry in self._replicas:
+            if entry["client"] is not None:
+                entry["client"].close()
+                entry["client"] = None
+        self.primary.close()
+
+    def __enter__(self) -> "RoutedClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+    # -- read routing --------------------------------------------------------
+
+    def _read_targets(self) -> Iterator[Client]:
+        """Replica sessions in round-robin order.
+
+        A replica whose connection previously failed is re-dialed
+        here; one that is unreachable right now is skipped (and tried
+        again on a later read).
+        """
+        count = len(self._replicas)
+        if count:
+            start, self._rr = self._rr, (self._rr + 1) % count
+        for offset in range(count):
+            entry = self._replicas[(start + offset) % count]
+            client = entry["client"]
+            if client is None or client._closed:
+                try:
+                    client = Client(*entry["address"], timeout=self._timeout,
+                                    domains=self._domains)
+                except (OSError, HRDMError):
+                    continue
+                entry["client"] = client
+            yield client
+
+    def _routed(self, read: Callable[[Client, Optional[int],
+                                      Optional[float]], Any]) -> Any:
+        """Run *read* on the next live replica, else on the primary.
+
+        *read* is called as ``read(client, wait_lsn, wait_timeout)``;
+        lag past the token and connection loss both mean "try the next
+        one". The primary fallback drops the token — the primary is
+        the token's source, so it trivially covers it.
+        """
+        token = self.primary.last_commit_lsn
+        for client in self._read_targets():
+            try:
+                return read(client, token, self.replica_wait)
+            except (ReplicaLagError, ConnectionLostError):
+                continue
+        return read(self.primary, None, None)
+
+    def query(self, source: str,
+              params: Optional[Mapping[str, Any]] = None) -> RemoteResult:
+        """Run a read on a replica (see :meth:`Client.query`).
+
+        Note that HRQL is read-only — every statement is routable."""
+        return self._routed(lambda c, lsn, t: c.query(
+            source, params, wait_lsn=lsn, wait_timeout=t))
+
+    def prepare(self, source: str) -> "RoutedPrepared":
+        """Prepare *source* for routed repeated runs."""
+        return RoutedPrepared(self, source)
+
+    def relations_info(self) -> list[dict]:
+        """Per-relation summaries, read from a replica."""
+        return self._routed(lambda c, lsn, t: c.relations_info(
+            wait_lsn=lsn, wait_timeout=t))
+
+    def relation(self, name: str) -> HistoricalRelation:
+        """The named relation's full current value, from a replica."""
+        return self._routed(lambda c, lsn, t: c.relation(
+            name, wait_lsn=lsn, wait_timeout=t))
+
+    def storage(self, name: str) -> str:
+        """The named relation's storage kind, from a replica."""
+        return self._routed(lambda c, lsn, t: c.storage(
+            name, wait_lsn=lsn, wait_timeout=t))
+
+    def status(self) -> dict:
+        """The primary's STATUS frame — includes the per-replica lag
+        table the shell's ``\\replicas`` renders."""
+        return self.primary.status()
+
+    def __getitem__(self, name: str) -> HistoricalRelation:
+        return self.relation(name)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(summary["name"] for summary in self.relations_info())
+
+    def __len__(self) -> int:
+        return len(self.relations_info())
+
+    def __contains__(self, name: object) -> bool:
+        return any(summary["name"] == name
+                   for summary in self.relations_info())
+
+    # -- writes: straight to the primary -------------------------------------
+
+    def insert(self, name: str, lifespan: Lifespan,
+               values: Mapping[str, Any]) -> HistoricalTuple:
+        """Insert on the primary (see :meth:`Client.insert`)."""
+        return self.primary.insert(name, lifespan, values)
+
+    def update(self, name: str, key: tuple, at: int,
+               changes: Mapping[str, Any]) -> HistoricalTuple:
+        """Update on the primary (see :meth:`Client.update`)."""
+        return self.primary.update(name, key, at, changes)
+
+    def terminate(self, name: str, key: tuple, at: int) -> HistoricalTuple:
+        """Terminate on the primary (see :meth:`Client.terminate`)."""
+        return self.primary.terminate(name, key, at)
+
+    def reincarnate(self, name: str, key: tuple, lifespan: Lifespan,
+                    values: Mapping[str, Any]) -> HistoricalTuple:
+        """Reincarnate on the primary (see :meth:`Client.reincarnate`)."""
+        return self.primary.reincarnate(name, key, lifespan, values)
+
+    def evolve_scheme(self, name: str, new_scheme: RelationScheme) -> None:
+        """Evolve a scheme on the primary (see
+        :meth:`Client.evolve_scheme`)."""
+        self.primary.evolve_scheme(name, new_scheme)
+
+    def create_relation(self, scheme: RelationScheme, tuples: Any = (), *,
+                        storage: str = "memory", **backend_options) -> None:
+        """Create a relation on the primary (see
+        :meth:`Client.create_relation`)."""
+        self.primary.create_relation(scheme, tuples, storage=storage,
+                                     **backend_options)
+
+    def drop_relation(self, name: str) -> None:
+        """Drop a relation on the primary (see
+        :meth:`Client.drop_relation`)."""
+        self.primary.drop_relation(name)
+
+    def transaction(self) -> RemoteTransaction:
+        """Open a transaction on the primary (see
+        :meth:`Client.transaction`)."""
+        return self.primary.transaction()
+
+    def run_transaction(self, body, *, attempts: int = 5):
+        """Run *body* transactionally on the primary (see
+        :meth:`Client.run_transaction`)."""
+        return self.primary.run_transaction(body, attempts=attempts)
+
+    def checkpoint(self) -> int:
+        """Checkpoint the primary (replicas mirror the generation
+        switch through the stream)."""
+        return self.primary.checkpoint()
+
+    def flush(self) -> None:
+        """Flush the primary's acknowledged commits to stable storage."""
+        self.primary.flush()
+
+    def __repr__(self) -> str:
+        host, port = self.primary._address
+        state = "closed" if self._closed else "open"
+        return (f"RoutedClient({self.name!r} at {host}:{port} + "
+                f"{len(self._replicas)} replicas, {state})")
+
+
+class RoutedPrepared:
+    """A prepared statement that routes like :meth:`RoutedClient.query`.
+
+    The statement is prepared lazily on each server it actually runs
+    on (ids are per-connection), cached per target, and re-prepared
+    after reconnects by the underlying :class:`RemotePrepared`.
+    """
+
+    def __init__(self, routed: RoutedClient, source: str):
+        self._routed = routed
+        self.source = source
+        self._primary = routed.primary.prepare(source)
+        #: The ``:name`` parameters the statement expects.
+        self.param_names = self._primary.param_names
+        self._per_target: dict[Tuple[str, int],
+                               Tuple[Client, RemotePrepared]] = {}
+
+    def query(self, params: Optional[Mapping[str, Any]] = None
+              ) -> RemoteResult:
+        """Bind and run on the next live replica, else the primary."""
+        routed = self._routed
+        token = routed.primary.last_commit_lsn
+        for client in routed._read_targets():
+            try:
+                cached = self._per_target.get(client._address)
+                if cached is None or cached[0] is not client:
+                    prepared = client.prepare(self.source)
+                    self._per_target[client._address] = (client, prepared)
+                else:
+                    prepared = cached[1]
+                return prepared.query(params, wait_lsn=token,
+                                      wait_timeout=routed.replica_wait)
+            except (ReplicaLagError, ConnectionLostError):
+                continue
+        return self._primary.query(params)
+
+    def __repr__(self) -> str:
+        names = ", ".join(f":{n}" for n in self.param_names) or "no parameters"
+        return f"RoutedPrepared({self.source!r}, {names})"

@@ -157,6 +157,45 @@ class RecoveryError(StorageError):
     consistent state (bad manifest, snapshot/WAL mismatch)."""
 
 
+class ReplicationError(StorageError):
+    """The replication stream between a primary and a replica broke in
+    a way a reconnect cannot paper over mid-flight (handshake refused,
+    inconsistent stream position, non-durable primary). The replica's
+    sync loop reacts by dropping the connection and re-subscribing —
+    the primary then decides between resuming the stream and shipping
+    a fresh snapshot."""
+
+
+class ReadOnlyError(StorageError):
+    """A mutating frame reached a read-only server (a replica). Writes
+    must go to the primary; the replica-aware client routes them there
+    automatically (see :mod:`repro.client`)."""
+
+
+class ConnectionLostError(StorageError):
+    """The client's server connection dropped mid-request.
+
+    **Retryable**: the client has already re-dialed (or will on the
+    next request), so re-issuing the same logic is the documented
+    response. Reads are retried transparently; mutations surface this
+    error instead, because a request that died in flight may or may
+    not have been applied — the caller decides whether re-running is
+    safe (``run_transaction`` re-runs bodies, never in-flight
+    commits)."""
+
+    retryable = True
+
+
+class ReplicaLagError(StorageError):
+    """A replica could not satisfy a read-your-writes token in time:
+    the read carried a commit LSN the replica had not applied within
+    the wait budget. **Retryable** — against the primary (which
+    trivially has its own commits) or a less-lagged replica; the
+    routed client does exactly that fallback."""
+
+    retryable = True
+
+
 class QueryError(HRDMError):
     """Base class for query-language errors."""
 

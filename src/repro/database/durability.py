@@ -149,14 +149,22 @@ class DurabilityManager:
                     f"WAL record generation {record.generation} is ahead of "
                     f"the manifest ({self.generation}); refusing to guess"
                 )
-            self._replay(db, record)
+            self.replay(db, record)
             db._version += 1
+        # Restore the LSN floor: a checkpoint-emptied log carries no
+        # records to speak for the counter, and replication positions
+        # must stay monotone across restarts.
+        self.wal.ensure_lsn(int(manifest.get("wal_lsn", 0)))
 
-    def _replay(self, db: "HistoricalDatabase", record: CommitRecord) -> None:
+    def replay(self, db: "HistoricalDatabase", record: CommitRecord) -> None:
         """Apply one committed record through the backend write paths.
 
         Constraints are *not* re-checked: the record was only written
-        because they passed at commit time.
+        because they passed at commit time. Recovery replays the
+        surviving log through here at open; a **replica**
+        (:mod:`repro.replication`) replays its primary's streamed
+        records through the same path, so a replicated catalog is
+        byte-for-byte the recovered one.
         """
         from repro.database.backends import BACKENDS
 
@@ -212,7 +220,18 @@ class DurabilityManager:
 
     # -- checkpointing -----------------------------------------------------
 
-    def checkpoint(self, db: "HistoricalDatabase") -> int:
+    @property
+    def position(self) -> tuple[int, int]:
+        """The durable stream position: ``(generation, last LSN)``.
+
+        This is the coordinate system replication speaks: generations
+        advance at checkpoints, LSNs advance by one per commit and are
+        monotone across restarts (the manifest persists the counter).
+        """
+        return self.generation, self.wal.last_lsn
+
+    def checkpoint(self, db: "HistoricalDatabase",
+                   generation: Optional[int] = None) -> int:
         """Write a consistent snapshot and truncate the log.
 
         Protocol (crash-safe at every boundary):
@@ -226,9 +245,22 @@ class DurabilityManager:
         ignores the half-written new snapshots. A crash between (2)
         and (3) leaves stale WAL records, which replay skips by their
         generation stamp. Returns the new generation.
+
+        *generation* overrides the default ``G+1``: a replica that sees
+        its primary's stream jump generations mid-flight mirrors the
+        primary's checkpoint locally under the **primary's** number, so
+        both sides keep speaking the same ``(generation, lsn)``
+        positions. It must advance the current generation.
         """
         self._ensure_open()
-        new_generation = self.generation + 1
+        if generation is None:
+            new_generation = self.generation + 1
+        elif generation <= self.generation:
+            raise StorageError(
+                f"checkpoint generation {generation} does not advance the "
+                f"current one ({self.generation})")
+        else:
+            new_generation = generation
         for name, backend in db._backends.items():
             self.pager.write_snapshot(name, new_generation, backend.to_snapshot())
         self.write_manifest(db, new_generation)
@@ -244,6 +276,7 @@ class DurabilityManager:
             "format": pager_mod.FORMAT_VERSION,
             "name": db.name,
             "generation": self.generation if generation is None else generation,
+            "wal_lsn": self.wal.last_lsn,
             "time_domain": pager_mod.time_domain_to_dict(db.time_domain),
             "relations": {
                 name: {

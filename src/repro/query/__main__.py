@@ -13,7 +13,11 @@ Commands::
     \\set NAME VALUE      bind a session parameter (int, float, or 'str')
     \\params              show the session parameter bindings
     \\open PATH           open (or create) a durable database directory
-    \\connect HOST:PORT   switch to a remote database server
+    \\connect HOST:PORT[,HOST:PORT...]
+                         switch to a remote database server; extra
+                         addresses are read replicas (reads round-robin
+                         across them, writes go to the first address)
+    \\replicas            per-replica lag, from the server's STATUS frame
     \\checkpoint          snapshot the open durable database, truncate its WAL
     \\timing              toggle wall-clock reporting per statement
     \\quit                exit
@@ -51,8 +55,9 @@ from repro.workloads import PersonnelConfig, generate_personnel
 BANNER = """\
 HRDM / HRQL shell — demo relation: EMP(NAME*, SALARY, DEPT), months 0..120
 Type an HRQL query (\\set binds :name parameters), \\relations,
-\\timelines EMP, \\open PATH (durable database), \\connect HOST:PORT
-(remote server), \\checkpoint, \\timing, or \\quit.
+\\timelines EMP, \\open PATH (durable database), \\connect
+HOST:PORT[,REPLICA...] (remote server, optional read replicas),
+\\replicas (replication lag), \\checkpoint, \\timing, or \\quit.
 """
 
 MAX_TABLE_ROWS = 40
@@ -137,20 +142,57 @@ def execute(line: str, env: HistoricalDatabase,
     if stripped.startswith("\\connect"):
         parts = stripped.split(maxsplit=1)
         if len(parts) < 2:
-            return "usage: \\connect HOST:PORT"
+            return "usage: \\connect HOST:PORT[,HOST:PORT...]"
         if state is None:
             return "error: \\connect needs an interactive session to switch into"
         from repro.client import connect
 
+        # First address is the primary; any further comma-separated
+        # addresses are read replicas the routed client fans reads to.
+        addresses = [a.strip() for a in parts[1].split(",") if a.strip()]
         try:
-            client = connect(parts[1])
+            client = connect(addresses[0], replicas=addresses[1:] or None)
         except (HRDMError, OSError) as exc:
             return f"error: {exc}"
         _release(env)
         state["env"] = client
-        host, port = parts[1].rsplit(":", 1)[0], parts[1].rsplit(":", 1)[1]
+        host, port = addresses[0].rsplit(":", 1)
+        suffix = (f", reads routed across {len(addresses) - 1} replica(s)"
+                  if len(addresses) > 1 else "")
         return (f"connected to database {client.name!r} at {host}:{port} "
-                f"({len(client)} relation(s))")
+                f"({len(client)} relation(s)){suffix}")
+    if stripped == "\\replicas":
+        if not getattr(env, "remote", False):
+            return ("error: \\replicas needs a server connection; "
+                    "\\connect HOST:PORT[,REPLICA...] first")
+        try:
+            status = env.status()
+        except HRDMError as exc:
+            return f"error: {exc}"
+        if status.get("role") == "replica":
+            info = status.get("replica", {})
+            link = ("connected" if info.get("connected")
+                    else "reconnecting to primary")
+            return (f"  this server is a replica of {info.get('primary')}: "
+                    f"applied (generation {info.get('applied_generation')}, "
+                    f"lsn {info.get('applied_lsn')}) [{link}]")
+        replicas = status.get("replicas", [])
+        if not replicas:
+            return "no replicas attached to this primary"
+        lines = [f"primary at generation {status.get('generation')}, "
+                 f"lsn {status.get('lsn')}:"]
+        for rep in replicas:
+            ack = rep.get("seconds_since_ack")
+            lines.append(
+                f"  {rep['id']} @ {rep.get('address')}: applied "
+                f"(generation {rep.get('applied_generation')}, "
+                f"lsn {rep.get('applied_lsn')}), "
+                f"{rep.get('records_behind')} record(s) / "
+                f"{rep.get('bytes_behind')} byte(s) behind, last ack "
+                f"{'never' if ack is None else f'{ack:.1f}s ago'} "
+                f"[{'connected' if rep.get('connected') else 'disconnected'}"
+                f", {rep.get('mode')}]")
+        return "\n".join(lines)
     if stripped == "\\timing":
         if state is None:
             return "error: \\timing needs an interactive session"

@@ -1,0 +1,83 @@
+"""Run a read replica: ``python -m repro.replication``.
+
+Usage::
+
+    python -m repro.replication PATH --primary HOST:PORT
+                                [--host H] [--port P]
+                                [--replica-id ID]
+                                [--sync always|batch|never]
+                                [--wal-batch-size N]
+
+``PATH`` is the replica's own durable directory (created if missing) —
+its local mirror of the primary's history, recovered on restart like
+any database directory. ``--primary`` names the primary server to
+subscribe to. The process prints one ``listening on HOST:PORT`` line
+once its read-only query port is bound (drivers spawning it as a
+subprocess parse the real port from that line under ``--port 0``), then
+syncs forever: snapshot bootstrap when needed, streamed WAL apply,
+reconnect with exponential backoff when the primary goes away.
+SIGINT / SIGTERM shut down gracefully.
+
+Read from it with :func:`repro.client.connect` (directly, or as a
+``replicas=[...]`` entry of a routed client), or from the HRQL shell
+via ``\\connect PRIMARY,REPLICA``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import signal
+import sys
+
+from repro.core.errors import HRDMError
+from repro.replication.replica import ReplicaServer
+from repro.storage.wal import SYNC_POLICIES
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.replication",
+        description="Run a read replica of a served historical database.")
+    parser.add_argument("path",
+                        help="replica database directory (created if missing)")
+    parser.add_argument("--primary", required=True,
+                        help="the primary server, HOST:PORT")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=0,
+                        help="read-only query port (0 binds an ephemeral one)")
+    parser.add_argument("--replica-id", default=None,
+                        help="stable identity in the primary's lag registry")
+    parser.add_argument("--sync", default="batch", choices=SYNC_POLICIES,
+                        help="local WAL fsync policy")
+    parser.add_argument("--wal-batch-size", type=int, default=64,
+                        help="local group-commit window under --sync batch")
+    args = parser.parse_args(argv)
+    try:
+        replica = ReplicaServer(
+            args.path, args.primary, host=args.host, port=args.port,
+            replica_id=args.replica_id, sync=args.sync,
+            wal_batch_size=args.wal_batch_size)
+    except HRDMError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    def shut_down(signum, frame):
+        raise KeyboardInterrupt
+
+    signal.signal(signal.SIGINT, shut_down)
+    signal.signal(signal.SIGTERM, shut_down)
+    host, port = replica.address
+    print(f"replica of {args.primary} — listening on {host}:{port}",
+          flush=True)
+    try:
+        replica.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        replica.stop()
+        print("replica stopped", flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

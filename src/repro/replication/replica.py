@@ -1,0 +1,385 @@
+"""The replica — a read-only server that mirrors a primary's history.
+
+A :class:`ReplicaServer` owns three cooperating pieces:
+
+* a local durable :class:`~repro.database.database.HistoricalDatabase`
+  in its own directory — the replica's state survives restarts the
+  same way the primary's does (manifest + snapshots + WAL), so a
+  replica killed at any point reopens, recovers, and re-subscribes
+  from its recovered ``(generation, lsn)`` position;
+* a **sync loop** on a background thread: subscribe to the primary,
+  install a shipped snapshot when the handshake says so, then apply
+  streamed commit records one by one — each is appended to the local
+  WAL under the primary's exact identity
+  (:meth:`~repro.storage.wal.WriteAheadLog.append_record`), replayed
+  through the recovery path
+  (:meth:`~repro.database.durability.DurabilityManager.replay`), and
+  published as a fresh committed cut through the MVCC machinery, so a
+  reader mid-query keeps its snapshot and never sees half a commit.
+  Disconnects trigger reconnection with exponential backoff; a
+  generation jump in the stream (the primary checkpointed) is mirrored
+  as a local checkpoint under the primary's generation number;
+* a read-only :class:`~repro.server.DatabaseServer` on its own port:
+  the full query protocol, mutations refused with
+  :class:`~repro.core.errors.ReadOnlyError`, STATUS extended with the
+  replica's applied position and primary link, and read-your-writes
+  tokens honored via :meth:`wait_applied` (timeout → the retryable
+  :class:`~repro.core.errors.ReplicaLagError`, which sends the routed
+  client back to the primary).
+
+``python -m repro.replication PATH --primary HOST:PORT`` runs one from
+the command line; tests and benchmarks embed it in-process exactly
+like :class:`~repro.server.DatabaseServer`.
+"""
+
+from __future__ import annotations
+
+import base64
+import os
+import socket
+import threading
+import time
+from typing import Any, Mapping, Optional, Tuple, Union
+
+from repro.core.domains import ValueDomain
+from repro.core.errors import (HRDMError, ReplicaLagError, ReplicationError,
+                               StorageError)
+from repro.database.concurrency import WriteSet
+from repro.database.database import HistoricalDatabase
+from repro.server import DatabaseServer, protocol
+from repro.storage import pager as pager_mod
+from repro.storage.pager import Pager
+from repro.storage.wal import CommitRecord
+
+#: Socket timeout while waiting for stream frames (poll granularity).
+_POLL_SECONDS = 0.2
+
+#: Reconnect backoff bounds (doubled per failed attempt).
+_BACKOFF_MIN = 0.05
+_BACKOFF_MAX = 5.0
+
+
+def _parse_address(address: Union[str, Tuple[str, int]]) -> Tuple[str, int]:
+    if isinstance(address, tuple):
+        host, port = address
+        return host, int(port)
+    host, _, port_text = str(address).rpartition(":")
+    if not host:
+        raise StorageError(f"need HOST:PORT, got {address!r}")
+    try:
+        return host, int(port_text)
+    except ValueError:
+        raise StorageError(
+            f"need a numeric port, got {port_text!r}") from None
+
+
+class ReplicaServer:
+    """One read replica: local durable state + sync loop + TCP server.
+
+    >>> # doctest-free sketch; see docs/replication.md for a live one
+    >>> # replica = ReplicaServer("replica-dir", primary_server.address)
+    >>> # replica.start(); ...; replica.stop()
+    """
+
+    def __init__(self, path: str,
+                 primary: Union[str, Tuple[str, int]], *,
+                 host: str = "127.0.0.1", port: int = 0,
+                 replica_id: Optional[str] = None,
+                 sync: str = "batch", wal_batch_size: int = 64,
+                 domains: Optional[Mapping[str, ValueDomain]] = None,
+                 connect_timeout: float = 5.0):
+        self.path = path
+        self.primary_address = _parse_address(primary)
+        self.replica_id = replica_id or f"replica-{os.getpid()}"
+        self._sync = sync
+        self._batch_size = wal_batch_size
+        self._domains = dict(domains or {})
+        self._connect_timeout = connect_timeout
+        self.db = self._open_db()
+        self._cond = threading.Condition()
+        self._applied: Tuple[int, int] = self.db._durability.position
+        self._connected = False
+        self._last_frame: Optional[float] = None
+        self._last_error: Optional[str] = None
+        self._backoff = _BACKOFF_MIN
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self.server = DatabaseServer(
+            self.db, host, port, read_only=True, role="replica",
+            status_extra=self._status_extra, lsn_waiter=self.wait_applied)
+
+    def _open_db(self) -> HistoricalDatabase:
+        return HistoricalDatabase(
+            path=self.path, sync=self._sync,
+            wal_batch_size=self._batch_size, domains=self._domains)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The read-only server's bound ``(host, port)``."""
+        return self.server.address
+
+    def start(self) -> None:
+        """Serve + sync on background threads; returns immediately."""
+        self.server.start()
+        self._thread = threading.Thread(
+            target=self._run, name=f"hrdm-replica:{self.address[1]}",
+            daemon=True)
+        self._thread.start()
+
+    def serve_forever(self) -> None:
+        """Sync on a background thread, serve on the calling thread."""
+        self._thread = threading.Thread(
+            target=self._run, name=f"hrdm-replica:{self.address[1]}",
+            daemon=True)
+        self._thread.start()
+        self.server.serve_forever()
+
+    def stop(self) -> None:
+        """Stop syncing and serving; close the local database."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(10)
+            self._thread = None
+        self.server.stop()
+        if not self.db.closed:
+            self.db.close()
+
+    def __enter__(self) -> "ReplicaServer":
+        self.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.stop()
+        return False
+
+    # -- observability -----------------------------------------------------
+
+    @property
+    def applied(self) -> Tuple[int, int]:
+        """The last applied ``(generation, lsn)``."""
+        return self._applied
+
+    def wait_applied(self, lsn: int, timeout: float) -> None:
+        """Block until the applier covers *lsn*; the read-your-writes
+        waiter handed to the server. Raises the retryable
+        :class:`~repro.core.errors.ReplicaLagError` on timeout."""
+        with self._cond:
+            if self._cond.wait_for(lambda: self._applied[1] >= lsn,
+                                   timeout):
+                return
+            applied = self._applied[1]
+        raise ReplicaLagError(
+            f"replica {self.replica_id} is at LSN {applied}, short of "
+            f"the read's token {lsn} after {timeout:.3g}s — read from "
+            f"the primary instead")
+
+    def _status_extra(self) -> dict:
+        generation, lsn = self._applied
+        last = self._last_frame
+        return {"replica": {
+            "id": self.replica_id,
+            "primary": "%s:%d" % self.primary_address,
+            "applied_generation": generation,
+            "applied_lsn": lsn,
+            "connected": self._connected,
+            "seconds_since_frame": (
+                None if last is None else round(time.monotonic() - last, 3)),
+            "last_error": self._last_error,
+        }}
+
+    # -- the sync loop -----------------------------------------------------
+
+    def _run(self) -> None:
+        while not self._stop.is_set():
+            try:
+                self._sync_once()
+            except (OSError, HRDMError) as exc:
+                self._last_error = f"{type(exc).__name__}: {exc}"
+            finally:
+                self._connected = False
+            if self._stop.is_set():
+                break
+            self._stop.wait(self._backoff)
+            self._backoff = min(self._backoff * 2, _BACKOFF_MAX)
+
+    def _sync_once(self) -> None:
+        """One subscription: connect, handshake, apply until it drops."""
+        sock = socket.create_connection(
+            self.primary_address, timeout=self._connect_timeout)
+        try:
+            sock.settimeout(_POLL_SECONDS)
+            buffer = bytearray()
+            generation, lsn = self.db._durability.position
+            protocol.send_frame(sock, {
+                "op": "subscribe", "replica": self.replica_id,
+                "generation": generation, "lsn": lsn,
+                "protocol": protocol.PROTOCOL_VERSION,
+            })
+            response = self._recv(sock, buffer)
+            if response is None:
+                if self._stop.is_set():
+                    return
+                raise ReplicationError("primary closed during the handshake")
+            if not response.get("ok"):
+                raise protocol.error_from_wire(response)
+            self._connected = True
+            self._backoff = _BACKOFF_MIN  # a healthy link resets the clock
+            self._note_frame()
+            if response.get("mode") == "snapshot":
+                self._install_snapshot(sock, buffer, response)
+                self._ack(sock)
+            self._stream(sock, buffer)
+        finally:
+            self._connected = False
+            sock.close()
+
+    def _stream(self, sock, buffer: bytearray) -> None:
+        while not self._stop.is_set():
+            frame = self._recv(sock, buffer)
+            if frame is None:
+                if self._stop.is_set():
+                    return
+                raise ReplicationError("primary closed the stream")
+            self._note_frame()
+            op = frame.get("op")
+            if op == "wal":
+                self._apply_frame(frame)
+                self._ack(sock)
+            elif op == "ping":
+                self._ack(sock)
+            elif op == "resync":
+                header = self._recv(sock, buffer)
+                if header is None or header.get("op") != "snapshot":
+                    raise ReplicationError(
+                        "primary announced a resync without a snapshot")
+                self._install_snapshot(sock, buffer, header)
+                self._ack(sock)
+            elif not frame.get("ok", True):
+                raise protocol.error_from_wire(frame)
+            # unknown ops are skipped: forward compatibility
+
+    def _recv(self, sock, buffer: bytearray) -> Optional[dict]:
+        return protocol.recv_frame(
+            sock, buffer, keep_waiting=lambda: not self._stop.is_set())
+
+    def _ack(self, sock) -> None:
+        generation, lsn = self._applied
+        protocol.send_frame(
+            sock, {"op": "ack", "generation": generation, "lsn": lsn})
+
+    def _note_frame(self) -> None:
+        self._last_frame = time.monotonic()
+
+    def _set_applied(self, generation: int, lsn: int) -> None:
+        with self._cond:
+            self._applied = (generation, lsn)
+            self._cond.notify_all()
+
+    # -- applying ----------------------------------------------------------
+
+    def _apply_frame(self, frame: Mapping[str, Any]) -> None:
+        """Apply one streamed commit record — WAL first, then state.
+
+        The local append under the primary's exact identity happens
+        *before* the in-memory replay (log-before-apply): a crash
+        between the two replays the record at reopen, and a failed
+        append leaves the position unchanged so the record is simply
+        re-shipped on reconnect.
+        """
+        record = CommitRecord(
+            int(frame["generation"]), int(frame["lsn"]),
+            tuple(base64.b64decode(op) for op in frame["ops"]))
+        db = self.db
+        manager = db._durability
+        generation, lsn = manager.position
+        if record.lsn <= lsn:
+            return  # overlap after a reconnect: already applied
+        if record.lsn != lsn + 1:
+            raise ReplicationError(
+                f"stream gap: expected LSN {lsn + 1}, got {record.lsn}")
+        if record.generation < manager.generation:
+            raise ReplicationError(
+                f"stream went back a generation ({record.generation} < "
+                f"{manager.generation})")
+        if record.generation > manager.generation:
+            # The primary checkpointed mid-stream: mirror it locally
+            # under the primary's generation number, so both
+            # directories keep identical (generation, lsn) coordinates.
+            with db._concurrency.write():
+                manager.checkpoint(db, generation=record.generation)
+        write_set = WriteSet()
+        for op in record.decoded():
+            write_set.record_relation(op[1])
+        with db._concurrency.write():
+            manager.wal.append_record(record.generation, record.lsn,
+                                      record.ops)
+            manager.replay(db, record)
+            db._version += 1
+            db._concurrency.committed(db._backends, write_set)
+        self._set_applied(record.generation, record.lsn)
+
+    # -- snapshot install --------------------------------------------------
+
+    def _install_snapshot(self, sock, buffer: bytearray,
+                          header: Mapping[str, Any]) -> None:
+        """Replace the local directory with a shipped consistent cut.
+
+        Write order is crash-safe: (1) truncate the local WAL — its
+        records belong to the history being replaced, and must not
+        replay on top of either the old or the new snapshot; (2) write
+        the shipped snapshot files at the shipped generation; (3)
+        atomically flip the manifest (which also carries the shipped
+        LSN as the restored counter floor); (4) clean old snapshots. A
+        crash before (3) reopens to the old checkpoint state and
+        re-subscribes from there; after (3), to the shipped cut.
+        """
+        relations = []
+        for _ in range(int(header.get("relations", 0))):
+            frame = self._recv(sock, buffer)
+            if frame is None or frame.get("op") != "snap_relation":
+                raise ReplicationError("snapshot stream truncated")
+            relations.append(frame)
+        done = self._recv(sock, buffer)
+        if done is None or done.get("op") != "snap_done":
+            raise ReplicationError("snapshot stream ended without snap_done")
+        generation = int(header["generation"])
+        lsn = int(header["lsn"])
+
+        self.db.close()  # releases the directory lock for the rewrite
+        pager = Pager(self.path)
+        open(pager.wal_path, "wb").close()  # (1) drop the replaced history
+        for frame in relations:  # (2)
+            pager.write_snapshot(frame["name"], generation,
+                                 base64.b64decode(frame["data"]))
+        pager.write_manifest({  # (3)
+            "format": pager_mod.FORMAT_VERSION,
+            "name": header["name"],
+            "generation": generation,
+            "wal_lsn": lsn,
+            "time_domain": header["time_domain"],
+            "relations": {
+                frame["name"]: {
+                    "storage": frame["storage"],
+                    "options": frame["options"],
+                    "scheme": frame["scheme"],
+                }
+                for frame in relations
+            },
+        })
+        pager.clean_snapshots(generation)  # (4)
+
+        # Swap the served database. Connections opened from here serve
+        # the shipped cut; sessions already mid-query keep the old
+        # published snapshot (immutable in memory) and finish cleanly.
+        self.db = self._open_db()
+        self.server.db = self.db
+        self._set_applied(generation, lsn)
+
+    def __repr__(self) -> str:
+        generation, lsn = self._applied
+        state = "connected" if self._connected else "disconnected"
+        return (f"ReplicaServer({self.path!r} <- "
+                f"{self.primary_address[0]}:{self.primary_address[1]}, "
+                f"{state}, applied {generation}/{lsn})")

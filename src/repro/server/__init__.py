@@ -43,9 +43,11 @@ from __future__ import annotations
 
 import socketserver
 import threading
-from typing import Any, Mapping, Optional, Tuple
+import time
+from typing import Any, Callable, Mapping, Optional, Tuple
 
-from repro.core.errors import HRDMError, RelationError, TransactionError
+from repro.core.errors import (HRDMError, ReadOnlyError, RelationError,
+                               TransactionError)
 from repro.database.database import HistoricalDatabase
 from repro.database.result import QueryResult
 from repro.server import protocol
@@ -56,6 +58,14 @@ __all__ = ["DatabaseServer", "protocol"]
 
 #: How often a blocked connection checks the server's shutdown flag.
 _POLL_SECONDS = 0.2
+
+#: Frames a read-only server (a replica) refuses: everything that
+#: could change the catalog or its durable form.
+_MUTATING_OPS = frozenset(
+    {"execute", "begin", "commit", "rollback", "checkpoint", "flush"})
+
+#: Default wait budget for a read carrying a read-your-writes token.
+_DEFAULT_WAIT_SECONDS = 1.0
 
 
 class _WireServer(socketserver.ThreadingTCPServer):
@@ -98,6 +108,8 @@ class _Connection(socketserver.BaseRequestHandler):
                 response = protocol.error_to_wire(exc)
             except Exception as exc:  # never let one request kill the worker
                 response = protocol.error_to_wire(exc)
+            if response is None:
+                break  # the handler took the connection over (SUBSCRIBE)
             try:
                 protocol.send_frame(self.request, response)
             except protocol.ProtocolError as exc:
@@ -118,16 +130,40 @@ class _Connection(socketserver.BaseRequestHandler):
 
     # -- dispatch ----------------------------------------------------------
 
-    def dispatch(self, request: Mapping[str, Any]) -> dict:
+    def dispatch(self, request: Mapping[str, Any]) -> Optional[dict]:
         op = request.get("op")
         handler = getattr(self, f"op_{op}", None)
         if handler is None:
             raise protocol.ProtocolError(f"unknown op {op!r}")
+        if op in _MUTATING_OPS and self.server.owner.read_only:
+            raise ReadOnlyError(
+                f"this server is a read-only "
+                f"{self.server.owner.role}: send writes to the primary")
         return handler(request)
+
+    def _commit_token(self) -> Optional[int]:
+        """The LSN to hand back with a write acknowledgement.
+
+        The durable log's current LSN is at least the acknowledged
+        commit's — a conservative read-your-writes token (waiting on it
+        covers this commit and possibly a few concurrent later ones).
+        Ephemeral databases have no log and hand out no tokens.
+        """
+        durability = getattr(self.db, "_durability", None)
+        if durability is None:
+            return None
+        return durability.position[1]
+
+    def _with_token(self, frame: dict) -> dict:
+        token = self._commit_token()
+        if token is not None:
+            frame["lsn"] = token
+        return frame
 
     # -- session / introspection frames ------------------------------------
 
     def op_hello(self, request: Mapping) -> dict:
+        owner: DatabaseServer = self.server.owner
         return {
             "ok": True,
             "server": "hrdm",
@@ -135,7 +171,36 @@ class _Connection(socketserver.BaseRequestHandler):
             "database": self.db.name,
             "durable": self.db.durable,
             "now": self.db.now,
+            "role": owner.role,
+            "read_only": owner.read_only,
         }
+
+    def op_status(self, request: Mapping) -> dict:
+        """Replication observability: role, position, per-replica lag."""
+        owner: DatabaseServer = self.server.owner
+        frame: dict[str, Any] = {
+            "ok": True,
+            "role": owner.role,
+            "database": self.db.name,
+            "read_only": owner.read_only,
+        }
+        durability = getattr(self.db, "_durability", None)
+        if durability is not None:
+            generation, lsn = durability.position
+            frame["generation"] = generation
+            frame["lsn"] = lsn
+        frame["replicas"] = owner.replica_status()
+        extra = owner.status_extra
+        if extra is not None:
+            frame.update(extra())
+        return frame
+
+    def op_subscribe(self, request: Mapping) -> None:
+        """Hand the connection to the log shipper (never returns a frame)."""
+        from repro.replication import primary as primary_mod
+
+        primary_mod.serve_subscription(self, request)
+        return None
 
     @staticmethod
     def _storage_kind(relation) -> str:
@@ -145,7 +210,27 @@ class _Connection(socketserver.BaseRequestHandler):
         # recreates the catalog entry.
         return "disk" if isinstance(relation, StoredRelation) else "memory"
 
+    def _maybe_wait(self, request: Mapping) -> None:
+        """Honor a read-your-writes token on any read frame.
+
+        A replica waits until its applier has caught up to the client's
+        commit token, raising the retryable ReplicaLagError on timeout
+        (the client falls back to the primary). A primary trivially
+        satisfies any token it handed out, so waiter-less servers skip
+        ahead.
+        """
+        wait_lsn = request.get("wait_lsn")
+        if wait_lsn is None:
+            return
+        waiter = self.server.owner.lsn_waiter
+        if waiter is None:
+            return
+        timeout = request.get("wait_timeout")
+        waiter(int(wait_lsn),
+               _DEFAULT_WAIT_SECONDS if timeout is None else float(timeout))
+
     def op_relations(self, request: Mapping) -> dict:
+        self._maybe_wait(request)
         env = self.db.relations()  # one committed cut
         return {"ok": True, "relations": [
             {
@@ -158,6 +243,7 @@ class _Connection(socketserver.BaseRequestHandler):
         ]}
 
     def op_relation(self, request: Mapping) -> dict:
+        self._maybe_wait(request)
         name = request.get("name")
         env = self.db.relations()
         if name not in env:
@@ -169,6 +255,7 @@ class _Connection(socketserver.BaseRequestHandler):
     # -- querying ----------------------------------------------------------
 
     def op_query(self, request: Mapping) -> dict:
+        self._maybe_wait(request)
         params = request.get("params") or None
         if "prepared" in request:
             statement = self.prepared.get(request["prepared"])
@@ -216,7 +303,7 @@ class _Connection(socketserver.BaseRequestHandler):
         txn = self._active_txn()
         self.txn = None
         txn.commit()
-        return {"ok": True}
+        return self._with_token({"ok": True})
 
     def op_rollback(self, request: Mapping) -> dict:
         self._active_txn().rollback()
@@ -245,10 +332,10 @@ class _Connection(socketserver.BaseRequestHandler):
             return self.txn
         return self.db
 
-    @staticmethod
-    def _tuple_frame(t) -> dict:
-        return {"ok": True, "tuple": protocol.tuple_to_wire(t),
-                "scheme": pager_mod.scheme_to_dict(t.scheme)}
+    def _tuple_frame(self, t) -> dict:
+        return self._with_token(
+            {"ok": True, "tuple": protocol.tuple_to_wire(t),
+             "scheme": pager_mod.scheme_to_dict(t.scheme)})
 
     def do_insert(self, request: Mapping) -> dict:
         return self._tuple_frame(self._target.insert(
@@ -278,7 +365,7 @@ class _Connection(socketserver.BaseRequestHandler):
     def do_evolve(self, request: Mapping) -> dict:
         scheme = pager_mod.scheme_from_dict(request["scheme"])
         self._target.evolve_scheme(request["relation"], scheme)
-        return {"ok": True}
+        return self._with_token({"ok": True})
 
     def do_create(self, request: Mapping) -> dict:
         scheme = pager_mod.scheme_from_dict(request["scheme"])
@@ -287,11 +374,11 @@ class _Connection(socketserver.BaseRequestHandler):
         self.db.create_relation(scheme, tuples,
                                 storage=request.get("storage", "memory"),
                                 **(request.get("options") or {}))
-        return {"ok": True}
+        return self._with_token({"ok": True})
 
     def do_drop(self, request: Mapping) -> dict:
         self.db.drop_relation(request["relation"])
-        return {"ok": True}
+        return self._with_token({"ok": True})
 
     # -- durability ---------------------------------------------------------
 
@@ -314,15 +401,77 @@ class DatabaseServer:
     :meth:`stop` is graceful: the accept loop exits, every connection
     worker notices the shutdown flag at its next poll tick and closes,
     and in-flight requests finish first.
+
+    The replication roles reuse this one server class:
+
+    * a **primary** serves the full protocol plus SUBSCRIBE (each
+      subscribed replica gets a dedicated shipper loop on its
+      connection worker, see :mod:`repro.replication.primary`) and
+      reports per-replica lag through STATUS;
+    * a **replica** (:class:`repro.replication.replica.ReplicaServer`
+      wraps one of these with ``read_only=True``) refuses every
+      mutating frame with :class:`~repro.core.errors.ReadOnlyError`
+      and satisfies read-your-writes tokens through *lsn_waiter*.
+
+    *status_extra* is a callable merged into every STATUS frame (the
+    replica reports its applied position and primary link through it);
+    *lsn_waiter* is ``callable(lsn, timeout_seconds)`` blocking until
+    the local state covers *lsn* (raising
+    :class:`~repro.core.errors.ReplicaLagError` on timeout).
     """
 
     def __init__(self, db: HistoricalDatabase,
-                 host: str = "127.0.0.1", port: int = 0):
+                 host: str = "127.0.0.1", port: int = 0, *,
+                 read_only: bool = False, role: Optional[str] = None,
+                 status_extra: Optional[Callable[[], dict]] = None,
+                 lsn_waiter: Optional[Callable[[int, float], None]] = None):
         self.db = db
+        self.read_only = read_only
+        self.role = role or ("replica" if read_only else "primary")
+        self.status_extra = status_extra
+        self.lsn_waiter = lsn_waiter
         self.stopping = False
+        self._replicas: dict[str, dict] = {}
+        self._replicas_lock = threading.Lock()
         self._server = _WireServer((host, port), self)
         self._thread: Optional[threading.Thread] = None
         self._serving = False
+
+    # -- replica registry (primary-side observability) ---------------------
+
+    def track_replica(self, replica_id: str, **fields) -> None:
+        """Create or update one subscribed replica's registry entry.
+
+        Called by the shipper loop at handshake (address, mode),
+        per-shipment (``shipped_lsn``, ``pending_bytes``) and per-ack
+        (``applied_lsn``, ``applied_generation``, ``acked_at``). The
+        entry survives a disconnect with ``connected=False`` so lag
+        stays visible while a replica is away.
+        """
+        with self._replicas_lock:
+            entry = self._replicas.setdefault(replica_id, {
+                "id": replica_id, "address": None, "mode": None,
+                "shipped_lsn": 0, "applied_lsn": 0, "applied_generation": 0,
+                "pending_bytes": 0, "acked_at": None, "connected": False,
+            })
+            entry.update(fields)
+
+    def replica_status(self) -> list[dict]:
+        """Per-replica lag, computed against the current position."""
+        durability = getattr(self.db, "_durability", None)
+        lsn = durability.position[1] if durability is not None else 0
+        now = time.monotonic()
+        rows = []
+        with self._replicas_lock:
+            for entry in self._replicas.values():
+                row = dict(entry)
+                acked_at = row.pop("acked_at")
+                row["records_behind"] = max(0, lsn - row["applied_lsn"])
+                row["bytes_behind"] = row.pop("pending_bytes")
+                row["seconds_since_ack"] = (
+                    None if acked_at is None else round(now - acked_at, 3))
+                rows.append(row)
+        return sorted(rows, key=lambda row: row["id"])
 
     @property
     def address(self) -> Tuple[str, int]:

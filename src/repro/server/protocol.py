@@ -39,7 +39,7 @@ import socket
 import struct
 from typing import Any, Callable, Iterable, Mapping, Optional
 
-from repro.core.errors import ConflictError, HRDMError, StorageError
+from repro.core.errors import HRDMError, StorageError
 from repro.core.lifespan import Lifespan
 from repro.core.relation import HistoricalRelation
 from repro.core.scheme import RelationScheme
@@ -175,14 +175,16 @@ def values_from_wire(raw: Mapping[str, Any]) -> dict[str, Any]:
 def error_to_wire(exc: BaseException) -> dict:
     """The ERROR frame for an exception.
 
-    A :class:`~repro.core.errors.ConflictError` — an optimistic COMMIT
-    that lost its first-committer-wins race — additionally carries
-    ``retryable: true``: the transaction rolled back cleanly and the
-    client should BEGIN again against a fresh snapshot
-    (``Client.run_transaction`` wraps that loop).
+    Errors whose class marks them **retryable** additionally carry
+    ``retryable: true`` — a :class:`~repro.core.errors.ConflictError`
+    (an optimistic COMMIT that lost its first-committer-wins race:
+    BEGIN again against a fresh snapshot, ``Client.run_transaction``
+    wraps that loop) or a :class:`~repro.core.errors.ReplicaLagError`
+    (a read-your-writes token timed out on a lagging replica: re-issue
+    the read against the primary, the routed client's fallback).
     """
     frame = {"ok": False, "error": type(exc).__name__, "message": str(exc)}
-    if isinstance(exc, ConflictError):
+    if getattr(exc, "retryable", False):
         frame["retryable"] = True
     return frame
 

@@ -79,6 +79,13 @@ from typing import Any, Iterable, Optional
 from repro.core.errors import WALError
 from repro.storage.codec import decode_blobs, encode_blobs
 
+
+class WALGapError(WALError):
+    """A :class:`WALReader` met a record beyond the next expected LSN:
+    the records in between were truncated away by a checkpoint while
+    the reader was not looking. The reader cannot reconstruct them from
+    the log — the subscriber must fall back to a snapshot."""
+
 _FRAME = struct.Struct("<II")  # (payload length, crc32 of payload)
 _PAYLOAD_HEAD = struct.Struct("<IQI")  # (generation, lsn, n_ops)
 
@@ -314,33 +321,64 @@ class WriteAheadLog:
         if not materialized:
             raise WALError("a commit record needs at least one op")
         with self._mutex:
-            lsn = self._lsn + 1
-            body = [_PAYLOAD_HEAD.pack(self.generation, lsn, len(materialized))]
-            for op in materialized:
-                body.append(_U32.pack(len(op)))
-                body.append(op)
-            payload = b"".join(body)
-            frame = _FRAME.pack(len(payload), zlib.crc32(payload)) + payload
-            fh = self._file()
-            start = fh.tell()
-            try:
-                fh.write(frame)
-                fh.flush()
-                if not defer_sync:
-                    if self.sync == "always":
-                        os.fsync(fh.fileno())
-                        self._synced_lsn = lsn
-                        self._synced_end = fh.tell()
-                    elif (self.sync == "batch"
-                          and lsn - self._synced_lsn >= self.batch_size):
-                        os.fsync(fh.fileno())
-                        self._synced_lsn = lsn
-                        self._synced_end = fh.tell()
-            except Exception as exc:
-                self._retract(start, exc)
-                raise
-            self._lsn = lsn
-            return lsn
+            return self._write_frame(self.generation, self._lsn + 1,
+                                     materialized, defer_sync)
+
+    def append_record(self, generation: int, lsn: int,
+                      ops: Iterable[bytes]) -> int:
+        """Append a record under an **explicit identity** — the replica
+        replay path.
+
+        Where :meth:`append` mints the next local LSN, a replica must
+        write exactly the ``(generation, lsn)`` the primary's stream
+        carries, so that its log replays (and re-subscribes) from the
+        same positions the primary speaks. *lsn* must advance the log:
+        appending at or behind :attr:`last_lsn` is a
+        :class:`~repro.core.errors.WALError` (the applier deduplicates
+        before it gets here). Honors the sync policy like a plain
+        append — a replica may batch its local fsyncs; a crash loses an
+        unsynced tail that the next catch-up simply re-ships.
+        """
+        materialized = list(ops)
+        if not materialized:
+            raise WALError("a commit record needs at least one op")
+        with self._mutex:
+            if lsn <= self._lsn:
+                raise WALError(
+                    f"append_record at LSN {lsn} does not advance the log "
+                    f"(already at {self._lsn})")
+            return self._write_frame(generation, lsn, materialized,
+                                     defer_sync=False)
+
+    def _write_frame(self, generation: int, lsn: int,
+                     materialized: list, defer_sync: bool) -> int:
+        """Write one framed record; caller holds ``_mutex``."""
+        body = [_PAYLOAD_HEAD.pack(generation, lsn, len(materialized))]
+        for op in materialized:
+            body.append(_U32.pack(len(op)))
+            body.append(op)
+        payload = b"".join(body)
+        frame = _FRAME.pack(len(payload), zlib.crc32(payload)) + payload
+        fh = self._file()
+        start = fh.tell()
+        try:
+            fh.write(frame)
+            fh.flush()
+            if not defer_sync:
+                if self.sync == "always":
+                    os.fsync(fh.fileno())
+                    self._synced_lsn = lsn
+                    self._synced_end = fh.tell()
+                elif (self.sync == "batch"
+                      and lsn - self._synced_lsn >= self.batch_size):
+                    os.fsync(fh.fileno())
+                    self._synced_lsn = lsn
+                    self._synced_end = fh.tell()
+        except Exception as exc:
+            self._retract(start, exc)
+            raise
+        self._lsn = lsn
+        return lsn
 
     def sync_to(self, lsn: int) -> None:
         """Make the record at *lsn* durable per the sync policy.
@@ -475,6 +513,30 @@ class WriteAheadLog:
             self.generation = generation
 
     @property
+    def last_lsn(self) -> int:
+        """The LSN of the last record written (0 for a virgin log)."""
+        return self._lsn
+
+    def ensure_lsn(self, lsn: int) -> None:
+        """Raise the LSN floor to at least *lsn*.
+
+        :meth:`reset` keeps the counter within one process, but a
+        *reopened* log starts from whatever its surviving records say —
+        after a checkpoint emptied the file, that would restart LSNs at
+        0 and break every consumer that assumes ``(generation, lsn)``
+        positions are monotone across restarts (replica catch-up
+        chiefly). The durability manager persists the counter in the
+        manifest and restores it through here after recovery. Records
+        up to the floor are durable elsewhere (the checkpoint), so the
+        synced watermark advances with it.
+        """
+        with self._mutex:
+            if lsn > self._lsn:
+                self._lsn = lsn
+            if lsn > self._synced_lsn:
+                self._synced_lsn = lsn
+
+    @property
     def size_bytes(self) -> int:
         """The log's current length on disk."""
         if self._fh is not None:
@@ -508,3 +570,139 @@ class WriteAheadLog:
     def __repr__(self) -> str:
         return (f"WriteAheadLog({self.path!r}, sync={self.sync!r}, "
                 f"generation={self.generation}, lsn={self._lsn})")
+
+
+class WALReader:
+    """An LSN-addressable tail over a **live** write-ahead log.
+
+    Where :meth:`WriteAheadLog.recover` reads a log once at open time,
+    a reader follows one while its owner keeps appending — the
+    primary-side log shipper of :mod:`repro.replication` is the
+    consumer. The contract:
+
+    * :meth:`poll` returns every *complete, checksum-valid* record past
+      the reader's position, in order, each exactly once;
+    * records at or behind ``after_lsn`` (the last LSN already
+      delivered) are skipped silently — a checkpoint truncation resets
+      the file offset, not the logical position;
+    * a partial frame at the file's tail is an append in progress, not
+      an error: poll again once the writer finished;
+    * a record *beyond* ``after_lsn + 1`` raises :class:`WALGapError` —
+      the records in between were checkpointed away while the reader
+      was not looking, and only a snapshot can bridge that;
+    * a frame that fails its checksum while bytes continue past it is
+      real corruption (an appender never starts a frame before the
+      previous one is fully in the file) and raises
+      :class:`~repro.core.errors.WALError` — after one rescan from the
+      top, which absolves the common imposter: a checkpoint that
+      truncated and refilled the file past the reader's old offset
+      between polls.
+
+    The reader holds no file handle between polls and never writes, so
+    any number may tail one log (one per subscribed replica).
+    """
+
+    #: Per-poll read budget; a longer backlog arrives over several polls.
+    MAX_POLL_BYTES = 8 * 1024 * 1024
+
+    def __init__(self, path: str, after_lsn: int = 0):
+        self.path = path
+        self.after_lsn = after_lsn
+        self.offset = 0  # byte offset of the first unparsed frame
+
+    def first_lsn(self) -> Optional[int]:
+        """The LSN of the log's first complete record, or None.
+
+        The subscribe handshake uses this to decide whether the log
+        still reaches back far enough to stream a replica forward, or
+        whether its early records have been checkpointed away.
+        """
+        try:
+            with open(self.path, "rb") as fh:
+                head = fh.read(_FRAME.size + 4096)
+        except OSError:
+            return None
+        if len(head) < _FRAME.size:
+            return None
+        length, crc = _FRAME.unpack_from(head, 0)
+        if len(head) < _FRAME.size + _PAYLOAD_HEAD.size or length < _PAYLOAD_HEAD.size:
+            return None
+        _, lsn, _ = _PAYLOAD_HEAD.unpack_from(head, _FRAME.size)
+        return lsn
+
+    def poll(self) -> list[CommitRecord]:
+        """Every new complete record since the last poll (maybe none)."""
+        try:
+            size = os.path.getsize(self.path)
+        except OSError:
+            return []  # not created yet (or mid-replace): nothing new
+        if size < self.offset:
+            self.offset = 0  # checkpoint truncated the file under us
+        if size == self.offset:
+            return []
+        records, ok = self._scan(self.offset)
+        if not ok:
+            # A frame mid-file failed its checksum. The benign cause: a
+            # checkpoint truncated and refilled the file past our old
+            # offset between polls, leaving us mid-frame. One rescan
+            # from the top settles it — the LSN skip/gap logic sorts
+            # old from new; a clean file that *still* fails is corrupt.
+            records, ok = self._scan(0)
+            if not ok:
+                raise WALError(
+                    f"corrupt frame mid-log in {self.path!r} (checksum "
+                    f"failure with records beyond it)")
+        return records
+
+    #: Frame lengths past this are garbage, not data (a refilled file
+    #: read from a stale offset yields a random u32 as the "length").
+    _MAX_RECORD = 256 * 1024 * 1024
+
+    def _scan(self, start: int) -> tuple[list[CommitRecord], bool]:
+        """Parse complete frames from *start*; False on mid-log corruption.
+
+        Advances ``offset``/``after_lsn`` only when the scan succeeds,
+        so a failed scan is side-effect free for the retry.
+        """
+        records: list[CommitRecord] = []
+        delivered = self.after_lsn
+        parsed = start  # absolute offset past the frames accepted so far
+        consumed = 0
+        with open(self.path, "rb") as fh:
+            fh.seek(start)
+            while consumed < self.MAX_POLL_BYTES:
+                head = fh.read(_FRAME.size)
+                if len(head) < _FRAME.size:
+                    break  # at (or torn just short of) the current end
+                length, crc = _FRAME.unpack(head)
+                if length > self._MAX_RECORD:
+                    return [], False  # garbage header: not a frame at all
+                payload = fh.read(length)
+                if len(payload) < length:
+                    break  # an append in progress: poll again later
+                if zlib.crc32(payload) != crc:
+                    if fh.read(1):
+                        return [], False  # bytes continue past a bad frame
+                    break  # the frame's own tail is still landing
+                try:
+                    record = WriteAheadLog._decode_payload(payload)
+                except (WALError, struct.error):
+                    return [], False  # checksum-valid yet undecodable
+                parsed += _FRAME.size + length
+                consumed += _FRAME.size + length
+                if record.lsn <= delivered:
+                    continue  # rescan overlap after a truncation
+                if record.lsn != delivered + 1:
+                    raise WALGapError(
+                        f"log continues at LSN {record.lsn} but the reader "
+                        f"has only seen {delivered}: records in between were "
+                        f"checkpointed away; resynchronize from a snapshot")
+                delivered = record.lsn
+                records.append(record)
+        self.offset = parsed
+        self.after_lsn = delivered
+        return records, True
+
+    def __repr__(self) -> str:
+        return (f"WALReader({self.path!r}, after_lsn={self.after_lsn}, "
+                f"offset={self.offset})")

@@ -1,0 +1,588 @@
+"""WAL-shipping replication: shipping, catch-up, routing, crash paths.
+
+Covers the :class:`~repro.storage.wal.WALReader` tail contract (the
+shipper's view of a live log), in-process primary→replica streaming
+(catch-up, live apply, read-only enforcement, checkpoint/generation
+switches mid-stream), snapshot bootstrap when the WAL no longer
+reaches back far enough, the replica-aware routed client
+(read-your-writes tokens, round-robin, fallback), per-replica lag
+observability through STATUS, and the two crash properties the ISSUE
+pins: a replica killed with ``kill -9`` mid-replay rejoins and
+converges to a byte-identical committed cut, and a primary killed
+mid-stream leaves the replica serving its last consistent snapshot —
+verified with the same :class:`HistoryOracle` the concurrency stress
+tests use (no torn reads, cuts monotone).
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.core import domains
+from repro.core.errors import (ReadOnlyError, ReplicaLagError,
+                               StorageError, WALError)
+from repro.core.lifespan import Lifespan
+from repro.core.scheme import RelationScheme
+from repro.client import RoutedClient, connect
+from repro.database import HistoricalDatabase
+from repro.replication import ReplicaServer
+from repro.server import DatabaseServer
+from repro.storage.engine import encode_tuple
+from repro.storage import wal as wal_mod
+from repro.storage.wal import WALGapError, WALReader, WriteAheadLog
+
+from _history_oracle import HistoryOracle
+
+JOIN_TIMEOUT = 60.0
+
+_SRC = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+
+
+def _scheme(name: str = "EMP") -> RelationScheme:
+    return RelationScheme(name, {
+        "NAME": domains.cd(domains.STRING),
+        "SALARY": domains.td(domains.INTEGER),
+        "DEPT": domains.td(domains.STRING),
+    }, key=["NAME"])
+
+
+def _open_primary(path: str) -> HistoricalDatabase:
+    db = HistoricalDatabase(path=path, sync="batch")
+    db.create_relation(_scheme(), storage="disk")
+    return db
+
+
+def _insert(target, name: str, salary: int = 1) -> None:
+    target.insert("EMP", Lifespan.interval(0, 9),
+                  {"NAME": name, "SALARY": salary, "DEPT": "X"})
+
+
+def _cut(catalog) -> set:
+    """A relation's committed cut as its exact record encodings."""
+    return {encode_tuple(t) for t in catalog["EMP"]}
+
+
+def _await(predicate, timeout: float = JOIN_TIMEOUT) -> None:
+    deadline = time.time() + timeout
+    while time.time() < deadline:
+        if predicate():
+            return
+        time.sleep(0.02)
+    raise AssertionError("condition not reached before the deadline")
+
+
+# ---------------------------------------------------------------------------
+# WALReader: the shipper's tail over a live log.
+# ---------------------------------------------------------------------------
+
+
+class TestWALReader:
+    def test_delivers_each_record_exactly_once(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        wal = WriteAheadLog(path, sync="always")
+        reader = WALReader(path)
+        assert reader.poll() == []  # nothing yet
+        wal.append([wal_mod.encode_drop("A")])
+        wal.append([wal_mod.encode_drop("B"), wal_mod.encode_drop("C")])
+        first = reader.poll()
+        assert [r.lsn for r in first] == [1, 2]
+        assert first[0].decoded() == [("drop", "A")]
+        assert reader.poll() == []  # exactly once
+        wal.append([wal_mod.encode_drop("D")])
+        assert [r.lsn for r in reader.poll()] == [3]
+        wal.close()
+
+    def test_skips_up_to_after_lsn(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        wal = WriteAheadLog(path, sync="always")
+        for name in "ABCD":
+            wal.append([wal_mod.encode_drop(name)])
+        records = WALReader(path, after_lsn=2).poll()
+        assert [r.lsn for r in records] == [3, 4]
+        wal.close()
+
+    def test_partial_tail_means_wait_not_fail(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        wal = WriteAheadLog(path, sync="always")
+        wal.append([wal_mod.encode_drop("A")])
+        wal.close()
+        complete = open(path, "rb").read()
+        # Rewrite the file with a torn copy of the same frame appended:
+        # an in-flight write the reader must wait out, not reject.
+        with open(path, "wb") as fh:
+            fh.write(complete + complete[: len(complete) - 3])
+        reader = WALReader(path)
+        assert [r.lsn for r in reader.poll()] == [1]
+        assert reader.poll() == []  # still in flight
+        with open(path, "wb") as fh:  # the write completes
+            fh.write(complete + complete)
+        # ...but a completed duplicate LSN is simply skipped.
+        assert reader.poll() == []
+
+    def test_lsn_gap_raises(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        wal = WriteAheadLog(path, sync="always")
+        wal.append_record(0, 1, [wal_mod.encode_drop("A")])
+        wal.append_record(0, 5, [wal_mod.encode_drop("B")])
+        reader = WALReader(path)
+        with pytest.raises(WALGapError):
+            reader.poll()
+        wal.close()
+
+    def test_truncation_resets_to_head(self, tmp_path):
+        """A checkpoint truncates the log; the reader rescans from 0
+        and sees the post-checkpoint records (gapped LSNs surface as
+        WALGapError for the shipper to answer with a snapshot)."""
+        path = str(tmp_path / "wal.log")
+        wal = WriteAheadLog(path, sync="always")
+        wal.append([wal_mod.encode_drop("A")])
+        wal.append([wal_mod.encode_drop("B")])
+        reader = WALReader(path)
+        assert len(reader.poll()) == 2
+        wal.reset(generation=1)  # checkpoint: truncate, next gen
+        wal.append([wal_mod.encode_drop("C")])  # lsn 3 continues
+        records = reader.poll()
+        assert [(r.generation, r.lsn) for r in records] == [(1, 3)]
+        wal.close()
+
+    def test_first_lsn(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        wal = WriteAheadLog(path, sync="always")
+        assert WALReader(path).first_lsn() is None
+        wal.append([wal_mod.encode_drop("A")])
+        wal.append([wal_mod.encode_drop("B")])
+        assert WALReader(path).first_lsn() == 1
+        wal.reset(generation=1)
+        wal.append([wal_mod.encode_drop("C")])
+        assert WALReader(path).first_lsn() == 3
+        wal.close()
+
+    def test_mid_log_corruption_raises_walerror(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        wal = WriteAheadLog(path, sync="always")
+        wal.append([wal_mod.encode_drop("A")])
+        wal.append([wal_mod.encode_drop("B")])
+        wal.close()
+        data = bytearray(open(path, "rb").read())
+        # Flip a byte inside the FIRST record's payload: its checksum
+        # fails while a complete frame follows — real corruption, not a
+        # tail still landing.
+        data[wal_mod._FRAME.size + 2] ^= 0xFF
+        with open(path, "wb") as fh:
+            fh.write(bytes(data))
+        with pytest.raises(WALError):
+            WALReader(path).poll()
+
+
+# ---------------------------------------------------------------------------
+# In-process end-to-end: stream, snapshot bootstrap, read-only, lag.
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture()
+def primary(tmp_path):
+    db = _open_primary(str(tmp_path / "primary"))
+    with DatabaseServer(db) as server:
+        yield db, server
+    db.close()
+
+
+class TestStreaming:
+    def test_catch_up_then_live_apply(self, primary, tmp_path):
+        db, server = primary
+        _insert(db, "Before")
+        with ReplicaServer(str(tmp_path / "replica"), server.address) as rep:
+            _await(lambda: rep.applied == db._durability.position)
+            _insert(db, "After")
+            _await(lambda: rep.applied == db._durability.position)
+            with connect(*rep.address) as reader:
+                assert reader.role == "replica"
+                names = {t.key_value()[0] for t in reader["EMP"]}
+            assert {"Before", "After"} <= names
+            assert _cut(rep.db) == _cut(db)
+
+    def test_replica_refuses_writes(self, primary, tmp_path):
+        _, server = primary
+        with ReplicaServer(str(tmp_path / "replica"), server.address) as rep:
+            with connect(*rep.address) as reader:
+                with pytest.raises(ReadOnlyError):
+                    _insert(reader, "Nope")
+                with pytest.raises(ReadOnlyError):
+                    reader.checkpoint()
+
+    def test_checkpoint_mid_stream_mirrors_generation(self, primary,
+                                                      tmp_path):
+        db, server = primary
+        with ReplicaServer(str(tmp_path / "replica"), server.address) as rep:
+            _insert(db, "One")
+            db.checkpoint()
+            _insert(db, "Two")
+            _await(lambda: rep.applied == db._durability.position)
+            assert rep.applied[0] == db._durability.generation > 0
+            assert _cut(rep.db) == _cut(db)
+
+    def test_lag_metrics_via_status(self, primary, tmp_path):
+        db, server = primary
+        with ReplicaServer(str(tmp_path / "replica"), server.address,
+                           replica_id="lag-probe") as rep:
+            _insert(db, "Row")
+            _await(lambda: rep.applied == db._durability.position)
+            with connect(*server.address) as c:
+                _await(lambda: any(
+                    r["id"] == "lag-probe" and r["connected"] and
+                    r["records_behind"] == 0
+                    for r in c.status()["replicas"]))
+                row = [r for r in c.status()["replicas"]
+                       if r["id"] == "lag-probe"][0]
+            assert row["mode"] in ("stream", "snapshot")
+            assert row["applied_lsn"] == db._durability.position[1]
+            assert row["bytes_behind"] == 0
+            assert row["seconds_since_ack"] is not None
+            with connect(*rep.address) as c:
+                mine = c.status()["replica"]
+            assert mine["connected"] is True
+            assert mine["applied_lsn"] == db._durability.position[1]
+
+    def test_registry_survives_disconnect(self, primary, tmp_path):
+        db, server = primary
+        with ReplicaServer(str(tmp_path / "replica"), server.address,
+                           replica_id="comes-and-goes") as rep:
+            _await(lambda: rep.applied == db._durability.position)
+        # The replica is gone; its lag row remains, marked disconnected.
+        _insert(db, "While-away")
+        with connect(*server.address) as c:
+            _await(lambda: any(
+                r["id"] == "comes-and-goes" and not r["connected"]
+                for r in c.status()["replicas"]))
+            row = [r for r in c.status()["replicas"]
+                   if r["id"] == "comes-and-goes"][0]
+            assert row["records_behind"] >= 1
+
+
+class TestSnapshotBootstrap:
+    def test_fresh_replica_after_checkpoint_bootstraps(self, primary,
+                                                       tmp_path):
+        db, server = primary
+        _insert(db, "Old")
+        db.checkpoint()  # truncates the WAL: streaming from 0 impossible
+        _insert(db, "New")
+        with ReplicaServer(str(tmp_path / "replica"), server.address) as rep:
+            _await(lambda: rep.applied == db._durability.position)
+            assert _cut(rep.db) == _cut(db)
+
+    def test_rejoin_across_missed_checkpoints(self, primary, tmp_path):
+        db, server = primary
+        path = str(tmp_path / "replica")
+        with ReplicaServer(path, server.address) as rep:
+            _await(lambda: rep.applied == db._durability.position)
+        # Replica offline while the primary checkpoints repeatedly: its
+        # resume LSN predates the WAL head, forcing a snapshot rejoin.
+        for i in range(3):
+            _insert(db, f"Missed{i}")
+            db.checkpoint()
+        with ReplicaServer(path, server.address) as rep:
+            _await(lambda: rep.applied == db._durability.position)
+            assert rep.applied == db._durability.position
+            assert _cut(rep.db) == _cut(db)
+        # The installed snapshot is durable: a cold reopen of the
+        # replica directory recovers the identical cut.
+        reopened = HistoricalDatabase(path=path)
+        try:
+            assert _cut(reopened) == _cut(db)
+            assert reopened._durability.position == db._durability.position
+        finally:
+            reopened.close()
+
+    def test_replica_reconnects_after_primary_restart(self, tmp_path):
+        db = _open_primary(str(tmp_path / "primary"))
+        server = DatabaseServer(db)
+        server.start()
+        _insert(db, "First")
+        with ReplicaServer(str(tmp_path / "replica"), server.address) as rep:
+            _await(lambda: rep.applied == db._durability.position)
+            address = server.address
+            server.stop()
+            db.close()
+            # The replica is now retrying with backoff. Bring the
+            # primary back on the same port with more history.
+            db = HistoricalDatabase(path=str(tmp_path / "primary"),
+                                    sync="batch")
+            _insert(db, "Second")
+            server = DatabaseServer(db, host=address[0], port=address[1])
+            server.start()
+            try:
+                _await(lambda: rep.applied == db._durability.position)
+                assert _cut(rep.db) == _cut(db)
+            finally:
+                server.stop()
+                db.close()
+
+
+# ---------------------------------------------------------------------------
+# The routed client: read-your-writes, round-robin, fallback.
+# ---------------------------------------------------------------------------
+
+
+class TestRoutedClient:
+    def test_connect_with_replicas_routes(self, primary, tmp_path):
+        db, server = primary
+        with ReplicaServer(str(tmp_path / "r1"), server.address) as r1, \
+                ReplicaServer(str(tmp_path / "r2"), server.address) as r2:
+            routed = connect(server.address,
+                             replicas=[r1.address, r2.address])
+            assert isinstance(routed, RoutedClient)
+            try:
+                _insert(routed, "Mine")
+                assert routed.last_commit_lsn > 0
+                # Read-your-writes: the very next read (a replica read)
+                # must include the acknowledged write.
+                names = {t.key_value()[0]
+                         for t in routed.query("SELECT WHEN SALARY >= 0 "
+                                               "DURING [0, 9] IN EMP")}
+                assert "Mine" in names
+                # Catalog reads route too, with the same token.
+                assert "EMP" in routed
+                assert routed.storage("EMP") == "disk"
+            finally:
+                routed.close()
+
+    def test_reads_fall_back_past_dead_replica(self, primary, tmp_path):
+        db, server = primary
+        with ReplicaServer(str(tmp_path / "r1"), server.address) as r1:
+            routed = connect(server.address, replicas=[r1.address])
+            try:
+                _insert(routed, "Kept")
+                r1.stop()
+                for _ in range(3):  # every read survives the dead replica
+                    names = {t.key_value()[0]
+                             for t in routed.relation("EMP")}
+                    assert "Kept" in names
+            finally:
+                routed.close()
+
+    def test_lagging_replica_raises_then_routed_falls_back(
+            self, primary, tmp_path):
+        db, server = primary
+        _insert(db, "Committed")
+        with ReplicaServer(str(tmp_path / "r1"), server.address) as r1:
+            _await(lambda: r1.applied == db._durability.position)
+            with connect(*r1.address) as direct:
+                # A token from the future: the replica can never cover
+                # it, so the direct read times out retryably...
+                with pytest.raises(ReplicaLagError) as info:
+                    direct.query("SELECT WHEN SALARY >= 0 IN EMP",
+                                 wait_lsn=10_000, wait_timeout=0.05)
+                assert info.value.retryable is True
+            # ...while a routed read just falls back to the primary.
+            routed = connect(server.address, replicas=[r1.address],
+                             replica_wait=0.05)
+            try:
+                routed.primary.last_commit_lsn = 10_000
+                assert routed.query("SELECT WHEN SALARY >= 0 IN EMP").rows()
+            finally:
+                routed.close()
+
+    def test_round_robin_alternates(self, primary, tmp_path):
+        db, server = primary
+        with ReplicaServer(str(tmp_path / "r1"), server.address) as r1, \
+                ReplicaServer(str(tmp_path / "r2"), server.address) as r2:
+            routed = connect(server.address,
+                             replicas=[r1.address, r2.address])
+            try:
+                targets = [routed._read_targets().__next__()._address
+                           for _ in range(4)]
+                assert targets[0] != targets[1]  # alternating
+                assert targets[0] == targets[2]
+            finally:
+                routed.close()
+
+    def test_prepared_statements_route(self, primary, tmp_path):
+        db, server = primary
+        with ReplicaServer(str(tmp_path / "r1"), server.address) as r1:
+            routed = connect(server.address, replicas=[r1.address])
+            try:
+                _insert(routed, "Prep")
+                prepared = routed.prepare(
+                    "SELECT WHEN SALARY >= :m DURING [0, 9] IN EMP")
+                assert prepared.param_names == ("m",)
+                names = {t.key_value()[0]
+                         for t in prepared.query({"m": 0})}
+                assert "Prep" in names
+            finally:
+                routed.close()
+
+    def test_transactions_go_to_the_primary(self, primary, tmp_path):
+        db, server = primary
+        with ReplicaServer(str(tmp_path / "r1"), server.address) as r1:
+            routed = connect(server.address, replicas=[r1.address])
+            try:
+                def body(txn):
+                    _insert(txn, "InTxn")
+                    return "ran"
+                assert routed.run_transaction(body) == "ran"
+                names = {t.key_value()[0]
+                         for t in routed.relation("EMP")}
+                assert "InTxn" in names
+            finally:
+                routed.close()
+
+
+# ---------------------------------------------------------------------------
+# Crash paths: real processes, kill -9, oracle-checked reads.
+# ---------------------------------------------------------------------------
+
+
+def _spawn(args: list[str], marker: str) -> tuple[subprocess.Popen, int]:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = _SRC + os.pathsep + env.get("PYTHONPATH", "")
+    process = subprocess.Popen(
+        [sys.executable, *args], stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT, text=True, env=env)
+    assert process.stdout is not None
+    line = process.stdout.readline()
+    assert marker in line, f"process failed to start: {line!r}"
+    return process, int(line.rsplit(":", 1)[1])
+
+
+def _spawn_primary(path: str) -> tuple[subprocess.Popen, int]:
+    return _spawn(["-m", "repro.server", path, "--port", "0",
+                   "--sync", "always"], "listening on")
+
+
+def _spawn_replica(path: str, primary_port: int,
+                   replica_id: str = "crash-replica"
+                   ) -> tuple[subprocess.Popen, int]:
+    return _spawn(["-m", "repro.replication", path,
+                   "--primary", f"127.0.0.1:{primary_port}",
+                   "--port", "0", "--replica-id", replica_id,
+                   "--sync", "always"], "listening on")
+
+
+def _kill9(process: subprocess.Popen) -> None:
+    os.kill(process.pid, signal.SIGKILL)
+    process.wait(timeout=30)
+
+
+def _applied_lsn(port: int) -> int:
+    with connect("127.0.0.1", port, timeout=10.0) as c:
+        return c.status()["replica"]["applied_lsn"]
+
+
+class TestCrashPaths:
+    def _seed(self, path: str) -> None:
+        seed = HistoricalDatabase(path=path)
+        seed.create_relation(_scheme(), storage="disk")
+        seed.close()
+
+    def test_kill9_replica_rejoins_byte_identical(self, tmp_path):
+        primary_path = str(tmp_path / "primary")
+        replica_path = str(tmp_path / "replica")
+        self._seed(primary_path)
+        primary, pport = _spawn_primary(primary_path)
+        try:
+            replica, rport = _spawn_replica(replica_path, pport)
+            writer = connect("127.0.0.1", pport, timeout=10.0)
+            for i in range(40):
+                _insert(writer, f"N{i:04d}", i)
+            # Kill the replica the instant it is mid-replay (applied > 0
+            # but, likely, short of the primary).
+            _await(lambda: _applied_lsn(rport) > 0)
+            _kill9(replica)
+
+            # More history while it is down — across a checkpoint, so
+            # rejoin may need the snapshot path, not just the stream.
+            for i in range(40, 60):
+                _insert(writer, f"N{i:04d}", i)
+            writer.checkpoint()
+            for i in range(60, 70):
+                _insert(writer, f"N{i:04d}", i)
+
+            replica, rport = _spawn_replica(replica_path, pport)
+            expected = _cut(writer)
+
+            def converged() -> bool:
+                with connect("127.0.0.1", rport, timeout=10.0) as c:
+                    return _cut(c) == expected
+
+            _await(converged)
+            with connect("127.0.0.1", rport, timeout=10.0) as c:
+                assert _cut(c) == expected  # byte-identical commit cut
+                assert len(c["EMP"]) == 70
+            writer.close()
+            _kill9(replica)
+        finally:
+            primary.kill()
+            primary.wait(timeout=30)
+
+    def test_kill9_primary_replica_serves_last_snapshot(self, tmp_path):
+        primary_path = str(tmp_path / "primary")
+        self._seed(primary_path)
+        primary, pport = _spawn_primary(primary_path)
+        replica, rport = _spawn_replica(str(tmp_path / "replica"), pport)
+        oracle = HistoryOracle()
+        stop_reading = threading.Event()
+        read_errors: list[Exception] = []
+
+        def read_loop():
+            try:
+                with connect("127.0.0.1", rport, timeout=10.0) as c:
+                    while not stop_reading.is_set():
+                        cut = {t.key_value()[0] for t in c["EMP"]}
+                        oracle.observed("replica-reader", {"EMP": cut})
+                        time.sleep(0.01)
+            except Exception as exc:  # must never happen
+                read_errors.append(exc)
+
+        try:
+            writer = connect("127.0.0.1", pport, timeout=10.0)
+            # Wait for the replica to apply the seed CREATE before
+            # reading EMP from it.
+            _await(lambda: _applied_lsn(rport) >= 1)
+            reader = threading.Thread(target=read_loop, daemon=True)
+            reader.start()
+            try:
+                for i in range(10_000):  # the kill ends the loop
+                    name = f"W{i:05d}"
+                    oracle.begin_commit("writer", {"EMP": {name}})
+                    try:
+                        _insert(writer, name, i)
+                    except (StorageError, OSError):
+                        oracle.aborted("writer")
+                        break
+                    oracle.committed("writer")
+                    if i == 30:  # mid-stream, with the burst running:
+                        _kill9(primary)
+            finally:
+                writer.close()
+
+            # The primary is gone; the replica keeps serving reads of
+            # its last applied cut, flagging the lost link in STATUS.
+            settled: list[set] = []
+            for _ in range(5):
+                with connect("127.0.0.1", rport, timeout=10.0) as c:
+                    settled.append({t.key_value()[0] for t in c["EMP"]})
+                    oracle.observed("replica-reader",
+                                    {"EMP": settled[-1]})
+            assert all(cut == settled[0] for cut in settled)
+            with connect("127.0.0.1", rport, timeout=10.0) as c:
+                _await(lambda: c.status()["replica"]["connected"] is False,
+                       timeout=30)
+            stop_reading.set()
+            reader.join(JOIN_TIMEOUT)
+            assert not read_errors, read_errors
+            # No observation may contain a torn or uncommitted write,
+            # and successive cuts must be monotone.
+            oracle.verify()
+            _kill9(replica)
+        finally:
+            for process in (primary, replica):
+                if process.poll() is None:
+                    process.kill()
+                    process.wait(timeout=30)

@@ -817,7 +817,8 @@ class TestShellAgainstServer:
 
         env = HistoricalDatabase("local")
         state = {"env": env}
-        assert execute("\\connect", env, {}, state) == "usage: \\connect HOST:PORT"
+        assert execute("\\connect", env, {}, state) == \
+            "usage: \\connect HOST:PORT[,HOST:PORT...]"
         out = execute("\\connect 127.0.0.1:1", env, {}, state)
         assert out.startswith("error:")
         assert state["env"] is env  # failed connect keeps the session
@@ -834,3 +835,136 @@ class TestShellAgainstServer:
         out = execute("SELECT IF SALARY >= 0 IN EMP", session, {}, state)
         assert not out.splitlines()[-1].startswith("Time: ")
         session.close()
+
+
+# ---------------------------------------------------------------------------
+# The reconnect contract: a dropped connection is transient, not fatal.
+# ---------------------------------------------------------------------------
+
+
+class TestClientReconnect:
+    """The client survives server bounces: reads retry transparently,
+    mutations surface the retryable ConnectionLostError, prepared
+    statements re-prepare, and open transactions report their loss."""
+
+    def _bounce(self, db, address):
+        """A fresh server on the same (host, port)."""
+        replacement = DatabaseServer(db, host=address[0], port=address[1])
+        replacement.start()
+        return replacement
+
+    def test_read_retries_transparently(self, db):
+        from repro.core.errors import ConnectionLostError  # noqa: F401
+
+        server = DatabaseServer(db)
+        server.start()
+        session = connect(*server.address)
+        before = {t.key_value()[0] for t in session["EMP"]}
+        address = server.address
+        server.stop()
+        replacement = self._bounce(db, address)
+        try:
+            # No explicit reconnect call: the read finds the dead
+            # socket, re-dials, and retries the frame once.
+            after = {t.key_value()[0] for t in session["EMP"]}
+            assert after == before
+            assert session.query("SELECT WHEN SALARY >= 0 IN EMP").rows()
+        finally:
+            session.close()
+            replacement.stop()
+
+    def test_mutation_surfaces_retryable_error(self, db):
+        from repro.core.errors import ConnectionLostError
+
+        server = DatabaseServer(db)
+        server.start()
+        session = connect(*server.address)
+        address = server.address
+        server.stop()
+        with pytest.raises(ConnectionLostError) as info:
+            session.insert("EMP", Lifespan.interval(0, 9),
+                           {"NAME": "Lost", "SALARY": 1, "DEPT": "X"})
+        assert info.value.retryable is True
+        # The session is not poisoned: once the server is back, the
+        # caller decides to re-run and it just works.
+        replacement = self._bounce(db, address)
+        try:
+            session.insert("EMP", Lifespan.interval(0, 9),
+                           {"NAME": "Found", "SALARY": 1, "DEPT": "X"})
+            assert "Found" in {t.key_value()[0] for t in session["EMP"]}
+        finally:
+            session.close()
+            replacement.stop()
+
+    def test_prepared_statement_survives_bounce(self, db):
+        server = DatabaseServer(db)
+        server.start()
+        session = connect(*server.address)
+        prepared = session.prepare("SELECT WHEN SALARY >= :m IN EMP")
+        assert prepared.query({"m": 0}).rows()
+        address = server.address
+        server.stop()
+        replacement = self._bounce(db, address)
+        try:
+            # The server-side statement died with the connection; the
+            # client re-prepares under the hood.
+            assert prepared.query({"m": 0}).rows()
+        finally:
+            session.close()
+            replacement.stop()
+
+    def test_open_transaction_is_lost_with_the_connection(self, db):
+        from repro.core.errors import ConnectionLostError
+
+        server = DatabaseServer(db)
+        server.start()
+        session = connect(*server.address)
+        txn = session.transaction()
+        txn.insert("EMP", Lifespan.interval(0, 9),
+                   {"NAME": "Buffered", "SALARY": 1, "DEPT": "X"})
+        address = server.address
+        server.stop()
+        replacement = self._bounce(db, address)
+        try:
+            with pytest.raises(ConnectionLostError):
+                txn.commit()
+            assert txn.state == "rolled-back"
+            # The buffered insert never made it anywhere.
+            assert "Buffered" not in {t.key_value()[0]
+                                      for t in session["EMP"]}
+            # The session itself moves on: a fresh transaction commits.
+            with session.transaction() as fresh:
+                fresh.insert("EMP", Lifespan.interval(0, 9),
+                             {"NAME": "Fresh", "SALARY": 1, "DEPT": "X"})
+            assert "Fresh" in {t.key_value()[0] for t in session["EMP"]}
+        finally:
+            session.close()
+            replacement.stop()
+
+    def test_run_transaction_retries_precommit_drop(self, db):
+        """A drop while the body runs re-runs the body; the commit of
+        the re-run lands."""
+        server = DatabaseServer(db)
+        server.start()
+        session = connect(*server.address)
+        address = server.address
+        bounced = []
+
+        def body(txn):
+            if not bounced:
+                # Simulate a drop mid-body: bounce the server under
+                # the open transaction.
+                running = server if not bounced else None
+                running.stop()
+                bounced.append(self._bounce(db, address))
+            txn.insert("EMP", Lifespan.interval(0, 9),
+                       {"NAME": "Retried", "SALARY": 1, "DEPT": "X"})
+            return "ok"
+
+        try:
+            assert session.run_transaction(body) == "ok"
+            assert "Retried" in {t.key_value()[0] for t in session["EMP"]}
+        finally:
+            session.close()
+            for running in bounced:
+                running.stop()

@@ -96,3 +96,82 @@ class TestDurableCommands:
         out = execute("\\open /tmp/nowhere-relevant", env)
         assert out.startswith("error:") and "interactive session" in out
         assert env.durable is False  # untouched
+
+
+class TestReplicasCommand:
+    def test_replicas_requires_remote(self, env):
+        out = execute("\\replicas", env, {}, {"env": env})
+        assert out.startswith("error:") and "server connection" in out
+
+    def test_connect_usage_mentions_replica_list(self, env):
+        out = execute("\\connect", env, {}, {"env": env})
+        assert out == "usage: \\connect HOST:PORT[,HOST:PORT...]"
+
+    def _primary(self, path):
+        from repro.core import domains
+        from repro.core.scheme import RelationScheme
+        from repro.database import HistoricalDatabase
+
+        db = HistoricalDatabase(path=str(path), sync="batch")
+        db.create_relation(RelationScheme("EMP", {
+            "NAME": domains.cd(domains.STRING),
+            "SALARY": domains.td(domains.INTEGER),
+        }, key=["NAME"]), storage="disk")
+        db.insert("EMP", Lifespan.interval(0, 9),
+                  {"NAME": "Ann", "SALARY": 1})
+        return db
+
+    def test_connect_with_replicas_and_lag_table(self, tmp_path):
+        import time
+
+        from repro.replication import ReplicaServer
+        from repro.server import DatabaseServer
+
+        db = self._primary(tmp_path / "p")
+        with DatabaseServer(db) as server:
+            with ReplicaServer(str(tmp_path / "r"), server.address,
+                               replica_id="shell-replica") as rep:
+                state = {"env": default_environment()}
+                ph, pp = server.address
+                rh, rp = rep.address
+                out = execute(f"\\connect {ph}:{pp},{rh}:{rp}",
+                              state["env"], {}, state)
+                assert "reads routed across 1 replica(s)" in out
+                env = state["env"]
+                deadline = time.time() + 30
+                while time.time() < deadline:
+                    table = execute("\\replicas", env, {}, state)
+                    if "shell-replica" in table and "connected" in table:
+                        break
+                    time.sleep(0.05)
+                assert table.startswith("primary at generation")
+                assert "shell-replica" in table
+                assert "record(s)" in table and "behind" in table
+                # Queries keep working through the routed session.
+                assert "tuple(s)" in execute(
+                    "SELECT WHEN SALARY >= 0 IN EMP", env, {}, state)
+                env.close()
+        db.close()
+
+    def test_replicas_against_a_replica_shows_its_link(self, tmp_path):
+        import time
+
+        from repro.replication import ReplicaServer
+        from repro.server import DatabaseServer
+
+        db = self._primary(tmp_path / "p")
+        with DatabaseServer(db) as server:
+            with ReplicaServer(str(tmp_path / "r"), server.address) as rep:
+                state = {"env": default_environment()}
+                rh, rp = rep.address
+                execute(f"\\connect {rh}:{rp}", state["env"], {}, state)
+                env = state["env"]
+                deadline = time.time() + 30
+                while time.time() < deadline:
+                    out = execute("\\replicas", env, {}, state)
+                    if "replica of" in out and "[connected]" in out:
+                        break
+                    time.sleep(0.05)
+                assert "replica of" in out
+                env.close()
+        db.close()

@@ -262,3 +262,34 @@ class TestPager:
             fh.write(b"half a checkpoint")
         pager.clean_snapshots(keep_generation=1)
         assert not os.path.exists(orphan)
+
+
+class TestExplicitIdentity:
+    """append_record / ensure_lsn — the replica replay surface."""
+
+    def test_append_record_preserves_identity(self, log_path):
+        wal = WriteAheadLog(log_path, sync="always")
+        wal.append_record(4, 7, [wal_mod.encode_drop("EMP")])
+        wal.close()
+        records = WriteAheadLog(log_path).recover()
+        assert [(r.generation, r.lsn) for r in records] == [(4, 7)]
+        assert records[0].decoded() == [("drop", "EMP")]
+
+    def test_append_record_must_advance(self, log_path):
+        wal = WriteAheadLog(log_path, sync="always")
+        wal.append_record(0, 2, [wal_mod.encode_drop("A")])
+        with pytest.raises(WALError):
+            wal.append_record(0, 2, [wal_mod.encode_drop("B")])
+        with pytest.raises(WALError):
+            wal.append_record(0, 1, [wal_mod.encode_drop("B")])
+        # ...and ordinary appends continue from the explicit identity.
+        assert wal.append([wal_mod.encode_drop("C")]) == 3
+
+    def test_ensure_lsn_floors_the_counter(self, log_path):
+        wal = WriteAheadLog(log_path, sync="always")
+        wal.ensure_lsn(10)
+        assert wal.last_lsn == 10
+        assert wal.append([wal_mod.encode_drop("A")]) == 11
+        wal.ensure_lsn(5)  # a floor, never a rollback
+        assert wal.last_lsn == 11
+        wal.close()
