@@ -72,6 +72,13 @@ _IDLE_SLEEP = 0.05
 #: Receive window per ack-drain pass (also paces a busy ship loop).
 _ACK_TIMEOUT = 0.05
 
+#: Send timeout for handshake, snapshot, and WAL frames. Generous on
+#: purpose: a large snapshot or burst to a slow / backpressured replica
+#: must not be mistaken for a dead peer (a snapshot bootstrap is
+#: all-or-nothing, so aborting one mid-send livelocks a resync loop).
+#: Only a peer that moves no bytes at all for this long is dropped.
+_SEND_TIMEOUT = 60.0
+
 
 def serve_subscription(connection, request) -> None:
     """Run one replica's subscription on its connection worker.
@@ -162,6 +169,10 @@ def _ship(owner, db, manager, connection, replica_id,
           replica_gen, replica_lsn) -> None:
     sock = connection.request
     buffer = connection.buffer
+    # The connection arrives on the request/response poll timeout
+    # (200ms) — far too tight for shipping a snapshot. Sends run under
+    # the generous _SEND_TIMEOUT; only the ack drain narrows the window.
+    sock.settimeout(_SEND_TIMEOUT)
     generation, lsn = manager.position
     wal_path = manager.wal.path
 
@@ -189,7 +200,6 @@ def _ship(owner, db, manager, connection, replica_id,
 
     # -- the ship loop ---------------------------------------------------
     reader = WALReader(wal_path, after_lsn=start_lsn)
-    sock.settimeout(_ACK_TIMEOUT)
     last_send = time.monotonic()
     while not owner.stopping:
         try:
@@ -219,19 +229,25 @@ def _ship(owner, db, manager, connection, replica_id,
                                 pending_bytes=pending)
         else:
             owner.track_replica(replica_id, pending_bytes=pending)
-        # Drain acks (the recv window also paces the loop). A closed
-        # peer surfaces as a send failure on the next frame or ping.
-        while True:
-            ack = protocol.recv_frame(sock, buffer,
-                                      keep_waiting=lambda: False)
-            if ack is None:
-                break
-            if ack.get("op") == "ack":
-                owner.track_replica(
-                    replica_id,
-                    applied_lsn=int(ack.get("lsn", 0)),
-                    applied_generation=int(ack.get("generation", 0)),
-                    acked_at=time.monotonic())
+        # Drain acks under a short receive window (which also paces a
+        # busy ship loop); the send timeout is restored before the next
+        # frame goes out. A closed peer surfaces as a send failure on
+        # the next frame or ping.
+        sock.settimeout(_ACK_TIMEOUT)
+        try:
+            while True:
+                ack = protocol.recv_frame(sock, buffer,
+                                          keep_waiting=lambda: False)
+                if ack is None:
+                    break
+                if ack.get("op") == "ack":
+                    owner.track_replica(
+                        replica_id,
+                        applied_lsn=int(ack.get("lsn", 0)),
+                        applied_generation=int(ack.get("generation", 0)),
+                        acked_at=time.monotonic())
+        finally:
+            sock.settimeout(_SEND_TIMEOUT)
         if not records:
             if now - last_send >= PING_SECONDS:
                 protocol.send_frame(

@@ -42,7 +42,7 @@ import time
 from typing import Any, Mapping, Optional, Tuple, Union
 
 from repro.core.domains import ValueDomain
-from repro.core.errors import (HRDMError, ReplicaLagError, ReplicationError,
+from repro.core.errors import (ReplicaLagError, ReplicationError,
                                StorageError)
 from repro.database.concurrency import WriteSet
 from repro.database.database import HistoricalDatabase
@@ -195,7 +195,13 @@ class ReplicaServer:
         while not self._stop.is_set():
             try:
                 self._sync_once()
-            except (OSError, HRDMError) as exc:
+            except Exception as exc:
+                # Catch *everything*, not just OSError/HRDMError: a
+                # malformed stream frame surfaces as KeyError,
+                # ValueError, or binascii.Error, and any escape would
+                # permanently kill the sync thread — the replica would
+                # silently stop replicating while serving ever-staler
+                # reads. Record it and let the backoff loop reconnect.
                 self._last_error = f"{type(exc).__name__}: {exc}"
             finally:
                 self._connected = False

@@ -86,10 +86,46 @@ class _Connection(socketserver.BaseRequestHandler):
     def setup(self) -> None:
         self.request.settimeout(_POLL_SECONDS)
         self.buffer = bytearray()
-        self.db: HistoricalDatabase = self.server.owner.db
+        self._bound_db: HistoricalDatabase = self.server.owner.db
         self.txn = None
         self.prepared: dict[int, Any] = {}
         self._next_prepared = 0
+
+    @property
+    def db(self) -> HistoricalDatabase:
+        """The currently served database, resolved per access.
+
+        A replica snapshot resync closes the old database and swaps a
+        fresh one into the owner
+        (:meth:`~repro.replication.replica.ReplicaServer._install_snapshot`).
+        A long-lived connection must follow that swap — otherwise it
+        keeps serving the closed, frozen instance while read-your-writes
+        waits are satisfied against the *new* applied LSN, silently
+        breaking the guarantee. Prepared statements are re-bound to the
+        new catalog (dropped if they no longer parse against it); an
+        open transaction built against the replaced history is rolled
+        back and the request refused.
+        """
+        current = self.server.owner.db
+        if current is not self._bound_db:
+            self._bound_db = current
+            stale_prepared, self.prepared = self.prepared, {}
+            for sid, statement in stale_prepared.items():
+                try:
+                    self.prepared[sid] = current.prepare(statement.source)
+                except HRDMError:
+                    pass  # e.g. its relation vanished: the id dies
+            stale, self.txn = self.txn, None
+            if stale is not None and stale.state == "active":
+                try:
+                    stale.rollback()
+                except HRDMError:
+                    pass  # its database is already closed
+                raise TransactionError(
+                    "the served database was replaced underneath this "
+                    "connection (snapshot resync); the open transaction "
+                    "was rolled back — BEGIN again")
+        return current
 
     def handle(self) -> None:
         owner: DatabaseServer = self.server.owner
@@ -139,6 +175,10 @@ class _Connection(socketserver.BaseRequestHandler):
             raise ReadOnlyError(
                 f"this server is a read-only "
                 f"{self.server.owner.role}: send writes to the primary")
+        # Resolve the served database once per request: frames that
+        # never touch it directly (prepared QUERY, ROLLBACK) must still
+        # notice a snapshot-resync swap before their handler runs.
+        _ = self.db
         return handler(request)
 
     def _commit_token(self) -> Optional[int]:

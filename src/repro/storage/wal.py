@@ -609,25 +609,32 @@ class WALReader:
         self.path = path
         self.after_lsn = after_lsn
         self.offset = 0  # byte offset of the first unparsed frame
+        self._head: Optional[bytes] = None  # first-frame header: identity
 
     def first_lsn(self) -> Optional[int]:
-        """The LSN of the log's first complete record, or None.
+        """The LSN of the log's first complete, valid record, or None.
 
         The subscribe handshake uses this to decide whether the log
         still reaches back far enough to stream a replica forward, or
-        whether its early records have been checkpointed away.
+        whether its early records have been checkpointed away. The
+        frame's payload is checksummed before its LSN is trusted: a
+        torn or corrupt first frame must not mis-drive the
+        stream-vs-snapshot decision with a garbage LSN.
         """
         try:
             with open(self.path, "rb") as fh:
-                head = fh.read(_FRAME.size + 4096)
+                head = fh.read(_FRAME.size)
+                if len(head) < _FRAME.size:
+                    return None
+                length, crc = _FRAME.unpack(head)
+                if length < _PAYLOAD_HEAD.size or length > self._MAX_RECORD:
+                    return None
+                payload = fh.read(length)
         except OSError:
             return None
-        if len(head) < _FRAME.size:
-            return None
-        length, crc = _FRAME.unpack_from(head, 0)
-        if len(head) < _FRAME.size + _PAYLOAD_HEAD.size or length < _PAYLOAD_HEAD.size:
-            return None
-        _, lsn, _ = _PAYLOAD_HEAD.unpack_from(head, _FRAME.size)
+        if len(payload) < length or zlib.crc32(payload) != crc:
+            return None  # torn or corrupt: no trustworthy first record
+        _, lsn, _ = _PAYLOAD_HEAD.unpack_from(payload, 0)
         return lsn
 
     def poll(self) -> list[CommitRecord]:
@@ -638,8 +645,15 @@ class WALReader:
             return []  # not created yet (or mid-replace): nothing new
         if size < self.offset:
             self.offset = 0  # checkpoint truncated the file under us
-        if size == self.offset:
-            return []
+        elif size == self.offset:
+            # An unchanged size is not proof of an unchanged file: a
+            # checkpoint can truncate the log and later appends refill
+            # it to exactly this reader's old offset, hiding the new
+            # records until a further append. The first frame's header
+            # bytes are the file's identity — if they moved, rescan.
+            if not self.offset or self._head == self._read_head():
+                return []
+            self.offset = 0
         records, ok = self._scan(self.offset)
         if not ok:
             # A frame mid-file failed its checksum. The benign cause: a
@@ -658,6 +672,21 @@ class WALReader:
     #: read from a stale offset yields a random u32 as the "length").
     _MAX_RECORD = 256 * 1024 * 1024
 
+    def _read_head(self) -> Optional[bytes]:
+        """The first frame's raw header bytes — the file's identity.
+
+        A truncate-and-refill rewrites the first frame with a different
+        record, so a changed header (its crc32 covers the new payload)
+        betrays a truncation even when the file size happens to match
+        the reader's old offset exactly.
+        """
+        try:
+            with open(self.path, "rb") as fh:
+                head = fh.read(_FRAME.size)
+        except OSError:
+            return None
+        return head if len(head) == _FRAME.size else None
+
     def _scan(self, start: int) -> tuple[list[CommitRecord], bool]:
         """Parse complete frames from *start*; False on mid-log corruption.
 
@@ -668,12 +697,15 @@ class WALReader:
         delivered = self.after_lsn
         parsed = start  # absolute offset past the frames accepted so far
         consumed = 0
+        head0 = self._head if start else None
         with open(self.path, "rb") as fh:
             fh.seek(start)
             while consumed < self.MAX_POLL_BYTES:
                 head = fh.read(_FRAME.size)
                 if len(head) < _FRAME.size:
                     break  # at (or torn just short of) the current end
+                if not start and not consumed:
+                    head0 = head  # scanning from the top: note identity
                 length, crc = _FRAME.unpack(head)
                 if length > self._MAX_RECORD:
                     return [], False  # garbage header: not a frame at all
@@ -701,6 +733,7 @@ class WALReader:
                 records.append(record)
         self.offset = parsed
         self.after_lsn = delivered
+        self._head = head0
         return records, True
 
     def __repr__(self) -> str:

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import os
 import signal
+import socket
 import subprocess
 import sys
 import threading
@@ -27,13 +28,13 @@ import pytest
 
 from repro.core import domains
 from repro.core.errors import (ReadOnlyError, ReplicaLagError,
-                               StorageError, WALError)
+                               StorageError, TransactionError, WALError)
 from repro.core.lifespan import Lifespan
 from repro.core.scheme import RelationScheme
 from repro.client import RoutedClient, connect
 from repro.database import HistoricalDatabase
 from repro.replication import ReplicaServer
-from repro.server import DatabaseServer
+from repro.server import DatabaseServer, protocol
 from repro.storage.engine import encode_tuple
 from repro.storage import wal as wal_mod
 from repro.storage.wal import WALGapError, WALReader, WriteAheadLog
@@ -162,6 +163,44 @@ class TestWALReader:
         wal.reset(generation=1)
         wal.append([wal_mod.encode_drop("C")])
         assert WALReader(path).first_lsn() == 3
+        wal.close()
+
+    def test_first_lsn_ignores_torn_or_corrupt_first_frame(self, tmp_path):
+        """A torn or checksum-failing first frame has no trustworthy
+        LSN — first_lsn must say None (snapshot handshake), not hand
+        back garbage bytes parsed as an LSN."""
+        path = str(tmp_path / "wal.log")
+        wal = WriteAheadLog(path, sync="always")
+        wal.append([wal_mod.encode_drop("A")])
+        wal.close()
+        complete = open(path, "rb").read()
+        with open(path, "wb") as fh:  # torn: the payload is cut short
+            fh.write(complete[:-3])
+        assert WALReader(path).first_lsn() is None
+        corrupt = bytearray(complete)
+        corrupt[wal_mod._FRAME.size + 2] ^= 0xFF  # checksum now fails
+        with open(path, "wb") as fh:
+            fh.write(bytes(corrupt))
+        assert WALReader(path).first_lsn() is None
+        with open(path, "wb") as fh:  # intact again
+            fh.write(complete)
+        assert WALReader(path).first_lsn() == 1
+
+    def test_refill_to_exact_offset_is_detected(self, tmp_path):
+        """A checkpoint truncation whose follow-up appends refill the
+        file to exactly the reader's old byte offset must not hide the
+        new records behind the unchanged size."""
+        path = str(tmp_path / "wal.log")
+        wal = WriteAheadLog(path, sync="always")
+        wal.append([wal_mod.encode_drop("A")])
+        reader = WALReader(path)
+        assert [r.lsn for r in reader.poll()] == [1]
+        size = os.path.getsize(path)
+        wal.reset(generation=1)  # checkpoint truncates...
+        wal.append([wal_mod.encode_drop("A")])  # ...a same-sized refill
+        assert os.path.getsize(path) == reader.offset == size
+        assert [(r.generation, r.lsn) for r in reader.poll()] == [(1, 2)]
+        assert reader.poll() == []  # and the identity is re-anchored
         wal.close()
 
     def test_mid_log_corruption_raises_walerror(self, tmp_path):
@@ -323,6 +362,139 @@ class TestSnapshotBootstrap:
             finally:
                 server.stop()
                 db.close()
+
+
+# ---------------------------------------------------------------------------
+# Robustness regressions: backpressure, malformed frames, db swaps.
+# ---------------------------------------------------------------------------
+
+
+class TestShipperBackpressure:
+    def test_slow_subscriber_survives_large_frame(self, primary):
+        """Shipper sends run under a generous timeout: a WAL burst
+        larger than the kernel's socket buffers to a momentarily
+        stalled subscriber must arrive whole, not be cut off by the
+        50ms ack-drain window."""
+        db, server = primary
+        sock = socket.socket()
+        # A tiny receive buffer (set before connect so the window
+        # scales accordingly) plus a read stall backpressures the
+        # primary's sendall mid-frame.
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_RCVBUF, 8192)
+        sock.connect(server.address)
+        sock.settimeout(JOIN_TIMEOUT)  # fail, don't hang, if it breaks
+        try:
+            buffer = bytearray()
+            generation, lsn = db._durability.position
+            protocol.send_frame(sock, {
+                "op": "subscribe", "replica": "slow-test",
+                "generation": generation, "lsn": lsn})
+            handshake = protocol.recv_frame(sock, buffer)
+            assert handshake["ok"] and handshake["mode"] == "stream"
+            big = "x" * (12 * 1024 * 1024)  # > tcp_wmem max + rcvbuf
+            db.insert("EMP", Lifespan.interval(0, 9),
+                      {"NAME": "Slow", "SALARY": 1, "DEPT": big})
+            time.sleep(0.5)  # stall while the shipper is mid-sendall
+            while True:
+                frame = protocol.recv_frame(sock, buffer)
+                assert frame is not None, "subscription was dropped"
+                if frame.get("op") == "wal" and frame["lsn"] > lsn:
+                    break
+            assert sum(len(op) for op in frame["ops"]) > len(big)
+        finally:
+            sock.close()
+
+
+class TestSyncLoopResilience:
+    def test_malformed_frame_does_not_kill_sync_thread(self, tmp_path):
+        """A stream frame missing its fields (KeyError territory) must
+        not escape the sync loop: the replica records the error and
+        keeps reconnecting instead of silently serving ever-staler
+        reads from a dead thread."""
+        listener = socket.socket()
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(2)
+
+        def fake_primary():
+            conn, _ = listener.accept()
+            buf = bytearray()
+            protocol.recv_frame(conn, buf)  # the SUBSCRIBE
+            protocol.send_frame(conn, {"ok": True, "mode": "stream",
+                                       "generation": 0, "lsn": 0})
+            protocol.send_frame(conn, {"op": "wal"})  # no fields at all
+            conn.close()
+
+        threading.Thread(target=fake_primary, daemon=True).start()
+        replica = ReplicaServer(str(tmp_path / "replica"),
+                                listener.getsockname())
+        replica.start()
+        try:
+            _await(lambda: replica._last_error is not None
+                   and "KeyError" in replica._last_error)
+            assert replica._thread.is_alive()  # the backoff loop lives
+        finally:
+            replica.stop()
+            listener.close()
+
+
+class TestServedDatabaseSwap:
+    """A long-lived connection follows a ``server.db`` replacement.
+
+    The replica snapshot-resync path
+    (:meth:`ReplicaServer._install_snapshot`) closes the served
+    database and swaps in a fresh instance; a connection that cached
+    the old one would keep serving a closed, frozen catalog while
+    read-your-writes waits are satisfied against the *new* applied
+    LSN — silently breaking the guarantee.
+    """
+
+    def test_connection_follows_swap_and_rebinds_prepared(self, tmp_path):
+        old = _open_primary(str(tmp_path / "old"))
+        _insert(old, "Old")
+        new = _open_primary(str(tmp_path / "new"))
+        _insert(new, "New", salary=7)
+        server = DatabaseServer(old)
+        server.start()
+        try:
+            q = "SELECT IF SALARY >= 0 IN EMP"
+            with connect(*server.address) as session:
+                assert _cut({"EMP": session.query(q).relation}) == _cut(old)
+                prepared = session.prepare(q)
+                assert len(prepared.query().relation) == 1
+                old.close()
+                server.db = new  # what _install_snapshot does
+                # The same connection now serves the new catalog...
+                assert _cut({"EMP": session.query(q).relation}) == _cut(new)
+                # ...and prepared statements are re-bound to it rather
+                # than silently answering from the replaced instance.
+                fresh = prepared.query().relation
+                assert _cut({"EMP": fresh}) == _cut(new)
+        finally:
+            server.stop()
+            new.close()
+
+    def test_open_transaction_refused_after_swap(self, tmp_path):
+        old = _open_primary(str(tmp_path / "old"))
+        new = _open_primary(str(tmp_path / "new"))
+        server = DatabaseServer(old)
+        server.start()
+        try:
+            with connect(*server.address) as session:
+                txn = session.transaction()
+                _insert(txn, "Buffered")
+                old.close()
+                server.db = new
+                with pytest.raises(TransactionError):
+                    _insert(txn, "MoreBuffered")
+                # The session is free again: a new transaction runs
+                # against the new database.
+                fresh = session.transaction()
+                _insert(fresh, "Fresh")
+                fresh.commit()
+                assert len(new.relations()["EMP"]) == 1
+        finally:
+            server.stop()
+            new.close()
 
 
 # ---------------------------------------------------------------------------
