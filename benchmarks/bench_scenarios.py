@@ -1,0 +1,122 @@
+"""Scenario harness — every foundry workload, measured and verified.
+
+The YCSB-shaped counterpart to the single-workload microbenchmarks:
+every registered scenario (HR rehires, stock ticks with mid-run
+Figure 6 schema evolution, IoT fleets, SCD audit logs, enrollment
+churn) runs its full persona mix — analyst slices, dashboard point
+lookups, bulk-loader bursts — concurrently, both **embedded** and
+**through the server**, via :func:`repro.workloads.run_scenario`.
+
+Unlike a plain benchmark, a run only counts if it is *correct*: each
+one must pass the snapshot-isolation history oracle and the scenario's
+semantic invariants (referential integrity under enrollment churn,
+salary continuity across rehires, evolution-visibility rules, ...), or
+this module fails instead of reporting numbers.
+
+Per-persona latency percentiles and throughput go to
+``benchmarks/results/scenarios.txt`` and the consolidated trajectory
+file ``BENCH_scenarios.json`` (scenario name + seed recorded per run,
+matching BENCH_server's workload stanza). ``BENCH_SCENARIOS_TINY=1``
+runs a smoke-sized pass (CI) without touching the trajectory file.
+
+Runs standalone too::
+
+    python benchmarks/bench_scenarios.py
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+_ROOT = os.path.dirname(_HERE)
+if __package__ in (None, ""):  # `python benchmarks/bench_scenarios.py`
+    sys.path.insert(0, os.path.join(_ROOT, "src"))
+    sys.path.insert(0, _ROOT)
+
+import pytest
+
+from benchmarks._report import report, report_json
+from repro.workloads import SCENARIOS, Knobs, run_scenario
+
+TINY = bool(os.environ.get("BENCH_SCENARIOS_TINY"))
+
+#: Ops per persona script; the tiny tier still exercises every op kind
+#: (bursts, evolution events, reincarnations) at smoke size.
+OPS_PER_PERSONA = 12 if TINY else 80
+ENGINES = ("embedded", "server")
+
+KNOBS = Knobs(seed=7, ops_per_persona=OPS_PER_PERSONA)
+
+
+def _run_all() -> tuple[dict, list]:
+    payload = {
+        "workload": {
+            "seed": KNOBS.seed,
+            "knobs": KNOBS.to_json(),
+            "engines": list(ENGINES),
+            "tiny": TINY,
+        },
+        "runs": {},
+    }
+    rows = []
+    for name in sorted(SCENARIOS):
+        payload["runs"][name] = {}
+        for engine in ENGINES:
+            result = run_scenario(name, KNOBS, engine=engine)
+            # The test-archetype core: numbers from unverified runs
+            # must never exist.
+            assert result.verified, (name, engine)
+            assert all(s.failures == 0
+                       for s in result.personas.values()), (name, engine)
+            run_json = result.to_json()
+            payload["runs"][name][engine] = run_json
+            for persona in sorted(result.personas):
+                stats = run_json["personas"][persona]
+                rows.append((
+                    name, engine, persona,
+                    f"{stats['throughput_ops_s']:.0f} ops/s",
+                    f"{stats['latency_ms']['p50']:.2f}",
+                    f"{stats['latency_ms']['p95']:.2f}",
+                    f"{stats['latency_ms']['p99']:.2f}",
+                    stats["conflicts"],
+                ))
+    # Coverage floor: ≥ 4 named scenarios × ≥ 3 personas, every engine.
+    assert len(payload["runs"]) >= 4
+    for name, engines in payload["runs"].items():
+        assert set(engines) == set(ENGINES), name
+        for engine in ENGINES:
+            assert len(engines[engine]["personas"]) >= 3, (name, engine)
+    return payload, rows
+
+
+@pytest.mark.filterwarnings("ignore::pytest.PytestUnraisableExceptionWarning")
+def test_scenarios_report():
+    payload, rows = _run_all()
+    report("scenarios",
+           "Scenario harness: per-persona latency and throughput "
+           "(oracle-verified runs)",
+           ["scenario", "engine", "persona", "throughput",
+            "p50 ms", "p95 ms", "p99 ms", "conflicts"], rows)
+    if not TINY:
+        report_json("BENCH_scenarios", payload)
+
+
+def main() -> int:
+    payload, rows = _run_all()
+    report("scenarios",
+           "Scenario harness: per-persona latency and throughput "
+           "(oracle-verified runs)",
+           ["scenario", "engine", "persona", "throughput",
+            "p50 ms", "p95 ms", "p99 ms", "conflicts"], rows)
+    if not TINY:
+        report_json("BENCH_scenarios", payload)
+    verified = sum(len(engines) for engines in payload["runs"].values())
+    print(f"{verified} runs verified "
+          f"({len(payload['runs'])} scenarios x {len(ENGINES)} engines)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,4 +1,14 @@
-"""Deterministic synthetic workloads for examples, tests, and benches."""
+"""Deterministic synthetic workloads for examples, tests, and benches.
+
+Two layers live here. The original *generators*
+(:mod:`repro.workloads.generator`) build one-shot datasets. The
+*workload foundry* (PR 8) goes further: named, seeded, scale-
+parameterized :class:`~repro.workloads.scenarios.Scenario` traffic
+with persona op mixes (:mod:`repro.workloads.personas`), semantic
+invariants (:mod:`repro.workloads.invariants`), the promoted
+snapshot-isolation oracle (:mod:`repro.workloads.oracle`), and the
+measuring, verifying harness (:mod:`repro.workloads.harness`).
+"""
 
 from repro.workloads.generator import (
     DEPARTMENTS,
@@ -14,18 +24,42 @@ from repro.workloads.generator import (
     stock_scheme,
     student_scheme,
 )
+from repro.workloads.harness import (
+    RunResult,
+    catalog_digest,
+    replay,
+    result_digest,
+    run_scenario,
+)
+from repro.workloads.invariants import InvariantViolation
+from repro.workloads.oracle import HistoryOracle, OracleViolation
+from repro.workloads.personas import PERSONAS, Knobs
+from repro.workloads.scenarios import SCENARIOS, Scenario, get_scenario
 
 __all__ = [
     "DEPARTMENTS",
     "EnrollmentConfig",
+    "HistoryOracle",
+    "InvariantViolation",
+    "Knobs",
+    "OracleViolation",
+    "PERSONAS",
     "PersonnelConfig",
+    "RunResult",
+    "SCENARIOS",
+    "Scenario",
     "StockConfig",
+    "catalog_digest",
     "course_scheme",
     "enrollment_scheme",
     "generate_enrollment_db",
     "generate_personnel",
     "generate_stocks",
+    "get_scenario",
     "personnel_scheme",
+    "replay",
+    "result_digest",
+    "run_scenario",
     "stock_scheme",
     "student_scheme",
 ]

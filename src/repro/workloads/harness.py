@@ -1,0 +1,424 @@
+"""The evaluation harness: run any scenario, measure it, verify it.
+
+YCSB-shaped driver over the workload foundry
+(:mod:`repro.workloads.scenarios`): each persona gets its own session
+and replays its scripted op mix either **closed-loop** (next op as
+soon as the last returns) or **open-loop** (ops dispatched on a fixed
+arrival schedule, so latency includes queueing delay — the
+coordinated-omission-free number). The same driver runs a scenario
+
+* *embedded* — persona threads share one
+  :class:`~repro.database.HistoricalDatabase` (memory or disk
+  backend), or
+* *server* — the database is served by
+  :class:`repro.server.DatabaseServer` and every persona connects its
+  own :func:`repro.client.connect` session, so ops cross the wire.
+
+Every run is checked, not just timed: mutations report to the
+snapshot-isolation :class:`~repro.workloads.oracle.HistoryOracle`
+(begin/commit/abort, plus periodic key-cut observations from each
+persona), and the final catalog must pass the scenario's semantic
+invariants (:mod:`repro.workloads.invariants`). A run that breaks
+either raises — benchmark numbers from an incorrect run never exist.
+
+:func:`replay` is the deterministic little sibling: a single-session,
+sequential replay of all persona scripts that returns query-result and
+catalog digests, which is what the memory/disk/server differential
+twin tests compare.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.core.errors import ConflictError
+from repro.core.lifespan import Lifespan
+from repro.core.relation import HistoricalRelation
+from repro.database import HistoricalDatabase
+from repro.database.evolution import drop_attribute, readd_attribute
+from repro.workloads.oracle import HistoryOracle
+from repro.workloads.personas import (BurstOp, EvolveOp, Knobs, MutationOp,
+                                      QueryOp, fingerprint)
+from repro.workloads.scenarios import Scenario, get_scenario
+
+__all__ = ["PersonaStats", "RunResult", "run_scenario", "replay",
+           "catalog_digest", "result_digest"]
+
+#: Generous join bound — a deadlocked persona fails the run, never hangs it.
+JOIN_TIMEOUT = 180.0
+#: A persona reports an oracle key-cut observation every N ops.
+OBSERVE_EVERY = 8
+#: Commit attempts for a bulk-loader burst before giving up.
+BURST_ATTEMPTS = 10
+
+
+# ---------------------------------------------------------------------------
+# Op interpretation — one declarative Op against one session (a
+# HistoricalDatabase, a network Client, or an open Transaction).
+# ---------------------------------------------------------------------------
+
+def _fetch_relation(session, rel: str) -> HistoricalRelation:
+    """The named relation as a HistoricalRelation, whatever the backend
+    (disk catalogs hand back StoredRelation pages)."""
+    relation = session.relation(rel)
+    if not hasattr(relation, "tuples"):
+        relation = relation.to_relation()
+    return relation
+
+
+def _scheme_of(session, relation: str):
+    getter = getattr(session, "scheme", None)
+    if getter is not None:
+        return getter(relation)
+    return session.relation(relation).scheme  # network client
+
+
+def _apply_mutation(target, op: MutationOp) -> None:
+    values = dict(op.values)
+    if op.op == "insert":
+        target.insert(op.relation, op.lifespan, values)
+    elif op.op == "update":
+        target.update(op.relation, op.key, op.at, values)
+    elif op.op == "terminate":
+        target.terminate(op.relation, op.key, op.at)
+    elif op.op == "reincarnate":
+        target.reincarnate(op.relation, op.key, op.lifespan, values)
+    else:
+        raise ValueError(f"unknown mutation op {op.op!r}")
+
+
+def _apply_evolution(session, op: EvolveOp) -> None:
+    scheme = _scheme_of(session, op.relation)
+    if op.action == "drop":
+        evolved = drop_attribute(scheme, op.attribute, op.at)
+    elif op.action == "readd":
+        if op.until is None:
+            evolved = readd_attribute(scheme, op.attribute, op.at)
+        else:
+            evolved = readd_attribute(scheme, op.attribute, op.at,
+                                      until=op.until)
+    else:
+        raise ValueError(f"unknown evolution action {op.action!r}")
+    session.evolve_scheme(op.relation, evolved)
+
+
+# ---------------------------------------------------------------------------
+# Measured, oracle-instrumented execution.
+# ---------------------------------------------------------------------------
+
+@dataclass
+class PersonaStats:
+    """What one persona did and how fast the engine answered."""
+
+    persona: str
+    latencies_ms: List[float] = field(default_factory=list)
+    ops: int = 0
+    queries: int = 0
+    mutations: int = 0
+    #: Commit attempts that lost first-committer-wins and were retried.
+    conflicts: int = 0
+    #: Ops abandoned after exhausting their retry budget.
+    failures: int = 0
+    elapsed_s: float = 0.0
+
+    def percentile(self, q: float) -> float:
+        if not self.latencies_ms:
+            return 0.0
+        ordered = sorted(self.latencies_ms)
+        index = min(len(ordered) - 1, int(q * len(ordered)))
+        return ordered[index]
+
+    def to_json(self) -> dict:
+        return {
+            "ops": self.ops,
+            "queries": self.queries,
+            "mutations": self.mutations,
+            "conflicts": self.conflicts,
+            "failures": self.failures,
+            "elapsed_s": round(self.elapsed_s, 4),
+            "throughput_ops_s": round(self.ops / self.elapsed_s, 2)
+            if self.elapsed_s > 0 else 0.0,
+            "latency_ms": {"p50": round(self.percentile(0.50), 3),
+                           "p95": round(self.percentile(0.95), 3),
+                           "p99": round(self.percentile(0.99), 3)},
+        }
+
+
+def _execute(session, op, oracle: Optional[HistoryOracle], oracle_id: str,
+             stats: PersonaStats) -> None:
+    if op.kind == "query":
+        session.query(op.hrql, dict(op.params))
+        stats.queries += 1
+    elif op.kind == "mutation":
+        if oracle is not None:
+            oracle.begin_commit(oracle_id, {op.relation: {op.key}})
+        try:
+            _apply_mutation(session, op)
+        except ConflictError:
+            # The engine already retried internally; a surviving
+            # conflict means the op lost every race.
+            if oracle is not None:
+                oracle.aborted(oracle_id)
+            stats.conflicts += 1
+            stats.failures += 1
+        else:
+            if oracle is not None:
+                oracle.committed(oracle_id)
+            stats.mutations += 1
+    elif op.kind == "evolve":
+        # Evolution rewrites schemes, not key sets — nothing for the
+        # key-cut oracle to track.
+        _apply_evolution(session, op)
+        stats.mutations += 1
+    elif op.kind == "burst":
+        writes: Dict[str, set] = {}
+        for m in op.ops:
+            writes.setdefault(m.relation, set()).add(m.key)
+        for _attempt in range(BURST_ATTEMPTS):
+            if oracle is not None:
+                oracle.begin_commit(oracle_id, writes)
+            try:
+                with session.transaction() as txn:
+                    for m in op.ops:
+                        _apply_mutation(txn, m)
+            except ConflictError:
+                if oracle is not None:
+                    oracle.aborted(oracle_id)
+                stats.conflicts += 1
+            else:
+                if oracle is not None:
+                    oracle.committed(oracle_id)
+                stats.mutations += len(op.ops)
+                return
+        stats.failures += 1
+    else:
+        raise ValueError(f"unknown op kind {op.kind!r}")
+
+
+def _persona_worker(scenario: Scenario, persona: str, script, session,
+                    oracle: Optional[HistoryOracle], mode: str,
+                    rate: Optional[float], stats: PersonaStats,
+                    errors: list) -> None:
+    oracle_id = f"{scenario.name}:{persona}"
+    started = time.perf_counter()
+    try:
+        for i, op in enumerate(script):
+            if mode == "open" and rate:
+                scheduled = started + i / rate
+                now = time.perf_counter()
+                if now < scheduled:
+                    time.sleep(scheduled - now)
+                op_start = scheduled  # queueing delay counts
+            else:
+                op_start = time.perf_counter()
+            _execute(session, op, oracle, oracle_id, stats)
+            stats.latencies_ms.append(
+                (time.perf_counter() - op_start) * 1000.0)
+            stats.ops += 1
+            if oracle is not None and (i + 1) % OBSERVE_EVERY == 0:
+                # One observation stream per (persona, relation): each
+                # relation fetch is its own snapshot, so mixing them
+                # into one observer would trip the monotone check.
+                for rel in scenario.relations:
+                    keys = {t.key_value()
+                            for t in _fetch_relation(session, rel).tuples}
+                    oracle.observed(f"{oracle_id}:{rel}", {rel: keys})
+    except Exception as exc:  # surfaced after join — runs fail loudly
+        errors.append((persona, exc))
+    finally:
+        stats.elapsed_s = time.perf_counter() - started
+
+
+@dataclass
+class RunResult:
+    """One verified harness run: measurements plus its provenance."""
+
+    scenario: str
+    seed: int
+    engine: str
+    storage: str
+    mode: str
+    knobs: Knobs
+    personas: Dict[str, PersonaStats]
+    oracle_events: int
+    verified: bool
+    elapsed_s: float
+
+    @property
+    def total_ops(self) -> int:
+        return sum(s.ops for s in self.personas.values())
+
+    @property
+    def total_conflicts(self) -> int:
+        return sum(s.conflicts for s in self.personas.values())
+
+    def to_json(self) -> dict:
+        return {
+            "scenario": self.scenario,
+            "seed": self.seed,
+            "engine": self.engine,
+            "storage": self.storage,
+            "mode": self.mode,
+            "knobs": self.knobs.to_json(),
+            "personas": {p: s.to_json()
+                         for p, s in sorted(self.personas.items())},
+            "total_ops": self.total_ops,
+            "total_conflicts": self.total_conflicts,
+            "oracle_events": self.oracle_events,
+            "verified": self.verified,
+            "elapsed_s": round(self.elapsed_s, 4),
+        }
+
+
+def run_scenario(scenario: Union[str, Scenario],
+                 knobs: Optional[Knobs] = None, *,
+                 engine: str = "embedded",
+                 storage: str = "memory",
+                 path=None,
+                 mode: str = "closed",
+                 rate: Optional[float] = None,
+                 verify: bool = True) -> RunResult:
+    """Run *scenario* with concurrent persona sessions and verify it.
+
+    *engine* is ``"embedded"`` (threads share the database object) or
+    ``"server"`` (an in-process :class:`~repro.server.DatabaseServer`
+    with one network client per persona). *mode* is ``"closed"`` or
+    ``"open"`` (with *rate* ops/s per persona). With *verify* (the
+    default) the run must pass the snapshot-isolation oracle **and**
+    the scenario's semantic invariants, or this raises.
+    """
+    if isinstance(scenario, str):
+        scenario = get_scenario(scenario)
+    knobs = knobs or Knobs()
+    if path is not None:
+        db = HistoricalDatabase(scenario.name, path=path)
+    else:
+        db = HistoricalDatabase(scenario.name)
+    scenario.bootstrap(db, knobs, storage=storage)
+    oracle = HistoryOracle() if verify else None
+    scripts = scenario.scripts(knobs)
+    stats = {p: PersonaStats(p) for p in scenario.personas}
+    errors: list = []
+
+    started = time.perf_counter()
+    if engine == "embedded":
+        _drive(scenario, scripts, {p: db for p in scenario.personas},
+               oracle, mode, rate, stats, errors)
+    elif engine == "server":
+        from repro.client import connect
+        from repro.server import DatabaseServer
+        with DatabaseServer(db) as server:
+            sessions = {p: connect(*server.address)
+                        for p in scenario.personas}
+            try:
+                _drive(scenario, scripts, sessions, oracle, mode, rate,
+                       stats, errors)
+            finally:
+                for session in sessions.values():
+                    session.close()
+    else:
+        raise ValueError(f"unknown engine {engine!r}")
+    elapsed = time.perf_counter() - started
+
+    if errors:
+        persona, exc = errors[0]
+        raise RuntimeError(
+            f"scenario {scenario.name!r} persona {persona!r} failed: "
+            f"{exc!r}") from exc
+
+    verified = False
+    if verify:
+        oracle.verify(initial=scenario.initial_keys(knobs), monotone=True)
+        catalog = {rel: _fetch_relation(db, rel)
+                   for rel in scenario.relations}
+        scenario.verify(catalog, knobs)
+        verified = True
+
+    return RunResult(
+        scenario=scenario.name, seed=knobs.seed, engine=engine,
+        storage=storage, mode=mode, knobs=knobs, personas=stats,
+        oracle_events=oracle._seq if oracle is not None else 0,
+        verified=verified, elapsed_s=elapsed)
+
+
+def _drive(scenario, scripts, sessions, oracle, mode, rate, stats,
+           errors) -> None:
+    threads = [
+        threading.Thread(
+            target=_persona_worker,
+            args=(scenario, persona, scripts[persona], sessions[persona],
+                  oracle, mode, rate, stats[persona], errors),
+            name=f"{scenario.name}-{persona}", daemon=True)
+        for persona in scenario.personas
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(JOIN_TIMEOUT)
+        if thread.is_alive():
+            raise RuntimeError(
+                f"persona thread {thread.name} did not finish within "
+                f"{JOIN_TIMEOUT}s")
+
+
+# ---------------------------------------------------------------------------
+# Deterministic sequential replay + digests — the differential-twin
+# surface (memory vs disk vs over-the-wire must agree byte-for-byte).
+# ---------------------------------------------------------------------------
+
+def _relation_rows(relation: HistoricalRelation) -> list:
+    rows = []
+    for t in sorted(relation.tuples, key=lambda t: str(t.key_value())):
+        attrs = {a: t.value(a) for a in relation.scheme.attributes}
+        rows.append((t.key_value(), t.lifespan, attrs))
+    return rows
+
+
+def result_digest(result) -> str:
+    """A stable digest of one query result (relation or lifespan)."""
+    value = result.value
+    if isinstance(value, HistoricalRelation):
+        return fingerprint(_relation_rows(value))
+    return fingerprint(value)
+
+
+def catalog_digest(session, relations) -> str:
+    """A stable digest of the named relations' full contents."""
+    parts = [(rel, _relation_rows(_fetch_relation(session, rel)))
+             for rel in sorted(relations)]
+    return fingerprint(parts)
+
+
+def replay(session, scenario: Union[str, Scenario],
+           knobs: Optional[Knobs] = None) -> List[Tuple[Tuple[str, int], str]]:
+    """Sequentially replay every persona script on one *session*.
+
+    Personas run one after another in registry order, so the history is
+    fully deterministic. Returns ``((persona, op_index), digest)`` for
+    every query op; compare lists (and a :func:`catalog_digest`) across
+    backends for differential testing. The session must already hold
+    the scenario's relations (see :meth:`Scenario.bootstrap`).
+    """
+    if isinstance(scenario, str):
+        scenario = get_scenario(scenario)
+    knobs = knobs or Knobs()
+    digests: List[Tuple[Tuple[str, int], str]] = []
+    for persona in scenario.personas:
+        for i, op in enumerate(scenario.script(persona, knobs)):
+            if op.kind == "query":
+                result = session.query(op.hrql, dict(op.params))
+                digests.append(((persona, i), result_digest(result)))
+            elif op.kind == "mutation":
+                _apply_mutation(session, op)
+            elif op.kind == "evolve":
+                _apply_evolution(session, op)
+            elif op.kind == "burst":
+                with session.transaction() as txn:
+                    for m in op.ops:
+                        _apply_mutation(txn, m)
+            else:
+                raise ValueError(f"unknown op kind {op.kind!r}")
+    return digests

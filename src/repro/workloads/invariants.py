@@ -1,0 +1,220 @@
+"""Per-scenario semantic invariants the harness checks after every run.
+
+The history oracle (:mod:`repro.workloads.oracle`) knows nothing about
+what the data *means* — it checks snapshot isolation over key cuts.
+These checks close the gap: each scenario in
+:mod:`repro.workloads.scenarios` pairs its traffic with a semantic
+predicate over the final catalog (salary histories stay continuous and
+non-decreasing across rehires, dropped attributes stay invisible
+outside the evolved lifespans, audit trails stay contiguous with one
+open version, enrollments never outlive their students), and
+:meth:`Scenario.verify` calls into this module.
+
+All checks accept a :class:`~repro.core.relation.HistoricalRelation` —
+an embedded catalog's relation or one fetched over the wire — so the
+same predicate gates embedded runs, server runs, and the differential
+twin tests.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.core.lifespan import Lifespan
+from repro.core.relation import HistoricalRelation
+
+__all__ = [
+    "InvariantViolation",
+    "check_battery_levels",
+    "check_evolution_visibility",
+    "check_lifespans_within",
+    "check_positive",
+    "check_referential_integrity",
+    "check_salary_continuity",
+    "check_scd_versions",
+    "check_total_on_lifespan",
+]
+
+
+class InvariantViolation(AssertionError):
+    """A final catalog broke a scenario's semantic invariant."""
+
+
+def _segments(tuple_, attr):
+    """The attribute's value segments, sorted by start chronon."""
+    return sorted(tuple_.value(attr).items(), key=lambda item: item[0])
+
+
+def check_lifespans_within(relation: HistoricalRelation,
+                           window: Lifespan) -> None:
+    """Every tuple's lifespan stays inside the scenario *window*."""
+    for t in relation.tuples:
+        if not t.lifespan.issubset(window):
+            raise InvariantViolation(
+                f"{relation.scheme.name}{t.key_value()}: lifespan "
+                f"{t.lifespan} escapes the scenario window {window}")
+
+
+def check_total_on_lifespan(relation: HistoricalRelation,
+                            attr: str) -> None:
+    """*attr* has a value at every chronon of every tuple's lifespan."""
+    for t in relation.tuples:
+        domain = t.value(attr).domain
+        if not t.lifespan.issubset(domain):
+            raise InvariantViolation(
+                f"{relation.scheme.name}{t.key_value()}: {attr} undefined "
+                f"on part of the lifespan (domain {domain}, "
+                f"lifespan {t.lifespan})")
+
+
+def check_salary_continuity(relation: HistoricalRelation) -> None:
+    """Salary histories are continuous and non-decreasing across rehires.
+
+    Continuity: SALARY is defined on every employment chronon, gaps
+    included-out — a rehire resumes the history, it doesn't hole it.
+    Monotonicity: read in time order, salaries never drop (the paper's
+    Section 1 payroll rule, also enforced live by the ``NonDecreasing``
+    constraint; checking it again on the final catalog catches any
+    write path that slipped past the constraint machinery).
+    """
+    check_total_on_lifespan(relation, "SALARY")
+    for t in relation.tuples:
+        previous = None
+        for (lo, hi), value in _segments(t, "SALARY"):
+            if previous is not None and value < previous:
+                raise InvariantViolation(
+                    f"{relation.scheme.name}{t.key_value()}: salary drops "
+                    f"to {value} at chronon {lo} (was {previous})")
+            previous = value
+
+
+def check_evolution_visibility(relation: HistoricalRelation, attr: str,
+                               expected: Lifespan) -> None:
+    """Figure 6 visibility: *attr* exists exactly on the evolved lifespan.
+
+    The scheme's attribute lifespan must equal the replayed evolution
+    schedule, and no tuple may carry a value outside it — a dropped
+    era's values must stay invisible even after the attribute returns.
+    """
+    actual = relation.scheme.als(attr)
+    if actual != expected:
+        raise InvariantViolation(
+            f"{relation.scheme.name}.{attr}: attribute lifespan {actual} "
+            f"!= the replayed evolution schedule {expected}")
+    for t in relation.tuples:
+        domain = t.value(attr).domain
+        if not domain.issubset(expected):
+            raise InvariantViolation(
+                f"{relation.scheme.name}{t.key_value()}: {attr} has values "
+                f"on {domain}, outside the evolved lifespan {expected}")
+
+
+def check_positive(relation: HistoricalRelation, attr: str) -> None:
+    """Every recorded value of *attr* is strictly positive."""
+    for t in relation.tuples:
+        for (lo, hi), value in _segments(t, attr):
+            if not value > 0:
+                raise InvariantViolation(
+                    f"{relation.scheme.name}{t.key_value()}: {attr} is "
+                    f"{value!r} at chronon {lo}")
+
+
+def check_battery_levels(relation: HistoricalRelation) -> None:
+    """Battery levels stay in [0, 100] and drain within an incarnation.
+
+    Non-increasing is checked per maximal employment interval (a
+    re-provisioned sensor ships with a fresh battery — the live
+    constraint uses ``reset_on_gap=True`` for the same reason).
+    """
+    for t in relation.tuples:
+        segments = _segments(t, "BATTERY")
+        for (lo, hi), value in segments:
+            if not 0 <= value <= 100:
+                raise InvariantViolation(
+                    f"{relation.scheme.name}{t.key_value()}: battery "
+                    f"{value!r} out of [0, 100] at chronon {lo}")
+        for span_lo, span_hi in t.lifespan.intervals:
+            previous = None
+            for (lo, hi), value in segments:
+                if lo < span_lo or lo > span_hi:
+                    continue
+                if previous is not None and value > previous:
+                    raise InvariantViolation(
+                        f"{relation.scheme.name}{t.key_value()}: battery "
+                        f"climbs to {value} at chronon {lo} (was "
+                        f"{previous}) inside incarnation "
+                        f"[{span_lo}, {span_hi}]")
+                previous = value
+
+
+def check_scd_versions(relation: HistoricalRelation, *,
+                       horizon: int) -> None:
+    """Type-2 SCD shape: per entity, versions form one contiguous,
+    disjoint chain with exactly one open (current) version.
+
+    * every version's validity is a single interval;
+    * version starts strictly increase with the version number;
+    * consecutive versions meet without gap or overlap;
+    * the chain covers ``[first start, horizon]`` and only the last
+      version is open (ends at *horizon*).
+    """
+    by_entity: dict = {}
+    for t in relation.tuples:
+        entity, ver = t.key_value()
+        by_entity.setdefault(entity, []).append((ver, t.lifespan))
+    for entity, versions in sorted(by_entity.items()):
+        versions.sort(key=lambda pair: pair[0])
+        previous_end = None
+        for ver, lifespan in versions:
+            if len(lifespan.intervals) != 1:
+                raise InvariantViolation(
+                    f"AUDIT({entity!r}, {ver!r}): validity {lifespan} "
+                    f"is not a single interval")
+            lo, hi = lifespan.intervals[0]
+            if previous_end is not None and lo != previous_end + 1:
+                raise InvariantViolation(
+                    f"AUDIT({entity!r}, {ver!r}): starts at {lo}, but the "
+                    f"previous version ended at {previous_end} — the "
+                    f"audit trail has a gap or overlap")
+            previous_end = hi
+        if previous_end != horizon:
+            raise InvariantViolation(
+                f"AUDIT {entity!r}: no open version — the trail ends at "
+                f"{previous_end}, horizon is {horizon}")
+        open_versions = [v for v, ls in versions
+                         if ls.intervals[-1][1] == horizon]
+        if len(open_versions) != 1:
+            raise InvariantViolation(
+                f"AUDIT {entity!r}: {len(open_versions)} open versions "
+                f"({open_versions}); a type-2 dimension keeps exactly one")
+
+
+def check_referential_integrity(
+        relation: HistoricalRelation,
+        targets: Mapping[str, HistoricalRelation]) -> None:
+    """Temporal referential integrity (the paper's Section 1 example).
+
+    For each foreign-key attribute → target relation in *targets*,
+    every referencing tuple's lifespan must be covered by the lifespan
+    of the referenced tuple: no enrollment outlives its student or its
+    course, even across re-enrollments.
+    """
+    key_attrs = list(relation.scheme.key)
+    target_index: dict = {}
+    for attr, target in targets.items():
+        target_index[attr] = {t.key_value(): t.lifespan
+                              for t in target.tuples}
+    for t in relation.tuples:
+        key = t.key_value()
+        for attr, index in target_index.items():
+            value = key[key_attrs.index(attr)]
+            target_lifespan = index.get((value,))
+            if target_lifespan is None:
+                raise InvariantViolation(
+                    f"{relation.scheme.name}{key}: references "
+                    f"{attr}={value!r}, which does not exist")
+            if not t.lifespan.issubset(target_lifespan):
+                raise InvariantViolation(
+                    f"{relation.scheme.name}{key}: alive on {t.lifespan}, "
+                    f"but {attr}={value!r} only lives on "
+                    f"{target_lifespan}")

@@ -1,0 +1,230 @@
+"""Personas and difficulty knobs for the workload foundry.
+
+A *persona* is a named client archetype with a fixed operation mix —
+the "clerk-as-character" design from the agentic-data-analysis
+exemplar: personas are persistent characters with locked habits, not
+sampling functions. Every scenario in :mod:`repro.workloads.scenarios`
+scripts the same three personas against its own schema:
+
+``analyst``
+    Temporal slices: ``SELECT ... DURING [lo, hi]`` windows and
+    ``TIMESLICE`` queries, concentrated on the scenario's temporal
+    hotspot (dashboards look at *now*; analysts look at the busy
+    quarter).
+``dashboard``
+    Point lookups on skewed keys — a Zipf-ish popularity distribution
+    controlled by :attr:`Knobs.skew`, so a few hot entities absorb
+    most reads (and, under ``key_overlap``, most write conflicts).
+``bulk_loader``
+    Bursts of inserts/updates batched into transactions — the
+    ingestion path that loads new entities and churns existing ones.
+
+Scripts are **data, not behavior**: a persona's script is a tuple of
+declarative :class:`Op` values produced deterministically from
+``(scenario, persona, knobs)``. The harness replays scripts against
+any engine — embedded catalog, disk catalog, or a network client —
+which is what makes differential (twin) testing and byte-identical
+reproducibility possible.
+
+The difficulty knobs (:class:`Knobs`) are the levers every benchmark
+and stress test shares: ``scale`` grows the entity population
+(monotonically — a larger scale is a superset of a smaller one),
+``skew`` sharpens key popularity, ``key_overlap`` raises the chance
+two writer personas touch the same key in the same run (conflict
+pressure for the MVCC validator), and ``evolution_events`` fires
+schema evolutions mid-run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass, field, fields
+from typing import Any, Mapping, Optional, Sequence, Tuple
+
+from repro.core.lifespan import Lifespan
+from repro.core.tfunc import TemporalFunction
+
+#: The persona names every scenario scripts, in a fixed order.
+PERSONAS = ("analyst", "dashboard", "bulk_loader")
+
+
+@dataclass(frozen=True)
+class Knobs:
+    """Difficulty knobs shared by every scenario.
+
+    >>> Knobs(scale=2.0).entity_count(10)
+    20
+    >>> Knobs().derive(skew=3.0).skew
+    3.0
+    """
+
+    #: Entity-population multiplier. Scale-monotone: the entities at
+    #: ``scale=s`` are a subset of the entities at any ``scale >= s``.
+    scale: float = 1.0
+    #: Zipf-ish exponent for key popularity (0 = uniform).
+    skew: float = 1.2
+    #: Probability a writer op targets the shared hot-key range
+    #: instead of the persona's private range — conflict pressure.
+    key_overlap: float = 0.05
+    #: Schema-evolution events fired mid-run (Figure 6 drop/re-add).
+    evolution_events: int = 1
+    #: Master seed: same seed ⇒ byte-identical datasets and scripts.
+    seed: int = 7
+    #: Ops per persona script.
+    ops_per_persona: int = 90
+
+    def entity_count(self, base: int) -> int:
+        """The scaled entity population for a scenario's *base* count."""
+        return max(2, int(base * self.scale))
+
+    def derive(self, **changes: Any) -> "Knobs":
+        """A copy with *changes* applied (frozen-dataclass ``replace``)."""
+        current = {f.name: getattr(self, f.name) for f in fields(self)}
+        current.update(changes)
+        return Knobs(**current)
+
+    def to_json(self) -> dict:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+
+# ---------------------------------------------------------------------------
+# The declarative op model. Scripts are tuples of these; the harness
+# interprets them against an engine.
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class QueryOp:
+    """One HRQL query with bound parameters (sorted pairs, canonical)."""
+    hrql: str
+    params: Tuple[Tuple[str, Any], ...] = ()
+
+    kind = "query"
+
+
+@dataclass(frozen=True)
+class MutationOp:
+    """One keyed mutation: insert / update / terminate / reincarnate."""
+    op: str
+    relation: str
+    key: tuple
+    lifespan: Optional[Lifespan] = None
+    at: Optional[int] = None
+    #: Attribute values as sorted ``(name, value)`` pairs.
+    values: Tuple[Tuple[str, Any], ...] = ()
+
+    kind = "mutation"
+
+
+@dataclass(frozen=True)
+class EvolveOp:
+    """A schema-evolution event — Figure 6's drop / re-add cycle."""
+    relation: str
+    action: str  # "drop" | "readd"
+    attribute: str
+    at: int
+    #: Re-add window end (bounded, so histories stay finite).
+    until: Optional[int] = None
+
+    kind = "evolve"
+
+
+@dataclass(frozen=True)
+class BurstOp:
+    """A bulk-loader burst: mutations applied in one transaction."""
+    ops: Tuple[MutationOp, ...]
+
+    kind = "burst"
+
+
+#: Anything a persona script may contain.
+Op = Any
+
+
+def pairs(mapping: Mapping[str, Any]) -> Tuple[Tuple[str, Any], ...]:
+    """A mapping as canonically ordered (attr, value) pairs."""
+    return tuple(sorted(mapping.items()))
+
+
+# ---------------------------------------------------------------------------
+# Deterministic randomness helpers. ``random.Random(str)`` seeds from
+# the string's *bytes* (not ``hash()``), so every draw is identical
+# across processes and ``PYTHONHASHSEED`` values.
+# ---------------------------------------------------------------------------
+
+def rng_for(*parts: Any) -> random.Random:
+    """A process-stable RNG derived from the joined *parts*.
+
+    >>> rng_for(7, "hr", "analyst").random() == rng_for(7, "hr", "analyst").random()
+    True
+    """
+    return random.Random(":".join(str(p) for p in parts))
+
+
+def zipf_index(rng: random.Random, n: int, skew: float) -> int:
+    """Draw an index in ``[0, n)`` with Zipf-ish popularity.
+
+    Rank 0 is the hottest; ``skew=0`` degenerates to uniform.
+
+    >>> r = rng_for(1, "zipf")
+    >>> all(0 <= zipf_index(r, 10, 2.0) < 10 for _ in range(100))
+    True
+    """
+    if n <= 1:
+        return 0
+    if skew <= 0:
+        return rng.randrange(n)
+    weights = [1.0 / (rank + 1) ** skew for rank in range(n)]
+    total = sum(weights)
+    point = rng.random() * total
+    acc = 0.0
+    for rank, weight in enumerate(weights):
+        acc += weight
+        if point <= acc:
+            return rank
+    return n - 1
+
+
+# ---------------------------------------------------------------------------
+# Canonical serialization — the byte-identity surface. Fingerprints of
+# datasets and scripts are how the property tests assert cross-process
+# determinism, so the encoding must itself be order- and
+# hash-seed-stable.
+# ---------------------------------------------------------------------------
+
+def canonical(value: Any) -> str:
+    """A canonical, hash-seed-independent text encoding of *value*."""
+    if isinstance(value, Lifespan):
+        return "L" + repr(tuple(value.intervals))
+    if isinstance(value, TemporalFunction):
+        return "F[" + ",".join(
+            f"({lo},{hi})={canonical(v)}" for (lo, hi), v in value.items()) + "]"
+    if isinstance(value, dict):
+        inner = ",".join(f"{canonical(k)}:{canonical(v)}"
+                         for k, v in sorted(value.items(), key=lambda kv: str(kv[0])))
+        return "{" + inner + "}"
+    if isinstance(value, (list, tuple)):
+        return "(" + ",".join(canonical(v) for v in value) + ")"
+    if isinstance(value, (QueryOp, MutationOp, EvolveOp, BurstOp)):
+        parts = [type(value).__name__]
+        for f in fields(value):
+            parts.append(f"{f.name}={canonical(getattr(value, f.name))}")
+        return "<" + ";".join(parts) + ">"
+    if isinstance(value, float):
+        return repr(round(value, 9))
+    return repr(value)
+
+
+def fingerprint(*values: Any) -> str:
+    """A stable sha256 hex digest of the canonical form of *values*.
+
+    >>> fingerprint([1, 2]) == fingerprint((1, 2))
+    True
+    >>> len(fingerprint("x"))
+    64
+    """
+    digest = hashlib.sha256()
+    for value in values:
+        digest.update(canonical(value).encode("utf-8"))
+        digest.update(b"\x00")
+    return digest.hexdigest()

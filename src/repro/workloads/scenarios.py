@@ -1,0 +1,1044 @@
+"""The scenario registry — named, seeded, scale-parameterized workloads.
+
+Every scenario is one *kind of traffic* the ROADMAP's north star asks
+the engine to survive, packaged as pure data: a schema, a
+deterministic initial dataset, live integrity constraints, three
+persona op scripts (see :mod:`repro.workloads.personas`), and a
+post-run invariant check. Scenarios never touch an engine themselves —
+the harness (:mod:`repro.workloads.harness`) replays them against an
+embedded catalog, a disk catalog, or a network client, which is what
+makes the memory/disk/server differential tests and the benchmark
+driver share one traffic substrate.
+
+Determinism contract (property-tested in ``tests/test_scenarios.py``):
+
+* same :class:`~repro.workloads.personas.Knobs` (and in particular the
+  same ``seed``) ⇒ byte-identical datasets and scripts, across
+  processes and ``PYTHONHASHSEED`` values —
+  :meth:`Scenario.fingerprint` is the digest that pins this down;
+* a larger ``scale`` knob ⇒ a strict superset of entities: entity
+  ``i``'s history is derived from ``(seed, scenario, entity_id)``
+  alone, never from the population size.
+
+The registry::
+
+    >>> from repro.workloads.scenarios import SCENARIOS, get_scenario
+    >>> sorted(SCENARIOS)
+    ['enrollment_churn', 'hr_rehires', 'iot_fleet', 'scd_audit', 'stock_ticks']
+    >>> get_scenario("hr_rehires").relations
+    ('EMP',)
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from repro.core import domains
+from repro.core.lifespan import Lifespan
+from repro.core.relation import HistoricalRelation
+from repro.core.scheme import RelationScheme
+from repro.core.tfunc import TemporalFunction
+from repro.database.integrity import (NonDecreasing, NonIncreasing,
+                                      TemporalForeignKey)
+from repro.workloads import invariants as inv
+from repro.workloads.personas import (PERSONAS, BurstOp, EvolveOp, Knobs,
+                                      MutationOp, Op, QueryOp, fingerprint,
+                                      pairs, rng_for, zipf_index)
+
+#: One dataset row: (lifespan, {attr: scalar | TemporalFunction}).
+Row = Tuple[Lifespan, Dict[str, Any]]
+
+
+class Scenario:
+    """Base class: a named, seeded, scale-parameterized workload."""
+
+    name: str = ""
+    description: str = ""
+    relations: Tuple[str, ...] = ()
+    personas: Tuple[str, ...] = PERSONAS
+    horizon: int = 100
+    #: Chance an entity (beyond the first two, which are always hot) is
+    #: drawn as a full-lifespan "hot" entity.
+    hot_fraction: float = 0.25
+
+    # -- the per-scenario surface ------------------------------------------
+
+    def schemes(self, knobs: Knobs) -> Dict[str, RelationScheme]:
+        raise NotImplementedError
+
+    def dataset(self, knobs: Knobs) -> Dict[str, List[Row]]:
+        """The deterministic initial load, relation → rows."""
+        raise NotImplementedError
+
+    def constraints(self, knobs: Knobs) -> list:
+        """Integrity constraints registered live on the database."""
+        return []
+
+    def script(self, persona: str, knobs: Knobs) -> Tuple[Op, ...]:
+        """The persona's deterministic op script."""
+        raise NotImplementedError
+
+    def verify(self, catalog: Mapping[str, Any], knobs: Knobs) -> None:
+        """Check the scenario's semantic invariants on a final state.
+
+        *catalog* maps relation name → relation value (embedded or
+        fetched over the wire). Raises
+        :class:`~repro.workloads.invariants.InvariantViolation`.
+        """
+        raise NotImplementedError
+
+    # -- shared machinery ---------------------------------------------------
+
+    def scripts(self, knobs: Knobs) -> Dict[str, Tuple[Op, ...]]:
+        return {p: self.script(p, knobs) for p in self.personas}
+
+    def hot_entities(self, knobs: Knobs, entities: List[str]) -> List[str]:
+        """The full-lifespan hot subset of *entities*.
+
+        Hotness is a per-entity draw (never a population slice), so an
+        entity keeps its history when the ``scale`` knob grows — the
+        scale-monotonicity property depends on this. The first two
+        entities are always hot, so persona scripts always have hot
+        keys to target.
+        """
+        return [e for index, e in enumerate(entities)
+                if index < 2
+                or (rng_for(knobs.seed, self.name, e, "hot").random()
+                    < self.hot_fraction)]
+
+    def bootstrap(self, db, knobs: Knobs, *, storage: str = "memory",
+                  constraints: bool = True) -> None:
+        """Create this scenario's relations + constraints on *db*.
+
+        ``constraints=False`` loads the dataset without registering the
+        live integrity constraints — for microbenchmarks that measure
+        the service layer rather than the per-commit constraint sweep
+        (the sweep rescans the watched relation on every commit).
+        """
+        for rel, scheme in self.schemes(knobs).items():
+            rows = self.dataset(knobs).get(rel, [])
+            relation = HistoricalRelation.from_rows(scheme, rows)
+            db.create_relation(scheme, relation.tuples, storage=storage)
+        if constraints:
+            for constraint in self.constraints(knobs):
+                db.add_constraint(constraint)
+
+    def initial_keys(self, knobs: Knobs) -> Dict[str, set]:
+        """Relation → key tuples of the initial dataset (oracle seed)."""
+        keys: Dict[str, set] = {}
+        schemes = self.schemes(knobs)
+        for rel, rows in self.dataset(knobs).items():
+            key_attrs = schemes[rel].key
+            keys[rel] = {tuple(values[a] for a in key_attrs)
+                         for _, values in rows}
+        return keys
+
+    def fingerprint(self, knobs: Knobs) -> str:
+        """A sha256 digest of schemes + dataset + every persona script.
+
+        Byte-identical across processes and hash seeds — the
+        determinism property the foundry guarantees.
+        """
+        schemes = [
+            (rel, scheme.key,
+             [(a, repr(scheme.domains()[a]), tuple(scheme.als(a).intervals))
+              for a in sorted(scheme.attributes)])
+            for rel, scheme in sorted(self.schemes(knobs).items())
+        ]
+        dataset = sorted(
+            (rel, [(ls, values) for ls, values in rows])
+            for rel, rows in self.dataset(knobs).items()
+        )
+        scripts = [(p, self.script(p, knobs)) for p in self.personas]
+        return fingerprint(self.name, knobs.to_json(), schemes, dataset,
+                           scripts)
+
+    def describe(self) -> dict:
+        return {
+            "name": self.name,
+            "description": self.description,
+            "relations": list(self.relations),
+            "personas": list(self.personas),
+            "horizon": self.horizon,
+        }
+
+    def __repr__(self) -> str:
+        return f"<Scenario {self.name!r}>"
+
+
+#: The registry, name → scenario (populated by :func:`register`).
+SCENARIOS: Dict[str, Scenario] = {}
+
+
+def register(scenario: Scenario) -> Scenario:
+    """Install *scenario* in the registry (last registration wins)."""
+    SCENARIOS[scenario.name] = scenario
+    return scenario
+
+
+def get_scenario(name: str) -> Scenario:
+    """Look up a registered scenario by name.
+
+    >>> get_scenario("no_such") # doctest: +IGNORE_EXCEPTION_DETAIL
+    Traceback (most recent call last):
+    KeyError: ...
+    """
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        known = ", ".join(sorted(SCENARIOS))
+        raise KeyError(
+            f"no scenario named {name!r}; registered: {known}") from None
+
+
+# ---------------------------------------------------------------------------
+# 1. HR with rehires — skewed departments, temporal hotspots, and the
+# paper's Section 1 hire / fire / re-hire cycle as live churn.
+# ---------------------------------------------------------------------------
+
+_DEPARTMENTS = ("Toys", "Shoes", "Books", "Tools", "Foods", "Music", "Games")
+
+#: Scripted salary constants: a function of the update chronon, so any
+#: interleaving of concurrent raises leaves salaries non-decreasing
+#: (larger chronon ⇒ larger constant, and every constant clears the
+#: dataset's salary ceiling).
+_SALARY_FLOOR = 150_000
+
+
+def _scripted_salary(at: int) -> int:
+    return _SALARY_FLOOR + at * 100
+
+
+class HRRehires(Scenario):
+    name = "hr_rehires"
+    description = ("Personnel histories with skewed departments, a "
+                   "temporal hotspot, and hire/fire/re-hire churn")
+    relations = ("EMP",)
+    horizon = 120
+    base_entities = 24
+    #: The busy quarter analysts keep slicing.
+    hotspot = (60, 80)
+
+    def schemes(self, knobs: Knobs) -> Dict[str, RelationScheme]:
+        window = Lifespan.interval(0, self.horizon)
+        return {"EMP": RelationScheme(
+            "EMP",
+            {"NAME": domains.cd(domains.STRING),
+             "SALARY": domains.td(domains.INTEGER),
+             "DEPT": domains.enumerated("dept", _DEPARTMENTS)},
+            key=["NAME"],
+            lifespans={"NAME": window, "SALARY": window, "DEPT": window},
+        )}
+
+    def _names(self, knobs: Knobs) -> List[str]:
+        n = knobs.entity_count(self.base_entities)
+        return [f"emp{i:04d}" for i in range(n)]
+
+    def _hot_names(self, knobs: Knobs) -> List[str]:
+        return self.hot_entities(knobs, self._names(knobs))
+
+    def _entity_row(self, name: str, hot: bool, knobs: Knobs) -> Row:
+        r = rng_for(knobs.seed, self.name, name)
+        if hot:
+            lifespan = Lifespan.interval(0, self.horizon)
+        else:
+            start = r.randrange(0, self.horizon // 2)
+            end = min(start + 20 + r.randrange(40), self.horizon - 2)
+            if r.random() < 0.4 and end - start > 24:
+                # A dataset rehire: employment interrupted by a gap.
+                mid = start + (end - start) // 2
+                lifespan = Lifespan((start, mid), (mid + 1 + r.randrange(2, 6), end))
+                lifespan &= Lifespan.interval(0, self.horizon)
+            else:
+                lifespan = Lifespan.interval(start, end)
+        salary = r.randrange(20_000, 60_000, 1000)
+        segments = []
+        for lo, hi in lifespan.intervals:
+            cursor = lo
+            while cursor <= hi:
+                stop = min(cursor + 11, hi)
+                segments.append(((cursor, stop), salary))
+                salary += r.randrange(0, 4000, 500)
+                cursor = stop + 1
+        dept = _DEPARTMENTS[zipf_index(r, len(_DEPARTMENTS), knobs.skew)]
+        return lifespan, {"NAME": name,
+                          "SALARY": TemporalFunction(segments),
+                          "DEPT": dept}
+
+    def dataset(self, knobs: Knobs) -> Dict[str, List[Row]]:
+        names = self._names(knobs)
+        hot = set(self._hot_names(knobs))
+        return {"EMP": [self._entity_row(n, n in hot, knobs) for n in names]}
+
+    def constraints(self, knobs: Knobs) -> list:
+        return [NonDecreasing("EMP", "SALARY")]
+
+    def _hot_key(self, r: random.Random, knobs: Knobs) -> str:
+        hot = self._hot_names(knobs)
+        return hot[zipf_index(r, len(hot), knobs.skew)]
+
+    def script(self, persona: str, knobs: Knobs) -> Tuple[Op, ...]:
+        r = rng_for(knobs.seed, self.name, persona)
+        ops: List[Op] = []
+        n_ops = knobs.ops_per_persona
+        lo_spot, hi_spot = self.hotspot
+        if persona == "analyst":
+            for j in range(n_ops):
+                roll = r.random()
+                if roll < 0.70:
+                    # Temporal hotspot: window starts cluster (Zipf) on
+                    # the busy quarter.
+                    lo = lo_spot + zipf_index(r, hi_spot - lo_spot + 20,
+                                              knobs.skew)
+                    lo = min(lo, self.horizon - 4)
+                    hi = min(lo + 2 + r.randrange(8), self.horizon)
+                    ops.append(QueryOp(
+                        "SELECT WHEN SALARY >= :min DURING [:lo, :hi] IN EMP",
+                        pairs({"min": 25_000 + 1000 * r.randrange(10),
+                               "lo": lo, "hi": hi})))
+                elif roll < 0.85:
+                    at = r.randrange(0, self.horizon - 10)
+                    ops.append(QueryOp("TIMESLICE EMP TO [:lo, :hi]",
+                                       pairs({"lo": at, "hi": at + 5})))
+                else:
+                    # Analyst correction: a raise on a hot employee.
+                    name = self._hot_key(r, knobs)
+                    at = r.randrange(5, self.horizon - 5)
+                    ops.append(MutationOp(
+                        "update", "EMP", (name,), at=at,
+                        values=pairs({"SALARY": _scripted_salary(at)})))
+        elif persona == "dashboard":
+            names = self._names(knobs)
+            for j in range(n_ops):
+                if r.random() < 0.85:
+                    name = names[zipf_index(r, len(names), knobs.skew)]
+                    ops.append(QueryOp("SELECT IF NAME = :name IN EMP",
+                                       pairs({"name": name})))
+                else:
+                    at = r.randrange(0, self.horizon)
+                    ops.append(QueryOp("TIMESLICE EMP TO [:lo, :hi]",
+                                       pairs({"lo": at, "hi": at})))
+        elif persona == "bulk_loader":
+            burst = 0
+            own: List[Tuple[str, int]] = []  # (name, span start)
+            while len(ops) < n_ops:
+                t0 = r.randrange(0, self.horizon - 50)
+                hires = []
+                for j in range(4):
+                    name = f"ld{knobs.seed}-{burst}-{j}"
+                    dept = _DEPARTMENTS[zipf_index(r, len(_DEPARTMENTS),
+                                                   knobs.skew)]
+                    hires.append(MutationOp(
+                        "insert", "EMP", (name,),
+                        lifespan=Lifespan.interval(t0, t0 + 25),
+                        values=pairs({"NAME": name, "DEPT": dept,
+                                      "SALARY": _scripted_salary(t0)})))
+                    own.append((name, t0))
+                ops.append(BurstOp(tuple(hires)))
+                burst += 1
+                if own and r.random() < 0.5:
+                    # A raise on one of this loader's own hires.
+                    name, t0 = own[r.randrange(len(own))]
+                    at = t0 + 1 + r.randrange(24)
+                    ops.append(MutationOp(
+                        "update", "EMP", (name,), at=at,
+                        values=pairs({"SALARY": _scripted_salary(at)})))
+                if own and r.random() < 0.35:
+                    # Re-hire an earlier batch's employee after a gap.
+                    name, t0 = own.pop(0)
+                    start = t0 + 30 + r.randrange(6)
+                    end = min(start + 15, self.horizon)
+                    ops.append(MutationOp(
+                        "reincarnate", "EMP", (name,),
+                        lifespan=Lifespan.interval(start, end),
+                        values=pairs({"NAME": name, "DEPT": "Tools",
+                                      "SALARY": _scripted_salary(start)})))
+                if r.random() < knobs.key_overlap:
+                    # Conflict pressure: touch the shared hot range.
+                    name = self._hot_key(r, knobs)
+                    at = r.randrange(5, self.horizon - 5)
+                    ops.append(MutationOp(
+                        "update", "EMP", (name,), at=at,
+                        values=pairs({"SALARY": _scripted_salary(at)})))
+        else:
+            raise KeyError(f"unknown persona {persona!r}")
+        return tuple(ops[:n_ops])
+
+    def verify(self, catalog: Mapping[str, Any], knobs: Knobs) -> None:
+        inv.check_salary_continuity(catalog["EMP"])
+        inv.check_lifespans_within(catalog["EMP"],
+                                   Lifespan.interval(0, self.horizon))
+
+
+# ---------------------------------------------------------------------------
+# 2. Stock ticks — fine-granularity daily prices, with the paper's
+# Figure 6 Daily-Trading-Volume schema evolution fired mid-run.
+# ---------------------------------------------------------------------------
+
+class StockTicks(Scenario):
+    name = "stock_ticks"
+    description = ("Fine-granularity stock ticks with the Figure 6 "
+                   "VOLUME drop / re-add schema evolution fired mid-run")
+    relations = ("STOCK",)
+    horizon = 100
+    base_entities = 12
+
+    def schemes(self, knobs: Knobs) -> Dict[str, RelationScheme]:
+        window = Lifespan.interval(0, self.horizon)
+        return {"STOCK": RelationScheme(
+            "STOCK",
+            {"TICKER": domains.cd(domains.STRING),
+             "PRICE": domains.td(domains.NUMBER),
+             "VOLUME": domains.td(domains.INTEGER)},
+            key=["TICKER"],
+            lifespans={"TICKER": window, "PRICE": window, "VOLUME": window},
+        )}
+
+    def _tickers(self, knobs: Knobs) -> List[str]:
+        n = knobs.entity_count(self.base_entities)
+        return [f"TK{i:03d}" for i in range(n)]
+
+    def _hot_tickers(self, knobs: Knobs) -> List[str]:
+        return self.hot_entities(knobs, self._tickers(knobs))
+
+    def evolution_schedule(self, knobs: Knobs) -> List[Tuple[str, int]]:
+        """The (action, chronon) evolution events this run fires.
+
+        Figure 6: VOLUME is dropped at ``t2`` ("too expensive to
+        collect") and re-added at ``t3`` ("a cheap outside source").
+        Multiple events chain further drop / re-add cycles.
+        """
+        events = []
+        for e in range(min(knobs.evolution_events, 2)):
+            events.append(("drop", 50 + 20 * e))
+            events.append(("readd", 58 + 20 * e))
+        return events
+
+    def expected_volume_lifespan(self, knobs: Knobs) -> Lifespan:
+        """VOLUME's attribute lifespan after the scheduled evolutions."""
+        als = Lifespan.interval(0, self.horizon)
+        for action, at in self.evolution_schedule(knobs):
+            if action == "drop":
+                als &= Lifespan.until(at - 1)
+            else:
+                als |= Lifespan.interval(at, self.horizon)
+        return als
+
+    def _entity_row(self, ticker: str, hot: bool, knobs: Knobs) -> Row:
+        r = rng_for(knobs.seed, self.name, ticker)
+        listed_at = 0 if hot else r.randrange(0, self.horizon // 3)
+        lifespan = Lifespan.interval(listed_at, self.horizon)
+        price = r.uniform(5.0, 500.0)
+        price_segments = []
+        volume_segments = []
+        for day in range(listed_at, self.horizon + 1):
+            price = max(5.0, price * r.uniform(0.97, 1.035))
+            price_segments.append(((day, day), round(price, 2)))
+            volume_segments.append(((day, day), r.randrange(1_000, 1_000_000)))
+        return lifespan, {"TICKER": ticker,
+                          "PRICE": TemporalFunction(price_segments),
+                          "VOLUME": TemporalFunction(volume_segments)}
+
+    def dataset(self, knobs: Knobs) -> Dict[str, List[Row]]:
+        hot = set(self._hot_tickers(knobs))
+        return {"STOCK": [self._entity_row(t, t in hot, knobs)
+                          for t in self._tickers(knobs)]}
+
+    def script(self, persona: str, knobs: Knobs) -> Tuple[Op, ...]:
+        r = rng_for(knobs.seed, self.name, persona)
+        ops: List[Op] = []
+        n_ops = knobs.ops_per_persona
+        if persona == "analyst":
+            for j in range(n_ops):
+                if r.random() < 0.75:
+                    lo = 40 + zipf_index(r, 50, knobs.skew)
+                    lo = min(lo, self.horizon - 4)
+                    ops.append(QueryOp(
+                        "SELECT WHEN PRICE >= :p DURING [:lo, :hi] IN STOCK",
+                        pairs({"p": 10.0 * (1 + r.randrange(20)),
+                               "lo": lo,
+                               "hi": min(lo + 1 + r.randrange(6),
+                                         self.horizon)})))
+                else:
+                    at = r.randrange(0, self.horizon)
+                    ops.append(QueryOp("TIMESLICE STOCK TO [:lo, :hi]",
+                                       pairs({"lo": at, "hi": at})))
+        elif persona == "dashboard":
+            tickers = self._tickers(knobs)
+            for j in range(n_ops):
+                ticker = tickers[zipf_index(r, len(tickers), knobs.skew)]
+                ops.append(QueryOp("SELECT IF TICKER = :t IN STOCK",
+                                   pairs({"t": ticker})))
+        elif persona == "bulk_loader":
+            schedule = self.evolution_schedule(knobs)
+            hot = self._hot_tickers(knobs)
+            listing = 0
+            # Evolution events fire at evenly spaced script positions
+            # in the middle third of the run.
+            body = max(1, n_ops - len(schedule))
+            positions = {max(1, body // 3 + e * max(1, body // 6)): ev
+                         for e, ev in enumerate(schedule)}
+            readded_since: Optional[int] = None
+            j = 0
+            while len(ops) < n_ops:
+                event = positions.get(j)
+                j += 1
+                if event is not None:
+                    action, at = event
+                    ops.append(EvolveOp("STOCK", action, "VOLUME", at,
+                                        until=self.horizon))
+                    readded_since = at if action == "readd" else None
+                    continue
+                roll = r.random()
+                if roll < 0.5:
+                    # A price tick burst on hot tickers.
+                    ticks = []
+                    for _ in range(3):
+                        ticker = hot[zipf_index(r, len(hot), knobs.skew)]
+                        day = r.randrange(1, self.horizon)
+                        ticks.append(MutationOp(
+                            "update", "STOCK", (ticker,), at=day,
+                            values=pairs({"PRICE": round(
+                                5.0 + r.uniform(0, 600), 2)})))
+                    ops.append(BurstOp(tuple(ticks)))
+                elif roll < 0.75:
+                    # A volume correction — era-gated so the chronon is
+                    # inside VOLUME's lifespan whatever has been
+                    # dropped so far (chronons < first drop stay alive;
+                    # after a re-add the new window opens too).
+                    ticker = hot[zipf_index(r, len(hot), knobs.skew)]
+                    if readded_since is not None and r.random() < 0.5:
+                        day = readded_since + r.randrange(8)
+                    else:
+                        day = r.randrange(1, 45)
+                    ops.append(MutationOp(
+                        "update", "STOCK", (ticker,), at=day,
+                        values=pairs({"VOLUME": r.randrange(1_000,
+                                                            1_000_000)})))
+                else:
+                    ticker = f"IPO{knobs.seed}-{listing:03d}"
+                    listing += 1
+                    t0 = r.randrange(0, self.horizon - 10)
+                    ops.append(MutationOp(
+                        "insert", "STOCK", (ticker,),
+                        lifespan=Lifespan.interval(t0, self.horizon),
+                        values=pairs({"TICKER": ticker,
+                                      "PRICE": round(r.uniform(5, 50), 2),
+                                      "VOLUME": r.randrange(1_000,
+                                                            100_000)})))
+        else:
+            raise KeyError(f"unknown persona {persona!r}")
+        return tuple(ops[:n_ops])
+
+    def verify(self, catalog: Mapping[str, Any], knobs: Knobs) -> None:
+        inv.check_evolution_visibility(
+            catalog["STOCK"], "VOLUME", self.expected_volume_lifespan(knobs))
+        inv.check_positive(catalog["STOCK"], "PRICE")
+
+
+# ---------------------------------------------------------------------------
+# 3. IoT sensor fleet — skewed sites, battery drain, decommission /
+# re-provision churn.
+# ---------------------------------------------------------------------------
+
+_SITES = ("north", "south", "east", "west", "lab")
+
+
+def _scripted_battery(at: int, horizon: int) -> int:
+    """Scripted battery constants decrease with the chronon, so any
+    interleaving of concurrent drain reports stays non-increasing."""
+    return max(5, 55 - (at * 50) // max(1, horizon))
+
+
+class IoTFleet(Scenario):
+    name = "iot_fleet"
+    description = ("An IoT sensor fleet: skewed sites, battery drain, "
+                   "decommission / re-provision churn")
+    relations = ("SENSOR",)
+    horizon = 200
+    base_entities = 30
+
+    def schemes(self, knobs: Knobs) -> Dict[str, RelationScheme]:
+        window = Lifespan.interval(0, self.horizon)
+        return {"SENSOR": RelationScheme(
+            "SENSOR",
+            {"SID": domains.cd(domains.STRING),
+             "READING": domains.td(domains.NUMBER),
+             "BATTERY": domains.td(domains.INTEGER),
+             "SITE": domains.enumerated("site", _SITES)},
+            key=["SID"],
+            lifespans={a: window
+                       for a in ("SID", "READING", "BATTERY", "SITE")},
+        )}
+
+    def _sids(self, knobs: Knobs) -> List[str]:
+        n = knobs.entity_count(self.base_entities)
+        return [f"sn{i:04d}" for i in range(n)]
+
+    def _hot_sids(self, knobs: Knobs) -> List[str]:
+        return self.hot_entities(knobs, self._sids(knobs))
+
+    def _entity_row(self, sid: str, hot: bool, knobs: Knobs) -> Row:
+        r = rng_for(knobs.seed, self.name, sid)
+        if hot:
+            lifespan = Lifespan.interval(0, self.horizon)
+        else:
+            start = r.randrange(0, self.horizon // 2)
+            end = min(start + 40 + r.randrange(80), self.horizon)
+            if r.random() < 0.3 and end - start > 60:
+                mid = start + (end - start) // 2
+                lifespan = Lifespan((start, mid),
+                                    (mid + 5 + r.randrange(5), end))
+                lifespan &= Lifespan.interval(0, self.horizon)
+            else:
+                lifespan = Lifespan.interval(start, end)
+        battery_segments = []
+        reading_segments = []
+        for lo, hi in lifespan.intervals:
+            level = 100  # each incarnation ships with a fresh battery
+            reading = r.uniform(-20.0, 90.0)
+            cursor = lo
+            while cursor <= hi:
+                stop = min(cursor + 19, hi)
+                battery_segments.append(((cursor, stop), level))
+                reading_segments.append(
+                    ((cursor, stop), round(reading, 3)))
+                level = max(60, level - r.randrange(0, 8))
+                reading += r.uniform(-5.0, 5.0)
+                cursor = stop + 1
+        site = _SITES[zipf_index(r, len(_SITES), knobs.skew)]
+        return lifespan, {"SID": sid,
+                          "READING": TemporalFunction(reading_segments),
+                          "BATTERY": TemporalFunction(battery_segments),
+                          "SITE": site}
+
+    def dataset(self, knobs: Knobs) -> Dict[str, List[Row]]:
+        hot = set(self._hot_sids(knobs))
+        return {"SENSOR": [self._entity_row(s, s in hot, knobs)
+                           for s in self._sids(knobs)]}
+
+    def constraints(self, knobs: Knobs) -> list:
+        return [NonIncreasing("SENSOR", "BATTERY", reset_on_gap=True)]
+
+    def script(self, persona: str, knobs: Knobs) -> Tuple[Op, ...]:
+        r = rng_for(knobs.seed, self.name, persona)
+        ops: List[Op] = []
+        n_ops = knobs.ops_per_persona
+        hot = self._hot_sids(knobs)
+        if persona == "analyst":
+            for j in range(n_ops):
+                roll = r.random()
+                if roll < 0.65:
+                    lo = 100 + zipf_index(r, 80, knobs.skew)
+                    lo = min(lo, self.horizon - 4)
+                    ops.append(QueryOp(
+                        "SELECT WHEN READING >= :r DURING [:lo, :hi] "
+                        "IN SENSOR",
+                        pairs({"r": round(r.uniform(-20, 80), 1),
+                               "lo": lo,
+                               "hi": min(lo + 2 + r.randrange(10),
+                                         self.horizon)})))
+                elif roll < 0.85:
+                    at = r.randrange(0, self.horizon)
+                    ops.append(QueryOp("TIMESLICE SENSOR TO [:lo, :hi]",
+                                       pairs({"lo": at, "hi": at})))
+                else:
+                    # Analyst recalibration: a reading rewrite on a hot
+                    # sensor (no monotonicity constraint on READING).
+                    sid = hot[zipf_index(r, len(hot), knobs.skew)]
+                    at = r.randrange(1, self.horizon - 1)
+                    ops.append(MutationOp(
+                        "update", "SENSOR", (sid,), at=at,
+                        values=pairs({"READING": round(
+                            r.uniform(-20, 90), 3)})))
+        elif persona == "dashboard":
+            sids = self._sids(knobs)
+            for j in range(n_ops):
+                sid = sids[zipf_index(r, len(sids), knobs.skew)]
+                ops.append(QueryOp("SELECT IF SID = :sid IN SENSOR",
+                                   pairs({"sid": sid})))
+        elif persona == "bulk_loader":
+            burst = 0
+            own: List[Tuple[str, int]] = []
+            while len(ops) < n_ops:
+                t0 = r.randrange(0, self.horizon - 80)
+                registrations = []
+                for j in range(3):
+                    sid = f"fl{knobs.seed}-{burst}-{j}"
+                    site = _SITES[zipf_index(r, len(_SITES), knobs.skew)]
+                    registrations.append(MutationOp(
+                        "insert", "SENSOR", (sid,),
+                        lifespan=Lifespan.interval(t0, t0 + 40),
+                        values=pairs({"SID": sid, "SITE": site,
+                                      "BATTERY": 90,
+                                      "READING": round(r.uniform(0, 50),
+                                                       3)})))
+                    own.append((sid, t0))
+                ops.append(BurstOp(tuple(registrations)))
+                burst += 1
+                if own and r.random() < 0.6:
+                    sid, t0 = own[r.randrange(len(own))]
+                    at = t0 + 1 + r.randrange(39)
+                    ops.append(MutationOp(
+                        "update", "SENSOR", (sid,), at=at,
+                        values=pairs({"BATTERY": _scripted_battery(
+                            at, self.horizon)})))
+                if own and r.random() < 0.3:
+                    # Decommission + re-provision after a gap.
+                    sid, t0 = own.pop(0)
+                    start = t0 + 45 + r.randrange(6)
+                    end = min(start + 20, self.horizon)
+                    ops.append(MutationOp(
+                        "reincarnate", "SENSOR", (sid,),
+                        lifespan=Lifespan.interval(start, end),
+                        values=pairs({"SID": sid, "SITE": "lab",
+                                      "BATTERY": 90,
+                                      "READING": 0.0})))
+                if r.random() < knobs.key_overlap:
+                    sid = hot[zipf_index(r, len(hot), knobs.skew)]
+                    at = r.randrange(1, self.horizon - 1)
+                    ops.append(MutationOp(
+                        "update", "SENSOR", (sid,), at=at,
+                        values=pairs({"BATTERY": _scripted_battery(
+                            at, self.horizon)})))
+        else:
+            raise KeyError(f"unknown persona {persona!r}")
+        return tuple(ops[:n_ops])
+
+    def verify(self, catalog: Mapping[str, Any], knobs: Knobs) -> None:
+        inv.check_battery_levels(catalog["SENSOR"])
+        inv.check_total_on_lifespan(catalog["SENSOR"], "READING")
+
+
+# ---------------------------------------------------------------------------
+# 4. Slowly-changing-dimension audit log — versioned rows, one open
+# version per entity, contiguous audit trails.
+# ---------------------------------------------------------------------------
+
+_EDITORS = ("alice", "bob", "carol", "dave")
+
+
+class SCDAudit(Scenario):
+    name = "scd_audit"
+    description = ("A type-2 slowly-changing-dimension audit log: "
+                   "versioned rows with contiguous, disjoint validity")
+    relations = ("AUDIT",)
+    horizon = 150
+    base_entities = 16
+    #: Versions a dataset entity starts with (before churn adds more).
+    max_dataset_versions = 3
+
+    def schemes(self, knobs: Knobs) -> Dict[str, RelationScheme]:
+        window = Lifespan.interval(0, self.horizon)
+        return {"AUDIT": RelationScheme(
+            "AUDIT",
+            {"ENTITY": domains.cd(domains.STRING),
+             "VER": domains.cd(domains.STRING),
+             "VALUE": domains.td(domains.STRING),
+             "EDITOR": domains.enumerated("editor", _EDITORS)},
+            key=["ENTITY", "VER"],
+            lifespans={a: window
+                       for a in ("ENTITY", "VER", "VALUE", "EDITOR")},
+        )}
+
+    def _entities(self, knobs: Knobs) -> List[str]:
+        n = knobs.entity_count(self.base_entities)
+        return [f"acct{i:04d}" for i in range(n)]
+
+    def _entity_versions(self, ent: str, knobs: Knobs) -> List[Row]:
+        r = rng_for(knobs.seed, self.name, ent)
+        n_versions = 1 + zipf_index(r, self.max_dataset_versions,
+                                    max(0.5, knobs.skew))
+        bounds = sorted(r.sample(range(1, self.horizon - 20),
+                                 n_versions - 1)) if n_versions > 1 else []
+        starts = [0] + bounds
+        rows: List[Row] = []
+        for j, start in enumerate(starts):
+            end = (starts[j + 1] - 1) if j + 1 < len(starts) else self.horizon
+            lifespan = Lifespan.interval(start, end)
+            editor = _EDITORS[zipf_index(r, len(_EDITORS), knobs.skew)]
+            rows.append((lifespan, {
+                "ENTITY": ent, "VER": f"v{j:02d}",
+                "VALUE": f"state-{r.randrange(100)}",
+                "EDITOR": editor}))
+        return rows
+
+    def dataset(self, knobs: Knobs) -> Dict[str, List[Row]]:
+        rows: List[Row] = []
+        for ent in self._entities(knobs):
+            rows.extend(self._entity_versions(ent, knobs))
+        return {"AUDIT": rows}
+
+    def _open_versions(self, knobs: Knobs) -> Dict[str, Tuple[int, int]]:
+        """Entity → (current open version index, its start chronon)."""
+        current: Dict[str, Tuple[int, int]] = {}
+        for ls, values in self.dataset(knobs)["AUDIT"]:
+            lo = ls.intervals[0][0]
+            ent, ver = values["ENTITY"], int(values["VER"][1:])
+            if ent not in current or ver > current[ent][0]:
+                current[ent] = (ver, lo)
+        return current
+
+    def script(self, persona: str, knobs: Knobs) -> Tuple[Op, ...]:
+        r = rng_for(knobs.seed, self.name, persona)
+        ops: List[Op] = []
+        n_ops = knobs.ops_per_persona
+        entities = self._entities(knobs)
+        if persona == "analyst":
+            for j in range(n_ops):
+                if r.random() < 0.7:
+                    lo = zipf_index(r, self.horizon - 10, 0.5)
+                    ops.append(QueryOp(
+                        "SELECT WHEN EDITOR = :e DURING [:lo, :hi] IN AUDIT",
+                        pairs({"e": _EDITORS[zipf_index(
+                            r, len(_EDITORS), knobs.skew)],
+                            "lo": lo,
+                            "hi": min(lo + 5 + r.randrange(20),
+                                      self.horizon)})))
+                else:
+                    at = r.randrange(0, self.horizon)
+                    ops.append(QueryOp("TIMESLICE AUDIT TO [:lo, :hi]",
+                                       pairs({"lo": at, "hi": at})))
+        elif persona == "dashboard":
+            for j in range(n_ops):
+                ent = entities[zipf_index(r, len(entities), knobs.skew)]
+                ops.append(QueryOp("SELECT IF ENTITY = :ent IN AUDIT",
+                                   pairs({"ent": ent})))
+        elif persona == "bulk_loader":
+            # SCD churn: close the open version at t, open the next one
+            # at t — one atomic burst per change, so the audit trail
+            # stays contiguous with exactly one open version.
+            current = self._open_versions(knobs)
+            while len(ops) < n_ops:
+                ent = entities[zipf_index(r, len(entities), knobs.skew)]
+                ver, start = current[ent]
+                if start >= self.horizon - 4:
+                    continue  # this trail is out of room; pick another
+                t = start + 1 + r.randrange(
+                    max(1, min(20, self.horizon - 2 - start)))
+                next_ver = ver + 1
+                editor = _EDITORS[zipf_index(r, len(_EDITORS), knobs.skew)]
+                ops.append(BurstOp((
+                    MutationOp("terminate", "AUDIT",
+                               (ent, f"v{ver:02d}"), at=t),
+                    MutationOp(
+                        "insert", "AUDIT", (ent, f"v{next_ver:02d}"),
+                        lifespan=Lifespan.interval(t, self.horizon),
+                        values=pairs({
+                            "ENTITY": ent, "VER": f"v{next_ver:02d}",
+                            "VALUE": f"state-{r.randrange(100)}",
+                            "EDITOR": editor})),
+                )))
+                current[ent] = (next_ver, t)
+        else:
+            raise KeyError(f"unknown persona {persona!r}")
+        return tuple(ops[:n_ops])
+
+    def verify(self, catalog: Mapping[str, Any], knobs: Knobs) -> None:
+        inv.check_scd_versions(catalog["AUDIT"], horizon=self.horizon)
+
+
+# ---------------------------------------------------------------------------
+# 5. Enrollment churn — the Section 1 referential-integrity example
+# under live enroll / drop / re-enroll traffic, with temporal foreign
+# keys enforced by the database itself.
+# ---------------------------------------------------------------------------
+
+_MAJORS = ("IS", "CS", "Math", "Econ", "Bio")
+_GRADES = ("A", "B", "C", "D")
+
+
+class EnrollmentChurn(Scenario):
+    name = "enrollment_churn"
+    description = ("Students / courses / enrollments with temporal "
+                   "foreign keys under enroll / drop / re-enroll churn")
+    relations = ("STUDENT", "COURSE", "ENROLLMENT")
+    horizon = 100
+    base_entities = 20
+    base_courses = 8
+    #: Courses reserved for loader-created enrollments, so scripted
+    #: (student, course) pairs never collide with dataset pairs.
+    reserved_courses = 2
+
+    def schemes(self, knobs: Knobs) -> Dict[str, RelationScheme]:
+        window = Lifespan.interval(0, self.horizon)
+        return {
+            "STUDENT": RelationScheme(
+                "STUDENT",
+                {"SID": domains.cd(domains.STRING),
+                 "MAJOR": domains.enumerated("major", _MAJORS)},
+                key=["SID"],
+                lifespans={"SID": window, "MAJOR": window}),
+            "COURSE": RelationScheme(
+                "COURSE",
+                {"CID": domains.cd(domains.STRING),
+                 "TITLE": domains.td(domains.STRING)},
+                key=["CID"],
+                lifespans={"CID": window, "TITLE": window}),
+            "ENROLLMENT": RelationScheme(
+                "ENROLLMENT",
+                {"SID": domains.cd(domains.STRING),
+                 "CID": domains.cd(domains.STRING),
+                 "GRADE": domains.enumerated("grade", _GRADES)},
+                key=["SID", "CID"],
+                lifespans={"SID": window, "CID": window, "GRADE": window}),
+        }
+
+    def _sids(self, knobs: Knobs) -> List[str]:
+        n = knobs.entity_count(self.base_entities)
+        return [f"st{i:04d}" for i in range(n)]
+
+    def _hot_sids(self, knobs: Knobs) -> List[str]:
+        return self.hot_entities(knobs, self._sids(knobs))
+
+    def _cids(self, knobs: Knobs) -> List[str]:
+        n = max(self.reserved_courses + 2,
+                knobs.entity_count(self.base_courses))
+        return [f"c{i:02d}" for i in range(n)]
+
+    def _dataset_cids(self, knobs: Knobs) -> List[str]:
+        return self._cids(knobs)[:-self.reserved_courses]
+
+    def _loader_cids(self, knobs: Knobs) -> List[str]:
+        return self._cids(knobs)[-self.reserved_courses:]
+
+    def _student_row(self, sid: str, hot: bool, knobs: Knobs) -> Row:
+        r = rng_for(knobs.seed, self.name, sid)
+        if hot:
+            lifespan = Lifespan.interval(0, self.horizon)
+        else:
+            start = r.randrange(0, self.horizon // 2)
+            end = min(start + 12 + r.randrange(36), self.horizon)
+            if r.random() < 0.25 and end - start > 16:
+                mid = start + (end - start) // 2
+                lifespan = Lifespan((start, mid),
+                                    (mid + 3 + r.randrange(3), end))
+                lifespan &= Lifespan.interval(0, self.horizon)
+            else:
+                lifespan = Lifespan.interval(start, end)
+        major = _MAJORS[zipf_index(r, len(_MAJORS), knobs.skew)]
+        return lifespan, {"SID": sid, "MAJOR": major}
+
+    def dataset(self, knobs: Knobs) -> Dict[str, List[Row]]:
+        hot = set(self._hot_sids(knobs))
+        students = [self._student_row(s, s in hot, knobs)
+                    for s in self._sids(knobs)]
+        window = Lifespan.interval(0, self.horizon)
+        courses: List[Row] = [
+            (window, {"CID": cid, "TITLE": f"Course {cid}"})
+            for cid in self._cids(knobs)]
+        student_spans = {values["SID"]: ls for ls, values in students}
+        enrollments: List[Row] = []
+        dataset_cids = self._dataset_cids(knobs)
+        for sid in self._sids(knobs):
+            r = rng_for(knobs.seed, self.name, "enroll", sid)
+            span = student_spans[sid]
+            points = span.to_points()
+            for cid in dataset_cids:
+                if r.random() >= 0.35 or len(points) < 5:
+                    continue
+                start = points[r.randrange(max(1, len(points) - 4))]
+                window_e = (Lifespan.interval(start, start + 3) & span)
+                if window_e.is_empty:
+                    continue
+                grade = _GRADES[zipf_index(r, len(_GRADES), knobs.skew)]
+                enrollments.append((window_e, {
+                    "SID": sid, "CID": cid, "GRADE": grade}))
+        return {"STUDENT": students, "COURSE": courses,
+                "ENROLLMENT": enrollments}
+
+    def constraints(self, knobs: Knobs) -> list:
+        return [TemporalForeignKey("ENROLLMENT", ["SID"], "STUDENT"),
+                TemporalForeignKey("ENROLLMENT", ["CID"], "COURSE")]
+
+    def script(self, persona: str, knobs: Knobs) -> Tuple[Op, ...]:
+        r = rng_for(knobs.seed, self.name, persona)
+        ops: List[Op] = []
+        n_ops = knobs.ops_per_persona
+        if persona == "analyst":
+            for j in range(n_ops):
+                roll = r.random()
+                if roll < 0.6:
+                    lo = zipf_index(r, self.horizon - 10, 0.5)
+                    ops.append(QueryOp(
+                        "SELECT WHEN GRADE = :g DURING [:lo, :hi] "
+                        "IN ENROLLMENT",
+                        pairs({"g": _GRADES[zipf_index(
+                            r, len(_GRADES), knobs.skew)],
+                            "lo": lo,
+                            "hi": min(lo + 4 + r.randrange(12),
+                                      self.horizon)})))
+                elif roll < 0.85:
+                    at = r.randrange(0, self.horizon)
+                    ops.append(QueryOp("TIMESLICE STUDENT TO [:lo, :hi]",
+                                       pairs({"lo": at, "hi": at})))
+                else:
+                    ops.append(QueryOp(
+                        "SELECT IF MAJOR = :m IN STUDENT",
+                        pairs({"m": _MAJORS[zipf_index(
+                            r, len(_MAJORS), knobs.skew)]})))
+        elif persona == "dashboard":
+            sids = self._sids(knobs)
+            for j in range(n_ops):
+                sid = sids[zipf_index(r, len(sids), knobs.skew)]
+                ops.append(QueryOp("SELECT IF SID = :sid IN ENROLLMENT",
+                                   pairs({"sid": sid})))
+        elif persona == "bulk_loader":
+            # Enroll hot (full-lifespan) students in reserved courses,
+            # drop some, re-enroll after a gap — every op valid under
+            # the temporal foreign keys by construction.
+            hot = self._hot_sids(knobs)
+            loader_cids = self._loader_cids(knobs)
+            used: set = set()
+            own: List[Tuple[str, str, int]] = []
+            while len(ops) < n_ops:
+                sid = hot[zipf_index(r, len(hot), knobs.skew)]
+                cid = loader_cids[r.randrange(len(loader_cids))]
+                if (sid, cid) in used:
+                    if own and r.random() < 0.5:
+                        sid2, cid2, t0 = own.pop(0)
+                        start = t0 + 10 + r.randrange(4)
+                        end = min(start + 4, self.horizon)
+                        grade = _GRADES[zipf_index(r, len(_GRADES),
+                                                   knobs.skew)]
+                        ops.append(MutationOp(
+                            "reincarnate", "ENROLLMENT", (sid2, cid2),
+                            lifespan=Lifespan.interval(start, end),
+                            values=pairs({"SID": sid2, "CID": cid2,
+                                          "GRADE": grade})))
+                    else:
+                        # Pair space exhausted: the loader checks its
+                        # own work instead (keeps the script finite).
+                        ops.append(QueryOp(
+                            "SELECT IF CID = :cid IN ENROLLMENT",
+                            pairs({"cid": cid})))
+                    continue
+                used.add((sid, cid))
+                t0 = r.randrange(0, self.horizon - 20)
+                grade = _GRADES[zipf_index(r, len(_GRADES), knobs.skew)]
+                ops.append(MutationOp(
+                    "insert", "ENROLLMENT", (sid, cid),
+                    lifespan=Lifespan.interval(t0, t0 + 6),
+                    values=pairs({"SID": sid, "CID": cid,
+                                  "GRADE": grade})))
+                if r.random() < 0.4:
+                    ops.append(MutationOp(
+                        "terminate", "ENROLLMENT", (sid, cid),
+                        at=t0 + 2 + r.randrange(4)))
+                    own.append((sid, cid, t0))
+        else:
+            raise KeyError(f"unknown persona {persona!r}")
+        return tuple(ops[:n_ops])
+
+    def verify(self, catalog: Mapping[str, Any], knobs: Knobs) -> None:
+        inv.check_referential_integrity(
+            catalog["ENROLLMENT"], {"SID": catalog["STUDENT"],
+                                    "CID": catalog["COURSE"]})
+
+
+register(HRRehires())
+register(StockTicks())
+register(IoTFleet())
+register(SCDAudit())
+register(EnrollmentChurn())

@@ -1,179 +1,12 @@
-"""Snapshot-isolation oracle — records operation histories, checks them.
+"""Compatibility shim — the oracle now lives in the library.
 
-The stress tests in ``test_concurrency.py`` and ``test_server.py``
-interleave writers and readers and then need to answer: *did anyone
-observe something snapshot isolation forbids?* This module is that
-checker, as first-class test infrastructure: sessions report their
-events to a :class:`HistoryOracle` while the stress runs (cheap,
-lock-ordered appends), and :meth:`HistoryOracle.verify` replays the
-recorded history afterwards against the invariants:
-
-**No uncommitted or torn reads.** Every key an observer reports must
-be explainable: part of the initial state, or written by a transaction
-that entered commit before the observation *and* eventually succeeded.
-A key whose only writers aborted (conflict, constraint violation) must
-never appear in any observation, at any point — aborts leave no trace.
-
-**Committed cuts are monotone.** For insert-only histories, one
-observer's successive cuts only ever grow (``cut_i ⊆ cut_{i+1}``): a
-reader never watches the database travel backwards in commit order.
-
-**Cut atomicity** (caller-supplied). A per-observation *invariant*
-callable pins whatever "not torn" means for the workload — e.g. a
-transaction that always writes relations R and S together implies
-every cut satisfies ``cut["R"] == cut["S"]``.
-
-Events carry a global sequence number taken under one lock, so the
-verifier reasons about a single total order of the recorded history —
-the same post-hoc-checker shape as Jepsen-style elle/knossos, scaled
-to what these tests need. Usage::
-
-    oracle = HistoryOracle()
-    # writer, per transaction:
-    oracle.begin_commit("w1", {"R": {key}})
-    txn.commit()
-    oracle.committed("w1")          # or oracle.aborted("w1")
-    # reader, per snapshot:
-    oracle.observed("r3", {"R": keys_seen})
-    # after the threads join:
-    oracle.verify(invariant=lambda cut: cut["R"] == cut["S"])
+The snapshot-isolation history oracle started life here as test
+infrastructure; PR 8 promoted it to :mod:`repro.workloads.oracle` so
+the workload harness (a non-test consumer) can verify benchmark runs
+with the same checker. Tests keep importing ``_history_oracle`` and
+get the library implementation.
 """
 
-from __future__ import annotations
+from repro.workloads.oracle import Event, HistoryOracle, OracleViolation
 
-import threading
-from typing import Callable, Iterable, Mapping, Optional
-
-#: One recorded event: (seq, kind, session, payload).
-Event = tuple
-
-
-class OracleViolation(AssertionError):
-    """A recorded history broke a snapshot-isolation invariant."""
-
-
-class HistoryOracle:
-    """Thread-safe history recorder + post-hoc invariant checker."""
-
-    def __init__(self) -> None:
-        self._lock = threading.Lock()
-        self._events: list[Event] = []
-        self._seq = 0
-
-    # -- recording (called concurrently from the stress threads) -----------
-
-    def _record(self, kind: str, session: str, payload) -> int:
-        with self._lock:
-            self._seq += 1
-            self._events.append((self._seq, kind, session, payload))
-            return self._seq
-
-    def begin_commit(self, session: str,
-                     writes: Mapping[str, Iterable]) -> None:
-        """*session* enters commit intending *writes* (relation → keys)."""
-        self._record("begin", session,
-                     {rel: frozenset(keys) for rel, keys in writes.items()})
-
-    def committed(self, session: str) -> None:
-        """The commit that *session* last began was acknowledged."""
-        self._record("commit", session, None)
-
-    def aborted(self, session: str) -> None:
-        """The commit that *session* last began rolled back (conflict,
-        constraint violation, ...) — its writes must never be seen."""
-        self._record("abort", session, None)
-
-    def observed(self, session: str, cut: Mapping[str, Iterable]) -> None:
-        """*session* read one snapshot cut (relation → keys seen)."""
-        self._record("observe", session,
-                     {rel: frozenset(keys) for rel, keys in cut.items()})
-
-    # -- verification (called after the stress threads join) ----------------
-
-    def verify(self, *, initial: Optional[Mapping[str, Iterable]] = None,
-               monotone: bool = True,
-               invariant: Optional[Callable[[Mapping], bool]] = None) -> None:
-        """Check the whole recorded history; raise :class:`OracleViolation`
-        with the offending event on the first broken invariant.
-
-        *initial* is the committed state before the stress began
-        (relation → keys). *monotone* asserts per-observer growing cuts
-        (set it False for workloads that delete). *invariant* is the
-        per-cut atomicity predicate.
-        """
-        initial_keys = {rel: frozenset(keys)
-                        for rel, keys in (initial or {}).items()}
-        acked = self._eventually_acked()
-        # Writes that can legally appear in an observation at sequence
-        # s: every eventually-acked commit whose begin precedes s.
-        pending: dict[str, Mapping[str, frozenset]] = {}
-        visible: dict[str, set] = {rel: set(keys)
-                                   for rel, keys in initial_keys.items()}
-        last_cut: dict[str, Mapping[str, frozenset]] = {}
-        for seq, kind, session, payload in self._events:
-            if kind == "begin":
-                pending[session] = payload
-                if (session, seq) in acked:
-                    for rel, keys in payload.items():
-                        visible.setdefault(rel, set()).update(keys)
-            elif kind in ("commit", "abort"):
-                pending.pop(session, None)
-            elif kind == "observe":
-                self._check_observation(seq, session, payload, visible)
-                if invariant is not None and not invariant(payload):
-                    raise OracleViolation(
-                        f"event {seq}: observer {session!r} saw a cut "
-                        f"breaking the atomicity invariant: "
-                        f"{ {r: sorted(k)[:5] for r, k in payload.items()} }")
-                if monotone:
-                    self._check_monotone(seq, session, payload, last_cut)
-                    last_cut[session] = payload
-
-    def _eventually_acked(self) -> set:
-        """(session, begin_seq) pairs whose commit was acknowledged."""
-        open_begin: dict[str, int] = {}
-        acked: set = set()
-        for seq, kind, session, _payload in self._events:
-            if kind == "begin":
-                open_begin[session] = seq
-            elif kind == "commit":
-                begin_seq = open_begin.pop(session, None)
-                if begin_seq is None:
-                    raise OracleViolation(
-                        f"event {seq}: session {session!r} committed "
-                        f"without a matching begin_commit")
-                acked.add((session, begin_seq))
-            elif kind == "abort":
-                if open_begin.pop(session, None) is None:
-                    raise OracleViolation(
-                        f"event {seq}: session {session!r} aborted "
-                        f"without a matching begin_commit")
-        return acked
-
-    @staticmethod
-    def _check_observation(seq: int, session: str, cut: Mapping,
-                           visible: Mapping[str, set]) -> None:
-        for rel, keys in cut.items():
-            stray = keys - visible.get(rel, set())
-            if stray:
-                raise OracleViolation(
-                    f"event {seq}: observer {session!r} saw keys of "
-                    f"{rel!r} no acknowledged commit explains (torn or "
-                    f"uncommitted read): {sorted(stray)[:5]}")
-
-    @staticmethod
-    def _check_monotone(seq: int, session: str, cut: Mapping,
-                        last_cut: Mapping[str, Mapping]) -> None:
-        previous = last_cut.get(session)
-        if previous is None:
-            return
-        for rel, keys in previous.items():
-            lost = keys - cut.get(rel, frozenset())
-            if lost:
-                raise OracleViolation(
-                    f"event {seq}: observer {session!r} watched "
-                    f"{rel!r} travel backwards in commit order "
-                    f"(lost keys {sorted(lost)[:5]})")
-
-    def __repr__(self) -> str:
-        return f"HistoryOracle({len(self._events)} events)"
+__all__ = ["Event", "HistoryOracle", "OracleViolation"]

@@ -1,0 +1,323 @@
+"""The workload foundry: determinism, scale-monotonicity, twins, harness.
+
+Property layer (hypothesis over seeds and scales):
+
+* **Determinism** — the same knobs produce byte-identical schemes,
+  datasets, and persona scripts; :meth:`Scenario.fingerprint` is the
+  digest, and a subprocess sweep pins it across ``PYTHONHASHSEED``
+  values (same-process equality can't catch hash-order leaks).
+* **Scale-monotonicity** — a larger ``scale`` knob yields a strict
+  superset of entities, with the shared entities' histories unchanged
+  (each entity's history is derived from ``(seed, scenario, entity)``
+  alone, never from the population size).
+
+Differential layer: each scenario's full persona mix replayed
+sequentially against a memory backend, a disk backend, and an
+over-the-wire server must produce identical query-result digests and
+identical final catalogs — extending the memory/disk twin-equivalence
+pattern of ``test_database_errors.py`` to foundry traffic.
+
+Harness layer: concurrent persona threads, oracle verification, and
+per-scenario semantic invariants, embedded and through the server.
+Heavy cases carry ``@pytest.mark.stress`` and run in the stress tier
+(see ``pytest.ini``; tier-1 is ``-m "not stress"``).
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.database import HistoricalDatabase
+from repro.workloads.harness import (catalog_digest, replay, result_digest,
+                                     run_scenario)
+from repro.workloads.invariants import InvariantViolation, check_scd_versions
+from repro.workloads.oracle import HistoryOracle, OracleViolation
+from repro.workloads.personas import (PERSONAS, Knobs, canonical,
+                                      fingerprint, rng_for, zipf_index)
+from repro.workloads.scenarios import SCENARIOS, get_scenario
+
+ALL_SCENARIOS = sorted(SCENARIOS)
+
+#: Small scripts keep the property layer fast; the stress tier scales up.
+FAST = Knobs(ops_per_persona=12)
+
+SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+
+# ---------------------------------------------------------------------------
+# Registry basics.
+# ---------------------------------------------------------------------------
+
+
+class TestRegistry:
+    def test_catalog_has_the_promised_scenarios(self):
+        assert {"hr_rehires", "stock_ticks", "iot_fleet",
+                "scd_audit", "enrollment_churn"} <= set(SCENARIOS)
+
+    def test_every_scenario_scripts_every_persona(self):
+        for name in ALL_SCENARIOS:
+            scenario = get_scenario(name)
+            assert scenario.personas == PERSONAS
+            scripts = scenario.scripts(FAST)
+            for persona in PERSONAS:
+                assert len(scripts[persona]) == FAST.ops_per_persona, (
+                    name, persona)
+
+    def test_unknown_scenario_is_a_helpful_keyerror(self):
+        with pytest.raises(KeyError, match="registered"):
+            get_scenario("nope")
+
+    def test_unknown_persona_is_an_error(self):
+        with pytest.raises(KeyError):
+            get_scenario("hr_rehires").script("janitor", FAST)
+
+    def test_describe_is_json_shaped(self):
+        d = get_scenario("stock_ticks").describe()
+        assert d["name"] == "stock_ticks"
+        assert d["personas"] == list(PERSONAS)
+
+
+# ---------------------------------------------------------------------------
+# Determinism properties.
+# ---------------------------------------------------------------------------
+
+
+class TestDeterminism:
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(seed=st.integers(0, 2**16),
+           name=st.sampled_from(ALL_SCENARIOS))
+    def test_same_seed_same_fingerprint(self, seed, name):
+        knobs = FAST.derive(seed=seed)
+        scenario = get_scenario(name)
+        assert scenario.fingerprint(knobs) == scenario.fingerprint(knobs)
+
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(seed=st.integers(0, 2**16),
+           name=st.sampled_from(ALL_SCENARIOS))
+    def test_different_seeds_differ(self, seed, name):
+        scenario = get_scenario(name)
+        assert (scenario.fingerprint(FAST.derive(seed=seed))
+                != scenario.fingerprint(FAST.derive(seed=seed + 1)))
+
+    def test_rng_is_hash_seed_free(self):
+        # random.Random seeded from a string uses the string's bytes,
+        # not hash() — the property everything above rests on.
+        assert rng_for(3, "x").random() == rng_for(3, "x").random()
+        draws = [zipf_index(rng_for(3, "z"), 10, 1.5) for _ in range(5)]
+        assert draws == [zipf_index(rng_for(3, "z"), 10, 1.5)
+                         for _ in range(5)]
+
+    def test_canonical_orders_dicts(self):
+        assert canonical({"b": 1, "a": 2}) == canonical({"a": 2, "b": 1})
+        assert fingerprint([1, 2]) == fingerprint((1, 2))
+
+    @pytest.mark.stress
+    @pytest.mark.parametrize("name", ALL_SCENARIOS)
+    def test_fingerprints_survive_hash_seed_changes(self, name):
+        """Byte-identical histories across processes and hash seeds."""
+        script = (
+            "from repro.workloads.personas import Knobs\n"
+            "from repro.workloads.scenarios import get_scenario\n"
+            f"k = Knobs(ops_per_persona=12, seed=99)\n"
+            f"print(get_scenario({name!r}).fingerprint(k))\n")
+        digests = set()
+        for hash_seed in ("0", "1", "4242"):
+            env = dict(os.environ,
+                       PYTHONPATH=SRC, PYTHONHASHSEED=hash_seed)
+            out = subprocess.run(
+                [sys.executable, "-c", script], env=env, check=True,
+                capture_output=True, text=True, timeout=120)
+            digests.add(out.stdout.strip())
+        assert len(digests) == 1, f"{name}: hash-seed-dependent history"
+
+
+# ---------------------------------------------------------------------------
+# Scale-monotonicity properties.
+# ---------------------------------------------------------------------------
+
+
+def _rows_by_key(scenario, knobs):
+    schemes = scenario.schemes(knobs)
+    indexed = {}
+    for rel, rows in scenario.dataset(knobs).items():
+        key_attrs = schemes[rel].key
+        indexed[rel] = {
+            tuple(values[a] for a in key_attrs): canonical((ls, values))
+            for ls, values in rows}
+    return indexed
+
+
+class TestScaleMonotonicity:
+    @settings(max_examples=6, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(seed=st.integers(0, 2**16),
+           name=st.sampled_from(ALL_SCENARIOS),
+           small=st.sampled_from([0.5, 1.0]),
+           growth=st.sampled_from([1.5, 2.0, 3.0]))
+    def test_larger_scale_is_a_superset(self, seed, name, small, growth):
+        scenario = get_scenario(name)
+        lo = _rows_by_key(scenario, FAST.derive(seed=seed, scale=small))
+        hi = _rows_by_key(scenario,
+                          FAST.derive(seed=seed, scale=small * growth))
+        for rel, rows in lo.items():
+            assert set(rows) <= set(hi[rel]), (name, rel)
+            # ... and the shared entities' histories are unchanged.
+            for key, encoded in rows.items():
+                assert hi[rel][key] == encoded, (name, rel, key)
+
+    def test_scale_strictly_grows_somewhere(self):
+        for name in ALL_SCENARIOS:
+            scenario = get_scenario(name)
+            lo = _rows_by_key(scenario, FAST)
+            hi = _rows_by_key(scenario, FAST.derive(scale=3.0))
+            assert (sum(len(r) for r in hi.values())
+                    > sum(len(r) for r in lo.values())), name
+
+
+# ---------------------------------------------------------------------------
+# Differential twins: memory vs disk vs over-the-wire.
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("name", ALL_SCENARIOS)
+def test_memory_disk_twins_agree(name):
+    scenario = get_scenario(name)
+    knobs = FAST
+    mem = HistoricalDatabase("mem")
+    scenario.bootstrap(mem, knobs, storage="memory")
+    mem_digests = replay(mem, scenario, knobs)
+    mem_catalog = catalog_digest(mem, scenario.relations)
+
+    disk = HistoricalDatabase("disk")
+    scenario.bootstrap(disk, knobs, storage="disk")
+    disk_digests = replay(disk, scenario, knobs)
+    disk_catalog = catalog_digest(disk, scenario.relations)
+
+    assert mem_digests == disk_digests
+    assert mem_catalog == disk_catalog
+
+
+@pytest.mark.stress
+@pytest.mark.parametrize("name", ALL_SCENARIOS)
+def test_server_twin_agrees_over_the_wire(name):
+    from repro.client import connect
+    from repro.server import DatabaseServer
+
+    scenario = get_scenario(name)
+    knobs = FAST
+    mem = HistoricalDatabase("mem")
+    scenario.bootstrap(mem, knobs, storage="memory")
+    expected = replay(mem, scenario, knobs)
+    expected_catalog = catalog_digest(mem, scenario.relations)
+
+    served = HistoricalDatabase("served")
+    scenario.bootstrap(served, knobs, storage="memory")
+    with DatabaseServer(served) as server:
+        session = connect(*server.address)
+        try:
+            got = replay(session, scenario, knobs)
+            got_catalog = catalog_digest(session, scenario.relations)
+        finally:
+            session.close()
+
+    assert got == expected
+    assert got_catalog == expected_catalog
+
+
+# ---------------------------------------------------------------------------
+# Harness runs: concurrency + oracle + semantic invariants.
+# ---------------------------------------------------------------------------
+
+
+class TestHarness:
+    def test_embedded_run_is_verified(self):
+        result = run_scenario("hr_rehires", FAST)
+        assert result.verified
+        assert result.total_ops == len(PERSONAS) * FAST.ops_per_persona
+        for persona, stats in result.personas.items():
+            assert stats.failures == 0, persona
+        payload = result.to_json()
+        assert payload["scenario"] == "hr_rehires"
+        assert payload["seed"] == FAST.seed
+        assert set(payload["personas"]) == set(PERSONAS)
+
+    def test_open_loop_records_scheduled_latency(self):
+        result = run_scenario("scd_audit", FAST.derive(ops_per_persona=8),
+                              mode="open", rate=500.0)
+        assert result.verified and result.mode == "open"
+
+    def test_disk_backend_run_is_verified(self):
+        result = run_scenario("iot_fleet", FAST, storage="disk")
+        assert result.verified and result.storage == "disk"
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="engine"):
+            run_scenario("hr_rehires", FAST, engine="carrier-pigeon")
+
+    @pytest.mark.stress
+    @pytest.mark.parametrize("name", ALL_SCENARIOS)
+    def test_every_scenario_embedded(self, name):
+        result = run_scenario(name, Knobs(ops_per_persona=40))
+        assert result.verified
+        assert all(s.failures == 0 for s in result.personas.values())
+
+    @pytest.mark.stress
+    @pytest.mark.parametrize("name", ALL_SCENARIOS)
+    def test_every_scenario_through_the_server(self, name):
+        result = run_scenario(name, Knobs(ops_per_persona=25),
+                              engine="server")
+        assert result.verified
+        assert all(s.failures == 0 for s in result.personas.values())
+
+    @pytest.mark.stress
+    def test_conflict_pressure_knob_bites(self):
+        """Max key-overlap drives writers onto shared hot keys; the run
+        must still verify (conflicts retried, never observed)."""
+        result = run_scenario(
+            "hr_rehires",
+            Knobs(ops_per_persona=60, key_overlap=1.0, skew=3.0))
+        assert result.verified
+
+
+# ---------------------------------------------------------------------------
+# The invariant checkers themselves catch corruption (not just pass
+# healthy catalogs).
+# ---------------------------------------------------------------------------
+
+
+class TestInvariantTeeth:
+    def test_scd_checker_rejects_a_gap(self):
+        from repro.core import domains
+        from repro.core.lifespan import Lifespan
+        from repro.core.scheme import RelationScheme
+
+        window = Lifespan.interval(0, 50)
+        scheme = RelationScheme("AUDIT", {
+            "ENTITY": domains.cd(domains.STRING),
+            "VER": domains.cd(domains.STRING),
+            "VALUE": domains.td(domains.STRING),
+        }, key=["ENTITY", "VER"],
+            lifespans={a: window for a in ("ENTITY", "VER", "VALUE")})
+        db = HistoricalDatabase("gap")
+        db.create_relation(scheme, [])
+        db.insert("AUDIT", Lifespan.interval(0, 10),
+                  {"ENTITY": "e", "VER": "v00", "VALUE": "a"})
+        db.insert("AUDIT", Lifespan.interval(20, 50),  # hole at [11, 19]
+                  {"ENTITY": "e", "VER": "v01", "VALUE": "b"})
+        with pytest.raises(InvariantViolation, match="gap or overlap"):
+            check_scd_versions(db.relation("AUDIT"), horizon=50)
+
+    def test_oracle_rejects_unexplained_keys(self):
+        oracle = HistoryOracle()
+        oracle.observed("r", {"EMP": {("ghost",)}})
+        with pytest.raises(OracleViolation):
+            oracle.verify(initial={"EMP": set()})
