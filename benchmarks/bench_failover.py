@@ -1,0 +1,200 @@
+"""Failover microbenchmark — how long is the cluster unwritable?
+
+The fenced failover choreography (:func:`repro.workloads.chaos.fail_over`)
+trades a window of write unavailability for zero lost acknowledged
+commits: between the fence and the promotion, every write is refused
+with the retryable ``FencedError``. This bench measures that window
+from the *client's* chair — a closed-loop writer hammers a routed
+session while the primary is failed over underneath it, and the
+**unavailability window** is the gap between its last acknowledged
+write on the old primary and its first acknowledged write on the
+promoted replica (rediscovery, retries and all).
+
+Three seeds, three fresh clusters; per-seed rows go to
+``benchmarks/results/failover.txt`` and the consolidated trajectory
+file ``BENCH_failover.json`` (with each run's full chaos record —
+fence/catch-up/promote timeline and fault trace — so a regression can
+be localized to a choreography step). ``BENCH_FAILOVER_TINY=1`` runs
+one smoke-sized pass (CI) without touching the trajectory file.
+
+Runs standalone too::
+
+    python benchmarks/bench_failover.py
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import tempfile
+import threading
+import time
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+_ROOT = os.path.dirname(_HERE)
+if __package__ in (None, ""):  # `python benchmarks/bench_failover.py`
+    sys.path.insert(0, os.path.join(_ROOT, "src"))
+    sys.path.insert(0, _ROOT)
+
+from benchmarks._report import report, report_json
+from repro.client import connect
+from repro.core import domains
+from repro.core.errors import HRDMError
+from repro.core.lifespan import Lifespan
+from repro.core.scheme import RelationScheme
+from repro.database import HistoricalDatabase
+from repro.replication import ReplicaServer
+from repro.server import DatabaseServer
+from repro.workloads.chaos import ChaosPlan, fail_over
+
+TINY = bool(os.environ.get("BENCH_FAILOVER_TINY"))
+
+SEEDS = (3,) if TINY else (3, 11, 42)
+#: Writes before the failover is triggered / after it must land.
+WARMUP_OPS = 10 if TINY else 50
+SETTLE_OPS = 10 if TINY else 50
+RETRY_DEADLINE = 60.0
+
+
+def _scheme() -> RelationScheme:
+    return RelationScheme("EMP", {
+        "NAME": domains.cd(domains.STRING),
+        "SALARY": domains.td(domains.INTEGER),
+        "DEPT": domains.td(domains.STRING),
+    }, key=["NAME"])
+
+
+def _insert(session, seed: int, n: int) -> None:
+    session.insert("EMP", Lifespan.interval(0, 9),
+                   {"NAME": f"s{seed}-w{n:05d}", "SALARY": n, "DEPT": "X"})
+
+
+def _insert_retrying(session, seed: int, n: int) -> None:
+    deadline = time.monotonic() + RETRY_DEADLINE
+    pause = 0.005
+    while True:
+        try:
+            _insert(session, seed, n)
+            return
+        except HRDMError as exc:
+            if not exc.retryable or time.monotonic() >= deadline:
+                raise
+        time.sleep(pause)
+        pause = min(pause * 2, 0.25)
+
+
+def _measure(seed: int, root: str) -> dict:
+    """One cluster, one failover, one unavailability window."""
+    path = os.path.join(root, f"failover-{seed}")
+    db = HistoricalDatabase("bench", path=path, sync="batch")
+    db.create_relation(_scheme(), storage="disk")
+    server = DatabaseServer(db)
+    server.start()
+    replica = ReplicaServer(path + "-replica", server.address,
+                            replica_id=f"bench-{seed}", backoff_seed=seed)
+    replica.start()
+    plan = ChaosPlan(seed=seed)
+    session = connect(server.address, replicas=[replica.address])
+    try:
+        ops = 0
+        for _ in range(WARMUP_OPS):
+            _insert(session, seed, ops)
+            ops += 1
+        last_acked = time.perf_counter()
+
+        failover = threading.Thread(
+            target=fail_over, args=(server, db, replica),
+            kwargs={"plan": plan}, daemon=True)
+        failover.start()
+
+        # Keep writing through the outage; the first write that needs a
+        # retry marks the window's start at the previous ack.
+        saw_outage = False
+        first_after = None
+        for _ in range(SETTLE_OPS):
+            before = time.perf_counter()
+            try:
+                _insert(session, seed, ops)
+            except HRDMError as exc:
+                if not exc.retryable:
+                    raise
+                saw_outage = True
+                _insert_retrying(session, seed, ops)
+                first_after = time.perf_counter()
+            ops += 1
+            if first_after is None:
+                last_acked = time.perf_counter()
+            del before
+            if saw_outage and first_after is not None:
+                break
+        failover.join(RETRY_DEADLINE)
+        if first_after is None:
+            # The failover won the race unobserved (every write landed
+            # without a retry) — the client-visible window is ~0.
+            first_after = last_acked = time.perf_counter()
+        for _ in range(SETTLE_OPS):
+            _insert_retrying(session, seed, ops)
+            ops += 1
+        host, port = session.primary._address
+        assert (host, port) == replica.address, "writes must have moved"
+        assert plan.new_epoch == 1
+        count = len(session["EMP"])
+        assert count == ops, (count, ops)  # fenced failover: zero loss
+        timeline = {e["event"]: e["t_s"] for e in plan.timeline}
+        return {
+            "seed": seed,
+            "ops": ops,
+            "unavailable_ms": (first_after - last_acked) * 1000.0,
+            "fence_to_promote_ms": (timeline["promoted"]
+                                    - timeline["fenced"]) * 1000.0,
+            "chaos": plan.to_json(),
+        }
+    finally:
+        session.close()
+        replica.stop()
+        if not db.closed:
+            db.close()
+
+
+def _run_all() -> tuple[dict, list]:
+    payload = {"workload": {"seeds": list(SEEDS), "warmup_ops": WARMUP_OPS,
+                            "settle_ops": SETTLE_OPS, "tiny": TINY},
+               "runs": []}
+    rows = []
+    with tempfile.TemporaryDirectory() as root:
+        for seed in SEEDS:
+            record = _measure(seed, root)
+            payload["runs"].append(record)
+            rows.append((seed,
+                         f"{record['unavailable_ms']:.1f}",
+                         f"{record['fence_to_promote_ms']:.1f}",
+                         record["ops"]))
+    return payload, rows
+
+
+def test_failover_window():
+    payload, rows = _run_all()
+    report("failover",
+           "Fenced failover: client-visible write unavailability "
+           "(zero acked commits lost)",
+           ["seed", "unavailable ms", "fence→promote ms", "ops"], rows)
+    if not TINY:
+        report_json("BENCH_failover", payload)
+
+
+def main() -> int:
+    payload, rows = _run_all()
+    report("failover",
+           "Fenced failover: client-visible write unavailability "
+           "(zero acked commits lost)",
+           ["seed", "unavailable ms", "fence→promote ms", "ops"], rows)
+    if not TINY:
+        report_json("BENCH_failover", payload)
+    windows = [r["unavailable_ms"] for r in payload["runs"]]
+    print(f"{len(windows)} failovers, windows "
+          f"{min(windows):.1f}–{max(windows):.1f} ms, zero lost commits")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -40,9 +40,11 @@ import socket
 from typing import (Any, Callable, Iterator, Mapping, Optional, Sequence,
                     Tuple, Union)
 
+from repro import faults as faults_mod
 from repro.core.domains import ValueDomain
-from repro.core.errors import (ConnectionLostError, HRDMError, QueryError,
-                               ReplicaLagError, StorageError)
+from repro.core.errors import (ConnectionLostError, FencedError, HRDMError,
+                               PromotionError, QueryError, ReplicaLagError,
+                               StorageError)
 from repro.core.lifespan import Lifespan
 from repro.core.relation import HistoricalRelation
 from repro.core.scheme import RelationScheme
@@ -252,6 +254,13 @@ class Client:
         #: The LSN of this session's last acknowledged write — the
         #: read-your-writes token a routed read hands to a replica.
         self.last_commit_lsn = 0
+        #: The highest replication fencing epoch any response carried.
+        #: Distinct from ``_epoch`` (the connection generation above):
+        #: this one identifies *which primacy* the session has seen,
+        #: and rises when a failover promotes a replica
+        #: (:meth:`RoutedClient.rediscover` picks the writable server
+        #: with the highest one).
+        self.cluster_epoch = 0
         #: The server's database name.
         self.name: str = ""
         #: True when the served database is durable (``\\checkpoint`` works).
@@ -264,8 +273,10 @@ class Client:
 
     def _dial(self) -> None:
         """Connect and shake hands; the socket is live on return."""
-        sock = socket.create_connection((self._host, self._port),
-                                        timeout=self._timeout)
+        faults_mod.fault_connect("client")
+        sock = faults_mod.wrap_socket(
+            socket.create_connection((self._host, self._port),
+                                     timeout=self._timeout), "client")
         self._sock = sock
         self._buffer.clear()
         try:
@@ -285,6 +296,8 @@ class Client:
         self.name = hello.get("database", "")
         self.durable = bool(hello.get("durable"))
         self.role = hello.get("role", "primary")
+        self.cluster_epoch = max(self.cluster_epoch,
+                                 int(hello.get("epoch", 0)))
 
     def _drop(self) -> None:
         """Forget a dead socket (and the server-side session with it)."""
@@ -339,6 +352,9 @@ class Client:
                     f"mid-{op}: {exc}") from exc
             if not response.get("ok"):
                 raise protocol.error_from_wire(response)
+            epoch = response.get("epoch")
+            if epoch is not None:
+                self.cluster_epoch = max(self.cluster_epoch, int(epoch))
             lsn = response.get("lsn")
             if lsn is not None and op in ("execute", "commit"):
                 self.last_commit_lsn = max(self.last_commit_lsn, int(lsn))
@@ -559,6 +575,22 @@ class Client:
                     raise
                 continue
             return result
+
+    # -- failover ------------------------------------------------------------
+
+    def promote(self) -> int:
+        """Promote the connected replica to primary; the new epoch.
+
+        The wire form of
+        :meth:`repro.replication.ReplicaServer.promote` — only a
+        replica server accepts it
+        (:class:`~repro.core.errors.PromotionError` otherwise). After
+        a successful promotion this same connection takes writes.
+        """
+        epoch = int(self.request({"op": "promote"})["epoch"])
+        self.role = "primary"
+        self.cluster_epoch = max(self.cluster_epoch, epoch)
+        return epoch
 
     # -- durability ----------------------------------------------------------
 
@@ -804,6 +836,17 @@ class RoutedClient:
 
     Replica connections are lazy and self-healing — a replica that is
     down is skipped now and re-dialed on a later read.
+
+    The session also survives **failover**: a write refused with the
+    retryable :class:`~repro.core.errors.FencedError` (the primary's
+    epoch has been superseded) triggers :meth:`rediscover` — every
+    known address is probed and the writable server with the highest
+    fencing epoch becomes the new primary — and the write is re-sent
+    there. A write that dies with
+    :class:`~repro.core.errors.ConnectionLostError` also rediscovers,
+    but re-raises: its fate on the old primary is unknown, so only the
+    caller can decide to re-run. :meth:`promote` drives the planned
+    form: promote a chosen replica, then re-route this session to it.
     """
 
     #: Generic callers (the HRQL shell) treat this like any remote catalog.
@@ -949,62 +992,178 @@ class RoutedClient:
         return any(summary["name"] == name
                    for summary in self.relations_info())
 
-    # -- writes: straight to the primary -------------------------------------
+    # -- failover ------------------------------------------------------------
+
+    def rediscover(self) -> bool:
+        """Find the current primary among every address this session knows.
+
+        Probes the configured primary and each replica address with a
+        STATUS frame and elects the **writable server with the highest
+        fencing epoch** — exactly the node a fenced ex-primary's
+        :class:`~repro.core.errors.FencedError` points away from. When
+        the winner differs from the current primary, the session is
+        re-routed: a fresh write connection is opened there, the
+        read-your-writes token is capped at the new primary's position
+        (acknowledged commits the old primary never shipped are not on
+        the surviving timeline), the promoted address leaves the read
+        rotation, and the demoted one joins it (it will serve reads
+        again once rejoined as a replica). Returns True when a writable
+        primary is connected, False when none answered.
+        """
+        current = self.primary._address
+        candidates: list[Tuple[str, int]] = []
+        for address in [current] + self.replica_addresses:
+            if address not in candidates:
+                candidates.append(address)
+        best: Optional[Tuple[int, int, Tuple[str, int]]] = None
+        for address in candidates:
+            try:
+                probe = Client(*address, timeout=self._timeout,
+                               domains=self._domains)
+            except (OSError, HRDMError):
+                continue
+            try:
+                status = probe.status()
+            except (OSError, HRDMError):
+                continue
+            finally:
+                probe.close()
+            writable = (status.get("role") == "primary"
+                        and not status.get("read_only")
+                        and not status.get("fenced"))
+            epoch = int(status.get("epoch", 0))
+            if writable and (best is None or epoch > best[0]):
+                best = (epoch, int(status.get("lsn", 0)), address)
+        if best is None:
+            return False
+        epoch, lsn, address = best
+        if address == current:
+            return True  # the session's own primary is (still) it
+        old = self.primary
+        self.primary = Client(*address, timeout=self._timeout,
+                              domains=self._domains)
+        self.primary.last_commit_lsn = min(old.last_commit_lsn, lsn)
+        self.primary.cluster_epoch = max(old.cluster_epoch, epoch)
+        old.close()
+        for entry in self._replicas:
+            if entry["address"] == address and entry["client"] is not None:
+                entry["client"].close()
+        self._replicas = [entry for entry in self._replicas
+                          if entry["address"] != address]
+        if all(entry["address"] != current for entry in self._replicas):
+            self._replicas.append({"address": current, "client": None})
+        self._rr = 0
+        return True
+
+    def promote(self, address: Optional[Address] = None) -> int:
+        """Planned failover: promote a replica, re-route this session.
+
+        Sends PROMOTE to *address* (default: the first configured
+        replica), then :meth:`rediscover`\\ s so subsequent writes go to
+        the new primary. Returns the new fencing epoch. Raises
+        :class:`~repro.core.errors.PromotionError` when there is no
+        replica to promote (or the target refuses).
+        """
+        if address is None:
+            if not self._replicas:
+                raise PromotionError(
+                    "this session has no replica addresses to promote")
+            target = self._replicas[0]["address"]
+        else:
+            target = _parse_hostport(address)
+        probe = Client(*target, timeout=self._timeout, domains=self._domains)
+        try:
+            epoch = probe.promote()
+        finally:
+            probe.close()
+        self.rediscover()
+        return epoch
+
+    def _write(self, action: Callable[[], Any]) -> Any:
+        """Run *action* against the primary, failing over when fenced.
+
+        A :class:`~repro.core.errors.FencedError` proves the write was
+        refused (nothing committed), so after a successful
+        :meth:`rediscover` it is safe to re-send on the new primary. A
+        :class:`~repro.core.errors.ConnectionLostError` is ambiguous —
+        the write may have landed before the drop — so the session
+        rediscovers (the caller's retry will route correctly) but the
+        retryable error still propagates.
+        """
+        try:
+            return action()
+        except FencedError:
+            if not self.rediscover():
+                raise
+            return action()
+        except ConnectionLostError:
+            self.rediscover()
+            raise
+
+    # -- writes: straight to the (current) primary ---------------------------
 
     def insert(self, name: str, lifespan: Lifespan,
                values: Mapping[str, Any]) -> HistoricalTuple:
         """Insert on the primary (see :meth:`Client.insert`)."""
-        return self.primary.insert(name, lifespan, values)
+        return self._write(
+            lambda: self.primary.insert(name, lifespan, values))
 
     def update(self, name: str, key: tuple, at: int,
                changes: Mapping[str, Any]) -> HistoricalTuple:
         """Update on the primary (see :meth:`Client.update`)."""
-        return self.primary.update(name, key, at, changes)
+        return self._write(
+            lambda: self.primary.update(name, key, at, changes))
 
     def terminate(self, name: str, key: tuple, at: int) -> HistoricalTuple:
         """Terminate on the primary (see :meth:`Client.terminate`)."""
-        return self.primary.terminate(name, key, at)
+        return self._write(lambda: self.primary.terminate(name, key, at))
 
     def reincarnate(self, name: str, key: tuple, lifespan: Lifespan,
                     values: Mapping[str, Any]) -> HistoricalTuple:
         """Reincarnate on the primary (see :meth:`Client.reincarnate`)."""
-        return self.primary.reincarnate(name, key, lifespan, values)
+        return self._write(
+            lambda: self.primary.reincarnate(name, key, lifespan, values))
 
     def evolve_scheme(self, name: str, new_scheme: RelationScheme) -> None:
         """Evolve a scheme on the primary (see
         :meth:`Client.evolve_scheme`)."""
-        self.primary.evolve_scheme(name, new_scheme)
+        self._write(lambda: self.primary.evolve_scheme(name, new_scheme))
 
     def create_relation(self, scheme: RelationScheme, tuples: Any = (), *,
                         storage: str = "memory", **backend_options) -> None:
         """Create a relation on the primary (see
         :meth:`Client.create_relation`)."""
-        self.primary.create_relation(scheme, tuples, storage=storage,
-                                     **backend_options)
+        self._write(lambda: self.primary.create_relation(
+            scheme, tuples, storage=storage, **backend_options))
 
     def drop_relation(self, name: str) -> None:
         """Drop a relation on the primary (see
         :meth:`Client.drop_relation`)."""
-        self.primary.drop_relation(name)
+        self._write(lambda: self.primary.drop_relation(name))
 
     def transaction(self) -> RemoteTransaction:
         """Open a transaction on the primary (see
-        :meth:`Client.transaction`)."""
-        return self.primary.transaction()
+        :meth:`Client.transaction`). BEGIN against a fenced ex-primary
+        fails over like any write; the open session then lives on the
+        new primary."""
+        return self._write(lambda: self.primary.transaction())
 
     def run_transaction(self, body, *, attempts: int = 5):
         """Run *body* transactionally on the primary (see
-        :meth:`Client.run_transaction`)."""
-        return self.primary.run_transaction(body, attempts=attempts)
+        :meth:`Client.run_transaction`). A fenced primary mid-run
+        aborts the attempt cleanly, so re-running the whole loop on
+        the rediscovered primary is safe."""
+        return self._write(
+            lambda: self.primary.run_transaction(body, attempts=attempts))
 
     def checkpoint(self) -> int:
         """Checkpoint the primary (replicas mirror the generation
         switch through the stream)."""
-        return self.primary.checkpoint()
+        return self._write(lambda: self.primary.checkpoint())
 
     def flush(self) -> None:
         """Flush the primary's acknowledged commits to stable storage."""
-        self.primary.flush()
+        self._write(lambda: self.primary.flush())
 
     def __repr__(self) -> str:
         host, port = self.primary._address

@@ -186,6 +186,30 @@ class ConnectionLostError(StorageError):
     retryable = True
 
 
+class FencedError(ReplicationError):
+    """The request reached a primary whose epoch has been superseded.
+
+    A promoted replica bumps the cluster **epoch** (stamped into every
+    WAL commit frame and exchanged in the SUBSCRIBE handshake); a
+    fenced ex-primary refuses writes with this error so a partitioned
+    survivor cannot split the brain. **Retryable** — against the
+    current primary: the routed client reacts by rediscovering the
+    highest-epoch writable server and re-routing (see
+    :meth:`repro.client.RoutedClient.rediscover`)."""
+
+    retryable = True
+
+
+class PromotionError(ReplicationError):
+    """A replica could not be promoted to primary.
+
+    Raised by :meth:`repro.replication.ReplicaServer.promote` (and the
+    PROMOTE wire op) when the target is not a replica, is already
+    promoted, or its local timeline cannot accept writes (for example
+    the sync loop is mid-snapshot-install). Not retryable as-is: fix
+    the topology and promote a healthy replica instead."""
+
+
 class ReplicaLagError(StorageError):
     """A replica could not satisfy a read-your-writes token in time:
     the read carried a commit LSN the replica had not applied within

@@ -139,6 +139,10 @@ class DurabilityManager:
             db._backends[rel_name] = factory.from_snapshot(
                 scheme, raw, **meta.get("options", {})
             )
+        # The fencing epoch survives restarts through the manifest; a
+        # record committed after the last manifest write may carry a
+        # newer one (promotion bumps the epoch, then keeps committing).
+        self.wal.epoch = int(manifest.get("epoch", 0))
         records = self.wal.recover()
         self.wal.generation = self.generation
         for record in records:
@@ -151,6 +155,8 @@ class DurabilityManager:
                 )
             self.replay(db, record)
             db._version += 1
+            if record.epoch > self.wal.epoch:
+                self.wal.epoch = record.epoch
         # Restore the LSN floor: a checkpoint-emptied log carries no
         # records to speak for the counter, and replication positions
         # must stay monotone across restarts.
@@ -230,6 +236,24 @@ class DurabilityManager:
         """
         return self.generation, self.wal.last_lsn
 
+    @property
+    def epoch(self) -> int:
+        """The replication fencing epoch new commits are stamped with."""
+        return self.wal.epoch
+
+    def bump_epoch(self, db: "HistoricalDatabase") -> int:
+        """Advance the fencing epoch and persist it — the promote step.
+
+        The new epoch is durable (manifest write) *before* any commit
+        is stamped with it, so a crash immediately after promotion
+        still reopens fenced against the old timeline. Returns the new
+        epoch.
+        """
+        self._ensure_open()
+        self.wal.epoch += 1
+        self.write_manifest(db)
+        return self.wal.epoch
+
     def checkpoint(self, db: "HistoricalDatabase",
                    generation: Optional[int] = None) -> int:
         """Write a consistent snapshot and truncate the log.
@@ -277,6 +301,7 @@ class DurabilityManager:
             "name": db.name,
             "generation": self.generation if generation is None else generation,
             "wal_lsn": self.wal.last_lsn,
+            "epoch": self.wal.epoch,
             "time_domain": pager_mod.time_domain_to_dict(db.time_domain),
             "relations": {
                 name: {

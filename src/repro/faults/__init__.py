@@ -1,0 +1,417 @@
+"""Deterministic fault injection — the chaos layer under the chaos tests.
+
+Robustness claims are only as good as the faults that were actually
+exercised. This module turns "what if the disk said no?" into a
+first-class, *seeded* experiment: a :class:`FaultSchedule` is a list of
+rules — fail the Nth fsync, tear the write that crosses byte 4096, drop
+5% of replication sends under seed 7 — installed process-wide with
+:func:`install` (or the :func:`injected` context manager) and consulted
+from a handful of instrumented **fault points** in the storage and
+network layers:
+
+========  =====================  ==========================================
+target    ops                    instrumented site
+========  =====================  ==========================================
+"wal"     write, fsync           :class:`repro.storage.wal.WriteAheadLog`
+                                 frame appends and group-commit fsyncs
+"pager"   write, fsync           :class:`repro.storage.pager.Pager`
+                                 snapshot and manifest writes (checkpoint)
+"server"  send, recv             every accepted server connection
+"client"  send, recv, connect    :class:`repro.client.Client` sockets
+"replica" send, recv, connect    the replica sync loop's SUBSCRIBE socket
+========  =====================  ==========================================
+
+Every firing is appended to the schedule's **trace** — the exact
+``(target, op, count)`` coordinates of each injected fault — and
+:meth:`FaultSchedule.from_trace` rebuilds a schedule that re-fires at
+exactly those coordinates, so a probabilistic chaos run found by one
+seed can be replayed deterministically forever after (the acceptance
+contract of ``tests/test_chaos.py``).
+
+With no schedule installed every fault point is a cheap no-op (one
+module-global ``is None`` check), so production paths pay nothing.
+
+>>> import errno
+>>> schedule = FaultSchedule(seed=7).fail("wal", "fsync", count=2)
+>>> with injected(schedule):
+...     hit_first = fault_rule("wal", "fsync") is not None
+...     hit_second = fault_rule("wal", "fsync") is not None
+>>> (hit_first, hit_second)
+(False, True)
+>>> schedule.trace[0]["op"], schedule.trace[0]["count"]
+('fsync', 2)
+"""
+
+from __future__ import annotations
+
+import errno
+import random
+import threading
+import time
+from contextlib import contextmanager
+from typing import Any, Callable, Iterable, Optional
+
+__all__ = [
+    "FaultRule", "FaultSchedule", "FaultySocket",
+    "install", "uninstall", "active", "injected",
+    "fault_rule", "fault_write", "fault_fsync", "fault_connect",
+    "wrap_socket",
+]
+
+#: Actions a rule may take when it fires.
+ACTIONS = ("error", "torn", "delay", "blackhole")
+
+
+def _default_error(target: str, op: str) -> BaseException:
+    """The canonical injected failure for a fault point's domain."""
+    if op in ("send", "recv", "connect"):
+        return ConnectionResetError(
+            errno.ECONNRESET, f"[injected] {target}.{op} connection reset")
+    return OSError(errno.ENOSPC,
+                   f"[injected] {target}.{op}: No space left on device")
+
+
+class FaultRule:
+    """One trigger → action pair inside a :class:`FaultSchedule`.
+
+    Triggers (at least one required, first match wins):
+
+    * ``count`` — fire on the Nth matching operation (1-based, counted
+      per ``(target, op)`` pair);
+    * ``byte_offset`` — for writes: fire on the write whose cumulative
+      byte position at the target crosses this offset;
+    * ``probability`` — fire with this probability, drawn from the
+      schedule's seeded RNG (deterministic for a fixed op sequence).
+
+    Actions:
+
+    * ``"error"`` — raise (default: ENOSPC for file ops, connection
+      reset for socket ops; override with ``error=``);
+    * ``"torn"`` — a short write: the first ``torn`` bytes land (half
+      the buffer when unset), then the error raises — the classic torn
+      WAL frame;
+    * ``"delay"`` — sleep ``delay`` seconds, then proceed normally
+      (network latency / stall injection);
+    * ``"blackhole"`` — sends silently vanish, receives raise the
+      error — a one-way partition.
+
+    ``times`` caps firings (default 1; ``None`` = unlimited).
+    """
+
+    def __init__(self, target: Optional[str], op: Optional[str], *,
+                 action: str = "error",
+                 count: Optional[int] = None,
+                 byte_offset: Optional[int] = None,
+                 probability: Optional[float] = None,
+                 times: Optional[int] = 1,
+                 error: Optional[Callable[[], BaseException]] = None,
+                 torn: Optional[int] = None,
+                 delay: float = 0.0):
+        if action not in ACTIONS:
+            options = ", ".join(ACTIONS)
+            raise ValueError(f"unknown action {action!r}; expected one of: "
+                             f"{options}")
+        if count is None and byte_offset is None and probability is None:
+            raise ValueError("a fault rule needs a trigger: count=, "
+                             "byte_offset=, or probability=")
+        self.target = target
+        self.op = op
+        self.action = action
+        self.count = count
+        self.byte_offset = byte_offset
+        self.probability = probability
+        self.times = times
+        self.error = error
+        self.torn = torn
+        self.delay = delay
+        self.fired = 0
+
+    def matches(self, target: str, op: str) -> bool:
+        return ((self.target is None or self.target == target)
+                and (self.op is None or self.op == op))
+
+    def exhausted(self) -> bool:
+        return self.times is not None and self.fired >= self.times
+
+    def make_error(self, target: str, op: str) -> BaseException:
+        if self.error is not None:
+            made = self.error() if callable(self.error) else self.error
+            return made
+        return _default_error(target, op)
+
+    def describe(self) -> dict:
+        trigger = {k: v for k, v in (("count", self.count),
+                                     ("byte_offset", self.byte_offset),
+                                     ("probability", self.probability))
+                   if v is not None}
+        return {"target": self.target, "op": self.op,
+                "action": self.action, **trigger}
+
+
+class FaultSchedule:
+    """A seeded, replayable plan of injected faults.
+
+    Build one with the chainable helpers (:meth:`fail`, :meth:`tear`,
+    :meth:`delay`, :meth:`partition`) or :meth:`add`, install it with
+    :func:`install` / :func:`injected`, run the workload, and read
+    :attr:`trace` — the list of fired faults in order, each a dict of
+    ``(target, op, count, action)`` coordinates.
+
+    Thread-safe: fault points serialize on an internal lock, so the
+    per-``(target, op)`` operation counters (and the RNG draws behind
+    ``probability=`` rules) are consistent under concurrent callers.
+    """
+
+    def __init__(self, seed: int = 0,
+                 rules: Optional[Iterable[FaultRule]] = None):
+        self.seed = seed
+        self.rules: list[FaultRule] = list(rules or ())
+        self.trace: list[dict] = []
+        self._rng = random.Random(seed)
+        self._counts: dict[tuple[str, str], int] = {}
+        self._bytes: dict[str, int] = {}
+        self._lock = threading.Lock()
+
+    # -- building ----------------------------------------------------------
+
+    def add(self, rule: FaultRule) -> "FaultSchedule":
+        """Append *rule*; returns the schedule for chaining."""
+        self.rules.append(rule)
+        return self
+
+    def fail(self, target: Optional[str], op: Optional[str],
+             **kw: Any) -> "FaultSchedule":
+        """Inject a hard failure (see :class:`FaultRule` for triggers)."""
+        return self.add(FaultRule(target, op, action="error", **kw))
+
+    def tear(self, target: Optional[str], op: str = "write",
+             **kw: Any) -> "FaultSchedule":
+        """Inject a torn (short) write followed by the error."""
+        return self.add(FaultRule(target, op, action="torn", **kw))
+
+    def delay(self, target: Optional[str], op: Optional[str],
+              seconds: float, **kw: Any) -> "FaultSchedule":
+        """Inject latency: sleep *seconds*, then proceed normally."""
+        return self.add(FaultRule(target, op, action="delay",
+                                  delay=seconds, **kw))
+
+    def partition(self, target: Optional[str], op: Optional[str] = None,
+                  **kw: Any) -> "FaultSchedule":
+        """Inject a one-way partition: sends vanish, receives reset."""
+        return self.add(FaultRule(target, op, action="blackhole", **kw))
+
+    # -- consulting (called from fault points, hot path) -------------------
+
+    def check(self, target: str, op: str, size: int = 0
+              ) -> Optional[FaultRule]:
+        """Advance the counters; the firing rule, or None.
+
+        The trace records every firing with the operation's 1-based
+        per-``(target, op)`` count — exactly the coordinates
+        :meth:`from_trace` needs to replay it.
+        """
+        with self._lock:
+            key = (target, op)
+            n = self._counts.get(key, 0) + 1
+            self._counts[key] = n
+            before = self._bytes.get(target, 0)
+            self._bytes[target] = before + size
+            for rule in self.rules:
+                if not rule.matches(target, op) or rule.exhausted():
+                    continue
+                fire = False
+                if rule.count is not None:
+                    fire = n == rule.count
+                elif rule.byte_offset is not None:
+                    fire = before <= rule.byte_offset < before + size
+                elif rule.probability is not None:
+                    fire = self._rng.random() < rule.probability
+                if fire:
+                    rule.fired += 1
+                    self.trace.append({"target": target, "op": op,
+                                       "count": n, "action": rule.action,
+                                       **({"torn": rule.torn}
+                                          if rule.action == "torn" else {}),
+                                       **({"delay": rule.delay}
+                                          if rule.action == "delay" else {})})
+                    return rule
+            return None
+
+    # -- replay ------------------------------------------------------------
+
+    @classmethod
+    def from_trace(cls, trace: Iterable[dict]) -> "FaultSchedule":
+        """A schedule that re-fires exactly at a recorded trace's points.
+
+        Probability rules become count rules at the counts where they
+        actually fired, so a chaos run discovered under one seed replays
+        byte-for-byte without its RNG.
+        """
+        schedule = cls(seed=0)
+        for entry in trace:
+            schedule.add(FaultRule(
+                entry["target"], entry["op"], action=entry["action"],
+                count=entry["count"], torn=entry.get("torn"),
+                delay=entry.get("delay", 0.0)))
+        return schedule
+
+    def describe(self) -> list[dict]:
+        """The schedule's rules as plain dicts (for logs and traces)."""
+        return [rule.describe() for rule in self.rules]
+
+    def __repr__(self) -> str:
+        return (f"FaultSchedule(seed={self.seed}, rules={len(self.rules)}, "
+                f"fired={len(self.trace)})")
+
+
+# -- process-wide installation ------------------------------------------------
+
+_ACTIVE: Optional[FaultSchedule] = None
+
+
+def install(schedule: FaultSchedule) -> FaultSchedule:
+    """Make *schedule* the process's active fault schedule."""
+    global _ACTIVE
+    _ACTIVE = schedule
+    return schedule
+
+
+def uninstall() -> None:
+    """Deactivate fault injection (fault points become no-ops again)."""
+    global _ACTIVE
+    _ACTIVE = None
+
+
+def active() -> Optional[FaultSchedule]:
+    """The installed schedule, or None."""
+    return _ACTIVE
+
+
+@contextmanager
+def injected(schedule: FaultSchedule):
+    """``with injected(schedule):`` — install for the block's duration."""
+    install(schedule)
+    try:
+        yield schedule
+    finally:
+        uninstall()
+
+
+# -- fault points (called from instrumented code) -----------------------------
+
+
+def fault_rule(target: str, op: str, size: int = 0) -> Optional[FaultRule]:
+    """The bare fault point: the firing rule, or None (also when idle)."""
+    schedule = _ACTIVE
+    if schedule is None:
+        return None
+    return schedule.check(target, op, size)
+
+
+def fault_write(fh, data: bytes, target: str) -> None:
+    """Write *data* to *fh* through the fault point.
+
+    A firing ``"torn"`` rule lands a short prefix (``torn`` bytes, half
+    the buffer when unset) and raises; ``"error"`` raises before any
+    byte lands; ``"delay"`` sleeps first. The caller's normal
+    failed-write handling (the WAL's frame retraction, the pager's
+    tmp-file discipline) sees exactly what a real disk error produces.
+    """
+    schedule = _ACTIVE
+    if schedule is not None:
+        rule = schedule.check(target, "write", len(data))
+        if rule is not None:
+            if rule.action == "torn":
+                keep = rule.torn if rule.torn is not None else len(data) // 2
+                fh.write(data[:max(0, keep)])
+                fh.flush()
+                raise rule.make_error(target, "write")
+            if rule.action in ("error", "blackhole"):
+                raise rule.make_error(target, "write")
+            if rule.action == "delay":
+                time.sleep(rule.delay)
+    fh.write(data)
+
+
+def fault_fsync(fileno: int, target: str) -> None:
+    """``os.fsync`` through the fault point."""
+    import os
+
+    schedule = _ACTIVE
+    if schedule is not None:
+        rule = schedule.check(target, "fsync")
+        if rule is not None:
+            if rule.action in ("error", "torn", "blackhole"):
+                raise rule.make_error(target, "fsync")
+            if rule.action == "delay":
+                time.sleep(rule.delay)
+    os.fsync(fileno)
+
+
+def fault_connect(target: str) -> None:
+    """The pre-dial fault point: a firing rule refuses the connection."""
+    schedule = _ACTIVE
+    if schedule is not None:
+        rule = schedule.check(target, "connect")
+        if rule is not None:
+            if rule.action == "delay":
+                time.sleep(rule.delay)
+            else:
+                raise rule.make_error(target, "connect")
+
+
+def wrap_socket(sock, target: str):
+    """*sock* behind the socket fault point — or *sock* itself when idle.
+
+    Wrapping is decided at connection time: with no schedule installed
+    the real socket is returned and the connection runs at native
+    speed. An installed schedule gets a :class:`FaultySocket` whose
+    ``sendall`` / ``recv`` consult the schedule on every call.
+    """
+    if _ACTIVE is None:
+        return sock
+    return FaultySocket(sock, target)
+
+
+class FaultySocket:
+    """A socket proxy whose send/recv pass through the fault point.
+
+    Delegates everything else (timeouts, ``fileno``, ``close``, ...) to
+    the wrapped socket, so it drops into any code that duck-types a
+    socket — the server's per-connection handlers, the client's framing
+    layer, the replica's subscription stream.
+    """
+
+    def __init__(self, sock, target: str):
+        self._sock = sock
+        self._target = target
+
+    def sendall(self, data) -> None:
+        rule = fault_rule(self._target, "send", len(data))
+        if rule is not None:
+            if rule.action == "blackhole":
+                return  # one-way partition: the bytes silently vanish
+            if rule.action == "delay":
+                time.sleep(rule.delay)
+            else:
+                raise rule.make_error(self._target, "send")
+        self._sock.sendall(data)
+
+    def send(self, data) -> int:
+        self.sendall(data)
+        return len(data)
+
+    def recv(self, bufsize: int) -> bytes:
+        rule = fault_rule(self._target, "recv")
+        if rule is not None:
+            if rule.action == "delay":
+                time.sleep(rule.delay)
+            else:
+                raise rule.make_error(self._target, "recv")
+        return self._sock.recv(bufsize)
+
+    def __getattr__(self, name):
+        return getattr(self._sock, name)
+
+    def __repr__(self) -> str:
+        return f"FaultySocket({self._target!r}, {self._sock!r})"

@@ -18,6 +18,9 @@ Commands::
                          addresses are read replicas (reads round-robin
                          across them, writes go to the first address)
     \\replicas            per-replica lag, from the server's STATUS frame
+    \\promote [HOST:PORT] promote a replica to primary (fenced failover);
+                         with no argument, a routed session promotes its
+                         first replica, a direct one its own server
     \\checkpoint          snapshot the open durable database, truncate its WAL
     \\timing              toggle wall-clock reporting per statement
     \\quit                exit
@@ -57,7 +60,8 @@ HRDM / HRQL shell — demo relation: EMP(NAME*, SALARY, DEPT), months 0..120
 Type an HRQL query (\\set binds :name parameters), \\relations,
 \\timelines EMP, \\open PATH (durable database), \\connect
 HOST:PORT[,REPLICA...] (remote server, optional read replicas),
-\\replicas (replication lag), \\checkpoint, \\timing, or \\quit.
+\\replicas (replication lag), \\promote [HOST:PORT] (failover),
+\\checkpoint, \\timing, or \\quit.
 """
 
 MAX_TABLE_ROWS = 40
@@ -193,6 +197,27 @@ def execute(line: str, env: HistoricalDatabase,
                 f"[{'connected' if rep.get('connected') else 'disconnected'}"
                 f", {rep.get('mode')}]")
         return "\n".join(lines)
+    if stripped.startswith("\\promote"):
+        if not getattr(env, "remote", False):
+            return ("error: \\promote needs a server connection; "
+                    "\\connect HOST:PORT[,REPLICA...] first")
+        parts = stripped.split(maxsplit=1)
+        target = parts[1].strip() if len(parts) > 1 else None
+        try:
+            if hasattr(env, "rediscover"):  # a routed session
+                epoch = env.promote(target)
+                host, port = env.primary._address
+                return (f"promoted {host}:{port} to primary (fencing epoch "
+                        f"{epoch}); writes now route there")
+            if target is not None:
+                return ("error: \\promote HOST:PORT needs a routed session "
+                        "(\\connect PRIMARY,REPLICA...); a direct session "
+                        "promotes its own server with plain \\promote")
+            epoch = env.promote()
+            return (f"promoted this server to primary "
+                    f"(fencing epoch {epoch})")
+        except HRDMError as exc:
+            return f"error: {exc}"
     if stripped == "\\timing":
         if state is None:
             return "error: \\timing needs an interactive session"

@@ -52,6 +52,19 @@ The moving parts:
   :class:`~repro.core.errors.ReplicaLagError` sends the read back to
   the primary).
 
+* **Failover is fenced.** A replica can be **promoted**
+  (:meth:`~repro.replication.replica.ReplicaServer.promote`, the wire
+  PROMOTE op, the shell's ``\\promote``): it stops syncing, bumps the
+  cluster's fencing **epoch** — persisted in the manifest and stamped
+  into every subsequent WAL commit frame — and starts taking writes.
+  Any surviving ex-primary that hears the higher epoch (through a
+  SUBSCRIBE handshake) fences itself: mutations get the retryable
+  :class:`~repro.core.errors.FencedError`, which steers
+  :class:`~repro.client.RoutedClient` sessions into rediscovering the
+  new primary. The demoted node rejoins as a replica; the epoch check
+  forces a snapshot resync that truncates any divergent suffix it
+  committed after the promotion point. See ``docs/replication.md``.
+
 Run a replica from the command line::
 
     python -m repro.replication PATH --primary HOST:PORT [--port P]

@@ -7,10 +7,11 @@ the replica disconnects or the server stops. The wire choreography::
 
     replica                              primary
     -------                              -------
-    {op: subscribe, replica, generation, lsn}
+    {op: subscribe, replica, generation, lsn, epoch}
                           ->
-                                  {ok, mode: "stream", generation, lsn}
-                          <-      {op: wal, generation, lsn, ops: [b64...]}
+                                  {ok, mode: "stream", generation, lsn, epoch}
+                          <-      {op: wal, generation, lsn, epoch,
+                                   ops: [b64...]}
                           <-      {op: wal, ...}
     {op: ack, generation, lsn}
                           ->
@@ -54,7 +55,7 @@ import os
 import time
 from typing import TYPE_CHECKING, Tuple
 
-from repro.core.errors import ReplicationError, WALError
+from repro.core.errors import FencedError, ReplicationError, WALError
 from repro.server import protocol
 from repro.storage import pager as pager_mod
 from repro.storage.wal import WALGapError, WALReader
@@ -104,13 +105,24 @@ def serve_subscription(connection, request) -> None:
     replica_id = str(request.get("replica") or peer)
     replica_gen = int(request.get("generation", 0))
     replica_lsn = int(request.get("lsn", 0))
+    replica_epoch = int(request.get("epoch", 0))
+    if replica_epoch > manager.epoch:
+        # The subscriber has seen a newer primacy than ours: somewhere a
+        # replica was promoted past us. Fence this server — refusing
+        # further writes is what keeps a partitioned ex-primary from
+        # splitting the brain — and refuse the subscription.
+        owner.fence()
+        raise FencedError(
+            f"this primary's epoch {manager.epoch} has been superseded "
+            f"(subscriber speaks epoch {replica_epoch}); the server is "
+            f"now fenced — rejoin it as a replica of the new primary")
     owner.track_replica(replica_id, address=peer, connected=True,
                         applied_lsn=replica_lsn,
                         applied_generation=replica_gen,
                         acked_at=time.monotonic())
     try:
         _ship(owner, db, manager, connection, replica_id,
-              replica_gen, replica_lsn)
+              replica_gen, replica_lsn, replica_epoch)
     except (OSError, protocol.ProtocolError):
         pass  # the replica went away mid-stream; it will re-subscribe
     except WALError:
@@ -144,6 +156,7 @@ def _capture_snapshot(db: "HistoricalDatabase",
         "name": db.name,
         "generation": generation,
         "lsn": lsn,
+        "epoch": manager.epoch,
         "time_domain": pager_mod.time_domain_to_dict(db.time_domain),
         "relations": len(relations),
     }
@@ -161,12 +174,13 @@ def _wal_frame(record) -> dict:
         "op": "wal",
         "generation": record.generation,
         "lsn": record.lsn,
+        "epoch": record.epoch,
         "ops": [base64.b64encode(op).decode("ascii") for op in record.ops],
     }
 
 
 def _ship(owner, db, manager, connection, replica_id,
-          replica_gen, replica_lsn) -> None:
+          replica_gen, replica_lsn, replica_epoch=0) -> None:
     sock = connection.request
     buffer = connection.buffer
     # The connection arrives on the request/response poll timeout
@@ -177,7 +191,12 @@ def _ship(owner, db, manager, connection, replica_id,
     wal_path = manager.wal.path
 
     # -- handshake: stream when the log bridges the replica's position --
-    diverged = replica_lsn > lsn or replica_gen > generation
+    # A replica on an older *epoch* never streams: its history may end
+    # in a divergent suffix committed by the fenced ex-primary (this is
+    # the rejoin path of a demoted primary), and only a snapshot
+    # truncates that suffix onto the new timeline wholesale.
+    diverged = (replica_lsn > lsn or replica_gen > generation
+                or replica_epoch < manager.epoch)
     if not diverged and replica_lsn == lsn:
         stream = True
     elif diverged:
@@ -188,7 +207,8 @@ def _ship(owner, db, manager, connection, replica_id,
     if stream:
         start_lsn = replica_lsn
         protocol.send_frame(sock, {"ok": True, "mode": "stream",
-                                   "generation": generation, "lsn": lsn})
+                                   "generation": generation, "lsn": lsn,
+                                   "epoch": manager.epoch})
         owner.track_replica(replica_id, mode="stream")
     else:
         header, relations = _capture_snapshot(db, manager)

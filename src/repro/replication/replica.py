@@ -36,14 +36,16 @@ from __future__ import annotations
 
 import base64
 import os
+import random
 import socket
 import threading
 import time
 from typing import Any, Mapping, Optional, Tuple, Union
 
+from repro import faults as faults_mod
 from repro.core.domains import ValueDomain
-from repro.core.errors import (ReplicaLagError, ReplicationError,
-                               StorageError)
+from repro.core.errors import (FencedError, PromotionError, ReplicaLagError,
+                               ReplicationError, StorageError)
 from repro.database.concurrency import WriteSet
 from repro.database.database import HistoricalDatabase
 from repro.server import DatabaseServer, protocol
@@ -57,6 +59,30 @@ _POLL_SECONDS = 0.2
 #: Reconnect backoff bounds (doubled per failed attempt).
 _BACKOFF_MIN = 0.05
 _BACKOFF_MAX = 5.0
+
+
+def jittered_backoff(base: float, cap: float,
+                     rng: Optional[random.Random] = None) -> float:
+    """The actual sleep for a reconnect attempt at backoff *base*.
+
+    Exponential backoff alone synchronizes a fleet: every replica that
+    lost the same primary at the same moment retries at the same
+    instants, and a primary bounce turns into a thundering herd of
+    simultaneous SUBSCRIBE storms. The classic fix is jitter — each
+    sleep is drawn uniformly from ``[base/2, base]`` (capped at *cap*),
+    so retries decorrelate while keeping at least half the intended
+    spacing. Pass a seeded *rng* for deterministic tests.
+
+    >>> rng = random.Random(7)
+    >>> delays = [jittered_backoff(0.8, 5.0, rng) for _ in range(100)]
+    >>> all(0.4 <= d <= 0.8 for d in delays)
+    True
+    >>> jittered_backoff(80.0, 5.0, rng) <= 5.0  # the cap wins
+    True
+    """
+    bounded = min(base, cap)
+    draw = (rng or random).random()
+    return bounded * (0.5 + 0.5 * draw)
 
 
 def _parse_address(address: Union[str, Tuple[str, int]]) -> Tuple[str, int]:
@@ -87,7 +113,10 @@ class ReplicaServer:
                  replica_id: Optional[str] = None,
                  sync: str = "batch", wal_batch_size: int = 64,
                  domains: Optional[Mapping[str, ValueDomain]] = None,
-                 connect_timeout: float = 5.0):
+                 connect_timeout: float = 5.0,
+                 backoff_min: float = _BACKOFF_MIN,
+                 backoff_cap: float = _BACKOFF_MAX,
+                 backoff_seed: Optional[int] = None):
         self.path = path
         self.primary_address = _parse_address(primary)
         self.replica_id = replica_id or f"replica-{os.getpid()}"
@@ -101,12 +130,17 @@ class ReplicaServer:
         self._connected = False
         self._last_frame: Optional[float] = None
         self._last_error: Optional[str] = None
-        self._backoff = _BACKOFF_MIN
+        self._backoff_min = backoff_min
+        self._backoff_cap = backoff_cap
+        self._backoff = backoff_min
+        self._rng = random.Random(backoff_seed)
+        self._promoted = False
         self._stop = threading.Event()
         self._thread: Optional[threading.Thread] = None
         self.server = DatabaseServer(
             self.db, host, port, read_only=True, role="replica",
             status_extra=self._status_extra, lsn_waiter=self.wait_applied)
+        self.server.promoter = self.promote  # the wire PROMOTE op
 
     def _open_db(self) -> HistoricalDatabase:
         return HistoricalDatabase(
@@ -184,10 +218,64 @@ class ReplicaServer:
             "applied_generation": generation,
             "applied_lsn": lsn,
             "connected": self._connected,
+            "promoted": self._promoted,
             "seconds_since_frame": (
                 None if last is None else round(time.monotonic() - last, 3)),
             "last_error": self._last_error,
         }}
+
+    # -- failover ----------------------------------------------------------
+
+    def promote(self) -> int:
+        """Promote this replica to primary; returns the new epoch.
+
+        The fenced-failover sequence:
+
+        1. stop the sync loop (no more frames from the old primary can
+           land once the thread has joined);
+        2. bump the fencing **epoch** past everything this replica ever
+           followed and persist it in the manifest — from here, every
+           local commit is stamped with the new epoch, a SUBSCRIBE from
+           the ex-primary's surviving peers resyncs them onto this
+           timeline, and this node's own SUBSCRIBE handshakes would
+           fence any stale primary they reach;
+        3. flip the embedded server writable (``role="primary"``) and
+           drop the read-your-writes waiter — this node's commits are
+           trivially its own.
+
+        The replica starts accepting writes (and subscriptions) at its
+        last **applied** position: commits the old primary acknowledged
+        but never shipped are not on this timeline — that is the
+        asynchronous-replication loss window, measured by
+        ``benchmarks/bench_failover.py``. Raises
+        :class:`~repro.core.errors.PromotionError` if already promoted
+        or the local database cannot take writes.
+        """
+        if self._promoted:
+            raise PromotionError(
+                f"{self.replica_id} has already been promoted")
+        self._stop.set()
+        thread = self._thread
+        if thread is not None and thread is not threading.current_thread():
+            thread.join(10)
+            if thread.is_alive():
+                raise PromotionError(
+                    f"{self.replica_id}'s sync loop did not stop; refusing "
+                    f"to promote over a live apply")
+        self._thread = None
+        db = self.db
+        if db.closed or db._durability is None:
+            raise PromotionError(
+                f"{self.replica_id}'s local database is closed; cannot "
+                f"promote")
+        with db._concurrency.write():
+            epoch = db._durability.bump_epoch(db)
+        self._promoted = True
+        self._connected = False
+        self.server.lsn_waiter = None
+        self.server.read_only = False
+        self.server.role = "primary"
+        return epoch
 
     # -- the sync loop -----------------------------------------------------
 
@@ -207,13 +295,15 @@ class ReplicaServer:
                 self._connected = False
             if self._stop.is_set():
                 break
-            self._stop.wait(self._backoff)
-            self._backoff = min(self._backoff * 2, _BACKOFF_MAX)
+            self._stop.wait(jittered_backoff(self._backoff,
+                                             self._backoff_cap, self._rng))
+            self._backoff = min(self._backoff * 2, self._backoff_cap)
 
     def _sync_once(self) -> None:
         """One subscription: connect, handshake, apply until it drops."""
-        sock = socket.create_connection(
-            self.primary_address, timeout=self._connect_timeout)
+        faults_mod.fault_connect("replica")
+        sock = faults_mod.wrap_socket(socket.create_connection(
+            self.primary_address, timeout=self._connect_timeout), "replica")
         try:
             sock.settimeout(_POLL_SECONDS)
             buffer = bytearray()
@@ -221,6 +311,7 @@ class ReplicaServer:
             protocol.send_frame(sock, {
                 "op": "subscribe", "replica": self.replica_id,
                 "generation": generation, "lsn": lsn,
+                "epoch": self.db._durability.epoch,
                 "protocol": protocol.PROTOCOL_VERSION,
             })
             response = self._recv(sock, buffer)
@@ -231,8 +322,9 @@ class ReplicaServer:
             if not response.get("ok"):
                 raise protocol.error_from_wire(response)
             self._connected = True
-            self._backoff = _BACKOFF_MIN  # a healthy link resets the clock
+            self._backoff = self._backoff_min  # a healthy link resets it
             self._note_frame()
+            self._adopt_epoch(int(response.get("epoch", 0)))
             if response.get("mode") == "snapshot":
                 self._install_snapshot(sock, buffer, response)
                 self._ack(sock)
@@ -278,6 +370,17 @@ class ReplicaServer:
     def _note_frame(self) -> None:
         self._last_frame = time.monotonic()
 
+    def _adopt_epoch(self, epoch: int) -> None:
+        """Track the primary's fencing epoch on the local timeline.
+
+        The local WAL stamps (and the manifest persists, at the next
+        write) the highest epoch seen, so a later :meth:`promote` bumps
+        *past* the primacy this replica actually followed, and a
+        subscription from a stale ex-primary is recognizably behind."""
+        manager = self.db._durability
+        if epoch > manager.epoch:
+            manager.wal.epoch = epoch
+
     def _set_applied(self, generation: int, lsn: int) -> None:
         with self._cond:
             self._applied = (generation, lsn)
@@ -296,10 +399,18 @@ class ReplicaServer:
         """
         record = CommitRecord(
             int(frame["generation"]), int(frame["lsn"]),
-            tuple(base64.b64decode(op) for op in frame["ops"]))
+            tuple(base64.b64decode(op) for op in frame["ops"]),
+            int(frame.get("epoch", 0)))
         db = self.db
         manager = db._durability
         generation, lsn = manager.position
+        if record.epoch < manager.epoch:
+            # A fenced ex-primary is still shipping its old timeline
+            # (or this replica was itself promoted mid-stream): refuse
+            # the frame and drop the link rather than time-travel.
+            raise FencedError(
+                f"stream carries fenced epoch {record.epoch} "
+                f"(local epoch is {manager.epoch}); dropping the link")
         if record.lsn <= lsn:
             return  # overlap after a reconnect: already applied
         if record.lsn != lsn + 1:
@@ -320,10 +431,11 @@ class ReplicaServer:
             write_set.record_relation(op[1])
         with db._concurrency.write():
             manager.wal.append_record(record.generation, record.lsn,
-                                      record.ops)
+                                      record.ops, epoch=record.epoch)
             manager.replay(db, record)
             db._version += 1
             db._concurrency.committed(db._backends, write_set)
+        self._adopt_epoch(record.epoch)
         self._set_applied(record.generation, record.lsn)
 
     # -- snapshot install --------------------------------------------------
@@ -364,6 +476,7 @@ class ReplicaServer:
             "name": header["name"],
             "generation": generation,
             "wal_lsn": lsn,
+            "epoch": int(header.get("epoch", 0)),
             "time_domain": header["time_domain"],
             "relations": {
                 frame["name"]: {

@@ -46,8 +46,9 @@ import threading
 import time
 from typing import Any, Callable, Mapping, Optional, Tuple
 
-from repro.core.errors import (HRDMError, ReadOnlyError, RelationError,
-                               TransactionError)
+from repro import faults as faults_mod
+from repro.core.errors import (FencedError, HRDMError, PromotionError,
+                               ReadOnlyError, RelationError, TransactionError)
 from repro.database.database import HistoricalDatabase
 from repro.database.result import QueryResult
 from repro.server import protocol
@@ -84,6 +85,7 @@ class _Connection(socketserver.BaseRequestHandler):
     """One client session: socket, transaction, prepared statements."""
 
     def setup(self) -> None:
+        self.request = faults_mod.wrap_socket(self.request, "server")
         self.request.settimeout(_POLL_SECONDS)
         self.buffer = bytearray()
         self._bound_db: HistoricalDatabase = self.server.owner.db
@@ -171,10 +173,17 @@ class _Connection(socketserver.BaseRequestHandler):
         handler = getattr(self, f"op_{op}", None)
         if handler is None:
             raise protocol.ProtocolError(f"unknown op {op!r}")
-        if op in _MUTATING_OPS and self.server.owner.read_only:
-            raise ReadOnlyError(
-                f"this server is a read-only "
-                f"{self.server.owner.role}: send writes to the primary")
+        if op in _MUTATING_OPS:
+            owner = self.server.owner
+            if owner.fenced:
+                raise FencedError(
+                    "this ex-primary has been fenced (a replica was "
+                    "promoted past its epoch): rediscover the current "
+                    "primary and retry there")
+            if owner.read_only:
+                raise ReadOnlyError(
+                    f"this server is a read-only "
+                    f"{owner.role}: send writes to the primary")
         # Resolve the served database once per request: frames that
         # never touch it directly (prepared QUERY, ROLLBACK) must still
         # notice a snapshot-resync swap before their handler runs.
@@ -198,13 +207,14 @@ class _Connection(socketserver.BaseRequestHandler):
         token = self._commit_token()
         if token is not None:
             frame["lsn"] = token
+            frame["epoch"] = self.db._durability.epoch
         return frame
 
     # -- session / introspection frames ------------------------------------
 
     def op_hello(self, request: Mapping) -> dict:
         owner: DatabaseServer = self.server.owner
-        return {
+        frame = {
             "ok": True,
             "server": "hrdm",
             "protocol": protocol.PROTOCOL_VERSION,
@@ -214,6 +224,10 @@ class _Connection(socketserver.BaseRequestHandler):
             "role": owner.role,
             "read_only": owner.read_only,
         }
+        durability = getattr(self.db, "_durability", None)
+        if durability is not None:
+            frame["epoch"] = durability.epoch
+        return frame
 
     def op_status(self, request: Mapping) -> dict:
         """Replication observability: role, position, per-replica lag."""
@@ -223,12 +237,14 @@ class _Connection(socketserver.BaseRequestHandler):
             "role": owner.role,
             "database": self.db.name,
             "read_only": owner.read_only,
+            "fenced": owner.fenced,
         }
         durability = getattr(self.db, "_durability", None)
         if durability is not None:
             generation, lsn = durability.position
             frame["generation"] = generation
             frame["lsn"] = lsn
+            frame["epoch"] = durability.epoch
         frame["replicas"] = owner.replica_status()
         extra = owner.status_extra
         if extra is not None:
@@ -420,6 +436,25 @@ class _Connection(socketserver.BaseRequestHandler):
         self.db.drop_relation(request["relation"])
         return self._with_token({"ok": True})
 
+    # -- failover -----------------------------------------------------------
+
+    def op_promote(self, request: Mapping) -> dict:
+        """Promote this replica to primary (wire form of ``promote()``).
+
+        Only a server wired to a promotable owner — a
+        :class:`~repro.replication.replica.ReplicaServer`, which
+        registers its :meth:`~repro.replication.replica.ReplicaServer.promote`
+        as the *promoter* callback — accepts this frame; a primary (or
+        an already-promoted replica) refuses with
+        :class:`~repro.core.errors.PromotionError`.
+        """
+        promoter = self.server.owner.promoter
+        if promoter is None:
+            raise PromotionError(
+                f"this {self.server.owner.role} is not a promotable "
+                f"replica: PROMOTE must reach a running ReplicaServer")
+        return {"ok": True, "epoch": promoter()}
+
     # -- durability ---------------------------------------------------------
 
     def op_checkpoint(self, request: Mapping) -> dict:
@@ -450,8 +485,13 @@ class DatabaseServer:
       reports per-replica lag through STATUS;
     * a **replica** (:class:`repro.replication.replica.ReplicaServer`
       wraps one of these with ``read_only=True``) refuses every
-      mutating frame with :class:`~repro.core.errors.ReadOnlyError`
-      and satisfies read-your-writes tokens through *lsn_waiter*.
+      mutating frame with :class:`~repro.core.errors.ReadOnlyError`,
+      satisfies read-your-writes tokens through *lsn_waiter*, and —
+      when its owner registers a *promoter* — accepts the PROMOTE
+      frame that turns it into the primary of a new epoch;
+    * a **fenced ex-primary** (:meth:`fence`) refuses mutating frames
+      with the *retryable* :class:`~repro.core.errors.FencedError`
+      until it is torn down and rejoined as a replica.
 
     *status_extra* is a callable merged into every STATUS frame (the
     replica reports its applied position and primary link through it);
@@ -470,6 +510,10 @@ class DatabaseServer:
         self.role = role or ("replica" if read_only else "primary")
         self.status_extra = status_extra
         self.lsn_waiter = lsn_waiter
+        #: Callable returning the new epoch — set by a ReplicaServer so
+        #: the wire PROMOTE op reaches its ``promote()``; None elsewhere.
+        self.promoter: Optional[Callable[[], int]] = None
+        self.fenced = False
         self.stopping = False
         self._replicas: dict[str, dict] = {}
         self._replicas_lock = threading.Lock()
@@ -512,6 +556,22 @@ class DatabaseServer:
                     None if acked_at is None else round(now - acked_at, 3))
                 rows.append(row)
         return sorted(rows, key=lambda row: row["id"])
+
+    def fence(self) -> None:
+        """Refuse all further writes: this primary's epoch is over.
+
+        Called when evidence of a newer epoch reaches the server — a
+        subscriber whose handshake carries a higher epoch (see
+        :func:`repro.replication.primary.serve_subscription`) — or
+        explicitly by a failover controller *before* promoting a
+        replica. Once fenced, every mutating frame gets a *retryable*
+        :class:`~repro.core.errors.FencedError`, steering routed
+        clients to rediscover the real primary instead of splitting the
+        brain. Reads keep working (the catalog is still a consistent,
+        if frozen, cut). Fencing is one-way: a fenced ex-primary
+        rejoins the cluster as a replica, never by unfencing.
+        """
+        self.fenced = True
 
     @property
     def address(self) -> Tuple[str, int]:

@@ -46,6 +46,7 @@ import json
 import os
 from typing import Mapping, Optional
 
+from repro import faults as faults_mod
 from repro.core import domains as d
 from repro.core.errors import RecoveryError, StorageError
 from repro.core.lifespan import Lifespan
@@ -242,11 +243,11 @@ class Pager:
     def write_manifest(self, manifest: dict) -> None:
         """Atomically replace the manifest (tmp + fsync + rename)."""
         tmp = self.manifest_path + ".tmp"
+        raw = json.dumps(manifest, indent=2, sort_keys=True) + "\n"
         with open(tmp, "w", encoding="utf-8") as fh:
-            json.dump(manifest, fh, indent=2, sort_keys=True)
-            fh.write("\n")
+            faults_mod.fault_write(fh, raw, "pager")
             fh.flush()
-            os.fsync(fh.fileno())
+            faults_mod.fault_fsync(fh.fileno(), "pager")
         os.replace(tmp, self.manifest_path)
         _fsync_dir(self.path)
 
@@ -261,9 +262,9 @@ class Pager:
         path = self.snapshot_path(name, generation)
         tmp = path + ".tmp"
         with open(tmp, "wb") as fh:
-            fh.write(data)
+            faults_mod.fault_write(fh, data, "pager")
             fh.flush()
-            os.fsync(fh.fileno())
+            faults_mod.fault_fsync(fh.fileno(), "pager")
         os.replace(tmp, path)
         _fsync_dir(self.data_dir)
 

@@ -15,8 +15,13 @@ Frame layout (little-endian)::
     | u32      | u32      | `length` bytes   |
     +----------+----------+------------------+
 
-    payload := generation u32 | lsn u64 | n_ops u32 | op*
+    payload := generation u32 | lsn u64 | n_ops u32 | epoch u32 | op*
     op      := opcode u8 | opcode-specific body
+
+(``epoch`` is the replication fencing number — the primacy generation
+stamped into every commit so a promoted replica's new timeline is
+distinguishable from a demoted primary's old one; see
+:mod:`repro.replication`. Single-node databases carry epoch 0 forever.)
 
 Opcodes mirror the four ways a catalog changes:
 
@@ -76,6 +81,7 @@ import zlib
 from dataclasses import dataclass
 from typing import Any, Iterable, Optional
 
+from repro import faults as faults_mod
 from repro.core.errors import WALError
 from repro.storage.codec import decode_blobs, encode_blobs
 
@@ -87,7 +93,7 @@ class WALGapError(WALError):
     the log — the subscriber must fall back to a snapshot."""
 
 _FRAME = struct.Struct("<II")  # (payload length, crc32 of payload)
-_PAYLOAD_HEAD = struct.Struct("<IQI")  # (generation, lsn, n_ops)
+_PAYLOAD_HEAD = struct.Struct("<IQII")  # (generation, lsn, n_ops, epoch)
 
 #: Operation codes inside a commit record.
 OP_APPLY = 1
@@ -184,11 +190,18 @@ def decode_op(raw: bytes) -> tuple[Any, ...]:
 
 @dataclass(frozen=True)
 class CommitRecord:
-    """One committed transaction as read back from the log."""
+    """One committed transaction as read back from the log.
+
+    ``epoch`` is the replication fencing number the record was
+    committed under (0 for any database that never took part in a
+    failover); it trails the positional fields so single-node callers
+    can keep ignoring it.
+    """
 
     generation: int
     lsn: int
     ops: tuple[bytes, ...]
+    epoch: int = 0
 
     def decoded(self) -> list[tuple[Any, ...]]:
         """Every op of this record, decoded (see :func:`decode_op`)."""
@@ -214,6 +227,11 @@ class WriteAheadLog:
         self.sync = sync
         self.batch_size = batch_size
         self.generation = 0
+        #: The replication fencing epoch stamped into new records. 0
+        #: for standalone databases; the durability manager restores it
+        #: from the manifest and a promotion bumps it (see
+        #: :mod:`repro.replication`).
+        self.epoch = 0
         self._lsn = 0
         self._fh: Optional[Any] = None
         self._broken = False
@@ -276,7 +294,7 @@ class WriteAheadLog:
 
     @staticmethod
     def _decode_payload(payload: bytes) -> CommitRecord:
-        generation, lsn, n_ops = _PAYLOAD_HEAD.unpack_from(payload, 0)
+        generation, lsn, n_ops, epoch = _PAYLOAD_HEAD.unpack_from(payload, 0)
         buf = memoryview(payload)
         offset = _PAYLOAD_HEAD.size
         ops = []
@@ -289,7 +307,7 @@ class WriteAheadLog:
             offset = end
         if offset != len(buf):
             raise WALError("trailing garbage inside record")
-        return CommitRecord(generation, lsn, tuple(ops))
+        return CommitRecord(generation, lsn, tuple(ops), epoch)
 
     # -- appending ---------------------------------------------------------
 
@@ -322,10 +340,11 @@ class WriteAheadLog:
             raise WALError("a commit record needs at least one op")
         with self._mutex:
             return self._write_frame(self.generation, self._lsn + 1,
-                                     materialized, defer_sync)
+                                     materialized, defer_sync,
+                                     epoch=self.epoch)
 
     def append_record(self, generation: int, lsn: int,
-                      ops: Iterable[bytes]) -> int:
+                      ops: Iterable[bytes], *, epoch: int = 0) -> int:
         """Append a record under an **explicit identity** — the replica
         replay path.
 
@@ -348,12 +367,13 @@ class WriteAheadLog:
                     f"append_record at LSN {lsn} does not advance the log "
                     f"(already at {self._lsn})")
             return self._write_frame(generation, lsn, materialized,
-                                     defer_sync=False)
+                                     defer_sync=False, epoch=epoch)
 
     def _write_frame(self, generation: int, lsn: int,
-                     materialized: list, defer_sync: bool) -> int:
+                     materialized: list, defer_sync: bool, *,
+                     epoch: int = 0) -> int:
         """Write one framed record; caller holds ``_mutex``."""
-        body = [_PAYLOAD_HEAD.pack(generation, lsn, len(materialized))]
+        body = [_PAYLOAD_HEAD.pack(generation, lsn, len(materialized), epoch)]
         for op in materialized:
             body.append(_U32.pack(len(op)))
             body.append(op)
@@ -362,16 +382,16 @@ class WriteAheadLog:
         fh = self._file()
         start = fh.tell()
         try:
-            fh.write(frame)
+            faults_mod.fault_write(fh, frame, "wal")
             fh.flush()
             if not defer_sync:
                 if self.sync == "always":
-                    os.fsync(fh.fileno())
+                    faults_mod.fault_fsync(fh.fileno(), "wal")
                     self._synced_lsn = lsn
                     self._synced_end = fh.tell()
                 elif (self.sync == "batch"
                       and lsn - self._synced_lsn >= self.batch_size):
-                    os.fsync(fh.fileno())
+                    faults_mod.fault_fsync(fh.fileno(), "wal")
                     self._synced_lsn = lsn
                     self._synced_end = fh.tell()
         except Exception as exc:
@@ -428,7 +448,7 @@ class WriteAheadLog:
                 # leader waits on the disk (their frames ride the next
                 # sync). fsync releases the GIL, so concurrent
                 # committers overlap their CPU work with this wait.
-                os.fsync(fileno)
+                faults_mod.fault_fsync(fileno, "wal")
             except Exception as exc:
                 self._retract_unsynced(exc)
                 raise
@@ -490,7 +510,7 @@ class WriteAheadLog:
         with self._mutex:
             if self._fh is not None:
                 self._fh.flush()
-                os.fsync(self._fh.fileno())
+                faults_mod.fault_fsync(self._fh.fileno(), "wal")
                 self._synced_lsn = self._lsn
                 self._synced_end = self._fh.tell()
 
@@ -634,7 +654,7 @@ class WALReader:
             return None
         if len(payload) < length or zlib.crc32(payload) != crc:
             return None  # torn or corrupt: no trustworthy first record
-        _, lsn, _ = _PAYLOAD_HEAD.unpack_from(payload, 0)
+        _, lsn, _, _ = _PAYLOAD_HEAD.unpack_from(payload, 0)
         return lsn
 
     def poll(self) -> list[CommitRecord]:

@@ -8,8 +8,15 @@ with persona op mixes (:mod:`repro.workloads.personas`), semantic
 invariants (:mod:`repro.workloads.invariants`), the promoted
 snapshot-isolation oracle (:mod:`repro.workloads.oracle`), and the
 measuring, verifying harness (:mod:`repro.workloads.harness`).
+
+The *chaos* layer (:mod:`repro.workloads.chaos`) points the harness at
+a faulty cluster: a :class:`ChaosPlan` schedules seeded point faults
+(via :mod:`repro.faults`) and a mid-run primary kill, the fenced
+:func:`fail_over` choreography promotes the replica, and the same
+oracle then judges the surviving timeline.
 """
 
+from repro.workloads.chaos import ChaosPlan, fail_over
 from repro.workloads.generator import (
     DEPARTMENTS,
     EnrollmentConfig,
@@ -37,6 +44,7 @@ from repro.workloads.personas import PERSONAS, Knobs
 from repro.workloads.scenarios import SCENARIOS, Scenario, get_scenario
 
 __all__ = [
+    "ChaosPlan",
     "DEPARTMENTS",
     "EnrollmentConfig",
     "HistoryOracle",
@@ -52,6 +60,7 @@ __all__ = [
     "catalog_digest",
     "course_scheme",
     "enrollment_scheme",
+    "fail_over",
     "generate_enrollment_db",
     "generate_personnel",
     "generate_stocks",

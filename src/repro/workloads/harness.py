@@ -34,11 +34,13 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple, Union
 
-from repro.core.errors import ConflictError
+from repro import faults as faults_mod
+from repro.core.errors import ConflictError, HRDMError
 from repro.core.lifespan import Lifespan
 from repro.core.relation import HistoricalRelation
 from repro.database import HistoricalDatabase
 from repro.database.evolution import drop_attribute, readd_attribute
+from repro.workloads.chaos import ChaosPlan
 from repro.workloads.oracle import HistoryOracle
 from repro.workloads.personas import (BurstOp, EvolveOp, Knobs, MutationOp,
                                       QueryOp, fingerprint)
@@ -53,6 +55,10 @@ JOIN_TIMEOUT = 180.0
 OBSERVE_EVERY = 8
 #: Commit attempts for a bulk-loader burst before giving up.
 BURST_ATTEMPTS = 10
+#: How long a chaos-run persona rides out retryable infrastructure
+#: errors (the fenced window between a primary kill and the promotion)
+#: before giving up and failing the run.
+RETRY_DEADLINE = 30.0
 
 
 # ---------------------------------------------------------------------------
@@ -147,16 +153,49 @@ class PersonaStats:
         }
 
 
+def _retrying(action, resilient: bool):
+    """Run *action*, riding out retryable infrastructure errors.
+
+    Chaos runs make :class:`~repro.core.errors.FencedError`,
+    :class:`~repro.core.errors.ConnectionLostError`, and
+    :class:`~repro.core.errors.ReplicaLagError` part of normal life —
+    the fenced window between a primary kill and the promotion refuses
+    every write by design, and the persona's job is to wait it out (the
+    routed client rediscovers the new primary underneath the retry).
+    Re-sending is sound because the harness's failover is fenced-first
+    (:func:`repro.workloads.chaos.fail_over`): a write the old primary
+    refused never committed anywhere.
+    :class:`~repro.core.errors.ConflictError` stays the caller's
+    business — its abort is an oracle event, not an infrastructure
+    hiccup. Outside chaos runs (*resilient* False) this is a plain
+    call.
+    """
+    if not resilient:
+        return action()
+    deadline = time.monotonic() + RETRY_DEADLINE
+    pause = 0.02
+    while True:
+        try:
+            return action()
+        except ConflictError:
+            raise
+        except HRDMError as exc:
+            if not exc.retryable or time.monotonic() >= deadline:
+                raise
+        time.sleep(pause)
+        pause = min(pause * 2, 0.5)
+
+
 def _execute(session, op, oracle: Optional[HistoryOracle], oracle_id: str,
-             stats: PersonaStats) -> None:
+             stats: PersonaStats, resilient: bool = False) -> None:
     if op.kind == "query":
-        session.query(op.hrql, dict(op.params))
+        _retrying(lambda: session.query(op.hrql, dict(op.params)), resilient)
         stats.queries += 1
     elif op.kind == "mutation":
         if oracle is not None:
             oracle.begin_commit(oracle_id, {op.relation: {op.key}})
         try:
-            _apply_mutation(session, op)
+            _retrying(lambda: _apply_mutation(session, op), resilient)
         except ConflictError:
             # The engine already retried internally; a surviving
             # conflict means the op lost every race.
@@ -171,19 +210,23 @@ def _execute(session, op, oracle: Optional[HistoryOracle], oracle_id: str,
     elif op.kind == "evolve":
         # Evolution rewrites schemes, not key sets — nothing for the
         # key-cut oracle to track.
-        _apply_evolution(session, op)
+        _retrying(lambda: _apply_evolution(session, op), resilient)
         stats.mutations += 1
     elif op.kind == "burst":
         writes: Dict[str, set] = {}
         for m in op.ops:
             writes.setdefault(m.relation, set()).add(m.key)
+
+        def _burst() -> None:
+            with session.transaction() as txn:
+                for m in op.ops:
+                    _apply_mutation(txn, m)
+
         for _attempt in range(BURST_ATTEMPTS):
             if oracle is not None:
                 oracle.begin_commit(oracle_id, writes)
             try:
-                with session.transaction() as txn:
-                    for m in op.ops:
-                        _apply_mutation(txn, m)
+                _retrying(_burst, resilient)
             except ConflictError:
                 if oracle is not None:
                     oracle.aborted(oracle_id)
@@ -201,7 +244,7 @@ def _execute(session, op, oracle: Optional[HistoryOracle], oracle_id: str,
 def _persona_worker(scenario: Scenario, persona: str, script, session,
                     oracle: Optional[HistoryOracle], mode: str,
                     rate: Optional[float], stats: PersonaStats,
-                    errors: list) -> None:
+                    errors: list, resilient: bool = False) -> None:
     oracle_id = f"{scenario.name}:{persona}"
     started = time.perf_counter()
     try:
@@ -214,7 +257,7 @@ def _persona_worker(scenario: Scenario, persona: str, script, session,
                 op_start = scheduled  # queueing delay counts
             else:
                 op_start = time.perf_counter()
-            _execute(session, op, oracle, oracle_id, stats)
+            _execute(session, op, oracle, oracle_id, stats, resilient)
             stats.latencies_ms.append(
                 (time.perf_counter() - op_start) * 1000.0)
             stats.ops += 1
@@ -222,10 +265,26 @@ def _persona_worker(scenario: Scenario, persona: str, script, session,
                 # One observation stream per (persona, relation): each
                 # relation fetch is its own snapshot, so mixing them
                 # into one observer would trip the monotone check.
-                for rel in scenario.relations:
-                    keys = {t.key_value()
-                            for t in _fetch_relation(session, rel).tuples}
-                    oracle.observed(f"{oracle_id}:{rel}", {rel: keys})
+                # Routed sessions observe through their *current
+                # primary*: a round-robined replica read can lag
+                # another persona's commit and show a smaller cut than
+                # the previous observation — a false monotonicity
+                # violation. The primary (old before failover, the
+                # caught-up promoted one after) always holds every
+                # acknowledged commit.
+                obs_session = getattr(session, "primary", session)
+                try:
+                    for rel in scenario.relations:
+                        keys = {t.key_value()
+                                for t in _fetch_relation(obs_session,
+                                                         rel).tuples}
+                        oracle.observed(f"{oracle_id}:{rel}", {rel: keys})
+                except HRDMError as exc:
+                    # Mid-failover the primary session may be dead or
+                    # fenced out from under the observation; sampling
+                    # is best-effort, so skip this round.
+                    if not (resilient and exc.retryable):
+                        raise
     except Exception as exc:  # surfaced after join — runs fail loudly
         errors.append((persona, exc))
     finally:
@@ -246,6 +305,9 @@ class RunResult:
     oracle_events: int
     verified: bool
     elapsed_s: float
+    #: The chaos experiment's record (timeline, fault trace, final
+    #: epoch) when the run had a ``faults=`` plan; None otherwise.
+    chaos: Optional[dict] = None
 
     @property
     def total_ops(self) -> int:
@@ -270,6 +332,7 @@ class RunResult:
             "oracle_events": self.oracle_events,
             "verified": self.verified,
             "elapsed_s": round(self.elapsed_s, 4),
+            **({"chaos": self.chaos} if self.chaos is not None else {}),
         }
 
 
@@ -280,19 +343,48 @@ def run_scenario(scenario: Union[str, Scenario],
                  path=None,
                  mode: str = "closed",
                  rate: Optional[float] = None,
-                 verify: bool = True) -> RunResult:
+                 verify: bool = True,
+                 faults=None) -> RunResult:
     """Run *scenario* with concurrent persona sessions and verify it.
 
-    *engine* is ``"embedded"`` (threads share the database object) or
+    *engine* is ``"embedded"`` (threads share the database object),
     ``"server"`` (an in-process :class:`~repro.server.DatabaseServer`
-    with one network client per persona). *mode* is ``"closed"`` or
-    ``"open"`` (with *rate* ops/s per persona). With *verify* (the
-    default) the run must pass the snapshot-isolation oracle **and**
-    the scenario's semantic invariants, or this raises.
+    with one network client per persona), or ``"cluster"`` (a durable
+    primary server **plus a live read replica** in ``<path>-replica``;
+    personas connect :class:`~repro.client.RoutedClient` sessions, so
+    reads fan out and writes survive a failover — requires *path*).
+    *mode* is ``"closed"`` or ``"open"`` (with *rate* ops/s per
+    persona). With *verify* (the default) the run must pass the
+    snapshot-isolation oracle **and** the scenario's semantic
+    invariants, or this raises.
+
+    *faults* arms the chaos layer: a
+    :class:`~repro.workloads.chaos.ChaosPlan` (or a bare
+    :class:`~repro.faults.FaultSchedule`, wrapped in one) is installed
+    for the run's duration, personas ride out retryable infrastructure
+    errors instead of failing, and — on the ``cluster`` engine with
+    ``kill_after_ops`` set — a controller kills the primary mid-run
+    via the fenced :func:`~repro.workloads.chaos.fail_over`, promotes
+    the replica, and lets the workload finish against it. The oracle
+    and the invariants then judge the *surviving* timeline: a chaos
+    run that loses an acknowledged write or shows a torn cut raises
+    exactly like any other bad run.
     """
     if isinstance(scenario, str):
         scenario = get_scenario(scenario)
     knobs = knobs or Knobs()
+    plan: Optional[ChaosPlan] = None
+    if faults is not None:
+        plan = (faults if isinstance(faults, ChaosPlan)
+                else ChaosPlan(seed=getattr(faults, "seed", 0),
+                               schedule=faults))
+        if plan.kill_after_ops is not None and engine != "cluster":
+            raise ValueError(
+                "a ChaosPlan with kill_after_ops needs engine='cluster' "
+                "(there is no replica to promote otherwise)")
+    if engine == "cluster" and path is None:
+        raise ValueError("engine='cluster' needs a durable path=")
+    resilient = plan is not None
     if path is not None:
         db = HistoricalDatabase(scenario.name, path=path)
     else:
@@ -302,55 +394,160 @@ def run_scenario(scenario: Union[str, Scenario],
     scripts = scenario.scripts(knobs)
     stats = {p: PersonaStats(p) for p in scenario.personas}
     errors: list = []
+    final_db = db
+    cleanup = None
 
     started = time.perf_counter()
-    if engine == "embedded":
-        _drive(scenario, scripts, {p: db for p in scenario.personas},
-               oracle, mode, rate, stats, errors)
-    elif engine == "server":
-        from repro.client import connect
-        from repro.server import DatabaseServer
-        with DatabaseServer(db) as server:
-            sessions = {p: connect(*server.address)
-                        for p in scenario.personas}
-            try:
-                _drive(scenario, scripts, sessions, oracle, mode, rate,
-                       stats, errors)
-            finally:
-                for session in sessions.values():
-                    session.close()
-    else:
-        raise ValueError(f"unknown engine {engine!r}")
+    if plan is not None:
+        faults_mod.install(plan.schedule)
+    try:
+        if engine == "embedded":
+            _drive(scenario, scripts, {p: db for p in scenario.personas},
+                   oracle, mode, rate, stats, errors, resilient)
+        elif engine == "server":
+            from repro.client import connect
+            from repro.server import DatabaseServer
+            with DatabaseServer(db) as server:
+                sessions = {p: connect(*server.address)
+                            for p in scenario.personas}
+                try:
+                    _drive(scenario, scripts, sessions, oracle, mode, rate,
+                           stats, errors, resilient)
+                finally:
+                    for session in sessions.values():
+                        session.close()
+        elif engine == "cluster":
+            final_db, cleanup = _drive_cluster(
+                scenario, scripts, db, path, knobs, oracle, mode, rate,
+                stats, errors, plan, resilient)
+        else:
+            raise ValueError(f"unknown engine {engine!r}")
+    finally:
+        if plan is not None:
+            faults_mod.uninstall()
     elapsed = time.perf_counter() - started
 
-    if errors:
-        persona, exc = errors[0]
-        raise RuntimeError(
-            f"scenario {scenario.name!r} persona {persona!r} failed: "
-            f"{exc!r}") from exc
+    try:
+        if errors:
+            persona, exc = errors[0]
+            raise RuntimeError(
+                f"scenario {scenario.name!r} persona {persona!r} failed: "
+                f"{exc!r}") from exc
 
-    verified = False
-    if verify:
-        oracle.verify(initial=scenario.initial_keys(knobs), monotone=True)
-        catalog = {rel: _fetch_relation(db, rel)
-                   for rel in scenario.relations}
-        scenario.verify(catalog, knobs)
-        verified = True
+        verified = False
+        if verify:
+            oracle.verify(initial=scenario.initial_keys(knobs),
+                          monotone=True)
+            catalog = {rel: _fetch_relation(final_db, rel)
+                       for rel in scenario.relations}
+            scenario.verify(catalog, knobs)
+            verified = True
+    finally:
+        if cleanup is not None:
+            cleanup()
 
     return RunResult(
         scenario=scenario.name, seed=knobs.seed, engine=engine,
         storage=storage, mode=mode, knobs=knobs, personas=stats,
         oracle_events=oracle._seq if oracle is not None else 0,
-        verified=verified, elapsed_s=elapsed)
+        verified=verified, elapsed_s=elapsed,
+        chaos=plan.to_json() if plan is not None else None)
+
+
+def _await_replica(replica, db, timeout: float = 30.0) -> None:
+    """Block until the replica has applied the bootstrap commits."""
+    target = db._durability.position[1]
+    deadline = time.monotonic() + timeout
+    while replica.applied[1] < target:
+        if time.monotonic() >= deadline:
+            raise RuntimeError(
+                f"replica stuck at LSN {replica.applied[1]}, short of "
+                f"the bootstrap position {target} after {timeout:.3g}s")
+        time.sleep(0.01)
+
+
+def _chaos_controller(plan: ChaosPlan, server, db, replica, stats,
+                      stop: threading.Event,
+                      failed_over: threading.Event) -> None:
+    """Arm the kill: once the personas pass the op threshold, fail over."""
+    from repro.workloads.chaos import fail_over
+
+    while not stop.is_set():
+        if sum(s.ops for s in stats.values()) >= plan.kill_after_ops:
+            break
+        time.sleep(0.005)
+    else:
+        return  # the workload finished before the kill threshold
+    try:
+        fail_over(server, db, replica, plan=plan,
+                  timeout=plan.catch_up_timeout)
+        failed_over.set()
+    except Exception as exc:
+        # Leave the cluster as-is; the fenced personas will exhaust
+        # their retry budget and fail the run loudly, with this note
+        # in the chaos record explaining why.
+        plan.note("failover_failed", error=f"{type(exc).__name__}: {exc}")
+
+
+def _drive_cluster(scenario, scripts, db, path, knobs, oracle, mode, rate,
+                   stats, errors, plan, resilient):
+    """The ``cluster`` engine: primary + replica + routed personas.
+
+    Returns ``(surviving_db, cleanup)`` — verification must read the
+    final catalog from whichever node owns the surviving timeline, and
+    only *cleanup* (run after verification) tears that node down.
+    """
+    from repro.client import connect
+    from repro.replication import ReplicaServer
+    from repro.server import DatabaseServer
+
+    server = DatabaseServer(db)
+    server.start()
+    replica = ReplicaServer(
+        f"{path}-replica", server.address,
+        replica_id=f"{scenario.name}-replica", backoff_seed=knobs.seed)
+    controller = None
+    stop_controller = threading.Event()
+    failed_over = threading.Event()
+    sessions = {}
+    try:
+        replica.start()
+        _await_replica(replica, db)
+        sessions = {p: connect(server.address, replicas=[replica.address])
+                    for p in scenario.personas}
+        if plan is not None and plan.kill_after_ops is not None:
+            controller = threading.Thread(
+                target=_chaos_controller,
+                args=(plan, server, db, replica, stats, stop_controller,
+                      failed_over),
+                name=f"{scenario.name}-chaos", daemon=True)
+            controller.start()
+        _drive(scenario, scripts, sessions, oracle, mode, rate, stats,
+               errors, resilient)
+    finally:
+        stop_controller.set()
+        if controller is not None:
+            controller.join(JOIN_TIMEOUT)
+        for session in sessions.values():
+            session.close()
+        if not failed_over.is_set():
+            server.stop()
+
+    def cleanup() -> None:
+        replica.stop()  # closes the promoted database too
+        if not failed_over.is_set() and not db.closed:
+            db.close()
+
+    return (replica.db if failed_over.is_set() else db), cleanup
 
 
 def _drive(scenario, scripts, sessions, oracle, mode, rate, stats,
-           errors) -> None:
+           errors, resilient: bool = False) -> None:
     threads = [
         threading.Thread(
             target=_persona_worker,
             args=(scenario, persona, scripts[persona], sessions[persona],
-                  oracle, mode, rate, stats[persona], errors),
+                  oracle, mode, rate, stats[persona], errors, resilient),
             name=f"{scenario.name}-{persona}", daemon=True)
         for persona in scenario.personas
     ]

@@ -253,6 +253,42 @@ class TestCheckpointCrashWindows:
         assert os.path.exists(pager.snapshot_path("EMP", 2))
         db.close()
 
+    def test_enospc_during_checkpoint_leaves_previous_generation(
+            self, tmp_path):
+        """A full disk mid-checkpoint loses nothing and stops nothing.
+
+        Injected through the fault layer rather than a mock: the
+        pager's snapshot write raises ENOSPC exactly where a real
+        ``write()`` would, the tmp-file discipline keeps the previous
+        generation intact, and the database keeps serving and
+        committing afterwards — the checkpoint simply failed.
+        """
+        from repro.faults import FaultSchedule, injected
+
+        path = str(tmp_path / "db")
+        db = self._loaded(path)
+        state = _catalog_state(db)
+        generation = db._durability.generation
+        with injected(FaultSchedule().fail("pager", "write", count=1)):
+            with pytest.raises(OSError) as info:
+                db.checkpoint()
+        assert "No space left on device" in str(info.value)
+        # The previous generation and manifest are untouched...
+        assert db._durability.generation == generation
+        pager = Pager(path)
+        assert not os.path.exists(pager.snapshot_path("EMP", generation + 1))
+        assert _catalog_state(db) == state
+        # ...the database still takes commits and checkpoints...
+        db.insert("EMP", Lifespan.interval(0, 99),
+                  {"NAME": "Cyd", "SALARY": 45_000, "DEPT": "Toys"})
+        assert db.checkpoint() == generation + 1
+        after = _catalog_state(db)
+        db.close()
+        # ...and a reopen recovers the post-failure state exactly.
+        recovered = HistoricalDatabase(path=path)
+        assert _catalog_state(recovered) == after
+        recovered.close()
+
 
 class TestOpenCloseLifecycle:
     def test_fresh_empty_directory(self, tmp_path):

@@ -27,8 +27,9 @@ import time
 import pytest
 
 from repro.core import domains
-from repro.core.errors import (ReadOnlyError, ReplicaLagError,
-                               StorageError, TransactionError, WALError)
+from repro.core.errors import (FencedError, PromotionError, ReadOnlyError,
+                               ReplicaLagError, StorageError,
+                               TransactionError, WALError)
 from repro.core.lifespan import Lifespan
 from repro.core.scheme import RelationScheme
 from repro.client import RoutedClient, connect
@@ -758,3 +759,208 @@ class TestCrashPaths:
                 if process.poll() is None:
                     process.kill()
                     process.wait(timeout=30)
+
+
+# ---------------------------------------------------------------------------
+# Reconnect backoff: exponential with jitter, capped.
+# ---------------------------------------------------------------------------
+
+
+class TestBackoffJitter:
+    def test_draws_live_in_the_half_to_full_band(self):
+        import random as random_mod
+
+        from repro.replication.replica import jittered_backoff
+
+        rng = random_mod.Random(11)
+        draws = [jittered_backoff(1.0, 5.0, rng) for _ in range(500)]
+        assert all(0.5 <= d <= 1.0 for d in draws)
+        # Jitter actually spreads the draws (not a constant sleep).
+        assert max(draws) - min(draws) > 0.3
+
+    def test_cap_bounds_the_sleep(self):
+        import random as random_mod
+
+        from repro.replication.replica import jittered_backoff
+
+        rng = random_mod.Random(11)
+        assert all(jittered_backoff(80.0, 2.5, rng) <= 2.5
+                   for _ in range(100))
+
+    def test_seeded_rng_is_deterministic(self):
+        import random as random_mod
+
+        from repro.replication.replica import jittered_backoff
+
+        a = [jittered_backoff(0.3, 5.0, random_mod.Random(3))
+             for _ in range(5)]
+        b = [jittered_backoff(0.3, 5.0, random_mod.Random(3))
+             for _ in range(5)]
+        assert a == b
+
+    def test_replica_backoff_knobs_are_plumbed(self, tmp_path):
+        # No primary at this address: the sync loop lives in backoff.
+        rep = ReplicaServer(str(tmp_path / "r"), ("127.0.0.1", 1),
+                            backoff_min=0.01, backoff_cap=0.05,
+                            backoff_seed=9)
+        assert rep._backoff_min == 0.01
+        assert rep._backoff_cap == 0.05
+        rep.stop()
+
+
+# ---------------------------------------------------------------------------
+# Fenced failover: promote, epoch fencing, rejoin, routed rediscovery.
+# ---------------------------------------------------------------------------
+
+
+class TestFailover:
+    def test_promote_bumps_epoch_and_accepts_writes(self, primary, tmp_path):
+        db, server = primary
+        _insert(db, "Before")
+        with ReplicaServer(str(tmp_path / "replica"), server.address) as rep:
+            _await(lambda: rep.applied == db._durability.position)
+            epoch = rep.promote()
+            assert epoch == 1
+            assert rep.db._durability.epoch == 1
+            with connect(*rep.address) as session:
+                assert session.role == "primary"
+                _insert(session, "AfterPromote")
+                names = {t.key_value()[0] for t in session["EMP"]}
+            assert {"Before", "AfterPromote"} <= names
+
+    def test_promote_twice_raises(self, primary, tmp_path):
+        db, server = primary
+        with ReplicaServer(str(tmp_path / "replica"), server.address) as rep:
+            _await(lambda: rep.applied == db._durability.position)
+            rep.promote()
+            with pytest.raises(PromotionError):
+                rep.promote()
+
+    def test_promote_over_the_wire(self, primary, tmp_path):
+        db, server = primary
+        with ReplicaServer(str(tmp_path / "replica"), server.address) as rep:
+            _await(lambda: rep.applied == db._durability.position)
+            with connect(*rep.address) as session:
+                epoch = session.promote()
+                assert epoch == 1
+                assert session.status()["role"] == "primary"
+                _insert(session, "ViaWire")
+
+    def test_promote_refused_without_a_promoter(self, primary):
+        _, server = primary
+        with connect(*server.address) as session:
+            with pytest.raises(PromotionError):
+                session.promote()
+
+    def test_epoch_travels_in_status_and_hello(self, primary, tmp_path):
+        db, server = primary
+        with ReplicaServer(str(tmp_path / "replica"), server.address) as rep:
+            _await(lambda: rep.applied == db._durability.position)
+            rep.promote()
+            with connect(*rep.address) as session:
+                assert session.cluster_epoch == 1
+                assert session.status()["epoch"] == 1
+
+    def test_fenced_primary_refuses_writes_keeps_reads(self, primary):
+        db, server = primary
+        _insert(db, "Pre")
+        server.fence()
+        with connect(*server.address) as session:
+            with pytest.raises(FencedError) as info:
+                _insert(session, "Blocked")
+            assert info.value.retryable
+            # Reads still work on a fenced node.
+            assert {t.key_value()[0] for t in session["EMP"]} == {"Pre"}
+        assert server.fenced
+
+    def test_old_primary_is_fenced_by_promoted_subscriber(self, tmp_path):
+        """A stale primary hears the higher epoch and fences itself."""
+        db = _open_primary(str(tmp_path / "primary"))
+        server = DatabaseServer(db)
+        server.start()
+        try:
+            _insert(db, "Shared")
+            with ReplicaServer(str(tmp_path / "replica"),
+                               server.address) as rep:
+                _await(lambda: rep.applied == db._durability.position)
+                rep.promote()
+                assert not server.fenced
+                # The promoted node (epoch 1) dials the stale primary
+                # (epoch 0) as a subscriber; the handshake fences it.
+                rep._connected = False
+                try:
+                    rep._sync_once()
+                except Exception:
+                    pass  # the refused handshake is the point
+                _await(lambda: server.fenced)
+                with connect(*server.address) as session:
+                    with pytest.raises(FencedError):
+                        _insert(session, "TooLate")
+        finally:
+            server.stop()
+            if not db.closed:
+                db.close()
+
+    def test_demoted_primary_rejoins_via_snapshot_resync(self, tmp_path):
+        """The loser's divergent suffix is truncated onto the new timeline."""
+        db = _open_primary(str(tmp_path / "a"))
+        server = DatabaseServer(db)
+        server.start()
+        _insert(db, "Shared")
+        rep = ReplicaServer(str(tmp_path / "b"), server.address)
+        rep.start()
+        try:
+            _await(lambda: rep.applied == db._durability.position)
+            new_epoch = rep.promote()
+            # The old primary keeps committing on its now-dead timeline.
+            _insert(db, "LostDivergence")
+            server.stop()
+            db.close()
+            # Meanwhile the new primary commits under the new epoch.
+            with connect(*rep.address) as session:
+                _insert(session, "NewTimeline")
+            # The demoted node comes back *as a replica of the winner*.
+            old = ReplicaServer(str(tmp_path / "a"), rep.address,
+                                replica_id="demoted")
+            old.start()
+            try:
+                # rep.applied froze at promotion (the promoted node now
+                # *commits*); chase its durable position instead.
+                _await(lambda: old.applied == rep.db._durability.position
+                       and old.db._durability.epoch == new_epoch)
+                names = {t.key_value()[0] for t in old.db["EMP"]}
+                assert names == {"Shared", "NewTimeline"}
+                assert "LostDivergence" not in names  # truncated away
+            finally:
+                old.stop()
+        finally:
+            rep.stop()
+            if not db.closed:
+                db.close()
+
+    def test_routed_client_rediscovers_after_promote(self, tmp_path):
+        db = _open_primary(str(tmp_path / "primary"))
+        server = DatabaseServer(db)
+        server.start()
+        rep = ReplicaServer(str(tmp_path / "replica"), server.address)
+        rep.start()
+        try:
+            _await(lambda: rep.applied == db._durability.position)
+            with connect(server.address,
+                         replicas=[rep.address]) as session:
+                _insert(session, "BeforeFailover")
+                # Fenced failover: fence, wait, stop, promote.
+                from repro.workloads.chaos import fail_over
+
+                fail_over(server, db, rep)
+                # The next write hits the dead primary, fails over via
+                # rediscovery, and lands on the promoted node.
+                _insert(session, "AfterFailover")
+                host, port = session.primary._address
+                assert (host, port) == rep.address
+                names = {t.key_value()[0] for t in session["EMP"]}
+                assert {"BeforeFailover", "AfterFailover"} <= names
+        finally:
+            rep.stop()
+            if not db.closed:
+                db.close()
