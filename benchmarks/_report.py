@@ -13,10 +13,24 @@ from __future__ import annotations
 
 import json
 import os
+import platform
 from typing import Iterable, Sequence
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def host_info() -> dict:
+    """The hardware/runtime context stamped into every BENCH payload.
+
+    Throughput numbers are meaningless without it: a "regression"
+    between two trajectory points measured on different core counts or
+    interpreter versions is usually just the host changing.
+    """
+    return {
+        "cpu_count": os.cpu_count(),
+        "python": platform.python_version(),
+    }
 
 
 def format_table(title: str, headers: Sequence[str],
@@ -51,8 +65,12 @@ def report_json(name: str, payload: dict) -> str:
     """Persist *payload* as ``<repo root>/<name>.json``; returns the path.
 
     Used for trajectory files like ``BENCH_planner.json`` that future
-    PRs diff against.
+    PRs diff against. The payload is stamped with :func:`host_info`
+    (core count, Python version) unless the caller already set a
+    ``"host"`` key.
     """
+    payload = dict(payload)
+    payload.setdefault("host", host_info())
     path = os.path.join(REPO_ROOT, f"{name}.json")
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(payload, fh, indent=2, sort_keys=True)

@@ -69,6 +69,12 @@ _IDEMPOTENT_OPS = frozenset({
     "begin", "flush",
 })
 
+#: Ceiling on one failover-rediscovery STATUS probe when the session
+#: itself has no timeout: a candidate that accepts the connection but
+#: never replies must not stall the election (see
+#: :meth:`RoutedClient.rediscover`).
+_PROBE_TIMEOUT = 2.0
+
 
 def _parse_hostport(address: Address,
                     port: Optional[int] = None) -> Tuple[str, int]:
@@ -1009,7 +1015,15 @@ class RoutedClient:
         rotation, and the demoted one joins it (it will serve reads
         again once rejoined as a replica). Returns True when a writable
         primary is connected, False when none answered.
+
+        Every probe runs under a bounded timeout even when the session
+        itself has none: rediscovery races an outage, and one node that
+        *accepts* the connection but never answers the STATUS frame (a
+        half-dead server, a wedged promotion) must cost one probe
+        window, not hang the whole election forever.
         """
+        probe_timeout = (self._timeout if self._timeout is not None
+                         else _PROBE_TIMEOUT)
         current = self.primary._address
         candidates: list[Tuple[str, int]] = []
         for address in [current] + self.replica_addresses:
@@ -1018,7 +1032,7 @@ class RoutedClient:
         best: Optional[Tuple[int, int, Tuple[str, int]]] = None
         for address in candidates:
             try:
-                probe = Client(*address, timeout=self._timeout,
+                probe = Client(*address, timeout=probe_timeout,
                                domains=self._domains)
             except (OSError, HRDMError):
                 continue

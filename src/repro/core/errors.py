@@ -172,6 +172,13 @@ class ReadOnlyError(StorageError):
     automatically (see :mod:`repro.client`)."""
 
 
+class ShardingError(StorageError):
+    """A sharded catalog operation the coordinator cannot carry out:
+    an unroutable mutation (no shard-key values to hash), an invalid
+    placement declaration, or a shard set that disagrees with the
+    coordinator's durable catalog (see :mod:`repro.sharding`)."""
+
+
 class ConnectionLostError(StorageError):
     """The client's server connection dropped mid-request.
 

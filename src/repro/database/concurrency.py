@@ -196,6 +196,10 @@ class ConcurrencyManager:
         #: Registered live snapshots: commit_id → session count.
         self._active: Dict[int, int] = {}
         self._active_lock = threading.Lock()
+        #: Prepared (voted-yes, undecided) two-phase write-sets, pinned
+        #: until their coordinator's decision arrives: txn_id → WriteSet.
+        #: Guarded by the commit lock.
+        self._prepared: Dict[str, WriteSet] = {}
 
     # -- snapshot side -------------------------------------------------------
 
@@ -289,6 +293,40 @@ class ConcurrencyManager:
                 f"against a fresh snapshot",
                 relation=relation, key=key, overlap=overlap,
             )
+        for txn_id, prepared in self._prepared.items():
+            hit = write_set.conflict_with(prepared)
+            if hit is None:
+                continue
+            relation, key, _ = hit
+            raise ConflictError(
+                f"write-write conflict with in-doubt two-phase transaction "
+                f"{txn_id!r} on {relation!r}"
+                + (f" key {key!r}" if key is not None else "")
+                + ": its prepare holds the write until the coordinator's "
+                "decision lands; retry",
+                relation=relation, key=key,
+            )
+
+    # -- two-phase commit ----------------------------------------------------
+
+    def pin_prepared(self, txn_id: str, write_set: WriteSet) -> None:
+        """Pin a voted-yes write-set until its decision resolves it.
+
+        Must be called under :meth:`write`, after :meth:`validate`
+        accepted the write-set. Until :meth:`unpin_prepared`, every
+        other committer (and every other prepare) conflicts with it —
+        the in-doubt transaction's locks, in MVCC terms.
+        """
+        self._prepared[txn_id] = write_set
+
+    def unpin_prepared(self, txn_id: str) -> Optional[WriteSet]:
+        """Release a pinned prepare (decision arrived); returns its
+        write-set, or None if *txn_id* was not pinned."""
+        return self._prepared.pop(txn_id, None)
+
+    def prepared_ids(self) -> list[str]:
+        """The transaction ids currently pinned by a prepare."""
+        return list(self._prepared)
 
     def committed(self, backends: Mapping[str, Any],
                   write_set: WriteSet) -> ReadEnv:

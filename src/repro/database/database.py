@@ -49,7 +49,7 @@ from typing import Any, Callable, Dict, Iterator, Mapping, Optional, Union
 
 from repro.core.domains import ValueDomain
 from repro.core.errors import (ConflictError, HRDMError, IntegrityError,
-                               RelationError, StorageError)
+                               RelationError, StorageError, TransactionError)
 from repro.core.lifespan import Lifespan
 from repro.core.relation import HistoricalRelation
 from repro.core.scheme import RelationScheme
@@ -77,6 +77,24 @@ def _relation_write_set(name: str) -> WriteSet:
     write_set = WriteSet()
     write_set.record_relation(name)
     return write_set
+
+
+class _PreparedTxn:
+    """One voted-yes, undecided two-phase transaction on this database.
+
+    A **live** prepare (this process ran the transaction body) carries
+    the apply-time *undos* so an abort decision can roll the backends
+    back; a **recovered** prepare (found in the WAL at reopen) carries
+    the PREPARE *record* instead — its ops were stashed, not applied,
+    so a commit decision replays them.
+    """
+
+    __slots__ = ("write_set", "undos", "record")
+
+    def __init__(self, write_set, undos=None, record=None):
+        self.write_set = write_set
+        self.undos = undos
+        self.record = record
 
 
 class HistoricalDatabase:
@@ -137,11 +155,16 @@ class HistoricalDatabase:
         #: commit lock serializes only the validate/apply/log/publish
         #: critical section.
         self._concurrency = ConcurrencyManager()
+        #: Prepared-but-undecided two-phase transactions: txn_id →
+        #: :class:`_PreparedTxn`. Guarded by the commit lock.
+        self._prepared_txns: Dict[str, _PreparedTxn] = {}
         self._durability: Optional[DurabilityManager] = None
         if path is not None:
             manager = DurabilityManager(path, sync, wal_batch_size, domains)
             manager.open(self, name)
             self._durability = manager
+            for record in manager.recovered_in_doubt.values():
+                self._stash_prepare_record(record)
         self._concurrency.publish(self._backends)
 
     # -- catalog -----------------------------------------------------------
@@ -403,6 +426,89 @@ class HistoricalDatabase:
                     raise
                 continue
             return result
+
+    # -- two-phase commit -----------------------------------------------------
+
+    def in_doubt_transactions(self) -> list[str]:
+        """The ids of prepared (voted-yes, undecided) transactions.
+
+        Non-empty only while this database is a two-phase-commit
+        participant between a PREPARE and its coordinator's decision —
+        including just after a crash-reopen that recovered PREPARE
+        records without decisions (presumed abort: the shard worker
+        resolves each against the coordinator's decision log, see
+        :mod:`repro.sharding`).
+        """
+        with self._concurrency.write():
+            return list(self._prepared_txns)
+
+    def _register_prepared(self, txn_id: str, write_set: WriteSet,
+                           undos: list) -> None:
+        """Pin a live prepare (caller holds the commit lock)."""
+        self._prepared_txns[txn_id] = _PreparedTxn(write_set, undos=undos)
+        self._concurrency.pin_prepared(txn_id, write_set)
+
+    def _stash_prepare_record(self, record) -> None:
+        """Pin a PREPARE record whose ops were *not* applied — the
+        recovery path and the replica stream path. Pinned conservatively
+        at relation granularity: the WAL record does not carry per-key
+        delta lifespans, and an in-doubt window should be short anyway.
+        Caller holds the commit lock (or is still single-threaded in
+        ``__init__``)."""
+        write_set = WriteSet()
+        for op in record.decoded():
+            write_set.record_relation(op[1])
+        self._prepared_txns[record.txn_id] = _PreparedTxn(write_set,
+                                                          record=record)
+        self._concurrency.pin_prepared(record.txn_id, write_set)
+
+    def _take_prepared(self, txn_id: str) -> Optional[_PreparedTxn]:
+        """Unpin and return a prepared transaction's state, or None.
+        Caller holds the commit lock and applies the decision itself
+        (the replica stream path, which must not mint its own decision
+        record — the primary's is already in its log)."""
+        state = self._prepared_txns.pop(txn_id, None)
+        if state is not None:
+            self._concurrency.unpin_prepared(txn_id)
+        return state
+
+    def resolve_prepared(self, txn_id: str, commit: bool) -> None:
+        """Apply the coordinator's decision to a prepared transaction.
+
+        ``commit=True`` makes the prepared ops visible (publishing the
+        write-set exactly as an ordinary commit would — constraints are
+        **not** re-checked; they passed at prepare time, which is what
+        the yes vote promised). ``commit=False`` rolls the backends
+        back (live prepare) or drops the stashed ops (recovered
+        prepare). Either way the decision is logged so a later reopen
+        replays deterministically, and the pinned write-set is
+        released.
+        """
+        self._ensure_mutable("resolve a prepared transaction")
+        lsn = None
+        with self._concurrency.write():
+            state = self._prepared_txns.pop(txn_id, None)
+            if state is None:
+                raise TransactionError(
+                    f"no prepared transaction {txn_id!r} on {self.name!r}")
+            try:
+                if commit and state.record is not None:
+                    # Recovered prepare: the ops were stashed at replay,
+                    # apply them now.
+                    self._durability.replay(self, state.record)
+            except BaseException:
+                self._prepared_txns[txn_id] = state
+                raise
+            if self._durability is not None:
+                lsn = self._durability.log_decision(txn_id, commit)
+            self._concurrency.unpin_prepared(txn_id)
+            if commit:
+                self._committed(state.write_set)
+            elif state.undos:
+                for undo in reversed(state.undos):
+                    undo()
+        if lsn is not None:
+            self._durability.ensure_durable(lsn)
 
     # -- durability ----------------------------------------------------------
 

@@ -91,6 +91,12 @@ class DurabilityManager:
         self.generation = 0
         self._domains = dict(domains or {})
         self._closed = False
+        #: Prepared-but-undecided transactions found by :meth:`open`:
+        #: txn_id → the PREPARE :class:`CommitRecord` (ops unapplied).
+        #: Presumed abort — the owner must resolve each against the
+        #: coordinator's decision log (see :mod:`repro.sharding`) and
+        #: call :meth:`log_decision` + replay-or-drop accordingly.
+        self.recovered_in_doubt: dict[str, CommitRecord] = {}
 
     @property
     def path(self) -> str:
@@ -145,6 +151,7 @@ class DurabilityManager:
         self.wal.epoch = int(manifest.get("epoch", 0))
         records = self.wal.recover()
         self.wal.generation = self.generation
+        prepared: dict[str, CommitRecord] = {}
         for record in records:
             if record.generation < self.generation:
                 continue  # predates the checkpoint; already in the snapshot
@@ -153,10 +160,24 @@ class DurabilityManager:
                     f"WAL record generation {record.generation} is ahead of "
                     f"the manifest ({self.generation}); refusing to guess"
                 )
-            self.replay(db, record)
-            db._version += 1
+            if record.kind == "prepare":
+                # Voted yes, decision unknown so far: the ops stay
+                # stashed until a decision record (or the coordinator,
+                # after replay) resolves them.
+                prepared[record.txn_id] = record
+            elif record.kind == "decide-commit":
+                stash = prepared.pop(record.txn_id, None)
+                if stash is not None:
+                    self.replay(db, stash)
+                    db._version += 1
+            elif record.kind == "decide-abort":
+                prepared.pop(record.txn_id, None)
+            else:
+                self.replay(db, record)
+                db._version += 1
             if record.epoch > self.wal.epoch:
                 self.wal.epoch = record.epoch
+        self.recovered_in_doubt = prepared
         # Restore the LSN floor: a checkpoint-emptied log carries no
         # records to speak for the counter, and replication positions
         # must stay monotone across restarts.
@@ -224,6 +245,38 @@ class DurabilityManager:
         self._ensure_open()
         self.wal.sync_to(lsn)
 
+    # -- two-phase commit --------------------------------------------------
+
+    def log_prepare(self, ops: list, txn_id: str) -> int:
+        """Append a PREPARE record (deferred-sync); returns its LSN.
+
+        The caller **must** call :meth:`force_durable` (off the commit
+        lock) before voting yes — a prepare that is not on stable
+        storage when the coordinator decides commit would be forgotten
+        by a crash, and presumed abort would then lose an acknowledged
+        decision.
+        """
+        self._ensure_open()
+        return self.wal.append(ops, defer_sync=True, kind="prepare",
+                               txn_id=txn_id)
+
+    def log_decision(self, txn_id: str, commit: bool) -> int:
+        """Append the coordinator's decision for a prepared transaction.
+
+        Synced per the ordinary policy: losing an unsynced decision
+        record merely re-opens the in-doubt window, which presumed-
+        abort recovery resolves from the coordinator's decision log.
+        """
+        self._ensure_open()
+        kind = "decide-commit" if commit else "decide-abort"
+        return self.wal.append([], defer_sync=True, kind=kind, txn_id=txn_id)
+
+    def force_durable(self) -> None:
+        """Force-fsync every appended record regardless of sync policy
+        — the PREPARE vote's durability point."""
+        self._ensure_open()
+        self.wal.flush()
+
     # -- checkpointing -----------------------------------------------------
 
     @property
@@ -277,6 +330,13 @@ class DurabilityManager:
         positions. It must advance the current generation.
         """
         self._ensure_open()
+        pending = db.in_doubt_transactions()
+        if pending:
+            raise StorageError(
+                f"cannot checkpoint with prepared two-phase transactions "
+                f"pending ({', '.join(sorted(pending))}): truncating the "
+                f"log would drop their PREPARE records before a decision "
+                f"resolved them")
         if generation is None:
             new_generation = self.generation + 1
         elif generation <= self.generation:

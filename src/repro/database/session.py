@@ -118,7 +118,7 @@ class Transaction:
 
     @property
     def state(self) -> str:
-        """"active", "committed", or "rolled-back"."""
+        """"active", "committed", "prepared", or "rolled-back"."""
         return self._state
 
     def __enter__(self) -> "Transaction":
@@ -206,6 +206,83 @@ class Transaction:
             self._finish("rolled-back")
             raise
         self._finish("committed")
+
+    def prepare(self, txn_id: str) -> None:
+        """Phase one of a two-phase commit: vote yes and go in doubt.
+
+        Runs everything :meth:`commit` runs — first-committer-wins
+        validation, batch application, the single constraint sweep —
+        but instead of a commit record it logs a **PREPARE** record
+        (force-synced regardless of sync policy: the yes vote must
+        survive a crash) and instead of publishing it **pins** the
+        write-set: the applied changes stay invisible to readers and
+        conflict with every other committer until
+        :meth:`HistoricalDatabase.resolve_prepared` applies the
+        coordinator's decision. Failure anywhere (validation loss,
+        constraint violation, log error) is a **no vote**: the backends
+        are restored and the session rolls back, exactly like a failed
+        commit.
+
+        The session itself ends here — the decision belongs to the
+        database (a coordinator may deliver it on another connection,
+        or after a crash-reopen).
+        """
+        self._ensure_active()
+        db = self._db
+        db._ensure_mutable("prepare a transaction")
+        if not txn_id:
+            raise TransactionError("a prepare needs a transaction id")
+        durable = db._durability is not None
+        try:
+            batches: list[tuple] = []
+            ops: list[bytes] = []
+            for name, pending in self._pending.items():
+                if pending.replaced is not None:
+                    final = pending.replaced.with_tuples(
+                        pending.overlay.values())
+                    batches.append((name, final, None))
+                    if durable:
+                        ops.append(durability.install_op(name, final))
+                elif pending.overlay:
+                    batches.append((name, None, pending.overlay))
+                    if durable:
+                        ops.append(durability.apply_op(name, pending.overlay))
+            if not batches:
+                raise TransactionError(
+                    f"transaction {txn_id!r} has nothing to prepare")
+            undos = []
+            lsn = None
+            with db._concurrency.write():
+                if txn_id in db._prepared_txns:
+                    raise TransactionError(
+                        f"transaction id {txn_id!r} is already prepared")
+                try:
+                    db._concurrency.validate(self._write_set,
+                                             self._snapshot.commit_id)
+                    for name, final, overlay in batches:
+                        backend = db._backend(name)
+                        if final is not None:
+                            undos.append(backend.install(final))
+                        else:
+                            undos.append(backend.apply(overlay))
+                    db._check_constraints()
+                    if durable and ops:
+                        lsn = db._durability.log_prepare(ops, txn_id)
+                except BaseException:
+                    for undo in reversed(undos):
+                        undo()
+                    raise
+                db._register_prepared(txn_id, self._write_set, undos)
+            if lsn is not None:
+                # Off the commit lock, but *before* the yes vote
+                # returns: a prepare that is not on stable storage
+                # could be presumed aborted after a crash even though
+                # the coordinator went on to decide commit.
+                db._durability.force_durable()
+        except BaseException:
+            self._finish("rolled-back")
+            raise
+        self._finish("prepared")
 
     def rollback(self) -> None:
         """Discard every buffered change; the catalog was never touched."""

@@ -18,6 +18,8 @@ Commands::
                          addresses are read replicas (reads round-robin
                          across them, writes go to the first address)
     \\replicas            per-replica lag, from the server's STATUS frame
+    \\shards              per-shard position and placement summary, when
+                         connected to a repro.sharding coordinator
     \\promote [HOST:PORT] promote a replica to primary (fenced failover);
                          with no argument, a routed session promotes its
                          first replica, a direct one its own server
@@ -60,8 +62,8 @@ HRDM / HRQL shell — demo relation: EMP(NAME*, SALARY, DEPT), months 0..120
 Type an HRQL query (\\set binds :name parameters), \\relations,
 \\timelines EMP, \\open PATH (durable database), \\connect
 HOST:PORT[,REPLICA...] (remote server, optional read replicas),
-\\replicas (replication lag), \\promote [HOST:PORT] (failover),
-\\checkpoint, \\timing, or \\quit.
+\\replicas (replication lag), \\shards (sharded-catalog status),
+\\promote [HOST:PORT] (failover), \\checkpoint, \\timing, or \\quit.
 """
 
 MAX_TABLE_ROWS = 40
@@ -196,6 +198,41 @@ def execute(line: str, env: HistoricalDatabase,
                 f"{'never' if ack is None else f'{ack:.1f}s ago'} "
                 f"[{'connected' if rep.get('connected') else 'disconnected'}"
                 f", {rep.get('mode')}]")
+        return "\n".join(lines)
+    if stripped == "\\shards":
+        if not getattr(env, "remote", False):
+            return ("error: \\shards needs a coordinator connection; "
+                    "\\connect HOST:PORT first")
+        try:
+            status = env.status()
+        except HRDMError as exc:
+            return f"error: {exc}"
+        if status.get("role") != "coordinator":
+            return ("error: this server is not a shard coordinator "
+                    f"(role {status.get('role')!r}); start one with "
+                    "python -m repro.sharding coordinator")
+        shards = status.get("shards", [])
+        placements = status.get("relations", {})
+        lines = [f"{status.get('n_shards')} shard(s), "
+                 f"{len(placements)} relation(s) "
+                 f"({sum(1 for p in placements.values() if p == 'hashed')} "
+                 f"hashed, "
+                 f"{sum(1 for p in placements.values() if p == 'broadcast')} "
+                 f"broadcast):"]
+        for shard in shards:
+            if not shard.get("ok"):
+                lines.append(f"  shard {shard['id']} @ {shard['address']}: "
+                             f"unreachable ({shard.get('error')})")
+                continue
+            in_doubt = shard.get("in_doubt") or []
+            doubt = (f", {len(in_doubt)} in-doubt txn(s)" if in_doubt else "")
+            lines.append(
+                f"  shard {shard['id']} @ {shard['address']}: "
+                f"generation {shard.get('generation')}, "
+                f"lsn {shard.get('lsn')}, epoch {shard.get('epoch')}, "
+                f"{shard.get('tuples')} tuple(s), "
+                f"{shard.get('wal_bytes')} WAL byte(s)"
+                f" [{shard.get('role')}]{doubt}")
         return "\n".join(lines)
     if stripped.startswith("\\promote"):
         if not getattr(env, "remote", False):

@@ -170,13 +170,19 @@ def _send_snapshot(sock, header: dict, relations: list) -> None:
 
 
 def _wal_frame(record) -> dict:
-    return {
+    frame = {
         "op": "wal",
         "generation": record.generation,
         "lsn": record.lsn,
         "epoch": record.epoch,
         "ops": [base64.b64encode(op).decode("ascii") for op in record.ops],
     }
+    if record.kind != "commit":
+        # 2PC records (see repro.sharding): the replica must stash a
+        # prepare and only apply it on its decision, like recovery does.
+        frame["kind"] = record.kind
+        frame["txn_id"] = record.txn_id
+    return frame
 
 
 def _ship(owner, db, manager, connection, replica_id,

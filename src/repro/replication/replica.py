@@ -400,7 +400,8 @@ class ReplicaServer:
         record = CommitRecord(
             int(frame["generation"]), int(frame["lsn"]),
             tuple(base64.b64decode(op) for op in frame["ops"]),
-            int(frame.get("epoch", 0)))
+            int(frame.get("epoch", 0)),
+            str(frame.get("kind", "commit")), str(frame.get("txn_id", "")))
         db = self.db
         manager = db._durability
         generation, lsn = manager.position
@@ -431,10 +432,23 @@ class ReplicaServer:
             write_set.record_relation(op[1])
         with db._concurrency.write():
             manager.wal.append_record(record.generation, record.lsn,
-                                      record.ops, epoch=record.epoch)
-            manager.replay(db, record)
-            db._version += 1
-            db._concurrency.committed(db._backends, write_set)
+                                      record.ops, epoch=record.epoch,
+                                      kind=record.kind, txn_id=record.txn_id)
+            if record.kind == "prepare":
+                # Mirror the primary's in-doubt window: stash the ops,
+                # apply them only when the decision record arrives (or
+                # at reopen, where recovery replays the same dance).
+                db._stash_prepare_record(record)
+            elif record.kind in ("decide-commit", "decide-abort"):
+                state = db._take_prepared(record.txn_id)
+                if state is not None and record.kind == "decide-commit":
+                    manager.replay(db, state.record)
+                    db._version += 1
+                    db._concurrency.committed(db._backends, state.write_set)
+            else:
+                manager.replay(db, record)
+                db._version += 1
+                db._concurrency.committed(db._backends, write_set)
         self._adopt_epoch(record.epoch)
         self._set_applied(record.generation, record.lsn)
 

@@ -63,7 +63,8 @@ _POLL_SECONDS = 0.2
 #: Frames a read-only server (a replica) refuses: everything that
 #: could change the catalog or its durable form.
 _MUTATING_OPS = frozenset(
-    {"execute", "begin", "commit", "rollback", "checkpoint", "flush"})
+    {"execute", "begin", "commit", "rollback", "checkpoint", "flush",
+     "txn_prepare", "txn_decide"})
 
 #: Default wait budget for a read carrying a read-your-writes token.
 _DEFAULT_WAIT_SECONDS = 1.0
@@ -246,6 +247,7 @@ class _Connection(socketserver.BaseRequestHandler):
             frame["lsn"] = lsn
             frame["epoch"] = durability.epoch
         frame["replicas"] = owner.replica_status()
+        frame["in_doubt"] = self.db.in_doubt_transactions()
         extra = owner.status_extra
         if extra is not None:
             frame.update(extra())
@@ -371,6 +373,39 @@ class _Connection(socketserver.BaseRequestHandler):
             raise TransactionError(
                 "no transaction is active on this connection (send BEGIN)")
         return self.txn
+
+    # -- two-phase commit ---------------------------------------------------
+
+    def op_txn_prepare(self, request: Mapping) -> dict:
+        """Phase one: vote on the connection's open transaction.
+
+        Success means the PREPARE record is force-synced and the
+        write-set pinned (see :meth:`Transaction.prepare`); failure —
+        conflict, constraint violation — is a no vote and the session
+        has rolled back. Either way the connection is free again: the
+        decision arrives by TXN_DECIDE (any connection) or, after a
+        crash, from presumed-abort recovery.
+        """
+        txn = self._active_txn()
+        self.txn = None
+        txn.prepare(str(request["txn_id"]))
+        return self._with_token({"ok": True})
+
+    def op_txn_decide(self, request: Mapping) -> dict:
+        """Phase two: apply the coordinator's decision.
+
+        Idempotent by design — a coordinator retries decisions until
+        acknowledged, so deciding a transaction this participant no
+        longer holds (already decided, or never prepared: presumed
+        abort) succeeds with ``known: false`` instead of erroring.
+        """
+        txn_id = str(request["txn_id"])
+        commit = bool(request.get("commit"))
+        try:
+            self.db.resolve_prepared(txn_id, commit)
+        except TransactionError:
+            return self._with_token({"ok": True, "known": False})
+        return self._with_token({"ok": True, "known": True})
 
     # -- mutations ----------------------------------------------------------
 

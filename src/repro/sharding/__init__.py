@@ -1,0 +1,61 @@
+"""Hash-sharded write scaling for the HRDM reproduction.
+
+A sharded deployment is N ordinary shard **workers** — each a full
+:class:`~repro.server.DatabaseServer` over its own durable directory —
+behind one **coordinator** that speaks the same wire protocol to
+clients, so :func:`repro.client.connect` and the HRQL shell need no
+new vocabulary to talk to it:
+
+* **placement** (:mod:`repro.sharding.placement`) — per-relation,
+  durable: ``hashed`` tuples live on ``shard_of(shard_key) % N``
+  (the shard key is a subset of the constant key attributes, default
+  the whole key); ``broadcast`` relations are fully copied to every
+  shard so foreign keys sweep locally and dimension joins push down;
+* **routing** (:mod:`repro.sharding.router`) — each statement is
+  forwarded to one shard (pinned by conjunctive shard-key equality, or
+  any shard for broadcast-only reads), fanned out and unioned
+  (per-tuple pipelines over one hashed relation), or gathered —
+  slices merged coordinator-side and the ordinary planner's
+  pipeline-breaker operators do the cross-shard sort/aggregate work;
+* **two-phase commit** (:mod:`repro.sharding.decision`,
+  :mod:`repro.sharding.coordinator`) — a transaction touching one
+  shard commits one-phase; across shards every participant force-syncs
+  a PREPARE record into its own WAL before voting, the coordinator
+  fsyncs the commit decision into its presumed-abort decision log, and
+  in-doubt participants resolve from that log after any crash;
+* **failover** — a shard may list replica addresses; the coordinator
+  answers :class:`~repro.core.errors.FencedError` by re-electing the
+  writable server with the highest fencing epoch, reusing the
+  replication layer's epoch machinery end to end.
+
+Run it from the command line (one coordinator, N workers)::
+
+    python -m repro.sharding worker  /data/shard0 --port 7801 --shard-id 0
+    python -m repro.sharding worker  /data/shard1 --port 7802 --shard-id 1
+    python -m repro.sharding coordinator /data/coord \\
+        --shard 127.0.0.1:7801 --shard 127.0.0.1:7802 --port 7800
+
+or in-process::
+
+    >>> from repro.sharding import Coordinator, ShardWorker   # doctest: +SKIP
+    >>> workers = [ShardWorker(f"/data/shard{i}", shard_id=i)
+    ...            for i in range(2)]                         # doctest: +SKIP
+"""
+
+from repro.sharding.coordinator import Coordinator
+from repro.sharding.decision import DecisionLog
+from repro.sharding.placement import Placement, ShardCatalog, shard_of
+from repro.sharding.router import Route, referenced_relations, route_statement
+from repro.sharding.worker import ShardWorker
+
+__all__ = [
+    "Coordinator",
+    "DecisionLog",
+    "Placement",
+    "Route",
+    "ShardCatalog",
+    "ShardWorker",
+    "referenced_relations",
+    "route_statement",
+    "shard_of",
+]

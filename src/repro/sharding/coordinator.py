@@ -1,0 +1,801 @@
+"""The shard coordinator — one wire endpoint over N shard workers.
+
+The coordinator speaks the ordinary server protocol
+(:mod:`repro.server.protocol`), so :func:`repro.client.connect` and the
+HRQL shell talk to a sharded catalog exactly as they talk to a single
+server — same frames, same typed results, same retryable error
+semantics. Behind that endpoint it owns three things:
+
+* the **shard catalog** (:class:`~repro.sharding.placement.ShardCatalog`)
+  — durable relation → placement metadata, updated by DDL frames and
+  consulted on every routed statement;
+* the **router** (:mod:`repro.sharding.router`) — forward / fanout /
+  gather classification for reads, shard-key hashing for mutations;
+* the **decision log** (:class:`~repro.sharding.decision.DecisionLog`)
+  — the presumed-abort source of truth for cross-shard two-phase
+  commits.
+
+A transaction begun on a coordinator connection opens worker-side
+transactions lazily, on the first mutation routed to each shard. At
+COMMIT, one enrolled shard is a plain forwarded commit (the one-phase
+fast path — a single participant's WAL append *is* the atomic commit);
+two or more run 2PC over the workers' WALs: TXN_PREPARE on every
+participant (each force-syncs a PREPARE record before voting yes), one
+fsynced entry in the decision log, then TXN_DECIDE everywhere. A
+decide the coordinator cannot deliver (worker down) is not retried
+inline — the decision is durable, and the in-doubt participant is
+resolved on its next STATUS probe, at coordinator startup, or by the
+worker's own RESOLVE poll (:class:`~repro.sharding.worker.ShardWorker`).
+
+Shard leadership reuses the replication layer's epoch fencing: each
+shard may be configured with several addresses (leader plus replicas),
+and a :class:`_ShardLink` answers a
+:class:`~repro.core.errors.FencedError` by re-probing the address set
+and re-routing to the writable server with the highest fencing epoch —
+the same election rule as :meth:`repro.client.RoutedClient.rediscover`.
+"""
+
+from __future__ import annotations
+
+import os
+import socketserver
+import threading
+import uuid
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.client import Client
+from repro.core.errors import (FencedError, HRDMError, RelationError,
+                               ShardingError, TransactionError)
+from repro.core.lifespan import Lifespan
+from repro.core.relation import HistoricalRelation
+from repro.database.result import QueryResult
+from repro.planner.planner import Planner
+from repro.query.compiler import ExplainQuery, WhenQuery, compile_query
+from repro.query.parser import parse as parse_hrql
+from repro.query import ast_nodes as ast
+from repro.server import protocol
+from repro.sharding.decision import DecisionLog
+from repro.sharding.placement import Placement, ShardCatalog, shard_of
+from repro.sharding.router import Route, route_statement
+from repro.storage import pager as pager_mod
+
+__all__ = ["Coordinator"]
+
+#: How often a blocked coordinator connection polls the shutdown flag.
+_POLL_SECONDS = 0.2
+
+#: Bound on a leader-election probe round trip — a shard address that
+#: connects but never answers must not stall rediscovery.
+_PROBE_TIMEOUT = 2.0
+
+#: An address in any accepted spelling: "host:port", (host, port), or a
+#: sequence of those (leader first, then its replicas).
+AddressSpec = Any
+
+
+def _parse_address(spec) -> Tuple[str, int]:
+    if isinstance(spec, (tuple, list)):
+        host, port = spec
+        return str(host), int(port)
+    host, _, port = str(spec).rpartition(":")
+    if not host:
+        raise ShardingError(f"shard address needs HOST:PORT, got {spec!r}")
+    return host, int(port)
+
+
+def _parse_shard(spec: AddressSpec) -> List[Tuple[str, int]]:
+    """One shard's address set: leader first, then standby replicas."""
+    if isinstance(spec, str):
+        parts = [p.strip() for p in spec.split(",") if p.strip()]
+        return [_parse_address(p) for p in parts]
+    if isinstance(spec, (tuple, list)):
+        if len(spec) == 2 and isinstance(spec[1], int):
+            return [_parse_address(spec)]  # a bare (host, port)
+        return [_parse_address(p) for p in spec]
+    raise ShardingError(f"unreadable shard address spec {spec!r}")
+
+
+class _ShardLink:
+    """One connection's session with one shard, failover-aware.
+
+    Lazily dialed, re-dialed after drops by the underlying
+    :class:`~repro.client.Client`, and re-routed across the shard's
+    address set when the current target is fenced — the coordinator's
+    reuse of the replication layer's epoch machinery.
+    """
+
+    def __init__(self, shard_id: int, addresses: Sequence[Tuple[str, int]],
+                 timeout: Optional[float] = None):
+        self.shard_id = shard_id
+        self.addresses = list(addresses)
+        self._current = self.addresses[0]
+        self._timeout = timeout
+        self._client: Optional[Client] = None
+
+    @property
+    def client(self) -> Client:
+        if self._client is None or self._client._closed:
+            self._client = Client(*self._current, timeout=self._timeout)
+        return self._client
+
+    def request(self, payload: Mapping[str, Any]) -> dict:
+        """One frame to the shard's current leader.
+
+        A :class:`~repro.core.errors.FencedError` proves the write was
+        refused — rediscover the leader among the configured addresses
+        and re-send once. Connection loss stays the caller's problem
+        (the frame's fate is unknown), exactly as for a direct client.
+        """
+        try:
+            return self.client.request(payload)
+        except FencedError:
+            if not self.rediscover():
+                raise
+            return self.client.request(payload)
+
+    def rediscover(self) -> bool:
+        """Re-elect the shard leader: writable, highest fencing epoch."""
+        best: Optional[Tuple[int, Tuple[str, int]]] = None
+        for address in self.addresses:
+            try:
+                probe = Client(*address, timeout=_PROBE_TIMEOUT)
+            except (OSError, HRDMError):
+                continue
+            try:
+                status = probe.status()
+            except (OSError, HRDMError):
+                continue
+            finally:
+                probe.close()
+            writable = (status.get("role") != "replica"
+                        and not status.get("read_only")
+                        and not status.get("fenced"))
+            epoch = int(status.get("epoch", 0))
+            if writable and (best is None or epoch > best[0]):
+                best = (epoch, address)
+        if best is None:
+            return False
+        if best[1] != self._current:
+            self.close()
+            self._current = best[1]
+        return True
+
+    def close(self) -> None:
+        if self._client is not None:
+            self._client.close()
+            self._client = None
+
+    def __repr__(self) -> str:
+        host, port = self._current
+        return f"_ShardLink(shard {self.shard_id} at {host}:{port})"
+
+
+class _CoordWireServer(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+    block_on_close = True
+
+    def __init__(self, address, owner: "Coordinator"):
+        super().__init__(address, _CoordConnection)
+        self.owner = owner
+
+
+class _CoordConnection(socketserver.BaseRequestHandler):
+    """One client session against the sharded catalog.
+
+    Holds its own per-shard links (a connection is single-threaded on
+    both ends, so links need no locking), its open distributed
+    transaction (shard id → enrolled link), and its prepared-statement
+    cache (id → HRQL source, re-routed per execution)."""
+
+    def setup(self) -> None:
+        self.request.settimeout(_POLL_SECONDS)
+        self.buffer = bytearray()
+        self.owner: "Coordinator" = self.server.owner
+        self._links: Dict[int, _ShardLink] = {}
+        self._txn: Optional[Dict[int, _ShardLink]] = None
+        self._prepared: Dict[int, str] = {}
+        self._next_prepared = 0
+        self._rr = 0
+
+    def handle(self) -> None:
+        owner = self.owner
+        while not owner.stopping:
+            try:
+                request = protocol.recv_frame(
+                    self.request, self.buffer,
+                    keep_waiting=lambda: not owner.stopping)
+            except (protocol.ProtocolError, OSError):
+                break
+            if request is None:
+                break
+            try:
+                response = self.dispatch(request)
+            except HRDMError as exc:
+                response = protocol.error_to_wire(exc)
+            except Exception as exc:  # never let one request kill the worker
+                response = protocol.error_to_wire(exc)
+            try:
+                protocol.send_frame(self.request, response)
+            except protocol.ProtocolError as exc:
+                try:
+                    protocol.send_frame(self.request,
+                                        protocol.error_to_wire(exc))
+                except OSError:
+                    break
+            except OSError:
+                break
+
+    def finish(self) -> None:
+        if self._txn:
+            for link in self._txn.values():
+                try:
+                    link.request({"op": "rollback"})
+                except (HRDMError, OSError):
+                    pass  # the worker rolls back with the dead session anyway
+        for link in self._links.values():
+            link.close()
+
+    def dispatch(self, request: Mapping[str, Any]) -> dict:
+        op = request.get("op")
+        handler = getattr(self, f"op_{op}", None)
+        if handler is None:
+            raise protocol.ProtocolError(f"unknown op {op!r}")
+        return handler(request)
+
+    # -- shard plumbing -----------------------------------------------------
+
+    def _link(self, shard: int) -> _ShardLink:
+        link = self._links.get(shard)
+        if link is None:
+            link = _ShardLink(shard, self.owner.shards[shard],
+                              timeout=self.owner.timeout)
+            self._links[shard] = link
+        return link
+
+    def _any_shard(self) -> int:
+        """Round-robin over shards for broadcast-satisfiable reads."""
+        shard = self._rr % self.owner.n_shards
+        self._rr += 1
+        return shard
+
+    def _all_links(self) -> List[_ShardLink]:
+        return [self._link(i) for i in range(self.owner.n_shards)]
+
+    # -- session / introspection -------------------------------------------
+
+    def op_hello(self, request: Mapping) -> dict:
+        return {
+            "ok": True,
+            "server": "hrdm",
+            "protocol": protocol.PROTOCOL_VERSION,
+            "database": self.owner.name,
+            "durable": True,
+            "role": "coordinator",
+            "read_only": False,
+            "shards": self.owner.n_shards,
+        }
+
+    def op_status(self, request: Mapping) -> dict:
+        """Coordinator observability: per-shard position and health.
+
+        Probing a shard doubles as the lazy in-doubt sweep — any
+        prepared transaction the shard still holds is decided from the
+        decision log on the spot.
+        """
+        shards = []
+        for link in self._all_links():
+            host, port = link._current
+            row: Dict[str, Any] = {"id": link.shard_id,
+                                   "address": f"{host}:{port}"}
+            try:
+                status = link.request({"op": "status"})
+            except (HRDMError, OSError) as exc:
+                row.update(ok=False, error=str(exc))
+            else:
+                row.update(
+                    ok=True,
+                    generation=status.get("generation"),
+                    lsn=status.get("lsn"),
+                    epoch=status.get("epoch"),
+                    role=status.get("role"),
+                    tuples=status.get("tuples"),
+                    wal_bytes=status.get("wal_bytes"),
+                    in_doubt=status.get("in_doubt", []),
+                )
+                self.owner.resolve_in_doubt(link, status.get("in_doubt", []))
+            shards.append(row)
+        return {
+            "ok": True,
+            "role": "coordinator",
+            "database": self.owner.name,
+            "read_only": False,
+            "fenced": False,
+            "n_shards": self.owner.n_shards,
+            "relations": {
+                name: entry.placement
+                for name in self.owner.catalog.names()
+                if (entry := self.owner.catalog.get(name)) is not None},
+            "shards": shards,
+            "replicas": [],
+        }
+
+    def op_resolve(self, request: Mapping) -> dict:
+        """A participant asks for a transaction's fate (presumed abort)."""
+        txn_id = str(request["txn_id"])
+        return {"ok": True, "txn_id": txn_id,
+                "outcome": self.owner.decisions.resolve(txn_id)}
+
+    def op_relations(self, request: Mapping) -> dict:
+        merged: Dict[str, dict] = {}
+        order: List[str] = []
+        for link in self._all_links():
+            for summary in link.request({"op": "relations"})["relations"]:
+                name = summary["name"]
+                entry = self.owner.catalog.get(name)
+                if name not in merged:
+                    merged[name] = dict(summary)
+                    order.append(name)
+                elif entry is None or entry.hashed:
+                    merged[name]["n_tuples"] += summary["n_tuples"]
+                    merged[name]["lifespan"] = protocol.lifespan_to_wire(
+                        protocol.lifespan_from_wire(
+                            merged[name]["lifespan"]).union(
+                            protocol.lifespan_from_wire(
+                                summary["lifespan"])))
+        return {"ok": True, "relations": [merged[name] for name in order]}
+
+    def op_relation(self, request: Mapping) -> dict:
+        name = request.get("name")
+        entry = self.owner.catalog.get(name)
+        if entry is None or entry.broadcast:
+            return self._link(self._any_shard()).request(
+                {"op": "relation", "name": name})
+        payload: Optional[dict] = None
+        for link in self._all_links():
+            part = link.request({"op": "relation", "name": name})
+            if payload is None:
+                payload = part
+            else:
+                payload["tuples"].extend(part["tuples"])
+        assert payload is not None  # n_shards >= 1
+        return payload
+
+    # -- querying -----------------------------------------------------------
+
+    def op_prepare(self, request: Mapping) -> dict:
+        source = request.get("q", "")
+        statement = parse_hrql(source)  # surface parse errors now
+        self._next_prepared += 1
+        self._prepared[self._next_prepared] = source
+        return {"ok": True, "id": self._next_prepared,
+                "params": list(ast.parameters(statement))}
+
+    def op_query(self, request: Mapping) -> dict:
+        params = request.get("params") or None
+        if "prepared" in request:
+            source = self._prepared.get(request["prepared"])
+            if source is None:
+                raise protocol.ProtocolError(
+                    f"no prepared statement #{request['prepared']} "
+                    f"on this connection")
+        else:
+            source = request.get("q", "")
+        statement = parse_hrql(source)
+        route = route_statement(statement, self.owner.catalog, params)
+        frame: Dict[str, Any] = {"op": "query", "q": source}
+        if params:
+            frame["params"] = dict(params)
+        if route.mode == "forward":
+            shard = route.shard if route.shard is not None \
+                else self._any_shard()
+            return self._link(shard).request(frame)
+        if route.mode == "fanout":
+            return self._fanout(frame, route)
+        return self._gather(statement, params)
+
+    def _fanout(self, frame: Mapping[str, Any], route: Route) -> dict:
+        """Scatter one per-tuple statement, union the slices."""
+        responses = [link.request(dict(frame)) for link in self._all_links()]
+        if route.when:
+            union = Lifespan.union_all(
+                protocol.lifespan_from_wire(r["lifespan"])
+                for r in responses)
+            return {"ok": True, "kind": "lifespan",
+                    "lifespan": protocol.lifespan_to_wire(union)}
+        merged = responses[0]
+        for part in responses[1:]:
+            merged["tuples"].extend(part["tuples"])
+        return merged
+
+    def _gather(self, statement: ast.Statement,
+                params: Optional[Mapping[str, Any]]) -> dict:
+        """Fetch, merge, and run the ordinary planner coordinator-side."""
+        from repro.sharding.router import referenced_relations
+
+        env: Dict[str, HistoricalRelation] = {}
+        for name in referenced_relations(statement):
+            env[name] = self._merged_relation(name)
+        compiled = compile_query(statement, params)
+        if isinstance(compiled, ExplainQuery):
+            return {"ok": True, "kind": "plan",
+                    "text": compiled.evaluate(env).text}
+        planner = Planner()
+        if isinstance(compiled, WhenQuery):
+            plan = planner.plan(compiled.child, env, when=True)
+        else:
+            plan = planner.plan(compiled, env)
+        result = QueryResult(plan.execute_stream(env), plan)
+        if result.kind == "relation":
+            payload = protocol.relation_to_wire(result.relation)
+            payload.update(ok=True, kind="relation")
+            return payload
+        return {"ok": True, "kind": "lifespan",
+                "lifespan": protocol.lifespan_to_wire(result.lifespan)}
+
+    def _merged_relation(self, name: str) -> HistoricalRelation:
+        entry = self.owner.catalog.get(name)
+        if entry is None:
+            raise RelationError(f"no relation named {name!r}")
+        if entry.broadcast:
+            raw = self._link(self._any_shard()).request(
+                {"op": "relation", "name": name})
+            return protocol.relation_from_wire(raw)
+        parts = [link.request({"op": "relation", "name": name})
+                 for link in self._all_links()]
+        scheme = pager_mod.scheme_from_dict(parts[0]["scheme"])
+        return HistoricalRelation(
+            scheme,
+            (protocol.tuple_from_wire(blob, scheme)
+             for part in parts for blob in part["tuples"]))
+
+    # -- mutation routing ---------------------------------------------------
+
+    def _placement_of(self, name: str) -> Placement:
+        entry = self.owner.catalog.get(name)
+        if entry is None:
+            raise RelationError(f"no relation named {name!r}")
+        return entry
+
+    def _mutation_shards(self, request: Mapping) -> List[int]:
+        """The shards one EXECUTE frame must reach."""
+        action = request.get("action")
+        if action == "evolve":
+            return list(range(self.owner.n_shards))
+        entry = self._placement_of(request["relation"])
+        if entry.broadcast:
+            return list(range(self.owner.n_shards))
+        if action == "insert":
+            values = protocol.values_from_wire(request["values"])
+            try:
+                shard_key = [values[a] for a in entry.shard_by]
+            except KeyError as exc:
+                raise ShardingError(
+                    f"insert into hashed relation {entry.name!r} must give "
+                    f"its shard key ({', '.join(entry.shard_by)}) as "
+                    f"constants; missing {exc.args[0]!r}") from None
+        else:
+            shard_key = entry.shard_key_of(tuple(request.get("key", ())))
+        return [shard_of(shard_key, self.owner.n_shards)]
+
+    def op_execute(self, request: Mapping) -> dict:
+        action = request.get("action")
+        if action == "create":
+            return self._create(request)
+        if action == "drop":
+            return self._drop(request)
+        targets = self._mutation_shards(request)
+        if self._txn is not None:
+            response: Optional[dict] = None
+            for shard in targets:
+                link = self._enroll(shard)
+                part = link.request(dict(request))
+                response = response or part
+            return response  # identical tuple frames on every target
+        if len(targets) == 1:
+            return self._link(targets[0]).request(dict(request))
+        # A multi-shard auto-commit mutation (broadcast relation, or a
+        # schema evolution): run it as a one-frame distributed
+        # transaction so it lands atomically everywhere.
+        links = [self._link(shard) for shard in targets]
+        begun: List[_ShardLink] = []
+        response = None
+        try:
+            for link in links:
+                link.request({"op": "begin"})
+                begun.append(link)
+            for link in links:
+                part = link.request(dict(request))
+                response = response or part
+        except BaseException:
+            for link in begun:
+                try:
+                    link.request({"op": "rollback"})
+                except (HRDMError, OSError):
+                    pass
+            raise
+        self._commit_participants({link.shard_id: link for link in links})
+        return response
+
+    # -- DDL ----------------------------------------------------------------
+
+    def _create(self, request: Mapping) -> dict:
+        if self._txn is not None:
+            raise TransactionError(
+                "CREATE is not transactional: finish the open "
+                "transaction first")
+        scheme_dict = request["scheme"]
+        scheme = pager_mod.scheme_from_dict(scheme_dict)
+        options = dict(request.get("options") or {})
+        placement_name = options.pop("placement", None) or (
+            "broadcast" if scheme.name in self.owner.default_broadcast
+            else "hashed")
+        shard_by = list(options.pop("shard_by", None) or scheme.key)
+        storage = request.get("storage", "memory")
+        entry = Placement(scheme.name, placement_name, list(scheme.key),
+                          shard_by, scheme_dict, storage)
+        blobs = list(request.get("tuples", ()))
+        if entry.broadcast:
+            parts = {i: blobs for i in range(self.owner.n_shards)}
+        else:
+            parts = {i: [] for i in range(self.owner.n_shards)}
+            for blob in blobs:
+                t = protocol.tuple_from_wire(blob, scheme)
+                shard_key = entry.shard_key_of(t.key_value())
+                parts[shard_of(shard_key, self.owner.n_shards)].append(blob)
+        created: List[_ShardLink] = []
+        try:
+            for link in self._all_links():
+                link.request({
+                    "op": "execute", "action": "create",
+                    "scheme": scheme_dict,
+                    "tuples": parts[link.shard_id],
+                    "storage": storage, "options": options,
+                })
+                created.append(link)
+        except BaseException:
+            for link in created:  # best-effort compensation
+                try:
+                    link.request({"op": "execute", "action": "drop",
+                                  "relation": scheme.name})
+                except (HRDMError, OSError):
+                    pass
+            raise
+        self.owner.catalog.add(entry)
+        return {"ok": True, "placement": entry.placement,
+                "shard_by": list(entry.shard_by)}
+
+    def _drop(self, request: Mapping) -> dict:
+        if self._txn is not None:
+            raise TransactionError(
+                "DROP is not transactional: finish the open "
+                "transaction first")
+        name = request["relation"]
+        for link in self._all_links():
+            link.request({"op": "execute", "action": "drop",
+                          "relation": name})
+        self.owner.catalog.remove(name)
+        return {"ok": True}
+
+    # -- distributed transactions ------------------------------------------
+
+    def op_begin(self, request: Mapping) -> dict:
+        if self._txn is not None:
+            raise TransactionError(
+                "a transaction is already active on this connection")
+        self._txn = {}
+        return {"ok": True}
+
+    def _enroll(self, shard: int) -> _ShardLink:
+        assert self._txn is not None
+        link = self._txn.get(shard)
+        if link is None:
+            link = self._link(shard)
+            link.request({"op": "begin"})
+            self._txn[shard] = link
+        return link
+
+    def op_commit(self, request: Mapping) -> dict:
+        if self._txn is None:
+            raise TransactionError(
+                "no transaction is active on this connection (send BEGIN)")
+        participants, self._txn = self._txn, None
+        if not participants:
+            return {"ok": True}
+        return self._commit_participants(participants)
+
+    def op_rollback(self, request: Mapping) -> dict:
+        if self._txn is None:
+            raise TransactionError(
+                "no transaction is active on this connection (send BEGIN)")
+        participants, self._txn = self._txn, None
+        for link in participants.values():
+            link.request({"op": "rollback"})
+        return {"ok": True}
+
+    def _commit_participants(self, participants: Dict[int, _ShardLink]
+                             ) -> dict:
+        """Commit one distributed write-set: 1PC fast path, else 2PC."""
+        ordered = [participants[shard] for shard in sorted(participants)]
+        if len(ordered) == 1:
+            return ordered[0].request({"op": "commit"})
+        txn_id = self.owner.new_txn_id()
+        prepared: List[_ShardLink] = []
+        for index, link in enumerate(ordered):
+            try:
+                link.request({"op": "txn_prepare", "txn_id": txn_id})
+            except BaseException:
+                # No yes-vote from this participant: the transaction
+                # aborts. Prepared participants get an explicit abort
+                # decision; un-prepared ones still hold plain open
+                # transactions and just roll back. A participant whose
+                # vote was *lost* (connection dropped mid-prepare) may
+                # hold an in-doubt prepare — presumed abort resolves it,
+                # since no commit decision will ever be logged.
+                for peer in prepared:
+                    try:
+                        peer.request({"op": "txn_decide",
+                                      "txn_id": txn_id, "commit": False})
+                    except (HRDMError, OSError):
+                        pass
+                for peer in ordered[index + 1:]:
+                    try:
+                        peer.request({"op": "rollback"})
+                    except (HRDMError, OSError):
+                        pass
+                raise
+            prepared.append(link)
+        # Every participant voted yes and holds a force-synced PREPARE:
+        # the fsynced decision-log entry is the commit point.
+        self.owner.decisions.record(txn_id, "commit")
+        for link in ordered:
+            try:
+                link.request({"op": "txn_decide",
+                              "txn_id": txn_id, "commit": True})
+            except (HRDMError, OSError):
+                # The decision is durable; this participant resolves on
+                # its next STATUS sweep or its own RESOLVE poll.
+                pass
+        return {"ok": True, "txn_id": txn_id,
+                "participants": sorted(participants)}
+
+    # -- durability ---------------------------------------------------------
+
+    def op_checkpoint(self, request: Mapping) -> dict:
+        generations = [link.request({"op": "checkpoint"})["generation"]
+                       for link in self._all_links()]
+        return {"ok": True, "generation": max(generations),
+                "generations": generations}
+
+    def op_flush(self, request: Mapping) -> dict:
+        for link in self._all_links():
+            link.request({"op": "flush"})
+        return {"ok": True}
+
+
+class Coordinator:
+    """Serve a sharded catalog: route, scatter-gather, and 2PC.
+
+    *path* is the coordinator's own durable directory (shard catalog +
+    decision log). *shards* is one address spec per shard — a
+    ``"host:port"`` string, a ``(host, port)`` pair, or a
+    comma-separated / sequence form listing the shard leader first and
+    its standby replicas after it. *broadcast* names relations that
+    default to broadcast placement when created without an explicit
+    ``placement=`` option (the usual way a workload marks its dimension
+    relations).
+
+    >>> coord = Coordinator("/tmp/coord", ["127.0.0.1:7801",
+    ...                                    "127.0.0.1:7802"])   # doctest: +SKIP
+    """
+
+    def __init__(self, path: str, shards: Sequence[AddressSpec], *,
+                 name: str = "sharded", host: str = "127.0.0.1",
+                 port: int = 0, broadcast: Sequence[str] = (),
+                 timeout: Optional[float] = None):
+        if not shards:
+            raise ShardingError("a coordinator needs at least one shard")
+        os.makedirs(path, exist_ok=True)
+        self.path = path
+        self.name = name
+        self.shards: List[List[Tuple[str, int]]] = [
+            _parse_shard(spec) for spec in shards]
+        self.n_shards = len(self.shards)
+        self.default_broadcast = frozenset(broadcast)
+        self.timeout = timeout
+        self.catalog = ShardCatalog(os.path.join(path, "catalog.json"),
+                                    self.n_shards)
+        self.decisions = DecisionLog(os.path.join(path, "decisions.log"))
+        self.stopping = False
+        self._txn_lock = threading.Lock()
+        self._txn_seq = 0
+        self._server = _CoordWireServer((host, port), self)
+        self._thread: Optional[threading.Thread] = None
+        self._serving = False
+
+    def new_txn_id(self) -> str:
+        """A globally unique transaction id.
+
+        Uniqueness across coordinator restarts matters: presumed abort
+        reads *absence* from the decision log as abort, so an id must
+        never be reused for a different transaction.
+        """
+        with self._txn_lock:
+            self._txn_seq += 1
+            return f"txn-{uuid.uuid4().hex[:12]}-{self._txn_seq}"
+
+    def resolve_in_doubt(self, link: _ShardLink,
+                         in_doubt: Sequence[str]) -> None:
+        """Decide a participant's lingering prepares from the log."""
+        for txn_id in in_doubt:
+            outcome = self.decisions.resolve(txn_id)
+            try:
+                link.request({"op": "txn_decide", "txn_id": txn_id,
+                              "commit": outcome == "commit"})
+            except (HRDMError, OSError):
+                pass  # still durable; a later sweep gets another shot
+
+    def recover_shards(self) -> None:
+        """One startup sweep: resolve every reachable shard's in-doubt
+        transactions against the decision log.
+
+        Covers the coordinator-crashed-mid-decide window. Unreachable
+        shards are skipped — they resolve on their next STATUS probe or
+        through their own RESOLVE poll."""
+        for shard in range(self.n_shards):
+            link = _ShardLink(shard, self.shards[shard],
+                              timeout=_PROBE_TIMEOUT)
+            try:
+                status = link.request({"op": "status"})
+            except (HRDMError, OSError):
+                continue
+            else:
+                self.resolve_in_doubt(link, status.get("in_doubt", []))
+            finally:
+                link.close()
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        host, port = self._server.server_address[:2]
+        return host, port
+
+    def start(self) -> None:
+        """Accept loop on a daemon thread + one in-doubt recovery sweep."""
+        if self._thread is not None:
+            raise ShardingError("the coordinator is already running")
+        self.recover_shards()
+        self._serving = True
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name=f"hrdm-coordinator:{self.address[1]}", daemon=True)
+        self._thread.start()
+
+    def serve_forever(self) -> None:
+        """Accept loop on the calling thread (the CLI mode)."""
+        self.recover_shards()
+        self._serving = True
+        self._server.serve_forever()
+
+    def stop(self) -> None:
+        self.stopping = True
+        if self._serving:
+            self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join()
+            self._thread = None
+        self._serving = False
+        self.decisions.close()
+
+    def __enter__(self) -> "Coordinator":
+        self.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.stop()
+        return False
+
+    def __repr__(self) -> str:
+        host, port = self.address
+        return (f"Coordinator({self.name!r} on {host}:{port}, "
+                f"{self.n_shards} shard(s))")

@@ -1,0 +1,122 @@
+"""The coordinator's commit decision log — 2PC's source of truth.
+
+Presumed abort, straight from the textbook: the **only** durable fact
+a two-phase commit needs is "this transaction committed". The
+coordinator force-syncs one COMMIT entry here *after* every
+participant voted yes and *before* any participant learns the
+decision; everything else is derivable:
+
+* an entry present  → the transaction committed — any participant
+  still holding a prepared write-set must apply it;
+* no entry          → the transaction aborted — either the coordinator
+  never reached a decision (crash between the votes and the log) or it
+  decided abort, and in both cases no participant can have applied
+  anything, so rolling the prepare back is safe.
+
+That asymmetry is why aborts are never logged: :meth:`resolve` answers
+``"abort"`` for any transaction id it has no entry for.
+
+The file format mirrors the WAL's framing discipline
+(:mod:`repro.storage.wal`): ``length u32 | crc32 u32 | payload``, one
+JSON payload per decision, fsynced before :meth:`record` returns. A
+torn tail (the coordinator died mid-append) fails its checksum and is
+truncated on reopen — exactly like a torn WAL record, it is a decision
+that never happened, and presumed abort gives it the right meaning.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import threading
+import zlib
+from typing import Dict
+
+from repro.core.errors import ShardingError
+
+__all__ = ["DecisionLog"]
+
+_FRAME = struct.Struct(">II")  # payload length, crc32(payload)
+
+
+class DecisionLog:
+    """Append-only, checksummed, fsync-per-decision commit log."""
+
+    def __init__(self, path: str):
+        self.path = path
+        self._lock = threading.Lock()
+        self._decided: Dict[str, str] = {}
+        self._recover()
+        # Append mode: recovery may have truncated a torn tail already.
+        self._fh = open(self.path, "ab")
+
+    def _recover(self) -> None:
+        """Load every intact decision; truncate a torn tail in place."""
+        if not os.path.exists(self.path):
+            with open(self.path, "wb"):
+                pass
+            return
+        valid_end = 0
+        with open(self.path, "rb") as fh:
+            data = fh.read()
+        offset = 0
+        while offset + _FRAME.size <= len(data):
+            length, crc = _FRAME.unpack_from(data, offset)
+            start = offset + _FRAME.size
+            payload = data[start:start + length]
+            if len(payload) < length or zlib.crc32(payload) != crc:
+                break  # torn tail: a decision that never happened
+            try:
+                entry = json.loads(payload.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                break
+            self._decided[str(entry["txn"])] = str(entry["outcome"])
+            offset = start + length
+            valid_end = offset
+        if valid_end < len(data):
+            with open(self.path, "r+b") as fh:
+                fh.truncate(valid_end)
+
+    def record(self, txn_id: str, outcome: str = "commit") -> None:
+        """Durably log *outcome* for *txn_id*; fsynced before return.
+
+        This is the transaction's commit point: once this returns, the
+        decision survives any crash, and participants may be told.
+        Only ``"commit"`` entries matter for recovery (presumed abort),
+        but an explicit abort may be recorded too — it makes the
+        operator-facing log complete without changing :meth:`resolve`'s
+        answer.
+        """
+        if outcome not in ("commit", "abort"):
+            raise ShardingError(f"unknown decision outcome {outcome!r}")
+        payload = json.dumps({"txn": txn_id, "outcome": outcome},
+                             separators=(",", ":")).encode("utf-8")
+        frame = _FRAME.pack(len(payload), zlib.crc32(payload)) + payload
+        with self._lock:
+            self._fh.write(frame)
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
+            self._decided[txn_id] = outcome
+
+    def resolve(self, txn_id: str) -> str:
+        """The fate of *txn_id*: ``"commit"`` iff it was logged so.
+
+        An unknown transaction is an abort — the presumed-abort rule
+        that lets the log stay commit-only.
+        """
+        with self._lock:
+            return self._decided.get(txn_id, "abort")
+
+    def decided(self) -> Dict[str, str]:
+        """A snapshot of every explicitly recorded decision."""
+        with self._lock:
+            return dict(self._decided)
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._fh.closed:
+                self._fh.close()
+
+    def __repr__(self) -> str:
+        return f"DecisionLog({len(self.decided())} decision(s))"

@@ -1,0 +1,218 @@
+"""Tuple placement — which shard owns which history.
+
+Placement is decided per **relation**, recorded durably in the
+coordinator's :class:`ShardCatalog`, and never consulted by the shard
+workers themselves (a worker is an ordinary
+:class:`~repro.server.DatabaseServer` that happens to hold a slice of
+the data):
+
+* ``hashed`` — each tuple lives on exactly one shard, chosen by
+  :func:`shard_of` over the tuple's *shard key*: a subset of the
+  relation's (constant) key attributes, defaulting to the full key.
+  Because shard-key attributes are constant-valued, a tuple's home
+  shard never changes over its lifespan — updates, terminations, and
+  reincarnations route by the same hash as the original insert.
+* ``broadcast`` — the relation is fully replicated on every shard.
+  The mode for small dimension relations sitting on the referenced
+  side of a temporal foreign key: each shard can sweep the constraint
+  locally against its complete copy, and multi-relation reads that
+  join a hashed fact against a broadcast dimension still push down.
+
+The hash is :func:`zlib.crc32` over a canonical, type-tagged rendering
+of the shard-key values — stable across processes, platforms, and
+``PYTHONHASHSEED``, which is what lets a restarted coordinator (or an
+offline tool) recompute every tuple's home from the catalog alone.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import zlib
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+from repro.core.errors import ShardingError
+
+__all__ = ["Placement", "ShardCatalog", "shard_of"]
+
+_PLACEMENTS = ("hashed", "broadcast")
+
+
+def _canonical(value: Any) -> str:
+    """A type-tagged stable rendering of one shard-key value.
+
+    Tagged so ``1`` and ``"1"`` hash apart, and ``repr`` for floats so
+    the rendering round-trips exactly.
+    """
+    if isinstance(value, bool):
+        return f"b:{int(value)}"
+    if isinstance(value, int):
+        return f"i:{value}"
+    if isinstance(value, float):
+        return f"f:{value!r}"
+    if isinstance(value, str):
+        return f"s:{value}"
+    raise ShardingError(
+        f"shard-key values must be scalars, got {type(value).__name__}: "
+        f"{value!r}")
+
+
+def shard_of(values: Sequence[Any], n_shards: int) -> int:
+    """The home shard for a tuple with these shard-key *values*.
+
+    Deterministic across processes (crc32 of a canonical rendering),
+    so every coordinator instance — and every test — agrees where a
+    key lives.
+
+    >>> shard_of(["st0001"], 4) == shard_of(["st0001"], 4)
+    True
+    """
+    if n_shards < 1:
+        raise ShardingError(f"need at least one shard, got {n_shards}")
+    data = "\x1f".join(_canonical(v) for v in values).encode("utf-8")
+    return zlib.crc32(data) % n_shards
+
+
+class Placement:
+    """One relation's durable placement row in the shard catalog."""
+
+    __slots__ = ("name", "placement", "key", "shard_by", "scheme", "storage")
+
+    def __init__(self, name: str, placement: str, key: Sequence[str],
+                 shard_by: Sequence[str], scheme: dict, storage: str):
+        if placement not in _PLACEMENTS:
+            raise ShardingError(
+                f"unknown placement {placement!r} for {name!r}; "
+                f"expected one of {', '.join(_PLACEMENTS)}")
+        missing = [a for a in shard_by if a not in key]
+        if missing:
+            raise ShardingError(
+                f"shard_by attributes of {name!r} must be key attributes "
+                f"(the key is constant, so routing never depends on time); "
+                f"{', '.join(missing)} not in key ({', '.join(key)})")
+        if placement == "hashed" and not shard_by:
+            raise ShardingError(
+                f"hashed relation {name!r} needs at least one shard_by "
+                f"attribute")
+        self.name = name
+        self.placement = placement
+        self.key = tuple(key)
+        self.shard_by = tuple(shard_by)
+        self.scheme = scheme
+        self.storage = storage
+
+    @property
+    def hashed(self) -> bool:
+        return self.placement == "hashed"
+
+    @property
+    def broadcast(self) -> bool:
+        return self.placement == "broadcast"
+
+    def shard_key_of(self, key_values: Sequence[Any]) -> List[Any]:
+        """Project the shard-key values out of a full key tuple."""
+        by_attr = dict(zip(self.key, key_values))
+        return [by_attr[a] for a in self.shard_by]
+
+    def to_json(self) -> dict:
+        return {
+            "placement": self.placement,
+            "key": list(self.key),
+            "shard_by": list(self.shard_by),
+            "scheme": self.scheme,
+            "storage": self.storage,
+        }
+
+    @classmethod
+    def from_json(cls, name: str, raw: dict) -> "Placement":
+        return cls(name, raw["placement"], raw["key"], raw["shard_by"],
+                   raw["scheme"], raw.get("storage", "memory"))
+
+    def __repr__(self) -> str:
+        detail = (f"by {','.join(self.shard_by)}" if self.hashed
+                  else "broadcast")
+        return f"Placement({self.name!r}, {detail})"
+
+
+class ShardCatalog:
+    """The coordinator's durable relation → placement map.
+
+    Persisted as one JSON file in the coordinator directory and
+    rewritten atomically (tmp + rename) on every DDL change, so a
+    restarted coordinator recovers exactly the routing metadata its
+    acknowledged DDL established. The shard count is pinned at first
+    write: reopening a catalog with a different ``--shard`` list is
+    refused rather than silently rehashing every key to the wrong
+    home.
+    """
+
+    def __init__(self, path: str, n_shards: int):
+        self.path = path
+        self.n_shards = int(n_shards)
+        self._lock = threading.Lock()
+        self._relations: Dict[str, Placement] = {}
+        if os.path.exists(path):
+            self._load()
+        else:
+            self._save()
+
+    def _load(self) -> None:
+        with open(self.path, "r", encoding="utf-8") as fh:
+            raw = json.load(fh)
+        stored = int(raw.get("n_shards", self.n_shards))
+        if stored != self.n_shards:
+            raise ShardingError(
+                f"catalog at {self.path} was built for {stored} shard(s) "
+                f"but the coordinator was started with {self.n_shards}; "
+                f"re-sharding needs an explicit data migration, not a "
+                f"restart")
+        self._relations = {
+            name: Placement.from_json(name, entry)
+            for name, entry in raw.get("relations", {}).items()
+        }
+
+    def _save(self) -> None:
+        payload = {
+            "version": 1,
+            "n_shards": self.n_shards,
+            "relations": {name: p.to_json()
+                          for name, p in sorted(self._relations.items())},
+        }
+        tmp = f"{self.path}.tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, self.path)
+
+    def add(self, placement: Placement) -> None:
+        with self._lock:
+            self._relations[placement.name] = placement
+            self._save()
+
+    def remove(self, name: str) -> None:
+        with self._lock:
+            self._relations.pop(name, None)
+            self._save()
+
+    def get(self, name: str) -> Optional[Placement]:
+        with self._lock:
+            return self._relations.get(name)
+
+    def names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._relations)
+
+    def __contains__(self, name: object) -> bool:
+        with self._lock:
+            return name in self._relations
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._relations)
+
+    def __repr__(self) -> str:
+        return (f"ShardCatalog({len(self)} relation(s) over "
+                f"{self.n_shards} shard(s))")

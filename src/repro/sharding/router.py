@@ -1,0 +1,175 @@
+"""Statement routing — how one HRQL query maps onto N shards.
+
+The coordinator classifies every statement into one of three
+execution strategies, cheapest first:
+
+1. **forward** — the statement touches no hashed relation (all
+   broadcast: every shard holds a full copy), or every hashed tuple it
+   can mention lives on one *pinned* shard because the statement's
+   predicate fixes the whole shard key by equality. One shard computes
+   the whole answer; the coordinator relays frames verbatim.
+2. **fanout** — the statement is a per-tuple pipeline (selection,
+   time-slice, rename) over exactly one hashed relation. Each shard
+   answers for its slice and the coordinator takes the union: hashed
+   slices are key-disjoint, and per-tuple operators neither merge nor
+   compare tuples across the relation, so the union of the parts *is*
+   the answer on the whole. A top-level ``WHEN`` fans out the same way
+   and unions the per-shard lifespans.
+3. **gather** — everything else (projections, joins, set operations,
+   multi-relation statements). The coordinator fetches each hashed
+   relation from every shard, merges the slices into full relations,
+   reads broadcast relations from any one shard, and runs the ordinary
+   planner (:mod:`repro.planner`) over the merged environment — the
+   same pipeline-breaker operators that serve the embedded engine do
+   the cross-shard sort/aggregate work.
+
+Shard-key **pinning** is deliberately conservative: only top-level
+conjunctive equality comparisons against literals (or bound
+parameters) count, and a ``RENAME`` anywhere in the chain disables it
+(the renamed attribute may alias a shard-key attribute). Anything the
+pin analysis cannot prove falls back to fanout — correct, just wider.
+Soundness rests on shard keys being *constant* key attributes: a tuple
+satisfying ``K = v`` under any quantifier or ``DURING`` window has
+``K = v`` over its whole lifespan, so every qualifying tuple lives on
+``shard_of([v, ...])`` and the other shards would only contribute
+empty slices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from repro.query import ast_nodes as ast
+from repro.sharding.placement import ShardCatalog, shard_of
+
+__all__ = ["Route", "route_statement", "referenced_relations"]
+
+
+@dataclass(frozen=True)
+class Route:
+    """One statement's execution strategy.
+
+    ``mode`` is ``"forward"`` / ``"fanout"`` / ``"gather"``. For
+    forward, ``shard`` pins the one shard that can answer — or is None
+    when *any* shard can (broadcast-only statements). For fanout,
+    ``when`` marks a top-level ``WHEN`` whose per-shard lifespans are
+    unioned instead of tuple lists.
+    """
+
+    mode: str
+    shard: Optional[int] = None
+    when: bool = False
+
+
+def referenced_relations(node: object) -> Tuple[str, ...]:
+    """Every base relation the statement mentions, in first-use order."""
+    found: List[str] = []
+
+    def visit(value: object) -> None:
+        if isinstance(value, ast.RelationRef):
+            if value.name not in found:
+                found.append(value.name)
+        elif isinstance(value, tuple):
+            for item in value:
+                visit(item)
+        elif hasattr(value, "__dataclass_fields__"):
+            for field in value.__dataclass_fields__:
+                visit(getattr(value, field))
+
+    visit(node)
+    return tuple(found)
+
+
+#: Per-tuple operators: they filter or transform tuples one at a time,
+#: never merging or comparing across the relation — the property that
+#: makes union-of-slices equal the whole.
+_PER_TUPLE = (ast.SelectNode, ast.TimeSliceNode, ast.DynamicTimeSliceNode,
+              ast.RenameNode)
+
+
+def _chain_target(node: ast.QueryNode) -> Optional[str]:
+    """The single base relation under a pure per-tuple chain, else None."""
+    while True:
+        if isinstance(node, ast.RelationRef):
+            return node.name
+        if isinstance(node, _PER_TUPLE):
+            node = node.child
+            continue
+        return None
+
+
+def _conjunctive_equalities(predicate: ast.PredicateNode,
+                            params: Optional[Mapping[str, Any]],
+                            out: Dict[str, Any]) -> None:
+    """Collect ``ATTR = literal`` bindings provable at the top level.
+
+    Only descends through AND — an equality under OR or NOT does not
+    constrain every qualifying tuple. First binding per attribute wins
+    (a contradictory second one would just produce an empty pinned
+    answer, which is still correct).
+    """
+    if isinstance(predicate, ast.Comparison):
+        if predicate.theta != "=" or predicate.rhs_is_attribute:
+            return
+        rhs = predicate.rhs
+        if isinstance(rhs, ast.Parameter):
+            if not params or rhs.name not in params:
+                return
+            rhs = params[rhs.name]
+        out.setdefault(predicate.attribute, rhs)
+    elif isinstance(predicate, ast.BoolOp) and predicate.op == "and":
+        for part in predicate.parts:
+            _conjunctive_equalities(part, params, out)
+
+
+def _pin(node: ast.QueryNode, placement, params: Optional[Mapping[str, Any]],
+         n_shards: int) -> Optional[int]:
+    """The one shard the chain's answer can live on, else None."""
+    bindings: Dict[str, Any] = {}
+    probe = node
+    while not isinstance(probe, ast.RelationRef):
+        if isinstance(probe, ast.RenameNode):
+            return None  # a rename may alias a shard-key attribute
+        if isinstance(probe, ast.SelectNode):
+            _conjunctive_equalities(probe.predicate, params, bindings)
+        probe = probe.child
+    try:
+        values = [bindings[a] for a in placement.shard_by]
+    except KeyError:
+        return None  # the predicate does not fix the whole shard key
+    try:
+        return shard_of(values, n_shards)
+    except Exception:
+        return None  # unhashable binding (e.g. attribute-typed): fan out
+
+
+def route_statement(statement: ast.Statement, catalog: ShardCatalog,
+                    params: Optional[Mapping[str, Any]] = None) -> Route:
+    """Classify *statement* against the shard *catalog*."""
+    if isinstance(statement, ast.ExplainNode):
+        # EXPLAIN [ANALYZE] is answered by the coordinator's own
+        # planner over the merged environment, so the plan it shows is
+        # the plan that would actually run cross-shard.
+        return Route("gather")
+    when = isinstance(statement, ast.WhenNode)
+    refs = referenced_relations(statement)
+    hashed = [name for name in refs
+              if (entry := catalog.get(name)) is not None and entry.hashed]
+    unknown = [name for name in refs if catalog.get(name) is None]
+    if unknown:
+        # Let one shard raise the canonical RelationError (or answer,
+        # if the coordinator's catalog is simply behind a direct DDL).
+        return Route("gather")
+    if not hashed:
+        return Route("forward", shard=None, when=when)
+    if len(hashed) == 1:
+        inner = statement.child if when else statement
+        target = _chain_target(inner)
+        if target == hashed[0]:
+            placement = catalog.get(target)
+            shard = _pin(inner, placement, params, catalog.n_shards)
+            if shard is not None:
+                return Route("forward", shard=shard, when=when)
+            return Route("fanout", when=when)
+    return Route("gather")

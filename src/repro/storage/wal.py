@@ -16,12 +16,24 @@ Frame layout (little-endian)::
     +----------+----------+------------------+
 
     payload := generation u32 | lsn u64 | n_ops u32 | epoch u32 | op*
+               [ kind u8 | txn_id str ]
     op      := opcode u8 | opcode-specific body
 
 (``epoch`` is the replication fencing number — the primacy generation
 stamped into every commit so a promoted replica's new timeline is
 distinguishable from a demoted primary's old one; see
 :mod:`repro.replication`. Single-node databases carry epoch 0 forever.)
+
+The optional trailing extension distinguishes **two-phase commit**
+records (see :mod:`repro.sharding`) from ordinary commits. A plain
+commit writes no extension — its frames are byte-identical to every
+log written before sharding existed — while a ``PREPARE`` record
+(the participant's force-synced vote, ops included but not yet
+applied) and the two decision records (``decide-commit`` /
+``decide-abort``, no ops, resolving a prior prepare by transaction id)
+append a kind byte and the transaction id. Presumed abort: a prepare
+with no decision record is *in doubt* and must be resolved against the
+coordinator's decision log on reopen.
 
 Opcodes mirror the four ways a catalog changes:
 
@@ -105,6 +117,13 @@ _U32 = struct.Struct("<I")
 
 #: The admissible values of the ``sync=`` policy.
 SYNC_POLICIES = ("always", "batch", "never")
+
+#: Record kinds beyond a plain commit (two-phase commit, see
+#: :mod:`repro.sharding`). A plain ``"commit"`` writes no extension
+#: bytes, so pre-sharding logs and new single-node logs stay
+#: byte-identical.
+_KIND_CODES = {"prepare": 1, "decide-commit": 2, "decide-abort": 3}
+_KIND_NAMES = {code: name for name, code in _KIND_CODES.items()}
 
 
 def _enc_str(value: str) -> bytes:
@@ -196,12 +215,22 @@ class CommitRecord:
     committed under (0 for any database that never took part in a
     failover); it trails the positional fields so single-node callers
     can keep ignoring it.
+
+    ``kind`` is ``"commit"`` for every record a non-sharded database
+    writes. Two-phase commit participants additionally write
+    ``"prepare"`` records (the ops of an in-doubt transaction, voted
+    yes but not yet decided) and ``"decide-commit"`` /
+    ``"decide-abort"`` records (op-less, resolving a prior prepare by
+    ``txn_id``). Replay applies a prepare's ops only once its
+    commit decision is on record.
     """
 
     generation: int
     lsn: int
     ops: tuple[bytes, ...]
     epoch: int = 0
+    kind: str = "commit"
+    txn_id: str = ""
 
     def decoded(self) -> list[tuple[Any, ...]]:
         """Every op of this record, decoded (see :func:`decode_op`)."""
@@ -305,14 +334,30 @@ class WriteAheadLog:
                 raise WALError("truncated op inside record")
             ops.append(bytes(buf[offset:end]))
             offset = end
+        kind, txn_id = "commit", ""
         if offset != len(buf):
-            raise WALError("trailing garbage inside record")
-        return CommitRecord(generation, lsn, tuple(ops), epoch)
+            # The 2PC trailing extension: kind byte + transaction id.
+            code = buf[offset]
+            if code not in _KIND_NAMES:
+                raise WALError("trailing garbage inside record")
+            kind = _KIND_NAMES[code]
+            txn_id, offset = _dec_str(buf, offset + 1)
+            if offset != len(buf):
+                raise WALError("trailing garbage inside record")
+        return CommitRecord(generation, lsn, tuple(ops), epoch, kind, txn_id)
 
     # -- appending ---------------------------------------------------------
 
-    def append(self, ops: Iterable[bytes], *, defer_sync: bool = False) -> int:
+    def append(self, ops: Iterable[bytes], *, defer_sync: bool = False,
+               kind: str = "commit", txn_id: str = "") -> int:
         """Frame and append one commit record; returns its LSN.
+
+        ``kind``/``txn_id`` select a two-phase-commit record (see
+        :class:`CommitRecord`): a ``"prepare"`` carries the in-doubt
+        transaction's ops and **must** be made durable (the caller
+        force-syncs) before the participant votes yes; the op-less
+        decision kinds resolve it. Plain commits pass neither and write
+        frames byte-identical to every pre-sharding log.
 
         Honors the sync policy: the record is durable on return under
         ``"always"``, durable after the next :meth:`flush` / batch
@@ -336,15 +381,21 @@ class WriteAheadLog:
         refuses further appends (reopen the database to recover).
         """
         materialized = list(ops)
-        if not materialized:
+        if kind not in _KIND_CODES and kind != "commit":
+            raise WALError(f"unknown record kind {kind!r}")
+        if kind in ("commit", "prepare") and not materialized:
             raise WALError("a commit record needs at least one op")
+        if kind != "commit" and not txn_id:
+            raise WALError(f"a {kind} record needs a transaction id")
         with self._mutex:
             return self._write_frame(self.generation, self._lsn + 1,
                                      materialized, defer_sync,
-                                     epoch=self.epoch)
+                                     epoch=self.epoch, kind=kind,
+                                     txn_id=txn_id)
 
     def append_record(self, generation: int, lsn: int,
-                      ops: Iterable[bytes], *, epoch: int = 0) -> int:
+                      ops: Iterable[bytes], *, epoch: int = 0,
+                      kind: str = "commit", txn_id: str = "") -> int:
         """Append a record under an **explicit identity** — the replica
         replay path.
 
@@ -359,7 +410,7 @@ class WriteAheadLog:
         unsynced tail that the next catch-up simply re-ships.
         """
         materialized = list(ops)
-        if not materialized:
+        if kind in ("commit", "prepare") and not materialized:
             raise WALError("a commit record needs at least one op")
         with self._mutex:
             if lsn <= self._lsn:
@@ -367,16 +418,21 @@ class WriteAheadLog:
                     f"append_record at LSN {lsn} does not advance the log "
                     f"(already at {self._lsn})")
             return self._write_frame(generation, lsn, materialized,
-                                     defer_sync=False, epoch=epoch)
+                                     defer_sync=False, epoch=epoch,
+                                     kind=kind, txn_id=txn_id)
 
     def _write_frame(self, generation: int, lsn: int,
                      materialized: list, defer_sync: bool, *,
-                     epoch: int = 0) -> int:
+                     epoch: int = 0, kind: str = "commit",
+                     txn_id: str = "") -> int:
         """Write one framed record; caller holds ``_mutex``."""
         body = [_PAYLOAD_HEAD.pack(generation, lsn, len(materialized), epoch)]
         for op in materialized:
             body.append(_U32.pack(len(op)))
             body.append(op)
+        if kind != "commit":
+            body.append(bytes([_KIND_CODES[kind]]))
+            body.append(_enc_str(txn_id))
         payload = b"".join(body)
         frame = _FRAME.pack(len(payload), zlib.crc32(payload)) + payload
         fh = self._file()

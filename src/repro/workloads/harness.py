@@ -344,15 +344,22 @@ def run_scenario(scenario: Union[str, Scenario],
                  mode: str = "closed",
                  rate: Optional[float] = None,
                  verify: bool = True,
-                 faults=None) -> RunResult:
+                 faults=None,
+                 shards: int = 2) -> RunResult:
     """Run *scenario* with concurrent persona sessions and verify it.
 
     *engine* is ``"embedded"`` (threads share the database object),
     ``"server"`` (an in-process :class:`~repro.server.DatabaseServer`
-    with one network client per persona), or ``"cluster"`` (a durable
+    with one network client per persona), ``"cluster"`` (a durable
     primary server **plus a live read replica** in ``<path>-replica``;
     personas connect :class:`~repro.client.RoutedClient` sessions, so
-    reads fan out and writes survive a failover — requires *path*).
+    reads fan out and writes survive a failover — requires *path*), or
+    ``"sharded"`` (*shards* durable shard workers in
+    ``<path>-shard{i}`` behind a :class:`~repro.sharding.Coordinator`
+    in ``<path>-coordinator``; hashed relations split by shard key,
+    relations named in the scenario's ``broadcast`` tuple are copied
+    everywhere, and transactions spanning shards commit through the
+    WAL-backed two-phase protocol — requires *path*).
     *mode* is ``"closed"`` or ``"open"`` (with *rate* ops/s per
     persona). With *verify* (the default) the run must pass the
     snapshot-isolation oracle **and** the scenario's semantic
@@ -382,14 +389,17 @@ def run_scenario(scenario: Union[str, Scenario],
             raise ValueError(
                 "a ChaosPlan with kill_after_ops needs engine='cluster' "
                 "(there is no replica to promote otherwise)")
-    if engine == "cluster" and path is None:
-        raise ValueError("engine='cluster' needs a durable path=")
+    if engine in ("cluster", "sharded") and path is None:
+        raise ValueError(f"engine={engine!r} needs a durable path=")
     resilient = plan is not None
-    if path is not None:
-        db = HistoricalDatabase(scenario.name, path=path)
+    if engine == "sharded":
+        db = None  # the shard workers own the durable state
     else:
-        db = HistoricalDatabase(scenario.name)
-    scenario.bootstrap(db, knobs, storage=storage)
+        if path is not None:
+            db = HistoricalDatabase(scenario.name, path=path)
+        else:
+            db = HistoricalDatabase(scenario.name)
+        scenario.bootstrap(db, knobs, storage=storage)
     oracle = HistoryOracle() if verify else None
     scripts = scenario.scripts(knobs)
     stats = {p: PersonaStats(p) for p in scenario.personas}
@@ -420,6 +430,10 @@ def run_scenario(scenario: Union[str, Scenario],
             final_db, cleanup = _drive_cluster(
                 scenario, scripts, db, path, knobs, oracle, mode, rate,
                 stats, errors, plan, resilient)
+        elif engine == "sharded":
+            final_db, cleanup = _drive_sharded(
+                scenario, scripts, path, knobs, storage, oracle, mode,
+                rate, stats, errors, resilient, shards)
         else:
             raise ValueError(f"unknown engine {engine!r}")
     finally:
@@ -539,6 +553,80 @@ def _drive_cluster(scenario, scripts, db, path, knobs, oracle, mode, rate,
             db.close()
 
     return (replica.db if failed_over.is_set() else db), cleanup
+
+
+def _drive_sharded(scenario, scripts, path, knobs, storage, oracle, mode,
+                   rate, stats, errors, resilient, shards: int):
+    """The ``sharded`` engine: N shard workers behind a coordinator.
+
+    Bootstraps *through the coordinator* (so DDL records the catalog's
+    placements and the initial load is hash-partitioned exactly like
+    live traffic), registers the scenario's integrity constraints
+    directly on every worker database (each shard sweeps its slice
+    against its full broadcast copies), and gives every persona its
+    own coordinator connection. Returns ``(final_session, cleanup)``
+    like :func:`_drive_cluster` — verification reads the merged
+    catalog back through the coordinator.
+    """
+    from repro.client import connect
+    from repro.server import DatabaseServer
+    from repro.sharding import Coordinator
+
+    if shards < 1:
+        raise ValueError(f"engine='sharded' needs shards >= 1, got {shards}")
+    worker_dbs = [
+        HistoricalDatabase(f"{scenario.name}-shard{i}",
+                           path=f"{path}-shard{i}")
+        for i in range(shards)
+    ]
+    servers = [DatabaseServer(wdb) for wdb in worker_dbs]
+    coordinator = None
+    sessions = {}
+    final = None
+    try:
+        for server in servers:
+            server.start()
+        coordinator = Coordinator(
+            f"{path}-coordinator", [s.address for s in servers],
+            name=scenario.name,
+            broadcast=getattr(scenario, "broadcast", ()))
+        coordinator.start()
+        final = connect(*coordinator.address)
+        scenario.bootstrap(final, knobs, storage=storage, constraints=False)
+        for wdb in worker_dbs:
+            for constraint in scenario.constraints(knobs):
+                wdb.add_constraint(constraint)
+        sessions = {p: connect(*coordinator.address)
+                    for p in scenario.personas}
+        _drive(scenario, scripts, sessions, oracle, mode, rate, stats,
+               errors, resilient)
+    except BaseException:
+        for session in sessions.values():
+            session.close()
+        if final is not None:
+            final.close()
+        if coordinator is not None:
+            coordinator.stop()
+        for server in servers:
+            server.stop()
+        for wdb in worker_dbs:
+            if not wdb.closed:
+                wdb.close()
+        raise
+    else:
+        for session in sessions.values():
+            session.close()
+
+    def cleanup() -> None:
+        final.close()
+        coordinator.stop()
+        for server in servers:
+            server.stop()
+        for wdb in worker_dbs:
+            if not wdb.closed:
+                wdb.close()
+
+    return final, cleanup
 
 
 def _drive(scenario, scripts, sessions, oracle, mode, rate, stats,

@@ -56,6 +56,10 @@ class Scenario:
     name: str = ""
     description: str = ""
     relations: Tuple[str, ...] = ()
+    #: Relations the ``sharded`` engine copies to every shard instead
+    #: of hash-partitioning — the dimension side of the scenario's
+    #: temporal foreign keys, so each shard sweeps them locally.
+    broadcast: Tuple[str, ...] = ()
     personas: Tuple[str, ...] = PERSONAS
     horizon: int = 100
     #: Chance an entity (beyond the first two, which are always hot) is
@@ -854,6 +858,9 @@ class EnrollmentChurn(Scenario):
     description = ("Students / courses / enrollments with temporal "
                    "foreign keys under enroll / drop / re-enroll churn")
     relations = ("STUDENT", "COURSE", "ENROLLMENT")
+    #: ENROLLMENT hashes by its (SID, CID) key; the dimension sides of
+    #: both foreign keys live whole on every shard.
+    broadcast = ("STUDENT", "COURSE")
     horizon = 100
     base_entities = 20
     base_courses = 8

@@ -88,6 +88,52 @@ class TestFaultSchedule:
         assert replayed == original
         assert any(original)  # the run under test actually fired
 
+    def test_capped_probability_and_byte_offset_coexist_on_one_target(self):
+        """A probability rule under a ``times=`` cap and a byte-offset
+        rule on the *same* target stay independent: the probability
+        rule stops at its cap without eating the byte-offset firing,
+        the byte-offset rule fires on exactly the crossing write, and
+        both land in the trace with replayable coordinates."""
+        schedule = (FaultSchedule(seed=5)
+                    .fail("wal", "write", probability=0.5, times=2)
+                    .tear("wal", byte_offset=1000))
+        prob_rule, tear_rule = schedule.rules
+        fired = []
+        for _ in range(40):  # 40 × 30 bytes: crosses 1000 at write #34
+            rule = schedule.check("wal", "write", size=30)
+            if rule is not None:
+                fired.append(rule)
+        assert prob_rule.fired == 2  # the cap held despite 40 chances
+        assert tear_rule.fired == 1  # the crossing write, exactly once
+        assert fired.count(tear_rule) == 1
+        # First-matching-rule dispatch: while the capped rule is live,
+        # a probability hit can shadow that operation's byte check —
+        # but the byte counter still advances, so the offset rule fires
+        # on the true crossing write unless the shadowing landed there.
+        torn_entries = [e for e in schedule.trace if e["action"] == "torn"]
+        assert [e["count"] for e in torn_entries] == [34]
+        # The combined run replays from its trace without the RNG.
+        replay = FaultSchedule.from_trace(schedule.trace)
+        replayed = [replay.check("wal", "write", size=30) is not None
+                    for _ in range(40)]
+        original = [e["count"] for e in schedule.trace]
+        assert [i + 1 for i, hit in enumerate(replayed) if hit] == original
+
+    def test_byte_offset_advances_while_capped_probability_shadows(self):
+        """An exhausted probability rule stops matching entirely: after
+        its cap, every later check falls through to the byte-offset
+        rule with byte accounting that includes the shadowed writes."""
+        schedule = (FaultSchedule(seed=1)
+                    .fail("wal", "write", probability=1.0, times=3)
+                    .tear("wal", byte_offset=150))
+        # Three certain firings exhaust the probability rule...
+        for _ in range(3):
+            assert schedule.check("wal", "write", size=40).action == "error"
+        # ...their 120 bytes still counted: the next 40-byte write
+        # spans [120, 160) and crosses the 150-byte offset.
+        rule = schedule.check("wal", "write", size=40)
+        assert rule is not None and rule.action == "torn"
+
     def test_check_is_thread_safe(self):
         schedule = FaultSchedule().fail("wal", "write", count=500)
         hits = []

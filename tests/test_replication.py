@@ -591,6 +591,36 @@ class TestRoutedClient:
             finally:
                 routed.close()
 
+    def test_rediscover_bounds_probes_to_silent_nodes(self, primary):
+        """A node that accepts the TCP connection but never answers
+        must not hang rediscovery. The routed client here has no
+        timeout of its own (the default), so each probe must fall back
+        to the module's own probe timeout instead of inheriting
+        block-forever semantics from the client."""
+        db, server = primary
+        silent = socket.socket()
+        silent.bind(("127.0.0.1", 0))
+        silent.listen(1)  # connections establish; no reply ever comes
+        try:
+            routed = connect(server.address,
+                             replicas=[silent.getsockname()])
+            try:
+                assert routed._timeout is None  # the dangerous default
+                outcome: list[bool] = []
+                prober = threading.Thread(
+                    target=lambda: outcome.append(routed.rediscover()),
+                    daemon=True)
+                prober.start()
+                prober.join(30)
+                assert not prober.is_alive(), \
+                    "rediscover hung probing a silent node"
+                assert outcome == [True]  # the live primary still won
+                assert routed.primary._address == server.address
+            finally:
+                routed.close()
+        finally:
+            silent.close()
+
     def test_transactions_go_to_the_primary(self, primary, tmp_path):
         db, server = primary
         with ReplicaServer(str(tmp_path / "r1"), server.address) as r1:
